@@ -1,0 +1,33 @@
+# FrameFeedback reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent (real TCP) code paths.
+race:
+	$(GO) test -race ./internal/realnet/ ./internal/netproto/
+
+# One benchmark per paper table/figure plus substrate micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (ASCII + CSV traces into results/).
+experiments:
+	$(GO) run ./cmd/ffexperiments -exp all -out results
+
+# Automated reproduction report with PASS/FAIL shape checks.
+report:
+	$(GO) run ./cmd/ffreport -o REPORT.md -replicas 10
+
+clean:
+	rm -rf results REPORT.md test_output.txt bench_output.txt

@@ -1,0 +1,426 @@
+package framefeedback
+
+// One benchmark per paper table and figure (DESIGN.md E1–E10), plus
+// micro-benchmarks of the hot substrates. The figure benches run the
+// full experiment per iteration and report the figure's headline
+// quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's evaluation in one command. Absolute
+// wall-clock ns/op is irrelevant for the figure benches (the substrate
+// is a simulator); the custom metrics are the reproduction output.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// BenchmarkTableII_LocalRates measures the local-only pipeline rate
+// for each paper device (Table II, MobileNetV3Small row).
+func BenchmarkTableII_LocalRates(b *testing.B) {
+	for _, dev := range models.AllDevices() {
+		dev := dev
+		b.Run(dev.Name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				r := scenario.Run(scenario.Config{
+					Seed:       scenario.DefaultSeed,
+					Policy:     scenario.LocalOnlyFactory(),
+					FrameLimit: 900,
+					Devices:    []scenario.DeviceSpec{{Profile: dev}},
+				})
+				rate = r.MeanP(5, 30)
+			}
+			b.ReportMetric(rate, "P_l_fps")
+			b.ReportMetric(dev.LocalRate(models.MobileNetV3Small), "paper_fps")
+		})
+	}
+}
+
+// BenchmarkTableIII_Accuracy evaluates the accuracy model across the
+// zoo (Table III values plus the §II-D resolution/quality surface).
+func BenchmarkTableIII_Accuracy(b *testing.B) {
+	accs := make([]float64, 0, 4)
+	for i := 0; i < b.N; i++ {
+		accs = accs[:0]
+		for _, m := range models.All() {
+			accs = append(accs, m.TopOneAccuracy())
+			_ = models.AccuracyAt(m, 224, 75)
+			_ = models.AccuracyAt(m, 160, 40)
+		}
+	}
+	b.ReportMetric(accs[0]*100, "effB0_top1_pct")
+	b.ReportMetric(accs[2]*100, "mnetS_top1_pct")
+}
+
+// BenchmarkFigure2_Tuning runs the tuning experiment for the paper's
+// gain pairs and reports the post-loss behaviour of the Table IV
+// tuning: settled P_o level and oscillation.
+func BenchmarkFigure2_Tuning(b *testing.B) {
+	for _, pair := range scenario.TuningPairs() {
+		pair := pair
+		b.Run(tuningName(pair), func(b *testing.B) {
+			var settled metrics.Summary
+			for i := 0; i < b.N; i++ {
+				r := scenario.Run(scenario.TuningExperiment(pair[0], pair[1]))
+				settled = metrics.Summarize(r.Po[35:58])
+			}
+			b.ReportMetric(settled.Mean, "Po_after_loss")
+			b.ReportMetric(settled.Std, "Po_osc_std")
+		})
+	}
+}
+
+func tuningName(pair [2]float64) string {
+	switch pair {
+	case [2]float64{0.2, 0.26}:
+		return "KP0.2_KD0.26_paper"
+	case [2]float64{0.2, 0}:
+		return "KP0.2_KD0"
+	case [2]float64{0.5, 0.26}:
+		return "KP0.5_KD0.26"
+	default:
+		return "KP0.05_KD0.1"
+	}
+}
+
+// BenchmarkFigure3_Network runs the Table V network experiment for
+// each policy and reports the mean throughput (the figure's headline
+// series) plus the degraded-phase mean where the policies separate.
+func BenchmarkFigure3_Network(b *testing.B) {
+	for _, name := range scenario.PolicyOrder() {
+		factory := scenario.AllPolicies()[name]
+		b.Run(name, func(b *testing.B) {
+			var meanP, degradedP, meanT float64
+			for i := 0; i < b.N; i++ {
+				r := scenario.Run(scenario.NetworkExperiment(factory))
+				meanP = r.MeanP(0, 0)
+				degradedP = (r.MeanP(32, 60) + r.MeanP(107, 133)) / 2
+				meanT = r.MeanT(0, 0)
+			}
+			b.ReportMetric(meanP, "meanP_fps")
+			b.ReportMetric(degradedP, "degradedP_fps")
+			b.ReportMetric(meanT, "meanT_fps")
+		})
+	}
+}
+
+// BenchmarkFigure4_ServerLoad runs the Table VI load experiment for
+// each policy; the peak-load phase (150 req/s) is where the paper's
+// fine-grained adaptation claim shows.
+func BenchmarkFigure4_ServerLoad(b *testing.B) {
+	for _, name := range scenario.PolicyOrder() {
+		factory := scenario.AllPolicies()[name]
+		b.Run(name, func(b *testing.B) {
+			var meanP, peakP float64
+			for i := 0; i < b.N; i++ {
+				r := scenario.Run(scenario.ServerLoadExperiment(factory))
+				meanP = r.MeanP(0, 0)
+				peakP = r.MeanP(50, 60)
+			}
+			b.ReportMetric(meanP, "meanP_fps")
+			b.ReportMetric(peakP, "peakLoadP_fps")
+		})
+	}
+}
+
+// BenchmarkCPUUsage reproduces the §II-A5 CPU claim: 50.2% local-only
+// vs 22.3% fully offloaded.
+func BenchmarkCPUUsage(b *testing.B) {
+	run := func(policy scenario.PolicyFactory) float64 {
+		r := scenario.Run(scenario.Config{
+			Seed: scenario.DefaultSeed, Policy: policy, FrameLimit: 900,
+			Devices: []scenario.DeviceSpec{{Profile: models.Pi4B14()}},
+		})
+		return metrics.Mean(r.CPU[5:30])
+	}
+	var local, offload float64
+	for i := 0; i < b.N; i++ {
+		local = run(scenario.LocalOnlyFactory())
+		offload = run(scenario.AlwaysOffloadFactory())
+	}
+	b.ReportMetric(local, "localCPU_pct")
+	b.ReportMetric(offload, "offloadCPU_pct")
+}
+
+// BenchmarkDeepDecisionFactor reports the paper's contribution-4
+// claim: FrameFeedback over the DeepDecision-style baseline by more
+// than 2x under suboptimal conditions.
+func BenchmarkDeepDecisionFactor(b *testing.B) {
+	var worst, best float64
+	for i := 0; i < b.N; i++ {
+		ff := scenario.Run(scenario.NetworkExperiment(scenario.FrameFeedbackFactory(controller.Config{})))
+		aon := scenario.Run(scenario.NetworkExperiment(scenario.AllOrNothingFactory()))
+		worst, best = 1e18, 0
+		for _, ph := range [][2]int{{32, 45}, {47, 60}, {107, 133}} {
+			f := ff.MeanP(ph[0], ph[1]) / aon.MeanP(ph[0], ph[1])
+			if f < worst {
+				worst = f
+			}
+			if f > best {
+				best = f
+			}
+		}
+	}
+	b.ReportMetric(worst, "minFactor_x")
+	b.ReportMetric(best, "maxFactor_x")
+}
+
+// Ablation benches (DESIGN.md E8–E10): each reports the variant's
+// quality on the Table V workload next to the paper configuration.
+
+func benchAblation(b *testing.B, factory scenario.PolicyFactory) {
+	var meanP, meanT float64
+	for i := 0; i < b.N; i++ {
+		r := scenario.Run(scenario.NetworkExperiment(factory))
+		meanP, meanT = r.MeanP(0, 0), r.MeanT(0, 0)
+	}
+	b.ReportMetric(meanP, "meanP_fps")
+	b.ReportMetric(meanT, "meanT_fps")
+}
+
+// BenchmarkAblationClamp removes the asymmetric update limits
+// (§III-B): backoff capped at -0.1·F_s like the ramp.
+func BenchmarkAblationClamp(b *testing.B) {
+	benchAblation(b, scenario.FrameFeedbackFactory(controller.SymmetricClampConfig()))
+}
+
+// BenchmarkAblationPV replaces the piecewise PV (Eq. 4/5) with a
+// single-expression error.
+func BenchmarkAblationPV(b *testing.B) {
+	benchAblation(b, func() controller.Policy { return controller.NewNaivePV() })
+}
+
+// BenchmarkAblationIntegral re-enables the integral term the paper
+// drops (§III-A1).
+func BenchmarkAblationIntegral(b *testing.B) {
+	benchAblation(b, scenario.FrameFeedbackFactory(controller.WithIntegralConfig()))
+}
+
+// --- Micro-benchmarks of the substrates -----------------------------
+
+// BenchmarkControllerTick measures one control decision.
+func BenchmarkControllerTick(b *testing.B) {
+	f := controller.NewFrameFeedback(controller.Config{})
+	m := controller.Measurement{FS: 30, Po: 15, T: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Now = simtime.Time(i) * time.Second
+		m.Po = f.Next(m)
+	}
+}
+
+// BenchmarkSchedulerEvents measures raw discrete-event throughput.
+func BenchmarkSchedulerEvents(b *testing.B) {
+	s := simtime.NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkSimnetTransfer measures one packetized frame transfer over
+// a lossy link, end to end.
+func BenchmarkSimnetTransfer(b *testing.B) {
+	s := simtime.NewScheduler()
+	l := simnet.NewLink(s, rng.New(1), simnet.Conditions{
+		BandwidthBps: simnet.Mbps(10), Loss: 0.07, PropDelay: 5 * time.Millisecond,
+	})
+	l.MaxBacklog = time.Hour
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(29000, func() {}, func() {})
+		s.Run()
+	}
+}
+
+// BenchmarkServerBatching measures the adaptive batcher under a
+// saturating request stream.
+func BenchmarkServerBatching(b *testing.B) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, rng.New(1), server.Config{GPU: models.TeslaV100()})
+	done := func(server.Result) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Submit(&server.Request{Model: models.MobileNetV3Small, Done: done})
+		if i%64 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkScenarioSecond measures one simulated second of the full
+// three-device network experiment (scheduler + net + server + device +
+// controller together).
+func BenchmarkScenarioSecond(b *testing.B) {
+	frames := uint64(30 * b.N)
+	cfg := scenario.NetworkExperiment(scenario.FrameFeedbackFactory(controller.Config{}))
+	cfg.FrameLimit = frames
+	b.ResetTimer()
+	r := scenario.Run(cfg)
+	_ = r
+}
+
+// --- Extension benches (DESIGN.md E11–E15) ---------------------------
+
+// BenchmarkEnergy reports the offloading power/energy win (E11).
+func BenchmarkEnergy(b *testing.B) {
+	run := func(p scenario.PolicyFactory) *scenario.Result {
+		return scenario.Run(scenario.Config{
+			Seed: scenario.DefaultSeed, Policy: p, FrameLimit: 1800,
+			Devices: []scenario.DeviceSpec{{Profile: models.Pi4B14()}},
+		})
+	}
+	var localJ, offJ float64
+	for i := 0; i < b.N; i++ {
+		localJ = run(scenario.LocalOnlyFactory()).EnergyPerInference()
+		offJ = run(scenario.FrameFeedbackFactory(controller.Config{})).EnergyPerInference()
+	}
+	b.ReportMetric(localJ, "localJ_perInf")
+	b.ReportMetric(offJ, "ffJ_perInf")
+}
+
+// BenchmarkCombinedDegradation runs network degradation and server
+// load simultaneously (E12).
+func BenchmarkCombinedDegradation(b *testing.B) {
+	var ffP, localP float64
+	for i := 0; i < b.N; i++ {
+		ffP = scenario.Run(scenario.CombinedExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{}))).MeanP(0, 0)
+		localP = scenario.Run(scenario.CombinedExperiment(
+			scenario.LocalOnlyFactory())).MeanP(0, 0)
+	}
+	b.ReportMetric(ffP, "ffP_fps")
+	b.ReportMetric(localP, "localP_fps")
+}
+
+// BenchmarkBurstLoss compares controllers on a bursty wireless channel
+// (E13).
+func BenchmarkBurstLoss(b *testing.B) {
+	var ffP, alwaysP float64
+	for i := 0; i < b.N; i++ {
+		ffP = scenario.Run(scenario.BurstLossExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{}))).MeanP(35, 0)
+		alwaysP = scenario.Run(scenario.BurstLossExperiment(
+			scenario.AlwaysOffloadFactory())).MeanP(35, 0)
+	}
+	b.ReportMetric(ffP, "ffP_fps")
+	b.ReportMetric(alwaysP, "alwaysP_fps")
+}
+
+// BenchmarkAdaptiveQuality reports the accuracy-weighted throughput
+// gain from the frame-quality ladder (E14).
+func BenchmarkAdaptiveQuality(b *testing.B) {
+	var adaptive, fixed float64
+	for i := 0; i < b.N; i++ {
+		adaptive = scenario.Run(scenario.QualityExperiment()).MeanAccP(0, 0)
+		fixed = scenario.Run(scenario.NetworkExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{}))).MeanAccP(0, 0)
+	}
+	b.ReportMetric(adaptive, "adaptiveAccP")
+	b.ReportMetric(fixed, "fixedAccP")
+}
+
+// BenchmarkFairness reports Jain's index across identical contending
+// tenants (E15).
+func BenchmarkFairness(b *testing.B) {
+	var jain float64
+	for i := 0; i < b.N; i++ {
+		r := scenario.Run(scenario.FairnessExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{}), 4))
+		xs := make([]float64, len(r.Tenants))
+		for j, ten := range r.Tenants {
+			xs[j] = float64(ten.Completed)
+		}
+		jain = metrics.JainIndex(xs)
+	}
+	b.ReportMetric(jain, "jain_index")
+}
+
+// BenchmarkRelayTuning reports the gains the relay auto-tuner derives
+// for this substrate next to the paper's Table IV values.
+func BenchmarkRelayTuning(b *testing.B) {
+	var kp, kd float64
+	for i := 0; i < b.N; i++ {
+		r := scenario.Run(scenario.RelayTuningExperiment(16, 5))
+		u, err := controller.EstimateUltimate(r.Po, r.TRate, 5, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kp, kd = u.PDGains()
+	}
+	b.ReportMetric(kp, "derived_KP")
+	b.ReportMetric(kd, "derived_KD")
+}
+
+// BenchmarkHeterogeneousFairness compares FIFO vs fair shedding with a
+// greedy tenant in the mix (E16).
+func BenchmarkHeterogeneousFairness(b *testing.B) {
+	jainOf := func(shed server.ShedPolicy) float64 {
+		r := scenario.Run(scenario.HeterogeneousFairnessExperiment(shed))
+		xs := make([]float64, len(r.Tenants))
+		for i, ten := range r.Tenants {
+			xs[i] = float64(ten.Completed)
+		}
+		return metrics.JainIndex(xs)
+	}
+	var fifo, fair float64
+	for i := 0; i < b.N; i++ {
+		fifo = jainOf(server.ShedFIFO)
+		fair = jainOf(server.ShedFair)
+	}
+	b.ReportMetric(fifo, "jain_fifo")
+	b.ReportMetric(fair, "jain_fair")
+}
+
+// BenchmarkDeadlineSweep reports throughput at the paper's 250 ms
+// deadline and at a tight 150 ms one (E17) on a constrained link.
+func BenchmarkDeadlineSweep(b *testing.B) {
+	var at150, at250 float64
+	for i := 0; i < b.N; i++ {
+		at150 = scenario.Run(scenario.DeadlineSweepExperiment(150*time.Millisecond)).MeanP(15, 0)
+		at250 = scenario.Run(scenario.DeadlineSweepExperiment(250*time.Millisecond)).MeanP(15, 0)
+	}
+	b.ReportMetric(at150, "P_150ms")
+	b.ReportMetric(at250, "P_250ms")
+}
+
+// BenchmarkOffloadLatency reports end-to-end latency percentiles of
+// successful offloads on the Table V workload.
+func BenchmarkOffloadLatency(b *testing.B) {
+	var p50, p99 float64
+	for i := 0; i < b.N; i++ {
+		r := scenario.Run(scenario.NetworkExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{})))
+		p50, p99 = r.OffloadLatency.P50*1000, r.OffloadLatency.P99*1000
+	}
+	b.ReportMetric(p50, "P50_ms")
+	b.ReportMetric(p99, "P99_ms")
+}
+
+// BenchmarkAIMDComparison runs the TCP-style AIMD rule against the
+// Table V workload next to FrameFeedback.
+func BenchmarkAIMDComparison(b *testing.B) {
+	var ffP, aimdP float64
+	for i := 0; i < b.N; i++ {
+		ffP = scenario.Run(scenario.NetworkExperiment(
+			scenario.FrameFeedbackFactory(controller.Config{}))).MeanP(0, 0)
+		aimdP = scenario.Run(scenario.NetworkExperiment(
+			func() controller.Policy { return baselines.NewAIMD() })).MeanP(0, 0)
+	}
+	b.ReportMetric(ffP, "ffP_fps")
+	b.ReportMetric(aimdP, "aimdP_fps")
+}

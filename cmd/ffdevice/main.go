@@ -1,0 +1,126 @@
+// Command ffdevice runs the real-TCP edge device: it streams synthetic
+// frames to an ffserver instance and steers its offloading rate with
+// the selected policy (FrameFeedback by default), printing a
+// per-interval status line — P, Po, T — like the paper's live traces.
+//
+// Usage:
+//
+//	ffdevice -addr host:9771 [-policy framefeedback] [-fps 30] [-duration 60s]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/realnet"
+)
+
+var (
+	addrFlag      = flag.String("addr", "127.0.0.1:9771", "ffserver address")
+	policyFlag    = flag.String("policy", "framefeedback", "policy: framefeedback, localonly, alwaysoffload")
+	fpsFlag       = flag.Float64("fps", 30, "source frame rate F_s")
+	deadlineFlag  = flag.Duration("deadline", 250*time.Millisecond, "end-to-end offload deadline")
+	tickFlag      = flag.Duration("tick", time.Second, "controller measurement interval")
+	durationFlag  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+	streamFlag    = flag.Uint("stream", 1, "stream/tenant id")
+	timeScaleFlag = flag.Float64("timescale", 1, "multiply simulated local-inference latency")
+	csvFlag       = flag.String("csv", "", "append per-tick stats to this CSV file")
+)
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "ffdevice: ", log.LstdFlags)
+
+	var policy controller.Policy
+	switch strings.ToLower(*policyFlag) {
+	case "framefeedback":
+		policy = controller.NewFrameFeedback(controller.Config{})
+	case "localonly":
+		policy = baselines.LocalOnly{}
+	case "alwaysoffload":
+		policy = baselines.AlwaysOffload{}
+	default:
+		logger.Fatalf("unknown policy %q", *policyFlag)
+	}
+
+	client, err := realnet.Dial(realnet.ClientConfig{
+		Addr:      *addrFlag,
+		Stream:    uint32(*streamFlag),
+		FS:        *fpsFlag,
+		Deadline:  *deadlineFlag,
+		Tick:      *tickFlag,
+		Policy:    policy,
+		TimeScale: *timeScaleFlag,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer client.Close()
+	logger.Printf("streaming to %s at %.0f fps, policy %s", *addrFlag, *fpsFlag, policy.Name())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *durationFlag > 0 {
+		timeout = time.After(*durationFlag)
+	}
+
+	var csvW *csv.Writer
+	if *csvFlag != "" {
+		f, err := os.Create(*csvFlag)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer f.Close()
+		csvW = csv.NewWriter(f)
+		defer csvW.Flush()
+		csvW.Write([]string{"t", "P", "Po", "T", "ok", "late", "rejected", "local"})
+	}
+	start := time.Now()
+
+	ticker := time.NewTicker(*tickFlag)
+	defer ticker.Stop()
+	var prev realnet.ClientStats
+	for {
+		select {
+		case <-ticker.C:
+			cur := client.Stats()
+			sec := tickFlag.Seconds()
+			p := float64(cur.LocalDone-prev.LocalDone)/sec + float64(cur.OffloadOK-prev.OffloadOK)/sec
+			timeouts := float64(cur.Timeouts()-prev.Timeouts()) / sec
+			fmt.Printf("P=%5.1f/s  Po=%5.1f  T=%4.1f/s  ok=%d  late=%d  rej=%d  local=%d\n",
+				p, cur.Po, timeouts, cur.OffloadOK, cur.OffloadTimedOut, cur.OffloadRejected, cur.LocalDone)
+			if csvW != nil {
+				csvW.Write([]string{
+					fmt.Sprintf("%.1f", time.Since(start).Seconds()),
+					fmt.Sprintf("%.2f", p),
+					fmt.Sprintf("%.2f", cur.Po),
+					fmt.Sprintf("%.2f", timeouts),
+					fmt.Sprintf("%d", cur.OffloadOK),
+					fmt.Sprintf("%d", cur.OffloadTimedOut),
+					fmt.Sprintf("%d", cur.OffloadRejected),
+					fmt.Sprintf("%d", cur.LocalDone),
+				})
+				csvW.Flush()
+			}
+			prev = cur
+		case <-stop:
+			return
+		case <-timeout:
+			final := client.Stats()
+			fmt.Printf("done: captured=%d offloaded=%d ok=%d timeouts=%d local=%d\n",
+				final.Captured, final.OffloadAttempts, final.OffloadOK, final.Timeouts(), final.LocalDone)
+			return
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command ffserver runs the real-TCP edge inference server: the
+// wall-clock counterpart of the paper's GPU server, with the same
+// adaptive batcher (fill while executing, cap 15, reject overflow).
+//
+// Usage:
+//
+//	ffserver [-addr :9771] [-maxbatch 15] [-timescale 1] [-stats 5s]
+//
+// GPU execution is simulated by calibrated sleeps (models.TeslaV100);
+// everything else — sockets, framing, concurrency — is real. Pair it
+// with ffdevice.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/realnet"
+)
+
+var (
+	addrFlag      = flag.String("addr", ":9771", "listen address")
+	maxBatchFlag  = flag.Int("maxbatch", 15, "batch size limit (paper: 15)")
+	timeScaleFlag = flag.Float64("timescale", 1, "multiply simulated GPU latencies (e.g. 0.1 for 10x faster)")
+	statsFlag     = flag.Duration("stats", 5*time.Second, "stats print interval (0 disables)")
+	delayFlag     = flag.Duration("delay", 0, "artificial extra delay per batch (emulates degradation)")
+	delaysFlag    = flag.String("delays", "", `scripted degradation schedule, e.g. "30s:300ms,60s:0" (offset:extra-delay pairs)`)
+)
+
+// parseDelaySchedule parses "offset:delay" pairs, e.g.
+// "30s:300ms,60s:0".
+func parseDelaySchedule(s string) ([]struct{ At, Delay time.Duration }, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []struct{ At, Delay time.Duration }
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad delay entry %q (want offset:delay)", part)
+		}
+		at, err := time.ParseDuration(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad offset in %q: %v", part, err)
+		}
+		var d time.Duration
+		if kv[1] != "0" {
+			d, err = time.ParseDuration(kv[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad delay in %q: %v", part, err)
+			}
+		}
+		out = append(out, struct{ At, Delay time.Duration }{at, d})
+	}
+	return out, nil
+}
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "ffserver: ", log.LstdFlags)
+	srv, err := realnet.NewServer(realnet.ServerConfig{
+		Addr:      *addrFlag,
+		MaxBatch:  *maxBatchFlag,
+		TimeScale: *timeScaleFlag,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv.SetExtraDelay(*delayFlag)
+	logger.Printf("listening on %v (maxbatch=%d timescale=%v)", srv.Addr(), *maxBatchFlag, *timeScaleFlag)
+
+	schedule, err := parseDelaySchedule(*delaysFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	for _, entry := range schedule {
+		entry := entry
+		time.AfterFunc(entry.At, func() {
+			logger.Printf("degradation schedule: extra delay -> %v", entry.Delay)
+			srv.SetExtraDelay(entry.Delay)
+		})
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statsFlag > 0 {
+		ticker := time.NewTicker(*statsFlag)
+		defer ticker.Stop()
+		go func() {
+			var prevDone uint64
+			for range ticker.C {
+				submitted, completed, rejected, batches := srv.Stats()
+				rate := float64(completed-prevDone) / statsFlag.Seconds()
+				prevDone = completed
+				fmt.Printf("submitted=%d completed=%d rejected=%d batches=%d throughput=%.1f/s\n",
+					submitted, completed, rejected, batches, rate)
+			}
+		}()
+	}
+
+	<-stop
+	logger.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseDelaySchedule(t *testing.T) {
+	sched, err := parseDelaySchedule("30s:300ms,60s:0,90s:1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 3 {
+		t.Fatalf("entries = %d", len(sched))
+	}
+	if sched[0].At != 30*time.Second || sched[0].Delay != 300*time.Millisecond {
+		t.Fatalf("entry 0 = %+v", sched[0])
+	}
+	if sched[1].Delay != 0 {
+		t.Fatalf("entry 1 delay = %v, want 0", sched[1].Delay)
+	}
+	if sched[2].Delay != time.Second {
+		t.Fatalf("entry 2 = %+v", sched[2])
+	}
+}
+
+func TestParseDelayScheduleEmpty(t *testing.T) {
+	sched, err := parseDelaySchedule("")
+	if err != nil || sched != nil {
+		t.Fatalf("empty schedule: %v, %v", sched, err)
+	}
+}
+
+func TestParseDelayScheduleErrors(t *testing.T) {
+	for _, bad := range []string{"30s", "xx:300ms", "30s:yy"} {
+		if _, err := parseDelaySchedule(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command ffsim runs a single FrameFeedback scenario with configurable
+// policy, network and load, printing a summary and optionally the
+// ASCII trace and a CSV file.
+//
+// Usage examples:
+//
+//	ffsim -policy framefeedback -network tablev -plot
+//	ffsim -policy allornothing -load tablevi -csv trace.csv
+//	ffsim -policy framefeedback -bandwidth 4 -loss 0.07 -frames 1800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var (
+	configFlag    = flag.String("config", "", "load the experiment from a JSON file (see experiments/ for samples); other scenario flags are ignored")
+	policyFlag    = flag.String("policy", "framefeedback", "policy: framefeedback, localonly, alwaysoffload, allornothing")
+	networkFlag   = flag.String("network", "clean", "network schedule: clean, tablev, or custom via -bandwidth/-loss")
+	bandwidthFlag = flag.Float64("bandwidth", 0, "constant bandwidth in Mbps (overrides -network)")
+	lossFlag      = flag.Float64("loss", 0, "constant packet loss fraction (with -bandwidth)")
+	loadFlag      = flag.String("load", "none", "server load: none, tablevi, or a constant req/s number")
+	framesFlag    = flag.Uint64("frames", 4000, "frames to stream (paper: 4000)")
+	fpsFlag       = flag.Float64("fps", 30, "source frame rate F_s")
+	seedFlag      = flag.Uint64("seed", scenario.DefaultSeed, "simulation seed")
+	kpFlag        = flag.Float64("kp", 0.2, "FrameFeedback K_P")
+	kdFlag        = flag.Float64("kd", 0.26, "FrameFeedback K_D")
+	csvFlag       = flag.String("csv", "", "write the per-second trace to this CSV file")
+	traceFlag     = flag.String("trace", "", "write a per-offload JSONL event log to this file")
+	plotFlag      = flag.Bool("plot", false, "render an ASCII chart of P and Po")
+	soloFlag      = flag.Bool("solo", false, "run only the measured device (no companion Pis)")
+)
+
+func main() {
+	flag.Parse()
+	cfg, err := buildConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var rec *trace.Recorder
+	if *traceFlag != "" {
+		rec = trace.NewRecorder()
+		cfg.OnOffload = rec.Hook()
+	}
+	r := scenario.Run(cfg)
+
+	fmt.Printf("policy:            %s\n", r.PolicyName)
+	fmt.Printf("duration:          %d s (%d frames captured)\n", r.Ticks, r.Device.Captured)
+	fmt.Printf("mean P:            %.2f inferences/s\n", r.MeanP(0, 0))
+	fmt.Printf("mean T:            %.2f timeouts/s\n", r.MeanT(0, 0))
+	c := r.Device
+	fmt.Printf("frames captured:   %d\n", c.Captured)
+	fmt.Printf("offload attempts:  %d (ok %d, timed out %d, rejected %d)\n",
+		c.OffloadAttempts, c.OffloadOK, c.OffloadTimedOut, c.OffloadRejected)
+	fmt.Printf("local:             %d done, %d dropped\n", c.LocalDone, c.LocalDropped)
+	fmt.Printf("server:            %d batches, mean size %.1f, %d rejected\n",
+		r.Server.Batches, r.Server.MeanBatchSize(), r.Server.Rejected)
+	if r.InjectedSubmitted > 0 {
+		fmt.Printf("background load:   %d requests (%d rejected)\n", r.InjectedSubmitted, r.InjectedRejected)
+	}
+
+	if *plotFlag {
+		fmt.Println()
+		ch := plot.NewChart("P (throughput) and Po (offload rate) over time")
+		ch.YMin, ch.YMax = 0, *fpsFlag+2
+		ch.Add("P", r.P)
+		ch.Add("Po", r.Po)
+		ch.Render(os.Stdout)
+	}
+	if *csvFlag != "" {
+		f, err := os.Create(*csvFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.Table().WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *csvFlag)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("offload event log (%d events) written to %s\n", rec.Len(), *traceFlag)
+	}
+}
+
+func buildConfig() (scenario.Config, error) {
+	if *configFlag != "" {
+		f, err := os.Open(*configFlag)
+		if err != nil {
+			return scenario.Config{}, err
+		}
+		defer f.Close()
+		exp, err := config.Parse(f)
+		if err != nil {
+			return scenario.Config{}, err
+		}
+		return exp.Build()
+	}
+	cfg := scenario.Config{
+		Seed:       *seedFlag,
+		FrameLimit: *framesFlag,
+		FS:         *fpsFlag,
+	}
+
+	switch strings.ToLower(*policyFlag) {
+	case "framefeedback":
+		cfg.Policy = scenario.FrameFeedbackFactory(controller.Config{KP: *kpFlag, KD: *kdFlag})
+	case "localonly":
+		cfg.Policy = scenario.LocalOnlyFactory()
+	case "alwaysoffload":
+		cfg.Policy = scenario.AlwaysOffloadFactory()
+	case "allornothing":
+		cfg.Policy = scenario.AllOrNothingFactory()
+	default:
+		return cfg, fmt.Errorf("unknown policy %q", *policyFlag)
+	}
+
+	switch {
+	case *bandwidthFlag > 0:
+		cfg.Network = simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+			BandwidthBps: simnet.Mbps(*bandwidthFlag),
+			Loss:         *lossFlag,
+			PropDelay:    5 * time.Millisecond,
+		}}}
+	case strings.EqualFold(*networkFlag, "tablev"):
+		cfg.Network = workload.TableV()
+	case strings.EqualFold(*networkFlag, "clean"):
+		// scenario default
+	default:
+		return cfg, fmt.Errorf("unknown network %q", *networkFlag)
+	}
+
+	switch l := strings.ToLower(*loadFlag); l {
+	case "none":
+	case "tablevi":
+		cfg.Load = workload.TableVI()
+	default:
+		var rate float64
+		if _, err := fmt.Sscanf(l, "%f", &rate); err != nil || rate < 0 {
+			return cfg, fmt.Errorf("bad load %q: want none, tablevi or a req/s number", *loadFlag)
+		}
+		cfg.Load = workload.LoadSchedule{{Start: 0, Rate: rate}}
+	}
+
+	if *soloFlag {
+		cfg.Devices = []scenario.DeviceSpec{{Profile: models.Pi4B14()}}
+	}
+	return cfg, nil
+}

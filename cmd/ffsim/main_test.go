@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// setFlags applies a flag map and returns a restore function.
+func setFlags(t *testing.T, kv map[string]string) {
+	t.Helper()
+	for k, v := range kv {
+		old := flag.Lookup(k).Value.String()
+		if err := flag.Set(k, v); err != nil {
+			t.Fatalf("set %s=%s: %v", k, v, err)
+		}
+		t.Cleanup(func() { flag.Set(k, old) })
+	}
+}
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy == nil {
+		t.Fatal("no policy built")
+	}
+	if cfg.FrameLimit != 4000 || cfg.FS != 30 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.Policy().Name() != "FrameFeedback" {
+		t.Fatalf("default policy = %q", cfg.Policy().Name())
+	}
+}
+
+func TestBuildConfigPolicies(t *testing.T) {
+	for arg, want := range map[string]string{
+		"framefeedback": "FrameFeedback",
+		"localonly":     "LocalOnly",
+		"alwaysoffload": "AlwaysOffload",
+		"allornothing":  "AllOrNothing",
+	} {
+		setFlags(t, map[string]string{"policy": arg})
+		cfg, err := buildConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", arg, err)
+		}
+		if got := cfg.Policy().Name(); got != want {
+			t.Fatalf("policy %s built %q", arg, got)
+		}
+	}
+}
+
+func TestBuildConfigUnknownPolicy(t *testing.T) {
+	setFlags(t, map[string]string{"policy": "nonsense"})
+	if _, err := buildConfig(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestBuildConfigCustomBandwidth(t *testing.T) {
+	setFlags(t, map[string]string{"policy": "framefeedback", "bandwidth": "4", "loss": "0.07"})
+	cfg, err := buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Network.At(0)
+	if c.BandwidthBps != simnet.Mbps(4) || c.Loss != 0.07 {
+		t.Fatalf("custom network = %+v", c)
+	}
+}
+
+func TestBuildConfigTableVNetwork(t *testing.T) {
+	setFlags(t, map[string]string{"network": "tablev", "bandwidth": "0"})
+	cfg, err := buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Network) != 6 {
+		t.Fatalf("Table V schedule has %d phases, want 6", len(cfg.Network))
+	}
+}
+
+func TestBuildConfigUnknownNetwork(t *testing.T) {
+	setFlags(t, map[string]string{"network": "wat", "bandwidth": "0"})
+	if _, err := buildConfig(); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestBuildConfigLoads(t *testing.T) {
+	setFlags(t, map[string]string{"network": "clean", "load": "tablevi"})
+	cfg, err := buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Load) == 0 {
+		t.Fatal("tablevi load not applied")
+	}
+	setFlags(t, map[string]string{"load": "75"})
+	cfg, err = buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Load) != 1 || cfg.Load[0].Rate != 75 {
+		t.Fatalf("constant load = %+v", cfg.Load)
+	}
+	setFlags(t, map[string]string{"load": "abc"})
+	if _, err := buildConfig(); err == nil {
+		t.Fatal("bad load accepted")
+	}
+	setFlags(t, map[string]string{"load": "none"})
+}
+
+func TestBuildConfigSolo(t *testing.T) {
+	setFlags(t, map[string]string{"solo": "true", "load": "none"})
+	cfg, err := buildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Devices) != 1 {
+		t.Fatalf("solo built %d devices", len(cfg.Devices))
+	}
+}

@@ -1,0 +1,99 @@
+// Command ffwhatif replays a recorded per-second trace (ffsim -csv
+// output) through a different controller, answering "what offload
+// rate would policy X have chosen under the conditions policy Y
+// actually experienced?" — open-loop screening for candidate
+// controllers and tunings without rerunning the simulation.
+//
+// Usage:
+//
+//	ffsim -policy allornothing -network tablev -csv run.csv
+//	ffwhatif -trace run.csv -policy framefeedback
+//	ffwhatif -trace run.csv -policy framefeedback -kp 0.5 -kd 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/trace"
+)
+
+var (
+	traceFlag  = flag.String("trace", "", "trace CSV written by ffsim -csv (required)")
+	policyFlag = flag.String("policy", "framefeedback", "policy to replay: framefeedback, localonly, alwaysoffload, aimd")
+	kpFlag     = flag.Float64("kp", 0.2, "FrameFeedback K_P")
+	kdFlag     = flag.Float64("kd", 0.26, "FrameFeedback K_D")
+	fpsFlag    = flag.Float64("fps", 30, "source frame rate the trace was recorded at")
+	plotFlag   = flag.Bool("plot", false, "chart recorded vs replayed Po")
+)
+
+func main() {
+	flag.Parse()
+	if *traceFlag == "" {
+		fmt.Fprintln(os.Stderr, "ffwhatif: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*traceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ms, err := trace.ReadMeasurementsCSV(f, *fpsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(ms) == 0 {
+		fmt.Fprintln(os.Stderr, "ffwhatif: trace has no rows")
+		os.Exit(1)
+	}
+
+	var policy controller.Policy
+	switch strings.ToLower(*policyFlag) {
+	case "framefeedback":
+		policy = controller.NewFrameFeedback(controller.Config{KP: *kpFlag, KD: *kdFlag})
+	case "localonly":
+		policy = baselines.LocalOnly{}
+	case "alwaysoffload":
+		policy = baselines.AlwaysOffload{}
+	case "aimd":
+		policy = baselines.NewAIMD()
+	default:
+		fmt.Fprintf(os.Stderr, "ffwhatif: unknown policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+
+	decisions := trace.WhatIf(policy, ms)
+	recorded := make([]float64, len(ms))
+	replayed := make([]float64, len(decisions))
+	for i := range ms {
+		recorded[i] = ms[i].Po
+		replayed[i] = decisions[i].Po
+	}
+
+	fmt.Printf("trace:     %s (%d ticks)\n", *traceFlag, len(ms))
+	fmt.Printf("replayed:  %s\n", policy.Name())
+	fmt.Printf("recorded Po:  mean %5.2f  (min %5.2f, max %5.2f)\n",
+		metrics.Mean(recorded), metrics.Summarize(recorded).Min, metrics.Summarize(recorded).Max)
+	fmt.Printf("replayed Po:  mean %5.2f  (min %5.2f, max %5.2f)\n",
+		metrics.Mean(replayed), metrics.Summarize(replayed).Min, metrics.Summarize(replayed).Max)
+	fmt.Println("\nNote: open-loop — the replayed policy's choices did not influence")
+	fmt.Println("the recorded conditions. Use it to screen tunings, then confirm with")
+	fmt.Println("a closed-loop run (ffsim).")
+
+	if *plotFlag {
+		fmt.Println()
+		ch := plot.NewChart("Recorded vs replayed offload rate")
+		ch.YMin, ch.YMax = 0, *fpsFlag+2
+		ch.Add("recorded", recorded)
+		ch.Add("replayed "+policy.Name(), replayed)
+		ch.Render(os.Stdout)
+	}
+}

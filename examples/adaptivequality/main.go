@@ -1,0 +1,64 @@
+// Adaptive frame quality: two control loops instead of one.
+//
+// FrameFeedback's rate controller decides HOW MANY frames to offload;
+// the quality ladder (internal/quality) decides HOW RICH each frame
+// should be — stepping down to cheap 160×160 frames the moment
+// timeouts appear, and climbing back toward 380×380 when the channel
+// has headroom. On the paper's Table V schedule this keeps the frame
+// *rate* at 30 fps through phases where the fixed-quality pipeline
+// must throttle, more than doubling accuracy-weighted throughput in
+// the bandwidth-starved phase.
+//
+// Run with:
+//
+//	go run ./examples/adaptivequality
+package main
+
+import (
+	"fmt"
+	"os"
+
+	framefeedback "repro"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+)
+
+func main() {
+	fmt.Println("Fixed 380x380@q85 frames vs the adaptive quality ladder, Table V network")
+	fmt.Println()
+
+	adaptive := framefeedback.RunScenario(scenario.QualityExperiment())
+	fixed := framefeedback.RunScenario(framefeedback.NetworkExperiment(
+		scenario.FrameFeedbackFactory(framefeedback.Config{})))
+
+	chart := plot.NewChart("Offloaded frame size chosen by the ladder (bytes)")
+	chart.XLabel = "time (s): 10Mbps | 4Mbps@30s | 1Mbps@45s | 10Mbps@60s | +7% loss@90s"
+	chart.Add("adaptive ladder", adaptive.QualityBytes)
+	chart.Add("fixed 380x380@85", fixed.QualityBytes)
+	chart.Render(os.Stdout)
+
+	fmt.Println()
+	rows := [][]string{}
+	for _, ph := range []struct {
+		name     string
+		from, to int
+	}{
+		{"10 Mbps (healthy)", 10, 28},
+		{"4 Mbps", 32, 45},
+		{"1 Mbps (starved)", 47, 60},
+		{"whole run", 0, 0},
+	} {
+		rows = append(rows, []string{
+			ph.name,
+			fmt.Sprintf("%5.1f / %5.1f", adaptive.MeanP(ph.from, ph.to), fixed.MeanP(ph.from, ph.to)),
+			fmt.Sprintf("%5.1f / %5.1f", adaptive.MeanAccP(ph.from, ph.to), fixed.MeanAccP(ph.from, ph.to)),
+		})
+	}
+	plot.RenderTable(os.Stdout,
+		[]string{"phase", "P adaptive/fixed", "accuracy-weighted P adaptive/fixed"}, rows)
+
+	fmt.Println("\nIn the 1 Mbps phase the ladder drops to ~2.7 KB frames (0.8 Mbps at")
+	fmt.Println("30 fps fits the pipe), so the rate controller never needs to back")
+	fmt.Println("off: lower accuracy per frame, but far more frames — and more")
+	fmt.Println("accuracy-weighted results per second overall.")
+}

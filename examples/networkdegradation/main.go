@@ -1,0 +1,66 @@
+// Network degradation: the paper's headline scenario (Figure 3).
+//
+// Three Raspberry Pis stream 30 fps video to a shared GPU edge server
+// while the wireless network walks through the paper's Table V
+// schedule — healthy, bandwidth-starved, lossy. The example runs
+// FrameFeedback against the DeepDecision-style all-or-nothing baseline
+// and shows where the feedback controller wins: the intermediate
+// conditions where *some* offloading is sustainable but *all* is not.
+//
+// Run with:
+//
+//	go run ./examples/networkdegradation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	framefeedback "repro"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+)
+
+func main() {
+	fmt.Println("Running Table V network schedule (≈135 simulated seconds each)...")
+
+	ff := framefeedback.RunScenario(
+		framefeedback.NetworkExperiment(scenario.FrameFeedbackFactory(framefeedback.Config{})))
+	aon := framefeedback.RunScenario(
+		framefeedback.NetworkExperiment(scenario.AllOrNothingFactory()))
+
+	chart := plot.NewChart("Successful inference throughput P (frames/s)")
+	chart.YMin, chart.YMax = 0, 32
+	chart.XLabel = "time (s): 10Mbps | 4Mbps@30s | 1Mbps@45s | 10Mbps@60s | +7% loss@90s | 4Mbps+7%@105s"
+	chart.Add(ff.PolicyName, ff.P)
+	chart.Add(aon.PolicyName, aon.P)
+	chart.Render(os.Stdout)
+
+	phases := []struct {
+		name     string
+		from, to int
+	}{
+		{"10 Mbps (healthy)", 2, 30},
+		{"4 Mbps (partial capacity)", 32, 45},
+		{"1 Mbps (starved)", 47, 60},
+		{"10 Mbps (recovered)", 62, 90},
+		{"10 Mbps + 7% loss", 92, 105},
+		{"4 Mbps + 7% loss", 107, 133},
+	}
+	rows := [][]string{}
+	for _, ph := range phases {
+		f, a := ff.MeanP(ph.from, ph.to), aon.MeanP(ph.from, ph.to)
+		rows = append(rows, []string{
+			ph.name,
+			fmt.Sprintf("%5.1f", f),
+			fmt.Sprintf("%5.1f", a),
+			fmt.Sprintf("%.2fx", f/a),
+		})
+	}
+	fmt.Println()
+	plot.RenderTable(os.Stdout, []string{"phase", "FrameFeedback", "AllOrNothing", "advantage"}, rows)
+
+	fmt.Println("\nAt the extremes both policies agree; in the partial-capacity and")
+	fmt.Println("lossy phases FrameFeedback finds the sustainable offload rate that")
+	fmt.Println("the all-or-nothing heartbeat policy structurally cannot express.")
+}

@@ -1,0 +1,53 @@
+// Quickstart: drive the FrameFeedback controller by hand.
+//
+// The controller is just a function from per-second measurements to an
+// offloading rate — no simulator required. This example feeds it a
+// scripted sequence of conditions (healthy, degraded, recovered) and
+// prints its decisions, which is the fastest way to understand the
+// control law.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	framefeedback "repro"
+)
+
+func main() {
+	const fs = 30.0 // source frame rate (F_s)
+
+	ctrl := framefeedback.NewController(framefeedback.Config{})
+	fmt.Printf("FrameFeedback with Table IV settings: %+v\n\n", framefeedback.DefaultConfig())
+	fmt.Println("sec  condition   T(/s)   -> Po(/s)")
+
+	po := 0.0
+	for sec := 0; sec < 40; sec++ {
+		// Script: healthy for 15 s, then a degraded channel where
+		// offloads beyond ~8/s time out, then healthy again.
+		var timeouts float64
+		condition := "healthy "
+		if sec >= 15 && sec < 28 {
+			condition = "degraded"
+			if po > 8 {
+				timeouts = po - 8 // everything beyond capacity misses the deadline
+			}
+		}
+
+		po = ctrl.Next(framefeedback.Measurement{
+			Now: time.Duration(sec) * time.Second,
+			FS:  fs,
+			Po:  po,
+			T:   timeouts,
+		})
+		fmt.Printf("%3d  %s  %5.1f   -> %5.2f\n", sec, condition, timeouts, po)
+	}
+
+	fmt.Println("\nNote the asymmetry: ramping up is capped at +3/s (0.1·F_s)")
+	fmt.Println("but the backoff after t=15 uses steps up to -15/s (0.5·F_s),")
+	fmt.Println("and recovery at t=28 begins on the very next tick.")
+}

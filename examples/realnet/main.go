@@ -1,0 +1,73 @@
+// Real-network mode: the controller over actual TCP sockets.
+//
+// This example starts the edge server and an edge device in one
+// process, connected over loopback TCP. The identical FrameFeedback
+// controller used by the simulator steers the device's offload rate in
+// wall-clock time. Halfway through, the server is artificially
+// degraded (every batch gains 300 ms, blowing the deadline) and then
+// healed — watch P_o collapse and recover.
+//
+// Latencies are compressed 10× (TimeScale 0.1) so the whole
+// demonstration takes about 12 real seconds.
+//
+// Run with:
+//
+//	go run ./examples/realnet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	framefeedback "repro"
+	"repro/internal/realnet"
+)
+
+func main() {
+	srv, err := realnet.NewServer(realnet.ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TimeScale: 0.1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("edge server listening on %v\n", srv.Addr())
+
+	client, err := realnet.Dial(realnet.ClientConfig{
+		Addr:      srv.Addr().String(),
+		FS:        60,
+		Deadline:  150 * time.Millisecond,
+		Tick:      250 * time.Millisecond,
+		TimeScale: 0.1,
+		Policy:    framefeedback.NewController(framefeedback.Config{}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+	fmt.Println("device streaming at 60 fps; controller ticks every 250 ms")
+	fmt.Println()
+	fmt.Println("phase      Po     ok  timeouts")
+
+	report := func(phase string, dur time.Duration) {
+		deadline := time.Now().Add(dur)
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Second)
+			st := client.Stats()
+			fmt.Printf("%-9s %5.1f %6d %6d\n", phase, st.Po, st.OffloadOK, st.Timeouts())
+		}
+	}
+
+	report("healthy", 4*time.Second)
+	fmt.Println("--- degrading server: +300 ms per batch ---")
+	srv.SetExtraDelay(300 * time.Millisecond)
+	report("degraded", 4*time.Second)
+	fmt.Println("--- healing server ---")
+	srv.SetExtraDelay(0)
+	report("healed", 4*time.Second)
+
+	st := client.Stats()
+	fmt.Printf("\nfinal: %d frames captured, %d offloaded (%d in deadline), %d local\n",
+		st.Captured, st.OffloadAttempts, st.OffloadOK, st.LocalDone)
+}

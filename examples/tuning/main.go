@@ -1,0 +1,52 @@
+// Controller tuning: the paper's Figure 2 experiment.
+//
+// Different (K_P, K_D) gains react differently when 7% packet loss
+// appears at t = 27 s: a hot proportional gain overreacts, no
+// derivative damping leaves the offload rate oscillating, and a cold
+// controller never reaches full offloading in the first place. The
+// paper's tuning (K_P = 0.2, K_D = 0.26) balances sensitivity and
+// stability.
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"os"
+
+	framefeedback "repro"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+)
+
+func main() {
+	fmt.Println("Running the Figure 2 tuning sweep (7% loss injected at t = 27s)...")
+
+	chart := plot.NewChart("Offloading rate P_o for different controller gains")
+	chart.YMin, chart.YMax = 0, 31
+	chart.XLabel = "time (s); packet loss begins at t = 27"
+	rows := [][]string{}
+	for _, pair := range scenario.TuningPairs() {
+		r := framefeedback.RunScenario(framefeedback.TuningExperiment(pair[0], pair[1]))
+		name := fmt.Sprintf("KP=%.2f KD=%.2f", pair[0], pair[1])
+		chart.Add(name, r.Po)
+		ramp := metrics.Summarize(r.Po[5:26])
+		settled := metrics.Summarize(r.Po[35:58])
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%4.1f", ramp.Mean),
+			fmt.Sprintf("%4.1f", settled.Mean),
+			fmt.Sprintf("%4.2f", settled.Std),
+		})
+	}
+	chart.Render(os.Stdout)
+	fmt.Println()
+	plot.RenderTable(os.Stdout,
+		[]string{"gains", "Po during ramp", "Po after loss", "oscillation (std)"}, rows)
+
+	fmt.Println("\nThe paper's (0.2, 0.26): fast ramp, decisive backoff, and the")
+	fmt.Println("derivative term visibly damps post-loss oscillation versus KD=0.")
+}

@@ -1,0 +1,98 @@
+// Package framefeedback is the public facade of the FrameFeedback
+// reproduction: a closed-loop control system for dynamically
+// offloading real-time edge inference (Jackson, Ji & Nikolopoulos,
+// IPPS 2024).
+//
+// # What it does
+//
+// An edge device captures video at a source frame rate F_s it cannot
+// process locally (its local rate P_l < F_s). FrameFeedback picks an
+// offloading rate P_o — how many frames per second to ship to a
+// shared, GPU-equipped edge server — using nothing but the rate T of
+// offloaded frames that violate a 250 ms end-to-end deadline. A
+// discrete PD controller on the paper's piecewise error function
+// drives P_o toward F_s while conditions allow, backs off up to 5×
+// faster than it ramps when timeouts appear, and settles at a cheap
+// 0.1·F_s availability probe when offloading is impossible.
+//
+// # Layout
+//
+// The controller itself is transport-agnostic (NewController /
+// Measurement / Policy). Two complete substrates exercise it:
+//
+//   - a deterministic discrete-event simulator (RunScenario) with a
+//     packet-level network emulator, a batching GPU server, and the
+//     paper's device profiles — this regenerates every table and
+//     figure of the paper (see cmd/ffexperiments and bench_test.go);
+//   - a real-TCP mode (cmd/ffserver, cmd/ffdevice) running the
+//     identical policy code over sockets and the wall clock.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package framefeedback
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/scenario"
+)
+
+// Core controller API.
+type (
+	// Config holds the controller gains and limits; the zero value
+	// selects the paper's Table IV settings.
+	Config = controller.Config
+	// Measurement is the per-tick observation fed to a policy.
+	Measurement = controller.Measurement
+	// Policy is the interface every offloading controller satisfies.
+	Policy = controller.Policy
+	// Controller is the FrameFeedback PD controller.
+	Controller = controller.FrameFeedback
+)
+
+// NewController builds the paper's controller; zero-value Config
+// fields default to Table IV.
+func NewController(cfg Config) *Controller {
+	return controller.NewFrameFeedback(cfg)
+}
+
+// DefaultConfig returns the paper's Table IV settings (K_P = 0.2,
+// K_I = 0, K_D = 0.26, updates clamped to [-0.5·F_s, +0.1·F_s]).
+func DefaultConfig() Config { return controller.DefaultConfig() }
+
+// Baseline policies from the paper's evaluation (§IV-B).
+type (
+	// LocalOnly never offloads.
+	LocalOnly = baselines.LocalOnly
+	// AlwaysOffload ships every frame regardless of feedback.
+	AlwaysOffload = baselines.AlwaysOffload
+	// AllOrNothing is the DeepDecision-style heartbeat baseline.
+	AllOrNothing = baselines.AllOrNothing
+)
+
+// NewAllOrNothing returns the DeepDecision-style baseline in its paper
+// configuration.
+func NewAllOrNothing() *AllOrNothing { return baselines.NewAllOrNothing() }
+
+// Simulation API.
+type (
+	// ScenarioConfig describes a complete simulated experiment.
+	ScenarioConfig = scenario.Config
+	// ScenarioResult is a completed run's traces and summaries.
+	ScenarioResult = scenario.Result
+	// PolicyFactory builds fresh policy instances for a scenario.
+	PolicyFactory = scenario.PolicyFactory
+)
+
+// RunScenario executes a simulated experiment to completion.
+func RunScenario(cfg ScenarioConfig) *ScenarioResult { return scenario.Run(cfg) }
+
+// Paper experiment presets (see DESIGN.md's per-experiment index).
+var (
+	// NetworkExperiment is the Figure 3 / Table V setup.
+	NetworkExperiment = scenario.NetworkExperiment
+	// ServerLoadExperiment is the Figure 4 / Table VI setup.
+	ServerLoadExperiment = scenario.ServerLoadExperiment
+	// TuningExperiment is the Figure 2 setup for a (K_P, K_D) pair.
+	TuningExperiment = scenario.TuningExperiment
+)

@@ -1,0 +1,65 @@
+package framefeedback_test
+
+import (
+	"testing"
+	"time"
+
+	framefeedback "repro"
+)
+
+// The facade must expose a complete, working public API: controller,
+// baselines, and the simulation presets.
+
+func TestFacadeController(t *testing.T) {
+	ctrl := framefeedback.NewController(framefeedback.Config{})
+	var _ framefeedback.Policy = ctrl
+	po := 0.0
+	for sec := 0; sec < 20; sec++ {
+		po = ctrl.Next(framefeedback.Measurement{
+			Now: time.Duration(sec) * time.Second, FS: 30, Po: po, T: 0,
+		})
+	}
+	if po < 25 {
+		t.Fatalf("facade controller ramped to %v in 20 clean ticks, want ~30", po)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	var lo framefeedback.LocalOnly
+	var ao framefeedback.AlwaysOffload
+	aon := framefeedback.NewAllOrNothing()
+	m := framefeedback.Measurement{FS: 30}
+	if lo.Next(m) != 0 {
+		t.Fatal("LocalOnly != 0")
+	}
+	if ao.Next(m) != 30 {
+		t.Fatal("AlwaysOffload != FS")
+	}
+	if got := aon.Next(m); got != 30 {
+		t.Fatalf("AllOrNothing optimistic start = %v", got)
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	cfg := framefeedback.NetworkExperiment(func() framefeedback.Policy {
+		return framefeedback.NewController(framefeedback.Config{})
+	})
+	cfg.FrameLimit = 600
+	r := framefeedback.RunScenario(cfg)
+	if r.PolicyName != "FrameFeedback" {
+		t.Fatalf("policy name = %q", r.PolicyName)
+	}
+	if r.Ticks < 15 {
+		t.Fatalf("ticks = %d", r.Ticks)
+	}
+	if r.MeanP(5, 0) <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+}
+
+func TestFacadeDefaultConfig(t *testing.T) {
+	d := framefeedback.DefaultConfig()
+	if d.KP != 0.2 || d.KD != 0.26 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}

@@ -1,0 +1,185 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func TestGenerateSceneBasics(t *testing.T) {
+	sc := GenerateScene(rng.New(1), SceneConfig{Duration: 10 * time.Minute})
+	// 12 events/min over 10 min → ~120 events.
+	if n := len(sc.Events); n < 80 || n > 170 {
+		t.Fatalf("generated %d events, want ~120", n)
+	}
+	for i, e := range sc.Events {
+		if e.Disappears <= e.Appears {
+			t.Fatalf("event %d has non-positive visibility", i)
+		}
+		if e.Appears < 0 || e.Appears > 10*time.Minute {
+			t.Fatalf("event %d appears at %v outside the scene", i, e.Appears)
+		}
+		if e.ID != i {
+			t.Fatalf("event IDs not sequential")
+		}
+		if e.Disappears-e.Appears < 500*time.Millisecond {
+			t.Fatalf("event %d visible for %v, below the floor", i, e.Disappears-e.Appears)
+		}
+	}
+}
+
+func TestGenerateSceneDeterministic(t *testing.T) {
+	a := GenerateScene(rng.New(7), SceneConfig{Duration: time.Minute})
+	b := GenerateScene(rng.New(7), SceneConfig{Duration: time.Minute})
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("scene generation not deterministic")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("scene events differ across identical seeds")
+		}
+	}
+}
+
+func TestGenerateScenePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil rng":       func() { GenerateScene(nil, SceneConfig{Duration: time.Minute}) },
+		"zero duration": func() { GenerateScene(rng.New(1), SceneConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVisibleAt(t *testing.T) {
+	sc := &Scene{Events: []Event{
+		{ID: 0, Appears: 0, Disappears: 2 * time.Second},
+		{ID: 1, Appears: time.Second, Disappears: 3 * time.Second},
+	}}
+	if got := sc.VisibleAt(1500 * time.Millisecond); len(got) != 2 {
+		t.Fatalf("VisibleAt(1.5s) = %v, want both", got)
+	}
+	if got := sc.VisibleAt(2500 * time.Millisecond); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("VisibleAt(2.5s) = %v, want [1]", got)
+	}
+	if got := sc.VisibleAt(10 * time.Second); got != nil {
+		t.Fatalf("VisibleAt(10s) = %v, want none", got)
+	}
+	// Boundary: Disappears is exclusive.
+	if got := sc.VisibleAt(2 * time.Second); len(got) != 1 {
+		t.Fatalf("boundary visibility wrong: %v", got)
+	}
+}
+
+func TestMonitorPerfectPipeline(t *testing.T) {
+	sc := GenerateScene(rng.New(2), SceneConfig{Duration: time.Minute})
+	m := NewMonitor(sc, rng.New(3), 1.0)
+	// A perfect 30 fps pipeline that classifies every frame with
+	// zero latency and accuracy 1: every event is seen.
+	for ts := simtime.Time(0); ts < time.Minute; ts += 33 * time.Millisecond {
+		m.OnResult(ts, ts)
+	}
+	if m.Recall() != 1 {
+		t.Fatalf("recall = %v with a perfect pipeline", m.Recall())
+	}
+	// Detection latency is at most one frame interval.
+	if lat := m.DetectionLatency(); lat.Max > 0.034 {
+		t.Fatalf("max detection latency = %v s, want ≤ one frame", lat.Max)
+	}
+}
+
+func TestMonitorNoResultsNoRecall(t *testing.T) {
+	sc := GenerateScene(rng.New(4), SceneConfig{Duration: time.Minute})
+	m := NewMonitor(sc, rng.New(5), 0.9)
+	if m.Recall() != 0 || m.Detected() != 0 {
+		t.Fatal("recall nonzero with no results")
+	}
+	if m.DetectionLatency().N != 0 {
+		t.Fatal("latency samples with no detections")
+	}
+}
+
+func TestMonitorAccuracySampling(t *testing.T) {
+	// One long event, many classification chances at accuracy 0.5:
+	// detection is near-certain but each frame is a coin flip —
+	// verify via a short event seen exactly once.
+	sc := &Scene{Events: make([]Event, 1000)}
+	for i := range sc.Events {
+		at := simtime.Time(i) * time.Second
+		sc.Events[i] = Event{ID: i, Appears: at, Disappears: at + 100*time.Millisecond}
+	}
+	m := NewMonitor(sc, rng.New(6), 0.5)
+	for i := range sc.Events {
+		at := simtime.Time(i) * time.Second
+		m.OnResult(at+50*time.Millisecond, at+100*time.Millisecond)
+	}
+	recall := m.Recall()
+	if recall < 0.45 || recall > 0.55 {
+		t.Fatalf("single-look recall = %v at accuracy 0.5, want ~0.5", recall)
+	}
+}
+
+func TestMonitorFirstDetectionWins(t *testing.T) {
+	sc := &Scene{Events: []Event{{ID: 0, Appears: 0, Disappears: 10 * time.Second}}}
+	m := NewMonitor(sc, rng.New(7), 1.0)
+	m.OnResult(time.Second, 2*time.Second)
+	m.OnResult(3*time.Second, 4*time.Second) // later sighting: ignored
+	lat := m.DetectionLatency()
+	if lat.N != 1 || lat.Mean != 2.0 {
+		t.Fatalf("latency = %+v, want single 2 s detection", lat)
+	}
+}
+
+func TestMonitorPanics(t *testing.T) {
+	sc := &Scene{}
+	for name, fn := range map[string]func(){
+		"nil scene":   func() { NewMonitor(nil, rng.New(1), 0.5) },
+		"nil rng":     func() { NewMonitor(sc, nil, 0.5) },
+		"zero acc":    func() { NewMonitor(sc, rng.New(1), 0) },
+		"acc above 1": func() { NewMonitor(sc, rng.New(1), 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptySceneRecallIsOne(t *testing.T) {
+	m := NewMonitor(&Scene{}, rng.New(1), 0.9)
+	if m.Recall() != 1 {
+		t.Fatal("empty scene recall != 1")
+	}
+}
+
+// Property: recall is monotone in sampling density — classifying more
+// frames never detects fewer events.
+func TestPropRecallMonotoneInSamplingDensity(t *testing.T) {
+	f := func(seed uint64) bool {
+		sc := GenerateScene(rng.New(seed), SceneConfig{Duration: 30 * time.Second})
+		run := func(interval time.Duration) float64 {
+			m := NewMonitor(sc, rng.New(seed+1), 1.0)
+			for ts := simtime.Time(0); ts < 30*time.Second; ts += interval {
+				m.OnResult(ts, ts)
+			}
+			return m.Recall()
+		}
+		return run(33*time.Millisecond) >= run(400*time.Millisecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package baselines
+
+import "repro/internal/controller"
+
+// AIMD is an additional comparison policy beyond the paper's three
+// baselines: the TCP-style additive-increase / multiplicative-decrease
+// rule applied to the offload rate. It is the natural "congestion
+// control" answer to the offloading problem and a stronger straw man
+// than all-or-nothing — it can hold partial rates — but it lacks
+// FrameFeedback's tolerated-timeout target: any nonzero T halves P_o,
+// so under steady mild degradation it oscillates in the classic
+// sawtooth instead of settling at the sustainable rate.
+type AIMD struct {
+	// Increase is the additive step per clean tick in frames/s;
+	// default 1.
+	Increase float64
+	// DecreaseFactor multiplies P_o on any timeout tick; default
+	// 0.5.
+	DecreaseFactor float64
+
+	po    float64
+	begun bool
+}
+
+// NewAIMD returns the policy with the classic (1, 0.5) parameters.
+func NewAIMD() *AIMD {
+	return &AIMD{Increase: 1, DecreaseFactor: 0.5}
+}
+
+// Name implements controller.Policy.
+func (a *AIMD) Name() string { return "AIMD" }
+
+// Next implements controller.Policy.
+func (a *AIMD) Next(m controller.Measurement) float64 {
+	if m.FS <= 0 {
+		panic("baselines: Measurement.FS must be positive")
+	}
+	if !a.begun {
+		a.begun = true
+		a.po = m.Po
+	} else {
+		a.po = m.Po
+	}
+	if m.T > 0 {
+		a.po *= a.DecreaseFactor
+	} else {
+		a.po += a.Increase
+	}
+	if a.po < 0 {
+		a.po = 0
+	}
+	if a.po > m.FS {
+		a.po = m.FS
+	}
+	return a.po
+}
+
+// Reset implements controller.Resetter.
+func (a *AIMD) Reset() {
+	a.po = 0
+	a.begun = false
+}

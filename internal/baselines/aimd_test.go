@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/controller"
+)
+
+func aimdMeas(po, timeouts float64) controller.Measurement {
+	return controller.Measurement{FS: 30, Po: po, T: timeouts}
+}
+
+func TestAIMDAdditiveIncrease(t *testing.T) {
+	a := NewAIMD()
+	po := 0.0
+	for i := 0; i < 10; i++ {
+		next := a.Next(aimdMeas(po, 0))
+		if next != po+1 {
+			t.Fatalf("clean tick: %v -> %v, want +1", po, next)
+		}
+		po = next
+	}
+}
+
+func TestAIMDMultiplicativeDecrease(t *testing.T) {
+	a := NewAIMD()
+	if got := a.Next(aimdMeas(20, 3)); got != 10 {
+		t.Fatalf("timeout tick from 20 = %v, want 10", got)
+	}
+}
+
+func TestAIMDCapsAtFS(t *testing.T) {
+	a := NewAIMD()
+	if got := a.Next(aimdMeas(30, 0)); got != 30 {
+		t.Fatalf("at FS, clean tick = %v, want stay 30", got)
+	}
+}
+
+func TestAIMDSawtoothUnderSteadyMildTimeouts(t *testing.T) {
+	// A plant that times out only above capacity 15: AIMD must
+	// oscillate around capacity (the sawtooth) rather than settle.
+	a := NewAIMD()
+	po := 0.0
+	var tail []float64
+	for i := 0; i < 200; i++ {
+		timeouts := 0.0
+		if po > 15 {
+			timeouts = po - 15
+		}
+		po = a.Next(aimdMeas(po, timeouts))
+		if i >= 100 {
+			tail = append(tail, po)
+		}
+	}
+	min, max := tail[0], tail[0]
+	for _, v := range tail {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 4 {
+		t.Fatalf("AIMD did not sawtooth: range [%v, %v]", min, max)
+	}
+	if min < 4 || max > 18 {
+		t.Fatalf("sawtooth outside plausible band: [%v, %v]", min, max)
+	}
+}
+
+func TestAIMDReset(t *testing.T) {
+	a := NewAIMD()
+	a.Next(aimdMeas(10, 0))
+	a.Reset()
+	if got := a.Next(aimdMeas(0, 0)); got != 1 {
+		t.Fatalf("post-reset first tick = %v, want 1", got)
+	}
+}
+
+func TestAIMDPanicsOnBadFS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FS=0 did not panic")
+		}
+	}()
+	NewAIMD().Next(controller.Measurement{})
+}
+
+// Property: P_o always stays within [0, FS].
+func TestPropAIMDBounds(t *testing.T) {
+	f := func(obs []uint8) bool {
+		a := NewAIMD()
+		po := 0.0
+		for _, o := range obs {
+			po = a.Next(aimdMeas(po, float64(o%16)))
+			if po < 0 || po > 30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

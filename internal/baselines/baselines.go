@@ -1,0 +1,81 @@
+// Package baselines implements the three comparison policies from the
+// paper's evaluation (§IV-B): local-only inference, unconditional
+// offloading, and the DeepDecision-style all-or-nothing interval
+// policy. All satisfy controller.Policy, so any scenario can swap them
+// in for FrameFeedback.
+package baselines
+
+import "repro/internal/controller"
+
+// LocalOnly never offloads: P_o = 0. The paper's low-water mark — the
+// device's own P_l is all you get.
+type LocalOnly struct{}
+
+// Name implements controller.Policy.
+func (LocalOnly) Name() string { return "LocalOnly" }
+
+// Next implements controller.Policy.
+func (LocalOnly) Next(controller.Measurement) float64 { return 0 }
+
+// AlwaysOffload ships every frame to the server regardless of
+// feedback: P_o = F_s. Optimal only under perfect conditions; under
+// degradation its effective throughput can fall below even local-only
+// processing (the paper's pathological case P_o = F_s, T > F_s − P_l).
+type AlwaysOffload struct{}
+
+// Name implements controller.Policy.
+func (AlwaysOffload) Name() string { return "AlwaysOffload" }
+
+// Next implements controller.Policy.
+func (AlwaysOffload) Next(m controller.Measurement) float64 { return m.FS }
+
+// AllOrNothing mimics DeepDecision's interval policy (§IV-B3): at
+// every measurement step it either offloads *all* frames or *none*.
+// The decision follows a heartbeat request sent each interval to
+// profile the path: if the last probe returned before the deadline,
+// conditions are deemed sufficient for offloading.
+type AllOrNothing struct {
+	// StartOffloading selects the mode used before the first probe
+	// result arrives. DeepDecision starts optimistic.
+	StartOffloading bool
+
+	offloading bool
+	started    bool
+}
+
+// NewAllOrNothing returns the baseline in its paper configuration
+// (optimistic start).
+func NewAllOrNothing() *AllOrNothing {
+	return &AllOrNothing{StartOffloading: true}
+}
+
+// Name implements controller.Policy.
+func (a *AllOrNothing) Name() string { return "AllOrNothing" }
+
+// WantsProbe implements controller.Prober: the runner sends one
+// heartbeat per interval on this policy's behalf.
+func (a *AllOrNothing) WantsProbe() bool { return true }
+
+// Next implements controller.Policy.
+func (a *AllOrNothing) Next(m controller.Measurement) float64 {
+	if !a.started {
+		a.offloading = a.StartOffloading
+		a.started = true
+	}
+	if m.ProbeValid {
+		a.offloading = m.ProbeOK
+	}
+	if a.offloading {
+		return m.FS
+	}
+	return 0
+}
+
+// Offloading reports the current mode (for traces).
+func (a *AllOrNothing) Offloading() bool { return a.offloading }
+
+// Reset implements controller.Resetter.
+func (a *AllOrNothing) Reset() {
+	a.offloading = false
+	a.started = false
+}

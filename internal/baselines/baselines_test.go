@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+)
+
+func meas(fs float64, probeValid, probeOK bool) controller.Measurement {
+	return controller.Measurement{FS: fs, ProbeValid: probeValid, ProbeOK: probeOK}
+}
+
+func TestLocalOnlyAlwaysZero(t *testing.T) {
+	var p LocalOnly
+	if p.Name() != "LocalOnly" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for i := 0; i < 5; i++ {
+		if got := p.Next(meas(30, true, true)); got != 0 {
+			t.Fatalf("LocalOnly returned %v", got)
+		}
+	}
+}
+
+func TestAlwaysOffloadReturnsFS(t *testing.T) {
+	var p AlwaysOffload
+	if p.Name() != "AlwaysOffload" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for _, fs := range []float64{24, 30, 60} {
+		if got := p.Next(meas(fs, false, false)); got != fs {
+			t.Fatalf("AlwaysOffload(FS=%v) = %v", fs, got)
+		}
+	}
+}
+
+func TestAllOrNothingFollowsProbe(t *testing.T) {
+	p := NewAllOrNothing()
+	if !p.WantsProbe() {
+		t.Fatal("AllOrNothing must request probes")
+	}
+	// Optimistic start: offloads before any probe result.
+	if got := p.Next(meas(30, false, false)); got != 30 {
+		t.Fatalf("initial decision = %v, want 30 (optimistic)", got)
+	}
+	// Probe failure → local.
+	if got := p.Next(meas(30, true, false)); got != 0 {
+		t.Fatalf("after failed probe = %v, want 0", got)
+	}
+	if p.Offloading() {
+		t.Fatal("Offloading() = true after failed probe")
+	}
+	// Probe success → offload everything.
+	if got := p.Next(meas(30, true, true)); got != 30 {
+		t.Fatalf("after good probe = %v, want 30", got)
+	}
+	// Missing probe result → keep last decision.
+	if got := p.Next(meas(30, false, false)); got != 30 {
+		t.Fatalf("with stale probe = %v, want 30 (sticky)", got)
+	}
+}
+
+func TestAllOrNothingPessimisticStart(t *testing.T) {
+	p := &AllOrNothing{StartOffloading: false}
+	if got := p.Next(meas(30, false, false)); got != 0 {
+		t.Fatalf("pessimistic start = %v, want 0", got)
+	}
+}
+
+func TestAllOrNothingNeverPartial(t *testing.T) {
+	p := NewAllOrNothing()
+	probes := []struct{ valid, ok bool }{
+		{false, false}, {true, true}, {true, false}, {false, true}, {true, true},
+	}
+	for _, pr := range probes {
+		got := p.Next(meas(30, pr.valid, pr.ok))
+		if got != 0 && got != 30 {
+			t.Fatalf("AllOrNothing returned partial rate %v", got)
+		}
+	}
+}
+
+func TestAllOrNothingReset(t *testing.T) {
+	p := NewAllOrNothing()
+	p.Next(meas(30, true, false))
+	p.Reset()
+	if got := p.Next(meas(30, false, false)); got != 30 {
+		t.Fatalf("after Reset, initial decision = %v, want optimistic 30", got)
+	}
+}
+
+func TestPoliciesImplementInterfaces(t *testing.T) {
+	var _ controller.Policy = LocalOnly{}
+	var _ controller.Policy = AlwaysOffload{}
+	var _ controller.Policy = (*AllOrNothing)(nil)
+	var _ controller.Prober = (*AllOrNothing)(nil)
+	var _ controller.Resetter = (*AllOrNothing)(nil)
+}

@@ -1,0 +1,36 @@
+package baselines_test
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+)
+
+// The DeepDecision-style baseline follows its heartbeat probe: all
+// frames when the probe beats the deadline, none otherwise.
+func ExampleAllOrNothing() {
+	p := baselines.NewAllOrNothing()
+	decide := func(probeOK bool) float64 {
+		return p.Next(controller.Measurement{FS: 30, ProbeValid: true, ProbeOK: probeOK})
+	}
+	fmt.Println("probe ok:    ", decide(true))
+	fmt.Println("probe failed:", decide(false))
+	// Output:
+	// probe ok:     30
+	// probe failed: 0
+}
+
+// AIMD halves on any timeout — the classic sawtooth, versus
+// FrameFeedback's tolerated-timeout operating point.
+func ExampleAIMD() {
+	p := baselines.NewAIMD()
+	po := 20.0
+	po = p.Next(controller.Measurement{FS: 30, Po: po, T: 0})
+	fmt.Println("clean tick:  ", po)
+	po = p.Next(controller.Measurement{FS: 30, Po: po, T: 2})
+	fmt.Println("timeout tick:", po)
+	// Output:
+	// clean tick:   21
+	// timeout tick: 10.5
+}

@@ -1,0 +1,263 @@
+// Package config loads experiment descriptions from JSON, turning
+// scenarios into data: a reviewer can rerun or modify any experiment
+// without touching Go code (ffsim -config experiment.json).
+//
+// The schema mirrors scenario.Config but uses names instead of Go
+// values: policies, devices and GPU profiles are referenced by
+// identifier, durations are strings ("250ms"), and the network/load
+// schedules are row lists shaped like the paper's Tables V and VI.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/quality"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Experiment is the JSON schema root.
+type Experiment struct {
+	// Name labels the experiment (informational).
+	Name string `json:"name"`
+	// Seed, FrameLimit, FPS mirror scenario.Config; zero values use
+	// its defaults.
+	Seed       uint64  `json:"seed"`
+	FrameLimit uint64  `json:"frames"`
+	FPS        float64 `json:"fps"`
+	// Policy is one of: framefeedback, localonly, alwaysoffload,
+	// allornothing, aimd. Default framefeedback.
+	Policy string `json:"policy"`
+	// KP/KD override the FrameFeedback gains (policy
+	// "framefeedback" only).
+	KP float64 `json:"kp"`
+	KD float64 `json:"kd"`
+	// Devices lists device profiles by name: pi3b, pi4b12, pi4b14.
+	// Empty means the paper's default trio.
+	Devices []DeviceSpec `json:"devices"`
+	// Network is the link schedule; special value rows may instead
+	// be requested via NetworkPreset ("clean", "tablev").
+	NetworkPreset string       `json:"network_preset"`
+	Network       []NetworkRow `json:"network"`
+	// LoadPreset ("none", "tablevi") or explicit Load rows.
+	LoadPreset string    `json:"load_preset"`
+	Load       []LoadRow `json:"load"`
+	// Deadline is the end-to-end deadline, e.g. "250ms".
+	Deadline string `json:"deadline"`
+	// ServerShed is "fifo" (default) or "fair"; AdmitCap > 0
+	// enables admission control.
+	ServerShed string `json:"server_shed"`
+	AdmitCap   int    `json:"admit_cap"`
+	// AdaptiveQuality enables the frame-quality ladder.
+	AdaptiveQuality bool `json:"adaptive_quality"`
+}
+
+// DeviceSpec references a device profile and optional per-device
+// policy override.
+type DeviceSpec struct {
+	Profile string `json:"profile"`
+	Policy  string `json:"policy,omitempty"`
+}
+
+// NetworkRow is one phase of the link schedule.
+type NetworkRow struct {
+	// StartSec is the phase start in seconds.
+	StartSec float64 `json:"start_s"`
+	// BandwidthMbps is the bottleneck rate; 0 = unlimited.
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+	// Loss is the packet loss fraction.
+	Loss float64 `json:"loss"`
+	// PropDelayMs is the one-way propagation delay; default 5.
+	PropDelayMs float64 `json:"prop_delay_ms"`
+}
+
+// LoadRow is one phase of the background-load schedule.
+type LoadRow struct {
+	StartSec float64 `json:"start_s"`
+	Rate     float64 `json:"rate"`
+}
+
+// Parse reads an Experiment from JSON. Unknown fields are rejected to
+// catch typos.
+func Parse(r io.Reader) (*Experiment, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var e Experiment
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &e, nil
+}
+
+func aimdFactory() controller.Policy { return baselines.NewAIMD() }
+
+// policyFactory resolves a policy name.
+func policyFactory(name string, kp, kd float64) (scenario.PolicyFactory, error) {
+	switch strings.ToLower(name) {
+	case "", "framefeedback":
+		return scenario.FrameFeedbackFactory(controller.Config{KP: kp, KD: kd}), nil
+	case "localonly":
+		return scenario.LocalOnlyFactory(), nil
+	case "alwaysoffload":
+		return scenario.AlwaysOffloadFactory(), nil
+	case "allornothing":
+		return scenario.AllOrNothingFactory(), nil
+	case "aimd":
+		return aimdFactory, nil
+	default:
+		return nil, fmt.Errorf("config: unknown policy %q", name)
+	}
+}
+
+func deviceProfile(name string) (*models.DeviceProfile, error) {
+	switch strings.ToLower(name) {
+	case "pi3b":
+		return models.Pi3B(), nil
+	case "pi4b12":
+		return models.Pi4B12(), nil
+	case "", "pi4b14":
+		return models.Pi4B14(), nil
+	default:
+		return nil, fmt.Errorf("config: unknown device profile %q", name)
+	}
+}
+
+// Build converts the experiment into a runnable scenario.Config.
+func (e *Experiment) Build() (scenario.Config, error) {
+	cfg := scenario.Config{
+		Seed:       e.Seed,
+		FrameLimit: e.FrameLimit,
+		FS:         e.FPS,
+		AdmitCap:   e.AdmitCap,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = scenario.DefaultSeed
+	}
+
+	pf, err := policyFactory(e.Policy, e.KP, e.KD)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Policy = pf
+
+	for _, d := range e.Devices {
+		prof, err := deviceProfile(d.Profile)
+		if err != nil {
+			return cfg, err
+		}
+		spec := scenario.DeviceSpec{Profile: prof}
+		if d.Policy != "" {
+			op, err := policyFactory(d.Policy, e.KP, e.KD)
+			if err != nil {
+				return cfg, err
+			}
+			spec.Policy = op
+		}
+		cfg.Devices = append(cfg.Devices, spec)
+	}
+
+	switch strings.ToLower(e.NetworkPreset) {
+	case "":
+		if len(e.Network) > 0 {
+			sched, err := buildNetwork(e.Network)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Network = sched
+		}
+	case "clean":
+		// scenario default
+	case "tablev":
+		cfg.Network = workload.TableV()
+	default:
+		return cfg, fmt.Errorf("config: unknown network preset %q", e.NetworkPreset)
+	}
+
+	switch strings.ToLower(e.LoadPreset) {
+	case "", "none":
+		if len(e.Load) > 0 {
+			sched, err := buildLoad(e.Load)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Load = sched
+		}
+	case "tablevi":
+		cfg.Load = workload.TableVI()
+	default:
+		return cfg, fmt.Errorf("config: unknown load preset %q", e.LoadPreset)
+	}
+
+	if e.Deadline != "" {
+		d, err := time.ParseDuration(e.Deadline)
+		if err != nil {
+			return cfg, fmt.Errorf("config: bad deadline: %w", err)
+		}
+		cfg.Deadline = d
+	}
+
+	switch strings.ToLower(e.ServerShed) {
+	case "", "fifo":
+	case "fair":
+		cfg.ServerShed = server.ShedFair
+	default:
+		return cfg, fmt.Errorf("config: unknown server_shed %q", e.ServerShed)
+	}
+
+	if e.AdaptiveQuality {
+		cfg.Quality = &quality.Config{}
+	}
+	return cfg, nil
+}
+
+func buildNetwork(rows []NetworkRow) (simnet.Schedule, error) {
+	var sched simnet.Schedule
+	for i, row := range rows {
+		if row.StartSec < 0 {
+			return nil, fmt.Errorf("config: network row %d has negative start", i)
+		}
+		prop := row.PropDelayMs
+		if prop == 0 {
+			prop = 5
+		}
+		sched = append(sched, simnet.Phase{
+			Start: simtime.Time(row.StartSec * float64(time.Second)),
+			Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(row.BandwidthMbps),
+				Loss:         row.Loss,
+				PropDelay:    time.Duration(prop * float64(time.Millisecond)),
+			},
+		})
+	}
+	if !sched.Validate() {
+		return nil, fmt.Errorf("config: network rows not strictly ordered by start_s")
+	}
+	return sched, nil
+}
+
+func buildLoad(rows []LoadRow) (workload.LoadSchedule, error) {
+	var sched workload.LoadSchedule
+	for i, row := range rows {
+		if row.StartSec < 0 || row.Rate < 0 {
+			return nil, fmt.Errorf("config: load row %d has negative values", i)
+		}
+		sched = append(sched, workload.LoadPhase{
+			Start: simtime.Time(row.StartSec * float64(time.Second)),
+			Rate:  row.Rate,
+		})
+	}
+	if !sched.Validate() {
+		return nil, fmt.Errorf("config: load rows not strictly ordered by start_s")
+	}
+	return sched, nil
+}

@@ -1,0 +1,163 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/simnet"
+)
+
+func parse(t *testing.T, src string) *Experiment {
+	t.Helper()
+	e, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func build(t *testing.T, src string) scenario.Config {
+	t.Helper()
+	cfg, err := parse(t, src).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestMinimalConfig(t *testing.T) {
+	cfg := build(t, `{}`)
+	if cfg.Seed != scenario.DefaultSeed {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+	if cfg.Policy().Name() != "FrameFeedback" {
+		t.Fatalf("default policy = %q", cfg.Policy().Name())
+	}
+}
+
+func TestFullConfig(t *testing.T) {
+	src := `{
+		"name": "my-experiment",
+		"seed": 7,
+		"frames": 900,
+		"fps": 24,
+		"policy": "allornothing",
+		"devices": [
+			{"profile": "pi4b14"},
+			{"profile": "pi3b", "policy": "localonly"}
+		],
+		"network": [
+			{"start_s": 0, "bandwidth_mbps": 10},
+			{"start_s": 30, "bandwidth_mbps": 4, "loss": 0.07, "prop_delay_ms": 10}
+		],
+		"load": [
+			{"start_s": 0, "rate": 0},
+			{"start_s": 10, "rate": 90}
+		],
+		"deadline": "200ms",
+		"server_shed": "fair",
+		"admit_cap": 20,
+		"adaptive_quality": true
+	}`
+	cfg := build(t, src)
+	if cfg.Seed != 7 || cfg.FrameLimit != 900 || cfg.FS != 24 {
+		t.Fatalf("basics wrong: %+v", cfg)
+	}
+	if cfg.Policy().Name() != "AllOrNothing" {
+		t.Fatalf("policy = %q", cfg.Policy().Name())
+	}
+	if len(cfg.Devices) != 2 {
+		t.Fatalf("devices = %d", len(cfg.Devices))
+	}
+	if cfg.Devices[0].Profile.Name != "Pi 4B Rev 1.4" || cfg.Devices[1].Profile.Name != "Pi 3B Rev 1.2" {
+		t.Fatalf("profiles wrong")
+	}
+	if cfg.Devices[1].Policy == nil || cfg.Devices[1].Policy().Name() != "LocalOnly" {
+		t.Fatal("per-device policy override missing")
+	}
+	c := cfg.Network.At(40 * time.Second)
+	if c.BandwidthBps != simnet.Mbps(4) || c.Loss != 0.07 || c.PropDelay != 10*time.Millisecond {
+		t.Fatalf("network row wrong: %+v", c)
+	}
+	if cfg.Load.At(15*time.Second) != 90 {
+		t.Fatal("load rows wrong")
+	}
+	if cfg.Deadline != 200*time.Millisecond {
+		t.Fatalf("deadline = %v", cfg.Deadline)
+	}
+	if cfg.ServerShed != server.ShedFair || cfg.AdmitCap != 20 {
+		t.Fatal("server knobs wrong")
+	}
+	if cfg.Quality == nil {
+		t.Fatal("adaptive quality not enabled")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	cfg := build(t, `{"network_preset": "tablev", "load_preset": "tablevi"}`)
+	if len(cfg.Network) != 6 {
+		t.Fatalf("tablev preset phases = %d", len(cfg.Network))
+	}
+	if len(cfg.Load) != 9 {
+		t.Fatalf("tablevi preset phases = %d", len(cfg.Load))
+	}
+}
+
+func TestConfigRuns(t *testing.T) {
+	cfg := build(t, `{"seed": 5, "frames": 300, "policy": "aimd", "devices": [{"profile": "pi4b14"}]}`)
+	r := scenario.Run(cfg)
+	if r.PolicyName != "AIMD" {
+		t.Fatalf("ran policy %q", r.PolicyName)
+	}
+	if r.Ticks < 8 {
+		t.Fatalf("ticks = %d", r.Ticks)
+	}
+}
+
+func TestFrameFeedbackGainOverrides(t *testing.T) {
+	// Verify behaviorally: a hotter KP produces a bigger first step
+	// toward F_s (small error keeps both under the clamp).
+	hot := build(t, `{"policy": "framefeedback", "kp": 0.5, "kd": 0.001}`).Policy()
+	mild := build(t, `{"policy": "framefeedback"}`).Policy()
+	m := controller.Measurement{FS: 30, Po: 28}
+	if h, l := hot.Next(m), mild.Next(m); h <= l {
+		t.Fatalf("kp override had no effect: %v vs %v", h, l)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"polcy": "framefeedback"}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad policy":         `{"policy": "wat"}`,
+		"bad device":         `{"devices": [{"profile": "pi9"}]}`,
+		"bad device policy":  `{"devices": [{"profile": "pi4b14", "policy": "wat"}]}`,
+		"bad preset":         `{"network_preset": "wat"}`,
+		"bad load preset":    `{"load_preset": "wat"}`,
+		"bad deadline":       `{"deadline": "soon"}`,
+		"bad shed":           `{"server_shed": "wat"}`,
+		"unordered network":  `{"network": [{"start_s": 5}, {"start_s": 5}]}`,
+		"negative net start": `{"network": [{"start_s": -1}]}`,
+		"unordered load":     `{"load": [{"start_s": 5}, {"start_s": 5}]}`,
+		"negative load rate": `{"load": [{"start_s": 0, "rate": -3}]}`,
+	} {
+		e := parse(t, src)
+		if _, err := e.Build(); err == nil {
+			t.Errorf("%s: Build accepted %s", name, src)
+		}
+	}
+}

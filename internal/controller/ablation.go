@@ -1,0 +1,88 @@
+package controller
+
+// Ablation variants of the FrameFeedback controller, used by the
+// DESIGN.md E8–E10 experiments to quantify the paper's design
+// choices: the asymmetric update clamps (§III-B), the piecewise PV
+// (§III-A), and the dropped integral term (§III-A1).
+
+// SymmetricClampConfig is FrameFeedback with the backoff clamp
+// weakened to match the ramp clamp (±0.1·F_s): ablates the paper's
+// "react more forcefully to timeouts" asymmetry.
+func SymmetricClampConfig() Config {
+	c := DefaultConfig()
+	c.UpdateMinFrac = -c.UpdateMaxFrac
+	return c
+}
+
+// WithIntegralConfig is FrameFeedback with a non-zero integral gain:
+// ablates the paper's K_I = 0 decision. The windup risk is exactly
+// what the paper avoids: during long degraded periods the integral
+// accumulates a large negative bias that delays recovery.
+func WithIntegralConfig() Config {
+	c := DefaultConfig()
+	c.KI = 0.05
+	return c
+}
+
+// NaivePV is a PD controller on the obvious single-expression error
+//
+//	e = (F_s − P_o) − α·T
+//
+// instead of the paper's piecewise Eq. 5. It ablates the piecewise
+// design: with one formula, a moderate T is cancelled by the
+// F_s − P_o headroom, so the controller keeps pushing into a failing
+// channel until timeouts are catastrophic; and under total failure its
+// equilibrium sits far above the cheap 0.1·F_s probing level.
+type NaivePV struct {
+	// Alpha weighs timeouts against headroom; 2 makes a timeout
+	// twice as costly as an unoffloaded frame.
+	Alpha float64
+	pid   PID
+	po    float64
+	last  Measurement
+	begun bool
+}
+
+// NewNaivePV builds the ablation controller with the paper's PD gains
+// and update clamps.
+func NewNaivePV() *NaivePV {
+	n := &NaivePV{Alpha: 2}
+	n.pid = PID{KP: 0.2, KD: 0.26}
+	return n
+}
+
+// Name implements Policy.
+func (n *NaivePV) Name() string { return "NaivePV" }
+
+// Next implements Policy.
+func (n *NaivePV) Next(m Measurement) float64 {
+	if m.FS <= 0 {
+		panic("controller: Measurement.FS must be positive")
+	}
+	dt := 1.0
+	if n.begun && m.Now > n.last.Now {
+		dt = (m.Now - n.last.Now).Seconds()
+	}
+	n.last = m
+	n.begun = true
+	n.po = m.Po
+
+	e := (m.FS - n.po) - n.Alpha*m.T
+	n.pid.OutMin = -0.5 * m.FS
+	n.pid.OutMax = 0.1 * m.FS
+	n.po += n.pid.Update(e, dt)
+	if n.po < 0 {
+		n.po = 0
+	}
+	if n.po > m.FS {
+		n.po = m.FS
+	}
+	return n.po
+}
+
+// Reset implements Resetter.
+func (n *NaivePV) Reset() {
+	n.pid.Reset()
+	n.po = 0
+	n.begun = false
+}

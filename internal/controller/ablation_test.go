@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestSymmetricClampConfig(t *testing.T) {
+	c := SymmetricClampConfig()
+	if c.UpdateMinFrac != -c.UpdateMaxFrac {
+		t.Fatalf("clamps not symmetric: %v / %v", c.UpdateMinFrac, c.UpdateMaxFrac)
+	}
+	// Everything else stays at Table IV.
+	d := DefaultConfig()
+	if c.KP != d.KP || c.KD != d.KD || c.TimeoutFrac != d.TimeoutFrac {
+		t.Fatalf("symmetric config drifted: %+v", c)
+	}
+	// Behavioral: under massive timeouts the symmetric variant can
+	// only shed 0.1·F_s per tick.
+	f := NewFrameFeedback(c)
+	po := 30.0
+	for sec := 0; sec < 3; sec++ {
+		next := f.Next(Measurement{Now: simtime.Time(sec) * time.Second, FS: 30, Po: po, T: 28})
+		if drop := po - next; drop > 3+1e-9 {
+			t.Fatalf("symmetric clamp allowed drop of %v", drop)
+		}
+		po = next
+	}
+}
+
+func TestWithIntegralConfig(t *testing.T) {
+	c := WithIntegralConfig()
+	if c.KI <= 0 {
+		t.Fatalf("KI = %v, want positive", c.KI)
+	}
+	// Behavioral: the integral term must actually accumulate and
+	// change the trajectory relative to the paper's PD. (Whether it
+	// helps or hurts is plant-dependent; the E10 scenario ablation
+	// is where it measurably hurts — see EXPERIMENTS.md.)
+	run := func(cfg Config) []float64 {
+		f := NewFrameFeedback(cfg)
+		po := 15.0
+		var out []float64
+		for sec := 0; sec < 30; sec++ {
+			timeouts := 0.0
+			if sec >= 10 && sec < 20 {
+				timeouts = po // degraded decade
+			}
+			po = f.Next(Measurement{Now: simtime.Time(sec) * time.Second, FS: 30, Po: po, T: timeouts})
+			out = append(out, po)
+		}
+		return out
+	}
+	pd, pid := run(DefaultConfig()), run(WithIntegralConfig())
+	same := true
+	for i := range pd {
+		if pd[i] != pid[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("KI > 0 produced an identical trajectory to PD")
+	}
+}
+
+func TestNaivePVBehaviour(t *testing.T) {
+	n := NewNaivePV()
+	if n.Name() != "NaivePV" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	// Clean ramp obeys the +0.1·F_s clamp.
+	po := 0.0
+	for sec := 0; sec < 5; sec++ {
+		next := n.Next(Measurement{Now: simtime.Time(sec) * time.Second, FS: 30, Po: po})
+		if next-po > 3+1e-9 {
+			t.Fatalf("naive ramp step %v exceeds clamp", next-po)
+		}
+		po = next
+	}
+	// The defining flaw: with moderate T cancelled by headroom, the
+	// naive error stays positive and Po keeps climbing into the
+	// failing channel. At Po=20, T=4: e = (30-20) - 8 = +2 > 0.
+	n2 := NewNaivePV()
+	next := n2.Next(Measurement{Now: 0, FS: 30, Po: 20, T: 4})
+	if next <= 20 {
+		t.Fatalf("naive PV backed off at moderate T (%v); expected it to keep pushing", next)
+	}
+	// Whereas FrameFeedback's piecewise error backs off: e = 3-4 < 0.
+	fb := NewFrameFeedback(Config{Window: 1})
+	if got := fb.Next(Measurement{Now: 0, FS: 30, Po: 20, T: 4}); got > 20 {
+		t.Fatalf("piecewise PV did not back off: %v", got)
+	}
+}
+
+func TestNaivePVEquilibriumAboveProbeLevel(t *testing.T) {
+	// Under total failure (T = Po) the naive fixed point solves
+	// (F_s − Po) − α·Po = 0 → Po = F_s/(1+α) = 10 for α = 2 —
+	// 3.3x the paper controller's cheap 0.1·F_s probe level.
+	n := NewNaivePV()
+	po := 30.0
+	for sec := 0; sec < 200; sec++ {
+		po = n.Next(Measurement{Now: simtime.Time(sec) * time.Second, FS: 30, Po: po, T: po})
+	}
+	if po < 7 || po > 13 {
+		t.Fatalf("naive failure equilibrium = %v, want ~10", po)
+	}
+}
+
+func TestNaivePVResetAndClamps(t *testing.T) {
+	n := NewNaivePV()
+	n.Next(Measurement{Now: 0, FS: 30, Po: 10, T: 0})
+	n.Reset()
+	if n.po != 0 || n.begun {
+		t.Fatal("Reset incomplete")
+	}
+	// Bounds hold under absurd inputs.
+	if got := n.Next(Measurement{Now: 0, FS: 30, Po: 0, T: 1000}); got < 0 {
+		t.Fatalf("Po = %v below 0", got)
+	}
+	if got := n.Next(Measurement{Now: time.Second, FS: 30, Po: 30, T: 0}); got > 30 {
+		t.Fatalf("Po = %v above FS", got)
+	}
+}
+
+func TestNaivePVPanicsOnBadFS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FS=0 did not panic")
+		}
+	}()
+	NewNaivePV().Next(Measurement{})
+}

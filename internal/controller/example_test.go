@@ -1,0 +1,52 @@
+package controller_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+)
+
+// The controller is a pure function from per-second measurements to an
+// offloading rate: feed it the timeout rate T and it steers P_o.
+func ExampleFrameFeedback() {
+	ctrl := controller.NewFrameFeedback(controller.Config{}) // Table IV defaults
+	po := 0.0
+	// Five clean seconds: the ramp is capped at +0.1·F_s = 3/s.
+	for sec := 0; sec < 5; sec++ {
+		po = ctrl.Next(controller.Measurement{
+			Now: time.Duration(sec) * time.Second,
+			FS:  30,
+			Po:  po,
+			T:   0,
+		})
+	}
+	fmt.Printf("after 5 clean ticks: Po = %.1f\n", po)
+	// A burst of timeouts: the backoff is allowed -0.5·F_s = -15/s.
+	po = ctrl.Next(controller.Measurement{
+		Now: 5 * time.Second, FS: 30, Po: po, T: 12,
+	})
+	fmt.Printf("after a timeout burst: Po = %.1f\n", po)
+	// Output:
+	// after 5 clean ticks: Po = 14.8
+	// after a timeout burst: Po = 9.7
+}
+
+// PID is the generic discrete controller underneath FrameFeedback.
+func ExamplePID() {
+	pid := controller.PID{KP: 0.5, KD: 0.1, OutMin: -2, OutMax: 2}
+	fmt.Printf("%.2f\n", pid.Update(1.0, 1)) // proportional only on the first step
+	fmt.Printf("%.2f\n", pid.Update(3.0, 1)) // + derivative, clamped to OutMax
+	// Output:
+	// 0.50
+	// 1.70
+}
+
+// ZieglerNicholsPD converts a relay experiment's ultimate gain and
+// period into PD gains.
+func ExampleZieglerNicholsPD() {
+	kp, kd := controller.ZieglerNicholsPD(0.6, 3.0)
+	fmt.Printf("KP=%.2f KD=%.2f\n", kp, kd)
+	// Output:
+	// KP=0.48 KD=0.18
+}

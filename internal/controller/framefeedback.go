@@ -1,0 +1,186 @@
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// Config holds the FrameFeedback controller settings. DefaultConfig
+// reproduces the paper's Table IV exactly.
+type Config struct {
+	// KP, KI, KD are the PID gains. The paper's key observation
+	// (§III-A1) is that KI = 0 suffices: the window-averaged input
+	// already encodes the recent past.
+	KP, KI, KD float64
+	// UpdateMinFrac and UpdateMaxFrac clamp each per-tick update to
+	// [UpdateMinFrac·F_s, UpdateMaxFrac·F_s]. The asymmetry —
+	// decreases up to F_s/2 per tick but increases at most F_s/10 —
+	// is the paper's "react more forcefully to timeouts" rule.
+	UpdateMinFrac, UpdateMaxFrac float64
+	// TimeoutFrac is the tolerated timeout fraction: with timeouts
+	// present the controller steers T toward TimeoutFrac·F_s
+	// (0.1 in Eq. 5), which doubles as a standing availability
+	// probe when offloading is impossible.
+	TimeoutFrac float64
+	// Window is how many recent ticks of T are averaged before the
+	// piecewise error is computed ("the average of T from the last
+	// few seconds", §III-A1).
+	Window int
+	// InitialPo is the starting offload rate.
+	InitialPo float64
+}
+
+// DefaultConfig returns the paper's Table IV settings.
+func DefaultConfig() Config {
+	return Config{
+		KP:            0.2,
+		KI:            0,
+		KD:            0.26,
+		UpdateMinFrac: -0.5,
+		UpdateMaxFrac: 0.1,
+		TimeoutFrac:   0.1,
+		Window:        3,
+		InitialPo:     0,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.KP == 0 && c.KD == 0 && c.KI == 0 {
+		c.KP, c.KI, c.KD = d.KP, d.KI, d.KD
+	}
+	if c.UpdateMinFrac == 0 && c.UpdateMaxFrac == 0 {
+		c.UpdateMinFrac, c.UpdateMaxFrac = d.UpdateMinFrac, d.UpdateMaxFrac
+	}
+	if c.TimeoutFrac == 0 {
+		c.TimeoutFrac = d.TimeoutFrac
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+}
+
+// Validate reports whether the configuration is coherent.
+func (c Config) Validate() error {
+	if c.UpdateMinFrac > c.UpdateMaxFrac {
+		return fmt.Errorf("controller: UpdateMinFrac %v > UpdateMaxFrac %v", c.UpdateMinFrac, c.UpdateMaxFrac)
+	}
+	if c.TimeoutFrac < 0 || c.TimeoutFrac >= 1 {
+		return fmt.Errorf("controller: TimeoutFrac %v outside [0, 1)", c.TimeoutFrac)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("controller: negative Window %d", c.Window)
+	}
+	return nil
+}
+
+// FrameFeedback is the paper's closed-loop offload-rate controller.
+//
+// Each measurement tick it averages the observed timeout rate T over a
+// short window and computes the piecewise error of Eq. 5:
+//
+//	e = F_s − P_o             when T = 0   (push offloading up)
+//	e = TimeoutFrac·F_s − T   when T > 0   (steer T to the tolerated level)
+//
+// then applies a PD update clamped to the asymmetric Table IV limits
+// and returns the new P_o ∈ [0, F_s]. Under permanently failing
+// offload the fixed point is T = TimeoutFrac·F_s: a small standing
+// stream of doomed offloads that instantly detects recovery.
+type FrameFeedback struct {
+	cfg     Config
+	pid     PID
+	window  *metrics.Window
+	po      float64
+	last    simtime.Time
+	hasLast bool
+
+	// Trace fields exposed via accessors.
+	lastErr, lastUpdate, lastTAvg float64
+}
+
+// NewFrameFeedback builds a controller. Zero-value fields of cfg are
+// filled with the paper defaults; an incoherent config panics (it is a
+// programming error, not an input condition).
+func NewFrameFeedback(cfg Config) *FrameFeedback {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := &FrameFeedback{
+		cfg:    cfg,
+		window: metrics.NewWindow(cfg.Window),
+		po:     cfg.InitialPo,
+	}
+	f.pid = PID{KP: cfg.KP, KI: cfg.KI, KD: cfg.KD}
+	return f
+}
+
+// Name implements Policy.
+func (f *FrameFeedback) Name() string { return "FrameFeedback" }
+
+// Config returns the effective (default-filled) configuration.
+func (f *FrameFeedback) Config() Config { return f.cfg }
+
+// Po returns the controller's current offloading rate.
+func (f *FrameFeedback) Po() float64 { return f.po }
+
+// LastError, LastUpdate and LastTAvg expose the most recent internals
+// for traces and tests.
+func (f *FrameFeedback) LastError() float64  { return f.lastErr }
+func (f *FrameFeedback) LastUpdate() float64 { return f.lastUpdate }
+func (f *FrameFeedback) LastTAvg() float64   { return f.lastTAvg }
+
+// Next implements Policy: one control tick.
+func (f *FrameFeedback) Next(m Measurement) float64 {
+	if m.FS <= 0 {
+		panic("controller: Measurement.FS must be positive")
+	}
+	dt := 1.0
+	if f.hasLast && m.Now > f.last {
+		dt = (m.Now - f.last).Seconds()
+	}
+	f.last = m.Now
+	f.hasLast = true
+
+	// Track the externally-enforced Po (the runner may clamp).
+	f.po = m.Po
+
+	f.window.Push(m.T)
+	tAvg := f.window.Mean()
+	f.lastTAvg = tAvg
+
+	// Piecewise error, Eq. 5.
+	var e float64
+	if tAvg <= 0 {
+		e = m.FS - f.po
+	} else {
+		e = f.cfg.TimeoutFrac*m.FS - tAvg
+	}
+	f.lastErr = e
+
+	f.pid.OutMin = f.cfg.UpdateMinFrac * m.FS
+	f.pid.OutMax = f.cfg.UpdateMaxFrac * m.FS
+	u := f.pid.Update(e, dt)
+	f.lastUpdate = u
+
+	f.po += u
+	if f.po < 0 {
+		f.po = 0
+	}
+	if f.po > m.FS {
+		f.po = m.FS
+	}
+	return f.po
+}
+
+// Reset restores the controller to its initial state so it can be
+// reused for another run.
+func (f *FrameFeedback) Reset() {
+	f.pid.Reset()
+	f.window.Reset()
+	f.po = f.cfg.InitialPo
+	f.hasLast = false
+	f.lastErr, f.lastUpdate, f.lastTAvg = 0, 0, 0
+}

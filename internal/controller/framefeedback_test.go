@@ -1,0 +1,383 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+const fs = 30.0
+
+// tick advances the controller one second with the given observation.
+func tick(f *FrameFeedback, sec int, po, timeouts float64) float64 {
+	return f.Next(Measurement{
+		Now: simtime.Time(sec) * time.Second,
+		FS:  fs,
+		Po:  po,
+		T:   timeouts,
+	})
+}
+
+func TestDefaultConfigIsTableIV(t *testing.T) {
+	c := DefaultConfig()
+	if c.KP != 0.2 || c.KI != 0 || c.KD != 0.26 {
+		t.Fatalf("gains = %v/%v/%v, want 0.2/0/0.26", c.KP, c.KI, c.KD)
+	}
+	if c.UpdateMinFrac != -0.5 || c.UpdateMaxFrac != 0.1 {
+		t.Fatalf("update clamps = %v/%v, want -0.5/+0.1", c.UpdateMinFrac, c.UpdateMaxFrac)
+	}
+	if c.TimeoutFrac != 0.1 {
+		t.Fatalf("TimeoutFrac = %v, want 0.1", c.TimeoutFrac)
+	}
+}
+
+func TestRampUpLimitedToTenthFS(t *testing.T) {
+	f := NewFrameFeedback(Config{})
+	po := 0.0
+	for sec := 0; sec < 60; sec++ {
+		next := tick(f, sec, po, 0)
+		if next-po > 0.1*fs+1e-9 {
+			t.Fatalf("increase %v exceeds 0.1·F_s", next-po)
+		}
+		if next < po-1e-9 {
+			t.Fatalf("Po decreased with zero timeouts: %v -> %v", po, next)
+		}
+		po = next
+	}
+	// A proportional ramp converges asymptotically; within 60 clean
+	// seconds it must be essentially at F_s.
+	if po < fs-0.1 {
+		t.Fatalf("Po = %v after 60 clean seconds, want ~F_s", po)
+	}
+}
+
+func TestStableAtFullOffload(t *testing.T) {
+	f := NewFrameFeedback(Config{InitialPo: fs})
+	po := fs
+	for sec := 0; sec < 10; sec++ {
+		po = tick(f, sec, po, 0)
+	}
+	if po != fs {
+		t.Fatalf("Po = %v at steady state, want F_s", po)
+	}
+}
+
+func TestTimeoutsForceFastBackoff(t *testing.T) {
+	f := NewFrameFeedback(Config{InitialPo: fs})
+	// Warm up at full offload with no timeouts.
+	po := fs
+	for sec := 0; sec < 5; sec++ {
+		po = tick(f, sec, po, 0)
+	}
+	// Sustained timeout burst: nearly all offloads fail. Each
+	// single-tick drop must respect the -0.5·F_s clamp, and after
+	// the averaging window fills, the cumulative backoff must be
+	// faster than the +0.1·F_s ramp limit ever allows upward (the
+	// paper's asymmetric sensitivity).
+	start := po
+	for sec := 5; sec < 8; sec++ {
+		next := tick(f, sec, po, 25)
+		if next >= po {
+			t.Fatalf("Po did not decrease under T=25: %v -> %v", po, next)
+		}
+		if drop := po - next; drop > 0.5*fs+1e-9 {
+			t.Fatalf("single-tick drop %v exceeds 0.5·F_s clamp", drop)
+		}
+		po = next
+	}
+	if total := start - po; total <= 3*0.1*fs {
+		t.Fatalf("3-tick backoff %v not stronger than 3-tick ramp limit %v", total, 3*0.1*fs)
+	}
+}
+
+func TestEquilibriumUnderTotalFailure(t *testing.T) {
+	// Closed loop with a plant where every offloaded frame times
+	// out: T == Po. The paper predicts Po settles at 0.1·F_s.
+	f := NewFrameFeedback(Config{InitialPo: fs})
+	po := fs
+	for sec := 0; sec < 120; sec++ {
+		po = tick(f, sec, po, po)
+	}
+	if math.Abs(po-0.1*fs) > 0.15*fs {
+		t.Fatalf("Po = %v under total failure, want near 0.1·F_s = %v", po, 0.1*fs)
+	}
+	// And it must keep oscillating near there, not collapse to 0.
+	min, max := po, po
+	for sec := 120; sec < 200; sec++ {
+		po = tick(f, sec, po, po)
+		if po < min {
+			min = po
+		}
+		if po > max {
+			max = po
+		}
+	}
+	if min < 0.005*fs {
+		t.Fatalf("Po collapsed to %v; availability probing lost", min)
+	}
+	if max > 0.35*fs {
+		t.Fatalf("Po rose to %v despite total failure", max)
+	}
+}
+
+func TestRecoveryAfterFailureIsImmediate(t *testing.T) {
+	// Drive to the failure equilibrium, then heal the plant: Po
+	// must start climbing on the next ticks (paper: "when good
+	// conditions return, offloading will immediately begin to
+	// increase").
+	f := NewFrameFeedback(Config{InitialPo: fs})
+	po := fs
+	for sec := 0; sec < 60; sec++ {
+		po = tick(f, sec, po, po)
+	}
+	atFailure := po
+	for sec := 60; sec < 70; sec++ {
+		po = tick(f, sec, po, 0)
+	}
+	if po <= atFailure {
+		t.Fatalf("Po did not recover: %v -> %v", atFailure, po)
+	}
+}
+
+func TestWindowSmoothsSingleSpike(t *testing.T) {
+	// One spike of T followed by clean ticks: with a 3-tick window
+	// the error stays in the T>0 branch for 3 ticks, then reverts.
+	f := NewFrameFeedback(Config{InitialPo: 20})
+	po := 20.0
+	po = tick(f, 0, po, 0)
+	po = tick(f, 1, po, 9) // spike: Tavg = 4.5, e = 3-4.5 < 0
+	dropTick := f.LastTAvg()
+	if dropTick <= 0 {
+		t.Fatal("window did not register the spike")
+	}
+	po = tick(f, 2, po, 0)
+	po = tick(f, 3, po, 0)
+	po = tick(f, 4, po, 0) // spike evicted from 3-window
+	if f.LastTAvg() != 0 {
+		t.Fatalf("TAvg = %v after spike aged out, want 0", f.LastTAvg())
+	}
+	if f.LastError() != fs-po+f.LastUpdate() && f.LastError() <= 0 {
+		t.Fatalf("error did not revert to ramp branch: %v", f.LastError())
+	}
+}
+
+func TestPoClampedToValidRange(t *testing.T) {
+	f := NewFrameFeedback(Config{InitialPo: 1})
+	po := 1.0
+	// Huge timeout numbers must not drive Po below 0.
+	for sec := 0; sec < 20; sec++ {
+		po = tick(f, sec, po, 100)
+		if po < 0 || po > fs {
+			t.Fatalf("Po = %v outside [0, F_s]", po)
+		}
+	}
+}
+
+func TestPaperErrorFunctionValues(t *testing.T) {
+	// Spot-check Eq. 5 on the first tick (no derivative, window of
+	// one sample so Tavg = T).
+	cases := []struct {
+		po, T float64
+		wantE float64
+	}{
+		{0, 0, 30},     // e = F_s − P_o
+		{20, 0, 10},    // e = F_s − P_o
+		{20, 3, 0},     // e = 0.1·F_s − T = 0 at tolerated level
+		{20, 10, -7},   // e = 3 − 10
+		{30, 0.5, 2.5}, // small T still uses the T>0 branch
+	}
+	for _, c := range cases {
+		f := NewFrameFeedback(Config{Window: 1, InitialPo: c.po})
+		f.Next(Measurement{Now: 0, FS: fs, Po: c.po, T: c.T})
+		if math.Abs(f.LastError()-c.wantE) > 1e-9 {
+			t.Errorf("e(Po=%v, T=%v) = %v, want %v", c.po, c.T, f.LastError(), c.wantE)
+		}
+	}
+}
+
+func TestDtScalesDerivative(t *testing.T) {
+	// Two controllers, identical error sequences, different tick
+	// spacing: derivative contribution must differ.
+	a := NewFrameFeedback(Config{Window: 1, InitialPo: 10})
+	b := NewFrameFeedback(Config{Window: 1, InitialPo: 10})
+	a.Next(Measurement{Now: 0, FS: fs, Po: 10, T: 0})
+	b.Next(Measurement{Now: 0, FS: fs, Po: 10, T: 0})
+	a.Next(Measurement{Now: time.Second, FS: fs, Po: 10, T: 10})
+	b.Next(Measurement{Now: 4 * time.Second, FS: fs, Po: 10, T: 10})
+	if a.LastUpdate() >= b.LastUpdate() {
+		// Faster tick → larger |de/dt| → more negative update.
+		t.Fatalf("dt not honored: u(1s)=%v u(4s)=%v", a.LastUpdate(), b.LastUpdate())
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := NewFrameFeedback(Config{InitialPo: 5})
+	po := 5.0
+	for sec := 0; sec < 10; sec++ {
+		po = tick(f, sec, po, 2)
+	}
+	f.Reset()
+	if f.Po() != 5 || f.LastTAvg() != 0 || f.LastError() != 0 {
+		t.Fatal("Reset did not restore initial state")
+	}
+	// Post-reset behaviour matches a fresh controller.
+	g := NewFrameFeedback(Config{InitialPo: 5})
+	for sec := 0; sec < 5; sec++ {
+		pf := tick(f, sec, f.Po(), 1)
+		pg := tick(g, sec, g.Po(), 1)
+		if math.Abs(pf-pg) > 1e-12 {
+			t.Fatalf("reset controller diverges from fresh one: %v vs %v", pf, pg)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"min>max clamp": {UpdateMinFrac: 0.2, UpdateMaxFrac: 0.1},
+		"bad frac":      {TimeoutFrac: 1.5},
+		"neg window":    {Window: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewFrameFeedback(cfg)
+		}()
+	}
+}
+
+func TestNonPositiveFSPanics(t *testing.T) {
+	f := NewFrameFeedback(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("FS=0 did not panic")
+		}
+	}()
+	f.Next(Measurement{FS: 0})
+}
+
+// Property: for any sequence of observations, Po stays in [0, F_s] and
+// per-tick deltas respect the asymmetric clamps.
+func TestPropInvariants(t *testing.T) {
+	f := func(obs []uint8) bool {
+		fb := NewFrameFeedback(Config{})
+		po := 0.0
+		for i, o := range obs {
+			timeouts := float64(o%61) / 2 // 0..30
+			next := fb.Next(Measurement{
+				Now: simtime.Time(i) * time.Second,
+				FS:  fs, Po: po, T: timeouts,
+			})
+			if next < 0 || next > fs {
+				return false
+			}
+			delta := next - po
+			if delta > 0.1*fs+1e-9 || delta < -0.5*fs-1e-9 {
+				return false
+			}
+			po = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the controller is deterministic — identical measurement
+// sequences yield identical Po trajectories.
+func TestPropDeterministic(t *testing.T) {
+	f := func(obs []uint8) bool {
+		run := func() []float64 {
+			fb := NewFrameFeedback(Config{})
+			po := 0.0
+			out := make([]float64, 0, len(obs))
+			for i, o := range obs {
+				po = fb.Next(Measurement{
+					Now: simtime.Time(i) * time.Second,
+					FS:  fs, Po: po, T: float64(o % 31),
+				})
+				out = append(out, po)
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherKPMoreAggressive(t *testing.T) {
+	// With larger KP the first clean-tick update is larger (until
+	// the clamp bites). Use small errors to stay under the clamp.
+	lo := NewFrameFeedback(Config{KP: 0.05, KD: 0.0001, Window: 1, InitialPo: 29})
+	hi := NewFrameFeedback(Config{KP: 0.2, KD: 0.0001, Window: 1, InitialPo: 29})
+	l := lo.Next(Measurement{Now: 0, FS: fs, Po: 29, T: 0})
+	h := hi.Next(Measurement{Now: 0, FS: fs, Po: 29, T: 0})
+	if h <= l {
+		t.Fatalf("KP=0.2 update (%v) not larger than KP=0.05 (%v)", h, l)
+	}
+}
+
+func TestKDReactsToWorseningTrend(t *testing.T) {
+	// Derivative action: when T is rising tick over tick, the PD
+	// controller backs off harder than the pure-P controller fed the
+	// same observations — it anticipates the degradation.
+	run := func(kd float64) float64 {
+		fb := NewFrameFeedback(Config{KP: 0.2, KD: kd, Window: 1, InitialPo: 25})
+		po := 25.0
+		for sec, timeouts := range []float64{1, 4, 8, 14} { // worsening
+			po = fb.Next(Measurement{Now: simtime.Time(sec) * time.Second, FS: fs, Po: po, T: timeouts})
+		}
+		return po
+	}
+	pd, p := run(0.26), run(0)
+	if pd >= p {
+		t.Fatalf("PD did not back off harder on a worsening trend: PD=%v, P=%v", pd, p)
+	}
+}
+
+// Property: the control law is scale-invariant in F_s — every term of
+// Eq. 5 and every clamp is proportional to F_s, so running the same
+// *relative* timeout pattern at 60 fps must produce exactly double the
+// Po trajectory of 30 fps.
+func TestPropScaleInvariantInFS(t *testing.T) {
+	f := func(obs []uint8) bool {
+		run := func(fsArg float64) []float64 {
+			fb := NewFrameFeedback(Config{})
+			po := 0.0
+			out := make([]float64, 0, len(obs))
+			for i, o := range obs {
+				relT := float64(o%31) / 30 // timeout fraction of F_s
+				po = fb.Next(Measurement{
+					Now: simtime.Time(i) * time.Second,
+					FS:  fsArg, Po: po, T: relT * fsArg,
+				})
+				out = append(out, po)
+			}
+			return out
+		}
+		at30, at60 := run(30), run(60)
+		for i := range at30 {
+			if diff := 2*at30[i] - at60[i]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

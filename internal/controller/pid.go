@@ -1,0 +1,83 @@
+package controller
+
+// PID is a discrete proportional-integral-derivative controller
+// producing *incremental* output: each Update returns a correction
+// u(t) = K_P·e + K_I·∫e + K_D·de/dt, optionally clamped to
+// [OutMin, OutMax] (paper Eq. 2 with the Table IV update limits).
+//
+// The zero value is a valid (all-zero-gain) controller; set the gains
+// and clamps before use.
+type PID struct {
+	// KP, KI, KD are the proportional, integral and derivative
+	// gains.
+	KP, KI, KD float64
+	// OutMin and OutMax clamp each update. They are only applied
+	// when OutMin < OutMax; leave both zero to disable clamping.
+	OutMin, OutMax float64
+	// IntegralMin/IntegralMax clamp the accumulated integral
+	// (anti-windup). Applied only when IntegralMin < IntegralMax.
+	IntegralMin, IntegralMax float64
+
+	integral float64
+	prevErr  float64
+	hasPrev  bool
+}
+
+// Update advances the controller with error e measured over a step of
+// dt seconds and returns the (clamped) correction. dt must be
+// positive.
+func (p *PID) Update(e, dt float64) float64 {
+	if dt <= 0 {
+		panic("controller: PID.Update with non-positive dt")
+	}
+	p.integral += e * dt
+	if p.IntegralMin < p.IntegralMax {
+		if p.integral < p.IntegralMin {
+			p.integral = p.IntegralMin
+		} else if p.integral > p.IntegralMax {
+			p.integral = p.IntegralMax
+		}
+	}
+	var deriv float64
+	if p.hasPrev {
+		deriv = (e - p.prevErr) / dt
+	}
+	p.prevErr = e
+	p.hasPrev = true
+
+	u := p.KP*e + p.KI*p.integral + p.KD*deriv
+	if p.OutMin < p.OutMax {
+		if u < p.OutMin {
+			u = p.OutMin
+		} else if u > p.OutMax {
+			u = p.OutMax
+		}
+	}
+	return u
+}
+
+// Reset clears the integral and derivative history.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.hasPrev = false
+}
+
+// Integral returns the accumulated integral term (for tests and
+// traces).
+func (p *PID) Integral() float64 { return p.integral }
+
+// ZieglerNicholsPD returns classical PD gains from the ultimate gain
+// K_u and oscillation period T_u found by a sustained-oscillation
+// experiment: K_P = 0.8·K_u, K_D = K_P·T_u/8 (Ziegler–Nichols PD
+// row). The paper (§III-B) uses this as intuition only — its final
+// gains come from the manual sensitivity/stability procedure — but the
+// helper is useful for re-tuning on a different substrate.
+func ZieglerNicholsPD(ku, tu float64) (kp, kd float64) {
+	if ku <= 0 || tu <= 0 {
+		panic("controller: ZieglerNicholsPD needs positive Ku and Tu")
+	}
+	kp = 0.8 * ku
+	kd = kp * tu / 8
+	return kp, kd
+}

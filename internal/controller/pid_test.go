@@ -1,0 +1,154 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDProportionalOnly(t *testing.T) {
+	p := PID{KP: 0.5}
+	if u := p.Update(10, 1); u != 5 {
+		t.Fatalf("P-only update = %v, want 5", u)
+	}
+	if u := p.Update(-4, 1); u != -2 {
+		t.Fatalf("P-only update = %v, want -2", u)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	p := PID{KI: 1}
+	p.Update(2, 1) // integral = 2
+	p.Update(2, 1) // integral = 4
+	if u := p.Update(0, 1); u != 4 {
+		t.Fatalf("I-only update = %v, want 4 (accumulated)", u)
+	}
+}
+
+func TestPIDIntegralRespectsDt(t *testing.T) {
+	p := PID{KI: 1}
+	p.Update(2, 0.5) // integral = 1
+	if got := p.Integral(); got != 1 {
+		t.Fatalf("integral = %v, want 1", got)
+	}
+}
+
+func TestPIDDerivative(t *testing.T) {
+	p := PID{KD: 2}
+	if u := p.Update(1, 1); u != 0 {
+		t.Fatalf("first derivative update = %v, want 0 (no history)", u)
+	}
+	if u := p.Update(4, 1); u != 6 { // de/dt = 3, KD = 2
+		t.Fatalf("derivative update = %v, want 6", u)
+	}
+	if u := p.Update(4, 1); u != 0 {
+		t.Fatalf("steady error derivative = %v, want 0", u)
+	}
+}
+
+func TestPIDDerivativeRespectsDt(t *testing.T) {
+	p := PID{KD: 1}
+	p.Update(0, 1)
+	if u := p.Update(1, 0.5); u != 2 { // de/dt = 1/0.5
+		t.Fatalf("derivative with dt=0.5 = %v, want 2", u)
+	}
+}
+
+func TestPIDOutputClamp(t *testing.T) {
+	p := PID{KP: 1, OutMin: -2, OutMax: 1}
+	if u := p.Update(100, 1); u != 1 {
+		t.Fatalf("clamped update = %v, want 1", u)
+	}
+	if u := p.Update(-100, 1); u != -2 {
+		t.Fatalf("clamped update = %v, want -2", u)
+	}
+}
+
+func TestPIDClampDisabledWhenDegenerate(t *testing.T) {
+	p := PID{KP: 1} // OutMin == OutMax == 0 → no clamping
+	if u := p.Update(100, 1); u != 100 {
+		t.Fatalf("unclamped update = %v, want 100", u)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	p := PID{KI: 1, IntegralMin: -5, IntegralMax: 5}
+	for i := 0; i < 100; i++ {
+		p.Update(10, 1)
+	}
+	if p.Integral() != 5 {
+		t.Fatalf("integral = %v, want clamped at 5", p.Integral())
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	p := PID{KP: 1, KI: 1, KD: 1}
+	p.Update(3, 1)
+	p.Update(5, 1)
+	p.Reset()
+	if p.Integral() != 0 {
+		t.Fatal("Reset did not clear integral")
+	}
+	// After reset the derivative term must be suppressed again.
+	if u := p.Update(2, 1); u != 2+2 { // KP·2 + KI·2, no derivative
+		t.Fatalf("post-reset update = %v, want 4", u)
+	}
+}
+
+func TestPIDBadDtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dt=0 did not panic")
+		}
+	}()
+	(&PID{}).Update(1, 0)
+}
+
+// Property: with clamps set, every update lies within them.
+func TestPropPIDClampAlwaysHolds(t *testing.T) {
+	f := func(errs []int8) bool {
+		p := PID{KP: 0.7, KI: 0.2, KD: 1.3, OutMin: -3, OutMax: 2}
+		for _, e := range errs {
+			u := p.Update(float64(e), 1)
+			if u < -3 || u > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a pure P controller is linear: u(k·e) = k·u(e).
+func TestPropPLinearity(t *testing.T) {
+	f := func(e int16) bool {
+		p1, p2 := PID{KP: 0.3}, PID{KP: 0.3}
+		u1 := p1.Update(float64(e), 1)
+		u2 := p2.Update(2*float64(e), 1)
+		return math.Abs(2*u1-u2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZieglerNicholsPD(t *testing.T) {
+	kp, kd := ZieglerNicholsPD(1.0, 8.0)
+	if kp != 0.8 {
+		t.Fatalf("kp = %v, want 0.8", kp)
+	}
+	if kd != 0.8 {
+		t.Fatalf("kd = %v, want kp·Tu/8 = 0.8", kd)
+	}
+}
+
+func TestZieglerNicholsPDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive args did not panic")
+		}
+	}()
+	ZieglerNicholsPD(0, 1)
+}

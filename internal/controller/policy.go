@@ -1,0 +1,75 @@
+// Package controller implements the paper's primary contribution: the
+// FrameFeedback closed-loop PD controller that picks an edge device's
+// offloading rate P_o from nothing but its own end-to-end timeout
+// observations (§III). It also provides the generic discrete PID core
+// the controller is built on and classical tuning helpers.
+//
+// The controller is deliberately transport-agnostic: it consumes a
+// Measurement struct and returns a new offloading rate. The same code
+// drives the discrete-event simulator (internal/scenario) and the real
+// TCP mode (internal/realnet).
+package controller
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Measurement is the per-tick observation handed to a Policy — the
+// entirety of what an offloading policy may know. The paper's central
+// claim is that T (the deadline-violation rate) alone suffices to
+// steer P_o; the other fields exist for baselines and tracing.
+type Measurement struct {
+	// Now is the observation time.
+	Now simtime.Time
+	// FS is the source frame rate F_s (frames/s).
+	FS float64
+	// Po is the offloading rate currently in force (frames/s).
+	Po float64
+	// T is the rate of offloaded frames that violated the
+	// end-to-end deadline during the last measurement interval
+	// (frames/s), including server rejections — the paper's
+	// T = T_n + T_l.
+	T float64
+	// Pl is the local inference completion rate during the last
+	// interval (frames/s).
+	Pl float64
+	// OffloadOK is the rate of offloaded frames that returned in
+	// time during the last interval (frames/s).
+	OffloadOK float64
+	// ProbeValid reports whether a heartbeat probe result is
+	// available; ProbeOK is its outcome (returned before the
+	// deadline). Only policies that implement Prober receive
+	// probes.
+	ProbeValid bool
+	ProbeOK    bool
+}
+
+// Policy decides the offloading rate. Next is called once per
+// measurement interval (1 s in the paper) and returns the P_o to use
+// until the next call; the runner clamps it to [0, FS].
+type Policy interface {
+	// Name identifies the policy in traces and figures.
+	Name() string
+	// Next consumes one measurement and returns the new P_o.
+	Next(m Measurement) float64
+}
+
+// Prober is implemented by policies that need a heartbeat request each
+// measurement interval (the DeepDecision-style baseline). The runner
+// sends one probe frame per interval on behalf of such policies and
+// reports the outcome in the next Measurement.
+type Prober interface {
+	WantsProbe() bool
+}
+
+// Resetter is implemented by stateful policies that can be reused
+// across runs.
+type Resetter interface {
+	Reset()
+}
+
+// DefaultTickInterval is the paper's measurement frequency: once per
+// second (Table IV, "Measure Frequency 1").
+const DefaultTickInterval = time.Second

@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"errors"
+	"math"
+)
+
+// Relay auto-tuning (Åström–Hägglund): instead of pushing K_P up by
+// hand until the loop oscillates (the paper's §III-B procedure), a
+// relay policy switches P_o between two levels around a center point;
+// the plant answers with a limit cycle whose period is the ultimate
+// period T_u, and the ultimate gain follows from the describing
+// function K_u = 4d/(π·a). Feeding (K_u, T_u) to ZieglerNicholsPD
+// yields PD gains for a substrate whose dynamics differ from the
+// paper's testbed.
+//
+// Usage: run a scenario with RelayPolicy as the controller under
+// *constant* degraded conditions, then pass the recorded P_o and T
+// traces to EstimateUltimate.
+
+// RelayPolicy is a bang-bang controller for tuning experiments: P_o
+// switches between Center+Amplitude and Center−Amplitude depending on
+// whether the observed timeout rate is below or above Target.
+type RelayPolicy struct {
+	// Center and Amplitude define the two P_o levels.
+	Center, Amplitude float64
+	// Target is the timeout rate the relay regulates around; a
+	// natural choice is the controller's tolerated level 0.1·F_s.
+	Target float64
+
+	high bool
+}
+
+// Name implements Policy.
+func (r *RelayPolicy) Name() string { return "Relay" }
+
+// Next implements Policy.
+func (r *RelayPolicy) Next(m Measurement) float64 {
+	if m.FS <= 0 {
+		panic("controller: Measurement.FS must be positive")
+	}
+	r.high = m.T < r.Target
+	po := r.Center - r.Amplitude
+	if r.high {
+		po = r.Center + r.Amplitude
+	}
+	if po < 0 {
+		po = 0
+	}
+	if po > m.FS {
+		po = m.FS
+	}
+	return po
+}
+
+// Reset implements Resetter.
+func (r *RelayPolicy) Reset() { r.high = false }
+
+// Ultimate holds the result of a relay experiment.
+type Ultimate struct {
+	// Ku is the ultimate gain, Tu the ultimate period in ticks.
+	Ku, Tu float64
+	// Cycles is how many full relay cycles the estimate averaged.
+	Cycles int
+	// Amplitude is the measured oscillation amplitude of the
+	// process variable (T).
+	Amplitude float64
+}
+
+// ErrNoOscillation is returned when the traces contain too few relay
+// switches to estimate a period.
+var ErrNoOscillation = errors.New("controller: relay produced no sustained oscillation")
+
+// EstimateUltimate derives (K_u, T_u) from a relay experiment's P_o
+// and T traces (one sample per control tick). relayAmplitude is the
+// RelayPolicy's Amplitude (the d in K_u = 4d/(π·a)). warmup samples
+// are discarded.
+func EstimateUltimate(po, timeouts []float64, relayAmplitude float64, warmup int) (Ultimate, error) {
+	if len(po) != len(timeouts) {
+		return Ultimate{}, errors.New("controller: trace length mismatch")
+	}
+	if relayAmplitude <= 0 {
+		return Ultimate{}, errors.New("controller: relay amplitude must be positive")
+	}
+	if warmup < 0 || warmup >= len(po) {
+		return Ultimate{}, ErrNoOscillation
+	}
+	po = po[warmup:]
+	timeouts = timeouts[warmup:]
+
+	// Switch instants: indices where the relay output crosses its
+	// center (P_o changes level).
+	var switches []int
+	for i := 1; i < len(po); i++ {
+		if po[i] != po[i-1] {
+			switches = append(switches, i)
+		}
+	}
+	if len(switches) < 4 {
+		return Ultimate{}, ErrNoOscillation
+	}
+	// Full period = two switches. Average over the observed cycles.
+	first, last := switches[0], switches[len(switches)-1]
+	halfPeriods := len(switches) - 1
+	tu := 2 * float64(last-first) / float64(halfPeriods)
+	if tu <= 0 {
+		return Ultimate{}, ErrNoOscillation
+	}
+
+	// Oscillation amplitude of the process variable between the
+	// first and last switch (the stable limit cycle).
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, v := range timeouts[first:last] {
+		if v < minT {
+			minT = v
+		}
+		if v > maxT {
+			maxT = v
+		}
+	}
+	a := (maxT - minT) / 2
+	if a <= 0 {
+		return Ultimate{}, ErrNoOscillation
+	}
+	ku := 4 * relayAmplitude / (math.Pi * a)
+	return Ultimate{Ku: ku, Tu: tu, Cycles: halfPeriods / 2, Amplitude: a}, nil
+}
+
+// PDGains applies the Ziegler–Nichols PD rule to a relay estimate.
+func (u Ultimate) PDGains() (kp, kd float64) {
+	return ZieglerNicholsPD(u.Ku, u.Tu)
+}

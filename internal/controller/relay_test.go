@@ -1,0 +1,130 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestRelayPolicySwitches(t *testing.T) {
+	r := &RelayPolicy{Center: 15, Amplitude: 5, Target: 3}
+	if got := r.Next(Measurement{FS: 30, T: 0}); got != 20 {
+		t.Fatalf("relay with T<target = %v, want 20", got)
+	}
+	if got := r.Next(Measurement{FS: 30, T: 10}); got != 10 {
+		t.Fatalf("relay with T>target = %v, want 10", got)
+	}
+}
+
+func TestRelayPolicyClamps(t *testing.T) {
+	r := &RelayPolicy{Center: 28, Amplitude: 10, Target: 3}
+	if got := r.Next(Measurement{FS: 30, T: 0}); got != 30 {
+		t.Fatalf("high level = %v, want clamp to FS", got)
+	}
+	r2 := &RelayPolicy{Center: 3, Amplitude: 10, Target: 3}
+	if got := r2.Next(Measurement{FS: 30, T: 10}); got != 0 {
+		t.Fatalf("low level = %v, want clamp to 0", got)
+	}
+}
+
+func TestRelayPolicyPanicsOnBadFS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FS=0 did not panic")
+		}
+	}()
+	(&RelayPolicy{}).Next(Measurement{})
+}
+
+// simulateRelayLoop runs the relay against a first-order-lag plant
+// whose timeout rate tracks max(0, po-capacity) with the given lag,
+// returning the po and T traces.
+func simulateRelayLoop(capacity, lagAlpha float64, ticks int) (po, timeouts []float64) {
+	r := &RelayPolicy{Center: capacity, Amplitude: 4, Target: 2}
+	state := 0.0
+	cur := 0.0
+	for i := 0; i < ticks; i++ {
+		target := 3 * math.Max(0, cur-capacity)
+		state += lagAlpha * (target - state)
+		cur = r.Next(Measurement{
+			Now: simtime.Time(i), FS: 30, Po: cur, T: state,
+		})
+		po = append(po, cur)
+		timeouts = append(timeouts, state)
+	}
+	return po, timeouts
+}
+
+func TestEstimateUltimateFromLaggedPlant(t *testing.T) {
+	po, timeouts := simulateRelayLoop(15, 0.5, 200)
+	u, err := EstimateUltimate(po, timeouts, 4, 20)
+	if err != nil {
+		t.Fatalf("EstimateUltimate: %v", err)
+	}
+	if u.Ku <= 0 || u.Tu <= 0 {
+		t.Fatalf("non-positive estimates: %+v", u)
+	}
+	if u.Cycles < 2 {
+		t.Fatalf("too few cycles: %+v", u)
+	}
+	// The derived gains must be usable by the PD rule.
+	kp, kd := u.PDGains()
+	if kp <= 0 || kd <= 0 {
+		t.Fatalf("bad derived gains: %v, %v", kp, kd)
+	}
+	// And a FrameFeedback controller built from them must be stable
+	// on the same plant: bounded Po, no collapse to zero.
+	fb := NewFrameFeedback(Config{KP: kp, KD: kd, Window: 1, InitialPo: 20})
+	state, cur := 0.0, 20.0
+	minPo, maxPo := cur, cur
+	for i := 0; i < 300; i++ {
+		target := 3 * math.Max(0, cur-15)
+		state += 0.5 * (target - state)
+		cur = fb.Next(Measurement{Now: simtime.Time(i) * 1e9, FS: 30, Po: cur, T: state})
+		if i > 100 {
+			if cur < minPo {
+				minPo = cur
+			}
+			if cur > maxPo {
+				maxPo = cur
+			}
+		}
+	}
+	if minPo < 1 {
+		t.Fatalf("derived gains collapse Po to %v", minPo)
+	}
+	if maxPo-minPo > 20 {
+		t.Fatalf("derived gains oscillate wildly: [%v, %v]", minPo, maxPo)
+	}
+}
+
+func TestEstimateUltimateErrors(t *testing.T) {
+	if _, err := EstimateUltimate([]float64{1, 2}, []float64{1}, 1, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := EstimateUltimate([]float64{1, 1, 1}, []float64{0, 0, 0}, 1, 0); err != ErrNoOscillation {
+		t.Errorf("flat trace: err = %v, want ErrNoOscillation", err)
+	}
+	if _, err := EstimateUltimate([]float64{1, 2, 1}, []float64{0, 1, 0}, 0, 0); err == nil {
+		t.Error("zero amplitude accepted")
+	}
+	if _, err := EstimateUltimate([]float64{1, 2, 1}, []float64{0, 1, 0}, 1, 99); err != ErrNoOscillation {
+		t.Errorf("oversized warmup: err = %v, want ErrNoOscillation", err)
+	}
+	// Oscillating po but perfectly flat T: amplitude zero.
+	po := []float64{10, 20, 10, 20, 10, 20, 10, 20}
+	flat := make([]float64, len(po))
+	if _, err := EstimateUltimate(po, flat, 5, 0); err != ErrNoOscillation {
+		t.Errorf("flat T: err = %v, want ErrNoOscillation", err)
+	}
+}
+
+func TestRelayReset(t *testing.T) {
+	r := &RelayPolicy{Center: 15, Amplitude: 5, Target: 3}
+	r.Next(Measurement{FS: 30, T: 10})
+	r.Reset()
+	if r.high {
+		t.Fatal("Reset did not clear relay state")
+	}
+}

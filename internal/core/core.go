@@ -1,0 +1,30 @@
+// Package core anchors the repository layout's "primary contribution"
+// slot and re-exports the FrameFeedback controller, whose
+// implementation lives in internal/controller together with the
+// generic PID machinery, tuning helpers and ablation variants it
+// shares with the baselines.
+//
+// Import this package when you only need the paper's controller;
+// import internal/controller for the full toolkit.
+package core
+
+import "repro/internal/controller"
+
+// FrameFeedback is the paper's closed-loop offload-rate controller.
+type FrameFeedback = controller.FrameFeedback
+
+// Config holds the controller settings; the zero value selects the
+// paper's Table IV defaults.
+type Config = controller.Config
+
+// Measurement is the per-tick observation the controller consumes.
+type Measurement = controller.Measurement
+
+// Policy is the interface shared by FrameFeedback and every baseline.
+type Policy = controller.Policy
+
+// New builds a FrameFeedback controller.
+func New(cfg Config) *FrameFeedback { return controller.NewFrameFeedback(cfg) }
+
+// DefaultConfig returns the paper's Table IV settings.
+func DefaultConfig() Config { return controller.DefaultConfig() }

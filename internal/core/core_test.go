@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+func TestFacadeBuildsWorkingController(t *testing.T) {
+	c := New(Config{})
+	if c.Name() != "FrameFeedback" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	var _ Policy = c
+	po := c.Next(Measurement{FS: 30, Po: 0, T: 0})
+	if po <= 0 || po > 3 {
+		t.Fatalf("first ramp tick Po = %v, want (0, 3]", po)
+	}
+}
+
+func TestDefaultConfigMatchesTableIV(t *testing.T) {
+	d := DefaultConfig()
+	if d.KP != 0.2 || d.KD != 0.26 || d.KI != 0 {
+		t.Fatalf("default gains = %+v", d)
+	}
+}

@@ -1,0 +1,34 @@
+package device
+
+// CPU usage model, calibrated to the paper's measurement that average
+// Raspberry Pi CPU usage drops from 50.2 % under local execution to
+// 22.3 % under full offloading (§II-A5):
+//
+//	cpu% = CPUBase + CPULocalShare·(local worker busy fraction)
+//	             + CPUOffloadShare·(offload rate / F_s)
+//
+// Local-only at saturation (busy fraction 1, no offloading) gives
+// 8 + 42.2 = 50.2; full offload (idle worker, P_o = F_s) gives
+// 8 + 14.3 = 22.3. The offload share covers JPEG encoding and network
+// handling.
+const (
+	CPUBase         = 8.0
+	CPULocalShare   = 42.2
+	CPUOffloadShare = 14.3
+)
+
+// CPUPercent estimates device CPU utilization from the local worker's
+// busy fraction and the offloaded fraction of the stream, both in
+// [0, 1] (inputs are clamped).
+func CPUPercent(localBusyFrac, offloadFrac float64) float64 {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return CPUBase + CPULocalShare*clamp(localBusyFrac) + CPUOffloadShare*clamp(offloadFrac)
+}

@@ -1,0 +1,401 @@
+// Package device simulates the resource-constrained edge device: the
+// video source feeds a splitter that offloads P_o frames per second to
+// the edge server (pipelined, each with a 250 ms end-to-end deadline)
+// and routes the rest to a local inference worker whose rate P_l comes
+// from the paper's Table II measurements.
+//
+// The device is where the paper's QoS metric is computed: an offloaded
+// frame counts toward throughput only if its result returns before the
+// deadline; late results, network losses and server rejections all
+// fold into the timeout rate T that feeds the controller.
+package device
+
+import (
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// DefaultDeadline is the paper's end-to-end offload deadline (§II-B):
+// 250 ms from frame capture to result arrival.
+const DefaultDeadline = 250 * time.Millisecond
+
+// DefaultResponseBytes is the size of a classification result message
+// on the downlink (label + confidence + framing).
+const DefaultResponseBytes = 300
+
+// Config parameterizes a Device.
+type Config struct {
+	// Profile is the device hardware (Table II). Required.
+	Profile *models.DeviceProfile
+	// Model is the classification network; default MobileNetV3Small
+	// (the paper's measurement model).
+	Model models.Model
+	// FS is the source frame rate F_s; default 30.
+	FS float64
+	// Deadline is the end-to-end offload deadline; default 250 ms.
+	Deadline time.Duration
+	// LocalQueueCap bounds frames waiting for the local worker
+	// (beyond the one executing). Default 2: there is no point
+	// queueing deeply when P_l < F_s guarantees the backlog can
+	// never drain.
+	LocalQueueCap int
+	// DropOldest selects the local-queue overflow policy: false
+	// (default) drops the arriving frame (tail drop); true evicts
+	// the oldest queued frame instead, so the worker always
+	// processes the freshest backlog — better detection latency for
+	// real-time video, at identical throughput.
+	DropOldest bool
+	// LocalJitterRel is the relative jitter on local inference
+	// latency; default 0.08 (CPU inference on a busy SoC is not
+	// metronomic).
+	LocalJitterRel float64
+	// Tenant identifies the device at the server.
+	Tenant int
+	// ResponseBytes sizes the downlink result message.
+	ResponseBytes int
+	// InitialPo is the starting offload rate.
+	InitialPo float64
+	// OnOffload, when non-nil, observes every resolved offload
+	// (success, timeout or rejection) — the hook used by the trace
+	// recorder. It must not retain the value past the call.
+	OnOffload func(OffloadOutcome)
+	// OnLocalDone, when non-nil, observes every completed local
+	// inference (application layers consume classification results
+	// from both paths).
+	OnLocalDone func(f frame.Frame, finishedAt simtime.Time)
+}
+
+// OffloadStatus classifies a resolved offload.
+type OffloadStatus int
+
+const (
+	// OffloadSucceeded: the result returned within the deadline.
+	OffloadSucceeded OffloadStatus = iota
+	// OffloadDeadlineMissed: the deadline fired first (T_n).
+	OffloadDeadlineMissed
+	// OffloadServerRejected: the batcher shed the request (T_l).
+	OffloadServerRejected
+)
+
+func (s OffloadStatus) String() string {
+	switch s {
+	case OffloadSucceeded:
+		return "ok"
+	case OffloadDeadlineMissed:
+		return "timeout"
+	case OffloadServerRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// OffloadOutcome describes one resolved offload for observers.
+type OffloadOutcome struct {
+	FrameID    uint64
+	Tenant     int
+	Bytes      int
+	CapturedAt simtime.Time
+	ResolvedAt simtime.Time
+	Status     OffloadStatus
+}
+
+func (c *Config) applyDefaults() {
+	if c.FS <= 0 {
+		c.FS = 30
+	}
+	if c.Deadline == 0 {
+		c.Deadline = DefaultDeadline
+	}
+	if c.LocalQueueCap == 0 {
+		c.LocalQueueCap = 2
+	}
+	if c.LocalJitterRel == 0 {
+		c.LocalJitterRel = 0.08
+	}
+	if c.ResponseBytes == 0 {
+		c.ResponseBytes = DefaultResponseBytes
+	}
+}
+
+// Counters are the device's cumulative event counts. The scenario
+// runner differences successive snapshots to obtain per-second rates.
+type Counters struct {
+	// Captured counts frames that arrived from the camera.
+	Captured uint64
+	// OffloadAttempts counts frames sent toward the server.
+	OffloadAttempts uint64
+	// OffloadOK counts offloaded frames whose result returned
+	// before the deadline — the offloaded share of P.
+	OffloadOK uint64
+	// OffloadTimedOut counts offloaded frames that missed the
+	// deadline (network-induced: lost, stalled or late — T_n).
+	OffloadTimedOut uint64
+	// OffloadRejected counts offloaded frames shed by the server's
+	// batcher (load-induced — T_l).
+	OffloadRejected uint64
+	// LocalDone counts local inference completions (P_l).
+	LocalDone uint64
+	// LocalDropped counts frames discarded because the local worker
+	// and its queue were full.
+	LocalDropped uint64
+	// LocalBusy accumulates local-worker execution time (drives the
+	// CPU usage model).
+	LocalBusy time.Duration
+	// ProbesSent/ProbesOK count heartbeat probes (not part of
+	// throughput).
+	ProbesSent, ProbesOK uint64
+}
+
+// Timeouts returns the paper's T numerator: deadline violations plus
+// rejections.
+func (c Counters) Timeouts() uint64 { return c.OffloadTimedOut + c.OffloadRejected }
+
+// Device is the simulated edge device.
+type Device struct {
+	sched *simtime.Scheduler
+	rng   *rng.Stream
+	cfg   Config
+	path  *simnet.Path
+	srv   *server.Server
+
+	po     float64
+	credit float64
+
+	localQueue []frame.Frame
+	localBusy  bool
+
+	c Counters
+
+	// latencies holds the end-to-end latency (seconds) of every
+	// successful offload, for percentile reporting. Timed-out
+	// frames are right-censored at the deadline and tracked only in
+	// the counters.
+	latencies []float64
+
+	probeSeq   uint64
+	probeValid bool
+	probeOK    bool
+}
+
+// New wires a device to its network path and server. r supplies local
+// inference jitter; it may be nil for a deterministic device.
+func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config, path *simnet.Path, srv *server.Server) *Device {
+	if sched == nil || path == nil || srv == nil {
+		panic("device: New with nil scheduler, path or server")
+	}
+	if cfg.Profile == nil {
+		panic("device: Config.Profile is required")
+	}
+	cfg.applyDefaults()
+	if !cfg.Model.Valid() {
+		panic("device: invalid model")
+	}
+	d := &Device{sched: sched, rng: r, cfg: cfg, path: path, srv: srv}
+	d.SetOffloadRate(cfg.InitialPo)
+	return d
+}
+
+// Counters returns a snapshot of the cumulative counters.
+func (d *Device) Counters() Counters { return d.c }
+
+// Po returns the offload rate currently in force.
+func (d *Device) Po() float64 { return d.po }
+
+// FS returns the configured source frame rate.
+func (d *Device) FS() float64 { return d.cfg.FS }
+
+// Config returns the effective configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// SetOffloadRate sets P_o, clamped to [0, F_s].
+func (d *Device) SetOffloadRate(po float64) {
+	if po < 0 {
+		po = 0
+	}
+	if po > d.cfg.FS {
+		po = d.cfg.FS
+	}
+	d.po = po
+}
+
+// HandleFrame routes one captured frame: the credit accumulator
+// converts the fractional rate P_o into deterministic per-frame
+// offload decisions (credit += P_o/F_s per frame; offload on credit
+// ≥ 1), and everything else goes to the local worker.
+func (d *Device) HandleFrame(f frame.Frame) {
+	d.c.Captured++
+	d.credit += d.po / d.cfg.FS
+	if d.credit >= 1 {
+		d.credit--
+		d.offload(f)
+		return
+	}
+	d.local(f)
+}
+
+// offload ships a frame to the server and arms its deadline. All
+// terminal outcomes are mutually exclusive: exactly one of OffloadOK,
+// OffloadTimedOut, OffloadRejected is incremented per frame.
+func (d *Device) offload(f frame.Frame) {
+	d.c.OffloadAttempts++
+	resolved := false
+
+	finish := func(status OffloadStatus) {
+		if resolved {
+			return
+		}
+		resolved = true
+		switch status {
+		case OffloadSucceeded:
+			d.c.OffloadOK++
+			d.latencies = append(d.latencies, (d.sched.Now() - f.CapturedAt).Seconds())
+		case OffloadDeadlineMissed:
+			d.c.OffloadTimedOut++
+		case OffloadServerRejected:
+			d.c.OffloadRejected++
+		}
+		if d.cfg.OnOffload != nil {
+			d.cfg.OnOffload(OffloadOutcome{
+				FrameID:    f.ID,
+				Tenant:     d.cfg.Tenant,
+				Bytes:      f.Bytes,
+				CapturedAt: f.CapturedAt,
+				ResolvedAt: d.sched.Now(),
+				Status:     status,
+			})
+		}
+	}
+
+	deadline := d.sched.At(f.CapturedAt+d.cfg.Deadline, func() {
+		finish(OffloadDeadlineMissed)
+	})
+	fail := func(status OffloadStatus) func() {
+		return func() {
+			deadline.Cancel()
+			finish(status)
+		}
+	}
+
+	d.path.Up.Send(f.Bytes, func() {
+		d.srv.Submit(&server.Request{
+			ID:     f.ID,
+			Tenant: d.cfg.Tenant,
+			Model:  d.cfg.Model,
+			Bytes:  f.Bytes,
+			Done: func(res server.Result) {
+				if res.Status == server.StatusRejected {
+					fail(OffloadServerRejected)()
+					return
+				}
+				d.path.Down.Send(d.cfg.ResponseBytes, func() {
+					deadline.Cancel()
+					finish(OffloadSucceeded)
+				}, fail(OffloadDeadlineMissed))
+			},
+		})
+	}, fail(OffloadDeadlineMissed))
+}
+
+// local enqueues a frame for on-device inference. On overflow the
+// configured drop policy decides whether the arriving or the oldest
+// queued frame is discarded.
+func (d *Device) local(f frame.Frame) {
+	if d.localBusy && len(d.localQueue) >= d.cfg.LocalQueueCap {
+		d.c.LocalDropped++
+		if !d.cfg.DropOldest {
+			return // tail drop: discard the arrival
+		}
+		d.localQueue = d.localQueue[1:] // head drop: evict the stalest
+	}
+	d.localQueue = append(d.localQueue, f)
+	d.pumpLocal()
+}
+
+func (d *Device) pumpLocal() {
+	if d.localBusy || len(d.localQueue) == 0 {
+		return
+	}
+	f := d.localQueue[0]
+	d.localQueue = d.localQueue[1:]
+	d.localBusy = true
+	lat := d.cfg.Profile.LocalLatency(d.cfg.Model)
+	if d.rng != nil && d.cfg.LocalJitterRel > 0 {
+		lat = time.Duration(d.rng.Jitter(float64(lat), d.cfg.LocalJitterRel))
+	}
+	d.c.LocalBusy += lat
+	d.sched.After(lat, func() {
+		d.c.LocalDone++
+		if d.cfg.OnLocalDone != nil {
+			d.cfg.OnLocalDone(f, d.sched.Now())
+		}
+		d.localBusy = false
+		d.pumpLocal()
+	})
+}
+
+// SendProbe transmits one heartbeat request (a frame-sized payload)
+// outside the throughput accounting, used by probe-based policies.
+// The outcome is retrievable via TakeProbeResult once it resolves.
+func (d *Device) SendProbe(bytes int) {
+	if bytes <= 0 {
+		bytes = frame.DefaultSizeModel().MeanBytes(frame.Res224, frame.DefaultQuality)
+	}
+	d.c.ProbesSent++
+	d.probeSeq++
+	seq := d.probeSeq
+	sentAt := d.sched.Now()
+	resolved := false
+
+	finish := func(ok bool) {
+		if resolved || seq != d.probeSeq {
+			return // a newer probe superseded this one
+		}
+		resolved = true
+		d.probeValid = true
+		d.probeOK = ok
+		if ok {
+			d.c.ProbesOK++
+		}
+	}
+	d.sched.At(sentAt+d.cfg.Deadline, func() { finish(false) })
+
+	d.path.Up.Send(bytes, func() {
+		d.srv.Submit(&server.Request{
+			ID:     seq,
+			Tenant: d.cfg.Tenant,
+			Model:  d.cfg.Model,
+			Bytes:  bytes,
+			Done: func(res server.Result) {
+				if res.Status == server.StatusRejected {
+					finish(false)
+					return
+				}
+				d.path.Down.Send(d.cfg.ResponseBytes, func() {
+					finish(d.sched.Now()-sentAt <= d.cfg.Deadline)
+				}, func() { finish(false) })
+			},
+		})
+	}, func() { finish(false) })
+}
+
+// OffloadLatencies returns a copy of the end-to-end latencies (in
+// seconds) of all successful offloads so far.
+func (d *Device) OffloadLatencies() []float64 {
+	return append([]float64(nil), d.latencies...)
+}
+
+// TakeProbeResult returns the outcome of the most recent resolved
+// probe and clears it. valid is false when no probe has resolved since
+// the last call.
+func (d *Device) TakeProbeResult() (ok, valid bool) {
+	ok, valid = d.probeOK, d.probeValid
+	d.probeValid = false
+	return ok, valid
+}

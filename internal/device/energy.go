@@ -1,0 +1,48 @@
+package device
+
+// Energy model. The paper does not measure power but asserts
+// (§II-A5, citing [6], [22]) that "effective offloading leads to lower
+// power usage on edge devices". This model makes the assertion
+// quantitative so the E11 experiment can report it.
+//
+// Raspberry Pi 4B power draw is well characterized: ≈ 2.7 W idle at
+// the wall and ≈ 6.4 W with all cores busy, close to linear in CPU
+// utilization between the endpoints. Combined with the CPU model
+// calibrated to the paper's 50.2 %/22.3 % observation:
+//
+//	local-only:    2.7 + 0.037·50.2 ≈ 4.56 W
+//	full offload:  2.7 + 0.037·22.3 ≈ 3.53 W
+//
+// so offloading saves ≈ 1 W of board power — and far more per
+// inference, because the offloaded pipeline also completes 2–3× the
+// inferences.
+const (
+	// IdleWatts is the board's power draw at idle.
+	IdleWatts = 2.7
+	// WattsPerCPUPercent is the marginal draw per CPU percentage
+	// point, fitted to the 6.4 W all-cores-busy endpoint.
+	WattsPerCPUPercent = 0.037
+)
+
+// PowerWatts estimates instantaneous board power from modeled CPU
+// utilization (see CPUPercent).
+func PowerWatts(cpuPercent float64) float64 {
+	if cpuPercent < 0 {
+		cpuPercent = 0
+	}
+	if cpuPercent > 100 {
+		cpuPercent = 100
+	}
+	return IdleWatts + WattsPerCPUPercent*cpuPercent
+}
+
+// EnergyPerInference returns the average energy cost in joules of one
+// successful inference, given mean power and throughput. A zero
+// throughput returns +Inf-free 0 to keep tables readable; callers
+// should treat it as undefined.
+func EnergyPerInference(meanWatts, throughput float64) float64 {
+	if throughput <= 0 {
+		return 0
+	}
+	return meanWatts / throughput
+}

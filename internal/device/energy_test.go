@@ -1,0 +1,56 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerWattsEndpoints(t *testing.T) {
+	if got := PowerWatts(0); got != IdleWatts {
+		t.Fatalf("idle power = %v, want %v", got, IdleWatts)
+	}
+	full := PowerWatts(100)
+	if math.Abs(full-6.4) > 0.1 {
+		t.Fatalf("full-load power = %v, want ~6.4 W", full)
+	}
+}
+
+func TestPowerWattsPaperOperatingPoints(t *testing.T) {
+	local := PowerWatts(50.2)
+	offload := PowerWatts(22.3)
+	if local <= offload {
+		t.Fatal("local execution must draw more power than offloading")
+	}
+	if saved := local - offload; saved < 0.8 || saved > 1.3 {
+		t.Fatalf("power saving = %v W, want ~1 W", saved)
+	}
+}
+
+func TestPowerWattsClamps(t *testing.T) {
+	if PowerWatts(-10) != PowerWatts(0) {
+		t.Fatal("negative CPU not clamped")
+	}
+	if PowerWatts(250) != PowerWatts(100) {
+		t.Fatal("over-100 CPU not clamped")
+	}
+}
+
+func TestEnergyPerInference(t *testing.T) {
+	// 4.56 W at 13.4 inferences/s ≈ 0.34 J each (local-only);
+	// 3.53 W at 30/s ≈ 0.12 J each (full offload): offloading wins
+	// both on power and, dramatically, per inference.
+	local := EnergyPerInference(PowerWatts(50.2), 13.4)
+	off := EnergyPerInference(PowerWatts(22.3), 30)
+	if off >= local {
+		t.Fatalf("energy per inference: offload %v >= local %v", off, local)
+	}
+	if ratio := local / off; ratio < 2 {
+		t.Fatalf("per-inference saving ratio = %v, want > 2x", ratio)
+	}
+}
+
+func TestEnergyPerInferenceZeroThroughput(t *testing.T) {
+	if EnergyPerInference(5, 0) != 0 {
+		t.Fatal("zero throughput should return 0 (undefined)")
+	}
+}

@@ -1,0 +1,29 @@
+package frame_test
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+)
+
+// The size model converts (resolution, quality) into the bytes that
+// must cross the uplink — the §II-D accuracy/bandwidth trade-off's
+// cost side.
+func ExampleSizeModel() {
+	m := frame.DefaultSizeModel()
+	for _, cfg := range []struct {
+		res frame.Resolution
+		q   frame.Quality
+	}{
+		{frame.Res160, 50},
+		{frame.Res224, 75},
+		{frame.Res380, 85},
+	} {
+		fmt.Printf("%v @ q%d: %.1f KB\n", cfg.res, cfg.q,
+			float64(m.MeanBytes(cfg.res, cfg.q))/1000)
+	}
+	// Output:
+	// 160x160 @ q50: 2.7 KB
+	// 224x224 @ q75: 7.5 KB
+	// 380x380 @ q85: 29.5 KB
+}

@@ -1,0 +1,199 @@
+package frame
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func TestBitsPerPixelMonotone(t *testing.T) {
+	prev := BitsPerPixel(1)
+	for q := Quality(2); q <= 100; q++ {
+		cur := BitsPerPixel(q)
+		if cur < prev {
+			t.Fatalf("BitsPerPixel not monotone at q=%d: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBitsPerPixelClamps(t *testing.T) {
+	if BitsPerPixel(-5) != BitsPerPixel(1) {
+		t.Fatal("quality below 1 not clamped")
+	}
+	if BitsPerPixel(200) != BitsPerPixel(100) {
+		t.Fatal("quality above 100 not clamped")
+	}
+}
+
+func TestMeanBytesDefaults(t *testing.T) {
+	m := DefaultSizeModel()
+	got := m.MeanBytes(Res224, DefaultQuality)
+	// 224² × 1.10 bpp / 8 + 600 ≈ 7.5 KB; sanity-check band.
+	if got < 5000 || got > 10000 {
+		t.Fatalf("224x224@q75 = %d bytes, want a realistic ~5–10 KB", got)
+	}
+}
+
+func TestMeanBytesMonotoneInResolution(t *testing.T) {
+	m := DefaultSizeModel()
+	prev := 0
+	for _, r := range []Resolution{Res160, Res224, Res380, Res512} {
+		b := m.MeanBytes(r, DefaultQuality)
+		if b <= prev {
+			t.Fatalf("size not increasing with resolution at %v: %d <= %d", r, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestMeanBytesPanicsOnBadResolution(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive resolution did not panic")
+		}
+	}()
+	DefaultSizeModel().MeanBytes(0, 75)
+}
+
+func TestBytesDeterministicWithoutRNG(t *testing.T) {
+	m := DefaultSizeModel()
+	a := m.Bytes(Res224, 75, nil)
+	b := m.Bytes(Res224, 75, nil)
+	if a != b || a != m.MeanBytes(Res224, 75) {
+		t.Fatalf("nil-rng Bytes not deterministic: %d, %d", a, b)
+	}
+}
+
+func TestBytesJitterStats(t *testing.T) {
+	m := DefaultSizeModel()
+	r := rng.New(1)
+	mean := float64(m.MeanBytes(Res224, 75))
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		b := m.Bytes(Res224, 75, r)
+		if b < m.BaseOverhead {
+			t.Fatalf("payload %d below base overhead", b)
+		}
+		sum += float64(b)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("jittered mean %v deviates from %v", got, mean)
+	}
+}
+
+// Property: size is monotone in quality for any resolution.
+func TestPropSizeMonotoneInQuality(t *testing.T) {
+	m := SizeModel{BaseOverhead: 600}
+	f := func(resSel uint8, q1, q2 uint8) bool {
+		res := []Resolution{Res160, Res224, Res380, Res512}[int(resSel)%4]
+		qa := Quality(int(q1)%100 + 1)
+		qb := Quality(int(q2)%100 + 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return m.MeanBytes(res, qa) <= m.MeanBytes(res, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceRateAndLimit(t *testing.T) {
+	s := simtime.NewScheduler()
+	var frames []Frame
+	src := NewSource(s, nil, SourceConfig{FPS: 30, Limit: 90}, func(f Frame) {
+		frames = append(frames, f)
+	})
+	s.RunUntil(10 * time.Second)
+	if len(frames) != 90 {
+		t.Fatalf("emitted %d frames, want 90 (limit)", len(frames))
+	}
+	if src.Emitted() != 90 {
+		t.Fatalf("Emitted() = %d", src.Emitted())
+	}
+	// 30 fps ⇒ frame k at k/30 s.
+	for i, f := range frames {
+		want := simtime.Time(float64(i) * float64(time.Second) / 30)
+		diff := f.CapturedAt - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Fatalf("frame %d at %v, want %v", i, f.CapturedAt, want)
+		}
+	}
+}
+
+func TestSourceIDsSequential(t *testing.T) {
+	s := simtime.NewScheduler()
+	var ids []uint64
+	NewSource(s, rng.New(3), SourceConfig{FPS: 30, Limit: 50, Stream: 7}, func(f Frame) {
+		ids = append(ids, f.ID)
+		if f.Stream != 7 {
+			t.Fatalf("frame stream = %d, want 7", f.Stream)
+		}
+	})
+	s.Run()
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("frame IDs not sequential: %v", ids)
+		}
+	}
+}
+
+func TestSourceDefaults(t *testing.T) {
+	s := simtime.NewScheduler()
+	var got Frame
+	src := NewSource(s, nil, SourceConfig{Limit: 1}, func(f Frame) { got = f })
+	s.Run()
+	if src.FPS() != 30 {
+		t.Fatalf("default FPS = %v, want 30", src.FPS())
+	}
+	if got.Resolution != Res224 || got.Quality != DefaultQuality {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	if got.Bytes <= 0 {
+		t.Fatal("frame has no payload bytes")
+	}
+}
+
+func TestSourceStop(t *testing.T) {
+	s := simtime.NewScheduler()
+	n := 0
+	var src *Source
+	src = NewSource(s, nil, SourceConfig{FPS: 10}, func(Frame) {
+		n++
+		if n == 5 {
+			src.Stop()
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if n != 5 {
+		t.Fatalf("source emitted %d frames after Stop at 5", n)
+	}
+}
+
+func TestSourceNilSinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil sink did not panic")
+		}
+	}()
+	NewSource(simtime.NewScheduler(), nil, SourceConfig{}, nil)
+}
+
+func TestResolutionHelpers(t *testing.T) {
+	if Res224.Pixels() != 224*224 {
+		t.Fatalf("Pixels() = %d", Res224.Pixels())
+	}
+	if Res224.String() != "224x224" {
+		t.Fatalf("String() = %q", Res224.String())
+	}
+}

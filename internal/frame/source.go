@@ -1,0 +1,123 @@
+package frame
+
+import (
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Source emits frames at a fixed rate on a simulation scheduler — the
+// camera of an edge device. The paper's sources run at 30 fps and emit
+// 4,000 frames per experiment.
+type Source struct {
+	sched   *simtime.Scheduler
+	rng     *rng.Stream
+	size    SizeModel
+	res     Resolution
+	quality Quality
+	stream  int
+	fps     float64
+	limit   uint64
+	emitted uint64
+	sink    func(Frame)
+	ticker  *simtime.Ticker
+}
+
+// SourceConfig configures a Source. Zero values select the evaluation
+// defaults noted on each field.
+type SourceConfig struct {
+	// FPS is the source frame rate F_s. Default 30.
+	FPS float64
+	// Limit is the total number of frames to emit; 0 means
+	// unlimited. The paper's experiments use 4,000.
+	Limit uint64
+	// Resolution defaults to 224×224, Quality to 75.
+	Resolution Resolution
+	Quality    Quality
+	// Stream tags emitted frames with a stream ID.
+	Stream int
+	// Size is the payload size model; zero value means
+	// DefaultSizeModel.
+	Size SizeModel
+}
+
+func (c *SourceConfig) applyDefaults() {
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.Resolution == 0 {
+		c.Resolution = Res224
+	}
+	if c.Quality == 0 {
+		c.Quality = DefaultQuality
+	}
+	if c.Size == (SizeModel{}) {
+		c.Size = DefaultSizeModel()
+	}
+}
+
+// NewSource creates a frame source delivering frames to sink. Frames
+// start at t = 0 and arrive every 1/FPS thereafter. r supplies content
+// size jitter and may be nil for deterministic sizes.
+func NewSource(sched *simtime.Scheduler, r *rng.Stream, cfg SourceConfig, sink func(Frame)) *Source {
+	if sink == nil {
+		panic("frame: NewSource with nil sink")
+	}
+	cfg.applyDefaults()
+	s := &Source{
+		sched:   sched,
+		rng:     r,
+		size:    cfg.Size,
+		res:     cfg.Resolution,
+		quality: cfg.Quality,
+		stream:  cfg.Stream,
+		fps:     cfg.FPS,
+		limit:   cfg.Limit,
+		sink:    sink,
+	}
+	interval := simtime.Time(float64(simtime.Time(1e9)) / cfg.FPS)
+	s.ticker = sched.Every(0, interval, s.emit)
+	return s
+}
+
+func (s *Source) emit(now simtime.Time) {
+	if s.limit > 0 && s.emitted >= s.limit {
+		s.ticker.Stop()
+		return
+	}
+	f := Frame{
+		ID:         s.emitted,
+		Stream:     s.stream,
+		CapturedAt: now,
+		Resolution: s.res,
+		Quality:    s.quality,
+		Bytes:      s.size.Bytes(s.res, s.quality, s.rng),
+	}
+	s.emitted++
+	s.sink(f)
+}
+
+// Emitted returns the number of frames produced so far.
+func (s *Source) Emitted() uint64 { return s.emitted }
+
+// Params returns the resolution and quality future frames will use.
+func (s *Source) Params() (Resolution, Quality) { return s.res, s.quality }
+
+// SetParams changes the resolution and JPEG quality of future frames —
+// the knob a quality-adaptation layer turns (§II-D). Invalid values
+// panic.
+func (s *Source) SetParams(res Resolution, q Quality) {
+	if res <= 0 {
+		panic("frame: SetParams with non-positive resolution")
+	}
+	if q < 1 || q > 100 {
+		panic("frame: SetParams with quality outside [1,100]")
+	}
+	s.res = res
+	s.quality = q
+}
+
+// FPS returns the configured source frame rate.
+func (s *Source) FPS() float64 { return s.fps }
+
+// Stop halts the source permanently.
+func (s *Source) Stop() { s.ticker.Stop() }

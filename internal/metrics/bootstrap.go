@@ -1,0 +1,54 @@
+package metrics
+
+import "repro/internal/rng"
+
+// CI is a two-sided confidence interval for a sample mean.
+type CI struct {
+	Mean     float64
+	Lo, Hi   float64
+	Level    float64 // e.g. 0.95
+	Resample int
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs
+// by percentile bootstrap: resample with replacement `resamples`
+// times, take the (1±level)/2 percentiles of the resampled means.
+// level must be in (0, 1); an empty sample yields a zero CI. r drives
+// the resampling and must not be nil for non-empty samples.
+//
+// Used by the robustness analyses to put honest error bars on
+// cross-seed aggregates — the seed samples are small (5–10), so
+// normal-theory intervals would be optimistic.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, r *rng.Stream) CI {
+	if level <= 0 || level >= 1 {
+		panic("metrics: BootstrapMeanCI level outside (0, 1)")
+	}
+	if resamples <= 0 {
+		panic("metrics: BootstrapMeanCI with non-positive resamples")
+	}
+	if len(xs) == 0 {
+		return CI{Level: level, Resample: resamples}
+	}
+	if r == nil {
+		panic("metrics: BootstrapMeanCI with nil rng")
+	}
+	means := make([]float64, resamples)
+	for i := range means {
+		sum := 0.0
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	return CI{
+		Mean:     Mean(xs),
+		Lo:       Percentile(means, alpha*100),
+		Hi:       Percentile(means, (1-alpha)*100),
+		Level:    level,
+		Resample: resamples,
+	}
+}

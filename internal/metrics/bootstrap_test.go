@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBootstrapCIBrackets(t *testing.T) {
+	r := rng.New(1)
+	// A sample from N(10, 2): the 95% CI of the mean must contain
+	// 10 the vast majority of the time; with n=50 it is tight.
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.NormFloat64(10, 2)
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 2000, rng.New(2))
+	if !ci.Contains(ci.Mean) {
+		t.Fatal("CI does not contain its own point estimate")
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatalf("degenerate CI: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if !ci.Contains(10) {
+		t.Fatalf("CI [%v, %v] misses the true mean 10 (possible but ~5%%; deterministic seed makes this stable)", ci.Lo, ci.Hi)
+	}
+	// Width sanity: sigma/sqrt(n) ≈ 0.28, so a 95% CI spans ~1.1.
+	if w := ci.Hi - ci.Lo; w < 0.3 || w > 2.5 {
+		t.Fatalf("CI width = %v, implausible for n=50, sigma=2", w)
+	}
+}
+
+func TestBootstrapCINarrowsWithN(t *testing.T) {
+	r := rng.New(3)
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = r.NormFloat64(5, 1)
+	}
+	wide := BootstrapMeanCI(big[:20], 0.95, 1000, rng.New(4))
+	tight := BootstrapMeanCI(big, 0.95, 1000, rng.New(5))
+	if tight.Hi-tight.Lo >= wide.Hi-wide.Lo {
+		t.Fatalf("CI did not narrow with sample size: %v vs %v",
+			tight.Hi-tight.Lo, wide.Hi-wide.Lo)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	ci := BootstrapMeanCI(nil, 0.95, 100, nil)
+	if ci.Mean != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Fatalf("empty-sample CI not zero: %+v", ci)
+	}
+}
+
+func TestBootstrapCIConstantSample(t *testing.T) {
+	ci := BootstrapMeanCI([]float64{7, 7, 7, 7}, 0.9, 500, rng.New(6))
+	if ci.Lo != 7 || ci.Hi != 7 || ci.Mean != 7 {
+		t.Fatalf("constant-sample CI = %+v, want degenerate at 7", ci)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	xs := []float64{1, 2}
+	for name, fn := range map[string]func(){
+		"level 0":    func() { BootstrapMeanCI(xs, 0, 100, rng.New(1)) },
+		"level 1":    func() { BootstrapMeanCI(xs, 1, 100, rng.New(1)) },
+		"no samples": func() { BootstrapMeanCI(xs, 0.9, 0, rng.New(1)) },
+		"nil rng":    func() { BootstrapMeanCI(xs, 0.9, 100, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the CI always brackets the sample mean and Lo <= Hi.
+func TestPropBootstrapCIOrdering(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		ci := BootstrapMeanCI(xs, 0.9, 200, rng.New(seed))
+		return ci.Lo <= ci.Mean+1e-9 && ci.Mean <= ci.Hi+1e-9 && ci.Lo <= ci.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Table is a named set of equal-length columns — one experiment trace
+// ready for CSV export or plotting.
+type Table struct {
+	headers []string
+	cols    [][]float64
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{} }
+
+// AddColumn appends a column. All columns must have equal length;
+// mismatches panic because they indicate a trace-recording bug.
+func (t *Table) AddColumn(name string, values []float64) *Table {
+	if len(t.cols) > 0 && len(values) != len(t.cols[0]) {
+		panic(fmt.Sprintf("metrics: column %q has %d rows, table has %d", name, len(values), len(t.cols[0])))
+	}
+	t.headers = append(t.headers, name)
+	t.cols = append(t.cols, values)
+	return t
+}
+
+// Headers returns the column names.
+func (t *Table) Headers() []string { return t.headers }
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0])
+}
+
+// Column returns the values of the named column and whether it exists.
+func (t *Table) Column(name string) ([]float64, bool) {
+	for i, h := range t.headers {
+		if h == name {
+			return t.cols[i], true
+		}
+	}
+	return nil, false
+}
+
+// WriteCSV writes the table in RFC 4180 CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	row := make([]string, len(t.cols))
+	for r := 0; r < t.Rows(); r++ {
+		for c := range t.cols {
+			row[c] = strconv.FormatFloat(t.cols[c][r], 'g', 6, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

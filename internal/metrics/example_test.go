@@ -1,0 +1,43 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Series buckets events into per-second rates — the backbone of every
+// figure trace.
+func ExampleSeries() {
+	s := metrics.NewSeries(time.Second)
+	for i := 0; i < 45; i++ {
+		s.Inc(time.Duration(i) * 33 * time.Millisecond) // ~30 fps
+	}
+	fmt.Printf("second 0: %.0f events\n", s.Sum(0))
+	fmt.Printf("second 1: %.0f events\n", s.Sum(1))
+	// Output:
+	// second 0: 31 events
+	// second 1: 14 events
+}
+
+// Window smooths the controller's T input — "the average of T from
+// the last few seconds".
+func ExampleWindow() {
+	w := metrics.NewWindow(3)
+	for _, timeouts := range []float64{0, 0, 9, 0, 0, 0} {
+		w.Push(timeouts)
+	}
+	fmt.Printf("mean of last 3: %.0f\n", w.Mean())
+	// Output:
+	// mean of last 3: 0
+}
+
+// JainIndex quantifies multi-tenant fairness.
+func ExampleJainIndex() {
+	fmt.Printf("equal:    %.2f\n", metrics.JainIndex([]float64{10, 10, 10, 10}))
+	fmt.Printf("monopoly: %.2f\n", metrics.JainIndex([]float64{40, 0, 0, 0}))
+	// Output:
+	// equal:    1.00
+	// monopoly: 0.25
+}

@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestSeriesBucketing(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Inc(0)
+	s.Inc(999 * time.Millisecond)
+	s.Inc(1000 * time.Millisecond)
+	s.Add(2500*time.Millisecond, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	if s.Sum(0) != 2 || s.Sum(1) != 1 || s.Sum(2) != 3 {
+		t.Fatalf("sums = %v %v %v", s.Sum(0), s.Sum(1), s.Sum(2))
+	}
+	if s.Count(2) != 1 {
+		t.Fatalf("Count(2) = %d", s.Count(2))
+	}
+	if s.Rate(0) != 2 {
+		t.Fatalf("Rate(0) = %v", s.Rate(0))
+	}
+}
+
+func TestSeriesOutOfRangeReadsZero(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Inc(time.Second)
+	if s.Sum(-1) != 0 || s.Sum(10) != 0 || s.Count(10) != 0 || s.Rate(5) != 0 {
+		t.Fatal("out-of-range reads not zero")
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := NewSeries(time.Second)
+	if s.Mean(0) != 0 {
+		t.Fatal("empty bucket mean != 0")
+	}
+	s.Add(0, 10)
+	s.Add(0, 20)
+	if s.Mean(0) != 15 {
+		t.Fatalf("Mean(0) = %v", s.Mean(0))
+	}
+}
+
+func TestSeriesSumsAndRatesPadding(t *testing.T) {
+	s := NewSeries(500 * time.Millisecond)
+	s.Add(0, 4)
+	sums := s.Sums(4)
+	if len(sums) != 4 || sums[0] != 4 || sums[3] != 0 {
+		t.Fatalf("Sums(4) = %v", sums)
+	}
+	rates := s.Rates(4)
+	if rates[0] != 8 { // 4 per 0.5 s bucket = 8/s
+		t.Fatalf("Rates(4)[0] = %v, want 8", rates[0])
+	}
+}
+
+func TestSeriesTotal(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(simtime.Time(i)*time.Second, float64(i))
+	}
+	if s.Total() != 45 {
+		t.Fatalf("Total() = %v, want 45", s.Total())
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bucket": func() { NewSeries(0) },
+		"negative t":  func() { NewSeries(time.Second).Add(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Total equals the sum of all added values for arbitrary
+// inserts.
+func TestPropSeriesTotal(t *testing.T) {
+	f := func(ts []uint16, vs []uint8) bool {
+		s := NewSeries(time.Second)
+		want := 0.0
+		n := len(ts)
+		if len(vs) < n {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			v := float64(vs[i])
+			s.Add(simtime.Time(ts[i])*time.Millisecond, v)
+			want += v
+		}
+		return math.Abs(s.Total()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Mean() != 0 || w.Len() != 0 || w.Last() != 0 || w.Max() != 0 {
+		t.Fatal("empty window not all-zero")
+	}
+	w.Push(3)
+	w.Push(6)
+	if w.Mean() != 4.5 || w.Len() != 2 {
+		t.Fatalf("Mean=%v Len=%d", w.Mean(), w.Len())
+	}
+	w.Push(9)
+	w.Push(12) // evicts 3
+	if w.Mean() != 9 {
+		t.Fatalf("Mean after eviction = %v, want 9", w.Mean())
+	}
+	if w.Len() != 3 || w.Cap() != 3 {
+		t.Fatalf("Len=%d Cap=%d", w.Len(), w.Cap())
+	}
+	if w.Last() != 12 {
+		t.Fatalf("Last = %v", w.Last())
+	}
+	if w.Max() != 12 {
+		t.Fatalf("Max = %v", w.Max())
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(5)
+	w.Push(7)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not empty the window")
+	}
+	w.Push(1)
+	if w.Mean() != 1 {
+		t.Fatalf("Mean after reset+push = %v", w.Mean())
+	}
+}
+
+func TestWindowPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: window mean equals the mean of the last min(cap, n)
+// pushed values.
+func TestPropWindowMean(t *testing.T) {
+	f := func(vals []uint8, capRaw uint8) bool {
+		capn := int(capRaw)%10 + 1
+		w := NewWindow(capn)
+		for _, v := range vals {
+			w.Push(float64(v))
+		}
+		start := len(vals) - capn
+		if start < 0 {
+			start = 0
+		}
+		tail := vals[start:]
+		if len(tail) == 0 {
+			return w.Mean() == 0
+		}
+		want := 0.0
+		for _, v := range tail {
+			want += float64(v)
+		}
+		want /= float64(len(tail))
+		return math.Abs(w.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Sum != 15 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("Std = %v, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", p)
+	}
+	if p := Percentile(xs, 0); p != 0 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := Percentile([]float64{7}, 99); p != 7 {
+		t.Fatalf("P99 of single = %v", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Percentile(nil, 50) },
+		"p>100": func() { Percentile([]float64{1}, 101) },
+		"p<0":   func() { Percentile([]float64{1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropPercentileMonotone(t *testing.T) {
+	f := func(raw []uint8, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa := float64(p1) / 255 * 100
+		pb := float64(p2) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		s := Summarize(xs)
+		return va <= vb && va >= s.Min && vb <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable().
+		AddColumn("t", []float64{0, 1, 2}).
+		AddColumn("p", []float64{13.4, 20, 30})
+	if tb.Rows() != 3 {
+		t.Fatalf("Rows() = %d", tb.Rows())
+	}
+	col, ok := tb.Column("p")
+	if !ok || col[2] != 30 {
+		t.Fatalf("Column(p) = %v, %v", col, ok)
+	}
+	if _, ok := tb.Column("missing"); ok {
+		t.Fatal("Column(missing) reported ok")
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "t,p" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,13.4" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestTableMismatchedColumnsPanics(t *testing.T) {
+	tb := NewTable().AddColumn("a", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched column did not panic")
+		}
+	}()
+	tb.AddColumn("b", []float64{1})
+}
+
+func TestEmptyTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1 { // just the newline of the empty header row
+		t.Logf("empty table CSV = %q", buf.String())
+	}
+}

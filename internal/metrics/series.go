@@ -1,0 +1,122 @@
+// Package metrics provides the measurement plumbing shared by the
+// simulator and the real-network mode: bucketed time series (the
+// per-second traces behind every figure), sliding windows (the
+// "average of T from the last few seconds" that feeds the controller),
+// summary statistics, and CSV export.
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Series accumulates values into fixed-width time buckets. It backs
+// the per-second traces (P, P_o, P_l, T) plotted in the paper's
+// figures.
+type Series struct {
+	bucket time.Duration
+	sums   []float64
+	counts []int
+}
+
+// NewSeries creates a series with the given bucket width. The paper's
+// traces use one-second buckets.
+func NewSeries(bucket time.Duration) *Series {
+	if bucket <= 0 {
+		panic("metrics: NewSeries with non-positive bucket")
+	}
+	return &Series{bucket: bucket}
+}
+
+// Bucket returns the configured bucket width.
+func (s *Series) Bucket() time.Duration { return s.bucket }
+
+func (s *Series) idx(t simtime.Time) int {
+	if t < 0 {
+		panic("metrics: negative timestamp")
+	}
+	return int(t / s.bucket)
+}
+
+func (s *Series) grow(i int) {
+	for len(s.sums) <= i {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+}
+
+// Add accumulates v into the bucket containing t.
+func (s *Series) Add(t simtime.Time, v float64) {
+	i := s.idx(t)
+	s.grow(i)
+	s.sums[i] += v
+	s.counts[i]++
+}
+
+// Inc is Add(t, 1) — the common case of counting events.
+func (s *Series) Inc(t simtime.Time) { s.Add(t, 1) }
+
+// Len returns the number of buckets touched so far (index of the last
+// non-empty bucket + 1).
+func (s *Series) Len() int { return len(s.sums) }
+
+// Sum returns the accumulated value in bucket i, 0 for buckets beyond
+// the touched range.
+func (s *Series) Sum(i int) float64 {
+	if i < 0 || i >= len(s.sums) {
+		return 0
+	}
+	return s.sums[i]
+}
+
+// Count returns the number of Add calls that landed in bucket i.
+func (s *Series) Count(i int) int {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// Rate returns bucket i's sum divided by the bucket width in seconds —
+// an events-per-second rate when the series counts events.
+func (s *Series) Rate(i int) float64 {
+	return s.Sum(i) / s.bucket.Seconds()
+}
+
+// Mean returns the average of values added to bucket i, or 0 if the
+// bucket is empty.
+func (s *Series) Mean(i int) float64 {
+	c := s.Count(i)
+	if c == 0 {
+		return 0
+	}
+	return s.Sum(i) / float64(c)
+}
+
+// Sums returns a copy of all bucket sums, padded with zeros to n
+// buckets (useful for aligning series of different lengths).
+func (s *Series) Sums(n int) []float64 {
+	out := make([]float64, n)
+	copy(out, s.sums)
+	return out
+}
+
+// Rates returns all bucket rates padded to n buckets.
+func (s *Series) Rates(n int) []float64 {
+	out := s.Sums(n)
+	sec := s.bucket.Seconds()
+	for i := range out {
+		out[i] /= sec
+	}
+	return out
+}
+
+// Total returns the sum over all buckets.
+func (s *Series) Total() float64 {
+	t := 0.0
+	for _, v := range s.sums {
+		t += v
+	}
+	return t
+}

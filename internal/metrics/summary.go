@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	P50, P90 float64
+	P99      float64
+	Sum      float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical guard
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: mean,
+		Std:  math.Sqrt(variance),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  PercentileSorted(sorted, 50),
+		P90:  PercentileSorted(sorted, 90),
+		P99:  PercentileSorted(sorted, 99),
+		Sum:  sum,
+	}
+}
+
+// Mean returns the arithmetic mean, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// PercentileSorted returns the p-th percentile (0–100) of an
+// already-sorted sample using linear interpolation. It panics on an
+// empty sample or p outside [0, 100].
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic("metrics: percentile out of [0,100]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile sorts a copy of xs and returns its p-th percentile.
+func Percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for a set of
+// per-tenant allocations: 1 when perfectly equal, 1/n when one tenant
+// takes everything. An empty or all-zero sample returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

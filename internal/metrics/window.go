@@ -1,0 +1,93 @@
+package metrics
+
+// Window is a fixed-capacity sliding window over the most recent
+// samples. The FrameFeedback controller smooths its timeout-rate input
+// with a short window — "the average of T from the last few seconds"
+// (paper §III-A1) — which is why the integral term can be dropped.
+type Window struct {
+	cap  int
+	vals []float64
+	head int
+	full bool
+	sum  float64
+}
+
+// NewWindow creates a window holding the last n samples. n must be
+// positive.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("metrics: NewWindow with non-positive capacity")
+	}
+	return &Window{cap: n, vals: make([]float64, n)}
+}
+
+// Push appends a sample, evicting the oldest once the window is full.
+func (w *Window) Push(v float64) {
+	if w.full {
+		w.sum -= w.vals[w.head]
+	}
+	w.vals[w.head] = v
+	w.sum += v
+	w.head++
+	if w.head == w.cap {
+		w.head = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int {
+	if w.full {
+		return w.cap
+	}
+	return w.head
+}
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return w.cap }
+
+// Mean returns the average of the held samples, or 0 when empty.
+func (w *Window) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Max returns the maximum held sample, or 0 when empty.
+func (w *Window) Max() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	m := w.vals[0]
+	for i := 1; i < n; i++ {
+		if w.vals[i] > m {
+			m = w.vals[i]
+		}
+	}
+	return m
+}
+
+// Last returns the most recently pushed sample, or 0 when empty.
+func (w *Window) Last() float64 {
+	if w.Len() == 0 {
+		return 0
+	}
+	i := w.head - 1
+	if i < 0 {
+		i = w.cap - 1
+	}
+	return w.vals[i]
+}
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head = 0
+	w.full = false
+	w.sum = 0
+	for i := range w.vals {
+		w.vals[i] = 0
+	}
+}

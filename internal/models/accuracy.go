@@ -1,0 +1,65 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// AccuracyAt estimates a model's Top-1 accuracy when fed frames at the
+// given resolution and JPEG quality, implementing the §II-D trade-off:
+// larger inputs and lighter compression improve accuracy, at the cost
+// of more bytes per offloaded frame (see frame.SizeModel).
+//
+// The model combines two published effects:
+//
+//   - Resolution: CNN accuracy degrades roughly logarithmically as the
+//     input shrinks below the training resolution (≈ 4.5 points per
+//     halving, the slope observed across the MobileNet/EfficientNet
+//     resolution ablations). Upscaling beyond native resolution gives
+//     a small bounded gain (≤ 1 point).
+//
+//   - Compression: accuracy is nearly flat above JPEG quality ~50 and
+//     falls steeply below (≈ quadratic in the quality deficit),
+//     matching the JPEG-robustness literature the paper cites [30].
+//
+// The result is clamped to [0, native accuracy + 1 point].
+func AccuracyAt(m Model, res frame.Resolution, q frame.Quality) float64 {
+	if !m.Valid() {
+		panic("models: AccuracyAt of invalid model")
+	}
+	if res <= 0 {
+		panic("models: AccuracyAt with non-positive resolution")
+	}
+	base := m.TopOneAccuracy()
+
+	// Resolution term.
+	native := float64(m.NativeResolution())
+	ratio := float64(res) / native
+	var resDelta float64
+	if ratio < 1 {
+		resDelta = 0.045 * math.Log2(ratio) // negative
+	} else {
+		resDelta = 0.01 * (1 - 1/ratio) // tiny bounded gain
+	}
+
+	// Compression term.
+	qf := float64(q)
+	if qf > 100 {
+		qf = 100
+	}
+	var compDelta float64
+	if qf < 50 {
+		d := (50 - qf) / 50 // 0..1 as quality drops to 0
+		compDelta = -0.25 * d * d
+	}
+
+	acc := base + resDelta + compDelta
+	if acc < 0 {
+		acc = 0
+	}
+	if max := base + 0.01; acc > max {
+		acc = max
+	}
+	return acc
+}

@@ -1,0 +1,92 @@
+package models
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeviceProfile describes an edge device's local inference capability.
+// The three profiles below are the paper's Raspberry Pis (Table II);
+// rates printed in bold there are reproduced verbatim.
+type DeviceProfile struct {
+	// Name identifies the hardware revision.
+	Name string
+	// CPUs and ClockMHz are reported for documentation; the
+	// simulator keys everything off LocalRates.
+	CPUs     int
+	ClockMHz int
+	MemoryMB int
+	// LocalRates maps a model to the measured local inference rate
+	// P_l in frames/second at 224×224 input. Models absent from the
+	// paper's table are derived from relativeCost and marked so in
+	// the profile constructors.
+	LocalRates map[Model]float64
+}
+
+// LocalRate returns the device's local processing rate P_l for the
+// model, in frames per second. Rates for models the paper did not
+// measure are derived by scaling the measured MobileNetV3Small rate by
+// relative model cost.
+func (d *DeviceProfile) LocalRate(m Model) float64 {
+	if !m.Valid() {
+		panic("models: LocalRate of invalid model")
+	}
+	if r, ok := d.LocalRates[m]; ok {
+		return r
+	}
+	base := d.LocalRates[MobileNetV3Small]
+	return base / m.relativeCost()
+}
+
+// LocalLatency returns the mean per-frame local inference latency,
+// 1/P_l.
+func (d *DeviceProfile) LocalLatency(m Model) time.Duration {
+	r := d.LocalRate(m)
+	if r <= 0 {
+		panic(fmt.Sprintf("models: device %q has non-positive rate for %v", d.Name, m))
+	}
+	return time.Duration(float64(time.Second) / r)
+}
+
+// The paper's edge devices (Table II). Bold table entries are copied
+// exactly; MobileNetV3Large and EfficientNetB4 rates fall back to the
+// relativeCost derivation in LocalRate.
+
+// Pi3B is the Raspberry Pi 3B Rev 1.2.
+func Pi3B() *DeviceProfile {
+	return &DeviceProfile{
+		Name: "Pi 3B Rev 1.2", CPUs: 4, ClockMHz: 1200, MemoryMB: 909,
+		LocalRates: map[Model]float64{
+			MobileNetV3Small: 5.5,
+			EfficientNetB0:   1.8,
+		},
+	}
+}
+
+// Pi4B12 is the Raspberry Pi 4B Rev 1.2.
+func Pi4B12() *DeviceProfile {
+	return &DeviceProfile{
+		Name: "Pi 4B Rev 1.2", CPUs: 4, ClockMHz: 1500, MemoryMB: 3700,
+		LocalRates: map[Model]float64{
+			MobileNetV3Small: 13,
+			EfficientNetB0:   2.5,
+		},
+	}
+}
+
+// Pi4B14 is the Raspberry Pi 4B Rev 1.4, the measured device in the
+// paper's figures.
+func Pi4B14() *DeviceProfile {
+	return &DeviceProfile{
+		Name: "Pi 4B Rev 1.4", CPUs: 4, ClockMHz: 1800, MemoryMB: 7600,
+		LocalRates: map[Model]float64{
+			MobileNetV3Small: 13.4,
+			EfficientNetB0:   4.2,
+		},
+	}
+}
+
+// AllDevices returns the three paper devices in Table II column order.
+func AllDevices() []*DeviceProfile {
+	return []*DeviceProfile{Pi3B(), Pi4B12(), Pi4B14()}
+}

@@ -1,0 +1,29 @@
+package models_test
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+)
+
+// Device profiles carry the paper's measured Table II rates; derived
+// latencies follow directly.
+func ExampleDeviceProfile() {
+	pi := models.Pi4B14()
+	rate := pi.LocalRate(models.MobileNetV3Small)
+	fmt.Printf("%s: %.1f fps (%.1f ms/frame)\n",
+		pi.Name, rate, pi.LocalLatency(models.MobileNetV3Small).Seconds()*1000)
+	// Output:
+	// Pi 4B Rev 1.4: 13.4 fps (74.6 ms/frame)
+}
+
+// The GPU batch curve is the affine model behind the server's
+// saturation point: 15 frames / 100 ms = 150 req/s.
+func ExampleBatchCurve() {
+	curve := models.TeslaV100().Curve(models.MobileNetV3Small)
+	fmt.Printf("batch 1:  %v\n", curve.Latency(1))
+	fmt.Printf("batch 15: %v (%.0f req/s)\n", curve.Latency(15), curve.MaxThroughput(15))
+	// Output:
+	// batch 1:  44ms
+	// batch 15: 100ms (150 req/s)
+}

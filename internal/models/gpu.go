@@ -1,0 +1,80 @@
+package models
+
+import "time"
+
+// GPUProfile describes the edge server's accelerator as a per-model
+// batch latency curve
+//
+//	latency(b) = Setup + b·PerItem
+//
+// which is the standard first-order model for batched DNN inference:
+// a fixed kernel-launch/IPC/memory-transfer cost plus a per-item
+// compute cost (paper §II-B, [35]).
+//
+// Calibration note (documented substitution): the paper's V100 numbers
+// are not published, but its Figure 4 shows the server saturating near
+// ~150 background requests/s plus the measured device's offload, with
+// batch size capped at 15 (§IV-A). The curves below are calibrated so
+// that full-batch MobileNetV3Small throughput is 15 frames / 100 ms =
+// 150 req/s — reproducing the paper's saturation point — while a
+// single-frame request completes in ~44 ms, comfortably inside the
+// 250 ms deadline when the network is healthy. Heavier models scale by
+// relative cost.
+type GPUProfile struct {
+	Name string
+	// Curves maps each model to its batch latency parameters.
+	Curves map[Model]BatchCurve
+	// JitterRel is the relative standard deviation applied to each
+	// batch execution (scheduler noise, IPC); 0 disables it.
+	JitterRel float64
+}
+
+// BatchCurve holds the affine batch-latency parameters for one model.
+type BatchCurve struct {
+	Setup   time.Duration
+	PerItem time.Duration
+}
+
+// Latency returns the modeled execution time for a batch of size b.
+func (c BatchCurve) Latency(b int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return c.Setup + time.Duration(b)*c.PerItem
+}
+
+// MaxThroughput returns the asymptotic service rate (items/s) at batch
+// size b.
+func (c BatchCurve) MaxThroughput(b int) float64 {
+	lat := c.Latency(b)
+	if lat <= 0 {
+		return 0
+	}
+	return float64(b) / lat.Seconds()
+}
+
+// TeslaV100 returns the evaluation server profile (see calibration
+// note on GPUProfile).
+func TeslaV100() *GPUProfile {
+	return &GPUProfile{
+		Name: "Tesla V100 (KVM passthrough)",
+		Curves: map[Model]BatchCurve{
+			MobileNetV3Small: {Setup: 40 * time.Millisecond, PerItem: 4 * time.Millisecond},
+			MobileNetV3Large: {Setup: 44 * time.Millisecond, PerItem: 6 * time.Millisecond},
+			EfficientNetB0:   {Setup: 48 * time.Millisecond, PerItem: 8 * time.Millisecond},
+			EfficientNetB4:   {Setup: 60 * time.Millisecond, PerItem: 20 * time.Millisecond},
+		},
+		JitterRel: 0.05,
+	}
+}
+
+// Curve returns the batch curve for a model, panicking on unknown
+// models — a missing calibration is a programming error, not a
+// runtime condition.
+func (g *GPUProfile) Curve(m Model) BatchCurve {
+	c, ok := g.Curves[m]
+	if !ok {
+		panic("models: GPU profile has no curve for " + m.String())
+	}
+	return c
+}

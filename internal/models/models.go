@@ -1,0 +1,99 @@
+// Package models is the model zoo: the image-classification networks
+// the paper evaluates, their published Top-1 accuracies (Table III),
+// their measured local inference rates on each Raspberry Pi
+// (Table II), and calibrated GPU batch-latency curves for the edge
+// server.
+//
+// The simulator never executes a neural network. What the control
+// system observes is *when* results arrive, so each model is reduced
+// to the latency/accuracy surface the paper reports. Where the paper
+// gives a number, that number is used verbatim; derived values are
+// flagged in comments.
+package models
+
+import "fmt"
+
+// Model identifies one of the classification networks from the paper.
+type Model int
+
+const (
+	// MobileNetV3Small is the evaluation workhorse: the paper uses
+	// it for every figure because "it produces the smoothest
+	// results" (§IV-A).
+	MobileNetV3Small Model = iota
+	MobileNetV3Large
+	EfficientNetB0
+	EfficientNetB4
+
+	numModels
+)
+
+// All lists every model in the zoo.
+func All() []Model {
+	return []Model{MobileNetV3Small, MobileNetV3Large, EfficientNetB0, EfficientNetB4}
+}
+
+func (m Model) String() string {
+	switch m {
+	case MobileNetV3Small:
+		return "MobileNetV3Small"
+	case MobileNetV3Large:
+		return "MobileNetV3Large"
+	case EfficientNetB0:
+		return "EfficientNetB0"
+	case EfficientNetB4:
+		return "EfficientNetB4"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Valid reports whether m names a known model.
+func (m Model) Valid() bool { return m >= 0 && m < numModels }
+
+// TopOneAccuracy returns the published ImageNet Top-1 accuracy at the
+// model's native input resolution (paper Table III).
+func (m Model) TopOneAccuracy() float64 {
+	switch m {
+	case EfficientNetB0:
+		return 0.771
+	case EfficientNetB4:
+		return 0.829
+	case MobileNetV3Small:
+		return 0.674
+	case MobileNetV3Large:
+		return 0.752
+	default:
+		panic("models: TopOneAccuracy of invalid model")
+	}
+}
+
+// NativeResolution returns the input edge length the model was
+// pre-trained with: 224 for all models except EfficientNetB4's 380
+// (paper §II-D).
+func (m Model) NativeResolution() int {
+	if m == EfficientNetB4 {
+		return 380
+	}
+	return 224
+}
+
+// relativeCost expresses each model's computational cost relative to
+// MobileNetV3Small ≡ 1. Derived from the paper's Table II rates where
+// available (EfficientNetB0 is ~3.2–5.3× slower than MobileNetV3Small
+// across the three Pis) and from published MAdds ratios otherwise
+// (MobileNetV3Large ≈ 3.7× Small; EfficientNetB4 ≈ 11× B0).
+func (m Model) relativeCost() float64 {
+	switch m {
+	case MobileNetV3Small:
+		return 1.0
+	case MobileNetV3Large:
+		return 3.7
+	case EfficientNetB0:
+		return 4.0
+	case EfficientNetB4:
+		return 44.0
+	default:
+		panic("models: relativeCost of invalid model")
+	}
+}

@@ -1,0 +1,258 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/frame"
+)
+
+func TestTableIIIAccuracies(t *testing.T) {
+	// Paper Table III, verbatim.
+	want := map[Model]float64{
+		EfficientNetB0:   0.771,
+		EfficientNetB4:   0.829,
+		MobileNetV3Small: 0.674,
+		MobileNetV3Large: 0.752,
+	}
+	for m, acc := range want {
+		if got := m.TopOneAccuracy(); got != acc {
+			t.Errorf("%v accuracy = %v, want %v", m, got, acc)
+		}
+	}
+}
+
+func TestTableIILocalRates(t *testing.T) {
+	// Paper Table II bold entries, verbatim.
+	cases := []struct {
+		dev   *DeviceProfile
+		model Model
+		want  float64
+	}{
+		{Pi3B(), MobileNetV3Small, 5.5},
+		{Pi4B12(), MobileNetV3Small, 13},
+		{Pi4B14(), MobileNetV3Small, 13.4},
+		{Pi3B(), EfficientNetB0, 1.8},
+		{Pi4B12(), EfficientNetB0, 2.5},
+		{Pi4B14(), EfficientNetB0, 4.2},
+	}
+	for _, c := range cases {
+		if got := c.dev.LocalRate(c.model); got != c.want {
+			t.Errorf("%s %v rate = %v, want %v", c.dev.Name, c.model, got, c.want)
+		}
+	}
+}
+
+func TestDerivedLocalRates(t *testing.T) {
+	d := Pi4B14()
+	// Derived rates must be positive and slower than the measured
+	// MobileNetV3Small rate.
+	small := d.LocalRate(MobileNetV3Small)
+	for _, m := range []Model{MobileNetV3Large, EfficientNetB4} {
+		r := d.LocalRate(m)
+		if r <= 0 || r >= small {
+			t.Errorf("derived rate for %v = %v, want in (0, %v)", m, r, small)
+		}
+	}
+}
+
+func TestLocalLatencyInverse(t *testing.T) {
+	d := Pi4B14()
+	lat := d.LocalLatency(MobileNetV3Small)
+	rate := 13.4
+	want := time.Duration(float64(time.Second) / rate)
+	if diff := lat - want; diff > time.Microsecond || diff < -time.Microsecond {
+		t.Fatalf("LocalLatency = %v, want %v", lat, want)
+	}
+}
+
+func TestNativeResolution(t *testing.T) {
+	for _, m := range All() {
+		want := 224
+		if m == EfficientNetB4 {
+			want = 380
+		}
+		if got := m.NativeResolution(); got != want {
+			t.Errorf("%v native resolution = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	names := map[Model]string{
+		MobileNetV3Small: "MobileNetV3Small",
+		MobileNetV3Large: "MobileNetV3Large",
+		EfficientNetB0:   "EfficientNetB0",
+		EfficientNetB4:   "EfficientNetB4",
+		Model(99):        "Model(99)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("String() = %q, want %q", m.String(), want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, m := range All() {
+		if !m.Valid() {
+			t.Errorf("%v not Valid", m)
+		}
+	}
+	if Model(-1).Valid() || Model(99).Valid() {
+		t.Error("invalid models report Valid")
+	}
+}
+
+func TestInvalidModelPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"TopOneAccuracy": func() { Model(99).TopOneAccuracy() },
+		"LocalRate":      func() { Pi4B14().LocalRate(Model(99)) },
+		"AccuracyAt":     func() { AccuracyAt(Model(99), frame.Res224, 75) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on invalid model did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGPUBatchCurve(t *testing.T) {
+	g := TeslaV100()
+	c := g.Curve(MobileNetV3Small)
+	if c.Latency(0) != 0 {
+		t.Fatal("Latency(0) != 0")
+	}
+	if got := c.Latency(1); got != 44*time.Millisecond {
+		t.Fatalf("Latency(1) = %v, want 44ms", got)
+	}
+	if got := c.Latency(15); got != 100*time.Millisecond {
+		t.Fatalf("Latency(15) = %v, want 100ms (calibrated saturation)", got)
+	}
+	// The calibration target: 150 req/s at full batch.
+	if tp := c.MaxThroughput(15); math.Abs(tp-150) > 0.5 {
+		t.Fatalf("MaxThroughput(15) = %v, want ~150", tp)
+	}
+}
+
+func TestGPUBatchLatencyMonotone(t *testing.T) {
+	g := TeslaV100()
+	for _, m := range All() {
+		c := g.Curve(m)
+		prev := time.Duration(0)
+		for b := 1; b <= 15; b++ {
+			lat := c.Latency(b)
+			if lat <= prev {
+				t.Fatalf("%v latency not monotone at batch %d", m, b)
+			}
+			prev = lat
+		}
+	}
+}
+
+func TestGPUHeavierModelsSlower(t *testing.T) {
+	g := TeslaV100()
+	if g.Curve(EfficientNetB0).Latency(8) <= g.Curve(MobileNetV3Small).Latency(8) {
+		t.Fatal("EfficientNetB0 not slower than MobileNetV3Small on GPU")
+	}
+	if g.Curve(EfficientNetB4).Latency(8) <= g.Curve(EfficientNetB0).Latency(8) {
+		t.Fatal("EfficientNetB4 not slower than EfficientNetB0 on GPU")
+	}
+}
+
+func TestGPUUnknownModelPanics(t *testing.T) {
+	g := &GPUProfile{Curves: map[Model]BatchCurve{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Curve on missing model did not panic")
+		}
+	}()
+	g.Curve(MobileNetV3Small)
+}
+
+func TestAccuracyAtNative(t *testing.T) {
+	for _, m := range All() {
+		res := frame.Resolution(m.NativeResolution())
+		got := AccuracyAt(m, res, 75)
+		if math.Abs(got-m.TopOneAccuracy()) > 1e-9 {
+			t.Errorf("%v accuracy at native/q75 = %v, want %v", m, got, m.TopOneAccuracy())
+		}
+	}
+}
+
+func TestAccuracyDropsWithResolution(t *testing.T) {
+	hi := AccuracyAt(MobileNetV3Small, frame.Res224, 75)
+	lo := AccuracyAt(MobileNetV3Small, frame.Res160, 75)
+	if lo >= hi {
+		t.Fatalf("accuracy did not drop at lower resolution: %v >= %v", lo, hi)
+	}
+	// Halving resolution costs ≈ 4.5 points.
+	half := AccuracyAt(MobileNetV3Small, 112, 75)
+	if d := hi - half; math.Abs(d-0.045) > 0.001 {
+		t.Fatalf("halving cost = %v points, want ~0.045", d)
+	}
+}
+
+func TestAccuracyDropsWithCompression(t *testing.T) {
+	base := AccuracyAt(MobileNetV3Small, frame.Res224, 75)
+	if AccuracyAt(MobileNetV3Small, frame.Res224, 55) != base {
+		t.Fatal("accuracy should be flat above quality 50")
+	}
+	q20 := AccuracyAt(MobileNetV3Small, frame.Res224, 20)
+	q5 := AccuracyAt(MobileNetV3Small, frame.Res224, 5)
+	if !(q5 < q20 && q20 < base) {
+		t.Fatalf("accuracy not decreasing with compression: %v, %v, %v", q5, q20, base)
+	}
+}
+
+func TestAccuracyUpscaleBoundedGain(t *testing.T) {
+	base := AccuracyAt(MobileNetV3Small, frame.Res224, 75)
+	up := AccuracyAt(MobileNetV3Small, frame.Res512, 75)
+	if up < base {
+		t.Fatalf("upscaling reduced accuracy: %v < %v", up, base)
+	}
+	if up > base+0.0101 {
+		t.Fatalf("upscaling gain %v exceeds 1-point bound", up-base)
+	}
+}
+
+// Property: accuracy stays in [0, 1] and is monotone in quality for
+// every model and resolution.
+func TestPropAccuracyBoundsAndMonotone(t *testing.T) {
+	f := func(mSel, resSel, q1, q2 uint8) bool {
+		m := All()[int(mSel)%4]
+		res := []frame.Resolution{frame.Res160, frame.Res224, frame.Res380, frame.Res512}[int(resSel)%4]
+		qa := frame.Quality(int(q1)%100 + 1)
+		qb := frame.Quality(int(q2)%100 + 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		aa, ab := AccuracyAt(m, res, qa), AccuracyAt(m, res, qb)
+		if aa < 0 || aa > 1 || ab < 0 || ab > 1 {
+			return false
+		}
+		return aa <= ab
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDevicesOrder(t *testing.T) {
+	devs := AllDevices()
+	if len(devs) != 3 {
+		t.Fatalf("AllDevices returned %d devices", len(devs))
+	}
+	// Table II order: 3B, 4B 1.2, 4B 1.4 — rates strictly increasing.
+	for i := 1; i < len(devs); i++ {
+		if devs[i].LocalRate(MobileNetV3Small) <= devs[i-1].LocalRate(MobileNetV3Small) {
+			t.Fatal("device rates not increasing across Table II columns")
+		}
+	}
+}

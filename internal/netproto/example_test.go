@@ -1,0 +1,25 @@
+package netproto_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/netproto"
+)
+
+// Messages are length-prefixed binary frames; requests carry the
+// (virtual) JPEG payload so offloading consumes real uplink bytes.
+func ExampleWriteRequest() {
+	var wire bytes.Buffer
+	_ = netproto.WriteRequest(&wire, &netproto.Request{
+		Stream:  1,
+		FrameID: 42,
+		Model:   models.MobileNetV3Small,
+		Payload: make([]byte, 29000),
+	})
+	req, _ := netproto.ReadRequest(&wire)
+	fmt.Printf("frame %d, %s, %d payload bytes\n", req.FrameID, req.Model, len(req.Payload))
+	// Output:
+	// frame 42, MobileNetV3Small, 29000 payload bytes
+}

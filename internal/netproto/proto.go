@@ -1,0 +1,213 @@
+// Package netproto defines the wire protocol for the real-network
+// mode: length-prefixed binary messages carrying inference requests
+// (device → server) and results (server → device) over TCP.
+//
+// Framing: every message is
+//
+//	uint32  body length (big endian, excludes this prefix)
+//	uint8   protocol version (Version)
+//	uint8   message type
+//	...     fixed-layout body
+//
+// The request body ends with a variable-length payload — the (virtual)
+// JPEG bytes — so that offloading consumes real uplink bandwidth.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/models"
+)
+
+// Version is the protocol version byte.
+const Version = 1
+
+// Message types.
+const (
+	TypeRequest  = 1
+	TypeResponse = 2
+)
+
+// MaxMessageSize bounds a message body; larger prefixes indicate a
+// corrupt or hostile stream.
+const MaxMessageSize = 16 << 20
+
+// Errors returned by the decoders.
+var (
+	ErrBadVersion = errors.New("netproto: unsupported protocol version")
+	ErrBadType    = errors.New("netproto: unexpected message type")
+	ErrTooLarge   = errors.New("netproto: message exceeds MaxMessageSize")
+	ErrTruncated  = errors.New("netproto: truncated message body")
+)
+
+// Request is an inference task: classify Payload with Model.
+type Request struct {
+	// Stream identifies the device (tenant) on this connection.
+	Stream uint32
+	// FrameID echoes back in the response for matching.
+	FrameID uint64
+	// Model selects the classifier.
+	Model models.Model
+	// CapturedUnixNano is the capture timestamp for end-to-end
+	// latency accounting.
+	CapturedUnixNano int64
+	// Probe marks heartbeat requests that should not count toward
+	// workload statistics.
+	Probe bool
+	// Payload is the encoded frame.
+	Payload []byte
+}
+
+// Response is the server's verdict on one request.
+type Response struct {
+	FrameID uint64
+	// Rejected reports load shedding (the batcher's overflow).
+	Rejected bool
+	// Label is the (simulated) classification result.
+	Label int32
+	// BatchSize is the executing batch's size (0 when rejected).
+	BatchSize uint16
+}
+
+const requestFixedLen = 4 + 8 + 1 + 8 + 1 + 4 // stream, frame, model, captured, probe, payloadLen
+const responseLen = 8 + 1 + 4 + 2
+
+// WriteRequest encodes and writes one request.
+func WriteRequest(w io.Writer, r *Request) error {
+	if !r.Model.Valid() {
+		return fmt.Errorf("netproto: invalid model %d", int(r.Model))
+	}
+	body := make([]byte, 2+requestFixedLen, 2+requestFixedLen+len(r.Payload))
+	body[0] = Version
+	body[1] = TypeRequest
+	o := 2
+	binary.BigEndian.PutUint32(body[o:], r.Stream)
+	o += 4
+	binary.BigEndian.PutUint64(body[o:], r.FrameID)
+	o += 8
+	body[o] = byte(r.Model)
+	o++
+	binary.BigEndian.PutUint64(body[o:], uint64(r.CapturedUnixNano))
+	o += 8
+	if r.Probe {
+		body[o] = 1
+	}
+	o++
+	binary.BigEndian.PutUint32(body[o:], uint32(len(r.Payload)))
+	body = append(body, r.Payload...)
+	return writeFrame(w, body)
+}
+
+// WriteResponse encodes and writes one response.
+func WriteResponse(w io.Writer, r *Response) error {
+	body := make([]byte, 2+responseLen)
+	body[0] = Version
+	body[1] = TypeResponse
+	o := 2
+	binary.BigEndian.PutUint64(body[o:], r.FrameID)
+	o += 8
+	if r.Rejected {
+		body[o] = 1
+	}
+	o++
+	binary.BigEndian.PutUint32(body[o:], uint32(r.Label))
+	o += 4
+	binary.BigEndian.PutUint16(body[o:], r.BatchSize)
+	return writeFrame(w, body)
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed message body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	if n < 2 {
+		return nil, ErrTruncated
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if body[0] != Version {
+		return nil, ErrBadVersion
+	}
+	return body, nil
+}
+
+// ReadRequest reads and decodes one request message.
+func ReadRequest(r io.Reader) (*Request, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if body[1] != TypeRequest {
+		return nil, ErrBadType
+	}
+	if len(body) < 2+requestFixedLen {
+		return nil, ErrTruncated
+	}
+	req := &Request{}
+	o := 2
+	req.Stream = binary.BigEndian.Uint32(body[o:])
+	o += 4
+	req.FrameID = binary.BigEndian.Uint64(body[o:])
+	o += 8
+	req.Model = models.Model(body[o])
+	o++
+	req.CapturedUnixNano = int64(binary.BigEndian.Uint64(body[o:]))
+	o += 8
+	req.Probe = body[o] == 1
+	o++
+	payloadLen := binary.BigEndian.Uint32(body[o:])
+	o += 4
+	if len(body)-o != int(payloadLen) {
+		return nil, ErrTruncated
+	}
+	if !req.Model.Valid() {
+		return nil, fmt.Errorf("netproto: invalid model byte %d", body[6+8])
+	}
+	req.Payload = body[o:]
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response message.
+func ReadResponse(r io.Reader) (*Response, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if body[1] != TypeResponse {
+		return nil, ErrBadType
+	}
+	if len(body) < 2+responseLen {
+		return nil, ErrTruncated
+	}
+	res := &Response{}
+	o := 2
+	res.FrameID = binary.BigEndian.Uint64(body[o:])
+	o += 8
+	res.Rejected = body[o] == 1
+	o++
+	res.Label = int32(binary.BigEndian.Uint32(body[o:]))
+	o += 4
+	res.BatchSize = binary.BigEndian.Uint16(body[o:])
+	return res, nil
+}

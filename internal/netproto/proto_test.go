@@ -1,0 +1,217 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Stream:           7,
+		FrameID:          123456789,
+		Model:            models.EfficientNetB0,
+		CapturedUnixNano: 1700000000000000000,
+		Probe:            true,
+		Payload:          []byte("jpeg-bytes-here"),
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stream != in.Stream || out.FrameID != in.FrameID ||
+		out.Model != in.Model || out.CapturedUnixNano != in.CapturedUnixNano ||
+		out.Probe != in.Probe || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestRequestEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Model: models.MobileNetV3Small}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 {
+		t.Fatalf("payload = %v, want empty", out.Payload)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{FrameID: 42, Rejected: false, Label: 917, BatchSize: 15},
+		{FrameID: 1, Rejected: true},
+		{FrameID: 0, Label: -3},
+	}
+	for _, in := range cases {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, &in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *out != in {
+			t.Fatalf("round trip mismatch: %+v vs %+v", *out, in)
+		}
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteRequest(&buf, &Request{
+			FrameID: uint64(i), Model: models.MobileNetV3Small,
+			Payload: bytes.Repeat([]byte{byte(i)}, i*100),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		out, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if out.FrameID != uint64(i) || len(out.Payload) != i*100 {
+			t.Fatalf("message %d corrupted: id=%d len=%d", i, out.FrameID, len(out.Payload))
+		}
+	}
+	if _, err := ReadRequest(&buf); err != io.EOF {
+		t.Fatalf("expected EOF after last message, got %v", err)
+	}
+}
+
+func TestWriteRequestInvalidModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, &Request{Model: models.Model(99)}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestReadRejectsWrongType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &Response{FrameID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf); err != ErrBadType {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+	buf.Reset()
+	if err := WriteRequest(&buf, &Request{Model: models.MobileNetV3Small}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponse(&buf); err != ErrBadType {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte{99, TypeRequest, 0, 0}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	buf.Write(prefix[:])
+	buf.Write(body)
+	if _, err := ReadRequest(&buf); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], MaxMessageSize+1)
+	buf.Write(prefix[:])
+	if _, err := ReadRequest(&buf); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadRejectsTruncatedBody(t *testing.T) {
+	// Declared payload length longer than the actual body.
+	var good bytes.Buffer
+	if err := WriteRequest(&good, &Request{Model: models.MobileNetV3Small, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+	// Corrupt the payload-length field (last 4 bytes before payload).
+	corrupted := append([]byte(nil), raw...)
+	off := len(corrupted) - 3 - 4
+	binary.BigEndian.PutUint32(corrupted[off:], 9999)
+	if _, err := ReadRequest(bytes.NewReader(corrupted)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadShortPrefix(t *testing.T) {
+	if _, err := ReadRequest(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Fatal("short prefix accepted")
+	}
+}
+
+func TestReadTinyBody(t *testing.T) {
+	var buf bytes.Buffer
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], 1)
+	buf.Write(prefix[:])
+	buf.WriteByte(Version)
+	if _, err := ReadRequest(&buf); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// Property: any request round-trips exactly.
+func TestPropRequestRoundTrip(t *testing.T) {
+	f := func(stream uint32, frameID uint64, modelSel uint8, captured int64, probe bool, payload []byte) bool {
+		in := &Request{
+			Stream:           stream,
+			FrameID:          frameID,
+			Model:            models.All()[int(modelSel)%4],
+			CapturedUnixNano: captured,
+			Probe:            probe,
+			Payload:          payload,
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadRequest(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Stream == in.Stream && out.FrameID == in.FrameID &&
+			out.Model == in.Model && out.CapturedUnixNano == in.CapturedUnixNano &&
+			out.Probe == in.Probe && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any response round-trips exactly.
+func TestPropResponseRoundTrip(t *testing.T) {
+	f := func(frameID uint64, rejected bool, label int32, batch uint16) bool {
+		in := Response{FrameID: frameID, Rejected: rejected, Label: label, BatchSize: batch}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, &in); err != nil {
+			return false
+		}
+		out, err := ReadResponse(&buf)
+		return err == nil && *out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix as shaded ASCII cells plus the numeric
+// values — used for parameter-sweep surfaces (e.g. mean throughput
+// over the K_P × K_D grid).
+type Heatmap struct {
+	Title string
+	// RowLabels and ColLabels name the axes; Values is indexed
+	// [row][col] and must be rectangular.
+	RowLabels, ColLabels []string
+	Values               [][]float64
+	// Format renders a cell value; default "%5.1f".
+	Format string
+}
+
+// shades from low to high.
+var shades = []byte(" .:-=+*#%@")
+
+// Render writes the heatmap to w.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", h.Title)
+		return err
+	}
+	if len(h.RowLabels) != len(h.Values) {
+		return fmt.Errorf("plot: %d row labels for %d rows", len(h.RowLabels), len(h.Values))
+	}
+	cols := len(h.Values[0])
+	for i, row := range h.Values {
+		if len(row) != cols {
+			return fmt.Errorf("plot: row %d has %d cells, want %d", i, len(row), cols)
+		}
+	}
+	if len(h.ColLabels) != cols {
+		return fmt.Errorf("plot: %d col labels for %d cols", len(h.ColLabels), cols)
+	}
+	format := h.Format
+	if format == "" {
+		format = "%5.1f"
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	shade := func(v float64) byte {
+		if hi == lo {
+			return shades[len(shades)/2]
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(shades)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(shades) {
+			idx = len(shades) - 1
+		}
+		return shades[idx]
+	}
+
+	rowW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	cellW := 0
+	for _, row := range h.Values {
+		for _, v := range row {
+			if n := len(fmt.Sprintf(format, v)); n > cellW {
+				cellW = n
+			}
+		}
+	}
+	for _, l := range h.ColLabels {
+		if len(l) > cellW {
+			cellW = len(l)
+		}
+	}
+
+	var b strings.Builder
+	if h.Title != "" {
+		b.WriteString(h.Title + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", rowW) + " |")
+	for _, l := range h.ColLabels {
+		fmt.Fprintf(&b, " %*s", cellW, l)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", rowW+1) + "+" + strings.Repeat("-", (cellW+1)*cols) + "\n")
+	for i, row := range h.Values {
+		fmt.Fprintf(&b, "%*s |", rowW, h.RowLabels[i])
+		for _, v := range row {
+			cell := fmt.Sprintf(format, v)
+			pad := cellW - len(cell) - 1
+			if pad < 0 {
+				pad = 0
+			}
+			fmt.Fprintf(&b, " %s%s%c", strings.Repeat(" ", pad), cell, shade(v))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(shade: %q low → %q high; range %.2f–%.2f)\n",
+		string(shades[0]), string(shades[len(shades)-1]), lo, hi)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

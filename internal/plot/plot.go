@@ -1,0 +1,208 @@
+// Package plot renders experiment traces as ASCII time-series charts
+// and writes CSV files — the terminal-friendly stand-in for the
+// paper's matplotlib figures, used by cmd/ffexperiments and the
+// examples.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart is an ASCII line chart of one or more equally-sampled series.
+type Chart struct {
+	Title  string
+	YLabel string
+	XLabel string
+	// Width and Height are the plot-area dimensions in characters;
+	// defaults 100×20.
+	Width, Height int
+	// YMin/YMax fix the y-range; when both are zero the range is
+	// derived from the data.
+	YMin, YMax float64
+
+	names  []string
+	series [][]float64
+}
+
+// Markers are assigned to series in order.
+var Markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart creates an empty chart.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 100, Height: 20}
+}
+
+// Add appends a named series. All series must share a sample index
+// (x = sample number); unequal lengths are allowed and padded visually.
+func (c *Chart) Add(name string, ys []float64) *Chart {
+	c.names = append(c.names, name)
+	c.series = append(c.series, ys)
+	return c
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 100
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	maxLen := 0
+	for _, s := range c.series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if maxLen == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+
+	yMin, yMax := c.YMin, c.YMax
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.series {
+			for _, v := range s {
+				if v < yMin {
+					yMin = v
+				}
+				if v > yMax {
+					yMax = v
+				}
+			}
+		}
+		if yMin > yMax { // all-empty series
+			yMin, yMax = 0, 1
+		}
+		if yMin == yMax {
+			yMax = yMin + 1
+		}
+		// A little headroom.
+		pad := (yMax - yMin) * 0.05
+		yMin -= pad
+		yMax += pad
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+
+	for si, s := range c.series {
+		marker := Markers[si%len(Markers)]
+		for x := 0; x < width; x++ {
+			// Map column to sample index.
+			idx := x * (maxLen - 1) / max(width-1, 1)
+			if idx >= len(s) {
+				continue
+			}
+			v := s[idx]
+			if math.IsNaN(v) {
+				continue
+			}
+			frac := (v - yMin) / (yMax - yMin)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			grid[row][x] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	legend := make([]string, len(c.names))
+	for i, n := range c.names {
+		legend[i] = fmt.Sprintf("%c %s", Markers[i%len(Markers)], n)
+	}
+	if len(legend) > 0 {
+		b.WriteString("  [" + strings.Join(legend, "   ") + "]\n")
+	}
+	axisW := 9
+	for i, row := range grid {
+		var label string
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.2f", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.2f", yMin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.2f", (yMax+yMin)/2)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", axisW-1) + "+" + strings.Repeat("-", width) + "\n")
+	xl := c.XLabel
+	if xl == "" {
+		xl = fmt.Sprintf("samples 0..%d", maxLen-1)
+	}
+	b.WriteString(strings.Repeat(" ", axisW) + xl + "\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderTable writes an aligned text table: headers then rows.
+func RenderTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		return strings.Join(parts, "  ")
+	}
+	var b strings.Builder
+	b.WriteString(line(headers) + "\n")
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString(line(sep) + "\n")
+	for _, r := range rows {
+		b.WriteString(line(r) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,186 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("Test Chart").
+		Add("up", []float64{0, 1, 2, 3, 4}).
+		Add("down", []float64{4, 3, 2, 1, 0})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Test Chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatal("legend missing")
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatal("markers missing from plot area")
+	}
+	// Default geometry: 20 plot rows + title + legend + axis + xlabel.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 24 {
+		t.Fatalf("rendered %d lines, want 24", len(lines))
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewChart("empty").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("empty chart should say (no data)")
+	}
+	buf.Reset()
+	if err := NewChart("empty series").Add("s", nil).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("all-empty series should say (no data)")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := NewChart("const").Add("c", []float64{5, 5, 5}).Render(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(buf.String(), '*') {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	c := NewChart("fixed")
+	c.YMin, c.YMax = 0, 30
+	c.Add("s", []float64{10, 20, 100}) // 100 must clamp, not crash
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "30.00") {
+		t.Fatal("fixed y-max label missing")
+	}
+}
+
+func TestChartNaNSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	err := NewChart("nan").Add("s", []float64{1, math.NaN(), 3}).Render(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartSingleSample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewChart("one").Add("s", []float64{7}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderTable(&buf,
+		[]string{"policy", "meanP"},
+		[][]string{{"FrameFeedback", "23.1"}, {"LocalOnly", "13.4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "FrameFeedback") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// Columns aligned: "meanP" starts at the same offset in every
+	// line.
+	idx := strings.Index(lines[0], "meanP")
+	if !strings.HasPrefix(lines[2][idx:], "23.1") {
+		t.Fatal("columns not aligned")
+	}
+}
+
+func TestRenderTableRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderTable(&buf, []string{"a"}, [][]string{{"1", "extra"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "extra") {
+		t.Fatal("extra cell dropped")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:     "surface",
+		RowLabels: []string{"kd=0", "kd=0.26"},
+		ColLabels: []string{"kp=0.1", "kp=0.2", "kp=0.5"},
+		Values: [][]float64{
+			{10, 20, 30},
+			{15, 25, 28},
+		},
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"surface", "kd=0.26", "kp=0.5", "30.0", "range 10.00–30.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The max cell carries the densest shade, the min the lightest.
+	if !strings.Contains(out, "30.0@") {
+		t.Fatalf("max cell not shaded densest:\n%s", out)
+	}
+	if !strings.Contains(out, "10.0 ") {
+		t.Fatalf("min cell not shaded lightest:\n%s", out)
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Heatmap{Title: "e"}).Render(&buf); err != nil {
+		t.Fatal(err) // empty is fine, prints (no data)
+	}
+	bad := &Heatmap{RowLabels: []string{"a"}, ColLabels: []string{"x"}, Values: [][]float64{{1, 2}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("mismatched col labels accepted")
+	}
+	ragged := &Heatmap{RowLabels: []string{"a", "b"}, ColLabels: []string{"x"}, Values: [][]float64{{1}, {1, 2}}}
+	if err := ragged.Render(&buf); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	wrongRows := &Heatmap{RowLabels: []string{"a"}, ColLabels: []string{"x"}, Values: [][]float64{{1}, {2}}}
+	if err := wrongRows.Render(&buf); err == nil {
+		t.Fatal("mismatched row labels accepted")
+	}
+}
+
+func TestHeatmapConstantValues(t *testing.T) {
+	h := &Heatmap{
+		RowLabels: []string{"a"}, ColLabels: []string{"x", "y"},
+		Values: [][]float64{{5, 5}},
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/quality"
+)
+
+// The adapter walks the accuracy/bytes ladder in response to
+// controller feedback: down immediately on timeouts, up after a
+// sustained clean streak at full offload.
+func ExampleAdapter() {
+	a := quality.NewAdapter(quality.Config{StepUpAfter: 2})
+	fmt.Printf("start: %v KB\n", a.Level().Bytes()/1000)
+
+	// Timeouts: step down.
+	a.Observe(controller.Measurement{FS: 30, Po: 20, T: 5})
+	fmt.Printf("after timeouts: %v KB\n", a.Level().Bytes()/1000)
+
+	// Two clean full-offload ticks: step back up.
+	a.Observe(controller.Measurement{FS: 30, Po: 30, OffloadOK: 30})
+	a.Observe(controller.Measurement{FS: 30, Po: 30, OffloadOK: 30})
+	fmt.Printf("after clean streak: %v KB\n", a.Level().Bytes()/1000)
+	// Output:
+	// start: 10 KB
+	// after timeouts: 5 KB
+	// after clean streak: 10 KB
+}

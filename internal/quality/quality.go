@@ -1,0 +1,139 @@
+// Package quality implements adaptive frame-quality selection, the
+// natural extension the paper motivates in §II-D: larger inputs and
+// lighter compression improve classification accuracy but cost more
+// bytes per offloaded frame. A small hill-climbing adapter rides on
+// top of the FrameFeedback controller — when the rate controller is
+// pinned at full offload with no timeouts there is bandwidth headroom
+// to spend on accuracy, and when timeouts appear, cheaper frames are
+// a second lever (besides rate) to relieve the channel.
+//
+// The adapter is deliberately conservative and slow relative to the
+// rate controller (it moves one ladder step at a time, upward only
+// after a clean streak), so the two loops do not fight: FrameFeedback
+// handles seconds-scale disturbances; the quality ladder drifts over
+// tens of seconds.
+package quality
+
+import (
+	"repro/internal/controller"
+	"repro/internal/frame"
+)
+
+// Level pairs a resolution and JPEG quality — one rung of the ladder.
+type Level struct {
+	Res frame.Resolution
+	Q   frame.Quality
+}
+
+// Bytes returns the mean encoded size of a frame at this level.
+func (l Level) Bytes() int {
+	return frame.DefaultSizeModel().MeanBytes(l.Res, l.Q)
+}
+
+// DefaultLadder returns the evaluation ladder, ordered cheap → rich.
+// The middle rung (380×380 @ q85, ≈ 29 KB) is the paper evaluation's
+// operating point.
+func DefaultLadder() []Level {
+	return []Level{
+		{frame.Res160, 50}, // ≈ 2.7 KB
+		{frame.Res224, 60}, // ≈ 5.7 KB
+		{frame.Res224, 85}, // ≈ 10.6 KB
+		{frame.Res380, 85}, // ≈ 29.5 KB
+		{frame.Res380, 95}, // ≈ 46 KB
+	}
+}
+
+// Config parameterizes an Adapter.
+type Config struct {
+	// Ladder is the ordered set of levels; defaults to
+	// DefaultLadder.
+	Ladder []Level
+	// Start is the initial ladder index; defaults to the middle
+	// rung.
+	Start int
+	// StepUpAfter is how many consecutive clean full-offload ticks
+	// are required before climbing one rung; default 5.
+	StepUpAfter int
+	// FullFrac is the fraction of F_s at which P_o counts as "full
+	// offload" for climbing purposes; default 0.95.
+	FullFrac float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Ladder == nil {
+		c.Ladder = DefaultLadder()
+	}
+	if c.StepUpAfter == 0 {
+		c.StepUpAfter = 5
+	}
+	if c.FullFrac == 0 {
+		c.FullFrac = 0.95
+	}
+	if c.Start == 0 {
+		c.Start = len(c.Ladder) / 2
+	}
+}
+
+// Adapter walks the quality ladder in response to controller
+// measurements.
+type Adapter struct {
+	cfg    Config
+	idx    int
+	streak int
+}
+
+// NewAdapter builds an adapter; zero-value Config fields take the
+// documented defaults. An empty or unordered ladder panics.
+func NewAdapter(cfg Config) *Adapter {
+	cfg.applyDefaults()
+	if len(cfg.Ladder) == 0 {
+		panic("quality: empty ladder")
+	}
+	for i := 1; i < len(cfg.Ladder); i++ {
+		if cfg.Ladder[i].Bytes() <= cfg.Ladder[i-1].Bytes() {
+			panic("quality: ladder not ordered cheap to rich")
+		}
+	}
+	if cfg.Start < 0 || cfg.Start >= len(cfg.Ladder) {
+		panic("quality: Start outside ladder")
+	}
+	return &Adapter{cfg: cfg, idx: cfg.Start}
+}
+
+// Level returns the rung currently in force.
+func (a *Adapter) Level() Level { return a.cfg.Ladder[a.idx] }
+
+// Index returns the current ladder index (for traces).
+func (a *Adapter) Index() int { return a.idx }
+
+// Observe consumes one control-tick measurement and returns the level
+// to use for the next interval. Timeouts drop one rung immediately
+// (cheaper frames relieve the channel before the rate controller has
+// fully reacted); a sustained clean streak at full offload climbs one
+// rung.
+func (a *Adapter) Observe(m controller.Measurement) Level {
+	switch {
+	case m.T > 0:
+		if a.idx > 0 {
+			a.idx--
+		}
+		a.streak = 0
+	case m.Po >= a.cfg.FullFrac*m.FS && m.OffloadOK > 0:
+		a.streak++
+		if a.streak >= a.cfg.StepUpAfter {
+			if a.idx < len(a.cfg.Ladder)-1 {
+				a.idx++
+			}
+			a.streak = 0
+		}
+	default:
+		a.streak = 0
+	}
+	return a.cfg.Ladder[a.idx]
+}
+
+// Reset returns the adapter to its starting rung.
+func (a *Adapter) Reset() {
+	a.idx = a.cfg.Start
+	a.streak = 0
+}

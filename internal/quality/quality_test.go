@@ -1,0 +1,155 @@
+package quality
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/controller"
+	"repro/internal/frame"
+)
+
+func meas(fs, po, timeouts, offOK float64) controller.Measurement {
+	return controller.Measurement{FS: fs, Po: po, T: timeouts, OffloadOK: offOK}
+}
+
+func TestDefaultLadderOrdered(t *testing.T) {
+	ladder := DefaultLadder()
+	if len(ladder) < 3 {
+		t.Fatalf("ladder too short: %d", len(ladder))
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].Bytes() <= ladder[i-1].Bytes() {
+			t.Fatalf("ladder not strictly increasing in bytes at rung %d", i)
+		}
+	}
+	// The paper's operating point (380×380@85) is a rung.
+	found := false
+	for _, l := range ladder {
+		if l.Res == frame.Res380 && l.Q == 85 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("evaluation operating point missing from ladder")
+	}
+}
+
+func TestAdapterStartsMidLadder(t *testing.T) {
+	a := NewAdapter(Config{})
+	if a.Index() != len(DefaultLadder())/2 {
+		t.Fatalf("start index = %d, want middle", a.Index())
+	}
+}
+
+func TestAdapterStepsDownOnTimeouts(t *testing.T) {
+	a := NewAdapter(Config{})
+	before := a.Index()
+	a.Observe(meas(30, 20, 5, 10))
+	if a.Index() != before-1 {
+		t.Fatalf("index %d after timeouts, want %d", a.Index(), before-1)
+	}
+	// Repeated timeouts walk to the bottom and stay there.
+	for i := 0; i < 10; i++ {
+		a.Observe(meas(30, 20, 5, 10))
+	}
+	if a.Index() != 0 {
+		t.Fatalf("index = %d after sustained timeouts, want 0", a.Index())
+	}
+}
+
+func TestAdapterClimbsAfterCleanStreak(t *testing.T) {
+	a := NewAdapter(Config{StepUpAfter: 3})
+	start := a.Index()
+	// Clean full-offload ticks, but fewer than the streak: no climb.
+	a.Observe(meas(30, 30, 0, 30))
+	a.Observe(meas(30, 30, 0, 30))
+	if a.Index() != start {
+		t.Fatal("climbed before the streak completed")
+	}
+	a.Observe(meas(30, 30, 0, 30))
+	if a.Index() != start+1 {
+		t.Fatalf("index = %d after streak, want %d", a.Index(), start+1)
+	}
+}
+
+func TestAdapterStreakResetByPartialOffload(t *testing.T) {
+	a := NewAdapter(Config{StepUpAfter: 2})
+	start := a.Index()
+	a.Observe(meas(30, 30, 0, 30))
+	a.Observe(meas(30, 15, 0, 15)) // partial offload: not full headroom
+	a.Observe(meas(30, 30, 0, 30))
+	if a.Index() != start {
+		t.Fatalf("streak survived a partial-offload tick: index %d", a.Index())
+	}
+}
+
+func TestAdapterNoClimbWithoutSuccesses(t *testing.T) {
+	a := NewAdapter(Config{StepUpAfter: 1})
+	start := a.Index()
+	// Po pinned at FS but nothing succeeding (e.g. startup): the
+	// OffloadOK > 0 guard must block climbing.
+	for i := 0; i < 5; i++ {
+		a.Observe(meas(30, 30, 0, 0))
+	}
+	if a.Index() != start {
+		t.Fatalf("climbed without successful offloads: %d", a.Index())
+	}
+}
+
+func TestAdapterTopOfLadderStays(t *testing.T) {
+	a := NewAdapter(Config{Start: len(DefaultLadder()) - 1, StepUpAfter: 1})
+	for i := 0; i < 5; i++ {
+		a.Observe(meas(30, 30, 0, 30))
+	}
+	if a.Index() != len(DefaultLadder())-1 {
+		t.Fatalf("index moved past the top: %d", a.Index())
+	}
+}
+
+func TestAdapterReset(t *testing.T) {
+	a := NewAdapter(Config{})
+	a.Observe(meas(30, 20, 5, 10))
+	a.Reset()
+	if a.Index() != len(DefaultLadder())/2 {
+		t.Fatalf("Reset did not restore start index: %d", a.Index())
+	}
+}
+
+func TestAdapterValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"empty ladder":   {Ladder: []Level{}},
+		"unordered":      {Ladder: []Level{{frame.Res380, 85}, {frame.Res160, 50}}},
+		"start off end":  {Start: 99},
+		"negative start": {Start: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewAdapter(cfg)
+		}()
+	}
+}
+
+// Property: the index always stays within the ladder for any
+// observation sequence.
+func TestPropIndexInBounds(t *testing.T) {
+	f := func(obs []uint8) bool {
+		a := NewAdapter(Config{StepUpAfter: 2})
+		n := len(DefaultLadder())
+		for _, o := range obs {
+			timeouts := float64(o % 4)
+			po := float64(o % 31)
+			a.Observe(meas(30, po, timeouts, po/2))
+			if a.Index() < 0 || a.Index() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,458 @@
+package realnet
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/frame"
+	"repro/internal/models"
+	"repro/internal/netproto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// ClientConfig parameterizes an edge-device client.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Stream identifies this device at the server.
+	Stream uint32
+	// Profile is the device hardware; default Pi4B14.
+	Profile *models.DeviceProfile
+	// Model is the classifier; default MobileNetV3Small.
+	Model models.Model
+	// FS is the source frame rate; default 30.
+	FS float64
+	// Deadline is the end-to-end offload deadline; default 250 ms.
+	Deadline time.Duration
+	// Tick is the controller measurement interval; default 1 s.
+	Tick time.Duration
+	// Policy steers the offload rate; default FrameFeedback with
+	// paper settings.
+	Policy controller.Policy
+	// TimeScale multiplies local inference latency (match the
+	// server's TimeScale when speeding up tests). Default 1.
+	TimeScale float64
+	// PayloadBytes is the per-frame upload size; defaults to the
+	// evaluation's ~29 KB (380×380 @ q85).
+	PayloadBytes int
+	// Seed drives local latency jitter; default 1.
+	Seed uint64
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// ClientStats is a snapshot of the device's cumulative counters plus
+// the controller's current rate.
+type ClientStats struct {
+	Captured        uint64
+	OffloadAttempts uint64
+	OffloadOK       uint64
+	OffloadTimedOut uint64
+	OffloadRejected uint64
+	LocalDone       uint64
+	LocalDropped    uint64
+	Po              float64
+}
+
+// Timeouts returns T's numerator: deadline misses plus rejections.
+func (s ClientStats) Timeouts() uint64 { return s.OffloadTimedOut + s.OffloadRejected }
+
+// Client is the wall-clock edge device: it captures synthetic frames
+// at FS, splits them between a (sleep-simulated) local worker and the
+// TCP uplink according to the policy's offload rate, and tracks the
+// end-to-end deadline of every offloaded frame.
+type Client struct {
+	cfg  ClientConfig
+	conn net.Conn
+
+	// writeMu serializes message writes: the capture loop and the
+	// probe sender share the connection.
+	writeMu sync.Mutex
+
+	mu          sync.Mutex
+	stats       ClientStats
+	prev        ClientStats
+	po          float64
+	credit      float64
+	outstanding map[uint64]time.Time // frameID → capture time
+	localBusy   bool
+	localQueue  int
+
+	// Heartbeat probe state (used when the policy implements
+	// controller.Prober). Probe frame IDs live in a disjoint ID
+	// space so they never collide with camera frames.
+	probeSeq     uint64
+	probeSentAt  time.Time
+	probePending bool
+	probeOK      bool
+	probeValid   bool
+
+	rng    *rng.Stream
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// probeIDBase separates probe frame IDs from camera frame IDs.
+const probeIDBase = uint64(1) << 63
+
+// Dial connects to the server and starts the capture, receive and
+// control loops. Stop with Close.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Profile == nil {
+		cfg.Profile = models.Pi4B14()
+	}
+	if !cfg.Model.Valid() {
+		return nil, errors.New("realnet: invalid model")
+	}
+	if cfg.FS <= 0 {
+		cfg.FS = 30
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 250 * time.Millisecond
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Second
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = controller.NewFrameFeedback(controller.Config{})
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = frame.DefaultSizeModel().MeanBytes(frame.Res380, 85)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:         cfg,
+		conn:        conn,
+		rng:         rng.New(cfg.Seed),
+		outstanding: make(map[uint64]time.Time),
+		stopCh:      make(chan struct{}),
+	}
+	c.wg.Add(3)
+	go c.captureLoop()
+	go c.receiveLoop()
+	go c.controlLoop()
+	return c, nil
+}
+
+// Close stops all loops and closes the connection.
+func (c *Client) Close() error {
+	select {
+	case <-c.stopCh:
+	default:
+		close(c.stopCh)
+	}
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Po = c.po
+	return s
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// captureLoop emits frames at FS and routes each one.
+func (c *Client) captureLoop() {
+	defer c.wg.Done()
+	interval := time.Duration(float64(time.Second) / c.cfg.FS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var frameID uint64
+	for {
+		select {
+		case <-ticker.C:
+			c.handleFrame(frameID)
+			frameID++
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+func (c *Client) handleFrame(id uint64) {
+	c.mu.Lock()
+	c.stats.Captured++
+	c.credit += c.po / c.cfg.FS
+	offload := false
+	if c.credit >= 1 {
+		c.credit--
+		offload = true
+	}
+	if offload {
+		c.stats.OffloadAttempts++
+		c.outstanding[id] = time.Now()
+		c.mu.Unlock()
+		c.sendRequest(id)
+		return
+	}
+	// Local path: bounded queue of 2 behind the worker.
+	if c.localBusy && c.localQueue >= 2 {
+		c.stats.LocalDropped++
+		c.mu.Unlock()
+		return
+	}
+	if c.localBusy {
+		c.localQueue++
+		c.mu.Unlock()
+		return
+	}
+	c.localBusy = true
+	c.mu.Unlock()
+	go c.localWork()
+}
+
+// localWork simulates one local inference (plus any queued backlog)
+// with calibrated sleeps.
+func (c *Client) localWork() {
+	for {
+		lat := float64(c.cfg.Profile.LocalLatency(c.cfg.Model)) * c.cfg.TimeScale
+		c.mu.Lock()
+		jitter := c.rng.Jitter(lat, 0.08)
+		c.mu.Unlock()
+		timer := time.NewTimer(time.Duration(jitter))
+		select {
+		case <-timer.C:
+		case <-c.stopCh:
+			timer.Stop()
+			return
+		}
+		c.mu.Lock()
+		c.stats.LocalDone++
+		if c.localQueue > 0 {
+			c.localQueue--
+			c.mu.Unlock()
+			continue
+		}
+		c.localBusy = false
+		c.mu.Unlock()
+		return
+	}
+}
+
+func (c *Client) sendRequest(id uint64) {
+	req := &netproto.Request{
+		Stream:           c.cfg.Stream,
+		FrameID:          id,
+		Model:            c.cfg.Model,
+		CapturedUnixNano: time.Now().UnixNano(),
+		Payload:          make([]byte, c.cfg.PayloadBytes),
+	}
+	c.writeMu.Lock()
+	err := netproto.WriteRequest(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.logf("realnet: send failed: %v", err)
+		c.resolve(id, func(s *ClientStats) { s.OffloadTimedOut++ })
+	}
+}
+
+// resolve removes an outstanding frame and applies the outcome; a
+// frame already resolved (e.g. swept as timed out) is ignored.
+func (c *Client) resolve(id uint64, apply func(*ClientStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.outstanding[id]; !ok {
+		return
+	}
+	delete(c.outstanding, id)
+	apply(&c.stats)
+}
+
+// receiveLoop matches responses against outstanding frames and checks
+// the end-to-end deadline.
+func (c *Client) receiveLoop() {
+	defer c.wg.Done()
+	for {
+		res, err := netproto.ReadResponse(c.conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-c.stopCh: // expected during shutdown
+				default:
+					c.logf("realnet: receive failed: %v", err)
+				}
+			}
+			return
+		}
+		id := res.FrameID
+		if id >= probeIDBase {
+			c.mu.Lock()
+			if c.probePending && id == probeIDBase+c.probeSeq {
+				c.probePending = false
+				c.probeValid = true
+				c.probeOK = !res.Rejected && time.Since(c.probeSentAt) <= c.cfg.Deadline
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		sentAt, ok := c.outstanding[id]
+		if !ok {
+			c.mu.Unlock()
+			continue // already swept as timeout
+		}
+		delete(c.outstanding, id)
+		switch {
+		case res.Rejected:
+			c.stats.OffloadRejected++
+		case time.Since(sentAt) <= c.cfg.Deadline:
+			c.stats.OffloadOK++
+		default:
+			c.stats.OffloadTimedOut++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// controlLoop runs the policy at the measurement interval and sweeps
+// outstanding frames past their deadline.
+func (c *Client) controlLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Tick)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-ticker.C:
+		case <-c.stopCh:
+			return
+		}
+		now := time.Now()
+
+		c.mu.Lock()
+		// Sweep: anything outstanding past its deadline is a
+		// timeout now, whether or not a late response ever lands.
+		for id, sentAt := range c.outstanding {
+			if now.Sub(sentAt) > c.cfg.Deadline {
+				delete(c.outstanding, id)
+				c.stats.OffloadTimedOut++
+			}
+		}
+		// An unanswered probe past its deadline is a failed probe.
+		if c.probePending && now.Sub(c.probeSentAt) > c.cfg.Deadline {
+			c.probePending = false
+			c.probeValid = true
+			c.probeOK = false
+		}
+		cur := c.stats
+		d := ClientStats{
+			OffloadTimedOut: cur.OffloadTimedOut - c.prev.OffloadTimedOut,
+			OffloadRejected: cur.OffloadRejected - c.prev.OffloadRejected,
+			OffloadOK:       cur.OffloadOK - c.prev.OffloadOK,
+			LocalDone:       cur.LocalDone - c.prev.LocalDone,
+		}
+		c.prev = cur
+		po := c.po
+		c.mu.Unlock()
+
+		tickSec := c.cfg.Tick.Seconds()
+		m := controller.Measurement{
+			Now:       simtime.Time(now.Sub(start)),
+			FS:        c.cfg.FS,
+			Po:        po,
+			T:         float64(d.OffloadTimedOut+d.OffloadRejected) / tickSec,
+			Pl:        float64(d.LocalDone) / tickSec,
+			OffloadOK: float64(d.OffloadOK) / tickSec,
+		}
+		wantsProbe := false
+		if p, ok := c.cfg.Policy.(controller.Prober); ok && p.WantsProbe() {
+			wantsProbe = true
+			c.mu.Lock()
+			m.ProbeOK, m.ProbeValid = c.probeOK, c.probeValid
+			c.probeValid = false
+			c.mu.Unlock()
+		}
+		next := c.cfg.Policy.Next(m)
+		if next < 0 {
+			next = 0
+		}
+		if next > c.cfg.FS {
+			next = c.cfg.FS
+		}
+		c.mu.Lock()
+		c.po = next
+		c.mu.Unlock()
+
+		if wantsProbe {
+			c.sendProbe()
+		}
+	}
+}
+
+// sendProbe transmits one heartbeat request outside the throughput
+// accounting (see controller.Prober).
+func (c *Client) sendProbe() {
+	c.mu.Lock()
+	c.probeSeq++
+	id := probeIDBase + c.probeSeq
+	c.probeSentAt = time.Now()
+	c.probePending = true
+	c.mu.Unlock()
+
+	req := &netproto.Request{
+		Stream:           c.cfg.Stream,
+		FrameID:          id,
+		Model:            c.cfg.Model,
+		CapturedUnixNano: time.Now().UnixNano(),
+		Probe:            true,
+		Payload:          make([]byte, c.cfg.PayloadBytes),
+	}
+	c.writeMu.Lock()
+	err := netproto.WriteRequest(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		if c.probePending && id == probeIDBase+c.probeSeq {
+			c.probePending = false
+			c.probeValid = true
+			c.probeOK = false
+		}
+		c.mu.Unlock()
+	}
+}
+
+// SetOffloadRate overrides the controller's rate (useful before the
+// first tick or for open-loop experiments).
+func (c *Client) SetOffloadRate(po float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if po < 0 {
+		po = 0
+	}
+	if po > c.cfg.FS {
+		po = c.cfg.FS
+	}
+	c.po = po
+}
+
+// Po returns the current offload rate.
+func (c *Client) Po() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.po
+}

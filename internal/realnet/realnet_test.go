@@ -1,0 +1,302 @@
+package realnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/models"
+)
+
+// Realnet tests run over loopback TCP with TimeScale-compressed
+// latencies so wall-clock time stays small. They validate end-to-end
+// behaviour of the same controller code the simulator uses.
+
+// fastScale compresses simulated compute by 10× so a "second" of
+// experiment is meaningful at 100 ms ticks.
+const fastScale = 0.1
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", TimeScale: fastScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, srv *Server, cfg ClientConfig) *Client {
+	t.Helper()
+	cfg.Addr = srv.Addr().String()
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = fastScale
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 60 * time.Millisecond // scaled ~250ms·fastScale, plus margin
+	}
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestOffloadOverRealTCP(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv, ClientConfig{
+		FS:     60,
+		Policy: baselines.AlwaysOffload{},
+	})
+	c.SetOffloadRate(60)
+	time.Sleep(1200 * time.Millisecond)
+	st := c.Stats()
+	if st.OffloadAttempts < 30 {
+		t.Fatalf("only %d offload attempts in 1.2 s at 60 fps", st.OffloadAttempts)
+	}
+	if st.OffloadOK == 0 {
+		t.Fatalf("no successful offloads over loopback: %+v", st)
+	}
+	// Loopback + scaled GPU: the vast majority must make the
+	// deadline.
+	if float64(st.OffloadOK) < 0.7*float64(st.OffloadAttempts-5) {
+		t.Fatalf("success ratio too low over loopback: %+v", st)
+	}
+	submitted, completed, _, batches := srv.Stats()
+	if submitted == 0 || completed == 0 || batches == 0 {
+		t.Fatalf("server saw no work: submitted=%d completed=%d batches=%d", submitted, completed, batches)
+	}
+}
+
+func TestLocalOnlyOverRealTCP(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv, ClientConfig{
+		FS:     60,
+		Policy: baselines.LocalOnly{},
+	})
+	time.Sleep(time.Second)
+	st := c.Stats()
+	if st.OffloadAttempts != 0 {
+		t.Fatalf("LocalOnly offloaded %d frames", st.OffloadAttempts)
+	}
+	// Scaled local latency: 74.6 ms × 0.1 ≈ 7.5 ms → ~60 fps
+	// achievable... capped by source rate minus drops. Must have
+	// completed a good number.
+	if st.LocalDone < 20 {
+		t.Fatalf("local completions = %d, want ≥ 20", st.LocalDone)
+	}
+}
+
+func TestServerDegradationTriggersBackoff(t *testing.T) {
+	srv := startServer(t)
+	fb := controller.NewFrameFeedback(controller.Config{InitialPo: 60})
+	c := dial(t, srv, ClientConfig{
+		FS:     60,
+		Policy: fb,
+	})
+	c.SetOffloadRate(60)
+	// Healthy phase.
+	time.Sleep(600 * time.Millisecond)
+	healthyPo := c.Po()
+	// Degrade: every batch now takes +200 ms, far beyond the 60 ms
+	// deadline.
+	srv.SetExtraDelay(200 * time.Millisecond)
+	time.Sleep(1500 * time.Millisecond)
+	degradedPo := c.Po()
+	if degradedPo >= healthyPo {
+		t.Fatalf("controller did not back off under server degradation: %v -> %v", healthyPo, degradedPo)
+	}
+	if degradedPo > 30 {
+		t.Fatalf("Po = %v after sustained degradation, want well below 60", degradedPo)
+	}
+	st := c.Stats()
+	if st.Timeouts() == 0 {
+		t.Fatal("no timeouts recorded under degradation")
+	}
+}
+
+func TestRecoveryAfterDegradation(t *testing.T) {
+	srv := startServer(t)
+	fb := controller.NewFrameFeedback(controller.Config{InitialPo: 60})
+	// A generous deadline keeps the healthy phase unambiguous even
+	// under race-detector scheduling overhead, and a 250 ms tick
+	// keeps T's quantization noise (1 timeout → 4/s) below the
+	// 0.1·FS = 6/s tolerance so stray stragglers cannot flip the
+	// controller into the backoff branch.
+	c := dial(t, srv, ClientConfig{
+		FS: 60, Policy: fb,
+		Deadline: 150 * time.Millisecond,
+		Tick:     250 * time.Millisecond,
+	})
+	c.SetOffloadRate(60)
+	srv.SetExtraDelay(400 * time.Millisecond) // far beyond the deadline
+	time.Sleep(2 * time.Second)               // reach the failure equilibrium
+	low := c.Po()
+	before := c.Stats()
+	if low > 30 {
+		t.Fatalf("controller did not back off during degradation: Po=%v", low)
+	}
+	srv.SetExtraDelay(0)
+	time.Sleep(3 * time.Second)
+	recovered := c.Po()
+	after := c.Stats()
+	if recovered <= low {
+		t.Fatalf("controller did not recover: %v -> %v", low, recovered)
+	}
+	if gained := after.OffloadOK - before.OffloadOK; gained < 20 {
+		t.Fatalf("only %d successful offloads during recovery", gained)
+	}
+}
+
+func TestMultipleClientsShareServer(t *testing.T) {
+	srv := startServer(t)
+	c1 := dial(t, srv, ClientConfig{FS: 60, Stream: 1, Policy: baselines.AlwaysOffload{}})
+	c2 := dial(t, srv, ClientConfig{FS: 60, Stream: 2, Policy: baselines.AlwaysOffload{}})
+	c1.SetOffloadRate(60)
+	c2.SetOffloadRate(60)
+	time.Sleep(time.Second)
+	s1, s2 := c1.Stats(), c2.Stats()
+	if s1.OffloadOK == 0 || s2.OffloadOK == 0 {
+		t.Fatalf("tenants starved: %+v / %+v", s1, s2)
+	}
+	submitted, _, _, _ := srv.Stats()
+	if submitted < s1.OffloadAttempts+s2.OffloadAttempts-10 {
+		t.Fatalf("server missed submissions: %d vs %d+%d", submitted, s1.OffloadAttempts, s2.OffloadAttempts)
+	}
+}
+
+func TestServerCloseUnblocksClient(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", TimeScale: fastScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, srv, ClientConfig{FS: 30, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(30)
+	time.Sleep(300 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Logf("server close: %v", err)
+	}
+	// The client keeps running (frames time out); Close must not
+	// hang.
+	done := make(chan struct{})
+	go func() {
+		c.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client Close hung after server shutdown")
+	}
+}
+
+func TestDialBadConfig(t *testing.T) {
+	if _, err := Dial(ClientConfig{Addr: "127.0.0.1:1", Model: models.Model(99)}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := Dial(ClientConfig{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("dial to port 0 should fail")
+	}
+}
+
+func TestServerBadConfig(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", TimeScale: -1}); err == nil {
+		t.Fatal("negative TimeScale accepted")
+	}
+	if _, err := NewServer(ServerConfig{Addr: "256.0.0.1:99999"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestAllOrNothingProbesOverRealTCP(t *testing.T) {
+	srv := startServer(t)
+	aon := baselines.NewAllOrNothing()
+	c := dial(t, srv, ClientConfig{
+		FS: 60, Policy: aon,
+		Deadline: 150 * time.Millisecond,
+		Tick:     250 * time.Millisecond,
+	})
+	time.Sleep(1500 * time.Millisecond)
+	// Healthy server: probes succeed, the baseline offloads all.
+	if po := c.Po(); po != 60 {
+		t.Fatalf("AllOrNothing Po = %v on healthy server, want 60", po)
+	}
+	// Degrade far beyond the deadline: probes fail, it goes local.
+	srv.SetExtraDelay(500 * time.Millisecond)
+	time.Sleep(2 * time.Second)
+	if po := c.Po(); po != 0 {
+		t.Fatalf("AllOrNothing Po = %v on degraded server, want 0", po)
+	}
+	// Heal: next probe succeeds, back to full offload.
+	srv.SetExtraDelay(0)
+	time.Sleep(2 * time.Second)
+	if po := c.Po(); po != 60 {
+		t.Fatalf("AllOrNothing Po = %v after recovery, want 60", po)
+	}
+}
+
+func TestClientStatsConsistency(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv, ClientConfig{FS: 60, Policy: controller.NewFrameFeedback(controller.Config{})})
+	time.Sleep(1200 * time.Millisecond)
+	st := c.Stats()
+	if st.OffloadOK+st.OffloadTimedOut+st.OffloadRejected > st.OffloadAttempts {
+		t.Fatalf("resolved more offloads than attempted: %+v", st)
+	}
+	if st.Captured == 0 {
+		t.Fatal("no frames captured")
+	}
+}
+
+func TestServerSurvivesGarbageStream(t *testing.T) {
+	srv := startServer(t)
+	// A connection that speaks garbage must be dropped without
+	// affecting a legitimate client.
+	garbage, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbage.Close()
+	if _, err := garbage.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, srv, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+	time.Sleep(800 * time.Millisecond)
+	if st := c.Stats(); st.OffloadOK == 0 {
+		t.Fatalf("legit client starved after garbage connection: %+v", st)
+	}
+}
+
+func TestServerSurvivesOversizedPrefix(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim a body far beyond MaxMessageSize.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close this connection promptly.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept an oversized-prefix connection open and wrote data")
+	}
+	// And remains healthy for real clients.
+	c := dial(t, srv, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+	time.Sleep(600 * time.Millisecond)
+	if st := c.Stats(); st.OffloadOK == 0 {
+		t.Fatalf("server unhealthy after protocol attack: %+v", st)
+	}
+}

@@ -1,0 +1,266 @@
+// Package realnet runs the FrameFeedback system over real TCP
+// sockets and the wall clock: a multi-tenant edge inference server
+// with the same adaptive batching policy as the simulator, and an edge
+// device client driven by the identical controller.Policy
+// implementations.
+//
+// GPU execution and local inference are simulated by calibrated sleeps
+// (the models package latency surfaces); everything else — framing,
+// concurrency, backpressure, deadline accounting — is real. This mode
+// exists to demonstrate that the controller code is
+// transport-agnostic and to provide runnable ffserver/ffdevice
+// binaries.
+package realnet
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/netproto"
+	"repro/internal/server"
+)
+
+// ServerConfig parameterizes the TCP edge server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. ":9771" or "127.0.0.1:0".
+	Addr string
+	// GPU is the accelerator latency profile; default TeslaV100.
+	GPU *models.GPUProfile
+	// MaxBatch caps batch sizes; default server.DefaultMaxBatch.
+	MaxBatch int
+	// TimeScale multiplies every simulated execution latency;
+	// < 1 speeds the server up (useful in tests). Default 1.
+	TimeScale float64
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is the real-TCP edge inference server.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	reqCh  chan incoming
+	doneCh chan struct{}
+	wg     sync.WaitGroup
+
+	// ExtraDelay is added to every batch execution; it can be
+	// changed at runtime (atomically, in nanoseconds) to emulate
+	// transient server degradation in experiments.
+	extraDelay atomic.Int64
+
+	stats struct {
+		submitted atomic.Uint64
+		completed atomic.Uint64
+		rejected  atomic.Uint64
+		batches   atomic.Uint64
+	}
+}
+
+type incoming struct {
+	req   *netproto.Request
+	reply func(*netproto.Response)
+}
+
+// NewServer binds the listener (so the port is known immediately) and
+// starts the accept and batcher loops.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.GPU == nil {
+		cfg.GPU = models.TeslaV100()
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = server.DefaultMaxBatch
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, errors.New("realnet: negative TimeScale")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		reqCh:    make(chan incoming, 1024),
+		doneCh:   make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.batchLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+// SetExtraDelay changes the artificial per-batch delay used to emulate
+// server degradation.
+func (s *Server) SetExtraDelay(d time.Duration) { s.extraDelay.Store(int64(d)) }
+
+// Stats reports cumulative counters.
+func (s *Server) Stats() (submitted, completed, rejected, batches uint64) {
+	return s.stats.submitted.Load(), s.stats.completed.Load(),
+		s.stats.rejected.Load(), s.stats.batches.Load()
+}
+
+// Close stops accepting, terminates the loops and waits for them.
+// Connections are closed; in-flight requests may go unanswered (the
+// device treats that as timeouts, which is the honest outcome).
+func (s *Server) Close() error {
+	err := s.listener.Close()
+	close(s.doneCh)
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn reads requests from one device connection and forwards
+// them to the batcher; a dedicated writer goroutine serializes
+// responses back.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.logf("realnet: device connected from %v", conn.RemoteAddr())
+
+	respCh := make(chan *netproto.Response, 256)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for r := range respCh {
+			if err := netproto.WriteResponse(conn, r); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(respCh)
+
+	reply := func(r *netproto.Response) {
+		select {
+		case respCh <- r:
+		case <-s.doneCh:
+		case <-writerDone:
+		}
+	}
+
+	for {
+		req, err := netproto.ReadRequest(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("realnet: read error from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.stats.submitted.Add(1)
+		select {
+		case s.reqCh <- incoming{req: req, reply: reply}:
+		case <-s.doneCh:
+			return
+		}
+	}
+}
+
+// batchLoop is the wall-clock twin of the simulator's adaptive
+// batcher: requests accumulate per model while the "GPU" sleeps
+// through the previous batch; each new batch takes up to MaxBatch and
+// rejects the rest of its queue.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	queues := make(map[models.Model][]incoming)
+	order := models.All()
+	rrNext := 0
+	busy := false
+	execDone := make(chan []incoming, 1)
+
+	startBatch := func() {
+		var m models.Model
+		found := false
+		for i := 0; i < len(order); i++ {
+			cand := order[(rrNext+i)%len(order)]
+			if len(queues[cand]) > 0 {
+				m = cand
+				rrNext = (rrNext + i + 1) % len(order)
+				found = true
+				break
+			}
+		}
+		if !found {
+			busy = false
+			return
+		}
+		q := queues[m]
+		take := len(q)
+		if take > s.cfg.MaxBatch {
+			take = s.cfg.MaxBatch
+		}
+		batch := q[:take]
+		for _, inc := range q[take:] {
+			s.stats.rejected.Add(1)
+			inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+		}
+		queues[m] = nil
+
+		lat := time.Duration(float64(s.cfg.GPU.Curve(m).Latency(take)) * s.cfg.TimeScale)
+		lat += time.Duration(s.extraDelay.Load())
+		busy = true
+		s.stats.batches.Add(1)
+		go func() {
+			timer := time.NewTimer(lat)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				execDone <- batch
+			case <-s.doneCh:
+			}
+		}()
+	}
+
+	for {
+		select {
+		case inc := <-s.reqCh:
+			queues[inc.req.Model] = append(queues[inc.req.Model], inc)
+			if !busy {
+				startBatch()
+			}
+		case batch := <-execDone:
+			n := uint16(len(batch))
+			for _, inc := range batch {
+				s.stats.completed.Add(1)
+				inc.reply(&netproto.Response{
+					FrameID:   inc.req.FrameID,
+					Label:     int32(inc.req.FrameID % 1000),
+					BatchSize: n,
+				})
+			}
+			busy = false
+			startBatch()
+		case <-s.doneCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package rng provides a deterministic, splittable pseudo-random
+// number generator for simulations.
+//
+// Every stochastic component of the simulator (packet loss, inference
+// jitter, background tenant arrivals) draws from its own Stream,
+// derived from a single experiment seed via Split. Components
+// therefore consume random numbers independently: adding a draw in one
+// component never perturbs the sequence seen by another, which keeps
+// figures and regression tests stable as the code evolves.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 —
+// both public-domain algorithms with excellent statistical quality and
+// no external dependencies.
+package rng
+
+import "math"
+
+// Stream is a deterministic PRNG stream. It is not safe for concurrent
+// use; give each goroutine (or simulation component) its own Stream
+// via Split.
+type Stream struct {
+	s [4]uint64
+	// spare holds a cached second normal variate from the
+	// Box–Muller transform; spareOK marks it valid.
+	spare   float64
+	spareOK bool
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand seeds into full xoshiro states.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from the given 64-bit seed. Distinct
+// seeds produce statistically independent streams.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Split derives an independent child stream. The parent advances by
+// one draw; the child is seeded from that draw mixed with a label, so
+// repeated Splits yield distinct streams.
+func (r *Stream) Split(label uint64) *Stream {
+	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15) ^ 0x6a09e667f3bcc909)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits
+// (xoshiro256** step).
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1). It uses the top 53 bits
+// so every representable value in the unit interval grid is equally
+// likely.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	v := r.Uint64()
+	bound := uint64(n)
+	hi, lo := mul64(v, bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Bernoulli returns true with probability p. Values of p outside
+// [0, 1] are clamped.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed value with the given
+// mean (i.e. rate 1/mean). It panics if mean <= 0.
+func (r *Stream) ExpFloat64(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: ExpFloat64 with non-positive mean")
+	}
+	u := r.Float64()
+	// Guard against log(0): Float64 can return exactly 0.
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// NormFloat64 returns a normally distributed value with the given mean
+// and standard deviation, via the Box–Muller transform. It panics if
+// sigma < 0.
+func (r *Stream) NormFloat64(mean, sigma float64) float64 {
+	if sigma < 0 {
+		panic("rng: NormFloat64 with negative sigma")
+	}
+	if r.spareOK {
+		r.spareOK = false
+		return mean + sigma*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.spareOK = true
+	return mean + sigma*u*f
+}
+
+// Poisson returns a Poisson-distributed count with the given mean
+// lambda. It panics if lambda < 0. For large lambda it uses the
+// normal approximation (error negligible for the simulation's use of
+// per-second arrival counts).
+func (r *Stream) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("rng: Poisson with negative lambda")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		// Knuth's method.
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := r.NormFloat64(lambda, math.Sqrt(lambda))
+		if n < 0 {
+			return 0
+		}
+		return int(n + 0.5)
+	}
+}
+
+// Jitter returns base scaled by a multiplicative factor drawn from
+// N(1, rel) and clamped to at least 10% of base; it is the standard
+// way the simulator perturbs latencies. rel = 0 returns base exactly.
+func (r *Stream) Jitter(base float64, rel float64) float64 {
+	if rel <= 0 {
+		return base
+	}
+	v := base * r.NormFloat64(1, rel)
+	if min := base * 0.1; v < min {
+		return min
+	}
+	return v
+}
+
+// Shuffle permutes the n elements addressed by swap using the
+// Fisher–Yates algorithm.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,340 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded stream produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	// Children must differ from each other.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children matched %d/100 draws", same)
+	}
+	// Splitting is deterministic given the same parent history.
+	p2 := New(7)
+	d1 := p2.Split(1)
+	c1b := New(7).Split(1)
+	_ = c1b
+	for i := 0; i < 10; i++ {
+		if d1.Uint64() != c1b.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := New(11)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := r.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn(%d) = %d out of range", buckets, v)
+		}
+		counts[v]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) != 0")
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(21)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) = true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) = false")
+	}
+	if r.Bernoulli(-0.5) {
+		t.Fatal("Bernoulli(-0.5) = true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Fatal("Bernoulli(1.5) = false")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.07) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.07) > 0.005 {
+		t.Fatalf("Bernoulli(0.07) rate = %v", got)
+	}
+}
+
+func TestExpFloat64(t *testing.T) {
+	r := New(31)
+	const n, mean = 200000, 5.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64(mean)
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-mean) > mean*0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestExpFloat64Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpFloat64(0) did not panic")
+		}
+	}()
+	New(1).ExpFloat64(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(41)
+	const n = 200000
+	const mu, sigma = 10.0, 2.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64(mu, sigma)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-mu) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sigma) > 0.05 {
+		t.Fatalf("normal sigma = %v, want ~%v", math.Sqrt(variance), sigma)
+	}
+}
+
+func TestNormFloat64ZeroSigma(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if v := r.NormFloat64(3, 0); v != 3 {
+			t.Fatalf("NormFloat64(3,0) = %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative sigma did not panic")
+		}
+	}()
+	New(1).NormFloat64(0, -1)
+}
+
+func TestPoisson(t *testing.T) {
+	r := New(51)
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+	for _, lambda := range []float64{0.5, 3, 12, 50, 150} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := r.Poisson(lambda)
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative", lambda)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		tol := math.Max(0.05*lambda, 3*math.Sqrt(lambda/n))
+		if math.Abs(got-lambda) > tol {
+			t.Fatalf("Poisson(%v) mean = %v (tol %v)", lambda, got, tol)
+		}
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestJitter(t *testing.T) {
+	r := New(61)
+	if v := r.Jitter(100, 0); v != 100 {
+		t.Fatalf("Jitter with rel=0 = %v, want 100", v)
+	}
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Jitter(100, 0.1)
+		if v < 10 {
+			t.Fatalf("Jitter below 10%% floor: %v", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-100) > 1 {
+		t.Fatalf("Jitter mean = %v, want ~100", got)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(71)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("value %d appears twice after Shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Intn output is always in range for arbitrary seeds and n.
+func TestPropIntnInRange(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same seed, same sequence — for every distribution.
+func TestPropDeterministicDistributions(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.Float64() != b.Float64() {
+				return false
+			}
+			if a.NormFloat64(0, 1) != b.NormFloat64(0, 1) {
+				return false
+			}
+			if a.Poisson(10) != b.Poisson(10) {
+				return false
+			}
+			if a.ExpFloat64(2) != b.ExpFloat64(2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64(0, 1)
+	}
+}

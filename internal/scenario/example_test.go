@@ -1,0 +1,27 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/scenario"
+)
+
+// A complete experiment is one Config and one Run call; the result
+// carries the per-second traces behind the paper's figures.
+func ExampleRun() {
+	r := scenario.Run(scenario.Config{
+		Seed:       1,
+		Policy:     scenario.FrameFeedbackFactory(controller.Config{}),
+		FrameLimit: 900, // 30 s at 30 fps
+		Devices:    []scenario.DeviceSpec{{Profile: models.Pi4B14()}},
+	})
+	fmt.Printf("policy: %s\n", r.PolicyName)
+	fmt.Printf("ramped to ≥29 offload: %v\n", r.Po[r.Ticks-1] >= 29)
+	fmt.Printf("steady-state P ≥ 29: %v\n", r.MeanP(25, 30) >= 29)
+	// Output:
+	// policy: FrameFeedback
+	// ramped to ≥29 offload: true
+	// steady-state P ≥ 29: true
+}

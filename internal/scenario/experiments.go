@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/quality"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// This file defines the paper's experiments as ready-to-run configs.
+// The per-experiment index in DESIGN.md maps each to its table/figure.
+
+// DefaultSeed is the seed used for all published traces; change it to
+// check robustness of the shapes.
+const DefaultSeed = 20240315
+
+// NetworkExperiment is the Figure 3 setup: 4,000 frames at 30 fps from
+// the paper's three Pis, with every device path driven through the
+// Table V bandwidth/loss schedule.
+func NetworkExperiment(policy PolicyFactory) Config {
+	return Config{
+		Seed:    DefaultSeed,
+		Policy:  policy,
+		Network: workload.TableV(),
+	}
+}
+
+// ServerLoadExperiment is the Figure 4 setup: a clean 10 Mbps network,
+// with background request volume following Table VI injected by other
+// devices. Only the measured Pi streams (the paper's companions are
+// replaced by the injector, which is what drives the x-axis).
+func ServerLoadExperiment(policy PolicyFactory) Config {
+	cfg := Config{
+		Seed:    DefaultSeed,
+		Policy:  policy,
+		Load:    workload.TableVI(),
+		Devices: []DeviceSpec{{Profile: models.Pi4B14()}},
+	}
+	return cfg
+}
+
+// TuningExperiment is the Figure 2 setup: a clean 10 Mbps link for the
+// first 27 s, then 7 % packet loss, observed for 60 s. The interesting
+// output is the Po trace for a given (K_P, K_D) pair.
+func TuningExperiment(kp, kd float64) Config {
+	return Config{
+		Seed: DefaultSeed,
+		Policy: FrameFeedbackFactory(controller.Config{
+			KP: kp, KD: kd,
+			// Keep the paper's other Table IV settings.
+			UpdateMinFrac: -0.5, UpdateMaxFrac: 0.1,
+			TimeoutFrac: 0.1, Window: 3,
+		}),
+		FrameLimit: 1800, // 60 s at 30 fps
+		Network: simnet.Schedule{
+			{Start: 0, Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(10), PropDelay: 5 * time.Millisecond,
+			}},
+			{Start: 27 * time.Second, Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(10), Loss: 0.07, PropDelay: 5 * time.Millisecond,
+			}},
+		},
+	}
+}
+
+// TuningPairs are the (K_P, K_D) combinations plotted in Figure 2,
+// including the paper's chosen tuning (0.2, 0.26).
+func TuningPairs() [][2]float64 {
+	return [][2]float64{
+		{0.2, 0.26}, // Table IV tuning
+		{0.2, 0},    // no derivative damping
+		{0.5, 0.26}, // over-sensitive proportional term
+		{0.05, 0.1}, // sluggish
+	}
+}
+
+// AllPolicies returns the paper's four controllers in Figure 3/4
+// legend order.
+func AllPolicies() map[string]PolicyFactory {
+	return map[string]PolicyFactory{
+		"FrameFeedback": FrameFeedbackFactory(controller.Config{}),
+		"LocalOnly":     LocalOnlyFactory(),
+		"AlwaysOffload": AlwaysOffloadFactory(),
+		"AllOrNothing":  AllOrNothingFactory(),
+	}
+}
+
+// PolicyOrder is the stable presentation order for figures.
+func PolicyOrder() []string {
+	return []string{"FrameFeedback", "AllOrNothing", "AlwaysOffload", "LocalOnly"}
+}
+
+// --- Extension experiments (beyond the paper's figures) -------------
+
+// CombinedExperiment degrades the network (Table V) and loads the
+// server (Table VI) simultaneously — the §IV-C case the paper mentions
+// but cuts for space ("largely works additively").
+func CombinedExperiment(policy PolicyFactory) Config {
+	return Config{
+		Seed:    DefaultSeed,
+		Policy:  policy,
+		Network: workload.TableV(),
+		Load:    workload.TableVI(),
+	}
+}
+
+// BurstLossExperiment replaces the schedule's Bernoulli loss with a
+// bursty Gilbert–Elliott channel of comparable mean rate (~7%):
+// wireless links lose packets in bursts, not independently (paper
+// [37]). Each link evolves its own channel state.
+func BurstLossExperiment(policy PolicyFactory) Config {
+	burst := &simnet.BurstLossParams{
+		// ~7% mean: 10% of time in a bad state losing half its
+		// packets, good state losing 2%.
+		PGoodToBad: 0.01, PBadToGood: 0.09,
+		LossGood: 0.02, LossBad: 0.5,
+	}
+	return Config{
+		Seed:   DefaultSeed,
+		Policy: policy,
+		Network: simnet.Schedule{
+			{Start: 0, Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(10), PropDelay: 5 * time.Millisecond,
+			}},
+			{Start: 30 * time.Second, Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(10), PropDelay: 5 * time.Millisecond,
+				Burst: burst,
+			}},
+		},
+	}
+}
+
+// QualityExperiment runs FrameFeedback with the adaptive frame-quality
+// extension (internal/quality) under the Table V schedule. Compare
+// against NetworkExperiment at a fixed rung to quantify the ladder's
+// accuracy/robustness trade-off.
+func QualityExperiment() Config {
+	cfg := NetworkExperiment(FrameFeedbackFactory(controller.Config{}))
+	cfg.Quality = &quality.Config{}
+	return cfg
+}
+
+// FairnessExperiment runs n identical devices under a saturating
+// background load; Result.Tenants then shows how the batcher's
+// FIFO+shed policy divides the leftover capacity (paper §II-A3: "the
+// system should respond by ... distributing the available capacity
+// fairly among clients").
+func FairnessExperiment(policy PolicyFactory, n int) Config {
+	devices := make([]DeviceSpec, n)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	return Config{
+		Seed:    DefaultSeed,
+		Policy:  policy,
+		Devices: devices,
+		Load:    workload.LoadSchedule{{Start: 0, Rate: 120}},
+	}
+}
+
+// HeterogeneousFairnessExperiment pits one greedy always-offload
+// device against three FrameFeedback devices under background load,
+// with the given server shedding policy — quantifying how much
+// protection the batcher gives well-behaved tenants (E16).
+func HeterogeneousFairnessExperiment(shed server.ShedPolicy) Config {
+	ff := FrameFeedbackFactory(controller.Config{})
+	return Config{
+		Seed:   DefaultSeed,
+		Policy: ff,
+		Devices: []DeviceSpec{
+			{Profile: models.Pi4B14()},
+			{Profile: models.Pi4B14()},
+			{Profile: models.Pi4B14()},
+			{Profile: models.Pi4B14(), Policy: AlwaysOffloadFactory()}, // the greedy one
+		},
+		Load:       workload.LoadSchedule{{Start: 0, Rate: 90}},
+		ServerShed: shed,
+	}
+}
+
+// DeadlineSweepExperiment runs FrameFeedback on a constant 4 Mbps
+// link with the given end-to-end deadline — the sensitivity analysis
+// behind the paper's choice of 250 ms (E17).
+func DeadlineSweepExperiment(deadline time.Duration) Config {
+	return Config{
+		Seed:     DefaultSeed,
+		Policy:   FrameFeedbackFactory(controller.Config{}),
+		Deadline: deadline,
+		Network: simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+			BandwidthBps: simnet.Mbps(4), PropDelay: 5 * time.Millisecond,
+		}}},
+		FrameLimit: 1800,
+		Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+	}
+}
+
+// RelayTuningExperiment runs the relay auto-tuner's bang-bang policy
+// under constant degraded conditions (4 Mbps); feed the resulting Po
+// and T traces to controller.EstimateUltimate to recover (K_u, T_u)
+// for this substrate.
+func RelayTuningExperiment(center, amplitude float64) Config {
+	return Config{
+		Seed: DefaultSeed,
+		Policy: func() controller.Policy {
+			return &controller.RelayPolicy{Center: center, Amplitude: amplitude, Target: 3}
+		},
+		FrameLimit: 3600, // 120 s
+		Network: simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+			BandwidthBps: simnet.Mbps(4), PropDelay: 5 * time.Millisecond,
+		}}},
+		Devices: []DeviceSpec{{Profile: models.Pi4B14()}},
+	}
+}

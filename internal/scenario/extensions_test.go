@@ -1,0 +1,429 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Tests for the extension experiments (DESIGN.md E11–E15): combined
+// degradation, burst loss, adaptive quality, fairness and the relay
+// auto-tuner, plus the energy/accuracy trace columns.
+
+func TestEnergyColumnsPopulated(t *testing.T) {
+	r := Run(quickCfg(LocalOnlyFactory()))
+	if len(r.Power) != r.Ticks || len(r.AccP) != r.Ticks || len(r.QualityBytes) != r.Ticks {
+		t.Fatalf("extension columns missing: power=%d accP=%d qb=%d ticks=%d",
+			len(r.Power), len(r.AccP), len(r.QualityBytes), r.Ticks)
+	}
+	// Local-only steady state sits near the calibrated 4.56 W.
+	p := metrics.Mean(r.Power[5:20])
+	if p < 4.2 || p > 5.0 {
+		t.Fatalf("local-only power = %v W, want ~4.56", p)
+	}
+	if r.MeanPower() <= 0 || r.EnergyPerInference() <= 0 {
+		t.Fatal("power summaries not computed")
+	}
+}
+
+func TestOffloadingSavesEnergy(t *testing.T) {
+	local := Run(quickCfg(LocalOnlyFactory()))
+	off := Run(quickCfg(AlwaysOffloadFactory()))
+	if off.MeanPower() >= local.MeanPower() {
+		t.Fatalf("offloading did not reduce power: %v vs %v W",
+			off.MeanPower(), local.MeanPower())
+	}
+	if off.EnergyPerInference() >= local.EnergyPerInference() {
+		t.Fatalf("offloading did not reduce energy per inference: %v vs %v J",
+			off.EnergyPerInference(), local.EnergyPerInference())
+	}
+}
+
+func TestAccPWeightsAccuracy(t *testing.T) {
+	r := Run(quickCfg(AlwaysOffloadFactory()))
+	// AccP must be strictly below raw P (accuracy < 1) but a
+	// substantial fraction of it.
+	for i := 5; i < r.Ticks; i++ {
+		if r.P[i] == 0 {
+			continue
+		}
+		ratio := r.AccP[i] / r.P[i]
+		if ratio <= 0.5 || ratio >= 1 {
+			t.Fatalf("AccP/P = %v at t=%d, want in (0.5, 1)", ratio, i)
+		}
+	}
+}
+
+func TestCombinedExperimentShape(t *testing.T) {
+	ff := Run(CombinedExperiment(FrameFeedbackFactory(controller.Config{})))
+	local := Run(CombinedExperiment(LocalOnlyFactory()))
+	// Under simultaneous network degradation and server load the
+	// feedback controller must still never do meaningfully worse
+	// than local-only, and must beat it overall.
+	if ff.MeanP(0, 0) <= local.MeanP(0, 0) {
+		t.Fatalf("combined: FrameFeedback %v not above local-only %v",
+			ff.MeanP(0, 0), local.MeanP(0, 0))
+	}
+	if ff.InjectedSubmitted == 0 {
+		t.Fatal("combined experiment injected no background load")
+	}
+}
+
+func TestBurstLossExperimentShape(t *testing.T) {
+	ff := Run(BurstLossExperiment(FrameFeedbackFactory(controller.Config{})))
+	always := Run(BurstLossExperiment(AlwaysOffloadFactory()))
+	// Before the burst channel starts (t < 30 s) both are near F_s.
+	if p := ff.MeanP(15, 30); p < 25 {
+		t.Fatalf("pre-burst FrameFeedback P = %v, want ~30", p)
+	}
+	// Under bursty loss, timeouts appear and the controller backs
+	// off; it must stay at or above the always-offload policy.
+	if ff.MeanT(35, 0) <= 0 {
+		t.Fatal("burst channel produced no timeouts")
+	}
+	if ff.MeanP(35, 0) < always.MeanP(35, 0)-1.5 {
+		t.Fatalf("burst: FrameFeedback %v below AlwaysOffload %v",
+			ff.MeanP(35, 0), always.MeanP(35, 0))
+	}
+}
+
+func TestQualityExperimentAdaptsLadder(t *testing.T) {
+	r := Run(QualityExperiment())
+	// The frame size must actually move: rich rungs during the
+	// healthy opening phase, cheaper rungs during degradation.
+	early := metrics.Mean(r.QualityBytes[10:28]) // healthy 10 Mbps
+	bad := metrics.Mean(r.QualityBytes[48:60])   // 1 Mbps
+	if early <= bad {
+		t.Fatalf("quality ladder did not adapt: healthy %v B <= degraded %v B", early, bad)
+	}
+	// Fixed-ladder comparison: adaptive must beat the fixed rich
+	// configuration on accuracy-weighted throughput in the degraded
+	// window (cheaper frames fit through the thin pipe).
+	fixed := Run(NetworkExperiment(FrameFeedbackFactory(controller.Config{})))
+	if adaptive, fix := r.MeanAccP(47, 60), fixed.MeanAccP(47, 60); adaptive <= fix {
+		t.Fatalf("adaptive quality AccP %v not above fixed %v in 1 Mbps phase", adaptive, fix)
+	}
+}
+
+func TestQualityAdapterPerDeviceIndependent(t *testing.T) {
+	cfg := QualityExperiment()
+	cfg.FrameLimit = 600
+	// Just exercising multiple devices with adapters must not panic
+	// and must produce a full trace.
+	r := Run(cfg)
+	if r.Ticks < 15 {
+		t.Fatalf("ticks = %d", r.Ticks)
+	}
+}
+
+func TestFairnessExperimentJainIndex(t *testing.T) {
+	r := Run(FairnessExperiment(FrameFeedbackFactory(controller.Config{}), 4))
+	if len(r.Tenants) != 4 {
+		t.Fatalf("tenants = %d, want 4", len(r.Tenants))
+	}
+	completed := make([]float64, len(r.Tenants))
+	total := 0.0
+	for i, ten := range r.Tenants {
+		completed[i] = float64(ten.Completed)
+		total += completed[i]
+	}
+	if total == 0 {
+		t.Fatal("no tenant completed anything under contention")
+	}
+	// Identical devices running identical policies through a
+	// FIFO+shed batcher: the capacity split must be near-equal.
+	if jain := metrics.JainIndex(completed); jain < 0.9 {
+		t.Fatalf("Jain index = %v across identical tenants, want >= 0.9 (%v)", jain, completed)
+	}
+}
+
+func TestRelayTuningRecoversGains(t *testing.T) {
+	r := Run(RelayTuningExperiment(16, 5))
+	u, err := controller.EstimateUltimate(r.Po, r.TRate, 5, 20)
+	if err != nil {
+		t.Fatalf("EstimateUltimate on simulator traces: %v", err)
+	}
+	kp, kd := u.PDGains()
+	if kp <= 0 || kd <= 0 {
+		t.Fatalf("derived gains = %v, %v", kp, kd)
+	}
+	// The derived controller must actually work on the same
+	// conditions: run it and require throughput above local-only.
+	tuned := Run(Config{
+		Seed:       DefaultSeed,
+		Policy:     FrameFeedbackFactory(controller.Config{KP: kp, KD: kd}),
+		FrameLimit: 1800,
+		Network:    RelayTuningExperiment(16, 5).Network,
+		Devices:    RelayTuningExperiment(16, 5).Devices,
+	})
+	if p := tuned.MeanP(20, 60); p <= 13.4 {
+		t.Fatalf("relay-tuned controller P = %v, want above the local floor", p)
+	}
+}
+
+func TestJainIndexProperties(t *testing.T) {
+	if metrics.JainIndex(nil) != 0 {
+		t.Fatal("empty sample should be 0")
+	}
+	if metrics.JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero sample should be 0")
+	}
+	if j := metrics.JainIndex([]float64{5, 5, 5, 5}); j != 1 {
+		t.Fatalf("equal allocation Jain = %v, want 1", j)
+	}
+	if j := metrics.JainIndex([]float64{10, 0, 0, 0}); j != 0.25 {
+		t.Fatalf("monopoly Jain = %v, want 1/n", j)
+	}
+}
+
+func TestOffloadLatencySummary(t *testing.T) {
+	r := Run(quickCfg(AlwaysOffloadFactory()))
+	lat := r.OffloadLatency
+	if lat.N == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	// On a clean 10 Mbps link every successful offload is well
+	// inside the 250 ms deadline; typical end-to-end is uplink
+	// (~25 ms) + batch (~50-100 ms) + downlink.
+	if lat.P50 <= 0.02 || lat.P50 >= 0.25 {
+		t.Fatalf("P50 latency = %v s, want in (0.02, 0.25)", lat.P50)
+	}
+	if lat.P99 > 0.25 {
+		t.Fatalf("P99 latency = %v s exceeds the deadline for a successful offload", lat.P99)
+	}
+	if lat.Max > 0.25 {
+		t.Fatalf("successful offload recorded past the deadline: %v", lat.Max)
+	}
+	local := Run(quickCfg(LocalOnlyFactory()))
+	if local.OffloadLatency.N != 0 {
+		t.Fatal("LocalOnly recorded offload latencies")
+	}
+}
+
+func TestDeadlineSweepInvariants(t *testing.T) {
+	// Closed-loop throughput is NOT monotone in the deadline (a
+	// tighter deadline gives the controller faster feedback and
+	// curbs bufferbloat on the constrained link), so the sweep
+	// asserts the invariants that must hold at every deadline: the
+	// controller keeps P at or above the local floor, successful
+	// offloads never exceed their deadline, and an offload-hostile
+	// 50 ms deadline (below even the batch execution time) degrades
+	// to local-only throughput.
+	for _, d := range []time.Duration{150 * time.Millisecond, 250 * time.Millisecond, 400 * time.Millisecond} {
+		r := Run(DeadlineSweepExperiment(d))
+		if p := r.MeanP(15, 0); p < 13.4-1.5 || p > 30 {
+			t.Fatalf("deadline %v: P = %v outside [local floor, F_s]", d, p)
+		}
+		if r.OffloadLatency.N > 0 && r.OffloadLatency.Max > d.Seconds() {
+			t.Fatalf("deadline %v: successful offload took %v s", d, r.OffloadLatency.Max)
+		}
+	}
+	tight := Run(DeadlineSweepExperiment(50 * time.Millisecond))
+	if p := tight.MeanP(15, 0); p > 16 {
+		t.Fatalf("50 ms deadline: P = %v, want near the 13.4 local floor", p)
+	}
+}
+
+func TestHeterogeneousFairnessShedPolicies(t *testing.T) {
+	fifo := Run(HeterogeneousFairnessExperiment(server.ShedFIFO))
+	fair := Run(HeterogeneousFairnessExperiment(server.ShedFair))
+	wellBehaved := func(r *Result) float64 {
+		// Devices 0-2 run FrameFeedback; 3 is the greedy one.
+		s := 0.0
+		for i := 0; i < 3; i++ {
+			s += float64(r.Tenants[i].Completed)
+		}
+		return s
+	}
+	if fair.Tenants[3].Completed == 0 {
+		t.Fatal("greedy tenant starved entirely under fair shedding")
+	}
+	// Fair shedding must give the well-behaved tenants at least as
+	// much service as FIFO shedding does.
+	if wellBehaved(fair) < wellBehaved(fifo) {
+		t.Fatalf("fair shedding served well-behaved tenants less: %v vs %v",
+			wellBehaved(fair), wellBehaved(fifo))
+	}
+}
+
+func TestPerDevicePolicyOverride(t *testing.T) {
+	cfg := Config{
+		Seed:       5,
+		Policy:     LocalOnlyFactory(),
+		FrameLimit: 300,
+		Devices: []DeviceSpec{
+			{Profile: models.Pi4B14()},
+			{Profile: models.Pi4B14(), Policy: AlwaysOffloadFactory()},
+		},
+	}
+	r := Run(cfg)
+	// Measured device (LocalOnly) never offloads; the override
+	// device does, so the server sees submissions.
+	if r.Device.OffloadAttempts != 0 {
+		t.Fatal("measured LocalOnly device offloaded")
+	}
+	if r.Server.Submitted == 0 {
+		t.Fatal("override device never offloaded")
+	}
+}
+
+func TestCustomDeadlineApplied(t *testing.T) {
+	// An absurdly tight deadline turns every offload into a timeout
+	// even on a good network.
+	cfg := quickCfg(AlwaysOffloadFactory())
+	cfg.Deadline = time.Millisecond
+	r := Run(cfg)
+	if r.Device.OffloadOK != 0 {
+		t.Fatalf("%d offloads beat a 1 ms deadline", r.Device.OffloadOK)
+	}
+	if r.Device.OffloadTimedOut == 0 {
+		t.Fatal("no timeouts under a 1 ms deadline")
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	cfg := quickCfg(FrameFeedbackFactory(controller.Config{}))
+	rep := Replicate(cfg, 1, 4)
+	if len(rep.Seeds) != 4 || len(rep.Results) != 4 || len(rep.MeanP) != 4 {
+		t.Fatalf("replication sizes wrong: %+v", rep.Seeds)
+	}
+	for i, seed := range rep.Seeds {
+		if seed != uint64(i+1) {
+			t.Fatalf("seeds = %v", rep.Seeds)
+		}
+	}
+	if rep.MeanPSummary.N != 4 || rep.MeanPSummary.Mean <= 0 {
+		t.Fatalf("summary = %+v", rep.MeanPSummary)
+	}
+	// Clean-network runs are tight across seeds.
+	if rep.MeanPSummary.Std > 2 {
+		t.Fatalf("cross-seed std = %v implausibly high on a clean network", rep.MeanPSummary.Std)
+	}
+	if rep.String() == "" {
+		t.Fatal("String empty")
+	}
+	xs, sum := rep.PhaseMeanP(5, 15)
+	if len(xs) != 4 || sum.N != 4 {
+		t.Fatalf("PhaseMeanP sizes wrong")
+	}
+}
+
+func TestReplicateZeroStartSeed(t *testing.T) {
+	rep := Replicate(quickCfg(LocalOnlyFactory()), 0, 2)
+	if rep.Seeds[0] != 1 {
+		t.Fatalf("zero start seed not promoted: %v", rep.Seeds)
+	}
+}
+
+func TestReplicatePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 did not panic")
+		}
+	}()
+	Replicate(quickCfg(LocalOnlyFactory()), 1, 0)
+}
+
+func TestAdmitCapAblation(t *testing.T) {
+	// E18: admission control delivers rejections earlier than
+	// shed-at-formation. Run FrameFeedback against a saturated
+	// server both ways; both must keep the device above the local
+	// floor, and admission control must not make things worse.
+	base := Config{
+		Seed:       DefaultSeed,
+		Policy:     FrameFeedbackFactory(controller.Config{}),
+		FrameLimit: 1800,
+		Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+		Load:       workload.LoadSchedule{{Start: 0, Rate: 140}},
+	}
+	formation := Run(base)
+	withAdmit := base
+	withAdmit.AdmitCap = 20
+	admission := Run(withAdmit)
+	for name, r := range map[string]*Result{"formation": formation, "admission": admission} {
+		if p := r.MeanP(15, 0); p < 12 {
+			t.Fatalf("%s shedding: P = %v below local floor", name, p)
+		}
+	}
+}
+
+func TestTotalPAndServerUtil(t *testing.T) {
+	// Default trio of devices, all offloading: TotalP must exceed
+	// the measured device's own P, and server utilization must be
+	// meaningful (busy but not pegged) on a clean network.
+	cfg := Config{
+		Seed:       7,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 600,
+	}
+	r := Run(cfg)
+	if len(r.TotalP) != r.Ticks || len(r.ServerUtil) != r.Ticks {
+		t.Fatalf("aggregate columns missing: %d/%d vs %d", len(r.TotalP), len(r.ServerUtil), r.Ticks)
+	}
+	for i := 3; i < r.Ticks; i++ {
+		if r.TotalP[i] < r.P[i]-1e-9 {
+			t.Fatalf("TotalP[%d] = %v below measured device P %v", i, r.TotalP[i], r.P[i])
+		}
+	}
+	// Three 30 fps devices ≈ 90/s total on an idle server.
+	if m := metrics.Mean(r.TotalP[3:]); m < 75 {
+		t.Fatalf("total throughput = %v, want ~90 for three devices", m)
+	}
+	util := metrics.Mean(r.ServerUtil[3:])
+	if util <= 0.2 || util > 1 {
+		t.Fatalf("server utilization = %v, want meaningful fraction", util)
+	}
+}
+
+func TestServerUtilTracksLoad(t *testing.T) {
+	// Utilization with background load must exceed utilization
+	// without it.
+	base := Config{
+		Seed:       8,
+		Policy:     LocalOnlyFactory(),
+		FrameLimit: 600,
+		Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+	}
+	idle := Run(base)
+	loaded := base
+	loaded.Load = workload.LoadSchedule{{Start: 0, Rate: 100}}
+	busy := Run(loaded)
+	if metrics.Mean(busy.ServerUtil) <= metrics.Mean(idle.ServerUtil) {
+		t.Fatalf("utilization did not track load: idle %v vs loaded %v",
+			metrics.Mean(idle.ServerUtil), metrics.Mean(busy.ServerUtil))
+	}
+}
+
+func TestReplicationCI(t *testing.T) {
+	rep := Replicate(quickCfg(LocalOnlyFactory()), 1, 5)
+	ci := rep.MeanPCI(0.95)
+	if !ci.Contains(rep.MeanPSummary.Mean) {
+		t.Fatalf("CI %+v misses the point estimate %v", ci, rep.MeanPSummary.Mean)
+	}
+	if ci.Lo > ci.Hi {
+		t.Fatalf("degenerate CI: %+v", ci)
+	}
+	// LocalOnly is essentially deterministic: the CI must be tight
+	// around 13.4.
+	if ci.Lo < 12 || ci.Hi > 15 {
+		t.Fatalf("LocalOnly CI [%v, %v] implausibly wide", ci.Lo, ci.Hi)
+	}
+}
+
+func TestServerMaxBatchKnob(t *testing.T) {
+	cfg := quickCfg(AlwaysOffloadFactory())
+	cfg.ServerMaxBatch = 4
+	cfg.Load = workload.LoadSchedule{{Start: 0, Rate: 200}}
+	r := Run(cfg)
+	if got := r.Server.MeanBatchSize(); got > 4 {
+		t.Fatalf("mean batch size %v exceeds the 4-frame override", got)
+	}
+	if r.Server.Rejected == 0 {
+		t.Fatal("tiny batch limit under overload produced no rejections")
+	}
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// Randomized end-to-end invariants: whatever the conditions and
+// policy, the bookkeeping must stay coherent. This is the repo's
+// integration fuzz — it has caught double-counting bugs that no
+// hand-written case would.
+
+func randomPolicy(sel uint8) PolicyFactory {
+	switch sel % 5 {
+	case 0:
+		return FrameFeedbackFactory(controller.Config{})
+	case 1:
+		return LocalOnlyFactory()
+	case 2:
+		return AlwaysOffloadFactory()
+	case 3:
+		return AllOrNothingFactory()
+	default:
+		return FrameFeedbackFactory(controller.SymmetricClampConfig())
+	}
+}
+
+func TestPropScenarioInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz")
+	}
+	f := func(polSel, bwRaw, lossRaw, loadRaw uint8, seed uint64) bool {
+		cfg := Config{
+			Seed:       seed%1000 + 1,
+			Policy:     randomPolicy(polSel),
+			FrameLimit: 450, // 15 s
+			Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+			Network: simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+				BandwidthBps: simnet.Mbps(float64(bwRaw%15) + 0.5),
+				Loss:         float64(lossRaw%25) / 100,
+				PropDelay:    5 * time.Millisecond,
+			}}},
+		}
+		if loadRaw%3 == 1 {
+			cfg.Load = workload.LoadSchedule{{Start: 0, Rate: float64(loadRaw) * 2}}
+		}
+		r := Run(cfg)
+
+		// Invariant 1: offload outcomes partition attempts.
+		c := r.Device
+		if c.OffloadOK+c.OffloadTimedOut+c.OffloadRejected != c.OffloadAttempts {
+			t.Logf("outcome partition broken: %+v", c)
+			return false
+		}
+		// Invariant 2: every captured frame was routed.
+		routed := c.OffloadAttempts + c.LocalDone + c.LocalDropped
+		if routed > c.Captured || c.Captured-routed > 3 {
+			t.Logf("frame conservation broken: captured %d routed %d", c.Captured, routed)
+			return false
+		}
+		// Invariant 3: traces are consistent: P = Pl + offOK, Po in
+		// range, no negative rates.
+		for i := 0; i < r.Ticks; i++ {
+			if r.Po[i] < 0 || r.Po[i] > 30+1e-9 {
+				t.Logf("Po[%d] = %v out of range", i, r.Po[i])
+				return false
+			}
+			if r.P[i] < 0 || r.TRate[i] < 0 {
+				return false
+			}
+			if diff := r.P[i] - (r.PlRate[i] + r.OffloadOK[i]); diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		// Invariant 4: server accounting never over-resolves, and
+		// the measured device's own submissions fully close (its
+		// stream ends two drain-seconds before the cutoff; the
+		// background injector keeps submitting right up to it, so
+		// only a bounded in-flight remainder may stay open).
+		if r.Server.Completed+r.Server.Rejected > r.Server.Submitted {
+			t.Logf("server over-resolved: %+v", r.Server)
+			return false
+		}
+		dev := r.Tenants[0]
+		if dev.Completed+dev.Rejected != dev.Submitted {
+			t.Logf("device tenant conservation broken: %+v", dev)
+			return false
+		}
+		// Invariant 5: successful offload latencies all beat the
+		// deadline.
+		if r.OffloadLatency.N > 0 && r.OffloadLatency.Max > 0.25+1e-9 {
+			t.Logf("successful offload past deadline: %v", r.OffloadLatency.Max)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongRunDeterminismUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// The full Table V + Table VI combined run, twice, must produce
+	// bit-identical traces.
+	run := func() *Result {
+		return Run(CombinedExperiment(FrameFeedbackFactory(controller.Config{})))
+	}
+	a, b := run(), run()
+	if a.Ticks != b.Ticks {
+		t.Fatalf("tick mismatch: %d vs %d", a.Ticks, b.Ticks)
+	}
+	for i := 0; i < a.Ticks; i++ {
+		if a.P[i] != b.P[i] || a.Po[i] != b.Po[i] || a.TRate[i] != b.TRate[i] ||
+			a.TotalP[i] != b.TotalP[i] || a.ServerUtil[i] != b.ServerUtil[i] {
+			t.Fatalf("divergence at tick %d", i)
+		}
+	}
+	if a.Device != b.Device || a.Server != b.Server {
+		t.Fatal("final counters diverge")
+	}
+}

@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Replication is the cross-seed aggregate of one scenario
+// configuration: the per-seed headline numbers plus their summaries.
+// It backs the robustness analyses — any claim made from a single
+// seeded run should be checked against a Replication before it goes in
+// a report.
+type Replication struct {
+	// Seeds are the seeds actually run.
+	Seeds []uint64
+	// MeanP and MeanT hold each seed's whole-run means.
+	MeanP, MeanT []float64
+	// MeanPSummary and MeanTSummary summarize across seeds.
+	MeanPSummary, MeanTSummary metrics.Summary
+	// Results holds the individual runs, aligned with Seeds.
+	Results []*Result
+}
+
+// Replicate runs the configuration across n consecutive seeds starting
+// at startSeed and aggregates the headline metrics. n must be
+// positive.
+func Replicate(cfg Config, startSeed uint64, n int) *Replication {
+	if n <= 0 {
+		panic("scenario: Replicate with non-positive n")
+	}
+	if startSeed == 0 {
+		startSeed = 1
+	}
+	rep := &Replication{}
+	for i := 0; i < n; i++ {
+		seed := startSeed + uint64(i)
+		c := cfg
+		c.Seed = seed
+		r := Run(c)
+		rep.Seeds = append(rep.Seeds, seed)
+		rep.Results = append(rep.Results, r)
+		rep.MeanP = append(rep.MeanP, r.MeanP(0, 0))
+		rep.MeanT = append(rep.MeanT, r.MeanT(0, 0))
+	}
+	rep.MeanPSummary = metrics.Summarize(rep.MeanP)
+	rep.MeanTSummary = metrics.Summarize(rep.MeanT)
+	return rep
+}
+
+// PhaseMeanP returns each seed's mean P over [fromSec, toSec) plus the
+// cross-seed summary.
+func (rep *Replication) PhaseMeanP(fromSec, toSec int) ([]float64, metrics.Summary) {
+	xs := make([]float64, len(rep.Results))
+	for i, r := range rep.Results {
+		xs[i] = r.MeanP(fromSec, toSec)
+	}
+	return xs, metrics.Summarize(xs)
+}
+
+// MeanPCI returns a bootstrap confidence interval for the cross-seed
+// mean throughput at the given level (e.g. 0.95).
+func (rep *Replication) MeanPCI(level float64) metrics.CI {
+	return metrics.BootstrapMeanCI(rep.MeanP, level, 2000, rng.New(0xC1))
+}
+
+// String renders the headline aggregate for logs.
+func (rep *Replication) String() string {
+	return fmt.Sprintf("P = %.2f ± %.2f (n=%d), T = %.2f ± %.2f",
+		rep.MeanPSummary.Mean, rep.MeanPSummary.Std, len(rep.Seeds),
+		rep.MeanTSummary.Mean, rep.MeanTSummary.Std)
+}

@@ -1,0 +1,486 @@
+// Package scenario wires devices, network paths, the edge server,
+// background load and a control policy into a runnable experiment, and
+// records the per-second traces behind each of the paper's figures.
+//
+// A scenario is fully deterministic given its seed: every stochastic
+// component draws from an independent child of the root rng stream.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/quality"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// PolicyFactory constructs a fresh policy instance; each device in a
+// scenario gets its own (policies are stateful).
+type PolicyFactory func() controller.Policy
+
+// Standard policy factories for the paper's four controllers.
+func FrameFeedbackFactory(cfg controller.Config) PolicyFactory {
+	return func() controller.Policy { return controller.NewFrameFeedback(cfg) }
+}
+func LocalOnlyFactory() PolicyFactory {
+	return func() controller.Policy { return baselines.LocalOnly{} }
+}
+func AlwaysOffloadFactory() PolicyFactory {
+	return func() controller.Policy { return baselines.AlwaysOffload{} }
+}
+func AllOrNothingFactory() PolicyFactory {
+	return func() controller.Policy { return baselines.NewAllOrNothing() }
+}
+
+// DeviceSpec describes one edge device in a scenario.
+type DeviceSpec struct {
+	// Profile is the hardware profile; required.
+	Profile *models.DeviceProfile
+	// Model is the classification network; defaults to
+	// MobileNetV3Small (the paper's measurement model).
+	Model models.Model
+	// Policy, when non-nil, overrides Config.Policy for this device
+	// (heterogeneous-policy experiments).
+	Policy PolicyFactory
+}
+
+// Config describes a complete experiment.
+type Config struct {
+	// Seed makes the run reproducible. Required non-zero.
+	Seed uint64
+	// FS is the source frame rate; default 30.
+	FS float64
+	// FrameLimit is the number of frames each device's camera
+	// emits; default 4000 (the paper's stream length).
+	FrameLimit uint64
+	// Drain is extra simulated time after the last frame so
+	// in-flight work resolves; default 2 s.
+	Drain time.Duration
+	// Policy builds the controller under test; required.
+	Policy PolicyFactory
+	// Devices lists the edge devices; the first is the measured
+	// one. Default: the paper's trio (Pi 4B 1.4 measured, Pi 4B 1.2
+	// and Pi 3B as companions).
+	Devices []DeviceSpec
+	// Network is the link-condition schedule applied to every
+	// device path. Default: a clean 10 Mbps / 5 ms link.
+	Network simnet.Schedule
+	// Load optionally adds background server load (Table VI).
+	Load workload.LoadSchedule
+	// LoadMix is the background model mix; defaults to
+	// workload.DefaultMix.
+	LoadMix []workload.MixEntry
+	// GPU is the server accelerator; default TeslaV100.
+	GPU *models.GPUProfile
+	// ServerShed selects the batcher's overflow policy; defaults to
+	// the paper's FIFO shedding.
+	ServerShed server.ShedPolicy
+	// AdmitCap, when positive, enables server admission control
+	// (reject at submit beyond this queue depth) — the E18
+	// rejection-timing ablation.
+	AdmitCap int
+	// ServerMaxBatch overrides the batcher's size limit (paper:
+	// 15) — the E21 batch-limit ablation. 0 keeps the default.
+	ServerMaxBatch int
+	// Deadline overrides the devices' end-to-end offload deadline;
+	// 0 keeps the paper's 250 ms.
+	Deadline time.Duration
+	// Tick is the control/measurement interval; default 1 s
+	// (Table IV).
+	Tick time.Duration
+	// OffloadResolution and OffloadQuality set the encoded frames'
+	// parameters; defaults 380×380 at JPEG quality 85 (§II-D: the
+	// offloaded stream uses larger, lighter-compressed frames to
+	// exploit server-side accuracy), ≈ 29 KB per frame.
+	OffloadResolution frame.Resolution
+	OffloadQuality    frame.Quality
+	// Quality, when non-nil, enables the adaptive frame-quality
+	// extension: each device walks the configured ladder in
+	// response to controller feedback (see internal/quality),
+	// overriding the fixed OffloadResolution/OffloadQuality.
+	Quality *quality.Config
+	// OnOffload, when non-nil, observes every resolved offload of
+	// the measured device — plug a trace.Recorder's Hook here.
+	OnOffload func(device.OffloadOutcome)
+	// OnLocalDone, when non-nil, observes every completed local
+	// inference of the measured device (application layers score
+	// results from both paths — see internal/app).
+	OnLocalDone func(f frame.Frame, finishedAt simtime.Time)
+}
+
+func (c *Config) applyDefaults() {
+	if c.FS <= 0 {
+		c.FS = 30
+	}
+	if c.FrameLimit == 0 {
+		c.FrameLimit = 4000
+	}
+	if c.Drain == 0 {
+		c.Drain = 2 * time.Second
+	}
+	if c.Devices == nil {
+		c.Devices = []DeviceSpec{
+			{Profile: models.Pi4B14()},
+			{Profile: models.Pi4B12()},
+			{Profile: models.Pi3B()},
+		}
+	}
+	if c.Network == nil {
+		c.Network = simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+			BandwidthBps: simnet.Mbps(10), PropDelay: 5 * time.Millisecond,
+		}}}
+	}
+	if c.GPU == nil {
+		c.GPU = models.TeslaV100()
+	}
+	if c.Tick == 0 {
+		c.Tick = controller.DefaultTickInterval
+	}
+	if c.OffloadResolution == 0 {
+		c.OffloadResolution = frame.Res380
+	}
+	if c.OffloadQuality == 0 {
+		c.OffloadQuality = 85
+	}
+}
+
+// Result is a completed run: the measured device's per-second trace
+// plus end-of-run summaries.
+type Result struct {
+	// PolicyName identifies the controller that produced the trace.
+	PolicyName string
+	// Ticks is the number of recorded measurement intervals.
+	Ticks int
+	// Per-second traces for the measured device, all of length
+	// Ticks: Time (s), P (successful inference throughput,
+	// P_l + successful offloads), Po (controller setting), PlRate
+	// (local completions), TRate (timeouts incl. rejections),
+	// OffloadOK, CPU (modeled device CPU %), Power (modeled board
+	// watts), AccP (accuracy-weighted throughput: each completed
+	// inference weighted by its estimated Top-1 accuracy at the
+	// frame parameters it ran with), QualityBytes (mean offloaded
+	// frame size in force).
+	Time, P, Po, PlRate, TRate, OffloadOK, CPU []float64
+	Power, AccP, QualityBytes                  []float64
+	// TotalP is the successful inference throughput summed over ALL
+	// devices per tick — the quantity the paper's §IV-A reports for
+	// its three concurrent Pis. ServerUtil is the GPU busy fraction
+	// per tick.
+	TotalP, ServerUtil []float64
+	// Device is the measured device's final counters.
+	Device device.Counters
+	// Server is the server's final counters.
+	Server server.Stats
+	// Tenants holds per-device server-side accounting, aligned with
+	// Config.Devices (for fairness analysis).
+	Tenants []server.TenantStats
+	// OffloadLatency summarizes the end-to-end latency of the
+	// measured device's successful offloads (zero Summary if none
+	// succeeded). Timed-out frames are right-censored at the
+	// deadline and appear only in the timeout counters.
+	OffloadLatency metrics.Summary
+	// Injected reports background-injector accounting (zero without
+	// a load schedule).
+	InjectedSubmitted, InjectedRejected uint64
+}
+
+// MeanP returns the mean successful throughput over [fromSec, toSec).
+// A toSec of 0 means the full trace.
+func (r *Result) MeanP(fromSec, toSec int) float64 {
+	if toSec <= 0 || toSec > len(r.P) {
+		toSec = len(r.P)
+	}
+	if fromSec < 0 {
+		fromSec = 0
+	}
+	if fromSec >= toSec {
+		return 0
+	}
+	return metrics.Mean(r.P[fromSec:toSec])
+}
+
+// MeanT returns the mean timeout rate over [fromSec, toSec).
+func (r *Result) MeanT(fromSec, toSec int) float64 {
+	if toSec <= 0 || toSec > len(r.TRate) {
+		toSec = len(r.TRate)
+	}
+	if fromSec < 0 {
+		fromSec = 0
+	}
+	if fromSec >= toSec {
+		return 0
+	}
+	return metrics.Mean(r.TRate[fromSec:toSec])
+}
+
+// MeanAccP returns the mean accuracy-weighted throughput over
+// [fromSec, toSec); a toSec of 0 means the full trace.
+func (r *Result) MeanAccP(fromSec, toSec int) float64 {
+	if toSec <= 0 || toSec > len(r.AccP) {
+		toSec = len(r.AccP)
+	}
+	if fromSec < 0 {
+		fromSec = 0
+	}
+	if fromSec >= toSec {
+		return 0
+	}
+	return metrics.Mean(r.AccP[fromSec:toSec])
+}
+
+// MeanPower returns the mean modeled board power in watts.
+func (r *Result) MeanPower() float64 { return metrics.Mean(r.Power) }
+
+// EnergyPerInference returns the mean joules per successful inference
+// across the run.
+func (r *Result) EnergyPerInference() float64 {
+	return device.EnergyPerInference(r.MeanPower(), r.MeanP(0, 0))
+}
+
+// Measurements reconstructs the per-tick measurement sequence the
+// policy consumed, for offline what-if replay (see internal/trace).
+func (r *Result) Measurements(fs float64) []controller.Measurement {
+	out := make([]controller.Measurement, 0, r.Ticks)
+	for i := 0; i < r.Ticks; i++ {
+		out = append(out, controller.Measurement{
+			Now:       time.Duration((r.Time[i] + 1) * float64(time.Second)),
+			FS:        fs,
+			Po:        r.Po[i],
+			T:         r.TRate[i],
+			Pl:        r.PlRate[i],
+			OffloadOK: r.OffloadOK[i],
+		})
+	}
+	return out
+}
+
+// Table exports the trace as a metrics.Table for CSV/plotting.
+func (r *Result) Table() *metrics.Table {
+	return metrics.NewTable().
+		AddColumn("t", r.Time).
+		AddColumn("P", r.P).
+		AddColumn("Po", r.Po).
+		AddColumn("Pl", r.PlRate).
+		AddColumn("T", r.TRate).
+		AddColumn("offOK", r.OffloadOK).
+		AddColumn("cpu", r.CPU).
+		AddColumn("watts", r.Power).
+		AddColumn("accP", r.AccP).
+		AddColumn("frameBytes", r.QualityBytes).
+		AddColumn("totalP", r.TotalP).
+		AddColumn("serverUtil", r.ServerUtil)
+}
+
+// Run executes the scenario to completion and returns the measured
+// device's results.
+func Run(cfg Config) *Result {
+	cfg.applyDefaults()
+	if cfg.Policy == nil {
+		panic("scenario: Config.Policy is required")
+	}
+	if cfg.Seed == 0 {
+		panic("scenario: Config.Seed must be non-zero for reproducibility")
+	}
+	if !cfg.Network.Validate() {
+		panic("scenario: invalid network schedule")
+	}
+
+	sched := simtime.NewScheduler()
+	root := rng.New(cfg.Seed)
+
+	srv := server.New(sched, root.Split(1), server.Config{
+		GPU:      cfg.GPU,
+		Shed:     cfg.ServerShed,
+		AdmitCap: cfg.AdmitCap,
+		MaxBatch: cfg.ServerMaxBatch,
+	})
+
+	var inj *workload.Injector
+	if cfg.Load != nil {
+		inj = workload.NewInjector(sched, root.Split(2), srv, workload.InjectorConfig{
+			Schedule: cfg.Load,
+			Mix:      cfg.LoadMix,
+		})
+	}
+
+	type devRig struct {
+		dev     *device.Device
+		policy  controller.Policy
+		src     *frame.Source
+		adapter *quality.Adapter
+		model   models.Model
+		prev    device.Counters
+	}
+	rigs := make([]*devRig, len(cfg.Devices))
+	for i, spec := range cfg.Devices {
+		if spec.Profile == nil {
+			panic(fmt.Sprintf("scenario: device %d has nil profile", i))
+		}
+		devRand := root.Split(uint64(10 + i))
+		path := simnet.NewPath(sched, devRand.Split(1), cfg.Network.At(0))
+		cfg.Network.Apply(sched, path)
+		devCfg := device.Config{
+			Profile:  spec.Profile,
+			Model:    spec.Model,
+			FS:       cfg.FS,
+			Deadline: cfg.Deadline,
+			Tenant:   i,
+		}
+		if i == 0 {
+			devCfg.OnOffload = cfg.OnOffload
+			devCfg.OnLocalDone = cfg.OnLocalDone
+		}
+		dev := device.New(sched, devRand.Split(2), devCfg, path, srv)
+		src := frame.NewSource(sched, devRand.Split(3), frame.SourceConfig{
+			FPS:        cfg.FS,
+			Limit:      cfg.FrameLimit,
+			Resolution: cfg.OffloadResolution,
+			Quality:    cfg.OffloadQuality,
+			Stream:     i,
+		}, dev.HandleFrame)
+		pf := cfg.Policy
+		if spec.Policy != nil {
+			pf = spec.Policy
+		}
+		rig := &devRig{dev: dev, policy: pf(), src: src, model: spec.Model}
+		if cfg.Quality != nil {
+			rig.adapter = quality.NewAdapter(*cfg.Quality)
+			lvl := rig.adapter.Level()
+			src.SetParams(lvl.Res, lvl.Q)
+		}
+		rigs[i] = rig
+	}
+
+	res := &Result{PolicyName: rigs[0].policy.Name()}
+	duration := simtime.Time(float64(cfg.FrameLimit) / cfg.FS * float64(time.Second))
+	end := duration + cfg.Drain
+
+	// Prime each policy before the first frame so rates that do not
+	// depend on feedback (the baselines' F_s or 0) apply from t = 0
+	// rather than after a one-second blind spot. Feedback policies
+	// see an all-zero first measurement, which for FrameFeedback is
+	// simply its first ramp tick.
+	for _, rig := range rigs {
+		rig.dev.SetOffloadRate(rig.policy.Next(controller.Measurement{
+			Now: 0, FS: cfg.FS, Po: rig.dev.Po(),
+		}))
+		if p, ok := rig.policy.(controller.Prober); ok && p.WantsProbe() {
+			rig.dev.SendProbe(0)
+		}
+	}
+
+	tickSec := cfg.Tick.Seconds()
+	var prevBusy time.Duration
+	sched.Every(cfg.Tick, cfg.Tick, func(now simtime.Time) {
+		totalP := 0.0
+		for i, rig := range rigs {
+			cur := rig.dev.Counters()
+			d := diff(cur, rig.prev)
+			rig.prev = cur
+
+			m := controller.Measurement{
+				Now:       now,
+				FS:        cfg.FS,
+				Po:        rig.dev.Po(),
+				T:         float64(d.OffloadTimedOut+d.OffloadRejected) / tickSec,
+				Pl:        float64(d.LocalDone) / tickSec,
+				OffloadOK: float64(d.OffloadOK) / tickSec,
+			}
+			wantsProbe := false
+			if p, ok := rig.policy.(controller.Prober); ok && p.WantsProbe() {
+				wantsProbe = true
+				m.ProbeOK, m.ProbeValid = rig.dev.TakeProbeResult()
+			}
+			totalP += m.Pl + m.OffloadOK
+
+			// Record while the stream is live; drain ticks after
+			// the last frame would only append zeros.
+			if i == 0 && now <= duration {
+				res.Time = append(res.Time, now.Seconds()-tickSec)
+				res.P = append(res.P, m.Pl+m.OffloadOK)
+				res.Po = append(res.Po, m.Po)
+				res.PlRate = append(res.PlRate, m.Pl)
+				res.TRate = append(res.TRate, m.T)
+				res.OffloadOK = append(res.OffloadOK, m.OffloadOK)
+				busyFrac := d.LocalBusy.Seconds() / tickSec
+				offFrac := float64(d.OffloadAttempts) / tickSec / cfg.FS
+				cpu := device.CPUPercent(busyFrac, offFrac)
+				res.CPU = append(res.CPU, cpu)
+				res.Power = append(res.Power, device.PowerWatts(cpu))
+				// Accuracy weighting: offloaded frames at the
+				// source's parameters, local frames at the
+				// model's native input.
+				fRes, fQ := rig.src.Params()
+				offAcc := models.AccuracyAt(rig.model, fRes, fQ)
+				localAcc := rig.model.TopOneAccuracy()
+				res.AccP = append(res.AccP, m.OffloadOK*offAcc+m.Pl*localAcc)
+				size := frame.DefaultSizeModel().MeanBytes(fRes, fQ)
+				res.QualityBytes = append(res.QualityBytes, float64(size))
+			}
+
+			// Stop steering once the stream has ended.
+			if now >= duration {
+				continue
+			}
+			rig.dev.SetOffloadRate(rig.policy.Next(m))
+			if rig.adapter != nil {
+				lvl := rig.adapter.Observe(m)
+				rig.src.SetParams(lvl.Res, lvl.Q)
+			}
+			if wantsProbe {
+				rig.dev.SendProbe(0)
+			}
+		}
+		if now <= duration {
+			res.TotalP = append(res.TotalP, totalP)
+			busy := srv.Stats().BusyTime
+			util := (busy - prevBusy).Seconds() / tickSec
+			if util > 1 {
+				util = 1 // a batch can straddle the tick boundary
+			}
+			prevBusy = busy
+			res.ServerUtil = append(res.ServerUtil, util)
+		}
+	})
+
+	sched.RunUntil(end)
+
+	res.Ticks = len(res.Time)
+	res.Device = rigs[0].dev.Counters()
+	res.Server = srv.Stats()
+	res.OffloadLatency = metrics.Summarize(rigs[0].dev.OffloadLatencies())
+	for i := range rigs {
+		res.Tenants = append(res.Tenants, srv.Tenant(i))
+	}
+	if inj != nil {
+		res.InjectedSubmitted = inj.Submitted()
+		res.InjectedRejected = inj.Rejected()
+	}
+	return res
+}
+
+// diff subtracts counter snapshots field-wise.
+func diff(cur, prev device.Counters) device.Counters {
+	return device.Counters{
+		Captured:        cur.Captured - prev.Captured,
+		OffloadAttempts: cur.OffloadAttempts - prev.OffloadAttempts,
+		OffloadOK:       cur.OffloadOK - prev.OffloadOK,
+		OffloadTimedOut: cur.OffloadTimedOut - prev.OffloadTimedOut,
+		OffloadRejected: cur.OffloadRejected - prev.OffloadRejected,
+		LocalDone:       cur.LocalDone - prev.LocalDone,
+		LocalDropped:    cur.LocalDropped - prev.LocalDropped,
+		LocalBusy:       cur.LocalBusy - prev.LocalBusy,
+		ProbesSent:      cur.ProbesSent - prev.ProbesSent,
+		ProbesOK:        cur.ProbesOK - prev.ProbesOK,
+	}
+}

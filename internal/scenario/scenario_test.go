@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// quickCfg returns a short clean-network scenario for fast tests.
+func quickCfg(policy PolicyFactory) Config {
+	return Config{
+		Seed:       1,
+		Policy:     policy,
+		FrameLimit: 600, // 20 s at 30 fps
+		Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+	}
+}
+
+func TestRunLocalOnly(t *testing.T) {
+	r := Run(quickCfg(LocalOnlyFactory()))
+	if r.PolicyName != "LocalOnly" {
+		t.Fatalf("policy name = %q", r.PolicyName)
+	}
+	if r.Ticks < 20 {
+		t.Fatalf("ticks = %d, want >= 20", r.Ticks)
+	}
+	// Steady state: P ≈ P_l = 13.4, no offloading, no timeouts.
+	if mean := r.MeanP(5, 20); math.Abs(mean-13.4) > 1.5 {
+		t.Fatalf("LocalOnly mean P = %v, want ~13.4", mean)
+	}
+	if r.Device.OffloadAttempts != 0 {
+		t.Fatal("LocalOnly offloaded frames")
+	}
+	if r.MeanT(0, 0) != 0 {
+		t.Fatal("LocalOnly has timeouts")
+	}
+}
+
+func TestRunAlwaysOffloadCleanNetwork(t *testing.T) {
+	r := Run(quickCfg(AlwaysOffloadFactory()))
+	// On a clean 10 Mbps link with an idle server, everything
+	// succeeds: P ≈ F_s after the first tick.
+	if mean := r.MeanP(2, 20); mean < 28 {
+		t.Fatalf("AlwaysOffload clean-network P = %v, want ~30", mean)
+	}
+	if r.Device.LocalDone != 0 {
+		t.Fatal("AlwaysOffload ran local inference")
+	}
+}
+
+func TestRunFrameFeedbackRampsToFull(t *testing.T) {
+	r := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	// Ramp limited to +3/s: Po must be near 30 by t = 15 s and P
+	// close behind.
+	if po := r.Po[15]; po < 25 {
+		t.Fatalf("Po[15s] = %v, want >= 25 (ramp)", po)
+	}
+	if p := r.MeanP(15, 20); p < 26 {
+		t.Fatalf("P after ramp = %v, want ~30", p)
+	}
+	// Early ramp: Po increases by at most 3/s.
+	for i := 1; i < 10; i++ {
+		if d := r.Po[i] - r.Po[i-1]; d > 3+1e-9 {
+			t.Fatalf("Po ramp step %d = %v exceeds 0.1·F_s", i, d)
+		}
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	a := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	b := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	if a.Ticks != b.Ticks {
+		t.Fatalf("tick counts differ: %d vs %d", a.Ticks, b.Ticks)
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] || a.Po[i] != b.Po[i] || a.TRate[i] != b.TRate[i] {
+			t.Fatalf("traces diverge at t=%d", i)
+		}
+	}
+	if a.Device != b.Device {
+		t.Fatalf("device counters differ: %+v vs %+v", a.Device, b.Device)
+	}
+}
+
+func TestRunSeedChangesTrace(t *testing.T) {
+	cfg := quickCfg(FrameFeedbackFactory(controller.Config{}))
+	cfg.Network = simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+		BandwidthBps: simnet.Mbps(10), Loss: 0.07, PropDelay: 5 * time.Millisecond,
+	}}}
+	a := Run(cfg)
+	cfg2 := cfg
+	cfg2.Seed = 2
+	b := Run(cfg2)
+	same := true
+	for i := range a.P {
+		if i < len(b.P) && a.P[i] != b.P[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical lossy traces")
+	}
+}
+
+func TestRunTraceColumnsConsistent(t *testing.T) {
+	r := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	n := r.Ticks
+	for name, col := range map[string][]float64{
+		"Time": r.Time, "P": r.P, "Po": r.Po, "Pl": r.PlRate,
+		"T": r.TRate, "offOK": r.OffloadOK, "CPU": r.CPU,
+	} {
+		if len(col) != n {
+			t.Fatalf("column %s has %d rows, want %d", name, len(col), n)
+		}
+	}
+	// P must always equal Pl + offOK.
+	for i := range r.P {
+		if math.Abs(r.P[i]-(r.PlRate[i]+r.OffloadOK[i])) > 1e-9 {
+			t.Fatalf("P != Pl + offOK at t=%d", i)
+		}
+	}
+	// Table export carries the same data.
+	tb := r.Table()
+	if tb.Rows() != n {
+		t.Fatalf("table rows = %d, want %d", tb.Rows(), n)
+	}
+	if col, ok := tb.Column("P"); !ok || col[0] != r.P[0] {
+		t.Fatal("table column P mismatch")
+	}
+}
+
+func TestRunCPUModelEndpoints(t *testing.T) {
+	local := Run(quickCfg(LocalOnlyFactory()))
+	offload := Run(quickCfg(AlwaysOffloadFactory()))
+	// Steady-state CPU: local-only ~50.2 %, full offload ~22.3 %
+	// (§II-A5). Allow slack for jitter and the ramp tick.
+	lcpu := mean(local.CPU[5:20])
+	ocpu := mean(offload.CPU[5:20])
+	if math.Abs(lcpu-50.2) > 3 {
+		t.Fatalf("local-only CPU = %v, want ~50.2", lcpu)
+	}
+	if math.Abs(ocpu-22.3) > 3 {
+		t.Fatalf("full-offload CPU = %v, want ~22.3", ocpu)
+	}
+}
+
+func TestRunProbesOnlyForProbers(t *testing.T) {
+	ff := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	if ff.Device.ProbesSent != 0 {
+		t.Fatal("FrameFeedback run sent probes")
+	}
+	aon := Run(quickCfg(AllOrNothingFactory()))
+	if aon.Device.ProbesSent == 0 {
+		t.Fatal("AllOrNothing run sent no probes")
+	}
+}
+
+func TestRunMeanHelpersBounds(t *testing.T) {
+	r := Run(quickCfg(LocalOnlyFactory()))
+	if r.MeanP(-5, 0) != r.MeanP(0, 0) {
+		t.Fatal("negative fromSec not clamped")
+	}
+	if r.MeanP(10, 5) != 0 {
+		t.Fatal("inverted range should be 0")
+	}
+	if r.MeanP(0, 10000) != r.MeanP(0, 0) {
+		t.Fatal("oversized toSec not clamped")
+	}
+	if r.MeanT(10, 5) != 0 {
+		t.Fatal("inverted MeanT range should be 0")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"nil policy": {Seed: 1},
+		"zero seed":  {Policy: LocalOnlyFactory()},
+		"bad network": {Seed: 1, Policy: LocalOnlyFactory(), Network: simnet.Schedule{
+			{Start: time.Second}, {Start: time.Second},
+		}},
+		"nil device profile": {Seed: 1, Policy: LocalOnlyFactory(), Devices: []DeviceSpec{{}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestNetworkExperimentShape(t *testing.T) {
+	// The headline claim (contribution 4): under the Table V
+	// schedule, FrameFeedback beats the all-or-nothing baseline in
+	// the intermediate phases, and everyone matches at the extremes.
+	ff := Run(NetworkExperiment(FrameFeedbackFactory(controller.Config{})))
+	aon := Run(NetworkExperiment(AllOrNothingFactory()))
+	local := Run(NetworkExperiment(LocalOnlyFactory()))
+
+	// Phase 30–45 s (4 Mbps): intermediate conditions.
+	if ffP, aonP := ff.MeanP(32, 45), aon.MeanP(32, 45); ffP < 1.5*aonP {
+		t.Fatalf("4 Mbps phase: FrameFeedback %v not ≥1.5× AllOrNothing %v", ffP, aonP)
+	}
+	// Phase 105+ (4 Mbps + 7%): heavily degraded.
+	if ffP, aonP := ff.MeanP(107, 130), aon.MeanP(107, 130); ffP < 2*aonP {
+		t.Fatalf("degraded phase: FrameFeedback %v not ≥2× AllOrNothing %v (paper: >2×)", ffP, aonP)
+	}
+	// FrameFeedback never does worse than local-only in any phase
+	// (the controller's P ≥ P_l guarantee, §II-A5).
+	for _, span := range [][2]int{{5, 30}, {32, 45}, {47, 60}, {65, 90}, {92, 105}, {107, 130}} {
+		ffP := ff.MeanP(span[0], span[1])
+		loP := local.MeanP(span[0], span[1])
+		if ffP < loP-1.5 {
+			t.Fatalf("phase %v: FrameFeedback %v fell below LocalOnly %v", span, ffP, loP)
+		}
+	}
+}
+
+func TestServerLoadExperimentShape(t *testing.T) {
+	ff := Run(ServerLoadExperiment(FrameFeedbackFactory(controller.Config{})))
+	always := Run(ServerLoadExperiment(AlwaysOffloadFactory()))
+
+	// Idle server (0–10 s): both near F_s once ramped... FrameFeedback
+	// is still ramping, so compare at the tail idle phase (110+).
+	if p := always.MeanP(2, 10); p < 26 {
+		t.Fatalf("AlwaysOffload on idle server = %v, want ~30", p)
+	}
+	// Peak load (50–60 s, 150 req/s): FrameFeedback sustains some
+	// offloading above P_l = 13.4; AlwaysOffload collapses below it.
+	ffPeak := ff.MeanP(50, 60)
+	alPeak := always.MeanP(50, 60)
+	if ffPeak < 13.4 {
+		t.Fatalf("FrameFeedback at peak load = %v, want > P_l", ffPeak)
+	}
+	if alPeak >= ffPeak {
+		t.Fatalf("AlwaysOffload at peak load = %v, not worse than FrameFeedback %v", alPeak, ffPeak)
+	}
+	// Load removed (110+ s): FrameFeedback recovers toward full
+	// offload.
+	if p := ff.MeanP(115, 130); p < 25 {
+		t.Fatalf("FrameFeedback post-load recovery = %v, want ~30", p)
+	}
+	if ff.InjectedSubmitted == 0 {
+		t.Fatal("server-load experiment injected nothing")
+	}
+}
+
+func TestTuningExperimentRespondsToLoss(t *testing.T) {
+	r := Run(TuningExperiment(0.2, 0.26))
+	// Before the loss (t < 27 s): Po ramps high.
+	if po := r.Po[26]; po < 25 {
+		t.Fatalf("Po before loss = %v, want ~30", po)
+	}
+	// After loss injection the controller must back off visibly.
+	pre := mean(r.Po[20:26])
+	post := mean(r.Po[40:58])
+	if post >= pre-3 {
+		t.Fatalf("Po did not respond to 7%% loss: pre=%v post=%v", pre, post)
+	}
+}
+
+func TestTuningPairsIncludePaperSetting(t *testing.T) {
+	found := false
+	for _, p := range TuningPairs() {
+		if p[0] == 0.2 && p[1] == 0.26 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("TuningPairs missing the Table IV tuning (0.2, 0.26)")
+	}
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	ps := AllPolicies()
+	for _, name := range PolicyOrder() {
+		f, ok := ps[name]
+		if !ok {
+			t.Fatalf("PolicyOrder name %q missing from AllPolicies", name)
+		}
+		if got := f().Name(); got != name {
+			t.Fatalf("factory for %q builds policy named %q", name, got)
+		}
+	}
+}
+
+func TestCompanionDevicesShareServer(t *testing.T) {
+	// Default device set: three Pis. The server must see traffic
+	// from tenants beyond the measured one.
+	cfg := Config{
+		Seed:       3,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 300,
+	}
+	r := Run(cfg)
+	if r.Server.Submitted <= uint64(r.Device.OffloadAttempts) {
+		t.Fatalf("server saw %d submissions, measured device sent %d — companions missing",
+			r.Server.Submitted, r.Device.OffloadAttempts)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestWorkloadTableVUsedByNetworkExperiment(t *testing.T) {
+	cfg := NetworkExperiment(LocalOnlyFactory())
+	if len(cfg.Network) != len(workload.TableV()) {
+		t.Fatal("NetworkExperiment does not use the Table V schedule")
+	}
+}

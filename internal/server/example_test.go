@@ -1,0 +1,34 @@
+package server_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/server"
+	"repro/internal/simtime"
+)
+
+// The adaptive batcher (§IV-A): requests accumulate while a batch
+// executes; the next batch takes up to 15 and rejects the remainder.
+func ExampleServer() {
+	sched := simtime.NewScheduler()
+	srv := server.New(sched, nil, server.Config{GPU: models.TeslaV100()})
+
+	done := func(r server.Result) {
+		fmt.Printf("%v in batch of %d at %v\n", r.Status, r.BatchSize, r.FinishedAt.Round(time.Millisecond))
+	}
+	// First request starts a batch of 1 (44 ms on the calibrated
+	// curve); two more arrive during execution and form the next
+	// batch together.
+	srv.Submit(&server.Request{Model: models.MobileNetV3Small, Done: done})
+	sched.At(10*time.Millisecond, func() {
+		srv.Submit(&server.Request{Model: models.MobileNetV3Small, Done: done})
+		srv.Submit(&server.Request{Model: models.MobileNetV3Small, Done: done})
+	})
+	sched.Run()
+	// Output:
+	// OK in batch of 1 at 44ms
+	// OK in batch of 2 at 92ms
+	// OK in batch of 2 at 92ms
+}

@@ -1,0 +1,359 @@
+// Package server simulates the GPU-equipped edge server: request
+// queues, the paper's adaptive batching strategy (§IV-A), and
+// multi-tenant accounting.
+//
+// The batching scheme is exactly the paper's: while one batch executes
+// on the GPU, arriving requests accumulate in a per-model queue; when
+// the GPU frees up, the next batch is built from that queue up to a
+// limit of 15 frames, and the remainder of the queue is rejected.
+// Rejections are how server saturation (the paper's T_l) reaches the
+// devices. Batch execution time follows the models.GPUProfile affine
+// curve, so saturation emerges from load rather than from a hand-coded
+// flag.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// DefaultMaxBatch is the paper's batch size limit (§IV-A).
+const DefaultMaxBatch = 15
+
+// Status is the outcome of a request from the server's perspective.
+type Status int
+
+const (
+	// StatusOK means the request was executed in a batch.
+	StatusOK Status = iota
+	// StatusRejected means the request was shed at batch formation
+	// because the queue exceeded the batch limit — load-induced
+	// failure, the paper's T_l.
+	StatusRejected
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusRejected:
+		return "Rejected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Request is one inference task submitted to the server.
+type Request struct {
+	// ID is caller-assigned and opaque to the server.
+	ID uint64
+	// Tenant identifies the submitting device for multi-tenant
+	// accounting.
+	Tenant int
+	// Model selects the network to run and hence the batch queue.
+	Model models.Model
+	// Bytes is the payload size (informational; transfer time is
+	// the network's concern).
+	Bytes int
+	// Done is invoked exactly once with the outcome. Required.
+	Done func(Result)
+
+	submittedAt simtime.Time
+}
+
+// Result reports a request's outcome.
+type Result struct {
+	Status Status
+	// FinishedAt is when the outcome was known (batch completion
+	// for OK, batch formation for Rejected).
+	FinishedAt simtime.Time
+	// Queued is how long the request waited before executing or
+	// being rejected.
+	Queued time.Duration
+	// BatchSize is the size of the batch the request ran in
+	// (0 for rejected requests).
+	BatchSize int
+}
+
+// ShedPolicy selects how batch formation divides a too-long queue
+// between the batch and the rejections.
+type ShedPolicy int
+
+const (
+	// ShedFIFO takes the MaxBatch oldest requests and rejects the
+	// rest — the paper's scheme (§IV-A). Tenants compete purely by
+	// arrival order, so a flooding tenant crowds out modest ones
+	// within a window.
+	ShedFIFO ShedPolicy = iota
+	// ShedFair takes requests round-robin across tenants (oldest
+	// first within each tenant) until the batch fills, implementing
+	// the §II-A3 requirement to "distribute the available capacity
+	// fairly among clients" even against a flooding tenant.
+	ShedFair
+)
+
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedFIFO:
+		return "FIFO"
+	case ShedFair:
+		return "Fair"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// GPU is the accelerator profile. Required.
+	GPU *models.GPUProfile
+	// MaxBatch caps batch sizes; defaults to DefaultMaxBatch.
+	MaxBatch int
+	// Shed selects the overflow policy at batch formation; defaults
+	// to the paper's ShedFIFO.
+	Shed ShedPolicy
+	// AdmitCap, when positive, adds admission control: a request
+	// arriving at a model queue already holding AdmitCap entries is
+	// rejected at Submit time rather than waiting to be shed at the
+	// next batch formation. The paper sheds only at formation
+	// (§IV-A); admission control is the E18 ablation — it delivers
+	// the rejection signal to devices earlier.
+	AdmitCap int
+}
+
+// Stats holds cumulative server counters.
+type Stats struct {
+	Submitted uint64
+	Completed uint64
+	Rejected  uint64
+	Batches   uint64
+	// BatchSizeSum allows computing the mean batch size.
+	BatchSizeSum uint64
+	// BusyTime is total GPU execution time.
+	BusyTime time.Duration
+}
+
+// MeanBatchSize returns the average executed batch size.
+func (s Stats) MeanBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchSizeSum) / float64(s.Batches)
+}
+
+// Server is the simulated edge inference server. Like every simulation
+// component it is single-threaded on the scheduler's event loop.
+type Server struct {
+	sched *simtime.Scheduler
+	rng   *rng.Stream
+	cfg   Config
+
+	queues map[models.Model][]*Request
+	// rr is the round-robin order across model queues, fixed at
+	// construction for determinism.
+	rr     []models.Model
+	rrNext int
+	busy   bool
+
+	stats    Stats
+	byTenant map[int]*TenantStats
+}
+
+// TenantStats tracks per-tenant outcomes for fairness analysis.
+type TenantStats struct {
+	Submitted, Completed, Rejected uint64
+}
+
+// New creates a server on the scheduler. r supplies execution jitter
+// and may be nil for deterministic batch latencies.
+func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config) *Server {
+	if sched == nil {
+		panic("server: New with nil scheduler")
+	}
+	if cfg.GPU == nil {
+		panic("server: Config.GPU is required")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 0 {
+		panic("server: negative MaxBatch")
+	}
+	s := &Server{
+		sched:    sched,
+		rng:      r,
+		cfg:      cfg,
+		queues:   make(map[models.Model][]*Request),
+		byTenant: make(map[int]*TenantStats),
+	}
+	for _, m := range models.All() {
+		if _, ok := cfg.GPU.Curves[m]; ok {
+			s.rr = append(s.rr, m)
+		}
+	}
+	if len(s.rr) == 0 {
+		panic("server: GPU profile has no model curves")
+	}
+	return s
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Tenant returns the stats for one tenant (zero stats if unseen).
+func (s *Server) Tenant(id int) TenantStats {
+	if t, ok := s.byTenant[id]; ok {
+		return *t
+	}
+	return TenantStats{}
+}
+
+// QueueLen returns the number of requests waiting for the model.
+func (s *Server) QueueLen(m models.Model) int { return len(s.queues[m]) }
+
+// Busy reports whether a batch is executing right now.
+func (s *Server) Busy() bool { return s.busy }
+
+// Submit enqueues a request. The outcome arrives via req.Done — at
+// batch completion (OK) or at the next batch formation (Rejected).
+func (s *Server) Submit(req *Request) {
+	if req == nil || req.Done == nil {
+		panic("server: Submit with nil request or Done")
+	}
+	if _, ok := s.cfg.GPU.Curves[req.Model]; !ok {
+		panic("server: Submit for model without GPU curve: " + req.Model.String())
+	}
+	req.submittedAt = s.sched.Now()
+	s.stats.Submitted++
+	s.tenant(req.Tenant).Submitted++
+	if s.cfg.AdmitCap > 0 && len(s.queues[req.Model]) >= s.cfg.AdmitCap {
+		s.stats.Rejected++
+		s.tenant(req.Tenant).Rejected++
+		req.Done(Result{Status: StatusRejected, FinishedAt: s.sched.Now()})
+		return
+	}
+	s.queues[req.Model] = append(s.queues[req.Model], req)
+	if !s.busy {
+		s.startBatch()
+	}
+}
+
+func (s *Server) tenant(id int) *TenantStats {
+	t, ok := s.byTenant[id]
+	if !ok {
+		t = &TenantStats{}
+		s.byTenant[id] = t
+	}
+	return t
+}
+
+// startBatch forms and launches the next batch: round-robin to the
+// next non-empty model queue, take up to MaxBatch requests, reject the
+// remainder of that queue (§IV-A).
+func (s *Server) startBatch() {
+	m, ok := s.nextModel()
+	if !ok {
+		s.busy = false
+		return
+	}
+	q := s.queues[m]
+	batch, rejected := s.splitBatch(q)
+	take := len(batch)
+	now := s.sched.Now()
+	// Reject the overflow immediately: the device learns of
+	// saturation as fast as the network returns the rejection.
+	for _, r := range rejected {
+		s.stats.Rejected++
+		s.tenant(r.Tenant).Rejected++
+		r.Done(Result{
+			Status:     StatusRejected,
+			FinishedAt: now,
+			Queued:     now - r.submittedAt,
+		})
+	}
+	s.queues[m] = nil
+
+	lat := s.cfg.GPU.Curve(m).Latency(take)
+	if s.rng != nil && s.cfg.GPU.JitterRel > 0 {
+		lat = time.Duration(s.rng.Jitter(float64(lat), s.cfg.GPU.JitterRel))
+	}
+	s.busy = true
+	s.stats.Batches++
+	s.stats.BatchSizeSum += uint64(take)
+	s.stats.BusyTime += lat
+
+	s.sched.After(lat, func() {
+		done := s.sched.Now()
+		for _, r := range batch {
+			s.stats.Completed++
+			s.tenant(r.Tenant).Completed++
+			r.Done(Result{
+				Status:     StatusOK,
+				FinishedAt: done,
+				Queued:     done - r.submittedAt - lat,
+				BatchSize:  take,
+			})
+		}
+		s.startBatch()
+	})
+}
+
+// splitBatch divides a queue into the batch to execute and the
+// requests to shed, according to the configured ShedPolicy.
+func (s *Server) splitBatch(q []*Request) (batch, rejected []*Request) {
+	if len(q) <= s.cfg.MaxBatch {
+		return q, nil
+	}
+	if s.cfg.Shed == ShedFIFO {
+		return q[:s.cfg.MaxBatch], q[s.cfg.MaxBatch:]
+	}
+	// ShedFair: round-robin across tenants in first-appearance
+	// order, oldest request first within each tenant.
+	perTenant := make(map[int][]*Request)
+	var order []int
+	for _, r := range q {
+		if _, seen := perTenant[r.Tenant]; !seen {
+			order = append(order, r.Tenant)
+		}
+		perTenant[r.Tenant] = append(perTenant[r.Tenant], r)
+	}
+	for len(batch) < s.cfg.MaxBatch {
+		progressed := false
+		for _, tenant := range order {
+			tq := perTenant[tenant]
+			if len(tq) == 0 {
+				continue
+			}
+			batch = append(batch, tq[0])
+			perTenant[tenant] = tq[1:]
+			progressed = true
+			if len(batch) == s.cfg.MaxBatch {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for _, tenant := range order {
+		rejected = append(rejected, perTenant[tenant]...)
+	}
+	return batch, rejected
+}
+
+// nextModel advances the round-robin cursor to the next model with
+// pending work.
+func (s *Server) nextModel() (models.Model, bool) {
+	for i := 0; i < len(s.rr); i++ {
+		m := s.rr[(s.rrNext+i)%len(s.rr)]
+		if len(s.queues[m]) > 0 {
+			s.rrNext = (s.rrNext + i + 1) % len(s.rr)
+			return m, true
+		}
+	}
+	return 0, false
+}

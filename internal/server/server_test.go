@@ -1,0 +1,514 @@
+package server
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func newTestServer(s *simtime.Scheduler) *Server {
+	return New(s, nil, Config{GPU: models.TeslaV100()})
+}
+
+func submitN(s *simtime.Scheduler, srv *Server, n int, m models.Model, tenant int, done func(Result)) {
+	for i := 0; i < n; i++ {
+		srv.Submit(&Request{ID: uint64(i), Tenant: tenant, Model: m, Bytes: 7000, Done: done})
+	}
+}
+
+func TestSingleRequestLatency(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	var res Result
+	srv.Submit(&Request{Model: models.MobileNetV3Small, Done: func(r Result) { res = r }})
+	s.Run()
+	// Batch of 1: 40 ms setup + 4 ms = 44 ms.
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.FinishedAt != 44*time.Millisecond {
+		t.Fatalf("finished at %v, want 44ms", res.FinishedAt)
+	}
+	if res.BatchSize != 1 {
+		t.Fatalf("batch size = %d", res.BatchSize)
+	}
+	if res.Queued != 0 {
+		t.Fatalf("queued = %v, want 0", res.Queued)
+	}
+}
+
+func TestBatchAccumulatesDuringExecution(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	var sizes []int
+	done := func(r Result) { sizes = append(sizes, r.BatchSize) }
+	// First request starts a batch of 1 immediately.
+	srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+	// Five more arrive while it executes (44 ms).
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i+1)*5*time.Millisecond, func() {
+			srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+		})
+	}
+	s.Run()
+	if len(sizes) != 6 {
+		t.Fatalf("completed %d, want 6", len(sizes))
+	}
+	if sizes[0] != 1 {
+		t.Fatalf("first batch size = %d, want 1", sizes[0])
+	}
+	for _, sz := range sizes[1:] {
+		if sz != 5 {
+			t.Fatalf("second batch sizes = %v, want all 5", sizes[1:])
+		}
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	var ok, rejected int
+	done := func(r Result) {
+		switch r.Status {
+		case StatusOK:
+			ok++
+		case StatusRejected:
+			rejected++
+		}
+	}
+	// One request occupies the GPU; 20 more pile up behind it. When
+	// the next batch forms, 15 run and 5 are rejected.
+	submitN(s, srv, 1, models.MobileNetV3Small, 0, done)
+	s.At(time.Millisecond, func() {
+		submitN(s, srv, 20, models.MobileNetV3Small, 0, done)
+	})
+	s.Run()
+	if ok != 16 {
+		t.Fatalf("ok = %d, want 16", ok)
+	}
+	if rejected != 5 {
+		t.Fatalf("rejected = %d, want 5", rejected)
+	}
+	st := srv.Stats()
+	if st.Rejected != 5 || st.Completed != 16 || st.Submitted != 21 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaxBatchNeverExceeded(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	maxSeen := 0
+	done := func(r Result) {
+		if r.BatchSize > maxSeen {
+			maxSeen = r.BatchSize
+		}
+	}
+	// Flood: 60/s for 3 s.
+	s.Every(0, time.Second/60, func(now simtime.Time) {
+		if now < 3*time.Second {
+			srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if maxSeen > DefaultMaxBatch {
+		t.Fatalf("batch size %d exceeds limit %d", maxSeen, DefaultMaxBatch)
+	}
+	if maxSeen < 2 {
+		t.Fatal("batching never kicked in under flood")
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	// Offered 300/s of MobileNetV3Small: the calibrated ceiling is
+	// 15 frames / 100 ms = 150/s. Completed throughput must land
+	// there and the surplus must be rejected.
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	done := func(Result) {}
+	const seconds = 20
+	s.Every(0, time.Second/300, func(now simtime.Time) {
+		if now < seconds*time.Second {
+			srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+		}
+	})
+	s.RunUntil((seconds + 5) * time.Second)
+	st := srv.Stats()
+	rate := float64(st.Completed) / seconds
+	if rate < 140 || rate > 160 {
+		t.Fatalf("saturated throughput = %.1f/s, want ~150", rate)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("no rejections at 2× overload")
+	}
+	if got := st.MeanBatchSize(); got < 14 {
+		t.Fatalf("mean batch size %v under overload, want ~15", got)
+	}
+}
+
+func TestRoundRobinAcrossModels(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	var order []models.Model
+	mk := func(m models.Model) *Request {
+		return &Request{Model: m, Done: func(r Result) { order = append(order, m) }}
+	}
+	// Occupy the GPU, then queue both models.
+	srv.Submit(mk(models.MobileNetV3Small))
+	s.At(time.Millisecond, func() {
+		srv.Submit(mk(models.EfficientNetB0))
+		srv.Submit(mk(models.MobileNetV3Small))
+	})
+	s.Run()
+	if len(order) != 3 {
+		t.Fatalf("completed %d, want 3", len(order))
+	}
+	// After the first MobileNet batch, round-robin must pick the
+	// other model before returning to MobileNet.
+	if order[1] != models.EfficientNetB0 {
+		t.Fatalf("order = %v; EfficientNetB0 starved", order)
+	}
+}
+
+func TestPerModelQueuesIndependent(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	if srv.QueueLen(models.MobileNetV3Small) != 0 {
+		t.Fatal("fresh server has queued work")
+	}
+	srv.Submit(&Request{Model: models.MobileNetV3Small, Done: func(Result) {}})
+	s.At(time.Millisecond, func() {
+		srv.Submit(&Request{Model: models.EfficientNetB0, Done: func(Result) {}})
+		srv.Submit(&Request{Model: models.EfficientNetB0, Done: func(Result) {}})
+		if srv.QueueLen(models.EfficientNetB0) != 2 {
+			t.Errorf("EfficientNetB0 queue = %d, want 2", srv.QueueLen(models.EfficientNetB0))
+		}
+		if srv.QueueLen(models.MobileNetV3Small) != 0 {
+			t.Errorf("MobileNet queue = %d, want 0 (executing)", srv.QueueLen(models.MobileNetV3Small))
+		}
+	})
+	s.Run()
+}
+
+func TestTenantAccounting(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	done := func(Result) {}
+	submitN(s, srv, 1, models.MobileNetV3Small, 7, done)
+	s.At(time.Millisecond, func() {
+		submitN(s, srv, 20, models.MobileNetV3Small, 8, done)
+	})
+	s.Run()
+	t7, t8 := srv.Tenant(7), srv.Tenant(8)
+	if t7.Submitted != 1 || t7.Completed != 1 || t7.Rejected != 0 {
+		t.Fatalf("tenant 7 = %+v", t7)
+	}
+	if t8.Submitted != 20 || t8.Completed != 15 || t8.Rejected != 5 {
+		t.Fatalf("tenant 8 = %+v", t8)
+	}
+	if srv.Tenant(99) != (TenantStats{}) {
+		t.Fatal("unknown tenant not zero")
+	}
+}
+
+func TestGPUIdleRestart(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s)
+	var finished []simtime.Time
+	done := func(r Result) { finished = append(finished, r.FinishedAt) }
+	srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+	// Second request arrives long after the first completes.
+	s.At(time.Second, func() {
+		if srv.Busy() {
+			t.Error("server still busy at t=1s")
+		}
+		srv.Submit(&Request{Model: models.MobileNetV3Small, Done: done})
+	})
+	s.Run()
+	if len(finished) != 2 {
+		t.Fatalf("completed %d, want 2", len(finished))
+	}
+	if finished[1] != time.Second+44*time.Millisecond {
+		t.Fatalf("idle restart latency wrong: %v", finished[1])
+	}
+}
+
+func TestExecutionJitterApplied(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, rng.New(1), Config{GPU: models.TeslaV100()})
+	var times []simtime.Time
+	for i := 0; i < 50; i++ {
+		s.At(simtime.Time(i)*time.Second, func() {
+			srv.Submit(&Request{Model: models.MobileNetV3Small, Done: func(r Result) {
+				times = append(times, r.FinishedAt-simtime.Time(len(times))*time.Second)
+			}})
+		})
+	}
+	s.Run()
+	distinct := map[simtime.Time]bool{}
+	for _, d := range times {
+		distinct[d] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("jitter produced only %d distinct latencies", len(distinct))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := simtime.NewScheduler()
+	for name, fn := range map[string]func(){
+		"nil scheduler": func() { New(nil, nil, Config{GPU: models.TeslaV100()}) },
+		"nil gpu":       func() { New(s, nil, Config{}) },
+		"neg batch":     func() { New(s, nil, Config{GPU: models.TeslaV100(), MaxBatch: -1}) },
+		"empty curves":  func() { New(s, nil, Config{GPU: &models.GPUProfile{}}) },
+		"nil done": func() {
+			srv := newTestServer(s)
+			srv.Submit(&Request{Model: models.MobileNetV3Small})
+		},
+		"unknown model": func() {
+			gpu := &models.GPUProfile{Curves: map[models.Model]models.BatchCurve{
+				models.MobileNetV3Small: {Setup: time.Millisecond, PerItem: time.Millisecond},
+			}}
+			srv := New(s, nil, Config{GPU: gpu})
+			srv.Submit(&Request{Model: models.EfficientNetB4, Done: func(Result) {}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every submitted request resolves exactly once, and
+// completed + rejected == submitted, for arbitrary arrival patterns.
+func TestPropConservation(t *testing.T) {
+	f := func(gaps []uint8, modelSel []bool) bool {
+		s := simtime.NewScheduler()
+		srv := New(s, rng.New(42), Config{GPU: models.TeslaV100()})
+		resolved := map[uint64]int{}
+		var at simtime.Time
+		n := len(gaps)
+		for i := 0; i < n; i++ {
+			at += simtime.Time(gaps[i]) * time.Millisecond
+			id := uint64(i)
+			m := models.MobileNetV3Small
+			if i < len(modelSel) && modelSel[i] {
+				m = models.EfficientNetB0
+			}
+			s.At(at, func() {
+				srv.Submit(&Request{ID: id, Model: m, Done: func(Result) { resolved[id]++ }})
+			})
+		}
+		s.Run()
+		if len(resolved) != n {
+			return false
+		}
+		for _, c := range resolved {
+			if c != 1 {
+				return false
+			}
+		}
+		st := srv.Stats()
+		return st.Completed+st.Rejected == st.Submitted && st.Submitted == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO within a model — completion order preserves
+// submission order for same-model requests.
+func TestPropFIFOWithinModel(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		s := simtime.NewScheduler()
+		srv := newTestServer(s)
+		var completions []uint64
+		var at simtime.Time
+		for i := 0; i < len(gaps); i++ {
+			at += simtime.Time(gaps[i]) * time.Millisecond
+			id := uint64(i)
+			s.At(at, func() {
+				srv.Submit(&Request{ID: id, Model: models.MobileNetV3Small, Done: func(r Result) {
+					if r.Status == StatusOK {
+						completions = append(completions, id)
+					}
+				}})
+			})
+		}
+		s.Run()
+		for i := 1; i < len(completions); i++ {
+			if completions[i] < completions[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOK.String() != "OK" || StatusRejected.String() != "Rejected" {
+		t.Fatal("Status strings wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Fatal("unknown status string wrong")
+	}
+}
+
+func TestShedFairProtectsModestTenants(t *testing.T) {
+	run := func(shed ShedPolicy) (greedy, modest uint64) {
+		s := simtime.NewScheduler()
+		srv := New(s, nil, Config{GPU: models.TeslaV100(), Shed: shed})
+		done := func(Result) {}
+		// Occupy the GPU so a contended queue builds up.
+		srv.Submit(&Request{Tenant: 0, Model: models.MobileNetV3Small, Done: done})
+		s.At(time.Millisecond, func() {
+			// Greedy tenant floods 40 requests first; three modest
+			// tenants add 4 each afterwards.
+			submitN(s, srv, 40, models.MobileNetV3Small, 1, done)
+			for tenant := 2; tenant <= 4; tenant++ {
+				submitN(s, srv, 4, models.MobileNetV3Small, tenant, done)
+			}
+		})
+		s.Run()
+		g := srv.Tenant(1).Completed
+		m := srv.Tenant(2).Completed + srv.Tenant(3).Completed + srv.Tenant(4).Completed
+		return g, m
+	}
+	gFIFO, mFIFO := run(ShedFIFO)
+	gFair, mFair := run(ShedFair)
+	// Under FIFO the greedy tenant (who arrived first) hogs the
+	// batch; under fair shedding the modest tenants keep their
+	// requests.
+	if mFIFO >= mFair {
+		t.Fatalf("fair shed did not help modest tenants: FIFO %d vs Fair %d", mFIFO, mFair)
+	}
+	// Round-robin across 4 tenants over 15 slots gives the greedy
+	// tenant ~4 and the modest ones ~11 of their 12 (max-min fair):
+	// nearly everything, versus almost nothing under FIFO.
+	if mFair < 11 {
+		t.Fatalf("fair shed completed %d modest requests, want ≥ 11 of 12", mFair)
+	}
+	if gFair >= gFIFO {
+		t.Fatalf("fair shed did not curb the greedy tenant: %d vs %d", gFair, gFIFO)
+	}
+}
+
+func TestShedFairStillCapsBatch(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{GPU: models.TeslaV100(), Shed: ShedFair})
+	maxSeen := 0
+	done := func(r Result) {
+		if r.BatchSize > maxSeen {
+			maxSeen = r.BatchSize
+		}
+	}
+	srv.Submit(&Request{Tenant: 0, Model: models.MobileNetV3Small, Done: done})
+	s.At(time.Millisecond, func() {
+		for tenant := 0; tenant < 5; tenant++ {
+			submitN(s, srv, 10, models.MobileNetV3Small, tenant, done)
+		}
+	})
+	s.Run()
+	if maxSeen > DefaultMaxBatch {
+		t.Fatalf("fair shed batch size %d exceeds cap", maxSeen)
+	}
+	st := srv.Stats()
+	if st.Completed+st.Rejected != st.Submitted {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+}
+
+func TestShedFairNoOverflowIsIdentical(t *testing.T) {
+	// With fewer requests than the cap, both policies execute
+	// everything in arrival order.
+	for _, shed := range []ShedPolicy{ShedFIFO, ShedFair} {
+		s := simtime.NewScheduler()
+		srv := New(s, nil, Config{GPU: models.TeslaV100(), Shed: shed})
+		var order []uint64
+		srv.Submit(&Request{ID: 99, Model: models.MobileNetV3Small, Done: func(Result) {}})
+		s.At(time.Millisecond, func() {
+			for i := 0; i < 5; i++ {
+				id := uint64(i)
+				srv.Submit(&Request{ID: id, Tenant: i % 2, Model: models.MobileNetV3Small,
+					Done: func(Result) { order = append(order, id) }})
+			}
+		})
+		s.Run()
+		for i, id := range order {
+			if id != uint64(i) {
+				t.Fatalf("%v: order %v not FIFO without overflow", shed, order)
+			}
+		}
+	}
+}
+
+func TestShedPolicyString(t *testing.T) {
+	if ShedFIFO.String() != "FIFO" || ShedFair.String() != "Fair" {
+		t.Fatal("ShedPolicy strings wrong")
+	}
+	if ShedPolicy(9).String() != "ShedPolicy(9)" {
+		t.Fatal("unknown ShedPolicy string wrong")
+	}
+}
+
+func TestAdmitCapRejectsAtSubmit(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{GPU: models.TeslaV100(), AdmitCap: 15})
+	var rejectedAt []simtime.Time
+	done := func(r Result) {
+		if r.Status == StatusRejected {
+			rejectedAt = append(rejectedAt, r.FinishedAt)
+		}
+	}
+	// One executing + 20 queued against a cap of 15: five must be
+	// rejected immediately at submit (t=1ms), not at the next batch
+	// formation (t=44ms).
+	submitN(s, srv, 1, models.MobileNetV3Small, 0, done)
+	s.At(time.Millisecond, func() {
+		submitN(s, srv, 20, models.MobileNetV3Small, 0, done)
+	})
+	s.Run()
+	if len(rejectedAt) != 5 {
+		t.Fatalf("rejected %d, want 5", len(rejectedAt))
+	}
+	for _, at := range rejectedAt {
+		if at != time.Millisecond {
+			t.Fatalf("rejection at %v, want submit time (1ms)", at)
+		}
+	}
+	st := srv.Stats()
+	if st.Completed+st.Rejected != st.Submitted {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+}
+
+func TestAdmitCapZeroDisablesAdmission(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := newTestServer(s) // AdmitCap 0
+	rejectedEarly := false
+	done := func(r Result) {
+		if r.Status == StatusRejected && r.FinishedAt < 40*time.Millisecond {
+			rejectedEarly = true
+		}
+	}
+	submitN(s, srv, 1, models.MobileNetV3Small, 0, done)
+	s.At(time.Millisecond, func() {
+		submitN(s, srv, 30, models.MobileNetV3Small, 0, done)
+	})
+	s.Run()
+	if rejectedEarly {
+		t.Fatal("rejections happened before batch formation with AdmitCap disabled")
+	}
+}

@@ -1,0 +1,137 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func TestBurstLossParamsMeanLoss(t *testing.T) {
+	p := BurstLossParams{PGoodToBad: 0.01, PBadToGood: 0.09, LossGood: 0.02, LossBad: 0.5}
+	// Stationary bad-state probability = 0.01/0.10 = 0.1;
+	// mean = 0.9·0.02 + 0.1·0.5 = 0.068.
+	if got := p.MeanLoss(); math.Abs(got-0.068) > 1e-12 {
+		t.Fatalf("MeanLoss = %v, want 0.068", got)
+	}
+	// Degenerate chain falls back to the good-state rate.
+	if got := (BurstLossParams{LossGood: 0.05}).MeanLoss(); got != 0.05 {
+		t.Fatalf("degenerate MeanLoss = %v", got)
+	}
+}
+
+func TestBurstParamsMatchEmpiricalRate(t *testing.T) {
+	p := BurstLossParams{PGoodToBad: 0.01, PBadToGood: 0.09, LossGood: 0.02, LossBad: 0.5}
+	ch := p.NewChannel()
+	r := rng.New(5)
+	const n = 300000
+	losses := 0
+	for i := 0; i < n; i++ {
+		if ch.Lost(r) {
+			losses++
+		}
+	}
+	got := float64(losses) / n
+	if math.Abs(got-p.MeanLoss()) > 0.01 {
+		t.Fatalf("empirical loss %v vs stationary %v", got, p.MeanLoss())
+	}
+}
+
+func TestLinkBurstChannelIsPerLink(t *testing.T) {
+	s := simtime.NewScheduler()
+	burst := &BurstLossParams{PGoodToBad: 0.05, PBadToGood: 0.05, LossGood: 0, LossBad: 1}
+	cond := Conditions{BandwidthBps: Mbps(10), Burst: burst}
+	a := NewLink(s, rng.New(1), cond)
+	b := NewLink(s, rng.New(2), cond)
+	if a.burst == b.burst {
+		t.Fatal("links share a burst channel despite Burst params")
+	}
+	if a.burst == nil || b.burst == nil {
+		t.Fatal("burst channel not instantiated")
+	}
+}
+
+func TestLinkBurstProducesLossAndDelivery(t *testing.T) {
+	s := simtime.NewScheduler()
+	burst := &BurstLossParams{PGoodToBad: 0.02, PBadToGood: 0.1, LossGood: 0.01, LossBad: 0.6}
+	l := NewLink(s, rng.New(7), Conditions{BandwidthBps: Mbps(10), Burst: burst})
+	l.MaxBacklog = time.Hour
+	delivered, dropped := 0, 0
+	for i := 0; i < 500; i++ {
+		l.Send(10000, func() { delivered++ }, func() { dropped++ })
+	}
+	s.Run()
+	if delivered == 0 {
+		t.Fatal("bursty link delivered nothing")
+	}
+	if l.Stats().PacketsLost == 0 {
+		t.Fatal("bursty link lost no packets")
+	}
+	if delivered+dropped != 500 {
+		t.Fatalf("callbacks lost: %d + %d != 500", delivered, dropped)
+	}
+}
+
+func TestSetConditionsResetsBurstChannel(t *testing.T) {
+	s := simtime.NewScheduler()
+	burst := &BurstLossParams{PGoodToBad: 1, PBadToGood: 0, LossGood: 0, LossBad: 1}
+	l := NewLink(s, rng.New(3), Conditions{BandwidthBps: Mbps(10), Burst: burst})
+	old := l.burst
+	l.SetConditions(Conditions{BandwidthBps: Mbps(10), Burst: burst})
+	if l.burst == old {
+		t.Fatal("SetConditions did not instantiate a fresh channel")
+	}
+	l.SetConditions(Conditions{BandwidthBps: Mbps(10)})
+	if l.burst != nil {
+		t.Fatal("SetConditions without Burst left a stale channel")
+	}
+}
+
+func TestLossModelTakesPrecedenceOverBurst(t *testing.T) {
+	s := simtime.NewScheduler()
+	// LossModel says never lose; Burst says always lose. LossModel
+	// must win.
+	l := NewLink(s, rng.New(4), Conditions{
+		BandwidthBps: Mbps(10),
+		LossModel:    BernoulliLoss(0),
+		Burst:        &BurstLossParams{LossGood: 1, LossBad: 1},
+	})
+	ok := 0
+	for i := 0; i < 50; i++ {
+		l.Send(5000, func() { ok++ }, func() { t.Error("drop despite lossless LossModel") })
+	}
+	s.Run()
+	if ok != 50 {
+		t.Fatalf("delivered %d/50", ok)
+	}
+}
+
+func TestDeliveryJitterApplied(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, rng.New(11), Conditions{
+		BandwidthBps: Mbps(10), PropDelay: 10 * time.Millisecond, JitterRel: 0.2,
+	})
+	var times []simtime.Time
+	var send func(i int)
+	send = func(i int) {
+		if i >= 100 {
+			return
+		}
+		start := s.Now()
+		l.Send(10000, func() {
+			times = append(times, s.Now()-start)
+			send(i + 1)
+		}, nil)
+	}
+	send(0)
+	s.Run()
+	distinct := map[simtime.Time]bool{}
+	for _, d := range times {
+		distinct[d] = true
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("jitter produced only %d distinct latencies in 100 sends", len(distinct))
+	}
+}

@@ -1,0 +1,140 @@
+// Package simnet emulates the wireless network path between an edge
+// device and the edge server — the role NetEm plays in the paper
+// (§IV-C1). It models exactly the two knobs the paper turns, bandwidth
+// and packet loss, plus propagation delay, and supports time-varying
+// schedules like the paper's Table V.
+//
+// Transfers are simulated at packet granularity: a payload is split
+// into MTU-sized packets, each packet is serialized through a shared
+// bottleneck (FIFO queuing behind earlier transfers), may be lost and
+// retransmitted (losing both time and bandwidth), and the transfer
+// completes when the last packet lands. The emulator reproduces the
+// *latency consequences* of rate limiting and loss — which is all the
+// FrameFeedback controller ever observes.
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Conditions is a snapshot of link quality, equivalent to one NetEm
+// configuration (rate + loss + delay).
+type Conditions struct {
+	// BandwidthBps is the bottleneck rate in bits per second;
+	// 0 means unlimited.
+	//
+	// Unit note: the paper's Table V lists "kbps" values of 10/4/1,
+	// which cannot carry a 30 fps JPEG stream (see DESIGN.md §2);
+	// the reproduction interprets the schedule in Mbps.
+	BandwidthBps float64
+	// Loss is the independent per-packet loss probability in [0, 1]
+	// (NetEm's "loss random"). Ignored if LossModel is non-nil.
+	Loss float64
+	// LossModel, when set, replaces the Bernoulli Loss field —
+	// e.g. GilbertElliott for bursty wireless loss. The model's
+	// state is shared by every link using this Conditions value;
+	// for independent per-link burst state use Burst instead.
+	LossModel LossModel
+	// Burst, when set, gives each link its own Gilbert–Elliott
+	// channel constructed from these (stateless) parameters. Takes
+	// precedence over Loss, but not over LossModel.
+	Burst *BurstLossParams
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// JitterRel adds relative gaussian jitter to each delivery time;
+	// 0 disables it.
+	JitterRel float64
+}
+
+// BurstLossParams parameterizes a Gilbert–Elliott channel without
+// carrying its state, so schedules can be shared across links while
+// each link evolves its own channel (see Conditions.Burst).
+type BurstLossParams struct {
+	PGoodToBad, PBadToGood float64
+	LossGood, LossBad      float64
+}
+
+// MeanLoss returns the stationary loss rate of the two-state chain.
+func (p BurstLossParams) MeanLoss() float64 {
+	denom := p.PGoodToBad + p.PBadToGood
+	if denom <= 0 {
+		return p.LossGood
+	}
+	pBad := p.PGoodToBad / denom
+	return (1-pBad)*p.LossGood + pBad*p.LossBad
+}
+
+// NewChannel instantiates a fresh Gilbert–Elliott channel in the Good
+// state.
+func (p BurstLossParams) NewChannel() *GilbertElliott {
+	return &GilbertElliott{
+		PGoodToBad: p.PGoodToBad, PBadToGood: p.PBadToGood,
+		LossGood: p.LossGood, LossBad: p.LossBad,
+	}
+}
+
+// LossModel abstracts the per-packet loss process.
+type LossModel interface {
+	// Lost reports whether the next packet transmission is lost,
+	// advancing any internal channel state.
+	Lost(r *rng.Stream) bool
+}
+
+// BernoulliLoss is independent loss with fixed probability — NetEm's
+// default "loss random p%".
+type BernoulliLoss float64
+
+// Lost implements LossModel.
+func (p BernoulliLoss) Lost(r *rng.Stream) bool {
+	if p <= 0 || r == nil {
+		return false
+	}
+	return r.Bernoulli(float64(p))
+}
+
+// GilbertElliott is the classic two-state burst-loss channel: a Good
+// state with low loss and a Bad state with high loss, with geometric
+// sojourn times. Wireless links exhibit exactly this bursty pattern
+// (paper [37] reports loss in the tens of percent during bad periods).
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-packet transition
+	// probabilities.
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are loss probabilities within each state.
+	LossGood, LossBad float64
+
+	bad bool
+}
+
+// Lost implements LossModel.
+func (g *GilbertElliott) Lost(r *rng.Stream) bool {
+	if r == nil {
+		return false
+	}
+	if g.bad {
+		if r.Bernoulli(g.PBadToGood) {
+			g.bad = false
+		}
+	} else {
+		if r.Bernoulli(g.PGoodToBad) {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return r.Bernoulli(p)
+}
+
+// InBadState reports the current channel state (exported for tests and
+// trace annotation).
+func (g *GilbertElliott) InBadState() bool { return g.bad }
+
+// Mbps converts megabits/second to bits/second for Conditions.
+func Mbps(v float64) float64 { return v * 1e6 }
+
+// Kbps converts kilobits/second to bits/second for Conditions.
+func Kbps(v float64) float64 { return v * 1e3 }

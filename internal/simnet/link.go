@@ -1,0 +1,291 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Wire constants. MTU is Ethernet-standard; PayloadPerPacket accounts
+// for IP+TCP headers.
+const (
+	MTU              = 1500
+	HeaderBytes      = 52 // IPv4 (20) + TCP with timestamps (32)
+	PayloadPerPacket = MTU - HeaderBytes
+)
+
+// DefaultMaxBacklog bounds how far into the future the bottleneck
+// queue may extend before new transfers are dropped at enqueue — the
+// emulator's bufferbloat limit. 500 ms of backlog is already double
+// the paper's end-to-end deadline, so anything queued beyond it could
+// never succeed anyway.
+const DefaultMaxBacklog = 500 * time.Millisecond
+
+// DefaultMaxRetries bounds per-packet retransmissions before the whole
+// transfer is abandoned (the TCP-gives-up analogue).
+const DefaultMaxRetries = 8
+
+// Loss-recovery timing constants, modeled on TCP behaviour:
+//
+//   - A packet with in-flight successors is recovered by fast
+//     retransmit after roughly one RTT (dup-ACK detection), floored at
+//     FastRetransmitFloor.
+//   - The *last* packet of a transfer has no successors to trigger
+//     dup-ACKs, so a tail loss waits for the retransmission timeout.
+//     MinRTO is Linux's 200 ms default — and is the mechanism by which
+//     a few percent of packet loss translates into 250 ms-deadline
+//     violations (the paper's T_n).
+//   - Repeated losses of the same packet back off exponentially from
+//     MinRTO, capped at MaxRTO.
+const (
+	FastRetransmitFloor = 10 * time.Millisecond
+	MinRTO              = 200 * time.Millisecond
+	MaxRTO              = 3200 * time.Millisecond
+)
+
+// Link is one direction of a network path with a single bottleneck
+// queue. Transfers sent on a Link serialize behind one another exactly
+// as packets do at a rate-limited interface.
+type Link struct {
+	sched *simtime.Scheduler
+	rng   *rng.Stream
+	cond  Conditions
+	// burst is this link's private Gilbert–Elliott channel,
+	// instantiated from cond.Burst.
+	burst *GilbertElliott
+
+	// nextFree is the virtual time the bottleneck finishes
+	// transmitting everything already accepted.
+	nextFree simtime.Time
+
+	// MaxBacklog and MaxRetries default to the package constants.
+	MaxBacklog time.Duration
+	MaxRetries int
+
+	// Counters for traces and tests.
+	sent, delivered, droppedBacklog, droppedLoss uint64
+	packetsSent, packetsLost                     uint64
+}
+
+// NewLink creates a link on the given scheduler. r supplies loss and
+// jitter randomness; it may be nil only if the conditions are fully
+// deterministic (no loss, no jitter).
+func NewLink(sched *simtime.Scheduler, r *rng.Stream, cond Conditions) *Link {
+	if sched == nil {
+		panic("simnet: NewLink with nil scheduler")
+	}
+	l := &Link{
+		sched:      sched,
+		rng:        r,
+		MaxBacklog: DefaultMaxBacklog,
+		MaxRetries: DefaultMaxRetries,
+	}
+	l.SetConditions(cond)
+	return l
+}
+
+// lost samples whether one packet transmission is lost, advancing the
+// link's channel state where applicable.
+func (l *Link) lost() bool {
+	switch {
+	case l.cond.LossModel != nil:
+		return l.cond.LossModel.Lost(l.rng)
+	case l.burst != nil:
+		return l.burst.Lost(l.rng)
+	case l.cond.Loss <= 0 || l.rng == nil:
+		return false
+	default:
+		return l.rng.Bernoulli(l.cond.Loss)
+	}
+}
+
+// SetConditions switches the link to new conditions, taking effect for
+// subsequent Sends (in-flight transfers keep the conditions they were
+// admitted under, matching how NetEm reconfiguration affects only new
+// queue arrivals). A Burst specification instantiates a fresh
+// per-link channel.
+func (l *Link) SetConditions(c Conditions) {
+	l.cond = c
+	if c.Burst != nil {
+		l.burst = c.Burst.NewChannel()
+	} else {
+		l.burst = nil
+	}
+}
+
+// Conditions returns the link's current conditions.
+func (l *Link) Conditions() Conditions { return l.cond }
+
+// Stats reports cumulative link counters.
+type Stats struct {
+	Sent           uint64 // transfers accepted
+	Delivered      uint64 // transfers completed
+	DroppedBacklog uint64 // transfers rejected: queue too long
+	DroppedLoss    uint64 // transfers abandoned: retry budget exhausted
+	PacketsSent    uint64 // packet transmissions incl. retransmits
+	PacketsLost    uint64 // packet transmissions lost
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats {
+	return Stats{
+		Sent: l.sent, Delivered: l.delivered,
+		DroppedBacklog: l.droppedBacklog, DroppedLoss: l.droppedLoss,
+		PacketsSent: l.packetsSent, PacketsLost: l.packetsLost,
+	}
+}
+
+// Backlog returns how much transmission time is already queued ahead
+// of a new transfer.
+func (l *Link) Backlog() time.Duration {
+	now := l.sched.Now()
+	if l.nextFree <= now {
+		return 0
+	}
+	return l.nextFree - now
+}
+
+// Send simulates transferring a payload of the given size. On success
+// onDelivered fires at the delivery instant; on failure onDropped
+// (which may be nil) fires at the instant the failure is known. Send
+// itself returns immediately.
+//
+// The transfer is packetized; every packet must be transmitted
+// successfully, and lost packets are retransmitted after a
+// fast-retransmit detection delay of one RTT (2 × PropDelay, with a
+// 10 ms floor), consuming bottleneck bandwidth again. A packet lost
+// MaxRetries times aborts the transfer. If the bottleneck backlog
+// already exceeds MaxBacklog the transfer is dropped at enqueue.
+func (l *Link) Send(bytes int, onDelivered func(), onDropped func()) {
+	if bytes <= 0 {
+		panic("simnet: Send with non-positive size")
+	}
+	if onDelivered == nil {
+		panic("simnet: Send with nil onDelivered")
+	}
+	now := l.sched.Now()
+	cond := l.cond
+
+	if l.Backlog() > l.MaxBacklog {
+		l.droppedBacklog++
+		if onDropped != nil {
+			l.sched.At(now, onDropped)
+		}
+		return
+	}
+	l.sent++
+
+	packets := (bytes + PayloadPerPacket - 1) / PayloadPerPacket
+	fastRetx := 2 * cond.PropDelay
+	if fastRetx < FastRetransmitFloor {
+		fastRetx = FastRetransmitFloor
+	}
+
+	// Walk the packets, accumulating transmitted bits (for
+	// serialization time) and detection stalls (for completion
+	// time). The first loss of a non-tail packet is detected by fast
+	// retransmit; tail losses and repeated losses wait for the RTO
+	// with exponential backoff.
+	var txBits float64
+	var stall time.Duration
+	aborted := false
+	for p := 0; p < packets; p++ {
+		size := PayloadPerPacket
+		if p == packets-1 {
+			if rem := bytes - p*PayloadPerPacket; rem < size {
+				size = rem
+			}
+		}
+		tail := p == packets-1
+		wireBits := float64((size + HeaderBytes) * 8)
+		attempts := 0
+		for {
+			attempts++
+			l.packetsSent++
+			txBits += wireBits
+			if !l.lost() {
+				break
+			}
+			l.packetsLost++
+			if attempts > l.MaxRetries {
+				aborted = true
+				break
+			}
+			if attempts == 1 && !tail {
+				stall += fastRetx
+			} else {
+				backoff := attempts - 1
+				if !tail {
+					backoff-- // first non-tail loss already used fast retransmit
+				}
+				rto := MinRTO << uint(backoff)
+				if rto > MaxRTO {
+					rto = MaxRTO
+				}
+				stall += rto
+			}
+		}
+		if aborted {
+			break
+		}
+	}
+
+	var txTime time.Duration
+	if cond.BandwidthBps > 0 {
+		txTime = time.Duration(txBits / cond.BandwidthBps * float64(time.Second))
+	}
+
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	l.nextFree = start + txTime
+
+	if aborted {
+		l.droppedLoss++
+		if onDropped != nil {
+			// The failure becomes known after the futile
+			// transmission and stalls.
+			l.sched.At(start+txTime+stall, onDropped)
+		}
+		return
+	}
+
+	deliverAt := start + txTime + stall + cond.PropDelay
+	if cond.JitterRel > 0 && l.rng != nil && deliverAt > now {
+		span := float64(deliverAt - now)
+		deliverAt = now + simtime.Time(l.rng.Jitter(span, cond.JitterRel))
+	}
+	l.sched.At(deliverAt, func() {
+		l.delivered++
+		onDelivered()
+	})
+}
+
+// Path is a bidirectional device↔server connection: an uplink carrying
+// frame payloads and a downlink carrying (small) results. Both
+// directions share conditions by default, as a single wireless channel
+// would.
+type Path struct {
+	Up, Down *Link
+}
+
+// NewPath builds a path whose two directions draw independent loss
+// randomness from children of r but start with identical conditions.
+func NewPath(sched *simtime.Scheduler, r *rng.Stream, cond Conditions) *Path {
+	var upR, downR *rng.Stream
+	if r != nil {
+		upR, downR = r.Split(1), r.Split(2)
+	}
+	return &Path{
+		Up:   NewLink(sched, upR, cond),
+		Down: NewLink(sched, downR, cond),
+	}
+}
+
+// SetConditions updates both directions.
+func (p *Path) SetConditions(c Conditions) {
+	p.Up.SetConditions(c)
+	p.Down.SetConditions(c)
+}

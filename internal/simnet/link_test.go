@@ -1,0 +1,376 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func perfectLink(s *simtime.Scheduler, bwBps float64, prop time.Duration) *Link {
+	return NewLink(s, nil, Conditions{BandwidthBps: bwBps, PropDelay: prop})
+}
+
+func TestSendDeterministicLatency(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 5*time.Millisecond)
+	var at simtime.Time
+	// One full packet: (1448+52)*8 = 12000 bits @10Mbps = 1.2 ms.
+	l.Send(PayloadPerPacket, func() { at = s.Now() }, nil)
+	s.Run()
+	want := 1200*time.Microsecond + 5*time.Millisecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSendUnlimitedBandwidth(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, 0, 3*time.Millisecond)
+	var at simtime.Time
+	l.Send(1<<20, func() { at = s.Now() }, nil)
+	s.Run()
+	if at != 3*time.Millisecond {
+		t.Fatalf("unlimited-bandwidth delivery at %v, want prop delay only", at)
+	}
+}
+
+func TestSendSerializesFIFO(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 0)
+	var order []int
+	var times []simtime.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		l.Send(PayloadPerPacket, func() {
+			order = append(order, i)
+			times = append(times, s.Now())
+		}, nil)
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("transfers delivered out of order: %v", order)
+		}
+	}
+	// Each transfer takes 1.2 ms of link time; deliveries at 1.2,
+	// 2.4, 3.6 ms.
+	for i, at := range times {
+		want := time.Duration(i+1) * 1200 * time.Microsecond
+		if at != want {
+			t.Fatalf("transfer %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestBandwidthThroughputCap(t *testing.T) {
+	// Offered load 2× the bottleneck rate: delivered goodput must
+	// match the configured bandwidth within a few percent.
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(2), 0)
+	l.MaxBacklog = time.Hour // disable drops; measure pure serialization
+	const frameBytes = 10000
+	delivered := 0
+	var last simtime.Time
+	s.Every(0, 20*time.Millisecond, func(now simtime.Time) { // 50 fps × 10 KB = 4 Mbps offered
+		if now >= 10*time.Second {
+			return
+		}
+		l.Send(frameBytes, func() { delivered++; last = s.Now() }, nil)
+	})
+	s.RunUntil(60 * time.Second)
+	goodputBps := float64(delivered*frameBytes*8) / last.Seconds()
+	wireOverhead := float64(frameBytes+7*HeaderBytes) / float64(frameBytes)
+	wantBps := 2e6 / wireOverhead
+	if math.Abs(goodputBps-wantBps)/wantBps > 0.05 {
+		t.Fatalf("goodput %.0f bps, want ~%.0f (bottleneck-limited)", goodputBps, wantBps)
+	}
+}
+
+func TestBacklogDrop(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Kbps(10), 0) // 10 kbps: one 10 KB frame takes ~8 s
+	drops := 0
+	oks := 0
+	for i := 0; i < 10; i++ {
+		l.Send(10000, func() { oks++ }, func() { drops++ })
+	}
+	s.Run()
+	if drops == 0 {
+		t.Fatal("no backlog drops at absurdly low bandwidth")
+	}
+	if oks+drops != 10 {
+		t.Fatalf("callbacks lost: ok=%d drops=%d", oks, drops)
+	}
+	if got := l.Stats().DroppedBacklog; got != uint64(drops) {
+		t.Fatalf("Stats().DroppedBacklog = %d, want %d", got, drops)
+	}
+}
+
+func TestLossInflatesLatency(t *testing.T) {
+	mean := func(loss float64, seed uint64) time.Duration {
+		s := simtime.NewScheduler()
+		l := NewLink(s, rng.New(seed), Conditions{
+			BandwidthBps: Mbps(10), Loss: loss, PropDelay: 5 * time.Millisecond,
+		})
+		var total time.Duration
+		n := 0
+		var send func()
+		send = func() {
+			if n >= 200 {
+				return
+			}
+			start := s.Now()
+			l.Send(29000, func() {
+				total += s.Now() - start
+				n++
+				send()
+			}, func() { n++; send() })
+		}
+		send()
+		s.Run()
+		return total / time.Duration(n)
+	}
+	clean := mean(0, 1)
+	lossy := mean(0.07, 1)
+	if lossy <= clean {
+		t.Fatalf("7%% loss did not inflate latency: clean %v, lossy %v", clean, lossy)
+	}
+	if lossy < clean+10*time.Millisecond {
+		t.Fatalf("loss inflation implausibly small: clean %v, lossy %v", clean, lossy)
+	}
+}
+
+func TestTotalLossAborts(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, rng.New(2), Conditions{BandwidthBps: Mbps(10), Loss: 1})
+	delivered, dropped := 0, 0
+	l.Send(5000, func() { delivered++ }, func() { dropped++ })
+	s.Run()
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("total loss: delivered=%d dropped=%d, want 0/1", delivered, dropped)
+	}
+	if l.Stats().DroppedLoss != 1 {
+		t.Fatalf("Stats().DroppedLoss = %d", l.Stats().DroppedLoss)
+	}
+}
+
+func TestZeroLossDeliversEverything(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, rng.New(3), Conditions{BandwidthBps: Mbps(100)})
+	delivered := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		l.Send(8000, func() { delivered++ }, func() { t.Error("drop on lossless link") })
+	}
+	s.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d/%d on lossless link", delivered, n)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(1), 0)
+	for name, fn := range map[string]func(){
+		"zero bytes":      func() { l.Send(0, func() {}, nil) },
+		"nil onDelivered": func() { l.Send(10, nil, nil) },
+		"nil scheduler":   func() { NewLink(nil, nil, Conditions{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetConditionsAffectsNewSends(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 0)
+	var first, second simtime.Time
+	l.Send(PayloadPerPacket, func() { first = s.Now() }, nil)
+	s.Run()
+	l.SetConditions(Conditions{BandwidthBps: Mbps(1)})
+	l.Send(PayloadPerPacket, func() { second = s.Now() }, nil)
+	s.Run()
+	if d := second - first; d != 12*time.Millisecond {
+		t.Fatalf("post-reconfig transfer took %v, want 12ms at 1 Mbps", d)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	r := rng.New(9)
+	g := &GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.1, LossGood: 0.001, LossBad: 0.5}
+	// Measure loss autocorrelation: consecutive losses should be far
+	// more likely than under independent loss at the same mean rate.
+	const n = 200000
+	losses := make([]bool, n)
+	total := 0
+	for i := range losses {
+		losses[i] = g.Lost(r)
+		if losses[i] {
+			total++
+		}
+	}
+	meanRate := float64(total) / n
+	pairs, doubles := 0, 0
+	for i := 1; i < n; i++ {
+		if losses[i-1] {
+			pairs++
+			if losses[i] {
+				doubles++
+			}
+		}
+	}
+	condRate := float64(doubles) / float64(pairs)
+	if condRate < 2*meanRate {
+		t.Fatalf("GE loss not bursty: P(loss|loss)=%v vs mean %v", condRate, meanRate)
+	}
+}
+
+func TestPathIndependentDirections(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPath(s, rng.New(4), Conditions{BandwidthBps: Mbps(10), PropDelay: time.Millisecond})
+	var upAt, downAt simtime.Time
+	p.Up.Send(29000, func() { upAt = s.Now() }, nil)
+	p.Down.Send(300, func() { downAt = s.Now() }, nil)
+	s.Run()
+	if upAt == 0 || downAt == 0 {
+		t.Fatal("transfers did not complete")
+	}
+	if downAt >= upAt {
+		t.Fatal("small downlink transfer should finish before large uplink one")
+	}
+	p.SetConditions(Conditions{BandwidthBps: Mbps(1)})
+	if p.Up.Conditions().BandwidthBps != Mbps(1) || p.Down.Conditions().BandwidthBps != Mbps(1) {
+		t.Fatal("SetConditions did not update both directions")
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	sch := Schedule{
+		{Start: 0, Cond: Conditions{BandwidthBps: Mbps(10)}},
+		{Start: 30 * time.Second, Cond: Conditions{BandwidthBps: Mbps(4)}},
+		{Start: 45 * time.Second, Cond: Conditions{BandwidthBps: Mbps(1)}},
+	}
+	if !sch.Validate() {
+		t.Fatal("valid schedule failed Validate")
+	}
+	cases := []struct {
+		t    simtime.Time
+		want float64
+	}{
+		{0, Mbps(10)}, {29 * time.Second, Mbps(10)},
+		{30 * time.Second, Mbps(4)}, {44 * time.Second, Mbps(4)},
+		{45 * time.Second, Mbps(1)}, {time.Hour, Mbps(1)},
+	}
+	for _, c := range cases {
+		if got := sch.At(c.t).BandwidthBps; got != c.want {
+			t.Errorf("At(%v).BandwidthBps = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (Schedule{}).At(0) != (Conditions{}) {
+		t.Error("empty schedule At should return zero Conditions")
+	}
+}
+
+func TestScheduleApply(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPath(s, nil, Conditions{})
+	sch := Schedule{
+		{Start: 0, Cond: Conditions{BandwidthBps: Mbps(10)}},
+		{Start: 2 * time.Second, Cond: Conditions{BandwidthBps: Mbps(4), Loss: 0.07}},
+	}
+	sch.Apply(s, p)
+	if p.Up.Conditions().BandwidthBps != Mbps(10) {
+		t.Fatal("phase at t=0 not applied immediately")
+	}
+	s.RunUntil(3 * time.Second)
+	c := p.Up.Conditions()
+	if c.BandwidthBps != Mbps(4) || c.Loss != 0.07 {
+		t.Fatalf("phase at t=2s not applied: %+v", c)
+	}
+}
+
+func TestScheduleApplyUnorderedPanics(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPath(s, nil, Conditions{})
+	defer func() {
+		if recover() == nil {
+			t.Error("unordered schedule did not panic")
+		}
+	}()
+	Schedule{{Start: 5 * time.Second}, {Start: 1 * time.Second}}.Apply(s, p)
+}
+
+// Property: on a lossless link, delivery time is non-decreasing in
+// payload size (more bytes never arrive earlier).
+func TestPropDeliveryMonotoneInSize(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw)%50000 + 1
+		b := int(bRaw)%50000 + 1
+		if a > b {
+			a, b = b, a
+		}
+		timeFor := func(bytes int) simtime.Time {
+			s := simtime.NewScheduler()
+			l := perfectLink(s, Mbps(5), 2*time.Millisecond)
+			var at simtime.Time
+			l.Send(bytes, func() { at = s.Now() }, nil)
+			s.Run()
+			return at
+		}
+		return timeFor(a) <= timeFor(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every Send resolves exactly once (delivered xor dropped),
+// for arbitrary loss rates.
+func TestPropEverySendResolves(t *testing.T) {
+	f := func(seed uint64, lossPct uint8) bool {
+		s := simtime.NewScheduler()
+		l := NewLink(s, rng.New(seed), Conditions{
+			BandwidthBps: Mbps(5), Loss: float64(lossPct%101) / 100,
+		})
+		const n = 50
+		resolved := 0
+		for i := 0; i < n; i++ {
+			l.Send(4000, func() { resolved++ }, func() { resolved++ })
+		}
+		s.Run()
+		return resolved == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkStatsConsistency(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := NewLink(s, rng.New(8), Conditions{BandwidthBps: Mbps(5), Loss: 0.3})
+	const n = 200
+	for i := 0; i < n; i++ {
+		l.Send(6000, func() {}, func() {})
+	}
+	s.Run()
+	st := l.Stats()
+	if st.Sent+st.DroppedBacklog != n {
+		t.Fatalf("accepted(%d)+backlog-dropped(%d) != %d", st.Sent, st.DroppedBacklog, n)
+	}
+	if st.Delivered+st.DroppedLoss != st.Sent {
+		t.Fatalf("delivered(%d)+loss-dropped(%d) != accepted(%d)", st.Delivered, st.DroppedLoss, st.Sent)
+	}
+	if st.PacketsLost >= st.PacketsSent {
+		t.Fatalf("lost(%d) >= sent(%d)", st.PacketsLost, st.PacketsSent)
+	}
+}

@@ -1,0 +1,60 @@
+package simnet
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Phase is one row of a NetEm-style schedule: from Start onward the
+// link runs under Cond, until the next phase begins.
+type Phase struct {
+	Start simtime.Time
+	Cond  Conditions
+}
+
+// Schedule is a time-ordered sequence of link conditions — the
+// simulation analogue of a scripted series of `tc netem` invocations
+// (paper Table V).
+type Schedule []Phase
+
+// Validate checks that phases are strictly ordered by start time.
+func (s Schedule) Validate() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i].Start <= s[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the conditions in force at time t (the last phase with
+// Start <= t). Before the first phase it returns the first phase's
+// conditions.
+func (s Schedule) At(t simtime.Time) Conditions {
+	if len(s) == 0 {
+		return Conditions{}
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start > t })
+	if i == 0 {
+		return s[0].Cond
+	}
+	return s[i-1].Cond
+}
+
+// Apply registers scheduler events that reconfigure the path at each
+// phase boundary. It also applies the first phase immediately if it
+// starts at or before the current time.
+func (s Schedule) Apply(sched *simtime.Scheduler, p *Path) {
+	if !s.Validate() {
+		panic("simnet: schedule phases not strictly ordered")
+	}
+	for _, ph := range s {
+		ph := ph
+		if ph.Start <= sched.Now() {
+			p.SetConditions(ph.Cond)
+			continue
+		}
+		sched.At(ph.Start, func() { p.SetConditions(ph.Cond) })
+	}
+}

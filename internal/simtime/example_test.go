@@ -1,0 +1,39 @@
+package simtime_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// A discrete-event simulation is just events on a virtual clock:
+// schedule callbacks, then Run.
+func ExampleScheduler() {
+	s := simtime.NewScheduler()
+	s.At(2*time.Second, func() {
+		fmt.Println("second event at", s.Now())
+	})
+	s.At(time.Second, func() {
+		fmt.Println("first event at", s.Now())
+		s.After(500*time.Millisecond, func() {
+			fmt.Println("follow-up at", s.Now())
+		})
+	})
+	s.Run()
+	// Output:
+	// first event at 1s
+	// follow-up at 1.5s
+	// second event at 2s
+}
+
+// Every drives periodic work — frame sources, controller ticks.
+func ExampleScheduler_every() {
+	s := simtime.NewScheduler()
+	ticks := 0
+	s.Every(0, time.Second, func(now simtime.Time) { ticks++ })
+	s.RunUntil(4500 * time.Millisecond)
+	fmt.Println("ticks:", ticks)
+	// Output:
+	// ticks: 5
+}

@@ -1,0 +1,206 @@
+// Package simtime implements a deterministic discrete-event scheduler
+// with a virtual clock.
+//
+// All FrameFeedback simulations are driven by a single Scheduler: frame
+// arrivals, network deliveries, inference completions and controller
+// ticks are events ordered by virtual time. Events scheduled for the
+// same instant fire in scheduling order (FIFO), which makes every run
+// with the same seed byte-for-byte reproducible.
+//
+// Virtual time is a time.Duration measured from the start of the
+// simulation; there is no relation to the wall clock.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp: the duration elapsed since the start of
+// the simulation (t = 0).
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by the scheduling
+// methods so callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. It reports whether the event
+// was still pending (true) or had already fired or been canceled
+// (false). Canceling is O(log n).
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event simulator core. The zero value is not
+// usable; construct one with NewScheduler. Scheduler is not safe for
+// concurrent use: a simulation is a single-threaded event loop by
+// design (determinism is the point).
+type Scheduler struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at t = 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (non-canceled) events. Canceled
+// events that have not yet been drained still count; Len is therefore
+// an upper bound, exact when nothing has been canceled.
+func (s *Scheduler) Len() int { return len(s.events) }
+
+// Fired returns the total number of events that have executed.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// (t < Now) panics: in a discrete-event simulation that is always a
+// logic error, and silently reordering would break causality.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: At called with nil function")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past (at=%v, now=%v)", t, s.now))
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. A
+// negative d panics (see At).
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its timestamp. It reports whether an event was executed; false
+// means the queue was empty or the scheduler was stopped.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes all events with timestamps <= t, then advances the
+// clock to exactly t (even if no event lands there). Events scheduled
+// after t remain pending.
+func (s *Scheduler) RunUntil(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: RunUntil into the past (t=%v, now=%v)", t, s.now))
+	}
+	for len(s.events) > 0 && !s.stopped {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// peek returns the earliest non-canceled event without removing it,
+// draining canceled events it encounters on the way.
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// NextAt returns the timestamp of the earliest pending event and true,
+// or zero and false when the queue is empty.
+func (s *Scheduler) NextAt() (Time, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Stop halts Run/RunUntil after the current event completes. Pending
+// events remain queued; the scheduler can be resumed with Resume.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears a previous Stop.
+func (s *Scheduler) Resume() { s.stopped = false }
+
+// Stopped reports whether Stop has been called without a Resume.
+func (s *Scheduler) Stopped() bool { return s.stopped }

@@ -1,0 +1,322 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerEmptyRun(t *testing.T) {
+	s := NewScheduler()
+	s.Run()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v after empty Run, want 0", s.Now())
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", s.Fired())
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfter(t *testing.T) {
+	s := NewScheduler()
+	var firedAt Time
+	s.At(5*time.Second, func() {
+		s.After(2*time.Second, func() { firedAt = s.Now() })
+	})
+	s.Run()
+	if firedAt != 7*time.Second {
+		t.Fatalf("After fired at %v, want 7s", firedAt)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1*time.Second, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerNilFnPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	s.At(0, nil)
+}
+
+func TestEventCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	ev := s.At(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := NewScheduler()
+	ev := s.At(time.Second, func() {})
+	s.Run()
+	if ev.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3s) fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2 pending", s.Len())
+	}
+	// Clock advances to the target even with no event there.
+	s.RunUntil(4500 * time.Millisecond)
+	if s.Now() != 4500*time.Millisecond {
+		t.Fatalf("Now() = %v, want 4.5s", s.Now())
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events, want 4", len(fired))
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(2*time.Second, func() {})
+	s.RunUntil(2 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil into the past did not panic")
+		}
+	}()
+	s.RunUntil(time.Second)
+}
+
+func TestStopAndResume(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Stop, want 2", count)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+	s.Resume()
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d after Resume+Run, want 5", count)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt on empty scheduler returned ok")
+	}
+	ev := s.At(4*time.Second, func() {})
+	s.At(6*time.Second, func() {})
+	if at, ok := s.NextAt(); !ok || at != 4*time.Second {
+		t.Fatalf("NextAt = %v,%v want 4s,true", at, ok)
+	}
+	ev.Cancel()
+	if at, ok := s.NextAt(); !ok || at != 6*time.Second {
+		t.Fatalf("NextAt after cancel = %v,%v want 6s,true", at, ok)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless
+// of insertion order.
+func TestPropEventsFireInOrder(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, off := range offsets {
+			d := Time(off) * time.Millisecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fired() equals the number of scheduled, non-canceled events
+// after a full Run.
+func TestPropFiredCount(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		s := NewScheduler()
+		events := make([]*Event, len(offsets))
+		for i, off := range offsets {
+			events[i] = s.At(Time(off)*time.Millisecond, func() {})
+		}
+		want := len(offsets)
+		for i, ev := range events {
+			if i < len(cancelMask) && cancelMask[i] {
+				if ev.Cancel() {
+					want--
+				}
+			}
+		}
+		s.Run()
+		return int(s.Fired()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerBasic(t *testing.T) {
+	s := NewScheduler()
+	var at []Time
+	tk := s.Every(time.Second, time.Second, func(now Time) {
+		at = append(at, now)
+		if len(at) == 5 {
+			s.Stop()
+		}
+	})
+	s.Run()
+	if tk.Ticks() != 5 {
+		t.Fatalf("Ticks() = %d, want 5", tk.Ticks())
+	}
+	for i, a := range at {
+		if want := Time(i+1) * time.Second; a != want {
+			t.Fatalf("tick %d at %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tk *Ticker
+	tk = s.Every(0, 100*time.Millisecond, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3, want 3", count)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerBadArgsPanic(t *testing.T) {
+	s := NewScheduler()
+	for name, fn := range map[string]func(){
+		"zero period": func() { s.Every(0, 0, func(Time) {}) },
+		"nil fn":      func() { s.Every(0, time.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := NewScheduler()
+		var fired []Time
+		s.Every(0, 3*time.Millisecond, func(now Time) {
+			if now < 30*time.Millisecond {
+				s.After(time.Millisecond, func() { fired = append(fired, s.Now()) })
+			}
+		})
+		s.RunUntil(50 * time.Millisecond)
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic timestamps at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Stress tests: the scheduler is the substrate under every experiment,
+// so its ordering guarantees must hold at scale, not just in toy
+// cases.
+
+func TestStressMillionEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	s := NewScheduler()
+	r := rng.New(99)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		s.At(Time(r.Intn(10_000_000))*time.Microsecond, func() {})
+	}
+	var last Time
+	count := 0
+	// Re-drain manually to observe ordering.
+	for {
+		at, ok := s.NextAt()
+		if !ok {
+			break
+		}
+		if at < last {
+			t.Fatalf("ordering violated at event %d: %v < %v", count, at, last)
+		}
+		last = at
+		s.Step()
+		count++
+	}
+	if count != n {
+		t.Fatalf("executed %d events, want %d", count, n)
+	}
+}
+
+func TestStressCancelHalf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	s := NewScheduler()
+	r := rng.New(100)
+	const n = 200_000
+	events := make([]*Event, n)
+	for i := range events {
+		events[i] = s.At(Time(r.Intn(1_000_000))*time.Microsecond, func() {})
+	}
+	canceled := 0
+	for i := 0; i < n; i += 2 {
+		if events[i].Cancel() {
+			canceled++
+		}
+	}
+	s.Run()
+	if got := int(s.Fired()); got != n-canceled {
+		t.Fatalf("fired %d, want %d", got, n-canceled)
+	}
+}
+
+func TestStressNestedScheduling(t *testing.T) {
+	// Chains of events each scheduling the next: recursion depth
+	// equivalent of 100k hops must not blow anything up and must
+	// keep exact timing.
+	s := NewScheduler()
+	const hops = 100_000
+	count := 0
+	var hop func()
+	hop = func() {
+		count++
+		if count < hops {
+			s.After(time.Microsecond, hop)
+		}
+	}
+	s.At(0, hop)
+	s.Run()
+	if count != hops {
+		t.Fatalf("count = %d", count)
+	}
+	if want := Time(hops-1) * time.Microsecond; s.Now() != want {
+		t.Fatalf("clock = %v, want %v", s.Now(), want)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	r := rng.New(1)
+	// Keep a standing population of 1000 events; each step fires one
+	// and schedules another — the steady-state pattern of a running
+	// simulation.
+	for i := 0; i < 1000; i++ {
+		s.At(Time(r.Intn(1000))*time.Microsecond, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(r.Intn(1000))*time.Microsecond, func() {})
+		s.Step()
+	}
+}

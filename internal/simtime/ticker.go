@@ -1,0 +1,56 @@
+package simtime
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period. It is the
+// simulation analogue of time.Ticker and is used for controller ticks
+// (measure frequency 1 Hz in the paper) and frame sources.
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	fn     func(now Time)
+	next   *Event
+	ticks  uint64
+	done   bool
+}
+
+// Every schedules fn to run first at virtual time start and then every
+// period after that. fn receives the current virtual time. A
+// non-positive period panics: it would schedule an infinite number of
+// simultaneous events.
+func (s *Scheduler) Every(start Time, period time.Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("simtime: Every with non-positive period")
+	}
+	if fn == nil {
+		panic("simtime: Every with nil function")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.next = s.At(start, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.done {
+		return
+	}
+	t.ticks++
+	// Schedule the next tick before running the callback so the
+	// callback may Stop the ticker and have that take effect.
+	t.next = t.s.After(t.period, t.fire)
+	t.fn(t.s.Now())
+}
+
+// Ticks returns how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Stop cancels all future ticks. It is idempotent.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

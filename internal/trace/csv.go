@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/simtime"
+)
+
+// ReadMeasurementsCSV reconstructs a per-tick measurement sequence
+// from a trace CSV written by scenario.Result.Table() (ffsim -csv).
+// Required columns: t, Po, Pl, T, offOK; extra columns are ignored.
+// fs supplies the source frame rate, which the CSV does not carry.
+func ReadMeasurementsCSV(r io.Reader, fs float64) ([]controller.Measurement, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("trace: fs must be positive")
+	}
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, need := range []string{"t", "Po", "Pl", "T", "offOK"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("trace: CSV missing column %q", need)
+		}
+	}
+	var out []controller.Measurement
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		get := func(name string) (float64, error) {
+			return strconv.ParseFloat(rec[col[name]], 64)
+		}
+		t, err1 := get("t")
+		po, err2 := get("Po")
+		pl, err3 := get("Pl")
+		timeouts, err4 := get("T")
+		offOK, err5 := get("offOK")
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, e)
+			}
+		}
+		out = append(out, controller.Measurement{
+			Now:       simtime.Time((t + 1) * float64(time.Second)),
+			FS:        fs,
+			Po:        po,
+			Pl:        pl,
+			T:         timeouts,
+			OffloadOK: offOK,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/trace"
+)
+
+// WhatIf replays recorded conditions through any policy — here a
+// deteriorating trace through AIMD, which halves on the first timeout
+// tick.
+func ExampleWhatIf() {
+	recorded := []controller.Measurement{
+		{Now: 1 * time.Second, FS: 30, T: 0},
+		{Now: 2 * time.Second, FS: 30, T: 0},
+		{Now: 3 * time.Second, FS: 30, T: 8}, // degradation hits
+	}
+	for _, d := range trace.WhatIf(baselines.NewAIMD(), recorded) {
+		fmt.Printf("T=%.0f -> Po=%.1f\n", d.Measurement.T, d.Po)
+	}
+	// Output:
+	// T=0 -> Po=1.0
+	// T=0 -> Po=2.0
+	// T=8 -> Po=1.0
+}

@@ -1,0 +1,170 @@
+// Package trace records per-offload event logs and replays recorded
+// measurement traces through policies offline.
+//
+// Two tools:
+//
+//   - Recorder captures every resolved offload of a device (via the
+//     device.Config.OnOffload hook) and serializes the log as JSONL —
+//     one self-describing event per line, greppable and
+//     pandas-friendly. ReadJSONL loads it back.
+//
+//   - WhatIf feeds a recorded per-tick measurement sequence through
+//     any controller.Policy, answering "what rate would controller X
+//     have chosen given the conditions controller Y actually saw?".
+//     This is open-loop — the replayed policy's choices do not change
+//     the recorded conditions — so it is a screening tool for
+//     candidate tunings, not a substitute for a closed-loop run.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+)
+
+// Event is one resolved offload in a trace. Times are seconds from
+// the start of the run; Latency is ResolvedAt − CapturedAt.
+type Event struct {
+	FrameID    uint64  `json:"frame"`
+	Tenant     int     `json:"tenant"`
+	Bytes      int     `json:"bytes"`
+	CapturedAt float64 `json:"captured_s"`
+	Latency    float64 `json:"latency_s"`
+	Status     string  `json:"status"` // "ok", "timeout", "rejected"
+}
+
+// Recorder accumulates offload events. It is safe for use from the
+// single-threaded simulator and from concurrent realnet callers.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook returns a function suitable for device.Config.OnOffload.
+func (r *Recorder) Hook() func(device.OffloadOutcome) {
+	return func(o device.OffloadOutcome) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.events = append(r.events, Event{
+			FrameID:    o.FrameID,
+			Tenant:     o.Tenant,
+			Bytes:      o.Bytes,
+			CapturedAt: o.CapturedAt.Seconds(),
+			Latency:    (o.ResolvedAt - o.CapturedAt).Seconds(),
+			Status:     o.Status.String(),
+		})
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSONL writes the recorded events, one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.events {
+		if err := enc.Encode(&r.events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event log. Blank lines are skipped; a
+// malformed line fails with its line number.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats aggregates a trace into outcome counts.
+type Stats struct {
+	OK, Timeout, Rejected int
+}
+
+// Tally counts outcomes in a trace.
+func Tally(events []Event) Stats {
+	var s Stats
+	for _, e := range events {
+		switch e.Status {
+		case "ok":
+			s.OK++
+		case "timeout":
+			s.Timeout++
+		case "rejected":
+			s.Rejected++
+		}
+	}
+	return s
+}
+
+// Decision is one tick of a what-if replay.
+type Decision struct {
+	Measurement controller.Measurement
+	Po          float64
+}
+
+// WhatIf replays a recorded measurement sequence through a policy and
+// returns its per-tick decisions. The policy sees the recorded
+// conditions (T, Pl, probes) with its *own* previous decision as the
+// in-force Po — open-loop in the environment, closed-loop in the
+// policy state.
+func WhatIf(policy controller.Policy, measurements []controller.Measurement) []Decision {
+	if policy == nil {
+		panic("trace: WhatIf with nil policy")
+	}
+	out := make([]Decision, 0, len(measurements))
+	po := 0.0
+	for _, m := range measurements {
+		m.Po = po
+		po = policy.Next(m)
+		if po < 0 {
+			po = 0
+		}
+		if m.FS > 0 && po > m.FS {
+			po = m.FS
+		}
+		out = append(out, Decision{Measurement: m, Po: po})
+	}
+	return out
+}

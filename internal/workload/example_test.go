@@ -1,0 +1,21 @@
+package workload_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The paper's schedules are plain data: Table VI's background request
+// rates, queryable at any instant.
+func ExampleTableVI() {
+	sched := workload.TableVI()
+	for _, at := range []time.Duration{5 * time.Second, 55 * time.Second, 110 * time.Second} {
+		fmt.Printf("t=%v: %v req/s\n", at, sched.At(at))
+	}
+	// Output:
+	// t=5s: 0 req/s
+	// t=55s: 150 req/s
+	// t=1m50s: 0 req/s
+}

@@ -1,0 +1,236 @@
+// Package workload defines the paper's experiment workloads: the
+// Table V network-degradation schedule, the Table VI server-load
+// schedule, and the Poisson background-request injector that plays the
+// role of the "other devices" used to load the server (§IV-C2).
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// TableV returns the paper's network schedule (Table V) as a simnet
+// schedule. Units: the paper prints "kbps", which cannot carry the
+// evaluated 30 fps JPEG stream; the values are interpreted as Mbps
+// (see DESIGN.md §2). A 5 ms propagation delay — typical for one
+// wireless hop to an on-premises edge server — is applied throughout.
+func TableV() simnet.Schedule {
+	cond := func(mbps, loss float64) simnet.Conditions {
+		return simnet.Conditions{
+			BandwidthBps: simnet.Mbps(mbps),
+			Loss:         loss,
+			PropDelay:    5 * time.Millisecond,
+		}
+	}
+	return simnet.Schedule{
+		{Start: 0, Cond: cond(10, 0)},
+		{Start: 30 * time.Second, Cond: cond(4, 0)},
+		{Start: 45 * time.Second, Cond: cond(1, 0)},
+		{Start: 60 * time.Second, Cond: cond(10, 0)},
+		{Start: 90 * time.Second, Cond: cond(10, 0.07)},
+		{Start: 105 * time.Second, Cond: cond(4, 0.07)},
+	}
+}
+
+// LoadPhase is one row of a background-load schedule: from Start
+// onward, background devices submit Rate requests per second.
+type LoadPhase struct {
+	Start simtime.Time
+	Rate  float64
+}
+
+// LoadSchedule is a time-ordered background request-rate schedule.
+type LoadSchedule []LoadPhase
+
+// Validate checks strict ordering by start time.
+func (s LoadSchedule) Validate() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i].Start <= s[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the request rate in force at time t.
+func (s LoadSchedule) At(t simtime.Time) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].Start > t })
+	if i == 0 {
+		return s[0].Rate
+	}
+	return s[i-1].Rate
+}
+
+// TableVI returns the paper's server-load schedule (Table VI):
+// background request volume ramping 0 → 150/s and back down.
+func TableVI() LoadSchedule {
+	return LoadSchedule{
+		{Start: 0, Rate: 0},
+		{Start: 10 * time.Second, Rate: 90},
+		{Start: 20 * time.Second, Rate: 120},
+		{Start: 35 * time.Second, Rate: 135},
+		{Start: 50 * time.Second, Rate: 150},
+		{Start: 60 * time.Second, Rate: 130},
+		{Start: 75 * time.Second, Rate: 120},
+		{Start: 90 * time.Second, Rate: 90},
+		{Start: 100 * time.Second, Rate: 0},
+	}
+}
+
+// MixEntry gives one model's share of the background request mix.
+type MixEntry struct {
+	Model  models.Model
+	Weight float64
+}
+
+// DefaultMix is the background model mix: mostly the evaluation
+// model, with a minority of the heavier EfficientNetB0 so that "we
+// hit both model types when measuring controller response under
+// server load" (§IV-C2).
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Model: models.MobileNetV3Small, Weight: 0.8},
+		{Model: models.EfficientNetB0, Weight: 0.2},
+	}
+}
+
+// Injector submits background requests to a server following a
+// LoadSchedule, with Poisson arrivals and a model mix. It stands in
+// for the paper's extra devices; its requests bypass the measured
+// device's network path (their only role is to consume server
+// capacity).
+type Injector struct {
+	sched    *simtime.Scheduler
+	rng      *rng.Stream
+	srv      *server.Server
+	schedule LoadSchedule
+	mix      []MixEntry
+	mixTotal float64
+	tenant   int
+	bytes    int
+	ticker   *simtime.Ticker
+
+	submitted uint64
+	completed uint64
+	rejected  uint64
+}
+
+// InjectorConfig configures a background-load injector.
+type InjectorConfig struct {
+	// Schedule drives the request rate over time. Required.
+	Schedule LoadSchedule
+	// Mix is the model mix; defaults to DefaultMix.
+	Mix []MixEntry
+	// Tenant tags the injector's requests; defaults to -1.
+	Tenant int
+	// Bytes is the per-request payload size; defaults to a typical
+	// 224×224 JPEG (7 KB).
+	Bytes int
+	// SubInterval is the thinning granularity; arrivals are drawn
+	// per sub-interval from a Poisson distribution and placed
+	// uniformly within it. Defaults to 100 ms.
+	SubInterval time.Duration
+}
+
+// NewInjector starts an injector on the scheduler. r drives the
+// Poisson arrival process and must not be nil.
+func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cfg InjectorConfig) *Injector {
+	if sched == nil || r == nil || srv == nil {
+		panic("workload: NewInjector with nil scheduler, rng or server")
+	}
+	if !cfg.Schedule.Validate() {
+		panic("workload: load schedule not strictly ordered")
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.Tenant == 0 {
+		cfg.Tenant = -1
+	}
+	if cfg.Bytes == 0 {
+		cfg.Bytes = 7000
+	}
+	if cfg.SubInterval == 0 {
+		cfg.SubInterval = 100 * time.Millisecond
+	}
+	inj := &Injector{
+		sched:    sched,
+		rng:      r,
+		srv:      srv,
+		schedule: cfg.Schedule,
+		mix:      cfg.Mix,
+		tenant:   cfg.Tenant,
+		bytes:    cfg.Bytes,
+	}
+	for _, e := range cfg.Mix {
+		if e.Weight < 0 {
+			panic("workload: negative mix weight")
+		}
+		inj.mixTotal += e.Weight
+	}
+	if inj.mixTotal <= 0 {
+		panic("workload: mix weights sum to zero")
+	}
+	sub := cfg.SubInterval
+	inj.ticker = sched.Every(0, sub, func(now simtime.Time) {
+		rate := inj.schedule.At(now)
+		if rate <= 0 {
+			return
+		}
+		n := inj.rng.Poisson(rate * sub.Seconds())
+		for i := 0; i < n; i++ {
+			offset := simtime.Time(inj.rng.Float64() * float64(sub))
+			sched.At(now+offset, inj.submitOne)
+		}
+	})
+	return inj
+}
+
+// Stop permanently halts the injector's arrival process. Without it,
+// the injector's periodic ticker keeps the scheduler's queue non-empty
+// forever, so drive injector simulations with RunUntil — or call Stop
+// before a final Run.
+func (inj *Injector) Stop() { inj.ticker.Stop() }
+
+func (inj *Injector) submitOne() {
+	inj.submitted++
+	inj.srv.Submit(&server.Request{
+		ID:     inj.submitted,
+		Tenant: inj.tenant,
+		Model:  inj.pickModel(),
+		Bytes:  inj.bytes,
+		Done: func(res server.Result) {
+			if res.Status == server.StatusOK {
+				inj.completed++
+			} else {
+				inj.rejected++
+			}
+		},
+	})
+}
+
+func (inj *Injector) pickModel() models.Model {
+	x := inj.rng.Float64() * inj.mixTotal
+	for _, e := range inj.mix {
+		x -= e.Weight
+		if x < 0 {
+			return e.Model
+		}
+	}
+	return inj.mix[len(inj.mix)-1].Model
+}
+
+// Submitted, Completed and Rejected report the injector's own
+// accounting.
+func (inj *Injector) Submitted() uint64 { return inj.submitted }
+func (inj *Injector) Completed() uint64 { return inj.completed }
+func (inj *Injector) Rejected() uint64  { return inj.rejected }

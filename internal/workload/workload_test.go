@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+func TestTableVStructure(t *testing.T) {
+	sch := TableV()
+	if !sch.Validate() {
+		t.Fatal("Table V schedule invalid")
+	}
+	// Paper Table V rows (bandwidth in the Mbps interpretation,
+	// loss verbatim).
+	cases := []struct {
+		at   simtime.Time
+		mbps float64
+		loss float64
+	}{
+		{0, 10, 0},
+		{29 * time.Second, 10, 0},
+		{30 * time.Second, 4, 0},
+		{45 * time.Second, 1, 0},
+		{60 * time.Second, 10, 0},
+		{90 * time.Second, 10, 0.07},
+		{105 * time.Second, 4, 0.07},
+		{300 * time.Second, 4, 0.07},
+	}
+	for _, c := range cases {
+		got := sch.At(c.at)
+		if got.BandwidthBps != simnet.Mbps(c.mbps) || got.Loss != c.loss {
+			t.Errorf("At(%v) = %.0f bps / %.2f loss, want %v Mbps / %v",
+				c.at, got.BandwidthBps, got.Loss, c.mbps, c.loss)
+		}
+	}
+}
+
+func TestTableVIStructure(t *testing.T) {
+	sch := TableVI()
+	if !sch.Validate() {
+		t.Fatal("Table VI schedule invalid")
+	}
+	// Paper Table VI rows, verbatim.
+	cases := []struct {
+		at   simtime.Time
+		rate float64
+	}{
+		{0, 0}, {9 * time.Second, 0},
+		{10 * time.Second, 90}, {20 * time.Second, 120},
+		{35 * time.Second, 135}, {50 * time.Second, 150},
+		{60 * time.Second, 130}, {75 * time.Second, 120},
+		{90 * time.Second, 90}, {100 * time.Second, 0},
+		{200 * time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := sch.At(c.at); got != c.rate {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.rate)
+		}
+	}
+}
+
+func TestLoadScheduleValidate(t *testing.T) {
+	bad := LoadSchedule{{Start: 5 * time.Second}, {Start: 5 * time.Second}}
+	if bad.Validate() {
+		t.Fatal("duplicate start times validated")
+	}
+	if (LoadSchedule{}).At(0) != 0 {
+		t.Fatal("empty schedule rate != 0")
+	}
+}
+
+func TestInjectorRateTracking(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	inj := NewInjector(s, rng.New(7), srv, InjectorConfig{
+		Schedule: LoadSchedule{{Start: 0, Rate: 100}},
+	})
+	s.RunUntil(20 * time.Second)
+	got := float64(inj.Submitted()) / 20
+	if math.Abs(got-100) > 7 {
+		t.Fatalf("injection rate = %v/s, want ~100", got)
+	}
+}
+
+func TestInjectorZeroRatePhases(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	inj := NewInjector(s, rng.New(8), srv, InjectorConfig{
+		Schedule: LoadSchedule{
+			{Start: 0, Rate: 0},
+			{Start: 5 * time.Second, Rate: 50},
+			{Start: 10 * time.Second, Rate: 0},
+		},
+	})
+	s.RunUntil(4 * time.Second)
+	if inj.Submitted() != 0 {
+		t.Fatalf("injected %d requests during zero phase", inj.Submitted())
+	}
+	s.RunUntil(20 * time.Second)
+	total := inj.Submitted()
+	if total < 150 || total > 350 {
+		t.Fatalf("total injected = %d, want ~250 (50/s for 5 s)", total)
+	}
+}
+
+func TestInjectorAccountingConsistent(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	inj := NewInjector(s, rng.New(9), srv, InjectorConfig{
+		Schedule: LoadSchedule{{Start: 0, Rate: 400}}, // 2.7× overload
+	})
+	s.RunUntil(10 * time.Second)
+	inj.Stop()
+	s.Run() // drain in-flight batches
+	if inj.Completed()+inj.Rejected() != inj.Submitted() {
+		t.Fatalf("completed(%d)+rejected(%d) != submitted(%d)",
+			inj.Completed(), inj.Rejected(), inj.Submitted())
+	}
+	if inj.Rejected() == 0 {
+		t.Fatal("no rejections at 2.7× server overload")
+	}
+}
+
+func TestInjectorModelMix(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	// All requests to one model must not panic and must hit only
+	// that queue. Use a custom 100% EfficientNetB0 mix.
+	NewInjector(s, rng.New(10), srv, InjectorConfig{
+		Schedule: LoadSchedule{{Start: 0, Rate: 50}},
+		Mix:      []MixEntry{{Model: models.EfficientNetB0, Weight: 1}},
+	})
+	s.RunUntil(2 * time.Second)
+	if srv.QueueLen(models.MobileNetV3Small) != 0 {
+		t.Fatal("single-model mix leaked into another queue")
+	}
+}
+
+func TestInjectorDefaultMixHitsBothModels(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	inj := NewInjector(s, rng.New(11), srv, InjectorConfig{
+		Schedule: LoadSchedule{{Start: 0, Rate: 100}},
+	})
+	s.RunUntil(10 * time.Second)
+	inj.Stop()
+	s.Run()
+	// "We hit both model types" (§IV-C2): with the default 80/20
+	// mix, both tenants' queues saw traffic. Verify via the server's
+	// busy time: both models must have executed.
+	if inj.Submitted() == 0 {
+		t.Fatal("nothing injected")
+	}
+	// Indirect check: the mean batch latency exceeds the pure
+	// MobileNet curve (EfficientNet batches are slower).
+	st := srv.Stats()
+	meanBatchLat := st.BusyTime.Seconds() / float64(st.Batches)
+	mnet := models.TeslaV100().Curve(models.MobileNetV3Small).Latency(int(st.MeanBatchSize() + 0.5)).Seconds()
+	if meanBatchLat <= mnet {
+		t.Fatalf("mean batch latency %v suggests EfficientNetB0 never ran (MobileNet-only would be %v)", meanBatchLat, mnet)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() uint64 {
+		s := simtime.NewScheduler()
+		srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+		inj := NewInjector(s, rng.New(12), srv, InjectorConfig{
+			Schedule: TableVI(),
+		})
+		s.RunUntil(110 * time.Second)
+		return inj.Submitted()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("injector not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := server.New(s, nil, server.Config{GPU: models.TeslaV100()})
+	r := rng.New(1)
+	sched := LoadSchedule{{Start: 0, Rate: 10}}
+	for name, fn := range map[string]func(){
+		"nil rng":    func() { NewInjector(s, nil, srv, InjectorConfig{Schedule: sched}) },
+		"nil server": func() { NewInjector(s, r, nil, InjectorConfig{Schedule: sched}) },
+		"bad schedule": func() {
+			NewInjector(s, r, srv, InjectorConfig{Schedule: LoadSchedule{{Start: time.Second}, {Start: time.Second}}})
+		},
+		"neg weight": func() {
+			NewInjector(s, r, srv, InjectorConfig{
+				Schedule: sched,
+				Mix:      []MixEntry{{Model: models.MobileNetV3Small, Weight: -1}},
+			})
+		},
+		"zero weights": func() {
+			NewInjector(s, r, srv, InjectorConfig{
+				Schedule: sched,
+				Mix:      []MixEntry{{Model: models.MobileNetV3Small, Weight: 0}},
+			})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
