@@ -34,6 +34,8 @@ var (
 	streamFlag    = flag.Uint("stream", 1, "stream/tenant id")
 	timeScaleFlag = flag.Float64("timescale", 1, "multiply simulated local-inference latency")
 	csvFlag       = flag.String("csv", "", "append per-tick stats to this CSV file")
+	recMinFlag    = flag.Duration("reconnect-min", realnet.DefaultReconnectMin, "initial reconnect backoff (negative disables reconnection)")
+	recMaxFlag    = flag.Duration("reconnect-max", realnet.DefaultReconnectMax, "reconnect backoff cap")
 )
 
 func main() {
@@ -53,14 +55,16 @@ func main() {
 	}
 
 	client, err := realnet.Dial(realnet.ClientConfig{
-		Addr:      *addrFlag,
-		Stream:    uint32(*streamFlag),
-		FS:        *fpsFlag,
-		Deadline:  *deadlineFlag,
-		Tick:      *tickFlag,
-		Policy:    policy,
-		TimeScale: *timeScaleFlag,
-		Logger:    logger,
+		Addr:         *addrFlag,
+		Stream:       uint32(*streamFlag),
+		FS:           *fpsFlag,
+		Deadline:     *deadlineFlag,
+		Tick:         *tickFlag,
+		Policy:       policy,
+		TimeScale:    *timeScaleFlag,
+		ReconnectMin: *recMinFlag,
+		ReconnectMax: *recMaxFlag,
+		Logger:       logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -98,8 +102,12 @@ func main() {
 			sec := tickFlag.Seconds()
 			p := float64(cur.LocalDone-prev.LocalDone)/sec + float64(cur.OffloadOK-prev.OffloadOK)/sec
 			timeouts := float64(cur.Timeouts()-prev.Timeouts()) / sec
-			fmt.Printf("P=%5.1f/s  Po=%5.1f  T=%4.1f/s  ok=%d  late=%d  rej=%d  local=%d\n",
-				p, cur.Po, timeouts, cur.OffloadOK, cur.OffloadTimedOut, cur.OffloadRejected, cur.LocalDone)
+			link := "up"
+			if !client.Connected() {
+				link = "DOWN"
+			}
+			fmt.Printf("P=%5.1f/s  Po=%5.1f  T=%4.1f/s  ok=%d  late=%d  rej=%d  local=%d  link=%s(re=%d)\n",
+				p, cur.Po, timeouts, cur.OffloadOK, cur.OffloadTimedOut, cur.OffloadRejected, cur.LocalDone, link, cur.Reconnects)
 			if csvW != nil {
 				csvW.Write([]string{
 					fmt.Sprintf("%.1f", time.Since(start).Seconds()),

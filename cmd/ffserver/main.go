@@ -31,6 +31,9 @@ var (
 	statsFlag     = flag.Duration("stats", 5*time.Second, "stats print interval (0 disables)")
 	delayFlag     = flag.Duration("delay", 0, "artificial extra delay per batch (emulates degradation)")
 	delaysFlag    = flag.String("delays", "", `scripted degradation schedule, e.g. "30s:300ms,60s:0" (offset:extra-delay pairs)`)
+	writeTOFlag   = flag.Duration("write-timeout", realnet.DefaultWriteTimeout, "per-response write deadline (negative disables)")
+	drainFlag     = flag.Duration("drain", realnet.DefaultDrainTimeout, "how long to drain in-flight replies for a disconnected device (negative disables)")
+	dropFlag      = flag.Bool("drop-on-disconnect", false, "drop in-flight replies for a disconnected device instead of draining")
 )
 
 // parseDelaySchedule parses "offset:delay" pairs, e.g.
@@ -65,10 +68,13 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "ffserver: ", log.LstdFlags)
 	srv, err := realnet.NewServer(realnet.ServerConfig{
-		Addr:      *addrFlag,
-		MaxBatch:  *maxBatchFlag,
-		TimeScale: *timeScaleFlag,
-		Logger:    logger,
+		Addr:             *addrFlag,
+		MaxBatch:         *maxBatchFlag,
+		TimeScale:        *timeScaleFlag,
+		WriteTimeout:     *writeTOFlag,
+		DrainTimeout:     *drainFlag,
+		DropOnDisconnect: *dropFlag,
+		Logger:           logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -97,11 +103,11 @@ func main() {
 		go func() {
 			var prevDone uint64
 			for range ticker.C {
-				submitted, completed, rejected, batches := srv.Stats()
-				rate := float64(completed-prevDone) / statsFlag.Seconds()
-				prevDone = completed
-				fmt.Printf("submitted=%d completed=%d rejected=%d batches=%d throughput=%.1f/s\n",
-					submitted, completed, rejected, batches, rate)
+				st := srv.Stats()
+				rate := float64(st.Completed-prevDone) / statsFlag.Seconds()
+				prevDone = st.Completed
+				fmt.Printf("submitted=%d completed=%d rejected=%d dropped=%d batches=%d throughput=%.1f/s\n",
+					st.Submitted, st.Completed, st.Rejected, st.Dropped, st.Batches, rate)
 			}
 		}()
 	}

@@ -30,6 +30,14 @@ type Config struct {
 	Window int
 	// InitialPo is the starting offload rate.
 	InitialPo float64
+	// NoDefaults disables the zero-value → Table IV substitution:
+	// with it set, an all-zero-gain or zero-clamp configuration is
+	// taken literally (producing a controller that never moves P_o)
+	// instead of being silently rewritten to the paper defaults. A
+	// zero Window then means "no averaging" (instantaneous T). Set
+	// NoDefaults when you genuinely mean zero; leave it unset to get
+	// DefaultConfig semantics for unspecified fields.
+	NoDefaults bool
 }
 
 // DefaultConfig returns the paper's Table IV settings.
@@ -47,6 +55,9 @@ func DefaultConfig() Config {
 }
 
 func (c *Config) applyDefaults() {
+	if c.NoDefaults {
+		return
+	}
 	d := DefaultConfig()
 	if c.KP == 0 && c.KD == 0 && c.KI == 0 {
 		c.KP, c.KI, c.KD = d.KP, d.KI, d.KD
@@ -108,9 +119,15 @@ func NewFrameFeedback(cfg Config) *FrameFeedback {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	// Under NoDefaults a zero Window is legal and means "no
+	// averaging": the instantaneous T feeds the error directly.
+	w := cfg.Window
+	if w < 1 {
+		w = 1
+	}
 	f := &FrameFeedback{
 		cfg:    cfg,
-		window: metrics.NewWindow(cfg.Window),
+		window: metrics.NewWindow(w),
 		po:     cfg.InitialPo,
 	}
 	f.pid = PID{KP: cfg.KP, KI: cfg.KI, KD: cfg.KD}

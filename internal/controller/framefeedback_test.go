@@ -381,3 +381,54 @@ func TestPropScaleInvariantInFS(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNoDefaultsKeepsZeroValues(t *testing.T) {
+	// Regression: an intentional all-zero-gain, zero-clamp config
+	// used to be silently rewritten to the Table IV defaults. With
+	// NoDefaults the zeros are taken literally: the controller is
+	// inert and never moves Po, whatever it observes.
+	f := NewFrameFeedback(Config{NoDefaults: true, InitialPo: 10})
+	cfg := f.Config()
+	if cfg.KP != 0 || cfg.KI != 0 || cfg.KD != 0 {
+		t.Fatalf("NoDefaults gains rewritten: %+v", cfg)
+	}
+	if cfg.UpdateMinFrac != 0 || cfg.UpdateMaxFrac != 0 || cfg.TimeoutFrac != 0 || cfg.Window != 0 {
+		t.Fatalf("NoDefaults fields rewritten: %+v", cfg)
+	}
+	po := 10.0
+	for sec := 1; sec <= 5; sec++ {
+		po = tick(f, sec, po, float64(sec%2)*8)
+		if po != 10 {
+			t.Fatalf("inert controller moved Po to %v at tick %d", po, sec)
+		}
+	}
+}
+
+func TestZeroValueConfigStillGetsDefaults(t *testing.T) {
+	// Without the opt-out, the historical behaviour must not change.
+	f := NewFrameFeedback(Config{})
+	cfg := f.Config()
+	want := DefaultConfig()
+	if cfg.KP != want.KP || cfg.KD != want.KD || cfg.Window != want.Window ||
+		cfg.TimeoutFrac != want.TimeoutFrac ||
+		cfg.UpdateMinFrac != want.UpdateMinFrac || cfg.UpdateMaxFrac != want.UpdateMaxFrac {
+		t.Fatalf("zero config no longer default-filled: %+v", cfg)
+	}
+}
+
+func TestNoDefaultsPartialConfigTakenLiterally(t *testing.T) {
+	// KP set, KD deliberately zero: NoDefaults must not "helpfully"
+	// restore KD = 0.26.
+	f := NewFrameFeedback(Config{
+		NoDefaults:    true,
+		KP:            0.5,
+		UpdateMinFrac: -1,
+		UpdateMaxFrac: 1,
+		TimeoutFrac:   0.2,
+		Window:        1,
+	})
+	cfg := f.Config()
+	if cfg.KD != 0 || cfg.KP != 0.5 || cfg.TimeoutFrac != 0.2 || cfg.Window != 1 {
+		t.Fatalf("NoDefaults partial config rewritten: %+v", cfg)
+	}
+}

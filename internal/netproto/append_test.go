@@ -1,0 +1,162 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// AppendRequest/AppendResponse must produce exactly the same wire
+// bytes as the Write* functions, and reusing one buffer across
+// messages must not corrupt earlier content.
+
+func TestAppendRequestMatchesWrite(t *testing.T) {
+	in := &Request{
+		Stream:           3,
+		FrameID:          42,
+		Model:            models.EfficientNetB0,
+		CapturedUnixNano: 1700000000000000000,
+		Probe:            true,
+		Payload:          []byte("payload"),
+	}
+	var w bytes.Buffer
+	if err := WriteRequest(&w, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := AppendRequest(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, w.Bytes()) {
+		t.Fatalf("AppendRequest bytes differ from WriteRequest:\n%x\n%x", got, w.Bytes())
+	}
+}
+
+func TestAppendResponseMatchesWrite(t *testing.T) {
+	in := &Response{FrameID: 9, Rejected: true, Label: -4, BatchSize: 15}
+	var w bytes.Buffer
+	if err := WriteResponse(&w, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := AppendResponse(nil, in); !bytes.Equal(got, w.Bytes()) {
+		t.Fatalf("AppendResponse bytes differ from WriteResponse:\n%x\n%x", got, w.Bytes())
+	}
+}
+
+func TestAppendReusedBufferIsClean(t *testing.T) {
+	// A large message followed by a smaller one into the same buffer:
+	// stale bytes from the first encode must not leak into the second.
+	big := &Request{Model: models.MobileNetV3Small, Payload: bytes.Repeat([]byte{0xAB}, 512)}
+	buf, err := AppendRequest(nil, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &Request{Model: models.MobileNetV3Small, Probe: true, Payload: []byte{9}}
+	if buf, err = AppendRequest(buf[:0], probe); err != nil {
+		t.Fatal(err)
+	}
+	small := &Request{Model: models.MobileNetV3Small, FrameID: 7, Payload: []byte{1, 2, 3}}
+	buf, err = AppendRequest(buf[:0], small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FrameID != 7 || !bytes.Equal(out.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("reused-buffer encode corrupted: %+v", out)
+	}
+	if out.Probe {
+		t.Fatal("stale Probe flag leaked through buffer reuse")
+	}
+
+	// Responses: the rejected flag must be written even when false.
+	rbuf := AppendResponse(nil, &Response{FrameID: 1, Rejected: true})
+	rbuf = AppendResponse(rbuf[:0], &Response{FrameID: 2})
+	res, err := ReadResponse(bytes.NewReader(rbuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameID != 2 || res.Rejected {
+		t.Fatalf("stale Rejected flag leaked through buffer reuse: %+v", res)
+	}
+}
+
+func TestAppendRequestInvalidModel(t *testing.T) {
+	buf := []byte{0xEE}
+	out, err := AppendRequest(buf, &Request{Model: models.Model(200)})
+	if err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if !bytes.Equal(out, buf) {
+		t.Fatal("failed append modified the buffer")
+	}
+}
+
+func TestAppendPreservesPrefix(t *testing.T) {
+	// Appending after existing content must leave that content intact
+	// (so several messages can be coalesced into one write).
+	first := AppendResponse(nil, &Response{FrameID: 1})
+	both := AppendResponse(first, &Response{FrameID: 2})
+	r := bytes.NewReader(both)
+	a, err := ReadResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FrameID != 1 || b.FrameID != 2 {
+		t.Fatalf("coalesced messages corrupted: %d, %d", a.FrameID, b.FrameID)
+	}
+	if _, err := ReadResponse(r); err != io.EOF {
+		t.Fatalf("trailing garbage after coalesced messages: %v", err)
+	}
+}
+
+// BenchmarkWriteRequestAlloc is the old per-message allocation path.
+func BenchmarkWriteRequestAlloc(b *testing.B) {
+	req := &Request{Model: models.MobileNetV3Small, Payload: make([]byte, 29<<10)}
+	b.ReportAllocs()
+	b.SetBytes(int64(29 << 10))
+	for i := 0; i < b.N; i++ {
+		if err := WriteRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendRequestReuse is the buffer-reusing path the realnet
+// client uses: zero allocations per message once the buffer is warm.
+func BenchmarkAppendRequestReuse(b *testing.B) {
+	req := &Request{Model: models.MobileNetV3Small, Payload: make([]byte, 29<<10)}
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	b.SetBytes(int64(29 << 10))
+	for i := 0; i < b.N; i++ {
+		buf, err = AppendRequest(buf[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendResponseReuse(b *testing.B) {
+	res := &Response{FrameID: 1, Label: 3, BatchSize: 15}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResponse(buf[:0], res)
+		if _, err := io.Discard.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -75,57 +75,95 @@ type Response struct {
 const requestFixedLen = 4 + 8 + 1 + 8 + 1 + 4 // stream, frame, model, captured, probe, payloadLen
 const responseLen = 8 + 1 + 4 + 2
 
-// WriteRequest encodes and writes one request.
-func WriteRequest(w io.Writer, r *Request) error {
+// AppendRequest appends one fully framed request message (length
+// prefix included) to buf and returns the extended slice. Callers that
+// reuse buf across messages avoid the per-message allocation of
+// WriteRequest.
+func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 	if !r.Model.Valid() {
-		return fmt.Errorf("netproto: invalid model %d", int(r.Model))
+		return buf, fmt.Errorf("netproto: invalid model %d", int(r.Model))
 	}
-	body := make([]byte, 2+requestFixedLen, 2+requestFixedLen+len(r.Payload))
-	body[0] = Version
-	body[1] = TypeRequest
-	o := 2
-	binary.BigEndian.PutUint32(body[o:], r.Stream)
+	bodyLen := 2 + requestFixedLen + len(r.Payload)
+	buf = growFrame(buf, bodyLen)
+	o := len(buf) - bodyLen
+	buf[o] = Version
+	buf[o+1] = TypeRequest
+	o += 2
+	binary.BigEndian.PutUint32(buf[o:], r.Stream)
 	o += 4
-	binary.BigEndian.PutUint64(body[o:], r.FrameID)
+	binary.BigEndian.PutUint64(buf[o:], r.FrameID)
 	o += 8
-	body[o] = byte(r.Model)
+	buf[o] = byte(r.Model)
 	o++
-	binary.BigEndian.PutUint64(body[o:], uint64(r.CapturedUnixNano))
+	binary.BigEndian.PutUint64(buf[o:], uint64(r.CapturedUnixNano))
 	o += 8
 	if r.Probe {
-		body[o] = 1
+		buf[o] = 1
+	} else {
+		buf[o] = 0
 	}
 	o++
-	binary.BigEndian.PutUint32(body[o:], uint32(len(r.Payload)))
-	body = append(body, r.Payload...)
-	return writeFrame(w, body)
+	binary.BigEndian.PutUint32(buf[o:], uint32(len(r.Payload)))
+	o += 4
+	copy(buf[o:], r.Payload)
+	return buf, nil
 }
 
-// WriteResponse encodes and writes one response.
-func WriteResponse(w io.Writer, r *Response) error {
-	body := make([]byte, 2+responseLen)
-	body[0] = Version
-	body[1] = TypeResponse
-	o := 2
-	binary.BigEndian.PutUint64(body[o:], r.FrameID)
+// AppendResponse appends one fully framed response message (length
+// prefix included) to buf and returns the extended slice.
+func AppendResponse(buf []byte, r *Response) []byte {
+	bodyLen := 2 + responseLen
+	buf = growFrame(buf, bodyLen)
+	o := len(buf) - bodyLen
+	buf[o] = Version
+	buf[o+1] = TypeResponse
+	o += 2
+	binary.BigEndian.PutUint64(buf[o:], r.FrameID)
 	o += 8
 	if r.Rejected {
-		body[o] = 1
+		buf[o] = 1
+	} else {
+		buf[o] = 0
 	}
 	o++
-	binary.BigEndian.PutUint32(body[o:], uint32(r.Label))
+	binary.BigEndian.PutUint32(buf[o:], uint32(r.Label))
 	o += 4
-	binary.BigEndian.PutUint16(body[o:], r.BatchSize)
-	return writeFrame(w, body)
+	binary.BigEndian.PutUint16(buf[o:], r.BatchSize)
+	return buf
 }
 
-func writeFrame(w io.Writer, body []byte) error {
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
-	if _, err := w.Write(prefix[:]); err != nil {
+// growFrame extends buf by a 4-byte length prefix plus bodyLen body
+// bytes and fills in the prefix. The body bytes are NOT cleared — when
+// buf is reused its stale content shows through, so the Append*
+// encoders must write every single body byte unconditionally.
+func growFrame(buf []byte, bodyLen int) []byte {
+	start := len(buf)
+	need := start + 4 + bodyLen
+	if cap(buf) < need {
+		grown := make([]byte, need)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:need]
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(bodyLen))
+	return buf
+}
+
+// WriteRequest encodes and writes one request as a single Write call.
+func WriteRequest(w io.Writer, r *Request) error {
+	buf, err := AppendRequest(nil, r)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteResponse encodes and writes one response as a single Write
+// call.
+func WriteResponse(w io.Writer, r *Response) error {
+	_, err := w.Write(AppendResponse(nil, r))
 	return err
 }
 

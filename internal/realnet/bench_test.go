@@ -1,0 +1,68 @@
+package realnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netproto"
+)
+
+// benchClient builds a minimal Client wired to an in-memory pipe so
+// the send path can be benchmarked without a TCP stack or the capture
+// loop's timing noise.
+func benchClient(b *testing.B) *Client {
+	b.Helper()
+	clientSide, serverSide := net.Pipe()
+	go io.Copy(io.Discard, serverSide)
+	b.Cleanup(func() {
+		clientSide.Close()
+		serverSide.Close()
+	})
+	c := &Client{
+		cfg: ClientConfig{
+			Stream:       1,
+			PayloadBytes: 29 << 10,
+			WriteTimeout: -1, // net.Pipe deadlines are irrelevant here
+		},
+		conn:        clientSide,
+		payload:     make([]byte, 29<<10),
+		outstanding: make(map[uint64]time.Time),
+		stopCh:      make(chan struct{}),
+	}
+	return c
+}
+
+// BenchmarkSendPathPerFrameAlloc reproduces the seed-era send path:
+// a fresh payload slice plus a fresh encode buffer for every frame.
+func BenchmarkSendPathPerFrameAlloc(b *testing.B) {
+	c := benchClient(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(c.cfg.PayloadBytes))
+	for i := 0; i < b.N; i++ {
+		req := &netproto.Request{
+			Stream:           c.cfg.Stream,
+			FrameID:          uint64(i),
+			Model:            c.cfg.Model,
+			CapturedUnixNano: time.Now().UnixNano(),
+			Payload:          make([]byte, c.cfg.PayloadBytes),
+		}
+		if err := netproto.WriteRequest(c.conn, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendPathReusedBuffers is the current writeRequest: payload
+// and encode buffer live for the client's lifetime under writeMu.
+func BenchmarkSendPathReusedBuffers(b *testing.B) {
+	c := benchClient(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(c.cfg.PayloadBytes))
+	for i := 0; i < b.N; i++ {
+		if err := c.writeRequest(uint64(i), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,18 @@ import (
 	"repro/internal/simtime"
 )
 
+// Reconnection defaults: exponential backoff with jitter between
+// ReconnectMin and ReconnectMax, and a bounded dial attempt.
+const (
+	DefaultReconnectMin = 100 * time.Millisecond
+	DefaultReconnectMax = 5 * time.Second
+	DefaultDialTimeout  = 2 * time.Second
+)
+
+// errDisconnected reports an offload attempted while the transport has
+// no live connection; the frame is accounted as an immediate timeout.
+var errDisconnected = errors.New("realnet: not connected")
+
 // ClientConfig parameterizes an edge-device client.
 type ClientConfig struct {
 	// Addr is the server address.
@@ -41,8 +53,24 @@ type ClientConfig struct {
 	// PayloadBytes is the per-frame upload size; defaults to the
 	// evaluation's ~29 KB (380×380 @ q85).
 	PayloadBytes int
-	// Seed drives local latency jitter; default 1.
+	// Seed drives local latency jitter and reconnect backoff jitter;
+	// default 1.
 	Seed uint64
+	// ReconnectMin and ReconnectMax bound the exponential backoff
+	// between reconnection attempts after the connection drops;
+	// defaults DefaultReconnectMin / DefaultReconnectMax. A negative
+	// ReconnectMin disables reconnection entirely (the client stays
+	// disconnected, every offload times out — the pre-fault-tolerance
+	// behaviour).
+	ReconnectMin, ReconnectMax time.Duration
+	// DialTimeout bounds each (re)connection attempt; default
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each message write so a dead uplink surfaces
+	// as an error instead of a wedged capture loop; default Deadline
+	// (an upload that cannot finish within the deadline is already a
+	// timeout). Negative disables it.
+	WriteTimeout time.Duration
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 }
@@ -57,7 +85,11 @@ type ClientStats struct {
 	OffloadRejected uint64
 	LocalDone       uint64
 	LocalDropped    uint64
-	Po              float64
+	// Reconnects counts successful re-dials after a connection drop.
+	Reconnects uint64
+	// Disconnects counts connection drops observed.
+	Disconnects uint64
+	Po          float64
 }
 
 // Timeouts returns T's numerator: deadline misses plus rejections.
@@ -67,13 +99,32 @@ func (s ClientStats) Timeouts() uint64 { return s.OffloadTimedOut + s.OffloadRej
 // at FS, splits them between a (sleep-simulated) local worker and the
 // TCP uplink according to the policy's offload rate, and tracks the
 // end-to-end deadline of every offloaded frame.
+//
+// The transport is fault tolerant: when the connection drops, a
+// background dialer re-establishes it with jittered exponential
+// backoff, and in the meantime every offload attempt resolves as an
+// immediate timeout. The controller therefore keeps observing T > 0
+// through an outage, settles at the paper's standing-probe equilibrium
+// T = 0.1·F_s, and raises P_o again on its own as soon as a reconnect
+// succeeds — no process restart needed.
 type Client struct {
-	cfg  ClientConfig
-	conn net.Conn
+	cfg ClientConfig
 
 	// writeMu serializes message writes: the capture loop and the
-	// probe sender share the connection.
+	// probe sender share the connection. It also guards the reused
+	// payload and encode buffers.
 	writeMu sync.Mutex
+	payload []byte // zeroed virtual JPEG bytes, reused across frames
+	encBuf  []byte // wire-format scratch, reused across frames
+
+	// connMu guards the live connection; nil while disconnected.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	// connCh hands freshly dialed connections to receiveLoop;
+	// redialCh kicks the dialer after a drop.
+	connCh   chan net.Conn
+	redialCh chan struct{}
 
 	mu          sync.Mutex
 	stats       ClientStats
@@ -93,16 +144,21 @@ type Client struct {
 	probeOK      bool
 	probeValid   bool
 
-	rng    *rng.Stream
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	rng     *rng.Stream // local-latency jitter; guarded by mu
+	dialRng *rng.Stream // backoff jitter; owned by redialLoop
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
 }
 
 // probeIDBase separates probe frame IDs from camera frame IDs.
 const probeIDBase = uint64(1) << 63
 
-// Dial connects to the server and starts the capture, receive and
-// control loops. Stop with Close.
+// Dial connects to the server and starts the capture, receive, control
+// and reconnect loops. The initial dial is synchronous (so a bad
+// address fails fast); subsequent drops are handled by the reconnect
+// loop. Stop with Close.
 func Dial(cfg ClientConfig) (*Client, error) {
 	if cfg.Profile == nil {
 		cfg.Profile = models.Pi4B14()
@@ -131,34 +187,66 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	if cfg.ReconnectMin == 0 {
+		cfg.ReconnectMin = DefaultReconnectMin
+	}
+	if cfg.ReconnectMax == 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = cfg.ReconnectMin
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = cfg.Deadline
+	} else if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = 0
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
+	root := rng.New(cfg.Seed)
 	c := &Client{
 		cfg:         cfg,
 		conn:        conn,
-		rng:         rng.New(cfg.Seed),
+		payload:     make([]byte, cfg.PayloadBytes),
+		connCh:      make(chan net.Conn, 1),
+		redialCh:    make(chan struct{}, 1),
+		rng:         root.Split(1),
+		dialRng:     root.Split(2),
 		outstanding: make(map[uint64]time.Time),
 		stopCh:      make(chan struct{}),
 	}
-	c.wg.Add(3)
+	c.connCh <- conn
+	c.wg.Add(4)
 	go c.captureLoop()
 	go c.receiveLoop()
 	go c.controlLoop()
+	go c.redialLoop()
 	return c, nil
 }
 
-// Close stops all loops and closes the connection.
+// Close stops all loops and closes the connection. It is idempotent
+// and safe to call concurrently.
 func (c *Client) Close() error {
-	select {
-	case <-c.stopCh:
-	default:
-		close(c.stopCh)
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.connMu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
-	err := c.conn.Close()
+	c.connMu.Unlock()
 	c.wg.Wait()
-	return err
+	// A conn dialed but not yet collected by receiveLoop would leak.
+	select {
+	case conn := <-c.connCh:
+		conn.Close()
+	default:
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -170,9 +258,111 @@ func (c *Client) Stats() ClientStats {
 	return s
 }
 
+// Connected reports whether the transport currently has a live
+// connection.
+func (c *Client) Connected() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn != nil
+}
+
 func (c *Client) logf(format string, args ...any) {
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// currentConn returns the live connection, or nil while disconnected.
+func (c *Client) currentConn() net.Conn {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn
+}
+
+// dropConn retires a connection after an I/O error. Only the first
+// caller for a given connection wins; it closes the socket, counts the
+// disconnect, and kicks the redial loop (unless the client is
+// stopping or reconnection is disabled).
+func (c *Client) dropConn(old net.Conn) {
+	if old == nil {
+		return
+	}
+	c.connMu.Lock()
+	isCurrent := c.conn == old
+	if isCurrent {
+		c.conn = nil
+	}
+	c.connMu.Unlock()
+	old.Close()
+	if !isCurrent {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Disconnects++
+	c.mu.Unlock()
+	select {
+	case <-c.stopCh:
+		return
+	default:
+	}
+	c.logf("realnet: connection lost, reconnecting")
+	if c.cfg.ReconnectMin < 0 {
+		return // reconnection disabled
+	}
+	select {
+	case c.redialCh <- struct{}{}:
+	default: // a redial is already pending
+	}
+}
+
+// redialLoop re-establishes the connection after drops: jittered
+// exponential backoff from ReconnectMin up to ReconnectMax, forever,
+// until the client closes. Each success hands the fresh connection to
+// receiveLoop and resets the backoff.
+func (c *Client) redialLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.redialCh:
+		}
+		backoff := c.cfg.ReconnectMin
+		for attempt := 1; ; attempt++ {
+			select {
+			case <-c.stopCh:
+				return
+			default:
+			}
+			conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+			if err == nil {
+				c.connMu.Lock()
+				c.conn = conn
+				c.connMu.Unlock()
+				c.mu.Lock()
+				c.stats.Reconnects++
+				c.mu.Unlock()
+				c.logf("realnet: reconnected to %s (attempt %d)", c.cfg.Addr, attempt)
+				select {
+				case c.connCh <- conn:
+				case <-c.stopCh:
+					return
+				}
+				break
+			}
+			sleep := time.Duration(c.dialRng.Jitter(float64(backoff), 0.2))
+			timer := time.NewTimer(sleep)
+			select {
+			case <-timer.C:
+			case <-c.stopCh:
+				timer.Stop()
+				return
+			}
+			backoff *= 2
+			if backoff > c.cfg.ReconnectMax {
+				backoff = c.cfg.ReconnectMax
+			}
+		}
 	}
 }
 
@@ -254,19 +444,49 @@ func (c *Client) localWork() {
 	}
 }
 
-func (c *Client) sendRequest(id uint64) {
+// writeRequest encodes and writes one request on the live connection,
+// reusing the payload and encode buffers under writeMu. While
+// disconnected it fails immediately with errDisconnected; a write
+// error retires the connection (triggering a redial).
+func (c *Client) writeRequest(id uint64, probe bool) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	conn := c.currentConn()
+	if conn == nil {
+		return errDisconnected
+	}
 	req := &netproto.Request{
 		Stream:           c.cfg.Stream,
 		FrameID:          id,
 		Model:            c.cfg.Model,
 		CapturedUnixNano: time.Now().UnixNano(),
-		Payload:          make([]byte, c.cfg.PayloadBytes),
+		Probe:            probe,
+		Payload:          c.payload,
 	}
-	c.writeMu.Lock()
-	err := netproto.WriteRequest(c.conn, req)
-	c.writeMu.Unlock()
+	var err error
+	c.encBuf, err = netproto.AppendRequest(c.encBuf[:0], req)
 	if err != nil {
-		c.logf("realnet: send failed: %v", err)
+		return err
+	}
+	if c.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	if _, err := conn.Write(c.encBuf); err != nil {
+		c.dropConn(conn)
+		return err
+	}
+	return nil
+}
+
+func (c *Client) sendRequest(id uint64) {
+	if err := c.writeRequest(id, false); err != nil {
+		// Disconnected ⇒ the attempt counts as an immediate timeout:
+		// T keeps feeding the controller through an outage, so the
+		// standing-probe equilibrium (and recovery) works at the
+		// socket level too.
+		if err != errDisconnected {
+			c.logf("realnet: send failed: %v", err)
+		}
 		c.resolve(id, func(s *ClientStats) { s.OffloadTimedOut++ })
 	}
 }
@@ -284,11 +504,32 @@ func (c *Client) resolve(id uint64, apply func(*ClientStats)) {
 }
 
 // receiveLoop matches responses against outstanding frames and checks
-// the end-to-end deadline.
+// the end-to-end deadline. It survives connection drops: when a read
+// fails it retires the connection and waits for the redial loop to
+// hand over a fresh one.
 func (c *Client) receiveLoop() {
 	defer c.wg.Done()
 	for {
-		res, err := netproto.ReadResponse(c.conn)
+		var conn net.Conn
+		select {
+		case conn = <-c.connCh:
+		case <-c.stopCh:
+			return
+		}
+		c.readConn(conn)
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+	}
+}
+
+// readConn consumes responses from one connection until it fails.
+func (c *Client) readConn(conn net.Conn) {
+	defer c.dropConn(conn)
+	for {
+		res, err := netproto.ReadResponse(conn)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				select {
@@ -329,36 +570,62 @@ func (c *Client) receiveLoop() {
 	}
 }
 
-// controlLoop runs the policy at the measurement interval and sweeps
-// outstanding frames past their deadline.
+// sweepDeadlines resolves outstanding frames (and the pending probe)
+// past their deadline as timeouts, whether or not a late response ever
+// lands.
+func (c *Client) sweepDeadlines(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, sentAt := range c.outstanding {
+		if now.Sub(sentAt) > c.cfg.Deadline {
+			delete(c.outstanding, id)
+			c.stats.OffloadTimedOut++
+		}
+	}
+	if c.probePending && now.Sub(c.probeSentAt) > c.cfg.Deadline {
+		c.probePending = false
+		c.probeValid = true
+		c.probeOK = false
+	}
+}
+
+// sweepInterval returns how often the deadline sweep runs. Sweeping
+// only at the measurement tick would count a timed-out frame up to
+// Tick−Deadline late and skew that tick's T, so the sweep runs at
+// min(Tick, Deadline/2).
+func (c *Client) sweepInterval() time.Duration {
+	d := c.cfg.Deadline / 2
+	if d > c.cfg.Tick {
+		d = c.cfg.Tick
+	}
+	if d <= 0 {
+		d = c.cfg.Tick
+	}
+	return d
+}
+
+// controlLoop runs the policy at the measurement interval and the
+// deadline sweep on a finer timer.
 func (c *Client) controlLoop() {
 	defer c.wg.Done()
 	ticker := time.NewTicker(c.cfg.Tick)
 	defer ticker.Stop()
+	sweeper := time.NewTicker(c.sweepInterval())
+	defer sweeper.Stop()
 	start := time.Now()
 	for {
 		select {
+		case now := <-sweeper.C:
+			c.sweepDeadlines(now)
+			continue
 		case <-ticker.C:
 		case <-c.stopCh:
 			return
 		}
 		now := time.Now()
+		c.sweepDeadlines(now)
 
 		c.mu.Lock()
-		// Sweep: anything outstanding past its deadline is a
-		// timeout now, whether or not a late response ever lands.
-		for id, sentAt := range c.outstanding {
-			if now.Sub(sentAt) > c.cfg.Deadline {
-				delete(c.outstanding, id)
-				c.stats.OffloadTimedOut++
-			}
-		}
-		// An unanswered probe past its deadline is a failed probe.
-		if c.probePending && now.Sub(c.probeSentAt) > c.cfg.Deadline {
-			c.probePending = false
-			c.probeValid = true
-			c.probeOK = false
-		}
 		cur := c.stats
 		d := ClientStats{
 			OffloadTimedOut: cur.OffloadTimedOut - c.prev.OffloadTimedOut,
@@ -405,7 +672,9 @@ func (c *Client) controlLoop() {
 }
 
 // sendProbe transmits one heartbeat request outside the throughput
-// accounting (see controller.Prober).
+// accounting (see controller.Prober). While disconnected the probe
+// fails immediately, which is exactly the signal a probing policy
+// wants.
 func (c *Client) sendProbe() {
 	c.mu.Lock()
 	c.probeSeq++
@@ -414,18 +683,7 @@ func (c *Client) sendProbe() {
 	c.probePending = true
 	c.mu.Unlock()
 
-	req := &netproto.Request{
-		Stream:           c.cfg.Stream,
-		FrameID:          id,
-		Model:            c.cfg.Model,
-		CapturedUnixNano: time.Now().UnixNano(),
-		Probe:            true,
-		Payload:          make([]byte, c.cfg.PayloadBytes),
-	}
-	c.writeMu.Lock()
-	err := netproto.WriteRequest(c.conn, req)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.writeRequest(id, true); err != nil {
 		c.mu.Lock()
 		if c.probePending && id == probeIDBase+c.probeSeq {
 			c.probePending = false

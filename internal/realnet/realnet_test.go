@@ -68,9 +68,9 @@ func TestOffloadOverRealTCP(t *testing.T) {
 	if float64(st.OffloadOK) < 0.7*float64(st.OffloadAttempts-5) {
 		t.Fatalf("success ratio too low over loopback: %+v", st)
 	}
-	submitted, completed, _, batches := srv.Stats()
-	if submitted == 0 || completed == 0 || batches == 0 {
-		t.Fatalf("server saw no work: submitted=%d completed=%d batches=%d", submitted, completed, batches)
+	sst := srv.Stats()
+	if sst.Submitted == 0 || sst.Completed == 0 || sst.Batches == 0 {
+		t.Fatalf("server saw no work: %+v", sst)
 	}
 }
 
@@ -165,9 +165,9 @@ func TestMultipleClientsShareServer(t *testing.T) {
 	if s1.OffloadOK == 0 || s2.OffloadOK == 0 {
 		t.Fatalf("tenants starved: %+v / %+v", s1, s2)
 	}
-	submitted, _, _, _ := srv.Stats()
-	if submitted < s1.OffloadAttempts+s2.OffloadAttempts-10 {
-		t.Fatalf("server missed submissions: %d vs %d+%d", submitted, s1.OffloadAttempts, s2.OffloadAttempts)
+	sst := srv.Stats()
+	if sst.Submitted < s1.OffloadAttempts+s2.OffloadAttempts-10 {
+		t.Fatalf("server missed submissions: %d vs %d+%d", sst.Submitted, s1.OffloadAttempts, s2.OffloadAttempts)
 	}
 }
 

@@ -6,10 +6,26 @@
 //
 // GPU execution and local inference are simulated by calibrated sleeps
 // (the models package latency surfaces); everything else — framing,
-// concurrency, backpressure, deadline accounting — is real. This mode
-// exists to demonstrate that the controller code is
+// concurrency, backpressure, deadline accounting, connection faults —
+// is real. This mode exists to demonstrate that the controller code is
 // transport-agnostic and to provide runnable ffserver/ffdevice
 // binaries.
+//
+// # Fault model
+//
+// The transport is built to degrade, never to die:
+//
+//   - A device that disconnects with frames queued or executing does
+//     not crash the server: its session drains in-flight batch replies
+//     for up to DrainTimeout (or drops them immediately when
+//     DropOnDisconnect is set), then dismantles itself.
+//   - A device that stops reading cannot wedge a writer goroutine:
+//     every response write carries a WriteTimeout deadline, and a
+//     failed write aborts only that session.
+//   - The client reconnects on its own (see Dial): while disconnected,
+//     every offload attempt is accounted as an immediate timeout, so
+//     the FrameFeedback equilibrium T = 0.1·F_s keeps probing and
+//     recovers P_o automatically once the server is back.
 package realnet
 
 import (
@@ -26,6 +42,14 @@ import (
 	"repro/internal/server"
 )
 
+// DefaultDrainTimeout bounds how long a session waits for in-flight
+// batch replies after its device disconnects.
+const DefaultDrainTimeout = 2 * time.Second
+
+// DefaultWriteTimeout bounds each response write so a stalled device
+// cannot wedge its writer goroutine.
+const DefaultWriteTimeout = 5 * time.Second
+
 // ServerConfig parameterizes the TCP edge server.
 type ServerConfig struct {
 	// Addr is the listen address, e.g. ":9771" or "127.0.0.1:0".
@@ -37,8 +61,39 @@ type ServerConfig struct {
 	// TimeScale multiplies every simulated execution latency;
 	// < 1 speeds the server up (useful in tests). Default 1.
 	TimeScale float64
+	// WriteTimeout is the per-response write deadline; default
+	// DefaultWriteTimeout. Negative disables it.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long a disconnected session waits for
+	// in-flight batch replies before dropping them; default
+	// DefaultDrainTimeout. It also bounds how long Close waits for
+	// the batcher to finish outstanding work. Negative disables
+	// draining (equivalent to DropOnDisconnect for sessions and an
+	// immediate hard stop for Close).
+	DrainTimeout time.Duration
+	// DropOnDisconnect skips the drain entirely: replies for a
+	// disconnected device are discarded (and counted as dropped)
+	// instead of being flushed to the dead socket.
+	DropOnDisconnect bool
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
+}
+
+// ServerStats is a snapshot of the server's cumulative counters.
+type ServerStats struct {
+	// Submitted counts requests read off device connections.
+	Submitted uint64
+	// Completed counts requests answered with a classification.
+	Completed uint64
+	// Rejected counts requests shed by the batcher's overflow rule.
+	Rejected uint64
+	// Dropped counts replies discarded instead of written — the
+	// device disconnected, stalled, or the server shut down first.
+	// It overlaps Completed/Rejected: a request whose batch executed
+	// after its device vanished is counted in both.
+	Dropped uint64
+	// Batches counts executed batches.
+	Batches uint64
 }
 
 // Server is the real-TCP edge inference server.
@@ -50,15 +105,30 @@ type Server struct {
 	doneCh chan struct{}
 	wg     sync.WaitGroup
 
+	closeOnce sync.Once
+	closeErr  error
+
+	// connMu guards conns; Close force-closes every registered
+	// connection so blocked read loops unwind immediately.
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+
 	// ExtraDelay is added to every batch execution; it can be
 	// changed at runtime (atomically, in nanoseconds) to emulate
 	// transient server degradation in experiments.
 	extraDelay atomic.Int64
 
+	// pending counts requests read off a connection whose reply
+	// callback has not run yet; Close's grace period waits for it to
+	// reach zero.
+	pending atomic.Int64
+
 	stats struct {
 		submitted atomic.Uint64
 		completed atomic.Uint64
 		rejected  atomic.Uint64
+		dropped   atomic.Uint64
 		batches   atomic.Uint64
 	}
 }
@@ -83,6 +153,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.TimeScale < 0 {
 		return nil, errors.New("realnet: negative TimeScale")
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	} else if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = 0
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	} else if cfg.DrainTimeout < 0 {
+		cfg.DrainTimeout = 0
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -92,6 +172,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		listener: ln,
 		reqCh:    make(chan incoming, 1024),
 		doneCh:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -107,25 +188,71 @@ func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 func (s *Server) SetExtraDelay(d time.Duration) { s.extraDelay.Store(int64(d)) }
 
 // Stats reports cumulative counters.
-func (s *Server) Stats() (submitted, completed, rejected, batches uint64) {
-	return s.stats.submitted.Load(), s.stats.completed.Load(),
-		s.stats.rejected.Load(), s.stats.batches.Load()
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Submitted: s.stats.submitted.Load(),
+		Completed: s.stats.completed.Load(),
+		Rejected:  s.stats.rejected.Load(),
+		Dropped:   s.stats.dropped.Load(),
+		Batches:   s.stats.batches.Load(),
+	}
 }
 
-// Close stops accepting, terminates the loops and waits for them.
-// Connections are closed; in-flight requests may go unanswered (the
-// device treats that as timeouts, which is the honest outcome).
+// Close shuts the server down gracefully: it stops accepting, waits up
+// to DrainTimeout for already-submitted requests to reach a terminal
+// outcome (so connected devices get their in-flight answers), then
+// force-closes every connection, stops the loops and waits for all
+// goroutines. Requests still unresolved after the grace period are
+// dropped, never panicked on. Close is idempotent.
 func (s *Server) Close() error {
-	err := s.listener.Close()
-	close(s.doneCh)
-	s.wg.Wait()
-	return err
+	s.closeOnce.Do(func() {
+		s.closeErr = s.listener.Close()
+
+		// Grace period: let the batcher finish what devices already
+		// submitted. Live devices can keep submitting during the
+		// grace window, so this is a bounded wait, not a guarantee.
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for time.Now().Before(deadline) {
+			if s.pending.Load() == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		close(s.doneCh)
+		s.connMu.Lock()
+		s.closing = true
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
 }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf(format, args...)
 	}
+}
+
+// registerConn tracks a live connection so Close can unblock its read
+// loop; it reports false when the server is already shutting down.
+func (s *Server) registerConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unregisterConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -141,32 +268,21 @@ func (s *Server) acceptLoop() {
 }
 
 // handleConn reads requests from one device connection and forwards
-// them to the batcher; a dedicated writer goroutine serializes
-// responses back.
+// them to the batcher. Responses travel through a session whose writer
+// goroutine outlives this read loop until every in-flight reply has
+// drained (see session).
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	if !s.registerConn(conn) {
+		conn.Close()
+		return
+	}
+	defer s.unregisterConn(conn)
 	s.logf("realnet: device connected from %v", conn.RemoteAddr())
 
-	respCh := make(chan *netproto.Response, 256)
-	writerDone := make(chan struct{})
-	go func() {
-		defer close(writerDone)
-		for r := range respCh {
-			if err := netproto.WriteResponse(conn, r); err != nil {
-				return
-			}
-		}
-	}()
-	defer close(respCh)
-
-	reply := func(r *netproto.Response) {
-		select {
-		case respCh <- r:
-		case <-s.doneCh:
-		case <-writerDone:
-		}
-	}
+	ss := newSession(s, conn)
+	s.wg.Add(1)
+	go ss.writeLoop() // closes conn when the session is fully drained
 
 	for {
 		req, err := netproto.ReadRequest(conn)
@@ -174,15 +290,27 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("realnet: read error from %v: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
 		s.stats.submitted.Add(1)
+		s.pending.Add(1)
+		ss.track()
 		select {
-		case s.reqCh <- incoming{req: req, reply: reply}:
+		case s.reqCh <- incoming{req: req, reply: ss.reply}:
 		case <-s.doneCh:
-			return
+			ss.inflight.Done()
+			s.pending.Add(-1)
+			s.stats.dropped.Add(1)
+			goto drain
 		}
 	}
+drain:
+	timeout := s.cfg.DrainTimeout
+	if s.cfg.DropOnDisconnect {
+		timeout = 0
+	}
+	ss.drain(timeout)
+	s.logf("realnet: device %v disconnected", conn.RemoteAddr())
 }
 
 // batchLoop is the wall-clock twin of the simulator's adaptive
@@ -230,14 +358,28 @@ func (s *Server) batchLoop() {
 		busy = true
 		s.stats.batches.Add(1)
 		go func() {
+			// Always deliver the batch to execDone (cut short on
+			// shutdown): it is buffered and at most one batch is in
+			// flight, so the send never blocks, and batchLoop's exit
+			// path can deterministically collect it. Every tracked
+			// request must reach its reply() call or session drains
+			// would deadlock.
 			timer := time.NewTimer(lat)
 			defer timer.Stop()
 			select {
 			case <-timer.C:
-				execDone <- batch
 			case <-s.doneCh:
 			}
+			execDone <- batch
 		}()
+	}
+
+	// rejectAll resolves requests that will never execute (shutdown);
+	// reply() accounts them as dropped when nobody can receive them.
+	rejectAll := func(batch []incoming) {
+		for _, inc := range batch {
+			inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+		}
 	}
 
 	for {
@@ -260,6 +402,12 @@ func (s *Server) batchLoop() {
 			busy = false
 			startBatch()
 		case <-s.doneCh:
+			if busy {
+				rejectAll(<-execDone)
+			}
+			for _, q := range queues {
+				rejectAll(q)
+			}
 			return
 		}
 	}
