@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments report clean
+.PHONY: all build test race bench smoke experiments report clean
 
 all: build test
 
@@ -20,6 +20,11 @@ race:
 # One benchmark per paper table/figure plus substrate micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Boot the real closed loop with telemetry enabled and scrape every
+# debug endpoint (see scripts/telemetry_smoke.sh).
+smoke:
+	bash scripts/telemetry_smoke.sh
 
 # Regenerate every table and figure (ASCII + CSV traces into results/).
 experiments:

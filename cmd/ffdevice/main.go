@@ -6,6 +6,10 @@
 // Usage:
 //
 //	ffdevice -addr host:9771 [-policy framefeedback] [-fps 30] [-duration 60s]
+//
+// With -telemetry-addr set, a debug HTTP server exposes /metrics
+// (Prometheus), /debug/vars (expvar JSON), /debug/pprof/ and a
+// human-readable /statusz with the controller's live internals.
 package main
 
 import (
@@ -13,15 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/controller"
 	"repro/internal/realnet"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -36,7 +43,90 @@ var (
 	csvFlag       = flag.String("csv", "", "append per-tick stats to this CSV file")
 	recMinFlag    = flag.Duration("reconnect-min", realnet.DefaultReconnectMin, "initial reconnect backoff (negative disables reconnection)")
 	recMaxFlag    = flag.Duration("reconnect-max", realnet.DefaultReconnectMax, "reconnect backoff cap")
+	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for /metrics, /debug/vars, /debug/pprof/, /statusz (empty disables)")
 )
+
+// controllerGauges mirrors each FrameFeedback snapshot into telemetry
+// series so the feedback loop itself is scrapeable.
+func controllerGauges(reg *telemetry.Registry, ff *controller.FrameFeedback) {
+	errG := reg.FloatGauge("framefeedback_controller_error",
+		"Piecewise Eq. 5 error e of the last control tick.")
+	updG := reg.FloatGauge("framefeedback_controller_update",
+		"Applied (clamped) P_o correction u of the last control tick.")
+	pG := reg.FloatGauge("framefeedback_controller_p_term",
+		"Unclamped proportional contribution K_P*e of the last tick.")
+	dG := reg.FloatGauge("framefeedback_controller_d_term",
+		"Unclamped derivative contribution K_D*de/dt of the last tick.")
+	tAvgG := reg.FloatGauge("framefeedback_controller_t_avg",
+		"Window-averaged timeout rate the error was computed from.")
+	regimeG := reg.Gauge("framefeedback_controller_regime",
+		"Active Eq. 5 branch: 0 push-up (T=0), 1 steer (T>0).")
+	eqG := reg.Gauge("framefeedback_controller_equilibrium",
+		"1 while the controller sits at the standing-probe fixed point T = 0.1*F_s (5% band).")
+	clampedC := reg.Counter("framefeedback_controller_clamped_total",
+		"Control ticks whose update hit the asymmetric Table IV clamp.")
+	ff.AddObserver(func(s controller.Snapshot) {
+		errG.Set(s.Err)
+		updG.Set(s.Update)
+		pG.Set(s.PTerm)
+		dG.Set(s.DTerm)
+		tAvgG.Set(s.TAvg)
+		regimeG.SetBool(s.Regime == controller.RegimeSteer)
+		eqG.SetBool(s.AtEquilibrium(0.05))
+		if s.Clamped {
+			clampedC.Inc()
+		}
+	})
+}
+
+// statuszHandler renders the human-readable status page. client is
+// loaded from an atomic pointer because the telemetry server starts
+// before Dial returns.
+func statuszHandler(client *atomic.Pointer[realnet.Client], ff *controller.FrameFeedback, policyName string, start time.Time) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ffdevice — FrameFeedback edge device\n")
+		fmt.Fprintf(w, "uptime:   %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "policy:   %s\n", policyName)
+		fmt.Fprintf(w, "fps:      %.1f   deadline: %s   tick: %s\n\n", *fpsFlag, *deadlineFlag, *tickFlag)
+		c := client.Load()
+		if c == nil {
+			fmt.Fprintf(w, "client: not connected yet\n")
+			return
+		}
+		st := c.Stats()
+		link := "up"
+		if !c.Connected() {
+			link = "DOWN"
+		}
+		fmt.Fprintf(w, "link:     %s (reconnects=%d disconnects=%d)\n", link, st.Reconnects, st.Disconnects)
+		fmt.Fprintf(w, "P_o:      %.2f frames/s\n", st.Po)
+		fmt.Fprintf(w, "counters: captured=%d ok=%d late=%d rejected=%d local=%d dropped=%d\n",
+			st.Captured, st.OffloadOK, st.OffloadTimedOut, st.OffloadRejected, st.LocalDone, st.LocalDropped)
+		if ff == nil {
+			return
+		}
+		s, ok := ff.LastSnapshot()
+		if !ok {
+			fmt.Fprintf(w, "controller: no tick yet\n")
+			return
+		}
+		target := ff.Config().TimeoutFrac * s.FS
+		fmt.Fprintf(w, "\ncontroller (last tick):\n")
+		fmt.Fprintf(w, "  T:       %.2f/s (avg %.2f, standing-probe target %.2f = %.2g*F_s)\n",
+			s.T, s.TAvg, target, ff.Config().TimeoutFrac)
+		fmt.Fprintf(w, "  regime:  %s   e=%.3f   u=%.3f (P=%.3f D=%.3f clamped=%v)\n",
+			s.Regime, s.Err, s.Update, s.PTerm, s.DTerm, s.Clamped)
+		switch {
+		case s.AtEquilibrium(0.05):
+			fmt.Fprintf(w, "  state:   EQUILIBRIUM — T settled at the %.2g*F_s standing probe\n", ff.Config().TimeoutFrac)
+		case s.Regime == controller.RegimePushUp && s.Err <= 0.05*s.FS:
+			fmt.Fprintf(w, "  state:   CONVERGED — offloading near F_s with no timeouts\n")
+		default:
+			fmt.Fprintf(w, "  state:   adjusting\n")
+		}
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -53,6 +143,24 @@ func main() {
 	default:
 		logger.Fatalf("unknown policy %q", *policyFlag)
 	}
+	ff, _ := policy.(*controller.FrameFeedback)
+
+	var instr *realnet.ClientInstruments
+	var clientPtr atomic.Pointer[realnet.Client]
+	if *telemetryFlag != "" {
+		reg := telemetry.NewRegistry()
+		instr = realnet.NewClientInstruments(reg)
+		if ff != nil {
+			controllerGauges(reg, ff)
+		}
+		debug, err := telemetry.Serve(*telemetryFlag,
+			telemetry.NewMux(reg, statuszHandler(&clientPtr, ff, *policyFlag, time.Now())))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer debug.Close()
+		logger.Printf("telemetry on http://%s/ (/metrics /debug/vars /debug/pprof/ /statusz)", debug.Addr())
+	}
 
 	client, err := realnet.Dial(realnet.ClientConfig{
 		Addr:         *addrFlag,
@@ -65,11 +173,13 @@ func main() {
 		ReconnectMin: *recMinFlag,
 		ReconnectMax: *recMaxFlag,
 		Logger:       logger,
+		Instruments:  instr,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 	defer client.Close()
+	clientPtr.Store(client)
 	logger.Printf("streaming to %s at %.0f fps, policy %s", *addrFlag, *fpsFlag, policy.Name())
 
 	stop := make(chan os.Signal, 1)

@@ -9,12 +9,18 @@
 // GPU execution is simulated by calibrated sleeps (models.TeslaV100);
 // everything else — sockets, framing, concurrency — is real. Pair it
 // with ffdevice.
+//
+// With -telemetry-addr set, a debug HTTP server exposes /metrics
+// (Prometheus), /debug/vars (expvar JSON), /debug/pprof/ and a
+// human-readable /statusz with batcher state and per-tenant
+// rejections.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/realnet"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -34,7 +41,33 @@ var (
 	writeTOFlag   = flag.Duration("write-timeout", realnet.DefaultWriteTimeout, "per-response write deadline (negative disables)")
 	drainFlag     = flag.Duration("drain", realnet.DefaultDrainTimeout, "how long to drain in-flight replies for a disconnected device (negative disables)")
 	dropFlag      = flag.Bool("drop-on-disconnect", false, "drop in-flight replies for a disconnected device instead of draining")
+	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for /metrics, /debug/vars, /debug/pprof/, /statusz (empty disables)")
+	rejectLogFlag = flag.Int("reject-log-every", 0, "log the 1st and every Nth overflow rejection per tenant (0 disables rejection logging)")
 )
+
+// statuszHandler renders the human-readable server status page.
+func statuszHandler(srv *realnet.Server, instr *realnet.ServerInstruments, start time.Time) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st := srv.Stats()
+		fmt.Fprintf(w, "ffserver — FrameFeedback inference server\n")
+		fmt.Fprintf(w, "uptime:   %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "listen:   %v   maxbatch: %d   timescale: %v\n\n", srv.Addr(), *maxBatchFlag, *timeScaleFlag)
+		fmt.Fprintf(w, "batcher:  submitted=%d completed=%d rejected=%d dropped=%d batches=%d\n",
+			st.Submitted, st.Completed, st.Rejected, st.Dropped, st.Batches)
+		fmt.Fprintf(w, "sessions: %d\n", instr.Sessions.Value())
+		fmt.Fprintf(w, "writes:   timeouts=%d drops=%d\n", instr.WriteTimeouts.Value(), instr.WriteDrops.Value())
+		fmt.Fprintf(w, "\nrejections by tenant:\n")
+		any := false
+		instr.Rejected.Each(func(tenant string, n uint64) {
+			any = true
+			fmt.Fprintf(w, "  tenant %-6s %d\n", tenant, n)
+		})
+		if !any {
+			fmt.Fprintf(w, "  (none)\n")
+		}
+	}
+}
 
 // parseDelaySchedule parses "offset:delay" pairs, e.g.
 // "30s:300ms,60s:0".
@@ -67,6 +100,14 @@ func parseDelaySchedule(s string) ([]struct{ At, Delay time.Duration }, error) {
 func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "ffserver: ", log.LstdFlags)
+
+	var instr *realnet.ServerInstruments
+	var reg *telemetry.Registry
+	if *telemetryFlag != "" {
+		reg = telemetry.NewRegistry()
+		instr = realnet.NewServerInstruments(reg)
+	}
+
 	srv, err := realnet.NewServer(realnet.ServerConfig{
 		Addr:             *addrFlag,
 		MaxBatch:         *maxBatchFlag,
@@ -75,12 +116,24 @@ func main() {
 		DrainTimeout:     *drainFlag,
 		DropOnDisconnect: *dropFlag,
 		Logger:           logger,
+		Instruments:      instr,
+		RejectLogEvery:   *rejectLogFlag,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
 	srv.SetExtraDelay(*delayFlag)
 	logger.Printf("listening on %v (maxbatch=%d timescale=%v)", srv.Addr(), *maxBatchFlag, *timeScaleFlag)
+
+	if reg != nil {
+		debug, err := telemetry.Serve(*telemetryFlag,
+			telemetry.NewMux(reg, statuszHandler(srv, instr, time.Now())))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer debug.Close()
+		logger.Printf("telemetry on http://%s/ (/metrics /debug/vars /debug/pprof/ /statusz)", debug.Addr())
+	}
 
 	schedule, err := parseDelaySchedule(*delaysFlag)
 	if err != nil {

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -109,6 +110,14 @@ type FrameFeedback struct {
 
 	// Trace fields exposed via accessors.
 	lastErr, lastUpdate, lastTAvg float64
+
+	// Per-tick introspection (see snapshot.go). snapMu guards
+	// lastSnap/hasSnap so /statusz can read while the control loop
+	// ticks; observers is append-only before the first tick.
+	observers []func(Snapshot)
+	snapMu    sync.Mutex
+	lastSnap  Snapshot
+	hasSnap   bool
 }
 
 // NewFrameFeedback builds a controller. Zero-value fields of cfg are
@@ -170,8 +179,10 @@ func (f *FrameFeedback) Next(m Measurement) float64 {
 
 	// Piecewise error, Eq. 5.
 	var e float64
+	regime := RegimeSteer
 	if tAvg <= 0 {
 		e = m.FS - f.po
+		regime = RegimePushUp
 	} else {
 		e = f.cfg.TimeoutFrac*m.FS - tAvg
 	}
@@ -182,6 +193,7 @@ func (f *FrameFeedback) Next(m Measurement) float64 {
 	u := f.pid.Update(e, dt)
 	f.lastUpdate = u
 
+	prevPo := f.po
 	f.po += u
 	if f.po < 0 {
 		f.po = 0
@@ -189,6 +201,23 @@ func (f *FrameFeedback) Next(m Measurement) float64 {
 	if f.po > m.FS {
 		f.po = m.FS
 	}
+
+	pTerm, iTerm, dTerm := f.pid.Terms()
+	f.record(Snapshot{
+		Now:     m.Now,
+		FS:      m.FS,
+		T:       m.T,
+		TAvg:    tAvg,
+		PrevPo:  prevPo,
+		Po:      f.po,
+		Regime:  regime,
+		Err:     e,
+		PTerm:   pTerm,
+		ITerm:   iTerm,
+		DTerm:   dTerm,
+		Update:  u,
+		Clamped: f.pid.Clamped(),
+	})
 	return f.po
 }
 
@@ -200,4 +229,8 @@ func (f *FrameFeedback) Reset() {
 	f.po = f.cfg.InitialPo
 	f.hasLast = false
 	f.lastErr, f.lastUpdate, f.lastTAvg = 0, 0, 0
+	f.snapMu.Lock()
+	f.lastSnap = Snapshot{}
+	f.hasSnap = false
+	f.snapMu.Unlock()
 }

@@ -21,6 +21,10 @@ type PID struct {
 	integral float64
 	prevErr  float64
 	hasPrev  bool
+
+	// Per-update introspection, for controller snapshots.
+	lastP, lastI, lastD float64
+	lastClamped         bool
 }
 
 // Update advances the controller with error e measured over a step of
@@ -45,22 +49,40 @@ func (p *PID) Update(e, dt float64) float64 {
 	p.prevErr = e
 	p.hasPrev = true
 
-	u := p.KP*e + p.KI*p.integral + p.KD*deriv
+	p.lastP = p.KP * e
+	p.lastI = p.KI * p.integral
+	p.lastD = p.KD * deriv
+	u := p.lastP + p.lastI + p.lastD
+	p.lastClamped = false
 	if p.OutMin < p.OutMax {
 		if u < p.OutMin {
 			u = p.OutMin
+			p.lastClamped = true
 		} else if u > p.OutMax {
 			u = p.OutMax
+			p.lastClamped = true
 		}
 	}
 	return u
 }
+
+// Terms returns the unclamped P, I and D contributions of the most
+// recent Update, for controller introspection.
+func (p *PID) Terms() (pTerm, iTerm, dTerm float64) {
+	return p.lastP, p.lastI, p.lastD
+}
+
+// Clamped reports whether the most recent Update hit the
+// [OutMin, OutMax] clamp.
+func (p *PID) Clamped() bool { return p.lastClamped }
 
 // Reset clears the integral and derivative history.
 func (p *PID) Reset() {
 	p.integral = 0
 	p.prevErr = 0
 	p.hasPrev = false
+	p.lastP, p.lastI, p.lastD = 0, 0, 0
+	p.lastClamped = false
 }
 
 // Integral returns the accumulated integral term (for tests and

@@ -1,0 +1,101 @@
+package controller
+
+import "repro/internal/simtime"
+
+// Regime identifies which branch of the paper's piecewise error
+// (Eq. 5) was active on a control tick.
+type Regime int
+
+const (
+	// RegimePushUp: the averaged timeout rate was zero, so the error
+	// pushes P_o toward F_s (e = F_s − P_o).
+	RegimePushUp Regime = iota
+	// RegimeSteer: timeouts were present, so the error steers T toward
+	// the tolerated level (e = TimeoutFrac·F_s − T_avg) — the branch
+	// whose fixed point is the standing-probe equilibrium.
+	RegimeSteer
+)
+
+func (r Regime) String() string {
+	if r == RegimePushUp {
+		return "push-up"
+	}
+	return "steer"
+}
+
+// Snapshot is the complete internal state of one FrameFeedback control
+// tick, for live introspection (telemetry gauges, /statusz) and tests.
+// Everything the controller knows or computed is here: the measurement
+// side (FS, T, TAvg, PrevPo), the Eq. 5 error with its active regime,
+// the separate P/I/D contributions, the clamped update, and the
+// resulting rate.
+type Snapshot struct {
+	// Now is the measurement time of the tick.
+	Now simtime.Time
+	// FS is the source frame rate F_s.
+	FS float64
+	// T is the instantaneous timeout rate observed this tick.
+	T float64
+	// TAvg is the window-averaged timeout rate the error is computed
+	// from (§III-A1).
+	TAvg float64
+	// PrevPo is the offload rate in force during the measurement
+	// interval; Po is the new rate returned by this tick.
+	PrevPo, Po float64
+	// Regime is the active branch of the piecewise error.
+	Regime Regime
+	// Err is the Eq. 5 error e.
+	Err float64
+	// PTerm, ITerm and DTerm are the unclamped PID contributions
+	// (ITerm is 0 under the paper's KI = 0).
+	PTerm, ITerm, DTerm float64
+	// Update is the applied (clamped) correction u; Clamped reports
+	// whether the asymmetric Table IV limits truncated it.
+	Update  float64
+	Clamped bool
+}
+
+// AtEquilibrium reports whether this tick sits at the standing-probe
+// fixed point: the steer regime holding T_avg within tol·F_s of the
+// target TimeoutFrac·F_s (i.e. |e| ≤ tol·F_s). With offloading
+// impossible this is the paper's T = 0.1·F_s probing equilibrium.
+func (s Snapshot) AtEquilibrium(tol float64) bool {
+	if s.Regime != RegimeSteer || s.FS <= 0 {
+		return false
+	}
+	e := s.Err
+	if e < 0 {
+		e = -e
+	}
+	return e <= tol*s.FS
+}
+
+// AddObserver registers fn to receive a Snapshot after every Next
+// call. Observers run synchronously on the control tick (keep them
+// cheap — setting atomic gauges, appending to a trace); registration
+// must happen before the controller starts ticking.
+func (f *FrameFeedback) AddObserver(fn func(Snapshot)) {
+	if fn != nil {
+		f.observers = append(f.observers, fn)
+	}
+}
+
+// LastSnapshot returns the most recent tick's snapshot. ok is false
+// before the first tick. It is safe to call concurrently with Next
+// (the /statusz page reads it while the control loop runs).
+func (f *FrameFeedback) LastSnapshot() (s Snapshot, ok bool) {
+	f.snapMu.Lock()
+	defer f.snapMu.Unlock()
+	return f.lastSnap, f.hasSnap
+}
+
+// record stores the tick's snapshot and fans it out to observers.
+func (f *FrameFeedback) record(s Snapshot) {
+	f.snapMu.Lock()
+	f.lastSnap = s
+	f.hasSnap = true
+	f.snapMu.Unlock()
+	for _, fn := range f.observers {
+		fn(s)
+	}
+}

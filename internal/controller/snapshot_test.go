@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// TestSnapshotScriptedSequence drives the paper-default controller
+// (Table IV: KP=0.2, KD=0.26, clamps [−F_s/2, F_s/10], target 0.1·F_s,
+// window 3) through a scripted T sequence covering both Eq. 5 regimes
+// and checks every exposed internal against hand-computed values.
+func TestSnapshotScriptedSequence(t *testing.T) {
+	const fs = 30.0
+	f := NewFrameFeedback(Config{})
+
+	var snaps []Snapshot
+	f.AddObserver(func(s Snapshot) { snaps = append(snaps, s) })
+
+	po := 0.0
+	ts := []float64{0, 0, 12, 3, 3, 3}
+	for i, T := range ts {
+		po = f.Next(Measurement{
+			Now: simtime.Time(i+1) * simtime.Time(time.Second),
+			FS:  fs,
+			Po:  po,
+			T:   T,
+		})
+	}
+	if len(snaps) != len(ts) {
+		t.Fatalf("observer saw %d snapshots, want %d", len(snaps), len(ts))
+	}
+
+	approx := func(got, want float64, what string, tick int) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("tick %d: %s = %v, want %v", tick+1, what, got, want)
+		}
+	}
+
+	// Tick 1: no timeouts ⇒ push-up regime, e = F_s − P_o = 30. The
+	// raw PD output (6) exceeds the +F_s/10 clamp, so u = 3.
+	s := snaps[0]
+	if s.Regime != RegimePushUp {
+		t.Errorf("tick 1: regime = %v, want push-up", s.Regime)
+	}
+	approx(s.Err, 30, "Err", 0)
+	approx(s.PTerm, 6, "PTerm", 0)
+	approx(s.DTerm, 0, "DTerm", 0)
+	approx(s.ITerm, 0, "ITerm", 0)
+	approx(s.Update, 3, "Update", 0)
+	if !s.Clamped {
+		t.Error("tick 1: update must be clamped at +F_s/10")
+	}
+	approx(s.Po, 3, "Po", 0)
+
+	// Tick 2: still no timeouts, e = 30 − 3 = 27; P = 5.4,
+	// D = 0.26·(27−30) = −0.78, raw 4.62 ⇒ clamped to 3 again.
+	s = snaps[1]
+	approx(s.Err, 27, "Err", 1)
+	approx(s.PTerm, 5.4, "PTerm", 1)
+	approx(s.DTerm, -0.78, "DTerm", 1)
+	if !s.Clamped {
+		t.Error("tick 2: update must be clamped")
+	}
+	approx(s.Po, 6, "Po", 1)
+
+	// Tick 3: T bursts to 12; the window average is (0+0+12)/3 = 4,
+	// switching to the steer regime: e = 0.1·30 − 4 = −1.
+	// P = −0.2, D = 0.26·(−1−27) = −7.28, u = −7.48 (within the −15
+	// clamp), and P_o floors at 0.
+	s = snaps[2]
+	if s.Regime != RegimeSteer {
+		t.Errorf("tick 3: regime = %v, want steer", s.Regime)
+	}
+	approx(s.T, 12, "T", 2)
+	approx(s.TAvg, 4, "TAvg", 2)
+	approx(s.Err, -1, "Err", 2)
+	approx(s.PTerm, -0.2, "PTerm", 2)
+	approx(s.DTerm, -7.28, "DTerm", 2)
+	approx(s.Update, -7.48, "Update", 2)
+	if s.Clamped {
+		t.Error("tick 3: update within clamp range must not report clamped")
+	}
+	approx(s.PrevPo, 6, "PrevPo", 2)
+	approx(s.Po, 0, "Po", 2)
+
+	// Ticks 4–6: T holds at the target 0.1·F_s = 3. Once the window
+	// is saturated (tick 6: average 3) the error vanishes — the
+	// standing-probe equilibrium of Eq. 5.
+	approx(snaps[3].TAvg, 5, "TAvg", 3)
+	approx(snaps[4].TAvg, 6, "TAvg", 4)
+	approx(snaps[5].TAvg, 3, "TAvg", 5)
+	approx(snaps[5].Err, 0, "Err", 5)
+	if snaps[4].AtEquilibrium(0.05) {
+		t.Error("tick 5: |e|=3 is outside a 5% band, not equilibrium")
+	}
+	if !snaps[5].AtEquilibrium(0.05) {
+		t.Error("tick 6: e=0 in steer regime must report equilibrium")
+	}
+
+	// LastSnapshot returns the final tick.
+	last, ok := f.LastSnapshot()
+	if !ok || last != snaps[5] {
+		t.Errorf("LastSnapshot = %+v ok=%v, want final scripted tick", last, ok)
+	}
+
+	// Reset clears introspection state.
+	f.Reset()
+	if _, ok := f.LastSnapshot(); ok {
+		t.Error("LastSnapshot must report !ok after Reset")
+	}
+}
+
+// TestSnapshotObserverFanOut checks that every registered observer
+// sees every tick.
+func TestSnapshotObserverFanOut(t *testing.T) {
+	f := NewFrameFeedback(Config{})
+	var a, b int
+	f.AddObserver(func(Snapshot) { a++ })
+	f.AddObserver(func(Snapshot) { b++ })
+	f.AddObserver(nil) // must be ignored, not crash
+	po := 0.0
+	for i := 0; i < 5; i++ {
+		po = f.Next(Measurement{Now: simtime.Time(i+1) * simtime.Time(time.Second), FS: 30, Po: po, T: 0})
+	}
+	if a != 5 || b != 5 {
+		t.Errorf("observers saw %d/%d ticks, want 5/5", a, b)
+	}
+}
+
+// TestPushUpNeverEquilibrium: the push-up regime is not the probing
+// fixed point even when the error is tiny.
+func TestPushUpNeverEquilibrium(t *testing.T) {
+	s := Snapshot{FS: 30, Regime: RegimePushUp, Err: 0}
+	if s.AtEquilibrium(0.05) {
+		t.Error("push-up regime must not report equilibrium")
+	}
+}

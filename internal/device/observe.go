@@ -1,0 +1,54 @@
+package device
+
+import "repro/internal/telemetry"
+
+// MultiOffloadHook fans one OnOffload stream out to several observers,
+// fixing the historical one-hook limit of Config.OnOffload: the trace
+// recorder and a telemetry histogram (or any other consumers) can now
+// watch the same resolved-offload stream without double instrumentation
+// inside the device. Nil hooks are skipped; zero usable hooks yield
+// nil (so the device's own nil check still short-circuits), and a
+// single usable hook is returned as-is with no wrapper cost.
+func MultiOffloadHook(hooks ...func(OffloadOutcome)) func(OffloadOutcome) {
+	live := make([]func(OffloadOutcome), 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(o OffloadOutcome) {
+		for _, h := range live {
+			h(o)
+		}
+	}
+}
+
+// OffloadLatencyObserver adapts a per-outcome latency HistogramVec
+// (labels "ok", "timeout", "rejected") into an OnOffload hook — the
+// telemetry twin of trace.Recorder.Hook, observing ResolvedAt −
+// CapturedAt in seconds. Combine both with MultiOffloadHook to feed
+// the JSONL trace and the live histograms from one stream. A nil vec
+// yields a nil hook.
+func OffloadLatencyObserver(hv *telemetry.HistogramVec) func(OffloadOutcome) {
+	if hv == nil {
+		return nil
+	}
+	// Pre-resolve the children so the per-offload path skips the vec
+	// lock entirely.
+	byStatus := [...]*telemetry.Histogram{
+		OffloadSucceeded:      hv.With(OffloadSucceeded.String()),
+		OffloadDeadlineMissed: hv.With(OffloadDeadlineMissed.String()),
+		OffloadServerRejected: hv.With(OffloadServerRejected.String()),
+	}
+	return func(o OffloadOutcome) {
+		if int(o.Status) < len(byStatus) {
+			byStatus[o.Status].Observe((o.ResolvedAt - o.CapturedAt).Seconds())
+		}
+	}
+}

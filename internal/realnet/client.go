@@ -71,6 +71,10 @@ type ClientConfig struct {
 	// (an upload that cannot finish within the deadline is already a
 	// timeout). Negative disables it.
 	WriteTimeout time.Duration
+	// Instruments, when non-nil, receives runtime telemetry (see
+	// NewClientInstruments). Nil disables instrumentation at zero
+	// cost.
+	Instruments *ClientInstruments
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 }
@@ -147,6 +151,10 @@ type Client struct {
 	rng     *rng.Stream // local-latency jitter; guarded by mu
 	dialRng *rng.Stream // backoff jitter; owned by redialLoop
 
+	// instr is never nil (a zero instrument set is a no-op), so the
+	// frame path carries no instrumentation branches.
+	instr *ClientInstruments
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -208,6 +216,10 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	instr := cfg.Instruments
+	if instr == nil {
+		instr = &ClientInstruments{}
+	}
 	root := rng.New(cfg.Seed)
 	c := &Client{
 		cfg:         cfg,
@@ -219,7 +231,9 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		dialRng:     root.Split(2),
 		outstanding: make(map[uint64]time.Time),
 		stopCh:      make(chan struct{}),
+		instr:       instr,
 	}
+	c.instr.LinkUp.SetBool(true)
 	c.connCh <- conn
 	c.wg.Add(4)
 	go c.captureLoop()
@@ -300,6 +314,8 @@ func (c *Client) dropConn(old net.Conn) {
 	c.mu.Lock()
 	c.stats.Disconnects++
 	c.mu.Unlock()
+	c.instr.Disconnects.Inc()
+	c.instr.LinkUp.SetBool(false)
 	select {
 	case <-c.stopCh:
 		return
@@ -342,6 +358,8 @@ func (c *Client) redialLoop() {
 				c.mu.Lock()
 				c.stats.Reconnects++
 				c.mu.Unlock()
+				c.instr.Reconnects.Inc()
+				c.instr.LinkUp.SetBool(true)
 				c.logf("realnet: reconnected to %s (attempt %d)", c.cfg.Addr, attempt)
 				select {
 				case c.connCh <- conn:
@@ -385,6 +403,7 @@ func (c *Client) captureLoop() {
 }
 
 func (c *Client) handleFrame(id uint64) {
+	c.instr.Captured.Inc()
 	c.mu.Lock()
 	c.stats.Captured++
 	c.credit += c.po / c.cfg.FS
@@ -397,6 +416,7 @@ func (c *Client) handleFrame(id uint64) {
 		c.stats.OffloadAttempts++
 		c.outstanding[id] = time.Now()
 		c.mu.Unlock()
+		c.instr.InFlight.Add(1)
 		c.sendRequest(id)
 		return
 	}
@@ -404,6 +424,7 @@ func (c *Client) handleFrame(id uint64) {
 	if c.localBusy && c.localQueue >= 2 {
 		c.stats.LocalDropped++
 		c.mu.Unlock()
+		c.instr.LocalDropped.Inc()
 		return
 	}
 	if c.localBusy {
@@ -433,6 +454,7 @@ func (c *Client) localWork() {
 		}
 		c.mu.Lock()
 		c.stats.LocalDone++
+		c.instr.LocalDone.Inc()
 		if c.localQueue > 0 {
 			c.localQueue--
 			c.mu.Unlock()
@@ -487,20 +509,48 @@ func (c *Client) sendRequest(id uint64) {
 		if err != errDisconnected {
 			c.logf("realnet: send failed: %v", err)
 		}
-		c.resolve(id, func(s *ClientStats) { s.OffloadTimedOut++ })
+		c.resolveSendFailure(id)
 	}
 }
 
-// resolve removes an outstanding frame and applies the outcome; a
-// frame already resolved (e.g. swept as timed out) is ignored.
-func (c *Client) resolve(id uint64, apply func(*ClientStats)) {
+// resolveSendFailure accounts a frame whose send failed as an
+// immediate timeout; a frame already resolved (e.g. swept) is ignored.
+func (c *Client) resolveSendFailure(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.outstanding[id]; !ok {
+	sentAt, ok := c.outstanding[id]
+	if !ok {
 		return
 	}
 	delete(c.outstanding, id)
-	apply(&c.stats)
+	c.stats.OffloadTimedOut++
+	c.instr.observeOutcome(OutcomeTimeout, time.Since(sentAt))
+}
+
+// completeOffload resolves an outstanding frame against its response;
+// a frame already resolved (e.g. swept as timed out) is ignored.
+func (c *Client) completeOffload(id uint64, rejected bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sentAt, ok := c.outstanding[id]
+	if !ok {
+		return
+	}
+	delete(c.outstanding, id)
+	elapsed := time.Since(sentAt)
+	var status OutcomeStatus
+	switch {
+	case rejected:
+		c.stats.OffloadRejected++
+		status = OutcomeRejected
+	case elapsed <= c.cfg.Deadline:
+		c.stats.OffloadOK++
+		status = OutcomeOK
+	default:
+		c.stats.OffloadTimedOut++
+		status = OutcomeTimeout
+	}
+	c.instr.observeOutcome(status, elapsed)
 }
 
 // receiveLoop matches responses against outstanding frames and checks
@@ -551,22 +601,7 @@ func (c *Client) readConn(conn net.Conn) {
 			c.mu.Unlock()
 			continue
 		}
-		c.mu.Lock()
-		sentAt, ok := c.outstanding[id]
-		if !ok {
-			c.mu.Unlock()
-			continue // already swept as timeout
-		}
-		delete(c.outstanding, id)
-		switch {
-		case res.Rejected:
-			c.stats.OffloadRejected++
-		case time.Since(sentAt) <= c.cfg.Deadline:
-			c.stats.OffloadOK++
-		default:
-			c.stats.OffloadTimedOut++
-		}
-		c.mu.Unlock()
+		c.completeOffload(id, res.Rejected)
 	}
 }
 
@@ -580,6 +615,7 @@ func (c *Client) sweepDeadlines(now time.Time) {
 		if now.Sub(sentAt) > c.cfg.Deadline {
 			delete(c.outstanding, id)
 			c.stats.OffloadTimedOut++
+			c.instr.observeOutcome(OutcomeTimeout, now.Sub(sentAt))
 		}
 	}
 	if c.probePending && now.Sub(c.probeSentAt) > c.cfg.Deadline {
@@ -664,6 +700,10 @@ func (c *Client) controlLoop() {
 		c.mu.Lock()
 		c.po = next
 		c.mu.Unlock()
+
+		c.instr.OffloadRate.Set(next)
+		c.instr.TimeoutRate.Set(m.T)
+		c.instr.LocalRate.Set(m.Pl)
 
 		if wantsProbe {
 			c.sendProbe()

@@ -1,0 +1,157 @@
+package realnet
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ClientInstruments bundles the telemetry series a Client maintains.
+// Build one with NewClientInstruments and pass it in ClientConfig; a
+// nil *ClientInstruments (or the zero value) disables instrumentation
+// — every metric method is nil-safe, so the frame path carries no
+// branches and no allocations either way (see the benchmarks).
+type ClientInstruments struct {
+	// OffloadRate is the controller's current P_o and TimeoutRate the
+	// per-tick T — the paper's two live trajectories, refreshed every
+	// measurement tick.
+	OffloadRate *telemetry.FloatGauge
+	TimeoutRate *telemetry.FloatGauge
+	// LocalRate is the per-tick local completion rate P_l.
+	LocalRate *telemetry.FloatGauge
+
+	// LinkUp is 1 while the transport has a live connection.
+	LinkUp *telemetry.Gauge
+	// InFlight counts offloaded frames awaiting a response or the
+	// deadline sweep.
+	InFlight *telemetry.Gauge
+
+	Reconnects   *telemetry.Counter
+	Disconnects  *telemetry.Counter
+	Captured     *telemetry.Counter
+	LocalDone    *telemetry.Counter
+	LocalDropped *telemetry.Counter
+
+	// Latency is the end-to-end offload latency histogram split by
+	// outcome (ok/timeout/rejected). Timed-out frames are recorded at
+	// the time they were resolved — right-censored at the deadline for
+	// swept frames, ~0 for sends that failed while disconnected.
+	Latency *telemetry.HistogramVec
+
+	// Pre-resolved children so the frame path never touches the vec's
+	// lock.
+	latOK, latTimeout, latRejected *telemetry.Histogram
+}
+
+// NewClientInstruments registers the client metric set on reg using
+// Grafana-ready names under the framefeedback_ prefix.
+func NewClientInstruments(reg *telemetry.Registry) *ClientInstruments {
+	ci := &ClientInstruments{
+		OffloadRate: reg.FloatGauge("framefeedback_offload_rate",
+			"Controller offload rate P_o in frames/s, refreshed each measurement tick."),
+		TimeoutRate: reg.FloatGauge("framefeedback_timeout_rate",
+			"Observed timeout rate T (deadline misses + rejections) in frames/s over the last tick."),
+		LocalRate: reg.FloatGauge("framefeedback_local_rate",
+			"Local inference completion rate P_l in frames/s over the last tick."),
+		LinkUp: reg.Gauge("framefeedback_client_link_up",
+			"1 while the transport has a live connection to the server, else 0."),
+		InFlight: reg.Gauge("framefeedback_client_inflight",
+			"Offloaded frames currently awaiting a response or the deadline sweep."),
+		Reconnects: reg.Counter("framefeedback_client_reconnects_total",
+			"Successful re-dials after a connection drop."),
+		Disconnects: reg.Counter("framefeedback_client_disconnects_total",
+			"Connection drops observed."),
+		Captured: reg.Counter("framefeedback_client_captured_total",
+			"Frames captured from the synthetic camera."),
+		LocalDone: reg.Counter("framefeedback_client_local_done_total",
+			"Local inference completions."),
+		LocalDropped: reg.Counter("framefeedback_client_local_dropped_total",
+			"Frames dropped because the local worker and its queue were full."),
+		Latency: reg.HistogramVec("framefeedback_offload_latency_seconds",
+			"End-to-end offload latency by outcome; timeouts are right-censored at the deadline.",
+			"outcome", telemetry.DefBuckets),
+	}
+	ci.latOK = ci.Latency.With("ok")
+	ci.latTimeout = ci.Latency.With("timeout")
+	ci.latRejected = ci.Latency.With("rejected")
+	return ci
+}
+
+// observeOutcome records one resolved offload. Safe on the zero or nil
+// instrument set.
+func (ci *ClientInstruments) observeOutcome(status OutcomeStatus, latency time.Duration) {
+	if ci == nil {
+		return
+	}
+	ci.InFlight.Add(-1)
+	sec := latency.Seconds()
+	switch status {
+	case OutcomeOK:
+		ci.latOK.Observe(sec)
+	case OutcomeRejected:
+		ci.latRejected.Observe(sec)
+	default:
+		ci.latTimeout.Observe(sec)
+	}
+}
+
+// OutcomeStatus classifies a resolved realnet offload for telemetry.
+type OutcomeStatus int
+
+const (
+	OutcomeOK OutcomeStatus = iota
+	OutcomeTimeout
+	OutcomeRejected
+)
+
+// ServerInstruments bundles the telemetry series a Server maintains.
+// As with ClientInstruments, nil disables instrumentation for free.
+type ServerInstruments struct {
+	Submitted *telemetry.Counter
+	Completed *telemetry.Counter
+	Dropped   *telemetry.Counter
+	Batches   *telemetry.Counter
+	// Rejected counts batcher-shed frames per tenant — the paper's
+	// load-induced timeout component T_l, attributed to its source.
+	Rejected *telemetry.CounterVec
+	// Sessions is the number of live device connections.
+	Sessions *telemetry.Gauge
+	// WriteTimeouts counts response writes that hit the per-write
+	// deadline; WriteDrops counts replies discarded after a session's
+	// writer failed or the session was aborted mid-drain.
+	WriteTimeouts *telemetry.Counter
+	WriteDrops    *telemetry.Counter
+	// BatchSize observes, per tenant, the size of the batch each of
+	// that tenant's frames executed in.
+	BatchSize *telemetry.HistogramVec
+	// QueueDepth observes the per-model queue length at every batch
+	// start — the congestion signal behind rejections.
+	QueueDepth *telemetry.Histogram
+}
+
+// NewServerInstruments registers the server metric set on reg.
+func NewServerInstruments(reg *telemetry.Registry) *ServerInstruments {
+	return &ServerInstruments{
+		Submitted: reg.Counter("framefeedback_server_submitted_total",
+			"Requests read off device connections."),
+		Completed: reg.Counter("framefeedback_server_completed_total",
+			"Requests answered with a classification."),
+		Dropped: reg.Counter("framefeedback_server_dropped_total",
+			"Replies discarded instead of written (device gone, stalled, or shutdown)."),
+		Batches: reg.Counter("framefeedback_server_batches_total",
+			"Executed batches."),
+		Rejected: reg.CounterVec("framefeedback_server_rejected_total",
+			"Requests shed by the batcher's overflow rule, by tenant.", "tenant"),
+		Sessions: reg.Gauge("framefeedback_server_sessions",
+			"Live device connections."),
+		WriteTimeouts: reg.Counter("framefeedback_server_write_timeouts_total",
+			"Response writes that hit the per-write deadline."),
+		WriteDrops: reg.Counter("framefeedback_server_write_drops_total",
+			"Replies discarded after a session writer failed or aborted."),
+		BatchSize: reg.HistogramVec("framefeedback_server_batch_size",
+			"Executed batch size, observed once per frame, by tenant.",
+			"tenant", telemetry.SizeBuckets),
+		QueueDepth: reg.Histogram("framefeedback_server_queue_depth",
+			"Per-model queue length at batch start.", telemetry.SizeBuckets),
+	}
+}

@@ -75,6 +75,14 @@ type ServerConfig struct {
 	// disconnected device are discarded (and counted as dropped)
 	// instead of being flushed to the dead socket.
 	DropOnDisconnect bool
+	// RejectLogEvery, when positive, logs every Nth rejection per
+	// tenant (the first one always) so shed load is visible without
+	// flooding the log. 0 disables rejection logging.
+	RejectLogEvery int
+	// Instruments, when non-nil, receives runtime telemetry (see
+	// NewServerInstruments). Nil disables instrumentation at zero
+	// cost.
+	Instruments *ServerInstruments
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 }
@@ -131,6 +139,9 @@ type Server struct {
 		dropped   atomic.Uint64
 		batches   atomic.Uint64
 	}
+
+	// instr is never nil (a zero instrument set is a no-op).
+	instr *ServerInstruments
 }
 
 type incoming struct {
@@ -167,12 +178,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	instr := cfg.Instruments
+	if instr == nil {
+		instr = &ServerInstruments{}
+	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
 		reqCh:    make(chan incoming, 1024),
 		doneCh:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		instr:    instr,
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -279,6 +295,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	defer s.unregisterConn(conn)
 	s.logf("realnet: device connected from %v", conn.RemoteAddr())
+	s.instr.Sessions.Add(1)
+	defer s.instr.Sessions.Add(-1)
 
 	ss := newSession(s, conn)
 	s.wg.Add(1)
@@ -293,6 +311,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		s.stats.submitted.Add(1)
+		s.instr.Submitted.Inc()
 		s.pending.Add(1)
 		ss.track()
 		select {
@@ -301,6 +320,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			ss.inflight.Done()
 			s.pending.Add(-1)
 			s.stats.dropped.Add(1)
+			s.instr.Dropped.Inc()
 			goto drain
 		}
 	}
@@ -325,6 +345,21 @@ func (s *Server) batchLoop() {
 	busy := false
 	execDone := make(chan []incoming, 1)
 
+	// Per-tenant rejection accounting. Only this goroutine rejects, so
+	// the map needs no lock; the exported counter is the CounterVec.
+	rejByTenant := make(map[uint32]uint64)
+	rejectOverflow := func(inc incoming) {
+		s.stats.rejected.Add(1)
+		tenant := inc.req.Stream
+		s.instr.Rejected.WithUint(uint64(tenant)).Inc()
+		rejByTenant[tenant]++
+		if n := s.cfg.RejectLogEvery; n > 0 && (rejByTenant[tenant]-1)%uint64(n) == 0 {
+			s.logf("realnet: tenant %d: rejected frame %d (%d shed so far, logging every %d)",
+				tenant, inc.req.FrameID, rejByTenant[tenant], n)
+		}
+		inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+	}
+
 	startBatch := func() {
 		var m models.Model
 		found := false
@@ -342,14 +377,14 @@ func (s *Server) batchLoop() {
 			return
 		}
 		q := queues[m]
+		s.instr.QueueDepth.Observe(float64(len(q)))
 		take := len(q)
 		if take > s.cfg.MaxBatch {
 			take = s.cfg.MaxBatch
 		}
 		batch := q[:take]
 		for _, inc := range q[take:] {
-			s.stats.rejected.Add(1)
-			inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+			rejectOverflow(inc)
 		}
 		queues[m] = nil
 
@@ -357,6 +392,7 @@ func (s *Server) batchLoop() {
 		lat += time.Duration(s.extraDelay.Load())
 		busy = true
 		s.stats.batches.Add(1)
+		s.instr.Batches.Inc()
 		go func() {
 			// Always deliver the batch to execDone (cut short on
 			// shutdown): it is buffered and at most one batch is in
@@ -393,6 +429,8 @@ func (s *Server) batchLoop() {
 			n := uint16(len(batch))
 			for _, inc := range batch {
 				s.stats.completed.Add(1)
+				s.instr.Completed.Inc()
+				s.instr.BatchSize.WithUint(uint64(inc.req.Stream)).Observe(float64(n))
 				inc.reply(&netproto.Response{
 					FrameID:   inc.req.FrameID,
 					Label:     int32(inc.req.FrameID % 1000),

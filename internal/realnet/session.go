@@ -1,6 +1,8 @@
 package realnet
 
 import (
+	"errors"
+	"net"
 	"sync"
 	"time"
 
@@ -87,8 +89,10 @@ func (ss *session) reply(r *netproto.Response) {
 	case ss.respCh <- r:
 	case <-ss.aborted:
 		ss.srv.stats.dropped.Add(1)
+		ss.srv.instr.Dropped.Inc()
 	case <-ss.srv.doneCh:
 		ss.srv.stats.dropped.Add(1)
+		ss.srv.instr.Dropped.Inc()
 	}
 }
 
@@ -104,6 +108,8 @@ func (ss *session) writeLoop() {
 	for r := range ss.respCh {
 		if failed {
 			ss.srv.stats.dropped.Add(1)
+			ss.srv.instr.Dropped.Inc()
+			ss.srv.instr.WriteDrops.Inc()
 			continue
 		}
 		if wt := ss.srv.cfg.WriteTimeout; wt > 0 {
@@ -111,8 +117,14 @@ func (ss *session) writeLoop() {
 		}
 		buf = netproto.AppendResponse(buf[:0], r)
 		if _, err := ss.conn.Write(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				ss.srv.instr.WriteTimeouts.Inc()
+			}
 			ss.srv.logf("realnet: write failed, aborting session: %v", err)
 			ss.srv.stats.dropped.Add(1)
+			ss.srv.instr.Dropped.Inc()
+			ss.srv.instr.WriteDrops.Inc()
 			ss.abort()
 			// The session is dead either way; closing the socket now
 			// unblocks the read loop so the drain can start.

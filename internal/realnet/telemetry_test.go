@@ -1,0 +1,158 @@
+package realnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/telemetry"
+)
+
+// TestClientServerTelemetry runs a short closed-loop session with both
+// instrument sets attached and checks that every layer populated its
+// series: client counters and latency histograms, per-tick controller
+// gauges, and server batch/submission metrics — then scrapes the
+// Prometheus exposition and asserts the key names render.
+func TestClientServerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srvInstr := NewServerInstruments(reg)
+	cliInstr := NewClientInstruments(reg)
+
+	srv, err := NewServer(ServerConfig{
+		Addr:        "127.0.0.1:0",
+		TimeScale:   fastScale,
+		Instruments: srvInstr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := dial(t, srv, ClientConfig{
+		FS:          60,
+		Stream:      7,
+		Policy:      controller.NewFrameFeedback(controller.Config{}),
+		Instruments: cliInstr,
+	})
+	time.Sleep(1200 * time.Millisecond)
+
+	if got, want := cliInstr.Captured.Value(), c.Stats().Captured; got != want {
+		t.Errorf("captured counter = %d, stats say %d", got, want)
+	}
+	if cliInstr.Latency.With("ok").Count() == 0 {
+		t.Error("no ok-latency observations in a healthy loopback run")
+	}
+	if cliInstr.OffloadRate.Value() <= 0 {
+		t.Errorf("framefeedback_offload_rate = %v after 1.2 s of closed loop, want > 0",
+			cliInstr.OffloadRate.Value())
+	}
+	if cliInstr.LinkUp.Value() != 1 {
+		t.Error("link gauge must read 1 while connected")
+	}
+	if srvInstr.Submitted.Value() == 0 || srvInstr.Batches.Value() == 0 {
+		t.Errorf("server instruments saw no work: submitted=%d batches=%d",
+			srvInstr.Submitted.Value(), srvInstr.Batches.Value())
+	}
+	if srvInstr.BatchSize.With("7").Count() == 0 {
+		t.Error("no batch-size observations for tenant 7")
+	}
+	if srvInstr.Sessions.Value() != 1 {
+		t.Errorf("sessions gauge = %d, want 1", srvInstr.Sessions.Value())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"framefeedback_offload_rate",
+		"framefeedback_timeout_rate",
+		"framefeedback_offload_latency_seconds_bucket{outcome=\"ok\"",
+		"framefeedback_client_link_up 1",
+		"framefeedback_server_submitted_total",
+		"framefeedback_server_batch_size_bucket{tenant=\"7\"",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+}
+
+// TestRejectionTelemetryPerTenant saturates a tiny batcher from one
+// tenant and checks the per-tenant rejected counter matches the
+// server's aggregate rejection stat.
+func TestRejectionTelemetryPerTenant(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srvInstr := NewServerInstruments(reg)
+	srv, err := NewServer(ServerConfig{
+		Addr:           "127.0.0.1:0",
+		MaxBatch:       1,
+		TimeScale:      1, // full-speed GPU sleeps keep the queue congested
+		GPU:            models.TeslaV100(),
+		Instruments:    srvInstr,
+		RejectLogEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := dial(t, srv, ClientConfig{
+		FS:     120,
+		Stream: 3,
+		Policy: baselines.AlwaysOffload{},
+	})
+	c.SetOffloadRate(120)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && srvInstr.Rejected.WithUint(3).Value() == 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	rejected := srvInstr.Rejected.WithUint(3).Value()
+	if rejected == 0 {
+		t.Fatalf("no rejections despite MaxBatch=1 at 120 fps: server stats %+v", srv.Stats())
+	}
+	if agg := srv.Stats().Rejected; rejected > agg {
+		t.Errorf("tenant counter %d exceeds aggregate %d", rejected, agg)
+	}
+}
+
+// TestLinkGaugeAcrossOutage kills the server and checks the link gauge
+// and disconnect counter track the outage, then that timeouts keep
+// being observed (the standing-probe signal the paper's equilibrium
+// rests on).
+func TestLinkGaugeAcrossOutage(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cliInstr := NewClientInstruments(reg)
+	srv := startServer(t)
+	c := dial(t, srv, ClientConfig{
+		FS:           60,
+		Policy:       controller.NewFrameFeedback(controller.Config{}),
+		Instruments:  cliInstr,
+		ReconnectMin: 50 * time.Millisecond,
+		ReconnectMax: 100 * time.Millisecond,
+	})
+	time.Sleep(500 * time.Millisecond)
+	srv.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && cliInstr.LinkUp.Value() != 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if cliInstr.LinkUp.Value() != 0 {
+		t.Fatal("link gauge still 1 after server close")
+	}
+	if cliInstr.Disconnects.Value() == 0 {
+		t.Error("disconnect counter did not move")
+	}
+
+	before := cliInstr.Latency.With("timeout").Count()
+	time.Sleep(500 * time.Millisecond)
+	if after := cliInstr.Latency.With("timeout").Count(); after <= before {
+		t.Errorf("timeout observations stalled during outage: %d → %d", before, after)
+	}
+	_ = c
+}

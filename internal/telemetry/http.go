@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// jsonFloat makes a float64 JSON-encodable: NaN and ±Inf (legal metric
+// values, illegal JSON) are reported as strings.
+func jsonFloat(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return formatFloat(v)
+	}
+	return v
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves an expvar-compatible JSON snapshot: one key per
+// registered family plus the conventional "cmdline" and "memstats"
+// entries.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		vars := make(map[string]any)
+		for _, f := range r.sortedFamilies() {
+			vars[f.name] = f.jsonValue()
+		}
+		vars["cmdline"] = os.Args
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		vars["memstats"] = ms
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars)
+	})
+}
+
+// NewMux builds the debug mux: /metrics (Prometheus), /debug/vars
+// (expvar JSON), /debug/pprof/* (net/http/pprof) and, when statusz is
+// non-nil, a human-readable /statusz. The root path lists the
+// endpoints.
+func NewMux(r *Registry, statusz http.HandlerFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if statusz != nil {
+		mux.HandleFunc("/statusz", statusz)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("telemetry endpoints:\n" +
+			"  /metrics          Prometheus text format\n" +
+			"  /debug/vars       expvar-compatible JSON\n" +
+			"  /debug/pprof/     runtime profiles\n" +
+			"  /statusz          human-readable status\n"))
+	})
+	return mux
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr immediately (so a bad address fails fast) and
+// serves h in a background goroutine until Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Registry holds named metric families and renders them. Metric
+// constructors panic on an invalid or duplicate name — registration
+// happens at process start-up, so a bad name is a programming error,
+// not an input condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one exposition unit: a name, HELP/TYPE metadata and
+// exactly one backing value source.
+type family struct {
+	name, help string
+	kind       metricKind
+	labelName  string // "" for unlabeled families
+
+	counter   *Counter
+	gauge     *Gauge
+	fgauge    *FloatGauge
+	gaugeFn   func() float64
+	counterFn func() uint64
+	hist      *Histogram
+	cvec      *CounterVec
+	hvec      *HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(f.name))
+	}
+	if f.labelName != "" && !validName(f.labelName) {
+		panic("telemetry: invalid label name " + strconv.Quote(f.labelName))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic("telemetry: duplicate metric " + f.name)
+	}
+	r.families[f.name] = f
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time (useful to expose an existing atomic without double
+// counting).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, counterFn: fn})
+}
+
+// CounterVec registers and returns a counter family with one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{
+		children: make(map[string]*Counter),
+		byInt:    make(map[uint64]*Counter),
+	}
+	r.register(&family{name: name, help: help, kind: kindCounter, labelName: label, cvec: v})
+	return v
+}
+
+// Gauge registers and returns an integer gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// FloatGauge registers and returns a float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, fgauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (DefBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramVec registers and returns a histogram family with one
+// label; all children share the bucket bounds (DefBuckets when nil).
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	v := &HistogramVec{
+		bounds:   b,
+		children: make(map[string]*Histogram),
+		byInt:    make(map[uint64]*Histogram),
+	}
+	r.register(&family{name: name, help: help, kind: kindHistogram, labelName: label, hvec: v})
+	return v
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name and
+// vec children sorted by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	b := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(b, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFn != nil:
+			fmt.Fprintf(b, "%s %d\n", f.name, f.counterFn())
+		case f.gauge != nil:
+			fmt.Fprintf(b, "%s %d\n", f.name, f.gauge.Value())
+		case f.fgauge != nil:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
+		case f.gaugeFn != nil:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		case f.hist != nil:
+			writeHistogram(b, f.name, "", "", f.hist)
+		case f.cvec != nil:
+			for _, kv := range f.cvec.sorted() {
+				fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", f.name, f.labelName, escapeLabel(kv.label), kv.c.Value())
+			}
+		case f.hvec != nil:
+			for _, kv := range f.hvec.sorted() {
+				writeHistogram(b, f.name, f.labelName, kv.label, kv.h)
+			}
+		}
+	}
+	return b.Flush()
+}
+
+// writeHistogram renders one histogram series, optionally carrying a
+// labelName="labelValue" pair ahead of the le label.
+func writeHistogram(b *bufio.Writer, name, labelName, labelValue string, h *Histogram) {
+	prefix := ""
+	suffix := ""
+	if labelName != "" {
+		prefix = labelName + `="` + escapeLabel(labelValue) + `",`
+		suffix = `{` + labelName + `="` + escapeLabel(labelValue) + `"}`
+	}
+	bounds, cum, count, sum := h.snapshot()
+	for i, bound := range bounds {
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%s\"} %d\n", name, prefix, formatFloat(bound), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, count)
+}
+
+// jsonValue returns the expvar-style JSON value for one family:
+// numbers for counters and gauges, {count, sum, buckets} for
+// histograms, and an object keyed by label value for vecs.
+func (f *family) jsonValue() any {
+	switch {
+	case f.counter != nil:
+		return f.counter.Value()
+	case f.counterFn != nil:
+		return f.counterFn()
+	case f.gauge != nil:
+		return f.gauge.Value()
+	case f.fgauge != nil:
+		return jsonFloat(f.fgauge.Value())
+	case f.gaugeFn != nil:
+		return jsonFloat(f.gaugeFn())
+	case f.hist != nil:
+		return histJSON(f.hist)
+	case f.cvec != nil:
+		m := make(map[string]uint64)
+		f.cvec.Each(func(label string, v uint64) { m[label] = v })
+		return m
+	case f.hvec != nil:
+		m := make(map[string]any)
+		for _, kv := range f.hvec.sorted() {
+			m[kv.label] = histJSON(kv.h)
+		}
+		return m
+	}
+	return nil
+}
+
+func histJSON(h *Histogram) any {
+	bounds, cum, count, sum := h.snapshot()
+	buckets := make(map[string]uint64, len(bounds)+1)
+	for i, bound := range bounds {
+		buckets[formatFloat(bound)] = cum[i]
+	}
+	buckets["+Inf"] = count
+	return map[string]any{
+		"count":   count,
+		"sum":     jsonFloat(sum),
+		"buckets": buckets,
+	}
+}

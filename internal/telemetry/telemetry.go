@@ -1,0 +1,341 @@
+// Package telemetry is the runtime instrumentation layer for the
+// long-lived networked binaries (ffdevice, ffserver): atomic counters,
+// gauges and fixed-bucket histograms behind an HTTP exposition surface
+// — Prometheus text format at /metrics, expvar-compatible JSON at
+// /debug/vars, net/http/pprof at /debug/pprof/ and a human-readable
+// /statusz.
+//
+// It is deliberately dependency-free (standard library only) and built
+// for hot paths: every metric update is a handful of atomic operations
+// with zero heap allocations, so the realnet frame path keeps its
+// 0 B/op guarantee with instrumentation enabled (see the realnet
+// benchmarks). All metric methods are nil-receiver safe, which lets
+// instrumented code run unconditionally — an unconfigured metric is a
+// no-op, not a branch at every call site.
+//
+// The offline analysis tools live elsewhere (internal/metrics is the
+// simulator's post-hoc series math); this package is about watching a
+// live process.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The nil Counter is a
+// valid no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 for a nil Counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that can go up and down (queue depths, in-flight
+// counts, 0/1 states). The nil Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetBool stores 1 for true, 0 for false.
+func (g *Gauge) SetBool(b bool) {
+	if g == nil {
+		return
+	}
+	if b {
+		g.v.Store(1)
+	} else {
+		g.v.Store(0)
+	}
+}
+
+// Add increments (or, with a negative delta, decrements) the gauge.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value; 0 for a nil Gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 gauge (rates, controller terms). The nil
+// FloatGauge is a valid no-op.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores an absolute value.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value; 0 for a nil FloatGauge.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets with upper bounds
+// set at construction. Observe is wait-free apart from the CAS loop on
+// the sum and allocates nothing; rendering (cumulative Prometheus
+// buckets) happens at scrape time. The nil Histogram is a valid no-op.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, dense
+// around the paper's 250 ms deadline.
+var DefBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 1, 2.5,
+}
+
+// SizeBuckets suit small discrete quantities such as batch sizes and
+// queue depths (the paper's MaxBatch is 15).
+var SizeBuckets = []float64{1, 2, 3, 4, 6, 8, 10, 12, 15, 20, 30, 50}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one value. Zero allocations.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations; 0 for nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values; 0 for nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns the bucket bounds, cumulative counts (one per bound
+// plus +Inf), total count and sum, read once.
+func (h *Histogram) snapshot() (bounds []float64, cum []uint64, count uint64, sum float64) {
+	bounds = h.bounds
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return bounds, cum, running, math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec is a family of Counters keyed by one label value (for
+// example rejected_total{tenant="3"}). Children are created on first
+// use and live forever; WithUint caches the formatted label so the
+// steady-state path allocates nothing. The nil CounterVec is a valid
+// no-op whose children are nil Counters.
+type CounterVec struct {
+	mu       sync.RWMutex
+	children map[string]*Counter
+	byInt    map[uint64]*Counter
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.children[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[label]; c == nil {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}
+
+// WithUint returns the child for the decimal rendering of n, caching
+// the lookup so repeated calls are allocation-free.
+func (v *CounterVec) WithUint(n uint64) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.byInt[n]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	c = v.With(strconv.FormatUint(n, 10))
+	v.mu.Lock()
+	v.byInt[n] = c
+	v.mu.Unlock()
+	return c
+}
+
+// Each calls fn for every child in sorted label order.
+func (v *CounterVec) Each(fn func(label string, value uint64)) {
+	if v == nil {
+		return
+	}
+	for _, kv := range v.sorted() {
+		fn(kv.label, kv.c.Value())
+	}
+}
+
+type counterChild struct {
+	label string
+	c     *Counter
+}
+
+func (v *CounterVec) sorted() []counterChild {
+	v.mu.RLock()
+	out := make([]counterChild, 0, len(v.children))
+	for label, c := range v.children {
+		out = append(out, counterChild{label, c})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// HistogramVec is a family of Histograms keyed by one label value,
+// sharing bucket bounds. The nil HistogramVec is a valid no-op whose
+// children are nil Histograms.
+type HistogramVec struct {
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+	byInt    map[uint64]*Histogram
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(label string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.children[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[label]; h == nil {
+		h = newHistogram(v.bounds)
+		v.children[label] = h
+	}
+	return h
+}
+
+// WithUint returns the child for the decimal rendering of n, caching
+// the lookup so repeated calls are allocation-free.
+func (v *HistogramVec) WithUint(n uint64) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.byInt[n]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = v.With(strconv.FormatUint(n, 10))
+	v.mu.Lock()
+	v.byInt[n] = h
+	v.mu.Unlock()
+	return h
+}
+
+type histChild struct {
+	label string
+	h     *Histogram
+}
+
+func (v *HistogramVec) sorted() []histChild {
+	v.mu.RLock()
+	out := make([]histChild, 0, len(v.children))
+	for label, h := range v.children {
+		out = append(out, histChild{label, h})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}

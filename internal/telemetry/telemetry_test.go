@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of everything, with
+// deterministic values, for the exposition-format tests.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+
+	c := reg.Counter("ff_frames_total", "Frames captured.")
+	c.Add(41)
+	c.Inc()
+
+	g := reg.Gauge("ff_inflight", "Offloads awaiting a response.")
+	g.Set(7)
+	g.Add(-2)
+
+	fg := reg.FloatGauge("ff_offload_rate", "Current P_o in frames/s.")
+	fg.Set(27.5)
+
+	reg.GaugeFunc("ff_uptime_seconds", "Seconds since start.", func() float64 { return 12.25 })
+	reg.CounterFunc("ff_batches_total", "Executed batches.", func() uint64 { return 9 })
+
+	h := reg.Histogram("ff_latency_seconds", "End-to-end offload latency.", []float64{0.1, 0.25, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.2)
+	h.Observe(0.2)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	cv := reg.CounterVec("ff_rejected_total", "Rejected frames by tenant.", "tenant")
+	cv.WithUint(2).Add(3)
+	cv.WithUint(10).Inc()
+
+	hv := reg.HistogramVec("ff_batch_size", "Batch sizes by outcome.", "outcome", []float64{1, 4, 15})
+	hv.With("ok").Observe(1)
+	hv.With("ok").Observe(15)
+	hv.With("late").Observe(3)
+	return reg
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "help with \\ and\nnewline", "l").
+		With("quote\" slash\\ nl\n").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP esc_total help with \\ and\nnewline`,
+		`esc_total{l="quote\" slash\\ nl\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 3} {
+		h.Observe(v)
+	}
+	_, cum, count, sum := h.snapshot()
+	// le="1" sees 0.5 and the boundary value 1; le="2" adds 1.5; +Inf adds 3.
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Errorf("cumulative counts = %v, want [2 3 4]", cum)
+	}
+	if count != 4 || sum != 6 {
+		t.Errorf("count=%d sum=%v, want 4 and 6", count, sum)
+	}
+}
+
+func TestVarsHandler(t *testing.T) {
+	reg := goldenRegistry()
+	rec := httptest.NewRecorder()
+	reg.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"cmdline", "memstats", "ff_frames_total", "ff_latency_seconds", "ff_rejected_total"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("missing var %q", key)
+		}
+	}
+	if string(vars["ff_frames_total"]) != "42" {
+		t.Errorf("ff_frames_total = %s, want 42", vars["ff_frames_total"])
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	mux := NewMux(reg, func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("status: ok"))
+	})
+	cases := []struct {
+		path, want string
+	}{
+		{"/metrics", "# TYPE ff_frames_total counter"},
+		{"/debug/vars", "memstats"},
+		{"/debug/pprof/", "profiles"},
+		{"/statusz", "status: ok"},
+		{"/", "/metrics"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != 200 {
+			t.Errorf("GET %s: status %d", tc.path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("GET %s: missing %q in body", tc.path, tc.want)
+		}
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		fg *FloatGauge
+		h  *Histogram
+		cv *CounterVec
+		hv *HistogramVec
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	g.SetBool(true)
+	fg.Set(2.5)
+	h.Observe(1)
+	cv.With("x").Inc()
+	cv.WithUint(7).Add(2)
+	cv.Each(func(string, uint64) { t.Error("nil vec has children") })
+	hv.With("x").Observe(1)
+	hv.WithUint(7).Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || fg.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("v_total", "vec", "tenant")
+	if cv.WithUint(3) != cv.With("3") {
+		t.Error("WithUint(3) and With(\"3\") must share a child")
+	}
+	hv := reg.HistogramVec("h_seconds", "vec", "tenant", nil)
+	if hv.WithUint(3) != hv.With("3") {
+		t.Error("histogram WithUint(3) and With(\"3\") must share a child")
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("dup_total", "first")
+	mustPanic("duplicate", func() { reg.Counter("dup_total", "second") })
+	mustPanic("invalid name", func() { reg.Counter("bad name", "space") })
+	mustPanic("invalid label", func() { reg.CounterVec("ok_total", "h", "0bad") })
+}
+
+func TestJSONFloatSpecials(t *testing.T) {
+	if v := jsonFloat(math.NaN()); v != "NaN" {
+		t.Errorf("NaN → %v", v)
+	}
+	if v := jsonFloat(math.Inf(1)); v != "+Inf" {
+		t.Errorf("+Inf → %v", v)
+	}
+	if v := jsonFloat(1.5); v != 1.5 {
+		t.Errorf("1.5 → %v", v)
+	}
+}

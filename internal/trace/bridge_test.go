@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// TestRecorderAndTelemetryShareOneStream is the bridge contract: the
+// JSONL recorder and the live latency histograms observe the same
+// device.Config.OnOffload stream through MultiOffloadHook, so their
+// outcome counts agree exactly — no double hooks, no divergence.
+func TestRecorderAndTelemetryShareOneStream(t *testing.T) {
+	rec := NewRecorder()
+	reg := telemetry.NewRegistry()
+	hv := reg.HistogramVec("framefeedback_offload_latency_seconds",
+		"offload latency by outcome", "outcome", telemetry.DefBuckets)
+
+	r := scenario.Run(scenario.Config{
+		Seed:       3,
+		Policy:     scenario.AlwaysOffloadFactory(),
+		FrameLimit: 300,
+		OnOffload: device.MultiOffloadHook(
+			rec.Hook(),
+			device.OffloadLatencyObserver(hv),
+		),
+	})
+
+	want := int(r.Device.OffloadOK + r.Device.OffloadTimedOut + r.Device.OffloadRejected)
+	if rec.Len() != want {
+		t.Fatalf("recorder saw %d events, counters say %d", rec.Len(), want)
+	}
+	st := Tally(rec.Events())
+	byOutcome := map[string]int{
+		"ok":       st.OK,
+		"timeout":  st.Timeout,
+		"rejected": st.Rejected,
+	}
+	for outcome, n := range byOutcome {
+		if got := int(hv.With(outcome).Count()); got != n {
+			t.Errorf("histogram %q saw %d observations, recorder saw %d", outcome, got, n)
+		}
+	}
+
+	// Latency sums must agree too (same events, same clock).
+	var recSum float64
+	for _, e := range rec.Events() {
+		recSum += e.Latency
+	}
+	var hvSum float64
+	for outcome := range byOutcome {
+		hvSum += hv.With(outcome).Sum()
+	}
+	if diff := recSum - hvSum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("latency sums diverge: recorder %v, histograms %v", recSum, hvSum)
+	}
+}
+
+// TestMultiOffloadHookShapes covers the degenerate fan-out shapes.
+func TestMultiOffloadHookShapes(t *testing.T) {
+	if device.MultiOffloadHook() != nil {
+		t.Error("no hooks must yield nil")
+	}
+	if device.MultiOffloadHook(nil, nil) != nil {
+		t.Error("all-nil hooks must yield nil")
+	}
+	calls := 0
+	single := func(device.OffloadOutcome) { calls++ }
+	h := device.MultiOffloadHook(nil, single)
+	h(device.OffloadOutcome{})
+	if calls != 1 {
+		t.Errorf("single hook called %d times, want 1", calls)
+	}
+	if device.OffloadLatencyObserver(nil) != nil {
+		t.Error("nil vec must yield nil hook")
+	}
+}

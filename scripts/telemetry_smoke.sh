@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# telemetry_smoke.sh — end-to-end check of the runtime telemetry
+# subsystem: boots ffserver and ffdevice with -telemetry-addr, scrapes
+# /metrics on both sides, hits /debug/vars, /debug/pprof and /statusz,
+# and asserts the key FrameFeedback series are exposed and moving.
+#
+# Usage: scripts/telemetry_smoke.sh
+# Exits non-zero on the first failed assertion.
+set -euo pipefail
+
+SRV_ADDR=127.0.0.1:19771
+SRV_TEL=127.0.0.1:19090
+DEV_TEL=127.0.0.1:19091
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== building binaries =="
+go build -o "$WORK/ffserver" ./cmd/ffserver
+go build -o "$WORK/ffdevice" ./cmd/ffdevice
+
+echo "== booting closed loop =="
+"$WORK/ffserver" -addr "$SRV_ADDR" -timescale 0.05 -stats 0 \
+    -telemetry-addr "$SRV_TEL" -reject-log-every 100 >"$WORK/srv.log" 2>&1 &
+sleep 1
+"$WORK/ffdevice" -addr "$SRV_ADDR" -fps 30 -duration 60s \
+    -telemetry-addr "$DEV_TEL" >"$WORK/dev.log" 2>&1 &
+
+# Give the controller a few ticks to converge out of the cold start.
+sleep 8
+
+echo "== scraping device /metrics =="
+DEV_METRICS=$(curl -fsS "http://$DEV_TEL/metrics")
+for name in \
+    framefeedback_offload_rate \
+    framefeedback_timeout_rate \
+    framefeedback_local_rate \
+    framefeedback_client_link_up \
+    framefeedback_controller_error \
+    framefeedback_controller_regime \
+    framefeedback_offload_latency_seconds_bucket \
+    framefeedback_client_captured_total; do
+    grep -q "^$name" <<<"$DEV_METRICS" || fail "device /metrics missing $name"
+done
+# The loop must actually be offloading by now.
+PO=$(grep '^framefeedback_offload_rate ' <<<"$DEV_METRICS" | awk '{print $2}')
+awk -v po="$PO" 'BEGIN { exit !(po > 0) }' || fail "offload_rate not > 0 (got $PO)"
+grep -q '^framefeedback_client_link_up 1$' <<<"$DEV_METRICS" || fail "link gauge not 1 while connected"
+
+echo "== scraping server /metrics =="
+SRV_METRICS=$(curl -fsS "http://$SRV_TEL/metrics")
+for name in \
+    framefeedback_server_submitted_total \
+    framefeedback_server_completed_total \
+    framefeedback_server_batches_total \
+    framefeedback_server_sessions \
+    framefeedback_server_batch_size_bucket \
+    framefeedback_server_queue_depth_bucket; do
+    grep -q "^$name" <<<"$SRV_METRICS" || fail "server /metrics missing $name"
+done
+SUBMITTED=$(grep '^framefeedback_server_submitted_total ' <<<"$SRV_METRICS" | awk '{print $2}')
+[ "$SUBMITTED" -gt 0 ] || fail "server submitted_total not > 0"
+
+echo "== debug endpoints =="
+curl -fsS "http://$DEV_TEL/debug/pprof/goroutine?debug=1" | head -1 | grep -q '^goroutine profile:' \
+    || fail "device pprof goroutine profile malformed"
+curl -fsS "http://$SRV_TEL/debug/pprof/goroutine?debug=1" | head -1 | grep -q '^goroutine profile:' \
+    || fail "server pprof goroutine profile malformed"
+curl -fsS "http://$DEV_TEL/debug/vars" | grep -q '"framefeedback_offload_rate"' \
+    || fail "device /debug/vars missing offload rate"
+curl -fsS "http://$DEV_TEL/statusz" | grep -q '^P_o:' || fail "device /statusz missing P_o"
+curl -fsS "http://$SRV_TEL/statusz" | grep -q '^batcher:' || fail "server /statusz missing batcher line"
+
+echo "PASS: telemetry smoke"
