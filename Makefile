@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench smoke experiments report clean
+.PHONY: all build test race bench bench-all smoke experiments report clean
 
 all: build test
 
@@ -13,12 +13,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent (real TCP) code paths.
+# Race-check the concurrent code paths: the real TCP transport and
+# the parallel sweep/replication engine.
 race:
-	$(GO) test -race ./internal/realnet/ ./internal/netproto/
+	$(GO) test -race ./internal/realnet/ ./internal/netproto/ ./internal/parfan/
+	$(GO) test -race -run 'Parallel|Replicate|RunPolicies' ./internal/scenario/
 
-# One benchmark per paper table/figure plus substrate micro-benches.
+# Tier-1 perf baseline: scheduler churn + full-scenario benches and
+# whole-suite wall clock, written to BENCH_<date>.json. Override e.g.
+# `make bench BENCHTIME=1x REPS=1` for a CI smoke run.
+BENCHTIME ?= 2s
+PARALLEL ?= 4
+REPS ?= 3
+OUT ?=
 bench:
+	BENCHTIME=$(BENCHTIME) PARALLEL=$(PARALLEL) REPS=$(REPS) OUT=$(OUT) bash scripts/bench.sh
+
+# Every benchmark in the tree — one per paper table/figure plus
+# substrate micro-benches.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Boot the real closed loop with telemetry enabled and scrape every

@@ -262,6 +262,22 @@ func BenchmarkServerBatching(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkScenarioRun measures one complete Figure-2-style tuning
+// run — the unit of work every sweep fans out — with allocation
+// tracking, so regressions in the DES hot path show up as ns/op and
+// allocs/op shifts here. This is the headline number tracked in
+// BENCH_<date>.json (scripts/bench.sh).
+func BenchmarkScenarioRun(b *testing.B) {
+	b.ReportAllocs()
+	var r *scenario.Result
+	for i := 0; i < b.N; i++ {
+		r = scenario.Run(scenario.TuningExperiment(0.2, 0.26))
+	}
+	if r != nil {
+		b.ReportMetric(float64(r.EventsFired), "events/run")
+	}
+}
+
 // BenchmarkScenarioSecond measures one simulated second of the full
 // three-device network experiment (scheduler + net + server + device +
 // controller together).

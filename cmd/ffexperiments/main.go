@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ffexperiments [-exp NAME] [-out DIR] [-seed N]
+//	ffexperiments [-exp NAME] [-out DIR] [-seed N] [-parallel N] [-verbose]
 //
 // where NAME is all (default) or one of: table2 table3 fig2 fig3 fig4
 // cpu factor ablations energy combined burst quality fairness tune
@@ -12,6 +12,14 @@
 // batchsweep ticksweep delaysweep — plus the opt-in wall-clock "real"
 // (E20), which is not part of "all". The experiment ids match
 // DESIGN.md's per-experiment index (E1–E24).
+//
+// Independent simulations inside an experiment (policy comparisons,
+// replications, parameter sweeps) fan out across -parallel workers
+// (default: GOMAXPROCS). Output is byte-identical at any worker count:
+// every run owns its scheduler and rng streams, and results are
+// assembled in input order. -verbose appends a
+// framefeedback_sim_events_fired_total line per experiment so
+// speedups can be attributed to event throughput vs. fan-out.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/parfan"
 	"repro/internal/plot"
 	"repro/internal/realnet"
 	"repro/internal/rng"
@@ -40,13 +49,19 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run (see command doc for the list)")
-	outFlag  = flag.String("out", "", "directory for CSV traces (omit to skip CSV output)")
-	seedFlag = flag.Uint64("seed", scenario.DefaultSeed, "simulation seed")
+	expFlag      = flag.String("exp", "all", "experiment to run (see command doc for the list)")
+	outFlag      = flag.String("out", "", "directory for CSV traces (omit to skip CSV output)")
+	seedFlag     = flag.Uint64("seed", scenario.DefaultSeed, "simulation seed")
+	parallelFlag = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	verboseFlag  = flag.Bool("verbose", false, "print per-experiment event-throughput accounting")
 )
+
+// workers returns the fan-out bound for this process's sweeps.
+func workers() int { return scenario.Parallelism() }
 
 func main() {
 	flag.Parse()
+	scenario.SetParallelism(*parallelFlag)
 	runners := map[string]func(){
 		"table2":     table2,
 		"table3":     table3,
@@ -83,7 +98,7 @@ func main() {
 	}
 	if *expFlag == "all" {
 		for _, name := range order {
-			runners[name]()
+			runExperiment(name, runners[name])
 		}
 		return
 	}
@@ -92,7 +107,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; want one of: all %s\n", *expFlag, strings.Join(order, " "))
 		os.Exit(2)
 	}
+	runExperiment(*expFlag, run)
+}
+
+// runExperiment wraps a runner with event-throughput accounting: with
+// -verbose each experiment reports how many discrete events its
+// simulations fired and the aggregate events/sec of wall time, so a
+// wall-clock win is attributable to scheduler throughput (ns/event)
+// vs. fan-out (concurrent runs).
+func runExperiment(name string, run func()) {
+	if !*verboseFlag {
+		run()
+		return
+	}
+	before := scenario.EventsFired()
+	start := time.Now()
 	run()
+	wall := time.Since(start)
+	fired := scenario.EventsFired() - before
+	rate := float64(fired) / wall.Seconds()
+	fmt.Printf("\n[%s] framefeedback_sim_events_fired_total=%d wall=%.3fs rate=%.2fM events/s parallel=%d\n",
+		name, fired, wall.Seconds(), rate/1e6, effectiveWorkers())
+}
+
+// effectiveWorkers resolves the 0 = GOMAXPROCS default for display.
+func effectiveWorkers() int {
+	if n := workers(); n > 0 {
+		return n
+	}
+	return parfan.DefaultWorkers()
 }
 
 func header(title string) {
@@ -210,16 +253,15 @@ func fig2() {
 	writeCSV("fig2.csv", csv)
 }
 
-// runPolicies executes cfgFor(policy) for each paper policy and
-// returns results in presentation order.
+// runPolicies executes cfgFor(policy) for each paper policy, fanning
+// the four runs out across the -parallel worker pool, and returns
+// results keyed by policy name.
 func runPolicies(cfgFor func(scenario.PolicyFactory) scenario.Config) map[string]*scenario.Result {
-	out := make(map[string]*scenario.Result)
-	for name, f := range scenario.AllPolicies() {
+	return scenario.RunPolicies(func(f scenario.PolicyFactory) scenario.Config {
 		cfg := cfgFor(f)
 		cfg.Seed = *seedFlag
-		out[name] = scenario.Run(cfg)
-	}
-	return out
+		return cfg
+	})
 }
 
 func renderPolicyFigure(title string, results map[string]*scenario.Result, phases [][2]int, phaseNames []string, csvName string) {
@@ -528,19 +570,19 @@ func latency() {
 // controller faster feedback and curbs bufferbloat.
 func deadline() {
 	header("E17: deadline sensitivity (FrameFeedback, constant 4 Mbps)")
-	rows := [][]string{}
-	for _, d := range []time.Duration{
+	deadlines := []time.Duration{
 		100 * time.Millisecond, 150 * time.Millisecond, 200 * time.Millisecond,
 		250 * time.Millisecond, 350 * time.Millisecond, 500 * time.Millisecond,
-	} {
+	}
+	rows := parfan.Map(workers(), deadlines, func(_ int, d time.Duration) []string {
 		r := scenario.Run(withSeed(scenario.DeadlineSweepExperiment(d)))
-		rows = append(rows, []string{
+		return []string{
 			d.String(),
 			fmt.Sprintf("%5.2f", r.MeanP(15, 0)),
 			fmt.Sprintf("%5.2f", r.MeanT(15, 0)),
 			fmt.Sprintf("%4.0f ms", r.OffloadLatency.P99*1000),
-		})
-	}
+		}
+	})
 	plot.RenderTable(os.Stdout, []string{"deadline", "mean P", "mean T", "P99 latency"}, rows)
 	fmt.Println("\nThroughput is not monotone in the deadline: a looser deadline lets")
 	fmt.Println("the bottleneck queue grow longer before timeouts fire, and every")
@@ -579,22 +621,27 @@ func heterofair() {
 // reproduction's shapes must not be a single-seed artifact.
 func robustness() {
 	header("Robustness: Figure 3 headline numbers across 10 seeds")
-	var ffMeans, factors []float64
-	for seed := uint64(1); seed <= 10; seed++ {
+	type seedOutcome struct{ ffMean, worst float64 }
+	outcomes := parfan.MapN(workers(), 10, func(i int) seedOutcome {
+		seed := uint64(i + 1)
 		ffCfg := scenario.NetworkExperiment(scenario.FrameFeedbackFactory(controller.Config{}))
 		ffCfg.Seed = seed
 		aonCfg := scenario.NetworkExperiment(scenario.AllOrNothingFactory())
 		aonCfg.Seed = seed
 		ff := scenario.Run(ffCfg)
 		aon := scenario.Run(aonCfg)
-		ffMeans = append(ffMeans, ff.MeanP(0, 0))
 		worst := 1e18
 		for _, ph := range [][2]int{{32, 45}, {47, 60}, {107, 133}} {
 			if f := ff.MeanP(ph[0], ph[1]) / aon.MeanP(ph[0], ph[1]); f < worst {
 				worst = f
 			}
 		}
-		factors = append(factors, worst)
+		return seedOutcome{ffMean: ff.MeanP(0, 0), worst: worst}
+	})
+	var ffMeans, factors []float64
+	for _, o := range outcomes {
+		ffMeans = append(ffMeans, o.ffMean)
+		factors = append(factors, o.worst)
 	}
 	sm := metrics.Summarize(ffMeans)
 	sf := metrics.Summarize(factors)
@@ -731,15 +778,20 @@ func sweep() {
 		rowLabels[i] = fmt.Sprintf("KD=%.2f", kd)
 		meanP[i] = make([]float64, len(kps))
 		meanT[i] = make([]float64, len(kps))
-		for j, kp := range kps {
-			cfg := scenario.TuningExperiment(kp, kd)
-			cfg.Seed = *seedFlag
-			r := scenario.Run(cfg)
-			// Whole-run throughput punishes sluggish ramps;
-			// post-loss Po oscillation punishes undamped gains.
-			meanP[i][j] = r.MeanP(0, 0)
-			meanT[i][j] = metrics.Summarize(r.Po[35:58]).Std
-		}
+	}
+	// Flatten the grid so every cell is one task for the worker pool.
+	type cell struct{ p, osc float64 }
+	cells := parfan.MapN(workers(), len(kds)*len(kps), func(k int) cell {
+		cfg := scenario.TuningExperiment(kps[k%len(kps)], kds[k/len(kps)])
+		cfg.Seed = *seedFlag
+		r := scenario.Run(cfg)
+		// Whole-run throughput punishes sluggish ramps;
+		// post-loss Po oscillation punishes undamped gains.
+		return cell{p: r.MeanP(0, 0), osc: metrics.Summarize(r.Po[35:58]).Std}
+	})
+	for k, c := range cells {
+		meanP[k/len(kps)][k%len(kps)] = c.p
+		meanT[k/len(kps)][k%len(kps)] = c.osc
 	}
 	hm := &plot.Heatmap{
 		Title:     "whole-run mean P (higher is better; includes the ramp)",
@@ -824,20 +876,19 @@ func pass(ok bool) string {
 // offloading via FrameFeedback.
 func batchsweep() {
 	header("E21: server batch-limit sweep (Table VI load)")
-	rows := [][]string{}
-	for _, maxBatch := range []int{5, 10, 15, 25, 50} {
+	rows := parfan.Map(workers(), []int{5, 10, 15, 25, 50}, func(_ int, maxBatch int) []string {
 		cfg := withSeed(scenario.ServerLoadExperiment(
 			scenario.FrameFeedbackFactory(controller.Config{})))
 		cfg.ServerMaxBatch = maxBatch
 		r := scenario.Run(cfg)
-		rows = append(rows, []string{
+		return []string{
 			fmt.Sprintf("%d", maxBatch),
 			fmt.Sprintf("%5.2f", r.MeanP(0, 0)),
 			fmt.Sprintf("%5.2f", r.MeanP(50, 60)), // peak 150 req/s
 			fmt.Sprintf("%4.0f ms", r.OffloadLatency.P99*1000),
 			fmt.Sprintf("%4.1f", r.Server.MeanBatchSize()),
-		})
-	}
+		}
+	})
 	plot.RenderTable(os.Stdout,
 		[]string{"batch limit", "mean P", "P @150 req/s", "P99 latency", "mean batch"}, rows)
 	fmt.Println("\nSmall batches forfeit GPU throughput (the setup cost amortizes")
@@ -852,31 +903,30 @@ func batchsweep() {
 func ticksweep() {
 	header("E22/E23: control tick and T-window sweep (Table V workload)")
 	fmt.Println("control tick (window fixed at 3):")
-	rows := [][]string{}
-	for _, tick := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second} {
+	ticks := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second}
+	rows := parfan.Map(workers(), ticks, func(_ int, tick time.Duration) []string {
 		cfg := withSeed(scenario.NetworkExperiment(
 			scenario.FrameFeedbackFactory(controller.Config{})))
 		cfg.Tick = tick
 		r := scenario.Run(cfg)
-		rows = append(rows, []string{
+		return []string{
 			tick.String(),
 			fmt.Sprintf("%5.2f", r.MeanP(0, 0)),
 			fmt.Sprintf("%5.2f", r.MeanT(0, 0)),
-		})
-	}
+		}
+	})
 	plot.RenderTable(os.Stdout, []string{"tick", "mean P", "mean T"}, rows)
 	fmt.Println("\nT-averaging window (tick fixed at 1s):")
-	rows = rows[:0]
-	for _, win := range []int{1, 3, 5, 10} {
+	rows = parfan.Map(workers(), []int{1, 3, 5, 10}, func(_ int, win int) []string {
 		cfg := withSeed(scenario.NetworkExperiment(
 			scenario.FrameFeedbackFactory(controller.Config{KP: 0.2, KD: 0.26, Window: win})))
 		r := scenario.Run(cfg)
-		rows = append(rows, []string{
+		return []string{
 			fmt.Sprintf("%d s", win),
 			fmt.Sprintf("%5.2f", r.MeanP(0, 0)),
 			fmt.Sprintf("%5.2f", r.MeanT(0, 0)),
-		})
-	}
+		}
+	})
 	plot.RenderTable(os.Stdout, []string{"window", "mean P", "mean T"}, rows)
 }
 
@@ -889,11 +939,11 @@ func ticksweep() {
 // to navigate.
 func delaysweep() {
 	header("E24: pure added delay vs the 250 ms deadline (10 Mbps, no loss)")
-	rows := [][]string{}
-	for _, prop := range []time.Duration{
+	delays := []time.Duration{
 		5 * time.Millisecond, 30 * time.Millisecond, 60 * time.Millisecond,
 		90 * time.Millisecond, 110 * time.Millisecond, 150 * time.Millisecond,
-	} {
+	}
+	rows := parfan.Map(workers(), delays, func(_ int, prop time.Duration) []string {
 		cfg := scenario.Config{
 			Seed:       *seedFlag,
 			Policy:     scenario.FrameFeedbackFactory(controller.Config{}),
@@ -904,13 +954,13 @@ func delaysweep() {
 			}}},
 		}
 		r := scenario.Run(cfg)
-		rows = append(rows, []string{
+		return []string{
 			prop.String(),
 			fmt.Sprintf("%5.2f", r.MeanP(20, 0)),
 			fmt.Sprintf("%5.2f", r.MeanT(20, 0)),
 			fmt.Sprintf("%4.0f ms", r.OffloadLatency.P99*1000),
-		})
-	}
+		}
+	})
 	plot.RenderTable(os.Stdout, []string{"one-way delay", "mean P (settled)", "mean T", "P99 latency"}, rows)
 	fmt.Println("\nCompare the cliff here with the graded response to bandwidth (-exp")
 	fmt.Println("deadline) and loss (-exp fig2): delay is either fully absorbed by the")

@@ -1,0 +1,111 @@
+// Package parfan provides a deterministic bounded fan-out engine for
+// running independent simulations in parallel.
+//
+// Every figure, sweep and replication in the reproduction is a set of
+// embarrassingly parallel tasks: each scenario.Run owns its own
+// Scheduler and rng streams, so distinct runs share no mutable state.
+// Map exploits that: it applies a function to every input on a bounded
+// worker pool and returns the results in input order, which makes the
+// parallel path byte-identical to the sequential one — the only
+// nondeterminism is which goroutine computes which index, and that is
+// unobservable in the output.
+//
+// The contract is the caller's side of the determinism bargain: f must
+// not touch shared mutable state (give each task its own Scheduler,
+// rng.Stream, and result buffers). Everything this package adds —
+// index handout, result placement, panic propagation — is
+// order-insensitive by construction.
+package parfan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default parallelism: GOMAXPROCS, the
+// number of OS threads the Go runtime will actually run concurrently.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map applies f to every element of items on at most workers
+// concurrent goroutines and returns the results in input order.
+// workers <= 0 means DefaultWorkers(); a single worker (or a single
+// item) runs inline on the calling goroutine with no synchronization,
+// so Map(1, ...) is exactly the sequential loop.
+//
+// f receives the item's index and value. Calls to f for distinct
+// indices may run concurrently and in any order; results are placed by
+// index, so the returned slice is independent of scheduling. If any f
+// panics, Map waits for in-flight calls, then re-panics the first
+// panic (by index order among those that fired) on the caller's
+// goroutine.
+func Map[In, Out any](workers int, items []In, f func(i int, item In) Out) []Out {
+	if len(items) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]Out, len(items))
+	if workers == 1 {
+		for i, item := range items {
+			out[i] = f(i, item)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked bool
+		panicIdx int
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked || i < panicIdx {
+								panicked, panicIdx, panicVal = true, i, r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = f(i, items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("parfan: task %d panicked: %v", panicIdx, panicVal))
+	}
+	return out
+}
+
+// MapN is Map over the index range [0, n): a convenience for tasks
+// parameterized by position alone (seed offsets, grid coordinates).
+func MapN[Out any](workers, n int, f func(i int) Out) []Out {
+	if n <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Map(workers, idx, func(i int, _ int) Out { return f(i) })
+}

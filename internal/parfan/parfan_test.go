@@ -1,0 +1,127 @@
+package parfan
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Results must land in input order regardless of worker count or the
+// relative speed of individual tasks.
+func TestMapOrdering(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		r := rng.New(42)
+		delays := make([]time.Duration, len(items))
+		for i := range delays {
+			delays[i] = time.Duration(r.Intn(300)) * time.Microsecond
+		}
+		got := Map(workers, items, func(i, item int) int {
+			time.Sleep(delays[i]) // skew completion order
+			return item * item
+		})
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The parallel path must produce byte-identical output to the
+// sequential path when tasks are pure functions of their input — the
+// core determinism contract every sweep relies on.
+func TestMapDeterminism(t *testing.T) {
+	const n = 64
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	// Each task runs an independent PRNG stream, like a simulation.
+	task := func(_ int, seed uint64) uint64 {
+		r := rng.New(seed)
+		var acc uint64
+		for j := 0; j < 1000; j++ {
+			acc ^= r.Uint64()
+		}
+		return acc
+	}
+	sequential := Map(1, seeds, task)
+	for _, workers := range []int{2, 8} {
+		parallel := Map(workers, seeds, task)
+		for i := range sequential {
+			if parallel[i] != sequential[i] {
+				t.Fatalf("workers=%d: result %d differs: %x vs %x",
+					workers, i, parallel[i], sequential[i])
+			}
+		}
+	}
+}
+
+// The worker bound must hold: no more than `workers` tasks in flight.
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	MapN(workers, 50, func(i int) int {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}
+
+func TestMapEmptyAndDefaults(t *testing.T) {
+	if got := Map(4, nil, func(i, v int) int { return v }); got != nil {
+		t.Fatalf("Map over nil = %v, want nil", got)
+	}
+	if got := MapN[int](0, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("MapN(0) = %v, want nil", got)
+	}
+	// workers <= 0 means DefaultWorkers; must still complete correctly.
+	got := MapN(-1, 10, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d, want >= 1", DefaultWorkers())
+	}
+}
+
+// A panicking task must surface on the caller's goroutine after all
+// in-flight tasks finish, not crash a worker silently.
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	MapN(4, 20, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}

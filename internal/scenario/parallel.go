@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parfan"
+)
+
+// Parallel execution model: a scenario is a closed world — its
+// Scheduler, rng streams, devices and server are constructed inside
+// Run and referenced nowhere else — so independent runs can execute
+// concurrently without sharing mutable state. All fan-out goes through
+// parfan.Map, which returns results in input order; the parallel paths
+// below are therefore byte-identical to their sequential equivalents
+// (asserted by TestParallelDeterminism*).
+
+// parallelism holds the worker bound for Replicate/RunPolicies;
+// 0 means parfan.DefaultWorkers() (GOMAXPROCS).
+var parallelism atomic.Int32
+
+// SetParallelism bounds the number of concurrent simulations run by
+// Replicate and RunPolicies. n <= 0 restores the default
+// (GOMAXPROCS). Safe to call concurrently.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current worker bound; 0 means the default
+// (GOMAXPROCS) is in effect.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// eventsFired accumulates Scheduler.Fired() across every completed
+// Run, so callers can attribute wall-clock speedups to event
+// throughput vs. fan-out (see ffexperiments -verbose).
+var eventsFired atomic.Uint64
+
+// EventsFired returns the total number of discrete events executed by
+// all scenario runs in this process.
+func EventsFired() uint64 { return eventsFired.Load() }
+
+// RunPolicies runs cfgFor(factory) for each of the paper's four
+// controllers, up to SetParallelism simulations at a time, and returns
+// the results keyed by policy name. Results are deterministic: each
+// run is seeded by its own Config and isolated per-worker, so the map
+// contents do not depend on the worker count.
+func RunPolicies(cfgFor func(PolicyFactory) Config) map[string]*Result {
+	names := PolicyOrder()
+	results := parfan.Map(Parallelism(), names, func(_ int, name string) *Result {
+		return Run(cfgFor(AllPolicies()[name]))
+	})
+	out := make(map[string]*Result, len(names))
+	for i, name := range names {
+		out[name] = results[i]
+	}
+	return out
+}

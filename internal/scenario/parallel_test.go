@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/models"
+	"repro/internal/parfan"
+)
+
+// csvBytes exports a run's full trace table — every column the figure
+// CSVs are built from — as raw CSV bytes.
+func csvBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Table().WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runConfigsCSV runs every config and concatenates the exported CSVs,
+// in input order, with the given worker count.
+func runConfigsCSV(t *testing.T, workers int, cfgs []Config) []byte {
+	t.Helper()
+	parts := parfan.Map(workers, cfgs, func(_ int, cfg Config) *Result {
+		return Run(cfg)
+	})
+	var all bytes.Buffer
+	for _, r := range parts {
+		all.Write(csvBytes(t, r))
+	}
+	return all.Bytes()
+}
+
+// The Figure 2 scenarios (gain-tuning traces) must export byte-identical
+// CSVs whether run sequentially or fanned out across 8 workers.
+func TestParallelDeterminismFigure2(t *testing.T) {
+	var cfgs []Config
+	for _, pair := range TuningPairs() {
+		cfgs = append(cfgs, TuningExperiment(pair[0], pair[1]))
+	}
+	sequential := runConfigsCSV(t, 1, cfgs)
+	parallel := runConfigsCSV(t, 8, cfgs)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatal("Figure 2 CSV output differs between sequential and 8-worker parallel runs")
+	}
+}
+
+// The Figure 3 scenarios (all four policies on the Table V schedule)
+// must export byte-identical CSVs sequentially vs in parallel — the
+// policy-comparison path used by fig3/fig4/combined/burst.
+func TestParallelDeterminismFigure3(t *testing.T) {
+	var cfgs []Config
+	for _, name := range PolicyOrder() {
+		cfgs = append(cfgs, NetworkExperiment(AllPolicies()[name]))
+	}
+	sequential := runConfigsCSV(t, 1, cfgs)
+	parallel := runConfigsCSV(t, 8, cfgs)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatal("Figure 3 CSV output differs between sequential and 8-worker parallel runs")
+	}
+}
+
+// RunPolicies must agree with direct sequential runs under any
+// parallelism setting.
+func TestRunPoliciesMatchesSequential(t *testing.T) {
+	cfgFor := func(f PolicyFactory) Config {
+		cfg := NetworkExperiment(f)
+		cfg.FrameLimit = 600 // 20 s is enough to exercise the schedule head
+		return cfg
+	}
+	SetParallelism(8)
+	defer SetParallelism(0)
+	got := RunPolicies(cfgFor)
+	for _, name := range PolicyOrder() {
+		want := Run(cfgFor(AllPolicies()[name]))
+		g := got[name]
+		if g == nil {
+			t.Fatalf("RunPolicies missing %q", name)
+		}
+		if !bytes.Equal(csvBytes(t, g), csvBytes(t, want)) {
+			t.Fatalf("RunPolicies(%q) differs from sequential run", name)
+		}
+	}
+}
+
+// Replicate must hand out distinct seeds in seed order even when the
+// startSeed + i arithmetic wraps the uint64 range, skipping the
+// reserved seed 0 rather than panicking mid-replication.
+func TestReplicateSeedWrap(t *testing.T) {
+	cfg := shortConfig(FrameFeedbackFactory(controller.Config{}))
+	rep := Replicate(cfg, math.MaxUint64-1, 4)
+	want := []uint64{math.MaxUint64 - 1, math.MaxUint64, 1, 2}
+	if len(rep.Seeds) != len(want) {
+		t.Fatalf("got %d seeds, want %d", len(rep.Seeds), len(want))
+	}
+	for i, s := range rep.Seeds {
+		if s != want[i] {
+			t.Fatalf("Seeds[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+	if len(rep.Results) != 4 || len(rep.MeanP) != 4 || len(rep.MeanT) != 4 {
+		t.Fatal("replication slices not aligned with seeds")
+	}
+	// A zero startSeed still starts at 1.
+	rep = Replicate(cfg, 0, 2)
+	if rep.Seeds[0] != 1 || rep.Seeds[1] != 2 {
+		t.Fatalf("Seeds from zero startSeed = %v, want [1 2]", rep.Seeds)
+	}
+}
+
+// Replicate's aggregates must not depend on the worker count.
+func TestReplicateParallelMatchesSequential(t *testing.T) {
+	cfg := shortConfig(FrameFeedbackFactory(controller.Config{}))
+	SetParallelism(1)
+	seq := Replicate(cfg, 7, 6)
+	SetParallelism(8)
+	defer SetParallelism(0)
+	par := Replicate(cfg, 7, 6)
+	for i := range seq.Seeds {
+		if seq.Seeds[i] != par.Seeds[i] {
+			t.Fatalf("seed order diverged at %d: %d vs %d", i, seq.Seeds[i], par.Seeds[i])
+		}
+		if seq.MeanP[i] != par.MeanP[i] || seq.MeanT[i] != par.MeanT[i] {
+			t.Fatalf("per-seed means diverged at seed %d", seq.Seeds[i])
+		}
+	}
+	if seq.MeanPSummary != par.MeanPSummary || seq.MeanTSummary != par.MeanTSummary {
+		t.Fatal("cross-seed summaries differ between sequential and parallel replication")
+	}
+}
+
+// shortConfig is a single-device run long enough to produce a
+// non-trivial trace but cheap enough to replicate many times in tests.
+func shortConfig(policy PolicyFactory) Config {
+	cfg := NetworkExperiment(policy)
+	cfg.FrameLimit = 300
+	cfg.Devices = []DeviceSpec{{Profile: models.Pi4B14()}}
+	return cfg
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/parfan"
 	"repro/internal/rng"
 )
 
@@ -19,28 +20,41 @@ type Replication struct {
 	MeanP, MeanT []float64
 	// MeanPSummary and MeanTSummary summarize across seeds.
 	MeanPSummary, MeanTSummary metrics.Summary
-	// Results holds the individual runs, aligned with Seeds.
+	// Results holds the individual runs, aligned with Seeds. The
+	// order is seed order even when the replicas ran in parallel.
 	Results []*Result
 }
 
 // Replicate runs the configuration across n consecutive seeds starting
 // at startSeed and aggregates the headline metrics. n must be
-// positive.
+// positive. Runs execute up to SetParallelism at a time; Seeds,
+// Results, MeanP and MeanT are always in seed order regardless of the
+// worker count, so downstream analysis never depends on scheduling.
+//
+// Seed 0 is reserved (Run panics on it), so a zero startSeed starts at
+// 1, and if startSeed + i wraps around the uint64 range the sequence
+// skips 0 and continues at 1 — every replica still gets a distinct
+// seed.
 func Replicate(cfg Config, startSeed uint64, n int) *Replication {
 	if n <= 0 {
 		panic("scenario: Replicate with non-positive n")
 	}
-	if startSeed == 0 {
-		startSeed = 1
+	seeds := make([]uint64, n)
+	s := startSeed
+	for i := range seeds {
+		if s == 0 {
+			s = 1 // skip the reserved seed on start or wrap
+		}
+		seeds[i] = s
+		s++
 	}
-	rep := &Replication{}
-	for i := 0; i < n; i++ {
-		seed := startSeed + uint64(i)
+	results := parfan.Map(Parallelism(), seeds, func(_ int, seed uint64) *Result {
 		c := cfg
 		c.Seed = seed
-		r := Run(c)
-		rep.Seeds = append(rep.Seeds, seed)
-		rep.Results = append(rep.Results, r)
+		return Run(c)
+	})
+	rep := &Replication{Seeds: seeds, Results: results}
+	for _, r := range results {
 		rep.MeanP = append(rep.MeanP, r.MeanP(0, 0))
 		rep.MeanT = append(rep.MeanT, r.MeanT(0, 0))
 	}

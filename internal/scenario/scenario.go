@@ -189,6 +189,10 @@ type Result struct {
 	// succeeded). Timed-out frames are right-censored at the
 	// deadline and appear only in the timeout counters.
 	OffloadLatency metrics.Summary
+	// EventsFired is the number of discrete events the run's
+	// scheduler executed — the denominator for events/sec throughput
+	// accounting (see EventsFired and ffexperiments -verbose).
+	EventsFired uint64
 	// Injected reports background-injector accounting (zero without
 	// a load schedule).
 	InjectedSubmitted, InjectedRejected uint64
@@ -455,6 +459,8 @@ func Run(cfg Config) *Result {
 
 	sched.RunUntil(end)
 
+	res.EventsFired = sched.Fired()
+	eventsFired.Add(res.EventsFired)
 	res.Ticks = len(res.Time)
 	res.Device = rigs[0].dev.Counters()
 	res.Server = srv.Stats()

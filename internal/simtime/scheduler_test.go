@@ -224,7 +224,7 @@ func TestPropEventsFireInOrder(t *testing.T) {
 func TestPropFiredCount(t *testing.T) {
 	f := func(offsets []uint16, cancelMask []bool) bool {
 		s := NewScheduler()
-		events := make([]*Event, len(offsets))
+		events := make([]Event, len(offsets))
 		for i, off := range offsets {
 			events[i] = s.At(Time(off)*time.Millisecond, func() {})
 		}
@@ -241,6 +241,116 @@ func TestPropFiredCount(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A burst of cancellations must not pin heap slots for the rest of the
+// run: Step, At and NextAt all drain canceled events from the front of
+// the queue, so Len converges back to the true pending count.
+func TestLenConvergesAfterMassCancel(t *testing.T) {
+	s := NewScheduler()
+	const n = 1000
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = s.At(Time(i+1)*time.Millisecond, func() {})
+	}
+	keeper := s.At(2*time.Second, func() {})
+	for _, ev := range events {
+		if !ev.Cancel() {
+			t.Fatal("Cancel on pending event returned false")
+		}
+	}
+	if s.Len() != n+1 {
+		t.Fatalf("Len() = %d immediately after mass cancel, want %d (lazy)", s.Len(), n+1)
+	}
+	// A single scheduling call drains the canceled run at the front.
+	s.At(3*time.Second, func() {})
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d after At drained canceled events, want 2", s.Len())
+	}
+	if !keeper.Pending() {
+		t.Fatal("surviving event no longer pending after drain")
+	}
+	s.Run()
+	if s.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", s.Fired())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d after Run, want 0", s.Len())
+	}
+}
+
+// Stale handles must be inert: once an event has fired and its storage
+// has been recycled for a new event, Cancel/Canceled on the old handle
+// must not touch the new occupant.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(time.Millisecond, func() {})
+	s.Run()
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The next At reuses the fired node (free-list LIFO).
+	fired := false
+	fresh := s.At(time.Second, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("Cancel on stale handle returned true")
+	}
+	if stale.Canceled() {
+		t.Fatal("Canceled on stale handle returned true")
+	}
+	if stale.At() != time.Millisecond {
+		t.Fatalf("stale handle At() = %v, want 1ms", stale.At())
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel suppressed an unrelated recycled event")
+	}
+	if fresh.Pending() {
+		t.Fatal("fresh event still pending after Run")
+	}
+}
+
+// The steady-state churn of a running simulation — fire one event,
+// schedule another — must not allocate: nodes are recycled through the
+// free list and the heap backing array is reused.
+func TestSchedulerChurnZeroAlloc(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm up: build the standing population and the free list.
+	for i := 0; i < 100; i++ {
+		s.After(Time(i)*time.Microsecond, fn)
+	}
+	for i := 0; i < 100; i++ {
+		s.After(time.Millisecond, fn)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Millisecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state event churn allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Cancel-heavy churn must also be allocation-free: canceled nodes are
+// drained and recycled, not leaked.
+func TestSchedulerCancelChurnZeroAlloc(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		s.After(time.Millisecond, fn)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := s.After(time.Millisecond, fn)
+		s.After(2*time.Millisecond, fn)
+		ev.Cancel()
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("cancel churn allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

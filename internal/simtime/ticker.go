@@ -9,7 +9,7 @@ type Ticker struct {
 	s      *Scheduler
 	period time.Duration
 	fn     func(now Time)
-	next   *Event
+	next   Event
 	ticks  uint64
 	done   bool
 }
@@ -50,7 +50,5 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.done = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Cancel()
 }

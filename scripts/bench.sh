@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Performance baseline for the FrameFeedback reproduction.
+#
+# Runs the tier-1 benchmarks (scheduler churn, one full scenario run),
+# times the whole experiment suite (ffexperiments -exp all) and the
+# K_P x K_D gain sweep at -parallel 1 vs -parallel $PARALLEL, and
+# writes everything to BENCH_<date>.json. Committing that file gives
+# the repo a tracked perf trajectory: future PRs diff their numbers
+# against the latest baseline.
+#
+# Environment knobs:
+#   BENCHTIME  go test -benchtime for the micro benches (default 2s;
+#              CI smoke uses 1x)
+#   PARALLEL   worker count for the parallel sweep timing (default 4)
+#   REPS       wall-clock repetitions, best-of (default 3)
+#   OUT        output path (default BENCH_<YYYY-MM-DD>.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+PARALLEL="${PARALLEL:-4}"
+REPS="${REPS:-3}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+BIN="$tmpdir/ffexperiments"
+
+echo "== building ffexperiments" >&2
+go build -o "$BIN" ./cmd/ffexperiments
+
+echo "== micro benchmarks (benchtime=$BENCHTIME)" >&2
+churn="$(go test -run '^$' -bench 'BenchmarkSchedulerChurn$' -benchmem -benchtime "$BENCHTIME" ./internal/simtime/ | awk '/^BenchmarkSchedulerChurn/')"
+scen="$(go test -run '^$' -bench 'BenchmarkScenarioRun$' -benchmem -benchtime "$BENCHTIME" . | awk '/^BenchmarkScenarioRun/')"
+echo "$churn" >&2
+echo "$scen" >&2
+
+# bench_field LINE N extracts the value preceding the Nth unit column
+# of a `go test -bench` output line (ns/op, B/op, allocs/op).
+bench_field() {
+  echo "$1" | awk -v unit="$2" '{for (i = 1; i <= NF; i++) if ($i == unit) print $(i-1)}'
+}
+
+churn_ns="$(bench_field "$churn" "ns/op")"
+churn_b="$(bench_field "$churn" "B/op")"
+churn_allocs="$(bench_field "$churn" "allocs/op")"
+scen_ns="$(bench_field "$scen" "ns/op")"
+scen_b="$(bench_field "$scen" "B/op")"
+scen_allocs="$(bench_field "$scen" "allocs/op")"
+
+# best_of CMD... runs the command $REPS times, prints the fastest wall
+# time in seconds.
+best_of() {
+  local best=""
+  for _ in $(seq "$REPS"); do
+    local t0 t1 dt
+    t0="$(date +%s.%N)"
+    "$@" > /dev/null 2>&1
+    t1="$(date +%s.%N)"
+    dt="$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}')"
+    if [ -z "$best" ] || awk -v d="$dt" -v b="$best" 'BEGIN{exit !(d < b)}'; then
+      best="$dt"
+    fi
+  done
+  echo "$best"
+}
+
+echo "== suite wall clock (best of $REPS)" >&2
+all_s="$(best_of "$BIN" -exp all)"
+echo "ffexperiments -exp all: ${all_s}s" >&2
+sweep1_s="$(best_of "$BIN" -exp sweep -parallel 1)"
+echo "ffexperiments -exp sweep -parallel 1: ${sweep1_s}s" >&2
+sweepN_s="$(best_of "$BIN" -exp sweep -parallel "$PARALLEL")"
+echo "ffexperiments -exp sweep -parallel $PARALLEL: ${sweepN_s}s" >&2
+speedup="$(awk -v a="$sweep1_s" -v b="$sweepN_s" 'BEGIN{printf "%.2f", a/b}')"
+
+# Event-throughput accounting from the verbose line.
+verbose_line="$("$BIN" -exp sweep -parallel 1 -verbose | awk '/framefeedback_sim_events_fired_total/')"
+events_fired="$(echo "$verbose_line" | sed -n 's/.*framefeedback_sim_events_fired_total=\([0-9]*\).*/\1/p')"
+events_rate="$(echo "$verbose_line" | sed -n 's/.*rate=\([0-9.]*\)M events\/s.*/\1/p')"
+
+cpus="$(getconf _NPROCESSORS_ONLN)"
+goversion="$(go env GOVERSION)"
+
+cat > "$OUT" <<EOF
+{
+  "date": "$(date +%Y-%m-%d)",
+  "go": "$goversion",
+  "cpus": $cpus,
+  "benchtime": "$BENCHTIME",
+  "benchmarks": {
+    "SchedulerChurn": {
+      "ns_per_op": $churn_ns,
+      "bytes_per_op": $churn_b,
+      "allocs_per_op": $churn_allocs
+    },
+    "ScenarioRun": {
+      "ns_per_op": $scen_ns,
+      "bytes_per_op": $scen_b,
+      "allocs_per_op": $scen_allocs
+    }
+  },
+  "suite": {
+    "ffexperiments_all_seconds": $all_s,
+    "sweep_parallel_1_seconds": $sweep1_s,
+    "sweep_parallel_${PARALLEL}_seconds": $sweepN_s,
+    "sweep_parallel_workers": $PARALLEL,
+    "sweep_speedup_x": $speedup,
+    "sweep_sim_events_fired_total": ${events_fired:-0},
+    "sweep_million_events_per_second_sequential": ${events_rate:-0}
+  },
+  "note": "sweep_speedup_x compares -parallel $PARALLEL vs -parallel 1 on this machine's $cpus visible CPU(s); the fan-out target (>=3x) applies on 4+ cores, while single-core gains come from the zero-alloc DES hot path (see SchedulerChurn allocs_per_op=0)."
+}
+EOF
+
+echo "== wrote $OUT" >&2
+cat "$OUT"
