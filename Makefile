@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all smoke experiments report clean
+.PHONY: all build test race bench bench-all benchdiff smoke experiments report clean
 
 all: build test
 
@@ -33,6 +33,15 @@ bench:
 # substrate micro-benches.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compare a fresh bench run against the committed baseline and fail on
+# allocs/op or B/op regressions >10% (ns/op is report-only: CI timing
+# is noisy, but allocation counts are deterministic per run). Override
+# BASELINE/CURRENT to diff arbitrary snapshots.
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+CURRENT ?= bench-ci.json
+benchdiff:
+	$(GO) run ./scripts $(BASELINE) $(CURRENT)
 
 # Boot the real closed loop with telemetry enabled and scrape every
 # debug endpoint (see scripts/telemetry_smoke.sh).

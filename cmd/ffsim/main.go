@@ -53,7 +53,9 @@ func main() {
 	}
 	var rec *trace.Recorder
 	if *traceFlag != "" {
-		rec = trace.NewRecorder()
+		// At most one event per captured frame, so FrameLimit sizes
+		// the log exactly and the recorder never regrows it.
+		rec = trace.NewRecorderCap(int(cfg.FrameLimit))
 		cfg.OnOffload = rec.Hook()
 	}
 	r := scenario.Run(cfg)

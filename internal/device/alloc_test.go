@@ -1,0 +1,109 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/models"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// rig builds a deterministic device → path → server loop with no rng
+// anywhere, for allocation pinning.
+func allocRig(t *testing.T, cfg Config) (*simtime.Scheduler, *Device) {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	path := simnet.NewPath(sched, nil, simnet.Conditions{BandwidthBps: simnet.Mbps(100)})
+	srv := server.New(sched, nil, server.Config{GPU: models.TeslaV100()})
+	cfg.Profile = models.Pi4B14()
+	cfg.LocalJitterRel = -1 // negative disables applyDefaults' 0.08
+	return sched, New(sched, nil, cfg, path, srv)
+}
+
+// A complete offload round trip — deadline armed, uplink transfer,
+// server batch, downlink response, deadline canceled — must not
+// allocate at steady state: every continuation lands on the pooled
+// offloadState and every intermediate object is recycled.
+func TestOffloadRoundTripZeroAlloc(t *testing.T) {
+	sched, d := allocRig(t, Config{FS: 30, ExpectedFrames: 100_000})
+	d.SetOffloadRate(30) // offload every frame
+	id := uint64(0)
+	roundTrip := func() {
+		id++
+		d.HandleFrame(frame.Frame{ID: id, Bytes: 29_000, CapturedAt: sched.Now()})
+		sched.Run()
+	}
+	for i := 0; i < 200; i++ {
+		roundTrip()
+	}
+	ok := d.Counters().OffloadOK
+	allocs := testing.AllocsPerRun(1000, roundTrip)
+	if allocs != 0 {
+		t.Fatalf("offload round trip allocates %.1f allocs/op, want 0", allocs)
+	}
+	if d.Counters().OffloadOK <= ok {
+		t.Fatal("no successful offloads during measurement")
+	}
+	if c := d.Counters(); c.OffloadTimedOut != 0 || c.OffloadRejected != 0 {
+		t.Fatalf("unexpected failures: %+v", c)
+	}
+}
+
+// The local inference path — enqueue, worker completion event, pump —
+// must not allocate either.
+func TestLocalPathZeroAlloc(t *testing.T) {
+	sched, d := allocRig(t, Config{FS: 30, ExpectedFrames: 1})
+	d.SetOffloadRate(0) // keep every frame local
+	id := uint64(0)
+	one := func() {
+		id++
+		d.HandleFrame(frame.Frame{ID: id, Bytes: 29_000, CapturedAt: sched.Now()})
+		sched.Run()
+	}
+	for i := 0; i < 100; i++ {
+		one()
+	}
+	done := d.Counters().LocalDone
+	allocs := testing.AllocsPerRun(1000, one)
+	if allocs != 0 {
+		t.Fatalf("local inference path allocates %.1f allocs/op, want 0", allocs)
+	}
+	if d.Counters().LocalDone <= done {
+		t.Fatal("no local completions during measurement")
+	}
+}
+
+// A deadline miss (slow uplink) exercises the failure continuations —
+// timeout fire, late delivery, request recycling — without allocating.
+func TestOffloadTimeoutZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	// 1 Mbps: a 29 KB frame takes ~240 ms on the wire, and queued
+	// frames behind it blow the 250 ms deadline.
+	path := simnet.NewPath(sched, nil, simnet.Conditions{BandwidthBps: simnet.Mbps(1)})
+	path.Up.MaxBacklog = 1 << 30 // never drop; let deadlines fire
+	srv := server.New(sched, nil, server.Config{GPU: models.TeslaV100()})
+	cfg := Config{Profile: models.Pi4B14(), FS: 30, LocalJitterRel: -1, ExpectedFrames: 1}
+	d := New(sched, nil, cfg, path, srv)
+	d.SetOffloadRate(30)
+	id := uint64(0)
+	churn := func() {
+		for i := 0; i < 3; i++ {
+			id++
+			d.HandleFrame(frame.Frame{ID: id, Bytes: 29_000, CapturedAt: sched.Now()})
+		}
+		sched.Run()
+	}
+	for i := 0; i < 50; i++ {
+		churn()
+	}
+	missed := d.Counters().OffloadTimedOut
+	allocs := testing.AllocsPerRun(200, churn)
+	if allocs != 0 {
+		t.Fatalf("timeout path allocates %.1f allocs/op, want 0", allocs)
+	}
+	if d.Counters().OffloadTimedOut <= missed {
+		t.Fatal("no deadline misses during measurement")
+	}
+}

@@ -61,6 +61,10 @@ type Config struct {
 	ResponseBytes int
 	// InitialPo is the starting offload rate.
 	InitialPo float64
+	// ExpectedFrames, when non-zero, pre-sizes per-run buffers (the
+	// success-latency log) so a bounded stream never regrows them.
+	// The scenario runner sets it from Config.FrameLimit.
+	ExpectedFrames uint64
 	// OnOffload, when non-nil, observes every resolved offload
 	// (success, timeout or rejection) — the hook used by the trace
 	// recorder. It must not retain the value past the call.
@@ -170,6 +174,16 @@ type Device struct {
 
 	localQueue []frame.Frame
 	localBusy  bool
+	// localCur is the frame executing on the local worker (valid
+	// while localBusy); kept in the device so the completion event
+	// needs no closure.
+	localCur frame.Frame
+
+	// freeOff heads the free list of recycled offload states; offGen
+	// is the per-device generation counter (see offloadState). Gen 0
+	// is reserved for "parked in the pool".
+	freeOff *offloadState
+	offGen  uint64
 
 	c Counters
 
@@ -198,6 +212,10 @@ func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config, path *simnet.Path,
 		panic("device: invalid model")
 	}
 	d := &Device{sched: sched, rng: r, cfg: cfg, path: path, srv: srv}
+	d.localQueue = make([]frame.Frame, 0, cfg.LocalQueueCap)
+	if cfg.ExpectedFrames > 0 {
+		d.latencies = make([]float64, 0, cfg.ExpectedFrames)
+	}
 	d.SetOffloadRate(cfg.InitialPo)
 	return d
 }
@@ -240,104 +258,243 @@ func (d *Device) HandleFrame(f frame.Frame) {
 	d.local(f)
 }
 
+// offloadState is the pooled per-offload continuation record. The
+// closure-based predecessor of this struct allocated ~6 closures per
+// offloaded frame (deadline timer, fail factory, nested Send
+// callbacks); the state instead receives every continuation —
+// scheduler deadline (simtime.Callback), uplink/downlink outcomes
+// (simnet.Sink) and server completion (server.Completer) — on one
+// reused struct, distinguished by generation-tagged tokens.
+//
+// Lifecycle: acquired in offload with a fresh generation (never 0),
+// released to the device free list when refs — the count of
+// continuations that may still call back (armed deadline, in-flight
+// transfer, pending server request) — drops to zero. The terminal
+// outcome (resolved) usually precedes release: a frame whose deadline
+// fired is already counted as timed out while its response is still
+// crossing the downlink, and that late delivery must still happen (it
+// occupies downlink bandwidth) before the state can be reused. Tokens
+// carry the generation, so even a callback that outlives a release —
+// which refs should make impossible — would be detected and ignored
+// rather than corrupt another frame's outcome.
+type offloadState struct {
+	dev        *Device
+	gen        uint64
+	frameID    uint64
+	bytes      int
+	capturedAt simtime.Time
+	deadline   simtime.Event
+	resolved   bool
+	refs       int8
+	next       *offloadState
+}
+
+// linkToken packs the state's generation with the hop (0 = uplink,
+// 1 = downlink) for simnet tokens.
+func (st *offloadState) linkToken(down uint64) uint64 { return st.gen<<1 | down }
+
+func (d *Device) acquireOffload(f frame.Frame) *offloadState {
+	st := d.freeOff
+	if st == nil {
+		st = &offloadState{dev: d}
+	} else {
+		d.freeOff = st.next
+	}
+	d.offGen++
+	st.gen = d.offGen
+	st.frameID = f.ID
+	st.bytes = f.Bytes
+	st.capturedAt = f.CapturedAt
+	st.resolved = false
+	st.next = nil
+	return st
+}
+
+func (d *Device) releaseOffload(st *offloadState) {
+	st.gen = 0 // parked: no live token can match
+	st.deadline = simtime.Event{}
+	st.next = d.freeOff
+	d.freeOff = st
+}
+
+// decref retires n continuation references, releasing the state once
+// none remain outstanding.
+func (st *offloadState) decref(n int8) {
+	st.refs -= n
+	if st.refs == 0 {
+		st.dev.releaseOffload(st)
+	}
+}
+
+// finish records the terminal outcome. It is idempotent: the first
+// caller wins, matching the mutually-exclusive counters contract.
+func (st *offloadState) finish(status OffloadStatus) {
+	if st.resolved {
+		return
+	}
+	st.resolved = true
+	d := st.dev
+	switch status {
+	case OffloadSucceeded:
+		d.c.OffloadOK++
+		d.latencies = append(d.latencies, (d.sched.Now() - st.capturedAt).Seconds())
+	case OffloadDeadlineMissed:
+		d.c.OffloadTimedOut++
+	case OffloadServerRejected:
+		d.c.OffloadRejected++
+	}
+	if d.cfg.OnOffload != nil {
+		d.cfg.OnOffload(OffloadOutcome{
+			FrameID:    st.frameID,
+			Tenant:     d.cfg.Tenant,
+			Bytes:      st.bytes,
+			CapturedAt: st.capturedAt,
+			ResolvedAt: d.sched.Now(),
+			Status:     status,
+		})
+	}
+}
+
+// OnSchedEvent implements simtime.Callback: the 250 ms deadline fired.
+func (st *offloadState) OnSchedEvent(token uint64) {
+	if token != st.gen {
+		return // stale: the state was recycled under this event
+	}
+	st.finish(OffloadDeadlineMissed)
+	st.decref(1)
+}
+
+// OnLinkDelivered implements simnet.Sink. Uplink delivery submits the
+// request to the server; downlink delivery is the successful result
+// arriving back.
+func (st *offloadState) OnLinkDelivered(token uint64) {
+	if token>>1 != st.gen {
+		return
+	}
+	d := st.dev
+	if token&1 == 0 { // uplink: hand the frame to the batcher
+		req := d.srv.AcquireRequest()
+		req.ID = st.frameID
+		req.Tenant = d.cfg.Tenant
+		req.Model = d.cfg.Model
+		req.Bytes = st.bytes
+		req.Completer = st
+		req.Token = st.gen
+		d.srv.Submit(req)
+		return // uplink ref transfers to the pending server request
+	}
+	// Downlink: result arrived. If the deadline is still pending this
+	// is a success; otherwise the frame was already counted timed out
+	// and the delivery only releases the last reference.
+	n := int8(1)
+	if st.deadline.Cancel() {
+		n++
+	}
+	st.finish(OffloadSucceeded)
+	st.decref(n)
+}
+
+// OnLinkDropped implements simnet.Sink: the transfer (either hop) was
+// abandoned, which the device can only observe as a deadline miss.
+func (st *offloadState) OnLinkDropped(token uint64) {
+	if token>>1 != st.gen {
+		return
+	}
+	n := int8(1)
+	if st.deadline.Cancel() {
+		n++
+	}
+	st.finish(OffloadDeadlineMissed)
+	st.decref(n)
+}
+
+// CompleteRequest implements server.Completer: the batcher resolved
+// the request. Rejections terminate the offload; a successful batch
+// sends the result down the response link. The server always sends the
+// response for an executed request — it cannot know the device-side
+// deadline already fired — so the downlink transfer happens even for a
+// frame already counted as timed out, exactly as the closure-based
+// path behaved.
+func (st *offloadState) CompleteRequest(req *server.Request, res server.Result) {
+	if req.Token != st.gen {
+		return
+	}
+	d := st.dev
+	if res.Status == server.StatusRejected {
+		n := int8(1)
+		if st.deadline.Cancel() {
+			n++
+		}
+		st.finish(OffloadServerRejected)
+		st.decref(n)
+		return
+	}
+	// Server ref transfers to the downlink transfer.
+	d.path.Down.SendTo(d.cfg.ResponseBytes, st, st.linkToken(1))
+}
+
 // offload ships a frame to the server and arms its deadline. All
 // terminal outcomes are mutually exclusive: exactly one of OffloadOK,
 // OffloadTimedOut, OffloadRejected is incremented per frame.
 func (d *Device) offload(f frame.Frame) {
 	d.c.OffloadAttempts++
-	resolved := false
-
-	finish := func(status OffloadStatus) {
-		if resolved {
-			return
-		}
-		resolved = true
-		switch status {
-		case OffloadSucceeded:
-			d.c.OffloadOK++
-			d.latencies = append(d.latencies, (d.sched.Now() - f.CapturedAt).Seconds())
-		case OffloadDeadlineMissed:
-			d.c.OffloadTimedOut++
-		case OffloadServerRejected:
-			d.c.OffloadRejected++
-		}
-		if d.cfg.OnOffload != nil {
-			d.cfg.OnOffload(OffloadOutcome{
-				FrameID:    f.ID,
-				Tenant:     d.cfg.Tenant,
-				Bytes:      f.Bytes,
-				CapturedAt: f.CapturedAt,
-				ResolvedAt: d.sched.Now(),
-				Status:     status,
-			})
-		}
-	}
-
-	deadline := d.sched.At(f.CapturedAt+d.cfg.Deadline, func() {
-		finish(OffloadDeadlineMissed)
-	})
-	fail := func(status OffloadStatus) func() {
-		return func() {
-			deadline.Cancel()
-			finish(status)
-		}
-	}
-
-	d.path.Up.Send(f.Bytes, func() {
-		d.srv.Submit(&server.Request{
-			ID:     f.ID,
-			Tenant: d.cfg.Tenant,
-			Model:  d.cfg.Model,
-			Bytes:  f.Bytes,
-			Done: func(res server.Result) {
-				if res.Status == server.StatusRejected {
-					fail(OffloadServerRejected)()
-					return
-				}
-				d.path.Down.Send(d.cfg.ResponseBytes, func() {
-					deadline.Cancel()
-					finish(OffloadSucceeded)
-				}, fail(OffloadDeadlineMissed))
-			},
-		})
-	}, fail(OffloadDeadlineMissed))
+	st := d.acquireOffload(f)
+	st.refs = 2 // armed deadline + in-flight uplink transfer
+	st.deadline = d.sched.AtCall(f.CapturedAt+d.cfg.Deadline, st, st.gen)
+	d.path.Up.SendTo(f.Bytes, st, st.linkToken(0))
 }
 
 // local enqueues a frame for on-device inference. On overflow the
 // configured drop policy decides whether the arriving or the oldest
-// queued frame is discarded.
+// queued frame is discarded. The queue pops by shifting in place
+// (bounded at LocalQueueCap elements) so its preallocated backing
+// array is never regrown.
 func (d *Device) local(f frame.Frame) {
 	if d.localBusy && len(d.localQueue) >= d.cfg.LocalQueueCap {
 		d.c.LocalDropped++
 		if !d.cfg.DropOldest {
 			return // tail drop: discard the arrival
 		}
-		d.localQueue = d.localQueue[1:] // head drop: evict the stalest
+		d.popLocal() // head drop: evict the stalest
 	}
 	d.localQueue = append(d.localQueue, f)
 	d.pumpLocal()
+}
+
+// popLocal removes and returns the queue head without shrinking the
+// backing array's capacity (slicing [1:] would strand it).
+func (d *Device) popLocal() frame.Frame {
+	f := d.localQueue[0]
+	n := copy(d.localQueue, d.localQueue[1:])
+	d.localQueue = d.localQueue[:n]
+	return f
 }
 
 func (d *Device) pumpLocal() {
 	if d.localBusy || len(d.localQueue) == 0 {
 		return
 	}
-	f := d.localQueue[0]
-	d.localQueue = d.localQueue[1:]
+	d.localCur = d.popLocal()
 	d.localBusy = true
 	lat := d.cfg.Profile.LocalLatency(d.cfg.Model)
 	if d.rng != nil && d.cfg.LocalJitterRel > 0 {
 		lat = time.Duration(d.rng.Jitter(float64(lat), d.cfg.LocalJitterRel))
 	}
 	d.c.LocalBusy += lat
-	d.sched.After(lat, func() {
-		d.c.LocalDone++
-		if d.cfg.OnLocalDone != nil {
-			d.cfg.OnLocalDone(f, d.sched.Now())
-		}
-		d.localBusy = false
-		d.pumpLocal()
-	})
+	d.sched.AfterCall(lat, d, 0)
+}
+
+// OnSchedEvent implements simtime.Callback: the local worker finished
+// the frame held in localCur. Only one local inference executes at a
+// time, so the device itself is the (single) completion state and no
+// per-frame closure is needed.
+func (d *Device) OnSchedEvent(uint64) {
+	d.c.LocalDone++
+	if d.cfg.OnLocalDone != nil {
+		d.cfg.OnLocalDone(d.localCur, d.sched.Now())
+	}
+	d.localBusy = false
+	d.pumpLocal()
 }
 
 // SendProbe transmits one heartbeat request (a frame-sized payload)

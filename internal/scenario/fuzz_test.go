@@ -79,17 +79,25 @@ func TestPropScenarioInvariants(t *testing.T) {
 			}
 		}
 		// Invariant 4: server accounting never over-resolves, and
-		// the measured device's own submissions fully close (its
-		// stream ends two drain-seconds before the cutoff; the
-		// background injector keeps submitting right up to it, so
-		// only a bounded in-flight remainder may stay open).
+		// the measured device's submissions close up to the run's
+		// in-flight remainder. The device's stream ends two
+		// drain-seconds before the cutoff, but under heavy loss a
+		// backlogged uplink can deliver its last frames to the server
+		// arbitrarily close to the cutoff, where they may still sit in
+		// a queue or the executing batch; such stragglers must be a
+		// subset of the server's own unresolved remainder.
 		if r.Server.Completed+r.Server.Rejected > r.Server.Submitted {
 			t.Logf("server over-resolved: %+v", r.Server)
 			return false
 		}
+		srvOpen := r.Server.Submitted - r.Server.Completed - r.Server.Rejected
 		dev := r.Tenants[0]
-		if dev.Completed+dev.Rejected != dev.Submitted {
-			t.Logf("device tenant conservation broken: %+v", dev)
+		if dev.Completed+dev.Rejected > dev.Submitted {
+			t.Logf("device tenant over-resolved: %+v", dev)
+			return false
+		}
+		if open := dev.Submitted - dev.Completed - dev.Rejected; open > srvOpen {
+			t.Logf("device tenant conservation broken: %+v (open %d > server open %d)", dev, open, srvOpen)
 			return false
 		}
 		// Invariant 5: successful offload latencies all beat the

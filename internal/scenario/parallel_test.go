@@ -8,6 +8,8 @@ import (
 	"repro/internal/controller"
 	"repro/internal/models"
 	"repro/internal/parfan"
+	"repro/internal/quality"
+	"repro/internal/workload"
 )
 
 // csvBytes exports a run's full trace table — every column the figure
@@ -61,6 +63,30 @@ func TestParallelDeterminismFigure3(t *testing.T) {
 	parallel := runConfigsCSV(t, 8, cfgs)
 	if !bytes.Equal(sequential, parallel) {
 		t.Fatal("Figure 3 CSV output differs between sequential and 8-worker parallel runs")
+	}
+}
+
+// The pooled offload path (generation-tagged offload states, recycled
+// server requests, reused batch buffers) must stay deterministic with
+// every reuse-heavy feature enabled at once: admission control makes
+// requests recycle at Submit, the quality adapter changes frame sizes
+// mid-run, and background load churns the request pool from a second
+// completer. Sequential and 8-worker runs must export byte-identical
+// CSVs.
+func TestParallelDeterminismPooledPath(t *testing.T) {
+	var cfgs []Config
+	for _, name := range PolicyOrder() {
+		cfg := NetworkExperiment(AllPolicies()[name])
+		cfg.FrameLimit = 900 // 30 s covers the schedule's degraded head
+		cfg.AdmitCap = 20
+		cfg.Quality = &quality.Config{}
+		cfg.Load = workload.TableVI()
+		cfgs = append(cfgs, cfg)
+	}
+	sequential := runConfigsCSV(t, 1, cfgs)
+	parallel := runConfigsCSV(t, 8, cfgs)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatal("pooled-path CSV output differs between sequential and 8-worker parallel runs")
 	}
 }
 

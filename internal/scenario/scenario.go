@@ -334,11 +334,12 @@ func Run(cfg Config) *Result {
 		path := simnet.NewPath(sched, devRand.Split(1), cfg.Network.At(0))
 		cfg.Network.Apply(sched, path)
 		devCfg := device.Config{
-			Profile:  spec.Profile,
-			Model:    spec.Model,
-			FS:       cfg.FS,
-			Deadline: cfg.Deadline,
-			Tenant:   i,
+			Profile:        spec.Profile,
+			Model:          spec.Model,
+			FS:             cfg.FS,
+			Deadline:       cfg.Deadline,
+			Tenant:         i,
+			ExpectedFrames: cfg.FrameLimit,
 		}
 		if i == 0 {
 			devCfg.OnOffload = cfg.OnOffload
@@ -368,6 +369,18 @@ func Run(cfg Config) *Result {
 	res := &Result{PolicyName: rigs[0].policy.Name()}
 	duration := simtime.Time(float64(cfg.FrameLimit) / cfg.FS * float64(time.Second))
 	end := duration + cfg.Drain
+
+	// Preallocate the per-tick trace columns at their final length so
+	// the measurement tick below never regrows a backing array.
+	nTicks := int(duration/simtime.Time(cfg.Tick)) + 1
+	for _, col := range []*[]float64{
+		&res.Time, &res.P, &res.Po, &res.PlRate, &res.TRate,
+		&res.OffloadOK, &res.CPU, &res.Power, &res.AccP,
+		&res.QualityBytes, &res.TotalP, &res.ServerUtil,
+	} {
+		*col = make([]float64, 0, nTicks)
+	}
+	res.Tenants = make([]server.TenantStats, 0, len(rigs))
 
 	// Prime each policy before the first frame so rates that do not
 	// depend on feedback (the baselines' F_s or 0) apply from t = 0

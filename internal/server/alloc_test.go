@@ -1,0 +1,102 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/simtime"
+)
+
+// countCompleter is a minimal pooled-style Completer for alloc pinning.
+type countCompleter struct {
+	ok, rejected int
+}
+
+func (c *countCompleter) CompleteRequest(_ *Request, res Result) {
+	if res.Status == StatusOK {
+		c.ok++
+	} else {
+		c.rejected++
+	}
+}
+
+func (c *countCompleter) submit(s *Server) {
+	req := s.AcquireRequest()
+	req.Model = models.MobileNetV3Small
+	req.Completer = c
+	s.Submit(req)
+}
+
+// A full submit → batch → complete cycle must not allocate at steady
+// state: the request comes from the server's pool, the batch reuses
+// the server's buffer, and the completion event is closure-free.
+func TestSubmitCompleteZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	srv := New(sched, nil, Config{GPU: models.TeslaV100()})
+	c := &countCompleter{}
+	for i := 0; i < 100; i++ {
+		c.submit(srv)
+		sched.Run()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.submit(srv)
+		sched.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("submit→complete allocates %.1f allocs/op, want 0", allocs)
+	}
+	if c.ok == 0 || c.rejected != 0 {
+		t.Fatalf("completer saw ok=%d rejected=%d", c.ok, c.rejected)
+	}
+}
+
+// Batch-formation shedding recycles the rejected requests too.
+func TestShedRejectionZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	srv := New(sched, nil, Config{GPU: models.TeslaV100(), MaxBatch: 2})
+	c := &countCompleter{}
+	churn := func() {
+		// Four submits against MaxBatch 2: the first forms a batch
+		// of one; the next three queue behind it and are split 2
+		// taken / 1 shed at the following formation.
+		for i := 0; i < 4; i++ {
+			c.submit(srv)
+		}
+		sched.Run()
+	}
+	for i := 0; i < 100; i++ {
+		churn()
+	}
+	rejBefore := c.rejected
+	allocs := testing.AllocsPerRun(500, churn)
+	if allocs != 0 {
+		t.Fatalf("shedding churn allocates %.1f allocs/op, want 0", allocs)
+	}
+	if c.rejected == rejBefore {
+		t.Fatal("no rejections observed — shedding config wrong")
+	}
+}
+
+// Admission-control rejections at Submit recycle through the same pool.
+func TestAdmitCapRejectionZeroAlloc(t *testing.T) {
+	sched := simtime.NewScheduler()
+	srv := New(sched, nil, Config{GPU: models.TeslaV100(), AdmitCap: 1})
+	c := &countCompleter{}
+	churn := func() {
+		for i := 0; i < 4; i++ {
+			c.submit(srv)
+		}
+		sched.Run()
+	}
+	for i := 0; i < 100; i++ {
+		churn()
+	}
+	rejBefore := c.rejected
+	allocs := testing.AllocsPerRun(500, churn)
+	if allocs != 0 {
+		t.Fatalf("admission-reject churn allocates %.1f allocs/op, want 0", allocs)
+	}
+	if c.rejected == rejBefore {
+		t.Fatal("no admission rejections observed")
+	}
+}

@@ -47,7 +47,23 @@ func (s Status) String() string {
 	}
 }
 
+// Completer is the closure-free completion target for a Request: the
+// receiver carries the context and req/Token identify the request. It
+// is invoked exactly once per request; the *Request is only valid for
+// the duration of the call (the server recycles it immediately after),
+// so implementations must copy out anything they need and must not
+// re-Submit the same pointer.
+type Completer interface {
+	CompleteRequest(req *Request, res Result)
+}
+
 // Request is one inference task submitted to the server.
+//
+// Ownership: from Submit until the completion callback returns, the
+// Request belongs to the server. The server recycles it into its pool
+// right after the callback, so callers must not retain or reuse the
+// pointer afterwards; per-offload hot paths obtain fresh requests from
+// AcquireRequest (see DESIGN.md §9).
 type Request struct {
 	// ID is caller-assigned and opaque to the server.
 	ID uint64
@@ -59,8 +75,15 @@ type Request struct {
 	// Bytes is the payload size (informational; transfer time is
 	// the network's concern).
 	Bytes int
-	// Done is invoked exactly once with the outcome. Required.
+	// Done is invoked exactly once with the outcome. Exactly one of
+	// Done and Completer must be set; Done is the closure form,
+	// Completer the allocation-free one.
 	Done func(Result)
+	// Completer, when non-nil, receives the outcome instead of Done.
+	Completer Completer
+	// Token is caller state echoed back through CompleteRequest —
+	// typically a generation tag guarding a pooled completer.
+	Token uint64
 
 	submittedAt simtime.Time
 }
@@ -159,6 +182,17 @@ type Server struct {
 	rrNext int
 	busy   bool
 
+	// batch is the executing batch, copied out of the model queue at
+	// formation (the queue's backing array is immediately reused for
+	// new arrivals) and reused batch after batch; batchLat is its
+	// execution latency. At most one batch executes at a time, so a
+	// single buffer suffices.
+	batch    []*Request
+	batchLat time.Duration
+
+	// freeReqs recycles completed Requests (see AcquireRequest).
+	freeReqs []*Request
+
 	stats    Stats
 	byTenant map[int]*TenantStats
 }
@@ -218,11 +252,40 @@ func (s *Server) QueueLen(m models.Model) int { return len(s.queues[m]) }
 // Busy reports whether a batch is executing right now.
 func (s *Server) Busy() bool { return s.busy }
 
-// Submit enqueues a request. The outcome arrives via req.Done — at
-// batch completion (OK) or at the next batch formation (Rejected).
+// AcquireRequest returns a zeroed Request from the server's pool (or a
+// fresh one when the pool is empty). Completed requests are recycled
+// into the pool automatically after their completion callback returns,
+// so a Submit loop that acquires here allocates nothing at steady
+// state.
+func (s *Server) AcquireRequest() *Request {
+	if n := len(s.freeReqs); n > 0 {
+		req := s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		return req
+	}
+	return &Request{}
+}
+
+// finish delivers a request's outcome and recycles the request. The
+// callback must not retain req; by the time finish returns, req is
+// back in the pool.
+func (s *Server) finish(req *Request, res Result) {
+	if req.Completer != nil {
+		req.Completer.CompleteRequest(req, res)
+	} else {
+		req.Done(res)
+	}
+	*req = Request{}
+	s.freeReqs = append(s.freeReqs, req)
+}
+
+// Submit enqueues a request. The outcome arrives via req.Done or
+// req.Completer — at batch completion (OK) or at the next batch
+// formation (Rejected). The server owns req from here until the
+// completion callback returns, after which req is recycled.
 func (s *Server) Submit(req *Request) {
-	if req == nil || req.Done == nil {
-		panic("server: Submit with nil request or Done")
+	if req == nil || (req.Done == nil && req.Completer == nil) {
+		panic("server: Submit with nil request or completion target")
 	}
 	if _, ok := s.cfg.GPU.Curves[req.Model]; !ok {
 		panic("server: Submit for model without GPU curve: " + req.Model.String())
@@ -233,7 +296,7 @@ func (s *Server) Submit(req *Request) {
 	if s.cfg.AdmitCap > 0 && len(s.queues[req.Model]) >= s.cfg.AdmitCap {
 		s.stats.Rejected++
 		s.tenant(req.Tenant).Rejected++
-		req.Done(Result{Status: StatusRejected, FinishedAt: s.sched.Now()})
+		s.finish(req, Result{Status: StatusRejected, FinishedAt: s.sched.Now()})
 		return
 	}
 	s.queues[req.Model] = append(s.queues[req.Model], req)
@@ -253,7 +316,9 @@ func (s *Server) tenant(id int) *TenantStats {
 
 // startBatch forms and launches the next batch: round-robin to the
 // next non-empty model queue, take up to MaxBatch requests, reject the
-// remainder of that queue (§IV-A).
+// remainder of that queue (§IV-A). The batch is copied into the
+// server's reusable batch buffer so the model queue's backing array
+// can absorb new arrivals while the batch executes.
 func (s *Server) startBatch() {
 	m, ok := s.nextModel()
 	if !ok {
@@ -262,44 +327,59 @@ func (s *Server) startBatch() {
 	}
 	q := s.queues[m]
 	batch, rejected := s.splitBatch(q)
-	take := len(batch)
+	s.batch = append(s.batch[:0], batch...)
+	take := len(s.batch)
 	now := s.sched.Now()
 	// Reject the overflow immediately: the device learns of
 	// saturation as fast as the network returns the rejection.
 	for _, r := range rejected {
 		s.stats.Rejected++
 		s.tenant(r.Tenant).Rejected++
-		r.Done(Result{
+		s.finish(r, Result{
 			Status:     StatusRejected,
 			FinishedAt: now,
 			Queued:     now - r.submittedAt,
 		})
 	}
-	s.queues[m] = nil
+	for i := range q {
+		q[i] = nil
+	}
+	s.queues[m] = q[:0]
 
 	lat := s.cfg.GPU.Curve(m).Latency(take)
 	if s.rng != nil && s.cfg.GPU.JitterRel > 0 {
 		lat = time.Duration(s.rng.Jitter(float64(lat), s.cfg.GPU.JitterRel))
 	}
 	s.busy = true
+	s.batchLat = lat
 	s.stats.Batches++
 	s.stats.BatchSizeSum += uint64(take)
 	s.stats.BusyTime += lat
 
-	s.sched.After(lat, func() {
-		done := s.sched.Now()
-		for _, r := range batch {
-			s.stats.Completed++
-			s.tenant(r.Tenant).Completed++
-			r.Done(Result{
-				Status:     StatusOK,
-				FinishedAt: done,
-				Queued:     done - r.submittedAt - lat,
-				BatchSize:  take,
-			})
-		}
-		s.startBatch()
-	})
+	s.sched.AfterCall(lat, s, 0)
+}
+
+// OnSchedEvent implements simtime.Callback: the executing batch
+// finished on the GPU. Completing via the callback interface with the
+// batch held in the reused server buffer keeps batch turnover
+// allocation-free (the old closure captured a fresh batch slice per
+// batch).
+func (s *Server) OnSchedEvent(uint64) {
+	done := s.sched.Now()
+	take := len(s.batch)
+	for i, r := range s.batch {
+		s.batch[i] = nil
+		s.stats.Completed++
+		s.tenant(r.Tenant).Completed++
+		s.finish(r, Result{
+			Status:     StatusOK,
+			FinishedAt: done,
+			Queued:     done - r.submittedAt - s.batchLat,
+			BatchSize:  take,
+		})
+	}
+	s.batch = s.batch[:0]
+	s.startBatch()
 }
 
 // splitBatch divides a queue into the batch to execute and the

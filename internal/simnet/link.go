@@ -66,6 +66,103 @@ type Link struct {
 	// Counters for traces and tests.
 	sent, delivered, droppedBacklog, droppedLoss uint64
 	packetsSent, packetsLost                     uint64
+
+	// freeXfers and freeFuncSinks recycle the per-transfer completion
+	// records so steady-state Send/SendTo traffic allocates nothing.
+	freeXfers     []*xfer
+	freeFuncSinks []*funcSink
+}
+
+// Sink receives a transfer's outcome without closure capture: the
+// receiver carries the context and the token round-trips verbatim from
+// SendTo. Exactly one of the two methods is invoked per transfer, at
+// the instant the outcome is known. Implementations must not retain
+// the token past the call; pooled receivers should generation-tag it
+// so an outcome arriving after the receiver was recycled is detected
+// and ignored.
+type Sink interface {
+	OnLinkDelivered(token uint64)
+	OnLinkDropped(token uint64)
+}
+
+// xfer is the pooled completion record for one in-flight transfer: it
+// carries the sink across the scheduler and returns itself to the
+// link's free list before notifying, so a sink callback that sends
+// again can reuse it immediately.
+type xfer struct {
+	link  *Link
+	sink  Sink
+	token uint64
+	drop  bool
+}
+
+// OnSchedEvent implements simtime.Callback: the transfer's outcome
+// instant arrived.
+func (x *xfer) OnSchedEvent(uint64) {
+	l, sink, token, drop := x.link, x.sink, x.token, x.drop
+	x.sink = nil
+	l.freeXfers = append(l.freeXfers, x)
+	if drop {
+		sink.OnLinkDropped(token)
+		return
+	}
+	l.delivered++
+	sink.OnLinkDelivered(token)
+}
+
+func (l *Link) newXfer(sink Sink, token uint64, drop bool) *xfer {
+	var x *xfer
+	if n := len(l.freeXfers); n > 0 {
+		x = l.freeXfers[n-1]
+		l.freeXfers = l.freeXfers[:n-1]
+	} else {
+		x = &xfer{link: l}
+	}
+	x.sink = sink
+	x.token = token
+	x.drop = drop
+	return x
+}
+
+// funcSink adapts the legacy closure-based Send signature onto the
+// Sink core. It is pooled so the adapter itself costs nothing; the
+// caller's closures still allocate at the call site, which is why hot
+// paths use SendTo directly.
+type funcSink struct {
+	link                   *Link
+	onDelivered, onDropped func()
+}
+
+func (f *funcSink) release() (onDelivered, onDropped func()) {
+	onDelivered, onDropped = f.onDelivered, f.onDropped
+	f.onDelivered, f.onDropped = nil, nil
+	f.link.freeFuncSinks = append(f.link.freeFuncSinks, f)
+	return onDelivered, onDropped
+}
+
+func (f *funcSink) OnLinkDelivered(uint64) {
+	onDelivered, _ := f.release()
+	onDelivered()
+}
+
+func (f *funcSink) OnLinkDropped(uint64) {
+	_, onDropped := f.release()
+	if onDropped != nil {
+		onDropped()
+	}
+}
+
+func (l *Link) newFuncSink(onDelivered, onDropped func()) *funcSink {
+	var f *funcSink
+	if n := len(l.freeFuncSinks); n > 0 {
+		f = l.freeFuncSinks[n-1]
+		l.freeFuncSinks = l.freeFuncSinks[:n-1]
+	} else {
+		f = &funcSink{link: l}
+	}
+	f.onDelivered = onDelivered
+	f.onDropped = onDropped
+	return f
 }
 
 // NewLink creates a link on the given scheduler. r supplies loss and
@@ -151,28 +248,58 @@ func (l *Link) Backlog() time.Duration {
 // (which may be nil) fires at the instant the failure is known. Send
 // itself returns immediately.
 //
+// Send is the closure-based compatibility form; hot paths use SendTo,
+// which shares the same transfer model but never captures.
+func (l *Link) Send(bytes int, onDelivered func(), onDropped func()) {
+	if onDelivered == nil {
+		panic("simnet: Send with nil onDelivered")
+	}
+	fs := l.newFuncSink(onDelivered, onDropped)
+	// Matching the historical behaviour, a nil onDropped schedules no
+	// failure event at all (rather than a no-op one), keeping event
+	// counts and FIFO tie-breaks identical for existing callers.
+	if !l.send(bytes, fs, 0, onDropped != nil) {
+		fs.release()
+	}
+}
+
+// SendTo simulates transferring a payload of the given size, reporting
+// the outcome to sink with the given token. It is the allocation-free
+// form of Send: the link recycles its per-transfer bookkeeping, so a
+// pooled sink makes the whole transfer path zero-alloc at steady
+// state.
+//
 // The transfer is packetized; every packet must be transmitted
 // successfully, and lost packets are retransmitted after a
 // fast-retransmit detection delay of one RTT (2 × PropDelay, with a
 // 10 ms floor), consuming bottleneck bandwidth again. A packet lost
 // MaxRetries times aborts the transfer. If the bottleneck backlog
 // already exceeds MaxBacklog the transfer is dropped at enqueue.
-func (l *Link) Send(bytes int, onDelivered func(), onDropped func()) {
+// Exactly one of OnLinkDelivered/OnLinkDropped fires per transfer.
+func (l *Link) SendTo(bytes int, sink Sink, token uint64) {
+	if sink == nil {
+		panic("simnet: SendTo with nil sink")
+	}
+	l.send(bytes, sink, token, true)
+}
+
+// send is the shared transfer core. notifyDrop selects whether a
+// dropped transfer schedules a failure event; it reports whether an
+// outcome event was scheduled (i.e. whether the sink will be called).
+func (l *Link) send(bytes int, sink Sink, token uint64, notifyDrop bool) bool {
 	if bytes <= 0 {
 		panic("simnet: Send with non-positive size")
-	}
-	if onDelivered == nil {
-		panic("simnet: Send with nil onDelivered")
 	}
 	now := l.sched.Now()
 	cond := l.cond
 
 	if l.Backlog() > l.MaxBacklog {
 		l.droppedBacklog++
-		if onDropped != nil {
-			l.sched.At(now, onDropped)
+		if notifyDrop {
+			l.sched.AtCall(now, l.newXfer(sink, token, true), 0)
+			return true
 		}
-		return
+		return false
 	}
 	l.sent++
 
@@ -244,12 +371,13 @@ func (l *Link) Send(bytes int, onDelivered func(), onDropped func()) {
 
 	if aborted {
 		l.droppedLoss++
-		if onDropped != nil {
+		if notifyDrop {
 			// The failure becomes known after the futile
 			// transmission and stalls.
-			l.sched.At(start+txTime+stall, onDropped)
+			l.sched.AtCall(start+txTime+stall, l.newXfer(sink, token, true), 0)
+			return true
 		}
-		return
+		return false
 	}
 
 	deliverAt := start + txTime + stall + cond.PropDelay
@@ -257,10 +385,8 @@ func (l *Link) Send(bytes int, onDelivered func(), onDropped func()) {
 		span := float64(deliverAt - now)
 		deliverAt = now + simtime.Time(l.rng.Jitter(span, cond.JitterRel))
 	}
-	l.sched.At(deliverAt, func() {
-		l.delivered++
-		onDelivered()
-	})
+	l.sched.AtCall(deliverAt, l.newXfer(sink, token, false), 0)
+	return true
 }
 
 // Path is a bidirectional device↔server connection: an uplink carrying

@@ -27,14 +27,27 @@ import (
 // the simulation (t = 0).
 type Time = time.Duration
 
+// Callback is the closure-free form of an event target. Instead of
+// capturing context in a func literal — one heap allocation per
+// event — the receiver carries the context and the token disambiguates
+// concurrent events on the same receiver (hot paths use it as a
+// generation tag so a callback arriving after its state was recycled
+// can detect the mismatch and become a no-op). Implementations must
+// not retain the token past the call.
+type Callback interface {
+	OnSchedEvent(token uint64)
+}
+
 // node is the heap entry backing a scheduled event. Nodes are owned by
 // the scheduler and recycled after firing or draining; the public
 // Event handle carries a generation tag (the seq) so stale handles
-// never act on a recycled node.
+// never act on a recycled node. Exactly one of fn and cb is set.
 type node struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	cb       Callback
+	token    uint64
 	index    int32 // heap index; -1 once removed
 	canceled bool
 }
@@ -150,12 +163,13 @@ func (s *Scheduler) alloc() *node {
 	return n
 }
 
-// recycle returns a node to the free list. The fn reference is cleared
-// so the scheduler does not retain captured closures; seq is left
-// untouched until reuse so stale Event handles still fail their
-// generation check.
+// recycle returns a node to the free list. The fn and cb references are
+// cleared so the scheduler does not retain captured closures or pooled
+// receivers; seq is left untouched until reuse so stale Event handles
+// still fail their generation check.
 func (s *Scheduler) recycle(n *node) {
 	n.fn = nil
+	n.cb = nil
 	s.free = append(s.free, n)
 }
 
@@ -166,6 +180,34 @@ func (s *Scheduler) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("simtime: At called with nil function")
 	}
+	return s.schedule(t, fn, nil, 0)
+}
+
+// After schedules fn to run d after the current virtual time. A
+// negative d panics (see At).
+func (s *Scheduler) After(d time.Duration, fn func()) Event {
+	return s.At(s.now+d, fn)
+}
+
+// AtCall schedules cb.OnSchedEvent(token) at virtual time t. It is the
+// allocation-free alternative to At for hot paths: no closure is
+// created, and the token lets one receiver multiplex many pending
+// events (see Callback). Ordering semantics are identical to At.
+func (s *Scheduler) AtCall(t Time, cb Callback, token uint64) Event {
+	if cb == nil {
+		panic("simtime: AtCall called with nil callback")
+	}
+	return s.schedule(t, nil, cb, token)
+}
+
+// AfterCall schedules cb.OnSchedEvent(token) d after the current
+// virtual time (see AtCall).
+func (s *Scheduler) AfterCall(d time.Duration, cb Callback, token uint64) Event {
+	return s.AtCall(s.now+d, cb, token)
+}
+
+// schedule is the shared enqueue path behind At and AtCall.
+func (s *Scheduler) schedule(t Time, fn func(), cb Callback, token uint64) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: event scheduled in the past (at=%v, now=%v)", t, s.now))
 	}
@@ -174,18 +216,14 @@ func (s *Scheduler) At(t Time, fn func()) Event {
 	n.at = t
 	n.seq = s.seq
 	n.fn = fn
+	n.cb = cb
+	n.token = token
 	n.canceled = false
 	s.seq++
 	n.index = int32(len(s.events))
 	s.events = append(s.events, n)
 	s.siftUp(len(s.events) - 1)
 	return Event{n: n, seq: n.seq, at: t}
-}
-
-// After schedules fn to run d after the current virtual time. A
-// negative d panics (see At).
-func (s *Scheduler) After(d time.Duration, fn func()) Event {
-	return s.At(s.now+d, fn)
 }
 
 // Step executes the single earliest pending event, advancing the clock
@@ -198,11 +236,15 @@ func (s *Scheduler) Step() bool {
 			s.recycle(n)
 			continue
 		}
-		at, fn := n.at, n.fn
+		at, fn, cb, token := n.at, n.fn, n.cb, n.token
 		s.recycle(n)
 		s.now = at
 		s.fired++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			cb.OnSchedEvent(token)
+		}
 		return true
 	}
 	return false

@@ -26,18 +26,21 @@ func (s *Scheduler) Every(start Time, period time.Duration, fn func(now Time)) *
 		panic("simtime: Every with nil function")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.next = s.At(start, t.fire)
+	t.next = s.AtCall(start, t, 0)
 	return t
 }
 
-func (t *Ticker) fire() {
+// OnSchedEvent implements Callback: one tick. Using the callback form
+// instead of a `t.fire` method value keeps the per-tick reschedule
+// allocation-free (a method value is a fresh closure every tick).
+func (t *Ticker) OnSchedEvent(uint64) {
 	if t.done {
 		return
 	}
 	t.ticks++
 	// Schedule the next tick before running the callback so the
 	// callback may Stop the ticker and have that take effect.
-	t.next = t.s.After(t.period, t.fire)
+	t.next = t.s.AfterCall(t.period, t, 0)
 	t.fn(t.s.Now())
 }
 

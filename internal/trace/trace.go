@@ -48,6 +48,26 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// NewRecorderCap returns an empty recorder pre-sized for capacity
+// events, so a bounded run (e.g. capacity = the scenario FrameLimit)
+// never regrows the log. A non-positive capacity is the same as
+// NewRecorder.
+func NewRecorderCap(capacity int) *Recorder {
+	r := &Recorder{}
+	if capacity > 0 {
+		r.events = make([]Event, 0, capacity)
+	}
+	return r
+}
+
+// Reset discards the recorded events but keeps the backing array, so a
+// recorder can be reused across runs without reallocating.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
 // Hook returns a function suitable for device.Config.OnOffload.
 func (r *Recorder) Hook() func(device.OffloadOutcome) {
 	return func(o device.OffloadOutcome) {

@@ -42,6 +42,34 @@ func TestRecorderCapturesEvents(t *testing.T) {
 	}
 }
 
+// A pre-sized recorder must not regrow its log within capacity, and
+// Reset must keep the backing array for reuse across runs.
+func TestRecorderCapAndReset(t *testing.T) {
+	r := NewRecorderCap(64)
+	hook := r.Hook()
+	allocs := testing.AllocsPerRun(50, func() {
+		hook(sampleOutcome(1, device.OffloadSucceeded))
+		if r.Len() > 60 {
+			r.Reset()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recording within capacity allocates %.1f allocs/op, want 0", allocs)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	hook(sampleOutcome(9, device.OffloadServerRejected))
+	if evs := r.Events(); len(evs) != 1 || evs[0].FrameID != 9 {
+		t.Fatalf("events after Reset+record = %+v", evs)
+	}
+	// Non-positive capacity degrades to a plain recorder.
+	if rr := NewRecorderCap(0); rr.Len() != 0 {
+		t.Fatal("NewRecorderCap(0) not empty")
+	}
+}
+
 func TestJSONLRoundTrip(t *testing.T) {
 	r := NewRecorder()
 	hook := r.Hook()

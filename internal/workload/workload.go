@@ -189,7 +189,7 @@ func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cf
 		n := inj.rng.Poisson(rate * sub.Seconds())
 		for i := 0; i < n; i++ {
 			offset := simtime.Time(inj.rng.Float64() * float64(sub))
-			sched.At(now+offset, inj.submitOne)
+			sched.AtCall(now+offset, inj, 0)
 		}
 	})
 	return inj
@@ -201,21 +201,30 @@ func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cf
 // before a final Run.
 func (inj *Injector) Stop() { inj.ticker.Stop() }
 
+// submitOne implements simtime.Callback: one Poisson arrival reaches
+// the server. The injector is its own server.Completer, so a
+// background request costs no allocation at steady state (the request
+// itself comes from the server's pool).
+func (inj *Injector) OnSchedEvent(uint64) { inj.submitOne() }
+
 func (inj *Injector) submitOne() {
 	inj.submitted++
-	inj.srv.Submit(&server.Request{
-		ID:     inj.submitted,
-		Tenant: inj.tenant,
-		Model:  inj.pickModel(),
-		Bytes:  inj.bytes,
-		Done: func(res server.Result) {
-			if res.Status == server.StatusOK {
-				inj.completed++
-			} else {
-				inj.rejected++
-			}
-		},
-	})
+	req := inj.srv.AcquireRequest()
+	req.ID = inj.submitted
+	req.Tenant = inj.tenant
+	req.Model = inj.pickModel()
+	req.Bytes = inj.bytes
+	req.Completer = inj
+	inj.srv.Submit(req)
+}
+
+// CompleteRequest implements server.Completer.
+func (inj *Injector) CompleteRequest(_ *server.Request, res server.Result) {
+	if res.Status == server.StatusOK {
+		inj.completed++
+	} else {
+		inj.rejected++
+	}
 }
 
 func (inj *Injector) pickModel() models.Model {

@@ -47,6 +47,9 @@ churn_allocs="$(bench_field "$churn" "allocs/op")"
 scen_ns="$(bench_field "$scen" "ns/op")"
 scen_b="$(bench_field "$scen" "B/op")"
 scen_allocs="$(bench_field "$scen" "allocs/op")"
+scen_events="$(bench_field "$scen" "events/run")"
+# Scenario event throughput: events per run over ns per run.
+scen_meps="$(awk -v e="${scen_events:-0}" -v ns="$scen_ns" 'BEGIN{if (ns > 0) printf "%.2f", e / ns * 1000; else print 0}')"
 
 # best_of CMD... runs the command $REPS times, prints the fastest wall
 # time in seconds.
@@ -97,7 +100,9 @@ cat > "$OUT" <<EOF
     "ScenarioRun": {
       "ns_per_op": $scen_ns,
       "bytes_per_op": $scen_b,
-      "allocs_per_op": $scen_allocs
+      "allocs_per_op": $scen_allocs,
+      "events_per_run": ${scen_events:-0},
+      "million_events_per_second": $scen_meps
     }
   },
   "suite": {

@@ -1,0 +1,140 @@
+// Command benchdiff compares two bench.sh baseline files
+// (BENCH_<date>.json) metric by metric and fails when a gated metric
+// regresses beyond its threshold.
+//
+// Usage:
+//
+//	go run ./scripts -alloc-threshold 10 BENCH_old.json bench-new.json
+//	make benchdiff BASELINE=BENCH_2026-08-05.json CURRENT=bench-ci.json
+//
+// Gating policy: allocs/op is deterministic for these benchmarks (each
+// ScenarioRun iteration is a self-contained simulation, so its
+// allocation count does not vary with -benchtime or machine load),
+// which makes it safe to gate hard in CI even on a 1x smoke run.
+// ns/op and B/op on shared CI runners are noisy, so they are reported
+// — and gated only when their thresholds are explicitly set > 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Date       string             `json:"date"`
+	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+func load(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks section", path)
+	}
+	return &b, nil
+}
+
+// pct returns the relative change from base to cur in percent.
+// A zero base with a non-zero cur is an infinite regression; zero to
+// zero is no change.
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return float64(1 << 62) // effectively infinite
+	}
+	return (cur - base) / base * 100
+}
+
+// check appends a formatted row and reports whether the metric busts
+// its threshold (threshold <= 0 means report-only).
+func check(rows *[]string, bench, metric string, base, cur, threshold float64) bool {
+	delta := pct(base, cur)
+	gate := "        "
+	fail := threshold > 0 && delta > threshold
+	if fail {
+		gate = fmt.Sprintf(" FAIL>%g%%", threshold)
+	} else if threshold > 0 {
+		gate = fmt.Sprintf("   ok<%g%%", threshold)
+	}
+	deltaStr := fmt.Sprintf("%+.1f%%", delta)
+	if delta >= float64(1<<62) {
+		deltaStr = "+inf%"
+	}
+	*rows = append(*rows, fmt.Sprintf("%-16s %-10s %14.1f %14.1f %9s%s",
+		bench, metric, base, cur, deltaStr, gate))
+	return fail
+}
+
+func main() {
+	allocThreshold := flag.Float64("alloc-threshold", 10,
+		"max allowed allocs/op regression in percent (<=0 disables the gate)")
+	nsThreshold := flag.Float64("ns-threshold", 0,
+		"max allowed ns/op regression in percent (<=0 reports only; CI timing is noisy)")
+	bytesThreshold := flag.Float64("bytes-threshold", 10,
+		"max allowed B/op regression in percent (<=0 disables the gate)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <baseline.json> <current.json>")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s missing from %s (skipped)\n", name, flag.Arg(1))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
+		os.Exit(2)
+	}
+
+	rows := []string{fmt.Sprintf("%-16s %-10s %14s %14s %9s %s",
+		"benchmark", "metric", "baseline", "current", "delta", "gate")}
+	failed := false
+	for _, name := range names {
+		o, c := old.Benchmarks[name], cur.Benchmarks[name]
+		failed = check(&rows, name, "allocs/op", o.AllocsPerOp, c.AllocsPerOp, *allocThreshold) || failed
+		failed = check(&rows, name, "B/op", o.BytesPerOp, c.BytesPerOp, *bytesThreshold) || failed
+		failed = check(&rows, name, "ns/op", o.NsPerOp, c.NsPerOp, *nsThreshold) || failed
+	}
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s)\n", flag.Arg(0), old.Date, flag.Arg(1), cur.Date)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	if failed {
+		fmt.Println("benchdiff: REGRESSION — a gated metric exceeded its threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
