@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all benchdiff smoke experiments report clean
+.PHONY: all build test race chaos bench bench-all benchdiff smoke experiments report clean
 
 all: build test
 
@@ -18,6 +18,16 @@ test:
 race:
 	$(GO) test -race ./internal/realnet/ ./internal/netproto/ ./internal/parfan/
 	$(GO) test -race -run 'Parallel|Replicate|RunPolicies' ./internal/scenario/
+
+# Chaos gate: replay the seeded random fault plans under the race
+# detector with the run-time invariant checker armed, then fuzz
+# short faulted scenarios for determinism and invariant violations.
+# FUZZTIME matches the CI chaos-smoke job; raise it for deeper local
+# hunts, e.g. `make chaos FUZZTIME=5m`.
+FUZZTIME ?= 20s
+chaos:
+	$(GO) run -race ./cmd/ffexperiments -exp chaos -invariants
+	$(GO) test -run '^$$' -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/scenario/
 
 # Tier-1 perf baseline: scheduler churn + full-scenario benches and
 # whole-suite wall clock, written to BENCH_<date>.json. Override e.g.

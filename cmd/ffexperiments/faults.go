@@ -1,0 +1,205 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/parfan"
+	"repro/internal/plot"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Fault experiments (opt-in, not part of -exp all): recovery measures
+// time-to-reconvergence after each fault kind clears; chaos replays
+// seeded random fault plans under the run-time invariant checker.
+
+// recoveryFS is the recovery run's source frame rate; the equilibrium
+// band below is expressed in fractions of it.
+const recoveryFS = 30.0
+
+// recoveryPlan is the scripted fault sequence for -exp recovery: one
+// fault of each substrate kind, spaced so the controller fully settles
+// between them.
+func recoveryPlan() faults.Plan {
+	return faults.Plan{
+		// Long enough for the controller to ride the backoff
+		// transient down and settle at the standing-probe equilibrium
+		// before the restore.
+		{Kind: faults.ServerCrash, At: 30 * time.Second, Duration: 25 * time.Second},
+		{Kind: faults.LinkPartition, At: 80 * time.Second, Duration: 10 * time.Second, Device: -1},
+		{Kind: faults.GPUStall, At: 115 * time.Second, Duration: 10 * time.Second, Factor: 50},
+	}
+}
+
+// reconvergence returns how many seconds after clearSec the Po trace
+// first returns to at least frac of its pre-fault baseline, or -1 if
+// it never does. Trace index i holds the measurement taken at
+// t = i+1 s, covering the interval (i, i+1].
+func reconvergence(po []float64, baseline float64, clearSec int, frac float64) float64 {
+	for i := clearSec; i < len(po); i++ {
+		if po[i] >= frac*baseline {
+			return float64(i+1) - float64(clearSec)
+		}
+	}
+	return -1
+}
+
+// recovery is the closed-loop fault-recovery experiment: a single
+// FrameFeedback device rides through a server crash, a link partition
+// and a GPU stall, and the experiment reports how long P_o takes to
+// reconverge after each fault clears. During the total server outage
+// the controller must settle at its standing probe rate — the
+// TimeoutFrac·F_s equilibrium of Eq. 5 — which is asserted as a band
+// around 0.1·F_s.
+func recovery() {
+	header("Fault recovery: reconvergence after crash / partition / GPU stall")
+	reg := telemetry.NewRegistry()
+	faults.RegisterMetrics(reg)
+
+	plan := recoveryPlan()
+	r := scenario.Run(withSeed(scenario.Config{
+		Policy:          scenario.FrameFeedbackFactory(controller.Config{}),
+		FS:              recoveryFS,
+		FrameLimit:      4500, // 150 s at 30 fps
+		Devices:         []scenario.DeviceSpec{{Profile: models.Pi4B14()}},
+		Faults:          plan,
+		CheckInvariants: true,
+	}))
+
+	// Annotate the trace with fault activity so the CSV is
+	// self-describing.
+	active := make([]float64, len(r.Time))
+	for i := range active {
+		at := simtime.Time(r.Time[i]+1) * simtime.Time(time.Second)
+		for _, in := range plan {
+			if at > in.At && at <= in.End() {
+				active[i] = float64(in.Kind) + 1
+			}
+		}
+	}
+	csv := r.Table().AddColumn("faultKind", active)
+	writeCSV("recovery.csv", csv)
+
+	rows := [][]string{}
+	for _, in := range plan {
+		startSec := int(in.At / simtime.Time(time.Second))
+		clearSec := int(in.End() / simtime.Time(time.Second))
+		baseline := metrics.Mean(r.Po[startSec-5 : startSec])
+		during := metrics.Mean(r.Po[startSec+1 : clearSec])
+		rec := reconvergence(r.Po, baseline, clearSec, 0.9)
+		faults.ObserveRecovery(rec)
+		recStr := "never"
+		if rec >= 0 {
+			recStr = fmt.Sprintf("%.0f s", rec)
+		}
+		rows = append(rows, []string{
+			in.String(),
+			fmt.Sprintf("%5.2f", baseline),
+			fmt.Sprintf("%5.2f", during),
+			recStr,
+			pass(rec >= 0),
+		})
+	}
+	plot.RenderTable(os.Stdout,
+		[]string{"fault", "Po before", "Po during", "reconvergence", "verdict"}, rows)
+
+	// Equilibrium check: with the server gone, every offload times out
+	// and FrameFeedback's error term e = TimeoutFrac·F_s − T̄ drives Po
+	// down until the timeout rate settles at the standing probe rate
+	// ≈ 0.1·F_s. The first seconds of the outage are the backoff
+	// transient, so the band is asserted over the settled tail (the
+	// last 10 ticks before the restore), with the whole-outage mean
+	// printed for context.
+	crash := plan[0]
+	lo, hi := 0.05*recoveryFS, 0.15*recoveryFS
+	crashStart := int(crash.At / simtime.Time(time.Second))
+	crashEnd := int(crash.End() / simtime.Time(time.Second))
+	wholeT := metrics.Mean(r.TRate[crashStart:crashEnd])
+	settledT := metrics.Mean(r.TRate[crashEnd-10 : crashEnd])
+	fmt.Printf("\nT during server outage: %.2f/s whole window, %.2f/s settled tail\n", wholeT, settledT)
+	fmt.Printf("settled T inside equilibrium band [%.1f, %.1f] around 0.1*F_s: %s\n",
+		lo, hi, pass(settledT >= lo && settledT <= hi))
+	fmt.Printf("faults injected: %d; invariant checker: %s\n",
+		r.FaultsInjected, pass(r.FaultsInjected == uint64(len(plan))))
+
+	if *verboseFlag {
+		fmt.Println("\ntelemetry exposition (fault instruments):")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
+// chaosPlans derives n seeded random fault plans for -exp chaos. Plan i
+// is a pure function of baseSeed+i, so a failing plan can be replayed
+// in isolation.
+func chaosPlans(baseSeed uint64, n, horizonSec, devices int) []faults.Plan {
+	plans := make([]faults.Plan, n)
+	for i := range plans {
+		plans[i] = faults.RandomPlan(rng.New(baseSeed+uint64(i)), faults.RandomPlanConfig{
+			Horizon: simtime.Time(horizonSec) * simtime.Time(time.Second),
+			Devices: devices,
+		})
+	}
+	return plans
+}
+
+// chaosPlanCount is how many random plans -exp chaos replays; CI's
+// chaos-smoke job runs the same count under the race detector.
+const chaosPlanCount = 8
+
+// chaos replays seeded random fault plans with the invariant checker
+// armed: every run validates frame conservation, pool-generation
+// sanity and crash semantics each tick, and panics on the first
+// violation with its seed and sim time. Each plan also runs across two
+// seeds via Replicate, so the check covers the parallel fan-out path.
+func chaos() {
+	header("Chaos: random fault plans under the run-time invariant checker")
+	plans := chaosPlans(*seedFlag, chaosPlanCount, 40, 3)
+	type outcome struct {
+		kinds string
+		rep   *scenario.Replication
+	}
+	outcomes := parfan.Map(workers(), plans, func(i int, plan faults.Plan) outcome {
+		kinds := ""
+		for j, in := range plan {
+			if j > 0 {
+				kinds += " "
+			}
+			kinds += in.Kind.String()
+		}
+		cfg := scenario.Config{
+			Policy:          scenario.FrameFeedbackFactory(controller.Config{}),
+			FrameLimit:      1200, // 40 s at 30 fps
+			Faults:          plan,
+			CheckInvariants: true,
+		}
+		return outcome{kinds: kinds, rep: scenario.Replicate(cfg, *seedFlag+uint64(i)*100, 2)}
+	})
+	rows := [][]string{}
+	for i, o := range outcomes {
+		injected := uint64(0)
+		for _, r := range o.rep.Results {
+			injected += r.FaultsInjected
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			o.kinds,
+			fmt.Sprintf("%d", injected),
+			fmt.Sprintf("%5.2f", o.rep.MeanPSummary.Mean),
+			fmt.Sprintf("%5.2f", o.rep.MeanTSummary.Mean),
+		})
+	}
+	plot.RenderTable(os.Stdout,
+		[]string{"plan", "fault kinds", "injected", "mean P", "mean T"}, rows)
+	fmt.Printf("\n%d plans x 2 seeds: all invariants held (any violation panics with seed and sim time)\n",
+		len(plans))
+}

@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	ffexperiments [-exp NAME] [-out DIR] [-seed N] [-parallel N] [-verbose]
+//	ffexperiments [-exp NAME] [-out DIR] [-seed N] [-parallel N] [-verbose] [-invariants]
 //
 // where NAME is all (default) or one of: table2 table3 fig2 fig3 fig4
 // cpu factor ablations energy combined burst quality fairness tune
 // latency deadline heterofair robustness aimd admitcap app sweep
-// batchsweep ticksweep delaysweep — plus the opt-in wall-clock "real"
-// (E20), which is not part of "all". The experiment ids match
-// DESIGN.md's per-experiment index (E1–E24).
+// batchsweep ticksweep delaysweep — plus three opt-in experiments that
+// are not part of "all": the wall-clock "real" (E20), and the
+// fault-injection pair "recovery" (time-to-reconvergence after each
+// fault kind clears) and "chaos" (seeded random fault plans under the
+// run-time invariant checker). The experiment ids match DESIGN.md's
+// per-experiment index (E1–E24).
+//
+// -invariants forces the run-time invariant checker on for every
+// simulation in the process (recovery and chaos always run with it).
 //
 // Independent simulations inside an experiment (policy comparisons,
 // replications, parameter sweeps) fan out across -parallel workers
@@ -53,7 +59,8 @@ var (
 	outFlag      = flag.String("out", "", "directory for CSV traces (omit to skip CSV output)")
 	seedFlag     = flag.Uint64("seed", scenario.DefaultSeed, "simulation seed")
 	parallelFlag = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
-	verboseFlag  = flag.Bool("verbose", false, "print per-experiment event-throughput accounting")
+	verboseFlag    = flag.Bool("verbose", false, "print per-experiment event-throughput accounting")
+	invariantsFlag = flag.Bool("invariants", false, "run every simulation under the run-time invariant checker")
 )
 
 // workers returns the fan-out bound for this process's sweeps.
@@ -62,6 +69,7 @@ func workers() int { return scenario.Parallelism() }
 func main() {
 	flag.Parse()
 	scenario.SetParallelism(*parallelFlag)
+	scenario.SetInvariantChecking(*invariantsFlag)
 	runners := map[string]func(){
 		"table2":     table2,
 		"table3":     table3,
@@ -89,7 +97,12 @@ func main() {
 		"batchsweep": batchsweep,
 		"ticksweep":  ticksweep,
 		"delaysweep": delaysweep,
+		"recovery":   recovery,
+		"chaos":      chaos,
 	}
+	// recovery and chaos stay out of the "all" order: -exp all output
+	// is a byte-stability fixture, and the fault experiments are
+	// opt-in diagnostics like "real".
 	order := []string{
 		"table2", "table3", "fig2", "fig3", "fig4", "cpu", "factor", "ablations",
 		"energy", "combined", "burst", "quality", "fairness", "tune",

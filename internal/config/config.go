@@ -239,8 +239,8 @@ func buildNetwork(rows []NetworkRow) (simnet.Schedule, error) {
 			},
 		})
 	}
-	if !sched.Validate() {
-		return nil, fmt.Errorf("config: network rows not strictly ordered by start_s")
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("config: bad network rows: %w", err)
 	}
 	return sched, nil
 }

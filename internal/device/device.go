@@ -232,6 +232,12 @@ func (d *Device) FS() float64 { return d.cfg.FS }
 // Config returns the effective configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// PoolGen returns the offload-state pool's generation counter. Every
+// offload attempt acquires exactly one pooled state, so this tracks
+// Counters().OffloadAttempts; the invariant checker cross-checks the
+// two to detect pool leaks or live-state recycling.
+func (d *Device) PoolGen() uint64 { return d.offGen }
+
 // SetOffloadRate sets P_o, clamped to [0, F_s].
 func (d *Device) SetOffloadRate(po float64) {
 	if po < 0 {
@@ -429,6 +435,14 @@ func (st *offloadState) CompleteRequest(req *server.Request, res server.Result) 
 		st.decref(n)
 		return
 	}
+	if res.Status == server.StatusDropped {
+		// Server crash blackhole: no response will ever come back, and
+		// the device cannot know that — the armed deadline reports the
+		// miss at its own instant. Only the server's reference returns
+		// here.
+		st.decref(1)
+		return
+	}
 	// Server ref transfers to the downlink transfer.
 	d.path.Down.SendTo(d.cfg.ResponseBytes, st, st.linkToken(1))
 }
@@ -532,6 +546,11 @@ func (d *Device) SendProbe(bytes int) {
 			Done: func(res server.Result) {
 				if res.Status == server.StatusRejected {
 					finish(false)
+					return
+				}
+				if res.Status == server.StatusDropped {
+					// Crash blackhole: the probe's own deadline
+					// event reports the failure.
 					return
 				}
 				d.path.Down.Send(d.cfg.ResponseBytes, func() {

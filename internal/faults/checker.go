@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// DeviceSnapshot is one device's per-tick state as the Checker sees
+// it: the cumulative counters plus the live offload rate and the
+// device's pool generation (which must track OffloadAttempts exactly —
+// every attempt acquires one pooled offload state).
+type DeviceSnapshot struct {
+	Tenant  int
+	Po, FS  float64
+	PoolGen uint64
+
+	Captured        uint64
+	OffloadAttempts uint64
+	OffloadOK       uint64
+	OffloadTimedOut uint64
+	OffloadRejected uint64
+	LocalDone       uint64
+	LocalDropped    uint64
+}
+
+// ServerSnapshot is the server's cumulative accounting per tick.
+type ServerSnapshot struct {
+	Submitted, Completed, Rejected, Dropped uint64
+}
+
+// open returns the requests submitted but not yet resolved.
+func (s ServerSnapshot) open() uint64 {
+	return s.Submitted - s.Completed - s.Rejected - s.Dropped
+}
+
+// TenantSnapshot is one tenant's server-side accounting per tick.
+type TenantSnapshot struct {
+	Tenant                                  int
+	Submitted, Completed, Rejected, Dropped uint64
+}
+
+// Checker validates run-time invariants every measurement tick and
+// fails fast: the first violation is reported with the offending sim
+// time and the run's seed, and sticks (subsequent Check calls return
+// the same error). It knows the run's fault plan so it can additionally
+// assert that the server completes nothing while crashed.
+type Checker struct {
+	seed  uint64
+	crash []Injection // ServerCrash windows from the plan
+
+	started bool
+	prevNow simtime.Time
+	prevSrv ServerSnapshot
+	err     error
+}
+
+// NewChecker builds a checker for one run. plan may be nil/empty when
+// the run injects no faults; the conservation invariants still apply.
+func NewChecker(seed uint64, plan Plan) *Checker {
+	c := &Checker{seed: seed}
+	for _, in := range plan {
+		if in.Kind == ServerCrash {
+			c.crash = append(c.crash, in)
+		}
+	}
+	return c
+}
+
+// Err returns the first recorded violation, if any.
+func (c *Checker) Err() error { return c.err }
+
+func (c *Checker) failf(now simtime.Time, format string, args ...any) error {
+	c.err = fmt.Errorf("faults: invariant violated at t=%v (seed %d): %s",
+		now, c.seed, fmt.Sprintf(format, args...))
+	return c.err
+}
+
+// Check validates one tick's snapshots. Call it once per measurement
+// tick with strictly increasing now; the snapshots must all be taken
+// at the same instant.
+func (c *Checker) Check(now simtime.Time, devs []DeviceSnapshot, srv ServerSnapshot, tenants []TenantSnapshot) error {
+	if c.err != nil {
+		return c.err
+	}
+	// Monotonic sim time: the scheduler must never tick backwards or
+	// repeat an instant.
+	if c.started && now <= c.prevNow {
+		return c.failf(now, "sim time not monotonic: tick at %v after tick at %v", now, c.prevNow)
+	}
+
+	for _, d := range devs {
+		// The controller's output must respect the actuator range.
+		if d.Po < 0 || d.Po > d.FS {
+			return c.failf(now, "device %d: Po %v outside [0, F_s=%v]", d.Tenant, d.Po, d.FS)
+		}
+		// Offload outcomes are mutually exclusive, so resolutions can
+		// never outnumber attempts — more means a double completion.
+		if resolved := d.OffloadOK + d.OffloadTimedOut + d.OffloadRejected; resolved > d.OffloadAttempts {
+			return c.failf(now, "device %d: %d offload resolutions for %d attempts (double completion)",
+				d.Tenant, resolved, d.OffloadAttempts)
+		}
+		// Frame conservation: every counted frame was captured; the
+		// shortfall is bounded by in-flight work, never negative.
+		if routed := d.OffloadAttempts + d.LocalDone + d.LocalDropped; routed > d.Captured {
+			return c.failf(now, "device %d: routed %d frames but captured only %d",
+				d.Tenant, routed, d.Captured)
+		}
+		// Pool-generation sanity: each attempt acquires exactly one
+		// pooled offload state, so the generation counter tracks the
+		// attempt count; divergence means the pool leaked or recycled
+		// a live state.
+		if d.PoolGen != d.OffloadAttempts {
+			return c.failf(now, "device %d: offload pool generation %d != attempts %d",
+				d.Tenant, d.PoolGen, d.OffloadAttempts)
+		}
+	}
+
+	// Server conservation: resolutions partition submissions.
+	if srv.Completed+srv.Rejected+srv.Dropped > srv.Submitted {
+		return c.failf(now, "server resolved %d+%d+%d requests of %d submitted (double completion)",
+			srv.Completed, srv.Rejected, srv.Dropped, srv.Submitted)
+	}
+	if c.started {
+		// Cumulative counters are monotone.
+		if srv.Submitted < c.prevSrv.Submitted || srv.Completed < c.prevSrv.Completed ||
+			srv.Rejected < c.prevSrv.Rejected || srv.Dropped < c.prevSrv.Dropped {
+			return c.failf(now, "server counters regressed: %+v -> %+v", c.prevSrv, srv)
+		}
+		// No completion after crash: while a ServerCrash window covers
+		// the whole interval since the previous tick, the GPU is down
+		// and nothing may complete (rejections and drops are how the
+		// crash itself resolves work).
+		if srv.Completed > c.prevSrv.Completed {
+			for _, in := range c.crash {
+				if in.At <= c.prevNow && now <= in.End() {
+					return c.failf(now, "server completed %d requests during crash window %v",
+						srv.Completed-c.prevSrv.Completed, in)
+				}
+			}
+		}
+	}
+
+	for _, ten := range tenants {
+		if ten.Completed+ten.Rejected+ten.Dropped > ten.Submitted {
+			return c.failf(now, "tenant %d over-resolved: %d+%d+%d of %d submitted",
+				ten.Tenant, ten.Completed, ten.Rejected, ten.Dropped, ten.Submitted)
+		}
+	}
+
+	c.started = true
+	c.prevNow = now
+	c.prevSrv = srv
+	return nil
+}

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// okDev is a snapshot that satisfies every device invariant.
+func okDev() DeviceSnapshot {
+	return DeviceSnapshot{
+		Tenant: 0, Po: 10, FS: 30, PoolGen: 100,
+		Captured: 300, OffloadAttempts: 100,
+		OffloadOK: 80, OffloadTimedOut: 10, OffloadRejected: 5,
+		LocalDone: 150, LocalDropped: 40,
+	}
+}
+
+func okSrv() ServerSnapshot {
+	return ServerSnapshot{Submitted: 100, Completed: 80, Rejected: 10, Dropped: 5}
+}
+
+func TestCheckerAcceptsConsistentRun(t *testing.T) {
+	c := NewChecker(1, nil)
+	srv := okSrv()
+	for s := 1; s <= 5; s++ {
+		srv.Submitted += 10
+		srv.Completed += 10
+		if err := c.Check(sec(s), []DeviceSnapshot{okDev()}, srv,
+			[]TenantSnapshot{{Tenant: 0, Submitted: srv.Submitted, Completed: srv.Completed}}); err != nil {
+			t.Fatalf("tick %d: %v", s, err)
+		}
+	}
+}
+
+// The first violation must report the offending sim time and the run's
+// seed (the ISSUE's fail-fast contract), and stick on later calls.
+func TestCheckerErrorMentionsTimeAndSeed(t *testing.T) {
+	c := NewChecker(987, nil)
+	d := okDev()
+	d.OffloadOK = d.OffloadAttempts + 1 // double completion
+	err := c.Check(sec(7), []DeviceSnapshot{d}, okSrv(), nil)
+	if err == nil {
+		t.Fatal("double completion accepted")
+	}
+	for _, want := range []string{"t=7s", "seed 987", "double completion"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Sticky: a later, perfectly consistent tick still returns the
+	// original violation.
+	if err2 := c.Check(sec(8), []DeviceSnapshot{okDev()}, okSrv(), nil); err2 == nil || err2.Error() != err.Error() {
+		t.Errorf("checker did not stick to the first violation: %v", err2)
+	}
+}
+
+func TestCheckerViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*DeviceSnapshot, *ServerSnapshot)
+		want string
+	}{
+		{"Po above Fs", func(d *DeviceSnapshot, _ *ServerSnapshot) { d.Po = d.FS + 1 }, "outside [0, F_s"},
+		{"Po negative", func(d *DeviceSnapshot, _ *ServerSnapshot) { d.Po = -0.5 }, "outside [0, F_s"},
+		{"offload double completion", func(d *DeviceSnapshot, _ *ServerSnapshot) { d.OffloadTimedOut += 20 }, "double completion"},
+		{"routed exceeds captured", func(d *DeviceSnapshot, _ *ServerSnapshot) { d.Captured = 100 }, "captured only"},
+		{"pool generation drift", func(d *DeviceSnapshot, _ *ServerSnapshot) { d.PoolGen++ }, "pool generation"},
+		{"server over-resolution", func(_ *DeviceSnapshot, s *ServerSnapshot) { s.Completed = s.Submitted }, "double completion"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewChecker(1, nil)
+			d, s := okDev(), okSrv()
+			tc.mut(&d, &s)
+			err := c.Check(sec(1), []DeviceSnapshot{d}, s, nil)
+			if err == nil {
+				t.Fatal("violation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckerMonotonicTime(t *testing.T) {
+	c := NewChecker(1, nil)
+	if err := c.Check(sec(2), nil, okSrv(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(sec(2), nil, okSrv(), nil); err == nil ||
+		!strings.Contains(err.Error(), "not monotonic") {
+		t.Fatalf("repeated instant accepted: %v", err)
+	}
+}
+
+func TestCheckerCounterRegression(t *testing.T) {
+	c := NewChecker(1, nil)
+	srv := okSrv()
+	if err := c.Check(sec(1), nil, srv, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Dropped--
+	if err := c.Check(sec(2), nil, srv, nil); err == nil ||
+		!strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("counter regression accepted: %v", err)
+	}
+}
+
+// While a crash window covers the whole inter-tick interval, a rising
+// Completed counter is a completion from a dead GPU.
+func TestCheckerNoCompletionDuringCrash(t *testing.T) {
+	plan := Plan{{Kind: ServerCrash, At: sec(10), Duration: 10 * time.Second}}
+	c := NewChecker(1, plan)
+	srv := okSrv()
+	if err := c.Check(sec(11), nil, srv, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Drops during the window are the crash resolving work: fine.
+	srv.Submitted += 5
+	srv.Dropped += 5
+	if err := c.Check(sec(12), nil, srv, nil); err != nil {
+		t.Fatalf("crash-window drop rejected: %v", err)
+	}
+	srv.Completed++
+	srv.Submitted++
+	err := c.Check(sec(13), nil, srv, nil)
+	if err == nil || !strings.Contains(err.Error(), "during crash window") {
+		t.Fatalf("completion during crash accepted: %v", err)
+	}
+
+	// A tick straddling the restore may legitimately complete work.
+	c2 := NewChecker(1, plan)
+	srv2 := okSrv()
+	if err := c2.Check(sec(19), nil, srv2, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv2.Submitted++
+	srv2.Completed++
+	if err := c2.Check(sec(21), nil, srv2, nil); err != nil {
+		t.Fatalf("post-restore completion rejected: %v", err)
+	}
+}
+
+func TestCheckerTenantOverResolution(t *testing.T) {
+	c := NewChecker(1, nil)
+	err := c.Check(sec(1), nil, okSrv(),
+		[]TenantSnapshot{{Tenant: 3, Submitted: 10, Completed: 9, Rejected: 2}})
+	if err == nil || !strings.Contains(err.Error(), "tenant 3 over-resolved") {
+		t.Fatalf("tenant over-resolution accepted: %v", err)
+	}
+}

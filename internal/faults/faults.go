@@ -1,0 +1,328 @@
+// Package faults is a deterministic, seed-reproducible fault-injection
+// engine for the simulated substrate. A Plan is a validated list of
+// typed, timestamped injections with durations; Arm schedules the
+// plan's start/clear events on a simtime scheduler and drives the
+// substrate through small injection hooks (server crash/restore, GPU
+// slowdown, link partition, tenant flash-crowd churn, controller-tick
+// jitter). Because every event lands on the run's own scheduler and
+// all randomness comes from the run's rng tree, identical seed +
+// identical plan reproduces a run exactly — sequentially or under
+// parallel fan-out.
+//
+// The package also provides the run-time invariant Checker (see
+// checker.go) and a seeded random plan generator for chaos testing
+// (see random.go).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Kind enumerates the fault types the engine can inject.
+type Kind uint8
+
+const (
+	// ServerCrash takes the edge server down for the window: the
+	// executing batch and every queued request are resolved per the
+	// server's CrashPolicy (dropped silently or failed immediately),
+	// and submissions during the outage meet the same fate. Restore
+	// brings the server back empty.
+	ServerCrash Kind = iota
+	// GPUStall multiplies the server's batch execution time by
+	// Factor for the window — a thermal throttle or a competing
+	// process on the accelerator.
+	GPUStall
+	// LinkPartition blackholes the device path(s): 100% packet loss
+	// on both directions, with queue-drain semantics — transfers
+	// admitted before the partition still deliver, new transfers
+	// burn bottleneck bandwidth and abandon only after the full
+	// retry budget, exactly as TCP gives up.
+	LinkPartition
+	// TenantChurn models a flash crowd: Rate extra background
+	// requests per second join at the window start and leave at its
+	// end.
+	TenantChurn
+	// TickJitter skews the control/measurement tick while the
+	// window is active: each tick inside it is delayed by a uniform
+	// draw from (0, Jitter].
+	TickJitter
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ServerCrash:
+		return "server_crash"
+	case GPUStall:
+		return "gpu_stall"
+	case LinkPartition:
+		return "link_partition"
+	case TenantChurn:
+		return "tenant_churn"
+	case TickJitter:
+		return "tick_jitter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection is one scheduled fault: it starts at At and clears at
+// At+Duration. Kind selects which of the optional fields apply.
+type Injection struct {
+	Kind Kind
+	At   simtime.Time
+	// Duration is how long the fault stays active; required > 0.
+	Duration time.Duration
+	// Factor is the GPUStall service-time multiplier; required > 1.
+	Factor float64
+	// Rate is the TenantChurn extra request rate (req/s); required > 0.
+	Rate float64
+	// Jitter is the TickJitter maximum per-tick skew; required > 0.
+	Jitter time.Duration
+	// Device targets LinkPartition at one device path by index;
+	// -1 partitions every path.
+	Device int
+}
+
+// End returns the instant the injection clears.
+func (in Injection) End() simtime.Time { return in.At + in.Duration }
+
+// String renders the injection for summaries and error messages.
+func (in Injection) String() string {
+	return fmt.Sprintf("%v@[%v,%v)", in.Kind, in.At, in.End())
+}
+
+// Plan is a time-stamped fault scenario. Plans are declarative data:
+// the same Plan value can replay any experiment under the same faults.
+type Plan []Injection
+
+// HasKind reports whether the plan contains at least one injection of
+// the given kind.
+func (p Plan) HasKind(k Kind) bool {
+	for _, in := range p {
+		if in.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// End returns the instant the last injection clears (0 for an empty
+// plan).
+func (p Plan) End() simtime.Time {
+	var end simtime.Time
+	for _, in := range p {
+		if e := in.End(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Validate checks every injection's fields and rejects overlapping
+// windows of the same kind (the engine toggles shared on/off state per
+// kind, so an overlap would clear a fault while its sibling is still
+// active). Two LinkPartition windows overlap only if they can target
+// the same path; TenantChurn windows may not overlap either, for
+// uniformity, even though rate deltas would compose.
+func (p Plan) Validate() error {
+	for i, in := range p {
+		if in.At < 0 {
+			return fmt.Errorf("faults: injection %d (%v) starts at negative time %v", i, in.Kind, in.At)
+		}
+		if in.Duration <= 0 {
+			return fmt.Errorf("faults: injection %d (%v) has non-positive duration %v", i, in.Kind, in.Duration)
+		}
+		switch in.Kind {
+		case ServerCrash:
+		case GPUStall:
+			if in.Factor <= 1 {
+				return fmt.Errorf("faults: injection %d (gpu_stall) Factor %v must exceed 1", i, in.Factor)
+			}
+		case LinkPartition:
+			if in.Device < -1 {
+				return fmt.Errorf("faults: injection %d (link_partition) Device %d below -1", i, in.Device)
+			}
+		case TenantChurn:
+			if in.Rate <= 0 {
+				return fmt.Errorf("faults: injection %d (tenant_churn) Rate %v must be positive", i, in.Rate)
+			}
+		case TickJitter:
+			if in.Jitter <= 0 {
+				return fmt.Errorf("faults: injection %d (tick_jitter) Jitter %v must be positive", i, in.Jitter)
+			}
+		default:
+			return fmt.Errorf("faults: injection %d has unknown kind %d", i, int(in.Kind))
+		}
+	}
+	// Overlap check per kind, ordered by start.
+	byKind := make(map[Kind][]Injection)
+	for _, in := range p {
+		byKind[in.Kind] = append(byKind[in.Kind], in)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		wins := byKind[k]
+		sort.Slice(wins, func(a, b int) bool { return wins[a].At < wins[b].At })
+		for i := 1; i < len(wins); i++ {
+			prev, cur := wins[i-1], wins[i]
+			if cur.At < prev.End() && (k != LinkPartition || sharesPath(prev, cur)) {
+				return fmt.Errorf("faults: overlapping %v windows %v and %v", k, prev, cur)
+			}
+		}
+	}
+	return nil
+}
+
+// sharesPath reports whether two LinkPartition injections can toggle
+// the same path.
+func sharesPath(a, b Injection) bool {
+	return a.Device == -1 || b.Device == -1 || a.Device == b.Device
+}
+
+// Hooks are the substrate's injection points. Nil fields are skipped,
+// so a harness wires only what its substrate supports. All hooks run
+// on the scheduler's event loop.
+type Hooks struct {
+	// ServerFail / ServerRestore bracket a ServerCrash window
+	// (typically server.Server.Fail / Restore).
+	ServerFail    func()
+	ServerRestore func()
+	// GPUSlowdown sets the server's service-time multiplier; called
+	// with Factor at a GPUStall start and 1 at its end.
+	GPUSlowdown func(factor float64)
+	// Partition toggles a blackhole on device dev's path (-1 = all
+	// paths), typically via simnet.Path.Partition.
+	Partition func(dev int, on bool)
+	// AddLoad shifts the background request rate by delta req/s
+	// (positive at a TenantChurn start, negative at its end),
+	// typically workload.Injector.AddExtraRate.
+	AddLoad func(delta float64)
+	// OnFault observes every injection start and clear, for traces
+	// beyond the package counters. cleared is false at the start
+	// event.
+	OnFault func(in Injection, cleared bool)
+}
+
+// Engine executes an armed plan. It is bound to one run's scheduler
+// and rng stream and holds per-kind injection counts.
+type Engine struct {
+	plan     Plan
+	hooks    Hooks
+	rng      *rng.Stream
+	jitter   []Injection // TickJitter windows, for TickSkew
+	injected [numKinds]uint64
+}
+
+// Arm validates the plan and schedules its start/clear events on the
+// scheduler. r drives tick-jitter draws and may be nil when the plan
+// has no TickJitter injection. Arm must be called before the scheduler
+// passes the plan's first At.
+func Arm(sched *simtime.Scheduler, r *rng.Stream, plan Plan, h Hooks) *Engine {
+	if sched == nil {
+		panic("faults: Arm with nil scheduler")
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{plan: plan, hooks: h, rng: r}
+	for _, in := range plan {
+		in := in
+		if in.Kind == TickJitter {
+			// Tick jitter has no substrate hook: the run's tick
+			// driver queries TickSkew instead. Count it at window
+			// start for parity with the hooked kinds.
+			e.jitter = append(e.jitter, in)
+		}
+		sched.At(in.At, func() { e.inject(in) })
+		sched.At(in.End(), func() { e.clear(in) })
+	}
+	return e
+}
+
+func (e *Engine) inject(in Injection) {
+	e.injected[in.Kind]++
+	injectedByKind[in.Kind].Inc()
+	switch in.Kind {
+	case ServerCrash:
+		if e.hooks.ServerFail != nil {
+			e.hooks.ServerFail()
+		}
+	case GPUStall:
+		if e.hooks.GPUSlowdown != nil {
+			e.hooks.GPUSlowdown(in.Factor)
+		}
+	case LinkPartition:
+		if e.hooks.Partition != nil {
+			e.hooks.Partition(in.Device, true)
+		}
+	case TenantChurn:
+		if e.hooks.AddLoad != nil {
+			e.hooks.AddLoad(in.Rate)
+		}
+	}
+	if e.hooks.OnFault != nil {
+		e.hooks.OnFault(in, false)
+	}
+}
+
+func (e *Engine) clear(in Injection) {
+	switch in.Kind {
+	case ServerCrash:
+		if e.hooks.ServerRestore != nil {
+			e.hooks.ServerRestore()
+		}
+	case GPUStall:
+		if e.hooks.GPUSlowdown != nil {
+			e.hooks.GPUSlowdown(1)
+		}
+	case LinkPartition:
+		if e.hooks.Partition != nil {
+			e.hooks.Partition(in.Device, false)
+		}
+	case TenantChurn:
+		if e.hooks.AddLoad != nil {
+			e.hooks.AddLoad(-in.Rate)
+		}
+	}
+	if e.hooks.OnFault != nil {
+		e.hooks.OnFault(in, true)
+	}
+}
+
+// Injected returns how many injections of the kind have started.
+func (e *Engine) Injected(k Kind) uint64 { return e.injected[k] }
+
+// TotalInjected returns how many injections have started overall.
+func (e *Engine) TotalInjected() uint64 {
+	var n uint64
+	for _, c := range e.injected {
+		n += c
+	}
+	return n
+}
+
+// HasTickJitter reports whether the plan contains tick-jitter windows,
+// so the run's tick driver knows to consult TickSkew.
+func (e *Engine) HasTickJitter() bool { return len(e.jitter) > 0 }
+
+// TickSkew returns the extra delay to apply to a control tick whose
+// nominal instant is at: a fresh uniform draw from (0, Jitter] while a
+// TickJitter window covers at, zero otherwise. Draws advance the
+// engine's rng stream, so the skew sequence is seed-reproducible.
+func (e *Engine) TickSkew(at simtime.Time) simtime.Time {
+	for _, in := range e.jitter {
+		if at >= in.At && at < in.End() {
+			if e.rng == nil {
+				return 0
+			}
+			return simtime.Time(e.rng.Float64() * float64(in.Jitter))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,292 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+func sec(n int) simtime.Time { return simtime.Time(n) * simtime.Time(time.Second) }
+
+func TestPlanValidate(t *testing.T) {
+	valid := Plan{
+		{Kind: ServerCrash, At: sec(1), Duration: 2 * time.Second},
+		{Kind: GPUStall, At: sec(2), Duration: 2 * time.Second, Factor: 10},
+		{Kind: ServerCrash, At: sec(4), Duration: time.Second}, // same kind, disjoint
+		// Overlapping partitions on distinct devices are fine.
+		{Kind: LinkPartition, At: sec(1), Duration: 3 * time.Second, Device: 0},
+		{Kind: LinkPartition, At: sec(2), Duration: 3 * time.Second, Device: 1},
+		{Kind: TenantChurn, At: sec(6), Duration: time.Second, Rate: 50},
+		{Kind: TickJitter, At: sec(6), Duration: time.Second, Jitter: 100 * time.Millisecond},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if (Plan{}).Validate() != nil {
+		t.Fatal("empty plan rejected")
+	}
+
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error
+	}{
+		{"negative start",
+			Plan{{Kind: ServerCrash, At: -sec(1), Duration: time.Second}},
+			"negative time"},
+		{"zero duration",
+			Plan{{Kind: ServerCrash, At: sec(1)}},
+			"non-positive duration"},
+		{"stall factor at 1",
+			Plan{{Kind: GPUStall, At: sec(1), Duration: time.Second, Factor: 1}},
+			"must exceed 1"},
+		{"churn without rate",
+			Plan{{Kind: TenantChurn, At: sec(1), Duration: time.Second}},
+			"must be positive"},
+		{"jitter without bound",
+			Plan{{Kind: TickJitter, At: sec(1), Duration: time.Second}},
+			"must be positive"},
+		{"device below -1",
+			Plan{{Kind: LinkPartition, At: sec(1), Duration: time.Second, Device: -2}},
+			"below -1"},
+		{"unknown kind",
+			Plan{{Kind: numKinds, At: sec(1), Duration: time.Second}},
+			"unknown kind"},
+		{"same-kind overlap",
+			Plan{
+				{Kind: ServerCrash, At: sec(1), Duration: 3 * time.Second},
+				{Kind: ServerCrash, At: sec(2), Duration: time.Second},
+			},
+			"overlapping"},
+		{"partition overlap same device",
+			Plan{
+				{Kind: LinkPartition, At: sec(1), Duration: 3 * time.Second, Device: 1},
+				{Kind: LinkPartition, At: sec(2), Duration: time.Second, Device: 1},
+			},
+			"overlapping"},
+		{"partition overlap via wildcard",
+			Plan{
+				{Kind: LinkPartition, At: sec(1), Duration: 3 * time.Second, Device: -1},
+				{Kind: LinkPartition, At: sec(2), Duration: time.Second, Device: 4},
+			},
+			"overlapping"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan.Validate()
+			if err == nil {
+				t.Fatal("invalid plan accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPlanQueries(t *testing.T) {
+	p := Plan{
+		{Kind: ServerCrash, At: sec(1), Duration: 2 * time.Second},
+		{Kind: GPUStall, At: sec(5), Duration: 3 * time.Second, Factor: 2},
+	}
+	if !p.HasKind(ServerCrash) || p.HasKind(TickJitter) {
+		t.Error("HasKind wrong")
+	}
+	if p.End() != sec(8) {
+		t.Errorf("End = %v, want 8s", p.End())
+	}
+	if got := p[0].String(); got != "server_crash@[1s,3s)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// The engine must fire every hook at the injection's exact instants, in
+// plan time order, with the clear call undoing the start call.
+func TestEngineHookSequence(t *testing.T) {
+	sched := simtime.NewScheduler()
+	var trace []string
+	logf := func(format string, args ...any) {
+		trace = append(trace, sched.Now().String()+" "+fmt.Sprintf(format, args...))
+	}
+	plan := Plan{
+		{Kind: ServerCrash, At: sec(1), Duration: 2 * time.Second},
+		{Kind: GPUStall, At: sec(2), Duration: 2 * time.Second, Factor: 10},
+		{Kind: LinkPartition, At: sec(5), Duration: time.Second, Device: 1},
+		{Kind: TenantChurn, At: sec(7), Duration: time.Second, Rate: 40},
+	}
+	var onFault []string
+	eng := Arm(sched, nil, plan, Hooks{
+		ServerFail:    func() { logf("fail") },
+		ServerRestore: func() { logf("restore") },
+		GPUSlowdown:   func(f float64) { logf("slow %g", f) },
+		Partition:     func(dev int, on bool) { logf("part dev=%d on=%v", dev, on) },
+		AddLoad:       func(d float64) { logf("load %+g", d) },
+		OnFault:       func(in Injection, cleared bool) { onFault = append(onFault, fmt.Sprintf("%v cleared=%v", in.Kind, cleared)) },
+	})
+	sched.Run()
+
+	want := []string{
+		"1s fail",
+		"2s slow 10",
+		"3s restore",
+		"4s slow 1",
+		"5s part dev=1 on=true",
+		"6s part dev=1 on=false",
+		"7s load +40",
+		"8s load -40",
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, trace[i], want[i])
+		}
+	}
+	if len(onFault) != 2*len(plan) {
+		t.Errorf("OnFault fired %d times, want %d", len(onFault), 2*len(plan))
+	}
+	if eng.Injected(ServerCrash) != 1 || eng.Injected(TickJitter) != 0 {
+		t.Error("per-kind injection counts wrong")
+	}
+	if eng.TotalInjected() != 4 {
+		t.Errorf("TotalInjected = %d, want 4", eng.TotalInjected())
+	}
+	if eng.HasTickJitter() {
+		t.Error("HasTickJitter true for a plan without jitter windows")
+	}
+}
+
+// All hooks nil must be safe: the engine still counts injections.
+func TestEngineNilHooks(t *testing.T) {
+	sched := simtime.NewScheduler()
+	eng := Arm(sched, nil, Plan{
+		{Kind: ServerCrash, At: sec(1), Duration: time.Second},
+		{Kind: GPUStall, At: sec(3), Duration: time.Second, Factor: 2},
+		{Kind: LinkPartition, At: sec(5), Duration: time.Second},
+		{Kind: TenantChurn, At: sec(7), Duration: time.Second, Rate: 1},
+		{Kind: TickJitter, At: sec(9), Duration: time.Second, Jitter: time.Millisecond},
+	}, Hooks{})
+	sched.Run()
+	if eng.TotalInjected() != 5 {
+		t.Fatalf("TotalInjected = %d, want 5", eng.TotalInjected())
+	}
+}
+
+func TestArmRejectsInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm accepted an invalid plan")
+		}
+	}()
+	Arm(simtime.NewScheduler(), nil, Plan{{Kind: ServerCrash}}, Hooks{})
+}
+
+// TickSkew draws must be seed-reproducible, bounded by the window's
+// Jitter, zero outside every window, and zero with a nil stream.
+func TestTickSkew(t *testing.T) {
+	plan := Plan{{Kind: TickJitter, At: sec(2), Duration: 3 * time.Second, Jitter: 100 * time.Millisecond}}
+	mk := func(r *rng.Stream) *Engine { return Arm(simtime.NewScheduler(), r, plan, Hooks{}) }
+
+	a, b := mk(rng.New(42)), mk(rng.New(42))
+	if !a.HasTickJitter() {
+		t.Fatal("HasTickJitter false")
+	}
+	for s := 0; s < 10; s++ {
+		at := sec(s)
+		sa, sb := a.TickSkew(at), b.TickSkew(at)
+		if sa != sb {
+			t.Fatalf("skew at %v differs between identical seeds: %v vs %v", at, sa, sb)
+		}
+		inWindow := at >= plan[0].At && at < plan[0].End()
+		if inWindow && (sa < 0 || sa > simtime.Time(plan[0].Jitter)) {
+			t.Errorf("skew %v at %v outside [0, %v]", sa, at, plan[0].Jitter)
+		}
+		if !inWindow && sa != 0 {
+			t.Errorf("skew %v at %v outside every jitter window", sa, at)
+		}
+	}
+	if mk(nil).TickSkew(sec(3)) != 0 {
+		t.Error("nil-rng engine returned a nonzero skew")
+	}
+}
+
+// RandomPlan must always produce a valid plan inside the horizon, for
+// any seed.
+func TestRandomPlanAlwaysValid(t *testing.T) {
+	cfg := RandomPlanConfig{Horizon: sec(40), Devices: 3}
+	for seed := uint64(0); seed < 200; seed++ {
+		plan := RandomPlan(rng.New(seed), cfg)
+		if len(plan) != 4 {
+			t.Fatalf("seed %d: %d injections, want default 4", seed, len(plan))
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, in := range plan {
+			if in.At < sec(5) || in.End() > cfg.Horizon {
+				t.Fatalf("seed %d: window %v outside (lead-in, horizon]", seed, in)
+			}
+		}
+	}
+	// Same seed, same plan.
+	p1 := RandomPlan(rng.New(7), cfg)
+	p2 := RandomPlan(rng.New(7), cfg)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("RandomPlan not reproducible for identical seeds")
+		}
+	}
+}
+
+func TestRandomPlanRejectsShortHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short horizon accepted")
+		}
+	}()
+	RandomPlan(rng.New(1), RandomPlanConfig{Horizon: sec(6), Injections: 4})
+}
+
+// Fault instruments appear in the Prometheus exposition with per-kind
+// labels, and recovery observations land in the histogram.
+func TestMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg)
+	defer func() {
+		// Restore the unobserved (nil, no-op) state for other tests.
+		injectedByKind = [numKinds]*telemetry.Counter{}
+		recoverySeconds = nil
+	}()
+
+	sched := simtime.NewScheduler()
+	Arm(sched, nil, Plan{
+		{Kind: ServerCrash, At: sec(1), Duration: time.Second},
+		{Kind: ServerCrash, At: sec(5), Duration: time.Second},
+		{Kind: GPUStall, At: sec(3), Duration: time.Second, Factor: 2},
+	}, Hooks{})
+	sched.Run()
+	ObserveRecovery(3)
+	ObserveRecovery(-1) // never reconverged: skipped
+
+	b := &strings.Builder{}
+	if err := reg.WritePrometheus(b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`framefeedback_faults_injected_total{kind="server_crash"} 2`,
+		`framefeedback_faults_injected_total{kind="gpu_stall"} 1`,
+		`framefeedback_faults_injected_total{kind="link_partition"} 0`,
+		`framefeedback_recovery_seconds_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

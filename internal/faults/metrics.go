@@ -1,0 +1,49 @@
+package faults
+
+import "repro/internal/telemetry"
+
+// Sim-path fault instruments, matching the nil-safe instrument
+// contract of internal/telemetry: until RegisterMetrics is called the
+// package-level instruments are nil and every update is a no-op, so
+// fault injection costs nothing in unobserved runs and the hot path
+// carries no branches on configuration.
+
+var (
+	// injectedByKind backs framefeedback_faults_injected_total{kind=...}.
+	// Children are resolved once at registration so the engine's
+	// per-injection update is a single atomic add.
+	injectedByKind [numKinds]*telemetry.Counter
+	// recoverySeconds backs framefeedback_recovery_seconds: the time
+	// from a fault clearing to the controller reconverging, observed
+	// by the recovery experiment.
+	recoverySeconds *telemetry.Histogram
+)
+
+// RecoveryBuckets are the framefeedback_recovery_seconds bucket
+// bounds: reconvergence is tick-quantized (1 s) and the controller
+// ramps at F_s/10 per tick, so single-digit to low-double-digit
+// seconds is the expected range.
+var RecoveryBuckets = []float64{1, 2, 5, 10, 20, 40, 80}
+
+// RegisterMetrics installs the package's instruments on a registry:
+// framefeedback_faults_injected_total{kind=...} counting injection
+// starts per fault kind, and the framefeedback_recovery_seconds
+// reconvergence histogram. Call once at process start-up, before any
+// engine runs; not safe to race with an active engine.
+func RegisterMetrics(reg *telemetry.Registry) {
+	vec := reg.CounterVec("framefeedback_faults_injected_total",
+		"Fault injections started, by fault kind.", "kind")
+	for k := Kind(0); k < numKinds; k++ {
+		injectedByKind[k] = vec.With(k.String())
+	}
+	recoverySeconds = reg.Histogram("framefeedback_recovery_seconds",
+		"Time from a fault clearing to controller reconvergence.", RecoveryBuckets)
+}
+
+// ObserveRecovery records one fault's reconvergence time in seconds.
+// Negative values (the controller never reconverged) are skipped.
+func ObserveRecovery(seconds float64) {
+	if seconds >= 0 {
+		recoverySeconds.Observe(seconds)
+	}
+}

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// RandomPlanConfig bounds RandomPlan's draws.
+type RandomPlanConfig struct {
+	// Horizon is the latest instant any injection may clear; required
+	// positive and long enough to hold the injections.
+	Horizon simtime.Time
+	// Injections is how many faults to draw; default 4.
+	Injections int
+	// Devices is the run's device count, for partition targeting;
+	// default 1.
+	Devices int
+}
+
+// RandomPlan draws a valid random plan from the stream: Injections
+// faults of uniformly random kinds, each with a window inside
+// (lead-in, Horizon]. Windows are laid out in disjoint time slots, one
+// per injection, so the plan always validates regardless of the kinds
+// drawn. The same stream state yields the same plan — chaos runs
+// derive the stream from the run seed so plan and trajectory
+// reproduce together.
+func RandomPlan(r *rng.Stream, cfg RandomPlanConfig) Plan {
+	if r == nil {
+		panic("faults: RandomPlan with nil rng")
+	}
+	if cfg.Injections == 0 {
+		cfg.Injections = 4
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
+	}
+	// Leave a lead-in for the controller to ramp before the first
+	// fault, and require at least 2 s of slot per injection.
+	const leadIn = 5 * time.Second
+	slot := (cfg.Horizon - leadIn) / simtime.Time(cfg.Injections)
+	if cfg.Horizon <= 0 || slot < 2*time.Second {
+		panic("faults: RandomPlan horizon too short for the requested injections")
+	}
+
+	plan := make(Plan, 0, cfg.Injections)
+	for i := 0; i < cfg.Injections; i++ {
+		in := Injection{Kind: Kind(r.Intn(int(numKinds)))}
+		// Duration: between a quarter and three quarters of the slot,
+		// so the window plus a random offset always fits inside it.
+		in.Duration = slot/4 + time.Duration(r.Float64()*float64(slot)/2)
+		slack := slot - in.Duration
+		in.At = leadIn + simtime.Time(i)*slot + simtime.Time(r.Float64()*float64(slack))
+		switch in.Kind {
+		case GPUStall:
+			in.Factor = 5 + r.Float64()*45 // 5x–50x service time
+		case TenantChurn:
+			in.Rate = 30 + r.Float64()*120 // 30–150 extra req/s
+		case TickJitter:
+			in.Jitter = 50*time.Millisecond + time.Duration(r.Float64()*float64(250*time.Millisecond))
+		case LinkPartition:
+			in.Device = r.Intn(cfg.Devices+1) - 1 // -1 (all) .. Devices-1
+		}
+		plan = append(plan, in)
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err) // slotting guarantees validity; reaching here is a bug
+	}
+	return plan
+}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// allKindsPlan exercises every fault kind inside a 30 s horizon.
+func allKindsPlan() faults.Plan {
+	return faults.Plan{
+		{Kind: faults.ServerCrash, At: 6 * time.Second, Duration: 4 * time.Second},
+		{Kind: faults.GPUStall, At: 11 * time.Second, Duration: 3 * time.Second, Factor: 10},
+		{Kind: faults.LinkPartition, At: 15 * time.Second, Duration: 3 * time.Second, Device: -1},
+		{Kind: faults.TenantChurn, At: 19 * time.Second, Duration: 3 * time.Second, Rate: 60},
+		{Kind: faults.TickJitter, At: 23 * time.Second, Duration: 3 * time.Second, Jitter: 200 * time.Millisecond},
+	}
+}
+
+// With an active fault plan covering every kind, every policy must
+// still export byte-identical CSVs sequentially vs fanned out across 8
+// workers: fault events ride the run's own scheduler and rng tree, so
+// parallelism must not leak into trajectories.
+func TestParallelDeterminismFaultPlan(t *testing.T) {
+	var cfgs []Config
+	for _, name := range PolicyOrder() {
+		cfg := NetworkExperiment(AllPolicies()[name])
+		cfg.FrameLimit = 900 // 30 s covers the whole plan
+		cfg.Faults = allKindsPlan()
+		cfgs = append(cfgs, cfg)
+	}
+	sequential := runConfigsCSV(t, 1, cfgs)
+	parallel := runConfigsCSV(t, 8, cfgs)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatal("fault-plan CSV output differs between sequential and 8-worker parallel runs")
+	}
+}
+
+// A fault plan must actually perturb the run — otherwise the
+// determinism test above proves nothing — and every injection must be
+// counted.
+func TestFaultPlanPerturbsRun(t *testing.T) {
+	base := shortConfig(FrameFeedbackFactory(controller.Config{}))
+	base.FrameLimit = 900
+	faulted := base
+	faulted.Faults = allKindsPlan()
+
+	clean := Run(base)
+	hit := Run(faulted)
+	if hit.FaultsInjected != uint64(len(faulted.Faults)) {
+		t.Fatalf("FaultsInjected = %d, want %d", hit.FaultsInjected, len(faulted.Faults))
+	}
+	if clean.FaultsInjected != 0 {
+		t.Fatalf("clean run reports %d injections", clean.FaultsInjected)
+	}
+	if bytes.Equal(csvBytes(t, clean), csvBytes(t, hit)) {
+		t.Fatal("fault plan left the trajectory untouched")
+	}
+}
+
+// The invariant checker must pass over real experiment trajectories —
+// clean and heavily faulted — under both the per-config flag and the
+// process-wide toggle. A violation panics inside Run, so completing is
+// the assertion.
+func TestInvariantCheckerPassesExperiments(t *testing.T) {
+	cfg := NetworkExperiment(FrameFeedbackFactory(controller.Config{}))
+	cfg.FrameLimit = 900
+	cfg.CheckInvariants = true
+	Run(cfg)
+
+	cfg.Faults = allKindsPlan()
+	Run(cfg)
+
+	SetInvariantChecking(true)
+	defer SetInvariantChecking(false)
+	if !InvariantChecking() {
+		t.Fatal("process-wide toggle did not latch")
+	}
+	short := shortConfig(FrameFeedbackFactory(controller.Config{}))
+	Run(short) // checker active via the global toggle
+}
+
+// CrashReject propagates to the server: during the outage the device
+// sees immediate rejections instead of silence, so the reject counter
+// moves where the drop counter would have.
+func TestCrashPolicyPropagates(t *testing.T) {
+	plan := faults.Plan{{Kind: faults.ServerCrash, At: 3 * time.Second, Duration: 4 * time.Second}}
+	run := func(crash server.CrashPolicy) *Result {
+		cfg := shortConfig(FrameFeedbackFactory(controller.Config{}))
+		cfg.Faults = plan
+		cfg.Crash = crash
+		cfg.CheckInvariants = true
+		return Run(cfg)
+	}
+	drop, reject := run(server.CrashDrop), run(server.CrashReject)
+	if bytes.Equal(csvBytes(t, drop), csvBytes(t, reject)) {
+		t.Fatal("CrashReject trajectory identical to CrashDrop")
+	}
+}

@@ -1,13 +1,16 @@
 package scenario
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/faults"
 	"repro/internal/models"
 	"repro/internal/simnet"
+	"repro/internal/simtime"
 	"repro/internal/workload"
 )
 
@@ -135,4 +138,63 @@ func TestLongRunDeterminismUnderChaos(t *testing.T) {
 	if a.Device != b.Device || a.Server != b.Server {
 		t.Fatal("final counters diverge")
 	}
+}
+
+// FuzzScenario drives short runs with fuzzed seeds and fault windows
+// under the run-time invariant checker. Two properties must hold for
+// every input: no invariant violation panics inside Run, and running
+// the identical config twice yields byte-identical trace CSVs
+// (determinism must not depend on which seed or fault landed). CI's
+// chaos-smoke job runs this for a bounded fuzztime on top of the
+// checked-in corpus below.
+func FuzzScenario(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(3), uint8(4), false)
+	f.Add(uint64(20240315), uint8(1), uint8(5), uint8(3), true)
+	f.Add(uint64(7), uint8(2), uint8(2), uint8(6), false)
+	f.Add(uint64(99), uint8(3), uint8(6), uint8(2), true)
+	f.Add(uint64(12345), uint8(4), uint8(4), uint8(5), false)
+	f.Add(uint64(0), uint8(5), uint8(0), uint8(0), false) // no fault plan
+
+	kinds := []faults.Kind{
+		faults.ServerCrash, faults.GPUStall, faults.LinkPartition,
+		faults.TenantChurn, faults.TickJitter,
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64, kindSel, startSec, durSec uint8, twoDevices bool) {
+		cfg := NetworkExperiment(FrameFeedbackFactory(controller.Config{}))
+		cfg.Seed = seed%1000 + 1
+		cfg.FrameLimit = 300 // 10 s at 30 fps: cheap enough to run twice
+		cfg.CheckInvariants = true
+		cfg.Devices = []DeviceSpec{{Profile: models.Pi4B14()}}
+		if twoDevices {
+			cfg.Devices = append(cfg.Devices, DeviceSpec{Profile: models.Pi4B14()})
+		}
+
+		// kindSel beyond the kind list means "no fault plan", so the
+		// fuzzer also covers the plain path.
+		if int(kindSel) < len(kinds) {
+			in := faults.Injection{
+				Kind:     kinds[kindSel],
+				At:       simtime.Time(1+startSec%7) * simtime.Time(time.Second),
+				Duration: time.Duration(1+durSec%6) * time.Second,
+			}
+			switch in.Kind {
+			case faults.GPUStall:
+				in.Factor = 2 + float64(durSec%40)
+			case faults.TenantChurn:
+				in.Rate = 10 + float64(startSec)
+			case faults.TickJitter:
+				in.Jitter = time.Duration(50+int(startSec)*10) * time.Millisecond
+			case faults.LinkPartition:
+				in.Device = int(startSec%2) - 1 // -1 (all) or 0
+			}
+			cfg.Faults = faults.Plan{in}
+		}
+
+		a := Run(cfg) // invariant violations panic in here
+		b := Run(cfg)
+		if !bytes.Equal(csvBytes(t, a), csvBytes(t, b)) {
+			t.Fatalf("identical config produced diverging traces (seed %d, kind %d)", seed, kindSel)
+		}
+	})
 }

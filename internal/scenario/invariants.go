@@ -1,0 +1,16 @@
+package scenario
+
+import "sync/atomic"
+
+// invariantChecking forces the run-time invariant checker on for every
+// Run in the process, regardless of Config.CheckInvariants — the hook
+// behind ffexperiments' -invariants flag, so any experiment can be
+// re-run under full conservation checking without touching its config.
+var invariantChecking atomic.Bool
+
+// SetInvariantChecking enables or disables process-wide invariant
+// checking (see Config.CheckInvariants).
+func SetInvariantChecking(on bool) { invariantChecking.Store(on) }
+
+// InvariantChecking reports the process-wide setting.
+func InvariantChecking() bool { return invariantChecking.Load() }

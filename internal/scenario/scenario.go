@@ -13,6 +13,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/controller"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/metrics"
 	"repro/internal/models"
@@ -109,6 +110,22 @@ type Config struct {
 	// response to controller feedback (see internal/quality),
 	// overriding the fixed OffloadResolution/OffloadQuality.
 	Quality *quality.Config
+	// Faults optionally schedules deterministic fault injections
+	// against the run's substrate (see internal/faults). A nil/empty
+	// plan leaves the run byte-identical to one without the field.
+	Faults faults.Plan
+	// Crash selects how a ServerCrash injection resolves in-flight
+	// and queued work; default CrashDrop (silent loss).
+	Crash server.CrashPolicy
+	// CheckInvariants enables the run-time invariant checker: every
+	// measurement tick the run's conservation invariants are
+	// validated, and the first violation panics with the offending
+	// sim time and the run's seed. SetInvariantChecking forces it on
+	// process-wide.
+	CheckInvariants bool
+	// OnFault, when non-nil, observes every injection start
+	// (cleared=false) and clear (cleared=true).
+	OnFault func(in faults.Injection, cleared bool)
 	// OnOffload, when non-nil, observes every resolved offload of
 	// the measured device — plug a trace.Recorder's Hook here.
 	OnOffload func(device.OffloadOutcome)
@@ -196,6 +213,9 @@ type Result struct {
 	// Injected reports background-injector accounting (zero without
 	// a load schedule).
 	InjectedSubmitted, InjectedRejected uint64
+	// FaultsInjected is how many fault injections started during the
+	// run (zero without a plan).
+	FaultsInjected uint64
 }
 
 // MeanP returns the mean successful throughput over [fromSec, toSec).
@@ -295,8 +315,11 @@ func Run(cfg Config) *Result {
 	if cfg.Seed == 0 {
 		panic("scenario: Config.Seed must be non-zero for reproducibility")
 	}
-	if !cfg.Network.Validate() {
-		panic("scenario: invalid network schedule")
+	if err := cfg.Network.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		panic(err)
 	}
 
 	sched := simtime.NewScheduler()
@@ -307,18 +330,30 @@ func Run(cfg Config) *Result {
 		Shed:     cfg.ServerShed,
 		AdmitCap: cfg.AdmitCap,
 		MaxBatch: cfg.ServerMaxBatch,
+		Crash:    cfg.Crash,
 	})
 
+	// A tenant-churn fault needs an injector to add its flash crowd to,
+	// even when the scenario schedules no base load.
 	var inj *workload.Injector
-	if cfg.Load != nil {
+	if cfg.Load != nil || cfg.Faults.HasKind(faults.TenantChurn) {
 		inj = workload.NewInjector(sched, root.Split(2), srv, workload.InjectorConfig{
 			Schedule: cfg.Load,
 			Mix:      cfg.LoadMix,
 		})
 	}
 
+	// The fault rng is split only when a plan is present: Split advances
+	// the parent stream, so an unconditional split would perturb every
+	// device stream of existing fault-free runs.
+	var faultRand *rng.Stream
+	if len(cfg.Faults) > 0 {
+		faultRand = root.Split(3)
+	}
+
 	type devRig struct {
 		dev     *device.Device
+		path    *simnet.Path
 		policy  controller.Policy
 		src     *frame.Source
 		adapter *quality.Adapter
@@ -357,7 +392,7 @@ func Run(cfg Config) *Result {
 		if spec.Policy != nil {
 			pf = spec.Policy
 		}
-		rig := &devRig{dev: dev, policy: pf(), src: src, model: spec.Model}
+		rig := &devRig{dev: dev, path: path, policy: pf(), src: src, model: spec.Model}
 		if cfg.Quality != nil {
 			rig.adapter = quality.NewAdapter(*cfg.Quality)
 			lvl := rig.adapter.Level()
@@ -366,9 +401,48 @@ func Run(cfg Config) *Result {
 		rigs[i] = rig
 	}
 
+	// Arm the fault plan after the substrate exists so the hooks can
+	// close over it. All fault events land on the run's own scheduler.
+	var eng *faults.Engine
+	if len(cfg.Faults) > 0 {
+		eng = faults.Arm(sched, faultRand, cfg.Faults, faults.Hooks{
+			ServerFail:    srv.Fail,
+			ServerRestore: srv.Restore,
+			GPUSlowdown:   srv.SetSlowdown,
+			Partition: func(dev int, on bool) {
+				if dev < 0 {
+					for _, rig := range rigs {
+						rig.path.Partition(on)
+					}
+					return
+				}
+				if dev < len(rigs) {
+					rigs[dev].path.Partition(on)
+				}
+			},
+			AddLoad: func(delta float64) {
+				if inj != nil {
+					inj.AddExtraRate(delta)
+				}
+			},
+			OnFault: cfg.OnFault,
+		})
+	}
+
 	res := &Result{PolicyName: rigs[0].policy.Name()}
 	duration := simtime.Time(float64(cfg.FrameLimit) / cfg.FS * float64(time.Second))
 	end := duration + cfg.Drain
+
+	// The invariant checker and its snapshot scratch are allocated only
+	// when enabled, keeping the default run's allocation count intact.
+	var checker *faults.Checker
+	var devSnaps []faults.DeviceSnapshot
+	var tenSnaps []faults.TenantSnapshot
+	if cfg.CheckInvariants || invariantChecking.Load() {
+		checker = faults.NewChecker(cfg.Seed, cfg.Faults)
+		devSnaps = make([]faults.DeviceSnapshot, len(rigs))
+		tenSnaps = make([]faults.TenantSnapshot, len(rigs))
+	}
 
 	// Preallocate the per-tick trace columns at their final length so
 	// the measurement tick below never regrows a backing array.
@@ -398,12 +472,26 @@ func Run(cfg Config) *Result {
 
 	tickSec := cfg.Tick.Seconds()
 	var prevBusy time.Duration
-	sched.Every(cfg.Tick, cfg.Tick, func(now simtime.Time) {
+	tick := func(now simtime.Time) {
 		totalP := 0.0
 		for i, rig := range rigs {
 			cur := rig.dev.Counters()
 			d := diff(cur, rig.prev)
 			rig.prev = cur
+
+			if checker != nil {
+				devSnaps[i] = faults.DeviceSnapshot{
+					Tenant: i, Po: rig.dev.Po(), FS: cfg.FS,
+					PoolGen:         rig.dev.PoolGen(),
+					Captured:        cur.Captured,
+					OffloadAttempts: cur.OffloadAttempts,
+					OffloadOK:       cur.OffloadOK,
+					OffloadTimedOut: cur.OffloadTimedOut,
+					OffloadRejected: cur.OffloadRejected,
+					LocalDone:       cur.LocalDone,
+					LocalDropped:    cur.LocalDropped,
+				}
+			}
 
 			m := controller.Measurement{
 				Now:       now,
@@ -468,7 +556,36 @@ func Run(cfg Config) *Result {
 			prevBusy = busy
 			res.ServerUtil = append(res.ServerUtil, util)
 		}
-	})
+		if checker != nil {
+			st := srv.Stats()
+			for i := range rigs {
+				ts := srv.Tenant(i)
+				tenSnaps[i] = faults.TenantSnapshot{
+					Tenant: i, Submitted: ts.Submitted, Completed: ts.Completed,
+					Rejected: ts.Rejected, Dropped: ts.Dropped,
+				}
+			}
+			if err := checker.Check(now, devSnaps, faults.ServerSnapshot{
+				Submitted: st.Submitted, Completed: st.Completed,
+				Rejected: st.Rejected, Dropped: st.Dropped,
+			}, tenSnaps); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if eng != nil && eng.HasTickJitter() {
+		// Under tick jitter the fixed-cadence ticker is replaced by
+		// one-shot ticks: each nominal instant is skewed by a fresh
+		// draw while a jitter window covers it. Skews are pre-drawn in
+		// nominal order, so the draw sequence — and with it the whole
+		// trajectory — stays a pure function of seed and plan.
+		for nominal := simtime.Time(cfg.Tick); nominal <= end; nominal += simtime.Time(cfg.Tick) {
+			at := nominal + eng.TickSkew(nominal)
+			sched.At(at, func() { tick(at) })
+		}
+	} else {
+		sched.Every(cfg.Tick, cfg.Tick, tick)
+	}
 
 	sched.RunUntil(end)
 
@@ -484,6 +601,9 @@ func Run(cfg Config) *Result {
 	if inj != nil {
 		res.InjectedSubmitted = inj.Submitted()
 		res.InjectedRejected = inj.Rejected()
+	}
+	if eng != nil {
+		res.FaultsInjected = eng.TotalInjected()
 	}
 	return res
 }

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/simtime"
+)
+
+// crashCompleter tallies every outcome separately, unlike
+// countCompleter's ok/other split.
+type crashCompleter struct {
+	ok, rejected, dropped int
+}
+
+func (c *crashCompleter) CompleteRequest(_ *Request, res Result) {
+	switch res.Status {
+	case StatusOK:
+		c.ok++
+	case StatusRejected:
+		c.rejected++
+	case StatusDropped:
+		c.dropped++
+	default:
+		panic("unexpected status " + res.Status.String())
+	}
+}
+
+func (c *crashCompleter) submit(s *Server, tenant int) {
+	req := s.AcquireRequest()
+	req.Tenant = tenant
+	req.Model = models.MobileNetV3Small
+	req.Completer = c
+	s.Submit(req)
+}
+
+func (c *crashCompleter) total() int { return c.ok + c.rejected + c.dropped }
+
+// A crash must resolve the executing batch, every queued request and
+// every submission during the outage — exactly once each, under every
+// shed × crash policy combination — and the server must serve normally
+// after Restore.
+func TestCrashResolvesAllWork(t *testing.T) {
+	for _, shed := range []ShedPolicy{ShedFIFO, ShedFair} {
+		for _, crash := range []CrashPolicy{CrashDrop, CrashReject} {
+			t.Run(fmt.Sprintf("%v/%v", shed, crash), func(t *testing.T) {
+				sched := simtime.NewScheduler()
+				srv := New(sched, nil, Config{GPU: models.TeslaV100(), Shed: shed, Crash: crash})
+				c := &crashCompleter{}
+
+				// First submit forms a batch of one; the rest queue
+				// behind it from two tenants.
+				for i := 0; i < 20; i++ {
+					c.submit(srv, i%2)
+				}
+				if !srv.Busy() {
+					t.Fatal("no batch executing before the crash")
+				}
+				srv.Fail()
+				srv.Fail() // idempotent until Restore
+
+				if srv.Busy() {
+					t.Error("server still busy after Fail")
+				}
+				if n := srv.QueueLen(models.MobileNetV3Small); n != 0 {
+					t.Errorf("queue holds %d requests after Fail", n)
+				}
+				if c.total() != 20 {
+					t.Fatalf("crash resolved %d of 20 requests", c.total())
+				}
+				if crash == CrashDrop && c.dropped != 20 {
+					t.Errorf("CrashDrop: ok/rejected/dropped = %d/%d/%d, want 0/0/20",
+						c.ok, c.rejected, c.dropped)
+				}
+				if crash == CrashReject && c.rejected != 20 {
+					t.Errorf("CrashReject: ok/rejected/dropped = %d/%d/%d, want 0/20/0",
+						c.ok, c.rejected, c.dropped)
+				}
+
+				// The cancelled batch must never complete.
+				sched.Run()
+				if c.ok != 0 {
+					t.Errorf("%d completions after crash", c.ok)
+				}
+
+				// Submissions during the outage resolve immediately.
+				c.submit(srv, 0)
+				if c.total() != 21 {
+					t.Error("submit while failed did not resolve synchronously")
+				}
+
+				// Conservation on the server's own books.
+				st := srv.Stats()
+				if st.Submitted != 21 || st.Completed+st.Rejected+st.Dropped != 21 {
+					t.Errorf("stats don't balance: %+v", st)
+				}
+				if st.Crashes != 1 {
+					t.Errorf("Crashes = %d, want 1", st.Crashes)
+				}
+				for tenant := 0; tenant < 2; tenant++ {
+					ts := srv.Tenant(tenant)
+					if ts.Completed+ts.Rejected+ts.Dropped != ts.Submitted {
+						t.Errorf("tenant %d doesn't balance: %+v", tenant, ts)
+					}
+				}
+
+				srv.Restore()
+				c.submit(srv, 0)
+				sched.Run()
+				if c.ok != 1 {
+					t.Errorf("post-restore request did not complete: ok = %d", c.ok)
+				}
+			})
+		}
+	}
+}
+
+// A full crash/restore cycle must recycle every pooled Request: zero
+// allocations at steady state under both shed policies, or the pool is
+// leaking.
+func TestCrashCycleZeroAlloc(t *testing.T) {
+	for _, shed := range []ShedPolicy{ShedFIFO, ShedFair} {
+		t.Run(shed.String(), func(t *testing.T) {
+			sched := simtime.NewScheduler()
+			srv := New(sched, nil, Config{GPU: models.TeslaV100(), Shed: shed})
+			c := &crashCompleter{}
+			cycle := func() {
+				for i := 0; i < 4; i++ {
+					c.submit(srv, i%2)
+				}
+				srv.Fail() // batch of 1 in flight + 3 queued
+				c.submit(srv, 0)
+				srv.Restore()
+				c.submit(srv, 1)
+				sched.Run()
+			}
+			for i := 0; i < 100; i++ {
+				cycle()
+			}
+			before := *c
+			if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+				t.Fatalf("crash cycle allocates %.1f allocs/op, want 0", allocs)
+			}
+			if c.dropped == before.dropped || c.ok == before.ok {
+				t.Fatal("fence exercised no drops or completions — cycle misconfigured")
+			}
+		})
+	}
+}
+
+// SetSlowdown scales batch execution time exactly; factor 1 restores
+// nominal speed, and the executing batch keeps its launch latency.
+func TestSetSlowdown(t *testing.T) {
+	runOne := func(factor float64) simtime.Time {
+		sched := simtime.NewScheduler()
+		srv := New(sched, nil, Config{GPU: models.TeslaV100()})
+		srv.SetSlowdown(factor)
+		c := &crashCompleter{}
+		c.submit(srv, 0)
+		sched.Run()
+		if c.ok != 1 {
+			panic("request did not complete")
+		}
+		return sched.Now()
+	}
+	nominal := runOne(0) // 0 = unset = nominal
+	if runOne(1) != nominal {
+		t.Error("factor 1 changed batch latency")
+	}
+	if got, want := runOne(10), 10*nominal; got != want {
+		t.Errorf("factor 10 batch finished at %v, want %v", got, want)
+	}
+
+	// The in-flight batch keeps the latency it launched with.
+	sched := simtime.NewScheduler()
+	srv := New(sched, nil, Config{GPU: models.TeslaV100()})
+	c := &crashCompleter{}
+	c.submit(srv, 0)
+	srv.SetSlowdown(50) // after launch: must not stretch this batch
+	sched.Run()
+	if got := sched.Now(); got != nominal {
+		t.Errorf("mid-flight SetSlowdown stretched the batch: %v, want %v", got, nominal)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative slowdown factor did not panic")
+		}
+	}()
+	srv.SetSlowdown(-1)
+}
+
+// Failing an idle server and restoring it must be a no-op for later
+// traffic, and Fail on an already-failed server must not double-count.
+func TestCrashWhileIdle(t *testing.T) {
+	sched := simtime.NewScheduler()
+	srv := New(sched, nil, Config{GPU: models.TeslaV100()})
+	srv.Fail()
+	if !srv.Failed() {
+		t.Fatal("Failed() false after Fail")
+	}
+	srv.Restore()
+	c := &crashCompleter{}
+	c.submit(srv, 0)
+	sched.Run()
+	if c.ok != 1 || srv.Stats().Crashes != 1 {
+		t.Fatalf("ok=%d crashes=%d after idle crash/restore, want 1/1", c.ok, srv.Stats().Crashes)
+	}
+}
+
+// Crash latency must not depend on map iteration order: two identical
+// servers crashed at the same instant resolve tenants in the same
+// order (the fixed round-robin order), observable through the pool's
+// recycling sequence.
+func TestCrashDeterministicOrder(t *testing.T) {
+	run := func() []int {
+		sched := simtime.NewScheduler()
+		srv := New(sched, nil, Config{GPU: models.TeslaV100()})
+		var order []int
+		done := func(tenant int) func(Result) {
+			return func(Result) { order = append(order, tenant) }
+		}
+		for i := 0; i < 8; i++ {
+			m := models.MobileNetV3Small
+			if i%2 == 1 {
+				m = models.EfficientNetB0
+			}
+			srv.Submit(&Request{Tenant: i, Model: m, Done: done(i)})
+		}
+		srv.Fail()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("crash resolved %d/%d of 8", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash resolution order differs between identical runs: %v vs %v", a, b)
+		}
+	}
+}

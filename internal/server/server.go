@@ -34,6 +34,11 @@ const (
 	// because the queue exceeded the batch limit — load-induced
 	// failure, the paper's T_l.
 	StatusRejected
+	// StatusDropped means the request vanished in a server crash
+	// (CrashDrop policy): no response ever leaves the server, so the
+	// device can only observe the loss as a deadline miss. The status
+	// exists so pooled resources are still released deterministically.
+	StatusDropped
 )
 
 func (s Status) String() string {
@@ -42,6 +47,8 @@ func (s Status) String() string {
 		return "OK"
 	case StatusRejected:
 		return "Rejected"
+	case StatusDropped:
+		return "Dropped"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -130,6 +137,34 @@ func (p ShedPolicy) String() string {
 	}
 }
 
+// CrashPolicy selects what happens to in-flight and queued requests
+// when the server crashes (Fail), and to requests submitted while it
+// is down.
+type CrashPolicy int
+
+const (
+	// CrashDrop (default) makes requests vanish with the process:
+	// completion fires with StatusDropped, which transports treat as
+	// silence — the client learns of the loss only through its own
+	// deadline. This models an abrupt kill.
+	CrashDrop CrashPolicy = iota
+	// CrashReject fails requests immediately with StatusRejected —
+	// connection-reset semantics, where the client observes the crash
+	// as an explicit error.
+	CrashReject
+)
+
+func (p CrashPolicy) String() string {
+	switch p {
+	case CrashDrop:
+		return "Drop"
+	case CrashReject:
+		return "Reject"
+	default:
+		return fmt.Sprintf("CrashPolicy(%d)", int(p))
+	}
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// GPU is the accelerator profile. Required.
@@ -146,6 +181,9 @@ type Config struct {
 	// (§IV-A); admission control is the E18 ablation — it delivers
 	// the rejection signal to devices earlier.
 	AdmitCap int
+	// Crash selects what Fail does with in-flight work; defaults to
+	// CrashDrop.
+	Crash CrashPolicy
 }
 
 // Stats holds cumulative server counters.
@@ -153,11 +191,15 @@ type Stats struct {
 	Submitted uint64
 	Completed uint64
 	Rejected  uint64
-	Batches   uint64
+	// Dropped counts requests lost to a crash under CrashDrop.
+	Dropped uint64
+	Batches uint64
 	// BatchSizeSum allows computing the mean batch size.
 	BatchSizeSum uint64
 	// BusyTime is total GPU execution time.
 	BusyTime time.Duration
+	// Crashes counts Fail transitions.
+	Crashes uint64
 }
 
 // MeanBatchSize returns the average executed batch size.
@@ -185,10 +227,17 @@ type Server struct {
 	// batch is the executing batch, copied out of the model queue at
 	// formation (the queue's backing array is immediately reused for
 	// new arrivals) and reused batch after batch; batchLat is its
-	// execution latency. At most one batch executes at a time, so a
-	// single buffer suffices.
+	// execution latency; batchEv is the completion event, kept so a
+	// crash can cancel the in-flight batch. At most one batch executes
+	// at a time, so a single buffer suffices.
 	batch    []*Request
 	batchLat time.Duration
+	batchEv  simtime.Event
+
+	// failed marks a crashed server (see Fail/Restore); slowdown != 0
+	// scales batch execution time (see SetSlowdown).
+	failed   bool
+	slowdown float64
 
 	// freeReqs recycles completed Requests (see AcquireRequest).
 	freeReqs []*Request
@@ -199,7 +248,7 @@ type Server struct {
 
 // TenantStats tracks per-tenant outcomes for fairness analysis.
 type TenantStats struct {
-	Submitted, Completed, Rejected uint64
+	Submitted, Completed, Rejected, Dropped uint64
 }
 
 // New creates a server on the scheduler. r supplies execution jitter
@@ -252,6 +301,74 @@ func (s *Server) QueueLen(m models.Model) int { return len(s.queues[m]) }
 // Busy reports whether a batch is executing right now.
 func (s *Server) Busy() bool { return s.busy }
 
+// Failed reports whether the server is currently crashed.
+func (s *Server) Failed() bool { return s.failed }
+
+// Fail crashes the server: the executing batch is cancelled, and it
+// plus every queued request is resolved per Config.Crash — dropped
+// silently (StatusDropped) or failed immediately (StatusRejected).
+// Submissions while failed meet the same fate at Submit time. All
+// requests still recycle through the pool, so a crash leaks nothing.
+// Idempotent until Restore.
+func (s *Server) Fail() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.stats.Crashes++
+	now := s.sched.Now()
+	if s.busy {
+		s.batchEv.Cancel()
+		for i, r := range s.batch {
+			s.batch[i] = nil
+			s.crashOne(r, now)
+		}
+		s.batch = s.batch[:0]
+		s.busy = false
+	}
+	// Walk queues in the fixed round-robin order (map iteration would
+	// be nondeterministic).
+	for _, m := range s.rr {
+		q := s.queues[m]
+		for i, r := range q {
+			q[i] = nil
+			s.crashOne(r, now)
+		}
+		s.queues[m] = q[:0]
+	}
+}
+
+// Restore brings a crashed server back. It comes back empty: work lost
+// in the crash stays lost, and the next Submit starts the first
+// post-restart batch.
+func (s *Server) Restore() {
+	s.failed = false
+}
+
+// SetSlowdown scales subsequent batches' execution time by factor — a
+// GPU stall or thermal throttle when factor > 1. factor 1 (or 0)
+// restores nominal speed; the executing batch keeps the latency it was
+// launched with. Panics on negative factors.
+func (s *Server) SetSlowdown(factor float64) {
+	if factor < 0 {
+		panic("server: negative slowdown factor")
+	}
+	s.slowdown = factor
+}
+
+// crashOne resolves one request lost to a crash per the crash policy.
+func (s *Server) crashOne(r *Request, now simtime.Time) {
+	if s.cfg.Crash == CrashReject {
+		s.stats.Rejected++
+		s.tenant(r.Tenant).Rejected++
+		s.finish(r, Result{Status: StatusRejected, FinishedAt: now, Queued: now - r.submittedAt})
+		return
+	}
+	s.stats.Dropped++
+	s.tenant(r.Tenant).Dropped++
+	s.finish(r, Result{Status: StatusDropped, FinishedAt: now, Queued: now - r.submittedAt})
+}
+
 // AcquireRequest returns a zeroed Request from the server's pool (or a
 // fresh one when the pool is empty). Completed requests are recycled
 // into the pool automatically after their completion callback returns,
@@ -293,6 +410,10 @@ func (s *Server) Submit(req *Request) {
 	req.submittedAt = s.sched.Now()
 	s.stats.Submitted++
 	s.tenant(req.Tenant).Submitted++
+	if s.failed {
+		s.crashOne(req, s.sched.Now())
+		return
+	}
 	if s.cfg.AdmitCap > 0 && len(s.queues[req.Model]) >= s.cfg.AdmitCap {
 		s.stats.Rejected++
 		s.tenant(req.Tenant).Rejected++
@@ -320,6 +441,10 @@ func (s *Server) tenant(id int) *TenantStats {
 // server's reusable batch buffer so the model queue's backing array
 // can absorb new arrivals while the batch executes.
 func (s *Server) startBatch() {
+	if s.failed {
+		s.busy = false
+		return
+	}
 	m, ok := s.nextModel()
 	if !ok {
 		s.busy = false
@@ -350,13 +475,16 @@ func (s *Server) startBatch() {
 	if s.rng != nil && s.cfg.GPU.JitterRel > 0 {
 		lat = time.Duration(s.rng.Jitter(float64(lat), s.cfg.GPU.JitterRel))
 	}
+	if s.slowdown != 0 && s.slowdown != 1 {
+		lat = time.Duration(float64(lat) * s.slowdown)
+	}
 	s.busy = true
 	s.batchLat = lat
 	s.stats.Batches++
 	s.stats.BatchSizeSum += uint64(take)
 	s.stats.BusyTime += lat
 
-	s.sched.AfterCall(lat, s, 0)
+	s.batchEv = s.sched.AfterCall(lat, s, 0)
 }
 
 // OnSchedEvent implements simtime.Callback: the executing batch

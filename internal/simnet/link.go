@@ -63,8 +63,16 @@ type Link struct {
 	MaxBacklog time.Duration
 	MaxRetries int
 
+	// partitioned forces every packet transmission to be lost while
+	// set, modeling a blackhole outage: transfers still consume
+	// bottleneck bandwidth and exhaust their retry budget exactly as a
+	// 100%-loss channel would, so a partition drains — not freezes —
+	// the queue.
+	partitioned bool
+
 	// Counters for traces and tests.
 	sent, delivered, droppedBacklog, droppedLoss uint64
+	droppedPartition                             uint64
 	packetsSent, packetsLost                     uint64
 
 	// freeXfers and freeFuncSinks recycle the per-transfer completion
@@ -186,6 +194,10 @@ func NewLink(sched *simtime.Scheduler, r *rng.Stream, cond Conditions) *Link {
 // link's channel state where applicable.
 func (l *Link) lost() bool {
 	switch {
+	case l.partitioned:
+		// Blackhole: certain loss, no randomness consumed, so a run
+		// with a partition window stays deterministic for a given plan.
+		return true
 	case l.cond.LossModel != nil:
 		return l.cond.LossModel.Lost(l.rng)
 	case l.burst != nil:
@@ -214,14 +226,28 @@ func (l *Link) SetConditions(c Conditions) {
 // Conditions returns the link's current conditions.
 func (l *Link) Conditions() Conditions { return l.cond }
 
+// Partition forces (on) or lifts (off) a total blackhole on the link.
+// While partitioned every packet is lost, so new transfers burn their
+// retry budget and abort after the usual RTO backoff schedule —
+// senders observe a stall followed by loss, exactly as a cable pull
+// looks through TCP. Transfers admitted before the partition whose
+// packet walk already succeeded still deliver (their packets were
+// already on the wire); the queue drains rather than freezing.
+// Partition state is orthogonal to SetConditions and survives it.
+func (l *Link) Partition(on bool) { l.partitioned = on }
+
+// Partitioned reports whether the link is currently partitioned.
+func (l *Link) Partitioned() bool { return l.partitioned }
+
 // Stats reports cumulative link counters.
 type Stats struct {
-	Sent           uint64 // transfers accepted
-	Delivered      uint64 // transfers completed
-	DroppedBacklog uint64 // transfers rejected: queue too long
-	DroppedLoss    uint64 // transfers abandoned: retry budget exhausted
-	PacketsSent    uint64 // packet transmissions incl. retransmits
-	PacketsLost    uint64 // packet transmissions lost
+	Sent             uint64 // transfers accepted
+	Delivered        uint64 // transfers completed
+	DroppedBacklog   uint64 // transfers rejected: queue too long
+	DroppedLoss      uint64 // transfers abandoned: retry budget exhausted
+	DroppedPartition uint64 // transfers abandoned while partitioned
+	PacketsSent      uint64 // packet transmissions incl. retransmits
+	PacketsLost      uint64 // packet transmissions lost
 }
 
 // Stats returns a snapshot of the link counters.
@@ -229,7 +255,8 @@ func (l *Link) Stats() Stats {
 	return Stats{
 		Sent: l.sent, Delivered: l.delivered,
 		DroppedBacklog: l.droppedBacklog, DroppedLoss: l.droppedLoss,
-		PacketsSent: l.packetsSent, PacketsLost: l.packetsLost,
+		DroppedPartition: l.droppedPartition,
+		PacketsSent:      l.packetsSent, PacketsLost: l.packetsLost,
 	}
 }
 
@@ -371,6 +398,9 @@ func (l *Link) send(bytes int, sink Sink, token uint64, notifyDrop bool) bool {
 
 	if aborted {
 		l.droppedLoss++
+		if l.partitioned {
+			l.droppedPartition++
+		}
 		if notifyDrop {
 			// The failure becomes known after the futile
 			// transmission and stalls.
@@ -414,4 +444,12 @@ func NewPath(sched *simtime.Scheduler, r *rng.Stream, cond Conditions) *Path {
 func (p *Path) SetConditions(c Conditions) {
 	p.Up.SetConditions(c)
 	p.Down.SetConditions(c)
+}
+
+// Partition forces or lifts a blackhole on both directions at once —
+// the usual shape of a real partition, where the device's whole
+// attachment goes dark.
+func (p *Path) Partition(on bool) {
+	p.Up.Partition(on)
+	p.Down.Partition(on)
 }

@@ -260,8 +260,8 @@ func TestScheduleAt(t *testing.T) {
 		{Start: 30 * time.Second, Cond: Conditions{BandwidthBps: Mbps(4)}},
 		{Start: 45 * time.Second, Cond: Conditions{BandwidthBps: Mbps(1)}},
 	}
-	if !sch.Validate() {
-		t.Fatal("valid schedule failed Validate")
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("valid schedule failed Validate: %v", err)
 	}
 	cases := []struct {
 		t    simtime.Time

@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// A partitioned link must abandon every new transfer after the full
+// retry budget — deterministically, consuming no randomness (the test
+// link has no rng at all).
+func TestPartitionBlackhole(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 5*time.Millisecond)
+	l.Partition(true)
+	if !l.Partitioned() {
+		t.Fatal("Partitioned() false after Partition(true)")
+	}
+
+	delivered, dropped := false, false
+	l.Send(PayloadPerPacket, func() { delivered = true }, func() { dropped = true })
+	s.Run()
+	abortAt := s.Now()
+
+	if delivered || !dropped {
+		t.Fatalf("partitioned transfer delivered=%v dropped=%v, want false/true", delivered, dropped)
+	}
+	st := l.Stats()
+	if st.DroppedPartition != 1 || st.DroppedLoss != 1 {
+		t.Errorf("stats = %+v, want DroppedPartition=1 within DroppedLoss=1", st)
+	}
+	if st.PacketsLost != st.PacketsSent || st.PacketsSent == 0 {
+		t.Errorf("blackhole let packets through: %+v", st)
+	}
+	// TCP gives up only after the full RTO backoff schedule: the abort
+	// lands seconds, not milliseconds, after the send.
+	if abortAt < time.Second {
+		t.Errorf("transfer aborted after only %v — retry budget not exhausted", abortAt)
+	}
+
+	// Identical runs abort at the identical instant (no rng involved).
+	s2 := simtime.NewScheduler()
+	l2 := perfectLink(s2, Mbps(10), 5*time.Millisecond)
+	l2.Partition(true)
+	l2.Send(PayloadPerPacket, func() {}, func() {})
+	s2.Run()
+	if s2.Now() != abortAt {
+		t.Errorf("abort time %v differs from identical run %v", s2.Now(), abortAt)
+	}
+}
+
+// Queue-drain semantics: a transfer admitted before the partition still
+// delivers — its packets were already on the wire — while a transfer
+// sent after it is blackholed.
+func TestPartitionQueueDrain(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 0)
+
+	var preAt simtime.Time
+	postDropped := false
+	l.Send(PayloadPerPacket, func() { preAt = s.Now() }, nil)
+	l.Partition(true)
+	l.Send(PayloadPerPacket, func() {}, func() { postDropped = true })
+	s.Run()
+
+	if preAt != 1200*time.Microsecond {
+		t.Errorf("pre-partition transfer delivered at %v, want 1.2ms", preAt)
+	}
+	if !postDropped {
+		t.Error("post-partition transfer survived the blackhole")
+	}
+}
+
+// Lifting the partition restores normal delivery, and partition state
+// is orthogonal to SetConditions.
+func TestPartitionLiftAndSetConditions(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 0)
+	l.Partition(true)
+	l.SetConditions(Conditions{BandwidthBps: Mbps(20)})
+	if !l.Partitioned() {
+		t.Fatal("SetConditions cleared the partition")
+	}
+	l.Partition(false)
+	delivered := false
+	l.Send(PayloadPerPacket, func() { delivered = true }, nil)
+	s.Run()
+	if !delivered {
+		t.Fatal("transfer lost after the partition lifted")
+	}
+}
+
+// Path.Partition blackholes both directions at once.
+func TestPathPartitionBothDirections(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPath(s, rng.New(5), Conditions{BandwidthBps: Mbps(10)})
+	p.Partition(true)
+	upDropped, downDropped := false, false
+	p.Up.Send(PayloadPerPacket, func() {}, func() { upDropped = true })
+	p.Down.Send(PayloadPerPacket, func() {}, func() { downDropped = true })
+	s.Run()
+	if !upDropped || !downDropped {
+		t.Fatalf("up dropped=%v down dropped=%v, want both", upDropped, downDropped)
+	}
+	p.Partition(false)
+	if p.Up.Partitioned() || p.Down.Partitioned() {
+		t.Fatal("partition did not lift on both directions")
+	}
+}
+
+// Regression for SetConditions mid-transfer semantics: transfers
+// admitted under the old conditions keep the old bandwidth even while
+// queued behind a backlog; only transfers sent after the change see the
+// new rate. (Matches NetEm: reconfiguration affects new queue arrivals
+// only.)
+func TestSetConditionsMidTransferBacklog(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := perfectLink(s, Mbps(10), 0) // 1.2 ms per full packet
+	var times []simtime.Time
+	send := func() { l.Send(PayloadPerPacket, func() { times = append(times, s.Now()) }, nil) }
+
+	// Three transfers back up the bottleneck queue...
+	send()
+	send()
+	send()
+	// ...then the link gets twice as fast (0.6 ms per packet) while
+	// they are still queued.
+	l.SetConditions(Conditions{BandwidthBps: Mbps(20)})
+	send()
+	s.Run()
+
+	want := []simtime.Time{
+		1200 * time.Microsecond, // admitted at 10 Mbps
+		2400 * time.Microsecond, // still 10 Mbps, despite the change
+		3600 * time.Microsecond, // still 10 Mbps
+		4200 * time.Microsecond, // new arrival: 20 Mbps behind the backlog
+	}
+	if len(times) != len(want) {
+		t.Fatalf("delivered %d of %d transfers", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("transfer %d delivered at %v, want %v", i, times[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/simtime"
@@ -18,15 +19,39 @@ type Phase struct {
 // (paper Table V).
 type Schedule []Phase
 
-// Validate checks that phases are strictly ordered by start time.
-func (s Schedule) Validate() bool {
-	for i := 1; i < len(s); i++ {
-		if s[i].Start <= s[i-1].Start {
-			return false
+// Validate checks the schedule and reports the first malformed phase:
+// phases must carry non-negative start times, be strictly ordered (a
+// repeated start would make one phase a zero-duration no-op), and hold
+// physically meaningful conditions.
+func (s Schedule) Validate() error {
+	for i, ph := range s {
+		if ph.Start < 0 {
+			return fmt.Errorf("simnet: schedule phase %d starts at negative time %v", i, ph.Start)
+		}
+		if i > 0 && ph.Start <= s[i-1].Start {
+			return fmt.Errorf("simnet: schedule phase %d at %v does not start after phase %d at %v",
+				i, ph.Start, i-1, s[i-1].Start)
+		}
+		c := ph.Cond
+		switch {
+		case c.BandwidthBps < 0:
+			return fmt.Errorf("simnet: schedule phase %d has negative bandwidth %v bps", i, c.BandwidthBps)
+		case c.Loss < 0 || c.Loss > 1:
+			return fmt.Errorf("simnet: schedule phase %d has loss %v outside [0, 1]", i, c.Loss)
+		case c.PropDelay < 0:
+			return fmt.Errorf("simnet: schedule phase %d has negative propagation delay %v", i, c.PropDelay)
+		case c.JitterRel < 0:
+			return fmt.Errorf("simnet: schedule phase %d has negative relative jitter %v", i, c.JitterRel)
 		}
 	}
-	return true
+	return nil
 }
+
+// Valid reports whether the schedule passes Validate.
+//
+// Deprecated: use Validate, which reports which phase is malformed and
+// why.
+func (s Schedule) Valid() bool { return s.Validate() == nil }
 
 // At returns the conditions in force at time t (the last phase with
 // Start <= t). Before the first phase it returns the first phase's
@@ -46,8 +71,8 @@ func (s Schedule) At(t simtime.Time) Conditions {
 // phase boundary. It also applies the first phase immediately if it
 // starts at or before the current time.
 func (s Schedule) Apply(sched *simtime.Scheduler, p *Path) {
-	if !s.Validate() {
-		panic("simnet: schedule phases not strictly ordered")
+	if err := s.Validate(); err != nil {
+		panic(err)
 	}
 	for _, ph := range s {
 		ph := ph

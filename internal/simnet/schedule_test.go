@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestScheduleValidateErrors(t *testing.T) {
+	ok := Conditions{BandwidthBps: Mbps(10)}
+	cases := []struct {
+		name string
+		sch  Schedule
+		want string // substring of the error
+	}{
+		{"negative start",
+			Schedule{{Start: -time.Second, Cond: ok}},
+			"negative time"},
+		{"repeated start",
+			Schedule{{Start: 0, Cond: ok}, {Start: 0, Cond: ok}},
+			"does not start after phase 0"},
+		{"out of order",
+			Schedule{{Start: 2 * time.Second, Cond: ok}, {Start: time.Second, Cond: ok}},
+			"does not start after"},
+		{"negative bandwidth",
+			Schedule{{Cond: Conditions{BandwidthBps: -1}}},
+			"negative bandwidth"},
+		{"loss above 1",
+			Schedule{{Cond: Conditions{Loss: 1.5}}},
+			"outside [0, 1]"},
+		{"negative prop delay",
+			Schedule{{Cond: Conditions{PropDelay: -time.Millisecond}}},
+			"negative propagation delay"},
+		{"negative jitter",
+			Schedule{{Cond: Conditions{JitterRel: -0.1}}},
+			"negative relative jitter"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.sch.Validate()
+			if err == nil {
+				t.Fatal("malformed schedule accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			// The deprecated boolean wrapper must agree.
+			if c.sch.Valid() {
+				t.Fatal("Valid() true for a schedule Validate rejects")
+			}
+		})
+	}
+
+	good := Schedule{{Start: 0, Cond: ok}, {Start: time.Second, Cond: ok}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("well-formed schedule rejected: %v", err)
+	}
+	if !good.Valid() {
+		t.Fatal("Valid() false for a well-formed schedule")
+	}
+	if (Schedule{}).Validate() != nil {
+		t.Fatal("empty schedule rejected")
+	}
+}
+
+func TestScheduleApplyRejectsMalformed(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPath(s, nil, Conditions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply accepted a malformed schedule")
+		}
+	}()
+	Schedule{{Start: -time.Second}}.Apply(s, p)
+}

@@ -118,6 +118,10 @@ type Injector struct {
 	tenant   int
 	bytes    int
 	ticker   *simtime.Ticker
+	// extra is additive load on top of the schedule, used by the
+	// fault engine's tenant-churn injections (a flash crowd arriving
+	// and leaving again).
+	extra float64
 
 	submitted uint64
 	completed uint64
@@ -182,7 +186,7 @@ func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cf
 	}
 	sub := cfg.SubInterval
 	inj.ticker = sched.Every(0, sub, func(now simtime.Time) {
-		rate := inj.schedule.At(now)
+		rate := inj.schedule.At(now) + inj.extra
 		if rate <= 0 {
 			return
 		}
@@ -194,6 +198,15 @@ func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cf
 	})
 	return inj
 }
+
+// AddExtraRate adjusts the additive request rate on top of the
+// schedule by delta (negative to remove load previously added). The
+// effective rate is floored at zero by the arrival loop, so a clearing
+// flash crowd can never drive arrivals negative.
+func (inj *Injector) AddExtraRate(delta float64) { inj.extra += delta }
+
+// ExtraRate returns the current additive rate.
+func (inj *Injector) ExtraRate() float64 { return inj.extra }
 
 // Stop permanently halts the injector's arrival process. Without it,
 // the injector's periodic ticker keeps the scheduler's queue non-empty

@@ -14,8 +14,8 @@ import (
 
 func TestTableVStructure(t *testing.T) {
 	sch := TableV()
-	if !sch.Validate() {
-		t.Fatal("Table V schedule invalid")
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("Table V schedule invalid: %v", err)
 	}
 	// Paper Table V rows (bandwidth in the Mbps interpretation,
 	// loss verbatim).
