@@ -20,13 +20,15 @@ race:
 	$(GO) test -race -run 'Parallel|Replicate|RunPolicies' ./internal/scenario/
 
 # Chaos gate: replay the seeded random fault plans under the race
-# detector with the run-time invariant checker armed, then fuzz
-# short faulted scenarios for determinism and invariant violations.
+# detector with the run-time invariant checker armed, run the cluster
+# kill-1-of-8 resilience experiment the same way, then fuzz short
+# faulted scenarios for determinism and invariant violations.
 # FUZZTIME matches the CI chaos-smoke job; raise it for deeper local
 # hunts, e.g. `make chaos FUZZTIME=5m`.
 FUZZTIME ?= 20s
 chaos:
 	$(GO) run -race ./cmd/ffexperiments -exp chaos -invariants
+	$(GO) run -race ./cmd/ffexperiments -exp cluster -invariants
 	$(GO) test -run '^$$' -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/scenario/
 
 # Tier-1 perf baseline: scheduler churn + full-scenario benches and

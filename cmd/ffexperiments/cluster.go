@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// clusterExp is the multi-server resilience experiment (opt-in, not
+// part of -exp all): eight FrameFeedback devices offload to an
+// eight-member pool under sticky-with-failover placement, member 3 is
+// crashed for 20 s mid-run, and the experiment reports how quickly the
+// fleet's aggregate throughput reconverges, where the orphaned
+// tenant's traffic failed over to, and how fair the fleet's per-tenant
+// service stayed (Jain's index + work-conserving ratio).
+func clusterExp() {
+	header("Cluster: kill 1 of 8 servers, fleet reconvergence + per-tenant fairness")
+	reg := telemetry.NewRegistry()
+	cluster.RegisterMetrics(reg)
+	faults.RegisterMetrics(reg)
+
+	const fs = 30.0
+	const poolSize = 8
+	crash := faults.Injection{
+		Kind: faults.ServerCrash, At: 40 * time.Second,
+		Duration: 20 * time.Second, Server: 3,
+	}
+	devices := make([]scenario.DeviceSpec, poolSize)
+	for i := range devices {
+		devices[i] = scenario.DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := scenario.Run(withSeed(scenario.Config{
+		Policy:     scenario.FrameFeedbackFactory(controller.Config{}),
+		FS:         fs,
+		FrameLimit: 3000, // 100 s at 30 fps
+		Devices:    devices,
+		Cluster: &scenario.ClusterConfig{
+			Members:   make([]scenario.ClusterMember, poolSize),
+			Placement: cluster.PlaceSticky,
+		},
+		Faults:          faults.Plan{crash},
+		CheckInvariants: true,
+	}))
+
+	writeCSV("cluster.csv", r.Table())
+
+	// Fleet reconvergence: sticky failover reroutes tenant 3 while its
+	// home member is down, so aggregate throughput should return to the
+	// pre-crash baseline almost immediately after the dip from the
+	// dropped in-flight batch.
+	startSec := int(crash.At / simtime.Time(time.Second))
+	clearSec := int(crash.End() / simtime.Time(time.Second))
+	baseline := metrics.Mean(r.TotalP[startSec-5 : startSec])
+	during := metrics.Mean(r.TotalP[startSec+1 : clearSec])
+	rec := reconvergence(r.TotalP, baseline, clearSec, 0.9)
+	recStr := "never"
+	if rec >= 0 {
+		recStr = fmt.Sprintf("%.0f s", rec)
+	}
+	plot.RenderTable(os.Stdout,
+		[]string{"fault", "fleet P before", "fleet P during", "reconvergence", "verdict"},
+		[][]string{{
+			crash.String(),
+			fmt.Sprintf("%6.2f", baseline),
+			fmt.Sprintf("%6.2f", during),
+			recStr,
+			pass(rec >= 0),
+		}})
+
+	// Per-member dispatch accounting: member 3 should show the outage
+	// (fewer dispatches, nonzero drops) and its failover target the
+	// surplus.
+	rows := [][]string{}
+	for i := 0; i < poolSize; i++ {
+		st := r.ClusterServers[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", r.ClusterDispatched[i]),
+			fmt.Sprintf("%d", st.Completed),
+			fmt.Sprintf("%d", st.Dropped),
+		})
+	}
+	fmt.Println()
+	plot.RenderTable(os.Stdout,
+		[]string{"server", "dispatched", "completed", "dropped"}, rows)
+
+	fmt.Printf("\nsticky failovers: %d (%s)\n",
+		r.ClusterFailovers, pass(r.ClusterFailovers > 0))
+	fmt.Printf("per-tenant Jain index: %.4f (%s)\n",
+		r.ClusterJain, pass(r.ClusterJain >= 0.95))
+	fmt.Printf("work-conserving ratio: %.4f\n", r.ClusterWorkConserving)
+	fmt.Printf("faults injected: %d; invariant checker: %s\n",
+		r.FaultsInjected, pass(r.FaultsInjected == 1))
+
+	if *verboseFlag {
+		fmt.Println("\ntelemetry exposition (cluster + fault instruments):")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

@@ -9,12 +9,13 @@
 // where NAME is all (default) or one of: table2 table3 fig2 fig3 fig4
 // cpu factor ablations energy combined burst quality fairness tune
 // latency deadline heterofair robustness aimd admitcap app sweep
-// batchsweep ticksweep delaysweep — plus three opt-in experiments that
-// are not part of "all": the wall-clock "real" (E20), and the
+// batchsweep ticksweep delaysweep — plus four opt-in experiments that
+// are not part of "all": the wall-clock "real" (E20), the
 // fault-injection pair "recovery" (time-to-reconvergence after each
 // fault kind clears) and "chaos" (seeded random fault plans under the
-// run-time invariant checker). The experiment ids match DESIGN.md's
-// per-experiment index (E1–E24).
+// run-time invariant checker), and "cluster" (kill 1 of 8 pool members,
+// fleet reconvergence + per-tenant fairness). The experiment ids match
+// DESIGN.md's per-experiment index (E1–E24).
 //
 // -invariants forces the run-time invariant checker on for every
 // simulation in the process (recovery and chaos always run with it).
@@ -99,6 +100,7 @@ func main() {
 		"delaysweep": delaysweep,
 		"recovery":   recovery,
 		"chaos":      chaos,
+		"cluster":    clusterExp,
 	}
 	// recovery and chaos stay out of the "all" order: -exp all output
 	// is a byte-stability fixture, and the fault experiments are

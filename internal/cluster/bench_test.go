@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/server"
+	"repro/internal/simtime"
+)
+
+// benchCompleter is a pooled-style completion target for benchmarks.
+type benchCompleter struct{ ok, other uint64 }
+
+func (b *benchCompleter) CompleteRequest(_ *server.Request, res server.Result) {
+	if res.Status == server.StatusOK {
+		b.ok++
+	} else {
+		b.other++
+	}
+}
+
+// BenchmarkClusterDispatch measures the dispatch hot path: one round
+// submits a request for each of 8 tenants across an 8-member sticky
+// pool and drains the scheduler. Gated by scripts/benchdiff.go like
+// ScenarioRun: allocs/op must stay at 0.
+func BenchmarkClusterDispatch(b *testing.B) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(8)})
+	bc := &benchCompleter{}
+	round := func() {
+		for tenant := 0; tenant < 8; tenant++ {
+			req := cl.AcquireRequest()
+			req.Tenant = tenant
+			req.Model = models.MobileNetV3Small
+			req.Bytes = 7000
+			req.Completer = bc
+			cl.Submit(req)
+		}
+		s.Run()
+	}
+	round() // warm pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	if bc.ok == 0 {
+		b.Fatal("no completions")
+	}
+}

@@ -1,0 +1,460 @@
+// Package cluster is the dispatch layer over a pool of heterogeneous
+// edge inference servers: the architectural step from the paper's
+// single GPU to a fleet. A Cluster implements server.Backend, so
+// devices and load injectors submit to it exactly as they would to one
+// server; a pluggable placement policy picks the member for each
+// request, optional per-member simnet paths model the backhaul between
+// the dispatch point and each server, and per-member crash/stall
+// control lets the fault engine kill individual servers.
+//
+// Requests recycle through one pool shared by the dispatcher and all
+// members (server.RequestPool via UsePool), so the steady-state
+// dispatch path — placement, per-member accounting, submission —
+// allocates nothing regardless of which member completes a request.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+// ResponseBytes sizes the member→dispatcher result message on a
+// member's return path, matching the device-side classification
+// result size.
+const ResponseBytes = 300
+
+// Placement selects how the dispatcher picks a member for a request.
+type Placement int
+
+const (
+	// PlaceSticky (default) pins each tenant to a home member
+	// (tenant mod pool size) and fails over to the next eligible
+	// member — in index order — while the home is down. Sticky
+	// placement preserves per-tenant FIFO ordering and gives
+	// server-side fair schedulers a stable tenant population.
+	PlaceSticky Placement = iota
+	// PlaceRandom picks uniformly among eligible members; requires
+	// Config.PlaceRng.
+	PlaceRandom
+	// PlaceLeastLoaded picks the eligible member with the smallest
+	// backlog (queued requests, plus one when a batch is executing);
+	// ties go to the lowest index.
+	PlaceLeastLoaded
+	// PlaceLatencyAware picks the eligible member with the smallest
+	// estimated completion latency: round-trip propagation delay of
+	// the member's path plus the GPU latency of a batch holding the
+	// current backlog, plus half a residual batch when the GPU is
+	// busy. A deterministic heuristic, not a reservation.
+	PlaceLatencyAware
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceSticky:
+		return "sticky"
+	case PlaceRandom:
+		return "random"
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	case PlaceLatencyAware:
+		return "latency-aware"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// ServerSpec configures one pool member.
+type ServerSpec struct {
+	// GPU is the member's accelerator profile. Required.
+	GPU *models.GPUProfile
+	// MaxBatch, Shed, AdmitCap, Crash, Weights and Priority carry
+	// straight into the member's server.Config.
+	MaxBatch int
+	Shed     server.ShedPolicy
+	AdmitCap int
+	Crash    server.CrashPolicy
+	Weights  map[int]float64
+	Priority map[int]int
+	// Rng supplies the member's execution jitter; may be nil for a
+	// deterministic member.
+	Rng *rng.Stream
+	// PathCond, when non-nil, puts a simnet path between the
+	// dispatcher and this member: requests traverse an uplink with
+	// these conditions and results return on a matching downlink.
+	// Nil attaches the member directly (zero network cost).
+	PathCond *simnet.Conditions
+	// PathRng supplies loss randomness for the member's path; may be
+	// nil for a deterministic path.
+	PathRng *rng.Stream
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Servers is the pool; at least one member is required.
+	Servers []ServerSpec
+	// Placement selects the dispatch policy (default PlaceSticky).
+	Placement Placement
+	// PlaceRng drives PlaceRandom; required for that policy, unused
+	// otherwise.
+	PlaceRng *rng.Stream
+}
+
+// member is one server in the pool plus its backhaul path.
+type member struct {
+	srv  *server.Server
+	path *simnet.Path
+	cond simnet.Conditions // path conditions at creation (latency estimates)
+	// inflight counts requests dispatched across the path whose
+	// outcome has not yet returned. A direct member's queue state is
+	// visible synchronously, but a pathed member's is not — without
+	// this, load-sensitive placement would dogpile a "still idle"
+	// member whose uplink is full of requests.
+	inflight int
+}
+
+// Cluster dispatches requests across a pool of servers. It implements
+// server.Backend. Like every simulation component it is
+// single-threaded on the scheduler's event loop.
+type Cluster struct {
+	sched    *simtime.Scheduler
+	cfg      Config
+	members  []member
+	pool     server.RequestPool
+	freeHops []*hop
+
+	dispatched []uint64 // per-member submissions routed there
+	total      uint64
+	failovers  uint64 // sticky dispatches diverted from a failed home
+	pathDrops  uint64 // requests or results lost on a member path
+	violations uint64 // work-conservation violations (see Submit)
+}
+
+// New builds the pool on the scheduler. Member servers share one
+// request pool with the dispatcher.
+func New(sched *simtime.Scheduler, cfg Config) *Cluster {
+	if sched == nil {
+		panic("cluster: New with nil scheduler")
+	}
+	if len(cfg.Servers) == 0 {
+		panic("cluster: Config.Servers is empty")
+	}
+	if cfg.Placement == PlaceRandom && cfg.PlaceRng == nil && len(cfg.Servers) > 1 {
+		panic("cluster: PlaceRandom requires Config.PlaceRng")
+	}
+	c := &Cluster{
+		sched:      sched,
+		cfg:        cfg,
+		members:    make([]member, len(cfg.Servers)),
+		dispatched: make([]uint64, len(cfg.Servers)),
+	}
+	for i, spec := range cfg.Servers {
+		srv := server.New(sched, spec.Rng, server.Config{
+			GPU:      spec.GPU,
+			MaxBatch: spec.MaxBatch,
+			Shed:     spec.Shed,
+			AdmitCap: spec.AdmitCap,
+			Crash:    spec.Crash,
+			Weights:  spec.Weights,
+			Priority: spec.Priority,
+		})
+		srv.UsePool(&c.pool)
+		m := member{srv: srv}
+		if spec.PathCond != nil {
+			m.path = simnet.NewPath(sched, spec.PathRng, *spec.PathCond)
+			m.cond = *spec.PathCond
+		}
+		c.members[i] = m
+	}
+	return c
+}
+
+// Size returns the pool size.
+func (c *Cluster) Size() int { return len(c.members) }
+
+// Member returns the i-th pool server (for stats and tests).
+func (c *Cluster) Member(i int) *server.Server { return c.members[i].srv }
+
+// Path returns the i-th member's backhaul path, nil for a directly
+// attached member.
+func (c *Cluster) Path(i int) *simnet.Path { return c.members[i].path }
+
+// AcquireRequest implements server.Backend from the shared pool.
+func (c *Cluster) AcquireRequest() *server.Request { return c.pool.Acquire() }
+
+// Submit implements server.Backend: place the request on a member and
+// hand it over — directly, or across the member's path. Ownership
+// follows the server contract: the cluster owns the request until the
+// completion callback, and the pointer recycles afterwards.
+func (c *Cluster) Submit(req *server.Request) {
+	i := c.place(req)
+	c.dispatched[i]++
+	c.total++
+	dispatchedByServer.WithUint(uint64(i)).Inc()
+	m := &c.members[i]
+	// Work-conservation accounting: routing to a backlogged member
+	// while an eligible member sits completely idle means the policy
+	// left capacity on the table (expected for sticky/random, ~never
+	// for least-loaded).
+	if (m.srv.Busy() || m.srv.TotalQueued() > 0) && c.idleEligible(i, req.Model) {
+		c.violations++
+	}
+	if m.path == nil {
+		m.srv.Submit(req)
+		return
+	}
+	h := c.newHop(m, req)
+	m.path.Up.SendTo(h.scratch.Bytes, h, 0)
+}
+
+// place picks the member index for a request.
+func (c *Cluster) place(req *server.Request) int {
+	n := len(c.members)
+	if n == 1 {
+		return 0
+	}
+	switch c.cfg.Placement {
+	case PlaceRandom:
+		k := 0
+		for i := range c.members {
+			if c.eligible(i, req.Model) {
+				k++
+			}
+		}
+		if k == 0 {
+			return 0
+		}
+		pick := c.cfg.PlaceRng.Intn(k)
+		for i := range c.members {
+			if c.eligible(i, req.Model) {
+				if pick == 0 {
+					return i
+				}
+				pick--
+			}
+		}
+		return 0
+	case PlaceLeastLoaded:
+		best, bestLoad := -1, 0
+		for i := range c.members {
+			if !c.eligible(i, req.Model) {
+				continue
+			}
+			load := c.members[i].srv.TotalQueued() + c.members[i].inflight
+			if c.members[i].srv.Busy() {
+				load++
+			}
+			if best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	case PlaceLatencyAware:
+		best := -1
+		var bestEst simtime.Time
+		for i := range c.members {
+			if !c.eligible(i, req.Model) {
+				continue
+			}
+			est := c.estimate(i, req.Model)
+			if best < 0 || est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	}
+	// PlaceSticky: home member by tenant, next eligible on failure.
+	home := req.Tenant % n
+	if home < 0 {
+		home += n
+	}
+	if c.eligible(home, req.Model) {
+		return home
+	}
+	for d := 1; d < n; d++ {
+		i := (home + d) % n
+		if c.eligible(i, req.Model) {
+			c.failovers++
+			failoverTotal.Inc()
+			return i
+		}
+	}
+	// No eligible member: the home server resolves the request per
+	// its crash policy.
+	return home
+}
+
+// eligible reports whether member i can currently take requests for
+// the model.
+func (c *Cluster) eligible(i int, m models.Model) bool {
+	srv := c.members[i].srv
+	return !srv.Failed() && srv.Supports(m)
+}
+
+// idleEligible reports whether any eligible member other than skip is
+// completely idle (no batch executing, nothing queued).
+func (c *Cluster) idleEligible(skip int, m models.Model) bool {
+	for i := range c.members {
+		if i == skip || !c.eligible(i, m) {
+			continue
+		}
+		if !c.members[i].srv.Busy() && c.members[i].srv.TotalQueued() == 0 && c.members[i].inflight == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// estimate is the latency-aware placement heuristic for member i:
+// path round trip + GPU time for a batch holding the backlog + half a
+// residual batch when busy.
+func (c *Cluster) estimate(i int, m models.Model) simtime.Time {
+	mem := &c.members[i]
+	est := simtime.Time(2 * mem.cond.PropDelay)
+	curve, ok := mem.srv.GPU().Curves[m]
+	if !ok {
+		return est
+	}
+	// GPU time until this request would complete: full batches ahead
+	// of it, plus the residual batch it would ride in.
+	backlog := mem.srv.TotalQueued() + mem.inflight + 1
+	maxBatch := mem.srv.MaxBatch()
+	est += simtime.Time(backlog/maxBatch) * simtime.Time(curve.Latency(maxBatch))
+	if residual := backlog % maxBatch; residual > 0 {
+		est += simtime.Time(curve.Latency(residual))
+	}
+	if mem.srv.Busy() {
+		est += simtime.Time(curve.Latency(maxBatch) / 2)
+	}
+	return est
+}
+
+// Fail crashes member i (all members when i < 0), with the member's
+// configured crash policy. Panics on an out-of-range index.
+func (c *Cluster) Fail(i int) { c.each(i, (*server.Server).Fail) }
+
+// Restore brings member i (all members when i < 0) back online.
+func (c *Cluster) Restore(i int) { c.each(i, (*server.Server).Restore) }
+
+// SetSlowdown scales member i's batch execution time (all members
+// when i < 0).
+func (c *Cluster) SetSlowdown(i int, factor float64) {
+	if i < 0 {
+		for j := range c.members {
+			c.members[j].srv.SetSlowdown(factor)
+		}
+		return
+	}
+	c.members[i].srv.SetSlowdown(factor)
+}
+
+func (c *Cluster) each(i int, fn func(*server.Server)) {
+	if i < 0 {
+		for j := range c.members {
+			fn(c.members[j].srv)
+		}
+		return
+	}
+	fn(c.members[i].srv)
+}
+
+// Stats returns the fleet-aggregated server counters.
+func (c *Cluster) Stats() server.Stats {
+	var out server.Stats
+	for i := range c.members {
+		st := c.members[i].srv.Stats()
+		out.Submitted += st.Submitted
+		out.Completed += st.Completed
+		out.Rejected += st.Rejected
+		out.Dropped += st.Dropped
+		out.Batches += st.Batches
+		out.BatchSizeSum += st.BatchSizeSum
+		out.BusyTime += st.BusyTime
+		out.Crashes += st.Crashes
+	}
+	return out
+}
+
+// Tenant returns the fleet-aggregated stats for one tenant.
+func (c *Cluster) Tenant(id int) server.TenantStats {
+	var out server.TenantStats
+	for i := range c.members {
+		st := c.members[i].srv.Tenant(id)
+		out.Submitted += st.Submitted
+		out.Completed += st.Completed
+		out.Rejected += st.Rejected
+		out.Dropped += st.Dropped
+	}
+	return out
+}
+
+// EachTenant calls fn for every tenant seen anywhere in the fleet, in
+// ascending tenant order, with fleet-aggregated stats.
+func (c *Cluster) EachTenant(fn func(id int, st server.TenantStats)) {
+	seen := make(map[int]bool)
+	var ids []int
+	for i := range c.members {
+		c.members[i].srv.EachTenant(func(id int, _ server.TenantStats) {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		})
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		fn(id, c.Tenant(id))
+	}
+}
+
+// sortInts is insertion sort — tenant populations are tiny and this
+// avoids an import for one call site.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// JainIndex returns Jain's fairness index over per-tenant completed
+// counts across the fleet: 1 for perfectly equal service, 1/n when
+// one of n tenants takes everything.
+func (c *Cluster) JainIndex() float64 {
+	var xs []float64
+	c.EachTenant(func(_ int, st server.TenantStats) {
+		xs = append(xs, float64(st.Completed))
+	})
+	return metrics.JainIndex(xs)
+}
+
+// WorkConservingRatio returns the fraction of dispatches that did not
+// violate work conservation (1 when nothing was dispatched).
+func (c *Cluster) WorkConservingRatio() float64 {
+	if c.total == 0 {
+		return 1
+	}
+	return 1 - float64(c.violations)/float64(c.total)
+}
+
+// Dispatched returns how many requests were routed to member i.
+func (c *Cluster) Dispatched(i int) uint64 { return c.dispatched[i] }
+
+// Failovers returns how many sticky dispatches were diverted from a
+// failed home member.
+func (c *Cluster) Failovers() uint64 { return c.failovers }
+
+// PathDrops returns how many requests or results were lost on member
+// paths.
+func (c *Cluster) PathDrops() uint64 { return c.pathDrops }

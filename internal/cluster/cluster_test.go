@@ -1,0 +1,406 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+)
+
+func specs(n int) []ServerSpec {
+	out := make([]ServerSpec, n)
+	for i := range out {
+		out[i] = ServerSpec{GPU: models.TeslaV100()}
+	}
+	return out
+}
+
+type capture struct {
+	results []server.Result
+}
+
+func (c *capture) CompleteRequest(_ *server.Request, res server.Result) {
+	c.results = append(c.results, res)
+}
+
+func submit(cl *Cluster, tenant int, m models.Model) *capture {
+	c := &capture{}
+	req := cl.AcquireRequest()
+	req.Tenant = tenant
+	req.Model = m
+	req.Bytes = 7000
+	req.Completer = c
+	cl.Submit(req)
+	return c
+}
+
+// TestSingleMemberMatchesServer: a 1-member cluster is transparent —
+// request outcomes are identical to submitting to the server directly.
+func TestSingleMemberMatchesServer(t *testing.T) {
+	s1 := simtime.NewScheduler()
+	srv := server.New(s1, nil, server.Config{GPU: models.TeslaV100()})
+	var direct server.Result
+	srv.Submit(&server.Request{Model: models.MobileNetV3Small, Done: func(r server.Result) { direct = r }})
+	s1.Run()
+
+	s2 := simtime.NewScheduler()
+	cl := New(s2, Config{Servers: specs(1)})
+	cap := submit(cl, 0, models.MobileNetV3Small)
+	s2.Run()
+
+	if len(cap.results) != 1 {
+		t.Fatalf("got %d results", len(cap.results))
+	}
+	if cap.results[0] != direct {
+		t.Fatalf("cluster result %+v != direct %+v", cap.results[0], direct)
+	}
+	if cl.Dispatched(0) != 1 {
+		t.Fatalf("dispatched = %d", cl.Dispatched(0))
+	}
+}
+
+// TestStickyPlacement: tenants map to their home member (tenant mod
+// pool size), including negative tenants.
+func TestStickyPlacement(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(4)})
+	for tenant := 0; tenant < 8; tenant++ {
+		submit(cl, tenant, models.MobileNetV3Small)
+	}
+	submit(cl, -1, models.MobileNetV3Small) // background injector tenant
+	s.Run()
+	for i := 0; i < 4; i++ {
+		want := uint64(2)
+		if i == 3 {
+			want = 3 // tenants 3, 7 and -1 (home ((-1 mod 4)+4)%4 = 3)
+		}
+		if cl.Dispatched(i) != want {
+			t.Fatalf("member %d dispatched %d, want %d", i, cl.Dispatched(i), want)
+		}
+	}
+	if cl.Failovers() != 0 {
+		t.Fatalf("failovers = %d", cl.Failovers())
+	}
+}
+
+// TestStickyFailover: a failed home diverts to the next eligible
+// member and returns home after Restore.
+func TestStickyFailover(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(3)})
+	cl.Fail(1)
+	cap := submit(cl, 1, models.MobileNetV3Small)
+	s.Run()
+	if cl.Dispatched(2) != 1 || cl.Failovers() != 1 {
+		t.Fatalf("dispatched = [%d %d %d], failovers = %d",
+			cl.Dispatched(0), cl.Dispatched(1), cl.Dispatched(2), cl.Failovers())
+	}
+	if cap.results[0].Status != server.StatusOK {
+		t.Fatalf("failover result %+v", cap.results[0])
+	}
+	cl.Restore(1)
+	submit(cl, 1, models.MobileNetV3Small)
+	s.Run()
+	if cl.Dispatched(1) != 1 {
+		t.Fatalf("post-restore dispatch went to %v", []uint64{cl.Dispatched(0), cl.Dispatched(1), cl.Dispatched(2)})
+	}
+}
+
+// TestStickyAllFailedFallsBackToHome: with every member down the home
+// member resolves the request per its crash policy.
+func TestStickyAllFailedFallsBackToHome(t *testing.T) {
+	s := simtime.NewScheduler()
+	sp := specs(2)
+	sp[0].Crash = server.CrashReject
+	sp[1].Crash = server.CrashReject
+	cl := New(s, Config{Servers: sp})
+	cl.Fail(-1)
+	cap := submit(cl, 0, models.MobileNetV3Small)
+	s.Run()
+	if len(cap.results) != 1 || cap.results[0].Status != server.StatusRejected {
+		t.Fatalf("results %+v, want one immediate rejection", cap.results)
+	}
+}
+
+// TestLeastLoadedSpreads: consecutive submissions fan out to idle
+// members instead of piling on one, and the policy is work-conserving.
+func TestLeastLoadedSpreads(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(4), Placement: PlaceLeastLoaded})
+	for i := 0; i < 4; i++ {
+		submit(cl, 0, models.MobileNetV3Small) // same tenant on purpose
+	}
+	s.Run()
+	for i := 0; i < 4; i++ {
+		if cl.Dispatched(i) != 1 {
+			t.Fatalf("member %d dispatched %d, want 1", i, cl.Dispatched(i))
+		}
+	}
+	if r := cl.WorkConservingRatio(); r != 1 {
+		t.Fatalf("work-conserving ratio %v, want 1", r)
+	}
+}
+
+// TestStickyViolatesWorkConservation: piling one tenant's burst onto
+// its home while three members idle is counted.
+func TestStickyViolatesWorkConservation(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(4)})
+	for i := 0; i < 4; i++ {
+		submit(cl, 0, models.MobileNetV3Small)
+	}
+	s.Run()
+	if r := cl.WorkConservingRatio(); r >= 1 {
+		t.Fatalf("work-conserving ratio %v, want < 1 for sticky burst", r)
+	}
+}
+
+// TestRandomPlacementCoversPool: random placement with a seeded
+// stream reaches every member over enough draws.
+func TestRandomPlacementCoversPool(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{
+		Servers:   specs(4),
+		Placement: PlaceRandom,
+		PlaceRng:  rng.New(7),
+	})
+	for i := 0; i < 64; i++ {
+		submit(cl, 0, models.MobileNetV3Small)
+		s.Run()
+	}
+	var total uint64
+	for i := 0; i < 4; i++ {
+		if cl.Dispatched(i) == 0 {
+			t.Fatalf("member %d never chosen by random placement", i)
+		}
+		total += cl.Dispatched(i)
+	}
+	if total != 64 {
+		t.Fatalf("total dispatched %d, want 64", total)
+	}
+}
+
+// TestLatencyAwarePrefersNearMember: with everything idle the policy
+// picks the member with the smallest path RTT, and diverts when that
+// member is loaded.
+func TestLatencyAwarePrefersNearMember(t *testing.T) {
+	s := simtime.NewScheduler()
+	near := simnet.Conditions{BandwidthBps: simnet.Mbps(100), PropDelay: time.Millisecond}
+	far := simnet.Conditions{BandwidthBps: simnet.Mbps(100), PropDelay: 40 * time.Millisecond}
+	sp := specs(2)
+	sp[0].PathCond = &far
+	sp[1].PathCond = &near
+	cl := New(s, Config{Servers: sp, Placement: PlaceLatencyAware})
+	submit(cl, 0, models.MobileNetV3Small)
+	if cl.Dispatched(1) != 1 {
+		t.Fatalf("idle pool: dispatched [%d %d], want near member 1", cl.Dispatched(0), cl.Dispatched(1))
+	}
+	// Load the near member beyond the far member's RTT handicap: 17
+	// in flight ⇒ one full batch (100 ms) plus a residual ahead of
+	// the next request, versus the far member's 78 ms extra RTT and
+	// an empty GPU.
+	for i := 0; i < 16; i++ {
+		submit(cl, 0, models.MobileNetV3Small)
+	}
+	before := cl.Dispatched(0)
+	submit(cl, 0, models.MobileNetV3Small)
+	if cl.Dispatched(0) != before+1 {
+		t.Fatalf("loaded near member: far member not chosen (dispatched [%d %d])",
+			cl.Dispatched(0), cl.Dispatched(1))
+	}
+	s.Run()
+}
+
+// TestPathTransportDelaysResult: a member behind a path completes
+// with the same status but later than a direct member, by at least
+// the round-trip propagation.
+func TestPathTransportDelaysResult(t *testing.T) {
+	run := func(cond *simnet.Conditions) (server.Result, simtime.Time) {
+		s := simtime.NewScheduler()
+		sp := specs(1)
+		sp[0].PathCond = cond
+		cl := New(s, Config{Servers: sp})
+		var at simtime.Time
+		var res server.Result
+		req := cl.AcquireRequest()
+		req.Model = models.MobileNetV3Small
+		req.Bytes = 7000
+		req.Done = func(r server.Result) { res, at = r, s.Now() }
+		cl.Submit(req)
+		s.Run()
+		return res, at
+	}
+	direct, directAt := run(nil)
+	cond := simnet.Conditions{BandwidthBps: simnet.Mbps(100), PropDelay: 10 * time.Millisecond}
+	pathed, pathedAt := run(&cond)
+	if direct.Status != server.StatusOK || pathed.Status != server.StatusOK {
+		t.Fatalf("statuses: direct %v, pathed %v", direct.Status, pathed.Status)
+	}
+	if pathedAt < directAt+20*time.Millisecond {
+		t.Fatalf("pathed result at %v, direct at %v: path RTT not applied", pathedAt, directAt)
+	}
+}
+
+// TestPathDropBecomesStatusDropped: a request lost on the backhaul is
+// observed as StatusDropped — indistinguishable from a crash
+// blackhole — and the pool request is recovered.
+func TestPathDropBecomesStatusDropped(t *testing.T) {
+	s := simtime.NewScheduler()
+	cond := simnet.Conditions{BandwidthBps: simnet.Mbps(100), PropDelay: time.Millisecond, Loss: 1}
+	sp := specs(1)
+	sp[0].PathCond = &cond
+	sp[0].PathRng = rng.New(3)
+	cl := New(s, Config{Servers: sp})
+	cap := submit(cl, 0, models.MobileNetV3Small)
+	s.Run()
+	if len(cap.results) != 1 || cap.results[0].Status != server.StatusDropped {
+		t.Fatalf("results %+v, want one StatusDropped", cap.results)
+	}
+	if cl.PathDrops() != 1 {
+		t.Fatalf("path drops = %d", cl.PathDrops())
+	}
+	if cl.Member(0).Stats().Submitted != 0 {
+		t.Fatalf("member saw the dropped request: %+v", cl.Member(0).Stats())
+	}
+}
+
+// TestFailTargetsOneMember: Fail(i) crashes only member i.
+func TestFailTargetsOneMember(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(3)})
+	cl.Fail(1)
+	if !cl.Member(1).Failed() || cl.Member(0).Failed() || cl.Member(2).Failed() {
+		t.Fatal("Fail(1) did not target exactly member 1")
+	}
+	if st := cl.Stats(); st.Crashes != 1 {
+		t.Fatalf("fleet crashes = %d, want 1", st.Crashes)
+	}
+	cl.Restore(-1)
+	if cl.Member(1).Failed() {
+		t.Fatal("Restore(-1) did not restore member 1")
+	}
+}
+
+// TestFleetTenantAggregation: EachTenant merges per-member tenant
+// stats in ascending tenant order, and Jain over symmetric tenants is
+// ~1 even though they land on different members.
+func TestFleetTenantAggregation(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(2)})
+	for tenant := 0; tenant < 4; tenant++ {
+		for i := 0; i < 3; i++ {
+			submit(cl, tenant, models.MobileNetV3Small)
+		}
+	}
+	s.Run()
+	var ids []int
+	cl.EachTenant(func(id int, st server.TenantStats) {
+		ids = append(ids, id)
+		if st.Completed != 3 {
+			t.Fatalf("tenant %d completed %d, want 3", id, st.Completed)
+		}
+	})
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("tenant order %v not ascending", ids)
+		}
+	}
+	if j := cl.JainIndex(); j < 0.9999 {
+		t.Fatalf("Jain over symmetric tenants = %v", j)
+	}
+	if st := cl.Stats(); st.Completed != 12 || st.Submitted != 12 {
+		t.Fatalf("fleet stats %+v", st)
+	}
+}
+
+// TestClusterDispatchZeroAlloc is the hot-path fence: steady-state
+// dispatch through a direct member (sticky placement, pooled
+// completer) allocates nothing, including when a second member makes
+// placement non-trivial.
+func TestClusterDispatchZeroAlloc(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(2)})
+	cap := &capture{results: make([]server.Result, 0, 1024)}
+	// Warm the pool and the scheduler's internal free lists.
+	for tenant := 0; tenant < 2; tenant++ {
+		req := cl.AcquireRequest()
+		req.Tenant = tenant
+		req.Model = models.MobileNetV3Small
+		req.Completer = cap
+		cl.Submit(req)
+	}
+	s.Run()
+	cap.results = cap.results[:0]
+	allocs := testing.AllocsPerRun(200, func() {
+		for tenant := 0; tenant < 2; tenant++ {
+			req := cl.AcquireRequest()
+			req.Tenant = tenant
+			req.Model = models.MobileNetV3Small
+			req.Completer = cap
+			cl.Submit(req)
+		}
+		s.Run()
+		cap.results = cap.results[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("cluster dispatch allocates %v per round, want 0", allocs)
+	}
+}
+
+// TestPathedDispatchZeroAlloc extends the fence across a member
+// path: pooled hops and pooled link transfers keep the backhaul
+// round trip allocation-free at steady state.
+func TestPathedDispatchZeroAlloc(t *testing.T) {
+	s := simtime.NewScheduler()
+	cond := simnet.Conditions{BandwidthBps: simnet.Mbps(100), PropDelay: time.Millisecond}
+	sp := specs(1)
+	sp[0].PathCond = &cond
+	cl := New(s, Config{Servers: sp})
+	cap := &capture{results: make([]server.Result, 0, 1024)}
+	round := func() {
+		req := cl.AcquireRequest()
+		req.Model = models.MobileNetV3Small
+		req.Bytes = 7000
+		req.Completer = cap
+		cl.Submit(req)
+		s.Run()
+		cap.results = cap.results[:0]
+	}
+	round()
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("pathed dispatch allocates %v per round, want 0", allocs)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	for p, want := range map[Placement]string{
+		PlaceSticky: "sticky", PlaceRandom: "random",
+		PlaceLeastLoaded: "least-loaded", PlaceLatencyAware: "latency-aware",
+		Placement(9): "Placement(9)",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := simtime.NewScheduler()
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty pool", func() { New(s, Config{}) })
+	expectPanic("random without rng", func() {
+		New(s, Config{Servers: specs(2), Placement: PlaceRandom})
+	})
+	expectPanic("nil scheduler", func() { New(nil, Config{Servers: specs(1)}) })
+}

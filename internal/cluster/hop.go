@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"repro/internal/server"
+)
+
+// hop carries one request across a member's backhaul path: uplink
+// transfer → member submission → downlink transfer → completion of
+// the original submitter. Hops are pooled on the cluster's free list,
+// so a path-attached member costs no steady-state allocation either.
+//
+// One hop has at most one outstanding transfer or server request at a
+// time, so the stage field alone disambiguates link callbacks.
+type hop struct {
+	c *Cluster
+	m *member
+	// scratch holds the original request's fields (including its
+	// completion target); the final callback passes &scratch, valid
+	// only for the duration of the call, per the server contract.
+	scratch server.Request
+	// pending is the pool request in transit on the uplink; it is
+	// handed to the member on delivery or recycled on a drop.
+	pending *server.Request
+	res     server.Result
+	stage   int // 0: uplink in flight, 1: at server, 2: downlink in flight
+}
+
+func (c *Cluster) newHop(m *member, req *server.Request) *hop {
+	var h *hop
+	if n := len(c.freeHops); n > 0 {
+		h = c.freeHops[n-1]
+		c.freeHops = c.freeHops[:n-1]
+	} else {
+		h = &hop{}
+	}
+	h.c = c
+	h.m = m
+	h.scratch = *req
+	h.res = server.Result{}
+	h.stage = 0
+	// The original pointer is re-submitted to the member with the hop
+	// as its completion target; the member recycles it into the
+	// shared pool after CompleteRequest returns.
+	req.Done = nil
+	req.Completer = h
+	h.pending = req
+	m.inflight++
+	return h
+}
+
+// OnLinkDelivered implements simnet.Sink for both directions.
+func (h *hop) OnLinkDelivered(uint64) {
+	if h.stage == 0 {
+		// Uplink delivery: the request reaches the member.
+		h.stage = 1
+		req := h.pending
+		h.pending = nil
+		h.m.srv.Submit(req)
+		return
+	}
+	// Downlink delivery: the result reaches the original submitter.
+	h.deliver(h.res)
+}
+
+// OnLinkDropped implements simnet.Sink: a lost transfer in either
+// direction is indistinguishable from a server crash blackhole, so the
+// submitter observes StatusDropped (silence).
+func (h *hop) OnLinkDropped(uint64) {
+	h.c.pathDrops++
+	pathDropTotal.Inc()
+	if h.stage == 0 {
+		// The request never reached the member; recycle it here.
+		req := h.pending
+		h.pending = nil
+		req.Done = nil
+		req.Completer = nil
+		h.c.pool.Recycle(req)
+	}
+	h.deliver(server.Result{Status: server.StatusDropped, FinishedAt: h.c.sched.Now()})
+}
+
+// CompleteRequest implements server.Completer: the member resolved the
+// request. OK and Rejected results travel back on the downlink;
+// Dropped is a blackhole by definition, so it propagates immediately
+// without a return message.
+func (h *hop) CompleteRequest(_ *server.Request, res server.Result) {
+	h.res = res
+	if res.Status == server.StatusDropped {
+		h.deliver(res)
+		return
+	}
+	h.stage = 2
+	h.m.path.Down.SendTo(ResponseBytes, h, 0)
+}
+
+// deliver hands the outcome to the original submitter and recycles
+// the hop. The callback may synchronously Submit again; the hop is
+// returned to the free list only afterwards, so reentrant submissions
+// draw a different hop.
+func (h *hop) deliver(res server.Result) {
+	h.m.inflight--
+	if done := h.scratch.Done; done != nil {
+		done(res)
+	} else {
+		h.scratch.Completer.CompleteRequest(&h.scratch, res)
+	}
+	h.c.freeHops = append(h.c.freeHops, h)
+}

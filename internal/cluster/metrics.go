@@ -1,0 +1,53 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// Cluster instruments follow the nil-safe contract of
+// internal/telemetry (see internal/faults/metrics.go): until
+// RegisterMetrics is called every update is a no-op, so unobserved
+// runs pay nothing on the dispatch path.
+
+var (
+	// dispatchedByServer backs
+	// framefeedback_cluster_dispatched_total{server=...}.
+	dispatchedByServer *telemetry.CounterVec
+	// failoverTotal counts sticky dispatches diverted from a failed
+	// home member.
+	failoverTotal *telemetry.Counter
+	// pathDropTotal counts requests or results lost on member
+	// backhaul paths.
+	pathDropTotal *telemetry.Counter
+	// jainGauge and workConservingGauge hold the most recently
+	// published fairness figures (see PublishFairness).
+	jainGauge           *telemetry.FloatGauge
+	workConservingGauge *telemetry.FloatGauge
+)
+
+// RegisterMetrics installs the cluster instruments on a registry:
+// per-member dispatch counters, failover and path-drop totals, and
+// gauges for the published Jain's-fairness index and work-conserving
+// ratio. Call once at process start-up; not safe to race with an
+// active cluster.
+func RegisterMetrics(reg *telemetry.Registry) {
+	dispatchedByServer = reg.CounterVec("framefeedback_cluster_dispatched_total",
+		"Requests routed to each cluster member, by member index.", "server")
+	failoverTotal = reg.Counter("framefeedback_cluster_failovers_total",
+		"Sticky dispatches diverted from a failed home member.")
+	pathDropTotal = reg.Counter("framefeedback_cluster_path_drops_total",
+		"Requests or results lost on cluster member backhaul paths.")
+	jainGauge = reg.FloatGauge("framefeedback_cluster_jain_index",
+		"Jain's fairness index over per-tenant completions, fleet-wide (last published).")
+	workConservingGauge = reg.FloatGauge("framefeedback_cluster_work_conserving_ratio",
+		"Fraction of dispatches that did not leave an eligible member idle (last published).")
+}
+
+// PublishFairness computes and publishes the cluster's current Jain's
+// index and work-conserving ratio to the registered gauges (no-op
+// when metrics are unregistered) and returns both.
+func (c *Cluster) PublishFairness() (jain, workConserving float64) {
+	jain = c.JainIndex()
+	workConserving = c.WorkConservingRatio()
+	jainGauge.Set(jain)
+	workConservingGauge.Set(workConserving)
+	return jain, workConserving
+}

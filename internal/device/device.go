@@ -167,7 +167,7 @@ type Device struct {
 	rng   *rng.Stream
 	cfg   Config
 	path  *simnet.Path
-	srv   *server.Server
+	srv   server.Backend
 
 	po     float64
 	credit float64
@@ -200,7 +200,7 @@ type Device struct {
 
 // New wires a device to its network path and server. r supplies local
 // inference jitter; it may be nil for a deterministic device.
-func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config, path *simnet.Path, srv *server.Server) *Device {
+func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config, path *simnet.Path, srv server.Backend) *Device {
 	if sched == nil || path == nil || srv == nil {
 		panic("device: New with nil scheduler, path or server")
 	}

@@ -88,6 +88,10 @@ type Injection struct {
 	// Device targets LinkPartition at one device path by index;
 	// -1 partitions every path.
 	Device int
+	// Server targets ServerCrash and GPUStall at one cluster member
+	// by index; -1 hits every member. Single-server runs use 0 (the
+	// default), which is the only member.
+	Server int
 }
 
 // End returns the instant the injection clears.
@@ -141,9 +145,15 @@ func (p Plan) Validate() error {
 		}
 		switch in.Kind {
 		case ServerCrash:
+			if in.Server < -1 {
+				return fmt.Errorf("faults: injection %d (server_crash) Server %d below -1", i, in.Server)
+			}
 		case GPUStall:
 			if in.Factor <= 1 {
 				return fmt.Errorf("faults: injection %d (gpu_stall) Factor %v must exceed 1", i, in.Factor)
+			}
+			if in.Server < -1 {
+				return fmt.Errorf("faults: injection %d (gpu_stall) Server %d below -1", i, in.Server)
 			}
 		case LinkPartition:
 			if in.Device < -1 {
@@ -171,7 +181,12 @@ func (p Plan) Validate() error {
 		sort.Slice(wins, func(a, b int) bool { return wins[a].At < wins[b].At })
 		for i := 1; i < len(wins); i++ {
 			prev, cur := wins[i-1], wins[i]
-			if cur.At < prev.End() && (k != LinkPartition || sharesPath(prev, cur)) {
+			if cur.At >= prev.End() {
+				continue
+			}
+			disjoint := (k == LinkPartition && !sharesPath(prev, cur)) ||
+				((k == ServerCrash || k == GPUStall) && !sharesServer(prev, cur))
+			if !disjoint {
 				return fmt.Errorf("faults: overlapping %v windows %v and %v", k, prev, cur)
 			}
 		}
@@ -185,17 +200,26 @@ func sharesPath(a, b Injection) bool {
 	return a.Device == -1 || b.Device == -1 || a.Device == b.Device
 }
 
+// sharesServer reports whether two server-targeted injections can hit
+// the same cluster member.
+func sharesServer(a, b Injection) bool {
+	return a.Server == -1 || b.Server == -1 || a.Server == b.Server
+}
+
 // Hooks are the substrate's injection points. Nil fields are skipped,
 // so a harness wires only what its substrate supports. All hooks run
 // on the scheduler's event loop.
 type Hooks struct {
-	// ServerFail / ServerRestore bracket a ServerCrash window
-	// (typically server.Server.Fail / Restore).
-	ServerFail    func()
-	ServerRestore func()
-	// GPUSlowdown sets the server's service-time multiplier; called
-	// with Factor at a GPUStall start and 1 at its end.
-	GPUSlowdown func(factor float64)
+	// ServerFail / ServerRestore bracket a ServerCrash window,
+	// targeting cluster member srv (-1 = every member); single-server
+	// substrates ignore srv (typically server.Server.Fail / Restore,
+	// or cluster.Cluster.Fail / Restore).
+	ServerFail    func(srv int)
+	ServerRestore func(srv int)
+	// GPUSlowdown sets member srv's service-time multiplier (-1 =
+	// every member); called with Factor at a GPUStall start and 1 at
+	// its end.
+	GPUSlowdown func(srv int, factor float64)
 	// Partition toggles a blackhole on device dev's path (-1 = all
 	// paths), typically via simnet.Path.Partition.
 	Partition func(dev int, on bool)
@@ -251,11 +275,11 @@ func (e *Engine) inject(in Injection) {
 	switch in.Kind {
 	case ServerCrash:
 		if e.hooks.ServerFail != nil {
-			e.hooks.ServerFail()
+			e.hooks.ServerFail(in.Server)
 		}
 	case GPUStall:
 		if e.hooks.GPUSlowdown != nil {
-			e.hooks.GPUSlowdown(in.Factor)
+			e.hooks.GPUSlowdown(in.Server, in.Factor)
 		}
 	case LinkPartition:
 		if e.hooks.Partition != nil {
@@ -275,11 +299,11 @@ func (e *Engine) clear(in Injection) {
 	switch in.Kind {
 	case ServerCrash:
 		if e.hooks.ServerRestore != nil {
-			e.hooks.ServerRestore()
+			e.hooks.ServerRestore(in.Server)
 		}
 	case GPUStall:
 		if e.hooks.GPUSlowdown != nil {
-			e.hooks.GPUSlowdown(1)
+			e.hooks.GPUSlowdown(in.Server, 1)
 		}
 	case LinkPartition:
 		if e.hooks.Partition != nil {

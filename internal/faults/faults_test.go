@@ -121,9 +121,9 @@ func TestEngineHookSequence(t *testing.T) {
 	}
 	var onFault []string
 	eng := Arm(sched, nil, plan, Hooks{
-		ServerFail:    func() { logf("fail") },
-		ServerRestore: func() { logf("restore") },
-		GPUSlowdown:   func(f float64) { logf("slow %g", f) },
+		ServerFail:    func(srv int) { logf("fail %d", srv) },
+		ServerRestore: func(srv int) { logf("restore %d", srv) },
+		GPUSlowdown:   func(srv int, f float64) { logf("slow %d %g", srv, f) },
 		Partition:     func(dev int, on bool) { logf("part dev=%d on=%v", dev, on) },
 		AddLoad:       func(d float64) { logf("load %+g", d) },
 		OnFault:       func(in Injection, cleared bool) { onFault = append(onFault, fmt.Sprintf("%v cleared=%v", in.Kind, cleared)) },
@@ -131,10 +131,10 @@ func TestEngineHookSequence(t *testing.T) {
 	sched.Run()
 
 	want := []string{
-		"1s fail",
-		"2s slow 10",
-		"3s restore",
-		"4s slow 1",
+		"1s fail 0",
+		"2s slow 0 10",
+		"3s restore 0",
+		"4s slow 0 1",
 		"5s part dev=1 on=true",
 		"6s part dev=1 on=false",
 		"7s load +40",

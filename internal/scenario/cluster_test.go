@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/server"
+)
+
+// TestOneMemberClusterByteIdentical pins the wiring invariant: a
+// 1-member pool with a default spec draws exactly the same rng children
+// as the classic single-server path, so the whole run — trace, device
+// counters, server counters — is byte-identical.
+func TestOneMemberClusterByteIdentical(t *testing.T) {
+	classic := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+
+	cfg := quickCfg(FrameFeedbackFactory(controller.Config{}))
+	cfg.Cluster = &ClusterConfig{Members: make([]ClusterMember, 1)}
+	pooled := Run(cfg)
+
+	if classic.Ticks != pooled.Ticks {
+		t.Fatalf("tick counts differ: %d vs %d", classic.Ticks, pooled.Ticks)
+	}
+	for i := range classic.P {
+		if classic.P[i] != pooled.P[i] || classic.Po[i] != pooled.Po[i] ||
+			classic.TRate[i] != pooled.TRate[i] || classic.ServerUtil[i] != pooled.ServerUtil[i] {
+			t.Fatalf("traces diverge at t=%d", i)
+		}
+	}
+	if classic.Device != pooled.Device {
+		t.Fatalf("device counters differ:\n%+v\n%+v", classic.Device, pooled.Device)
+	}
+	if classic.Server != pooled.Server {
+		t.Fatalf("server counters differ:\n%+v\n%+v", classic.Server, pooled.Server)
+	}
+	if classic.EventsFired != pooled.EventsFired {
+		t.Fatalf("events fired differ: %d vs %d", classic.EventsFired, pooled.EventsFired)
+	}
+	if len(pooled.ClusterServers) != 1 || pooled.ClusterDispatched[0] == 0 {
+		t.Fatalf("pooled run missing cluster accounting: %v", pooled.ClusterDispatched)
+	}
+}
+
+// TestClusterKillMemberFailsOver crashes one member of a 4-server
+// sticky pool mid-run: the orphaned tenant's traffic must fail over
+// (nonzero failover count), every tenant keeps completing (high Jain),
+// and the run holds the invariant checker with the member-targeted
+// crash window filtered from the checker's plan.
+func TestClusterKillMemberFailsOver(t *testing.T) {
+	devices := make([]DeviceSpec, 4)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := Run(Config{
+		Seed:       1,
+		Policy:     FrameFeedbackFactory(controller.Config{}),
+		FrameLimit: 900, // 30 s at 30 fps
+		Devices:    devices,
+		Cluster: &ClusterConfig{
+			Members:   make([]ClusterMember, 4),
+			Placement: cluster.PlaceSticky,
+		},
+		Faults: faults.Plan{{
+			Kind: faults.ServerCrash, At: 10 * time.Second,
+			Duration: 10 * time.Second, Server: 2,
+		}},
+		CheckInvariants: true,
+	})
+	if r.ClusterFailovers == 0 {
+		t.Fatal("no sticky failovers during member crash")
+	}
+	if r.ClusterJain < 0.95 {
+		t.Fatalf("fleet Jain = %v, want >= 0.95", r.ClusterJain)
+	}
+	if r.ClusterDispatched[2] >= r.ClusterDispatched[0] {
+		t.Fatalf("crashed member dispatched %d >= healthy member's %d",
+			r.ClusterDispatched[2], r.ClusterDispatched[0])
+	}
+	var total uint64
+	for _, st := range r.ClusterServers {
+		total += st.Submitted
+	}
+	if total != r.Server.Submitted {
+		t.Fatalf("fleet aggregate %d != sum of members %d", r.Server.Submitted, total)
+	}
+	if r.FaultsInjected != 1 {
+		t.Fatalf("faults injected = %d, want 1", r.FaultsInjected)
+	}
+}
+
+// TestClusterHeterogeneousMembers checks per-member spec overrides: a
+// least-loaded pool with one member on a much slower accelerator must
+// still complete everything, and the slow member must attract fewer
+// dispatches than its fast sibling.
+func TestClusterHeterogeneousMembers(t *testing.T) {
+	slow := &models.GPUProfile{
+		Name: "slow-sim",
+		Curves: map[models.Model]models.BatchCurve{
+			models.MobileNetV3Small: {Setup: 80 * time.Millisecond, PerItem: 8 * time.Millisecond},
+			models.MobileNetV3Large: {Setup: 88 * time.Millisecond, PerItem: 12 * time.Millisecond},
+			models.EfficientNetB0:   {Setup: 96 * time.Millisecond, PerItem: 16 * time.Millisecond},
+			models.EfficientNetB4:   {Setup: 120 * time.Millisecond, PerItem: 40 * time.Millisecond},
+		},
+	}
+	devices := make([]DeviceSpec, 3)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := Run(Config{
+		Seed:       1,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 600,
+		Devices:    devices,
+		Cluster: &ClusterConfig{
+			Members: []ClusterMember{
+				{},
+				{GPU: slow, MaxBatch: 4},
+			},
+			Placement: cluster.PlaceLatencyAware,
+		},
+	})
+	if len(r.ClusterServers) != 2 {
+		t.Fatalf("cluster servers = %d, want 2", len(r.ClusterServers))
+	}
+	if r.ClusterDispatched[1] >= r.ClusterDispatched[0] {
+		t.Fatalf("slow member dispatched %d >= fast member's %d",
+			r.ClusterDispatched[1], r.ClusterDispatched[0])
+	}
+	if r.Server.Completed == 0 {
+		t.Fatal("heterogeneous pool completed nothing")
+	}
+	// Per-tenant stats must aggregate across members.
+	var ten uint64
+	for _, ts := range r.Tenants {
+		ten += ts.Completed
+	}
+	if got := r.Server.Completed; ten != got {
+		t.Fatalf("tenant completions %d != fleet completions %d", ten, got)
+	}
+}
+
+// TestClusterTenantSchedulerWired checks that per-member WFQ config
+// flows through scenario wiring (the scheduler itself is covered by
+// server package tests).
+func TestClusterTenantSchedulerWired(t *testing.T) {
+	devices := make([]DeviceSpec, 2)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := Run(Config{
+		Seed:       1,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 300,
+		Devices:    devices,
+		Cluster: &ClusterConfig{
+			Members: []ClusterMember{{
+				Shed:    server.ShedWFQ,
+				ShedSet: true,
+				Weights: map[int]float64{0: 2, 1: 1},
+			}},
+		},
+	})
+	if r.Server.Completed == 0 {
+		t.Fatal("WFQ pool completed nothing")
+	}
+	if r.ClusterJain <= 0 || r.ClusterJain > 1 {
+		t.Fatalf("Jain = %v outside (0, 1]", r.ClusterJain)
+	}
+	if r.ClusterWorkConserving <= 0 || r.ClusterWorkConserving > 1 {
+		t.Fatalf("work-conserving ratio = %v outside (0, 1]", r.ClusterWorkConserving)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/device"
 	"repro/internal/faults"
@@ -53,6 +54,42 @@ type DeviceSpec struct {
 	// Policy, when non-nil, overrides Config.Policy for this device
 	// (heterogeneous-policy experiments).
 	Policy PolicyFactory
+}
+
+// ClusterMember describes one server of an optional multi-server
+// pool. Zero-value fields inherit the scenario-level server settings
+// (GPU, ServerShed, AdmitCap, ServerMaxBatch, Crash), so a
+// homogeneous pool is just `make([]ClusterMember, n)`.
+type ClusterMember struct {
+	// GPU overrides the member's accelerator profile (default
+	// Config.GPU) — the lever for heterogeneous pools.
+	GPU *models.GPUProfile
+	// MaxBatch, Shed and AdmitCap override the member's batcher
+	// settings; zero values inherit the Config-level ones.
+	MaxBatch int
+	Shed     server.ShedPolicy
+	AdmitCap int
+	// ShedSet marks Shed as explicit, since ShedFIFO is a valid
+	// zero value.
+	ShedSet bool
+	// Weights and Priority configure the member's WFQ / strict-
+	// priority scheduler (see server.Config).
+	Weights  map[int]float64
+	Priority map[int]int
+	// PathCond, when non-nil, interposes a simnet path between the
+	// dispatch point and this member (backhaul latency/loss).
+	PathCond *simnet.Conditions
+}
+
+// ClusterConfig enables the multi-server dispatch layer.
+type ClusterConfig struct {
+	// Members is the pool. An empty slice (or a nil ClusterConfig)
+	// runs the classic single server; a 1-member pool with default
+	// spec is byte-identical to that.
+	Members []ClusterMember
+	// Placement selects the dispatch policy (default sticky-with-
+	// failover).
+	Placement cluster.Placement
 }
 
 // Config describes a complete experiment.
@@ -110,6 +147,12 @@ type Config struct {
 	// response to controller feedback (see internal/quality),
 	// overriding the fixed OffloadResolution/OffloadQuality.
 	Quality *quality.Config
+	// Cluster, when non-nil with 2+ members, replaces the single
+	// edge server with a dispatch layer over a pool (see
+	// internal/cluster); devices and background load submit through
+	// the dispatcher. Nil (or a 1-member default pool) keeps every
+	// existing run byte-identical.
+	Cluster *ClusterConfig
 	// Faults optionally schedules deterministic fault injections
 	// against the run's substrate (see internal/faults). A nil/empty
 	// plan leaves the run byte-identical to one without the field.
@@ -216,6 +259,18 @@ type Result struct {
 	// FaultsInjected is how many fault injections started during the
 	// run (zero without a plan).
 	FaultsInjected uint64
+	// Cluster results, populated only when Config.Cluster ran a
+	// pool: per-member final counters, per-member dispatch counts,
+	// sticky failovers, requests lost on member backhaul paths, and
+	// the fleet fairness figures (Jain's index over per-tenant
+	// completions; fraction of dispatches that left no eligible
+	// member idle).
+	ClusterServers        []server.Stats
+	ClusterDispatched     []uint64
+	ClusterFailovers      uint64
+	ClusterPathDrops      uint64
+	ClusterJain           float64
+	ClusterWorkConserving float64
 }
 
 // MeanP returns the mean successful throughput over [fromSec, toSec).
@@ -325,19 +380,81 @@ func Run(cfg Config) *Result {
 	sched := simtime.NewScheduler()
 	root := rng.New(cfg.Seed)
 
-	srv := server.New(sched, root.Split(1), server.Config{
-		GPU:      cfg.GPU,
-		Shed:     cfg.ServerShed,
-		AdmitCap: cfg.AdmitCap,
-		MaxBatch: cfg.ServerMaxBatch,
-		Crash:    cfg.Crash,
-	})
+	clusterN := 0
+	if cfg.Cluster != nil {
+		clusterN = len(cfg.Cluster.Members)
+	}
+	var srv *server.Server
+	var cl *cluster.Cluster
+	var backend server.Backend
+	if clusterN == 0 {
+		srv = server.New(sched, root.Split(1), server.Config{
+			GPU:      cfg.GPU,
+			Shed:     cfg.ServerShed,
+			AdmitCap: cfg.AdmitCap,
+			MaxBatch: cfg.ServerMaxBatch,
+			Crash:    cfg.Crash,
+		})
+		backend = srv
+	} else {
+		// Member 0 draws the same rng child the single server would
+		// (Split(1)); pool-only streams come from Split(4), taken
+		// only for 2+ member pools so a 1-member pool leaves every
+		// later child stream — and therefore the whole run —
+		// byte-identical to the classic path.
+		var poolRand *rng.Stream
+		if clusterN > 1 {
+			poolRand = root.Split(4)
+		}
+		ccfg := cluster.Config{
+			Placement: cfg.Cluster.Placement,
+			Servers:   make([]cluster.ServerSpec, clusterN),
+		}
+		for i, m := range cfg.Cluster.Members {
+			spec := cluster.ServerSpec{
+				GPU:      cfg.GPU,
+				MaxBatch: cfg.ServerMaxBatch,
+				Shed:     cfg.ServerShed,
+				AdmitCap: cfg.AdmitCap,
+				Crash:    cfg.Crash,
+				Weights:  m.Weights,
+				Priority: m.Priority,
+				PathCond: m.PathCond,
+			}
+			if m.GPU != nil {
+				spec.GPU = m.GPU
+			}
+			if m.MaxBatch != 0 {
+				spec.MaxBatch = m.MaxBatch
+			}
+			if m.ShedSet {
+				spec.Shed = m.Shed
+			}
+			if m.AdmitCap != 0 {
+				spec.AdmitCap = m.AdmitCap
+			}
+			if i == 0 {
+				spec.Rng = root.Split(1)
+			} else {
+				spec.Rng = poolRand.Split(uint64(i))
+			}
+			if m.PathCond != nil && poolRand != nil {
+				spec.PathRng = poolRand.Split(uint64(100 + i))
+			}
+			ccfg.Servers[i] = spec
+		}
+		if ccfg.Placement == cluster.PlaceRandom && poolRand != nil {
+			ccfg.PlaceRng = poolRand.Split(99)
+		}
+		cl = cluster.New(sched, ccfg)
+		backend = cl
+	}
 
 	// A tenant-churn fault needs an injector to add its flash crowd to,
 	// even when the scenario schedules no base load.
 	var inj *workload.Injector
 	if cfg.Load != nil || cfg.Faults.HasKind(faults.TenantChurn) {
-		inj = workload.NewInjector(sched, root.Split(2), srv, workload.InjectorConfig{
+		inj = workload.NewInjector(sched, root.Split(2), backend, workload.InjectorConfig{
 			Schedule: cfg.Load,
 			Mix:      cfg.LoadMix,
 		})
@@ -380,7 +497,7 @@ func Run(cfg Config) *Result {
 			devCfg.OnOffload = cfg.OnOffload
 			devCfg.OnLocalDone = cfg.OnLocalDone
 		}
-		dev := device.New(sched, devRand.Split(2), devCfg, path, srv)
+		dev := device.New(sched, devRand.Split(2), devCfg, path, backend)
 		src := frame.NewSource(sched, devRand.Split(3), frame.SourceConfig{
 			FPS:        cfg.FS,
 			Limit:      cfg.FrameLimit,
@@ -405,10 +522,7 @@ func Run(cfg Config) *Result {
 	// close over it. All fault events land on the run's own scheduler.
 	var eng *faults.Engine
 	if len(cfg.Faults) > 0 {
-		eng = faults.Arm(sched, faultRand, cfg.Faults, faults.Hooks{
-			ServerFail:    srv.Fail,
-			ServerRestore: srv.Restore,
-			GPUSlowdown:   srv.SetSlowdown,
+		hooks := faults.Hooks{
 			Partition: func(dev int, on bool) {
 				if dev < 0 {
 					for _, rig := range rigs {
@@ -426,7 +540,44 @@ func Run(cfg Config) *Result {
 				}
 			},
 			OnFault: cfg.OnFault,
-		})
+		}
+		if cl != nil {
+			// Member-targeted injections: an index beyond the pool is
+			// ignored, mirroring the Partition hook's device guard.
+			hooks.ServerFail = func(i int) {
+				if i < cl.Size() {
+					cl.Fail(i)
+				}
+			}
+			hooks.ServerRestore = func(i int) {
+				if i < cl.Size() {
+					cl.Restore(i)
+				}
+			}
+			hooks.GPUSlowdown = func(i int, factor float64) {
+				if i < cl.Size() {
+					cl.SetSlowdown(i, factor)
+				}
+			}
+		} else {
+			// The single server is member 0 (and -1 = all).
+			hooks.ServerFail = func(i int) {
+				if i <= 0 {
+					srv.Fail()
+				}
+			}
+			hooks.ServerRestore = func(i int) {
+				if i <= 0 {
+					srv.Restore()
+				}
+			}
+			hooks.GPUSlowdown = func(i int, factor float64) {
+				if i <= 0 {
+					srv.SetSlowdown(factor)
+				}
+			}
+		}
+		eng = faults.Arm(sched, faultRand, cfg.Faults, hooks)
 	}
 
 	res := &Result{PolicyName: rigs[0].policy.Name()}
@@ -439,7 +590,21 @@ func Run(cfg Config) *Result {
 	var devSnaps []faults.DeviceSnapshot
 	var tenSnaps []faults.TenantSnapshot
 	if cfg.CheckInvariants || invariantChecking.Load() {
-		checker = faults.NewChecker(cfg.Seed, cfg.Faults)
+		// With a multi-member pool the checker sees fleet-aggregated
+		// stats, so a crash targeting one member does not stop fleet
+		// completions: drop member-targeted crash windows from the
+		// checker's plan (fleet-wide crashes, Server == -1, stay).
+		checkPlan := cfg.Faults
+		if clusterN > 1 {
+			checkPlan = make(faults.Plan, 0, len(cfg.Faults))
+			for _, in := range cfg.Faults {
+				if in.Kind == faults.ServerCrash && in.Server != -1 {
+					continue
+				}
+				checkPlan = append(checkPlan, in)
+			}
+		}
+		checker = faults.NewChecker(cfg.Seed, checkPlan)
 		devSnaps = make([]faults.DeviceSnapshot, len(rigs))
 		tenSnaps = make([]faults.TenantSnapshot, len(rigs))
 	}
@@ -471,6 +636,10 @@ func Run(cfg Config) *Result {
 	}
 
 	tickSec := cfg.Tick.Seconds()
+	utilServers := 1.0
+	if clusterN > 1 {
+		utilServers = float64(clusterN)
+	}
 	var prevBusy time.Duration
 	tick := func(now simtime.Time) {
 		totalP := 0.0
@@ -548,8 +717,15 @@ func Run(cfg Config) *Result {
 		}
 		if now <= duration {
 			res.TotalP = append(res.TotalP, totalP)
-			busy := srv.Stats().BusyTime
-			util := (busy - prevBusy).Seconds() / tickSec
+			var busy time.Duration
+			if cl != nil {
+				busy = cl.Stats().BusyTime
+			} else {
+				busy = srv.Stats().BusyTime
+			}
+			// Fleet utilization normalizes by pool size: 1.0 means every
+			// member GPU was busy for the whole tick.
+			util := (busy - prevBusy).Seconds() / (tickSec * utilServers)
 			if util > 1 {
 				util = 1 // a batch can straddle the tick boundary
 			}
@@ -557,9 +733,19 @@ func Run(cfg Config) *Result {
 			res.ServerUtil = append(res.ServerUtil, util)
 		}
 		if checker != nil {
-			st := srv.Stats()
+			var st server.Stats
+			if cl != nil {
+				st = cl.Stats()
+			} else {
+				st = srv.Stats()
+			}
 			for i := range rigs {
-				ts := srv.Tenant(i)
+				var ts server.TenantStats
+				if cl != nil {
+					ts = cl.Tenant(i)
+				} else {
+					ts = srv.Tenant(i)
+				}
 				tenSnaps[i] = faults.TenantSnapshot{
 					Tenant: i, Submitted: ts.Submitted, Completed: ts.Completed,
 					Rejected: ts.Rejected, Dropped: ts.Dropped,
@@ -593,10 +779,26 @@ func Run(cfg Config) *Result {
 	eventsFired.Add(res.EventsFired)
 	res.Ticks = len(res.Time)
 	res.Device = rigs[0].dev.Counters()
-	res.Server = srv.Stats()
 	res.OffloadLatency = metrics.Summarize(rigs[0].dev.OffloadLatencies())
-	for i := range rigs {
-		res.Tenants = append(res.Tenants, srv.Tenant(i))
+	if cl != nil {
+		res.Server = cl.Stats()
+		for i := range rigs {
+			res.Tenants = append(res.Tenants, cl.Tenant(i))
+		}
+		res.ClusterServers = make([]server.Stats, cl.Size())
+		res.ClusterDispatched = make([]uint64, cl.Size())
+		for i := 0; i < cl.Size(); i++ {
+			res.ClusterServers[i] = cl.Member(i).Stats()
+			res.ClusterDispatched[i] = cl.Dispatched(i)
+		}
+		res.ClusterFailovers = cl.Failovers()
+		res.ClusterPathDrops = cl.PathDrops()
+		res.ClusterJain, res.ClusterWorkConserving = cl.PublishFairness()
+	} else {
+		res.Server = srv.Stats()
+		for i := range rigs {
+			res.Tenants = append(res.Tenants, srv.Tenant(i))
+		}
 	}
 	if inj != nil {
 		res.InjectedSubmitted = inj.Submitted()

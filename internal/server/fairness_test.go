@@ -1,0 +1,287 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/simtime"
+)
+
+// floodContended drives a server through repeated contended batch
+// formations: each tenant submits perTenant requests every 100 ms (one
+// full MobileNetV3Small batch time) for the given duration, so every
+// formation sees the same overflow pattern. Returns per-tenant
+// completed counts.
+func floodContended(srv *Server, s *simtime.Scheduler, tenants []int, perTenant int, dur simtime.Time) []uint64 {
+	done := func(Result) {}
+	// Occupy the GPU so the first burst contends too.
+	srv.Submit(&Request{Tenant: tenants[0], Model: models.MobileNetV3Small, Done: done})
+	s.Every(time.Millisecond, 100*time.Millisecond, func(now simtime.Time) {
+		if now >= dur {
+			return
+		}
+		for _, tenant := range tenants {
+			submitN(s, srv, perTenant, models.MobileNetV3Small, tenant, done)
+		}
+	})
+	s.RunUntil(dur + time.Second)
+	out := make([]uint64, len(tenants))
+	for i, tenant := range tenants {
+		out[i] = srv.Tenant(tenant).Completed
+	}
+	return out
+}
+
+func jainOf(counts []uint64) float64 {
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	return metrics.JainIndex(xs)
+}
+
+// TestShedFairRotationUnbiased is the regression test for the
+// rotation-bias bug: with MaxBatch=15 and 4 perfectly symmetric
+// tenants, each formation hands out 15 slots as 4+4+4+3. Before the
+// fix the round-robin restarted from the queue's first tenant at every
+// formation, so the same three tenants won the extra slot every single
+// batch and the fourth fell ~6% behind forever (Jain ≈ 0.9987 here).
+// With the persisted cursor the extra slot rotates and the long-run
+// shares equalize.
+func TestShedFairRotationUnbiased(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{GPU: models.TeslaV100(), Shed: ShedFair})
+	counts := floodContended(srv, s, []int{0, 1, 2, 3}, 5, 10*time.Second)
+	jain := jainOf(counts)
+	t.Logf("symmetric tenant completions: %v (Jain %.6f)", counts, jain)
+	if jain < 0.9999 {
+		t.Fatalf("ShedFair biased under symmetric overload: completions %v, Jain %.6f < 0.9999",
+			counts, jain)
+	}
+	var min, max uint64 = counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// The rotating extra slot can leave at most a one-round gap.
+	if max-min > 4 {
+		t.Fatalf("symmetric tenants diverged by %d requests: %v", max-min, counts)
+	}
+}
+
+// TestWFQWeightsProportional checks that ShedWFQ divides contended
+// batch slots in proportion to configured weights.
+func TestWFQWeightsProportional(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{
+		GPU:     models.TeslaV100(),
+		Shed:    ShedWFQ,
+		Weights: map[int]float64{1: 3, 2: 1},
+	})
+	counts := floodContended(srv, s, []int{1, 2}, 20, 10*time.Second)
+	ratio := float64(counts[0]) / float64(counts[1])
+	t.Logf("weighted completions: %v (ratio %.3f)", counts, ratio)
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("WFQ 3:1 weights gave completion ratio %.3f (%v), want ≈ 3", ratio, counts)
+	}
+}
+
+// TestWFQIdleTenantCannotHoardCredit: a tenant that sits out while
+// others accumulate virtual service must re-enter level with the
+// active set, not monopolize batches until its stale low virtual time
+// catches up.
+func TestWFQIdleTenantCannotHoardCredit(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{GPU: models.TeslaV100(), Shed: ShedWFQ})
+	done := func(Result) {}
+	srv.Submit(&Request{Tenant: 0, Model: models.MobileNetV3Small, Done: done})
+	s.Every(time.Millisecond, 100*time.Millisecond, func(now simtime.Time) {
+		if now >= 20*time.Second {
+			return
+		}
+		// Tenant 0 floods throughout; tenant 1 joins halfway.
+		submitN(s, srv, 20, models.MobileNetV3Small, 0, done)
+		if now >= 10*time.Second {
+			submitN(s, srv, 20, models.MobileNetV3Small, 1, done)
+		}
+	})
+	var t0AtJoin uint64
+	s.At(10*time.Second, func() { t0AtJoin = srv.Tenant(0).Completed })
+	s.RunUntil(21 * time.Second)
+	t0 := srv.Tenant(0).Completed - t0AtJoin
+	t1 := srv.Tenant(1).Completed
+	t.Logf("second-half completions: tenant0 %d, tenant1 %d", t0, t1)
+	// Equal weights: the second half should split ~50/50. A
+	// credit-hoarding bug would hand tenant 1 nearly every slot.
+	if t1 > t0*3/2 {
+		t.Fatalf("late tenant monopolized the GPU on stale credit: %d vs %d", t1, t0)
+	}
+	if t0 > t1*3/2 {
+		t.Fatalf("late tenant starved after joining: %d vs %d", t1, t0)
+	}
+}
+
+// TestPriorityStrictOrdering: under ShedPriority a contended batch is
+// filled strictly from the highest-priority tenant down, starving low
+// priorities by design.
+func TestPriorityStrictOrdering(t *testing.T) {
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{
+		GPU:      models.TeslaV100(),
+		Shed:     ShedPriority,
+		Priority: map[int]int{1: 10, 2: 5},
+	})
+	done := func(Result) {}
+	srv.Submit(&Request{Tenant: 1, Model: models.MobileNetV3Small, Done: done})
+	s.At(time.Millisecond, func() {
+		// Low priority floods first; high priority arrives last and
+		// still takes the whole batch.
+		submitN(s, srv, 20, models.MobileNetV3Small, 3, done) // priority 0
+		submitN(s, srv, 10, models.MobileNetV3Small, 2, done) // priority 5
+		submitN(s, srv, 10, models.MobileNetV3Small, 1, done) // priority 10
+	})
+	s.Run()
+	hi := srv.Tenant(1).Completed
+	mid := srv.Tenant(2).Completed
+	lo := srv.Tenant(3).Completed
+	// Contended formation of 40 → batch 15: all 10 high, then 5 of
+	// the mid tenant; the low tenant is shed entirely.
+	if hi != 11 || mid != 5 || lo != 0 {
+		t.Fatalf("strict priority split = hi %d, mid %d, lo %d; want 11/5/0", hi, mid, lo)
+	}
+}
+
+// TestFairnessPolicyTable computes Jain's index across every shed
+// policy under a flooding tenant: one greedy tenant submits 10× the
+// load of three modest tenants. Fair and WFQ must protect the modest
+// tenants (high Jain); FIFO lets the flooder crowd them out; strict
+// priority with the flooder on top starves everyone else (lowest
+// Jain, by design).
+func TestFairnessPolicyTable(t *testing.T) {
+	run := func(shed ShedPolicy) (float64, []uint64) {
+		s := simtime.NewScheduler()
+		cfg := Config{GPU: models.TeslaV100(), Shed: shed}
+		if shed == ShedPriority {
+			cfg.Priority = map[int]int{0: 10}
+		}
+		srv := New(s, nil, cfg)
+		done := func(Result) {}
+		srv.Submit(&Request{Tenant: 0, Model: models.MobileNetV3Small, Done: done})
+		s.Every(time.Millisecond, 100*time.Millisecond, func(now simtime.Time) {
+			if now >= 10*time.Second {
+				return
+			}
+			submitN(s, srv, 30, models.MobileNetV3Small, 0, done) // flooder
+			for tenant := 1; tenant <= 3; tenant++ {
+				submitN(s, srv, 3, models.MobileNetV3Small, tenant, done)
+			}
+		})
+		s.RunUntil(11 * time.Second)
+		counts := make([]uint64, 4)
+		for i := range counts {
+			counts[i] = srv.Tenant(i).Completed
+		}
+		return jainOf(counts), counts
+	}
+	jain := make(map[ShedPolicy]float64)
+	modest := make(map[ShedPolicy]uint64)
+	for _, shed := range []ShedPolicy{ShedFIFO, ShedFair, ShedWFQ, ShedPriority} {
+		j, counts := run(shed)
+		jain[shed] = j
+		modest[shed] = counts[1] + counts[2] + counts[3]
+		t.Logf("%-8s Jain %.4f  completions %v", shed, j, counts)
+	}
+	if jain[ShedFair] <= jain[ShedFIFO] {
+		t.Fatalf("ShedFair (%.4f) not fairer than FIFO (%.4f) under flooding tenant",
+			jain[ShedFair], jain[ShedFIFO])
+	}
+	if jain[ShedWFQ] <= jain[ShedFIFO] {
+		t.Fatalf("ShedWFQ (%.4f) not fairer than FIFO (%.4f) under flooding tenant",
+			jain[ShedWFQ], jain[ShedFIFO])
+	}
+	// Max-min fairness over unequal demand: the modest tenants'
+	// entire demand (3 tenants × 3 req × 100 rounds) fits inside
+	// their fair share, so Fair and WFQ must serve essentially all of
+	// it while FIFO sheds it wholesale.
+	if modest[ShedFair] < 891 || modest[ShedWFQ] < 891 {
+		t.Fatalf("fair policies shed modest-tenant demand: Fair %d, WFQ %d of 900",
+			modest[ShedFair], modest[ShedWFQ])
+	}
+	if jain[ShedPriority] >= jain[ShedFair] {
+		t.Fatalf("strict priority with flooder on top (%.4f) should score below Fair (%.4f)",
+			jain[ShedPriority], jain[ShedFair])
+	}
+}
+
+// TestSubmitRejectsInvalidCompletionTarget pins the documented
+// contract: exactly one of Done and Completer must be set.
+func TestSubmitRejectsInvalidCompletionTarget(t *testing.T) {
+	expectPanic := func(name, wantSub string, req *Request) {
+		t.Run(name, func(t *testing.T) {
+			s := simtime.NewScheduler()
+			srv := newTestServer(s)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Submit(%s) did not panic", name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, wantSub) {
+					t.Fatalf("panic %q does not mention %q", r, wantSub)
+				}
+			}()
+			srv.Submit(req)
+		})
+	}
+	var c countCompleter
+	expectPanic("neither", "neither Done nor Completer",
+		&Request{Model: models.MobileNetV3Small})
+	expectPanic("both", "both Done and Completer",
+		&Request{Model: models.MobileNetV3Small, Done: func(Result) {}, Completer: &c})
+}
+
+// TestAdmitCapExactBoundary pins the documented admission semantics:
+// a request arriving at a queue already holding AdmitCap entries is
+// rejected — i.e. the rejection threshold is len(queue) == AdmitCap,
+// not AdmitCap+1.
+func TestAdmitCapExactBoundary(t *testing.T) {
+	const cap = 3
+	s := simtime.NewScheduler()
+	srv := New(s, nil, Config{GPU: models.TeslaV100(), AdmitCap: cap})
+	var results []Result
+	done := func(r Result) { results = append(results, r) }
+	// Occupy the GPU so subsequent submissions queue.
+	srv.Submit(&Request{ID: 100, Model: models.MobileNetV3Small, Done: func(Result) {}})
+	s.At(time.Millisecond, func() {
+		// Queue holds 0, 1, 2 entries at these submits: admitted.
+		for i := 0; i < cap; i++ {
+			srv.Submit(&Request{ID: uint64(i), Model: models.MobileNetV3Small, Done: done})
+		}
+		// Queue now holds exactly AdmitCap entries: must reject.
+		srv.Submit(&Request{ID: 99, Model: models.MobileNetV3Small, Done: done})
+	})
+	s.Run()
+	if len(results) != cap+1 {
+		t.Fatalf("got %d results, want %d", len(results), cap+1)
+	}
+	rejected := 0
+	for _, r := range results {
+		if r.Status == StatusRejected {
+			rejected++
+			if r.FinishedAt != time.Millisecond {
+				t.Fatalf("boundary rejection at %v, want submit time", r.FinishedAt)
+			}
+		}
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected %d of %d, want exactly the one arriving at len(queue)==AdmitCap",
+			rejected, cap+1)
+	}
+}

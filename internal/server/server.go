@@ -14,6 +14,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/models"
@@ -52,6 +53,20 @@ func (s Status) String() string {
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
+}
+
+// Backend is the submission surface a client needs from an inference
+// backend: a request pool and a submit entry point. Both *Server and
+// a multi-server cluster dispatcher (internal/cluster) implement it,
+// so devices and load injectors are indifferent to whether they talk
+// to one GPU or a pool behind a placement policy.
+type Backend interface {
+	// AcquireRequest returns a zeroed Request from the backend's
+	// pool; completed requests recycle automatically.
+	AcquireRequest() *Request
+	// Submit enqueues a request; the outcome arrives via req.Done or
+	// req.Completer exactly once.
+	Submit(req *Request)
 }
 
 // Completer is the closure-free completion target for a Request: the
@@ -122,8 +137,26 @@ const (
 	// ShedFair takes requests round-robin across tenants (oldest
 	// first within each tenant) until the batch fills, implementing
 	// the §II-A3 requirement to "distribute the available capacity
-	// fairly among clients" even against a flooding tenant.
+	// fairly among clients" even against a flooding tenant. The
+	// round-robin cursor persists across batch formations, so a batch
+	// size that does not divide the tenant count rotates the short
+	// slot instead of always shorting the same tenant.
 	ShedFair
+	// ShedWFQ is weighted fair queueing at batch formation: each
+	// tenant accumulates virtual service (1/weight per executed
+	// request, weights from Config.Weights), and an oversubscribed
+	// formation repeatedly serves the backlogged tenant with the
+	// least virtual service. Virtual times persist across
+	// formations, so fairness holds over the run, not per batch; a
+	// tenant idle for a long stretch re-enters at the active floor
+	// rather than cashing in hoarded credit.
+	ShedWFQ
+	// ShedPriority is strict priority by tenant (Config.Priority,
+	// higher first, FIFO within a tenant): an oversubscribed
+	// formation fills the batch from the highest-priority backlog
+	// and sheds the rest. Low-priority tenants starve by design
+	// under sustained overload.
+	ShedPriority
 )
 
 func (p ShedPolicy) String() string {
@@ -132,6 +165,10 @@ func (p ShedPolicy) String() string {
 		return "FIFO"
 	case ShedFair:
 		return "Fair"
+	case ShedWFQ:
+		return "WFQ"
+	case ShedPriority:
+		return "Priority"
 	default:
 		return fmt.Sprintf("ShedPolicy(%d)", int(p))
 	}
@@ -184,6 +221,14 @@ type Config struct {
 	// Crash selects what Fail does with in-flight work; defaults to
 	// CrashDrop.
 	Crash CrashPolicy
+	// Weights are the per-tenant ShedWFQ weights; tenants absent
+	// from the map weigh 1. Only consulted under ShedWFQ. Weights
+	// must be positive.
+	Weights map[int]float64
+	// Priority maps tenants to their ShedPriority rank; higher runs
+	// first, absent tenants rank 0. Only consulted under
+	// ShedPriority.
+	Priority map[int]int
 }
 
 // Stats holds cumulative server counters.
@@ -239,12 +284,59 @@ type Server struct {
 	failed   bool
 	slowdown float64
 
-	// freeReqs recycles completed Requests (see AcquireRequest).
-	freeReqs []*Request
+	// ownPool recycles completed Requests (see AcquireRequest); pool
+	// points at it unless UsePool installed a shared one.
+	ownPool RequestPool
+	pool    *RequestPool
+
+	// fairLast/fairHas persist the ShedFair round-robin cursor across
+	// batch formations: the next formation starts its rotation with
+	// the tenant after the one that received the previous batch's
+	// last slot, so no tenant is systematically favored.
+	fairLast int
+	fairHas  bool
+
+	// wfqV is each tenant's accumulated virtual service under
+	// ShedWFQ (executed requests weighted by 1/weight); wfqFloor is
+	// the admission floor a newly-backlogged tenant starts at, so
+	// idle periods do not hoard credit.
+	wfqV     map[int]float64
+	wfqFloor float64
 
 	stats    Stats
 	byTenant map[int]*TenantStats
 }
+
+// RequestPool is a free list of recycled Requests. Every Server owns
+// one by default; a cluster dispatcher shares a single pool across its
+// members via UsePool, so a request acquired through the cluster and
+// completed by any member recycles to the same place.
+type RequestPool struct {
+	free []*Request
+}
+
+// Acquire returns a zeroed Request, reusing a recycled one when
+// available.
+func (p *RequestPool) Acquire() *Request {
+	if n := len(p.free); n > 0 {
+		req := p.free[n-1]
+		p.free = p.free[:n-1]
+		return req
+	}
+	return &Request{}
+}
+
+// release zeroes and parks a completed request.
+func (p *RequestPool) release(req *Request) {
+	*req = Request{}
+	p.free = append(p.free, req)
+}
+
+// Recycle returns a request that will never reach a server — e.g. one
+// lost on a cluster backhaul link — to the pool. Only the party that
+// currently owns the request may call it; a request that has been
+// Submitted recycles automatically and must not be Recycled again.
+func (p *RequestPool) Recycle(req *Request) { p.release(req) }
 
 // TenantStats tracks per-tenant outcomes for fairness analysis.
 type TenantStats struct {
@@ -266,12 +358,21 @@ func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config) *Server {
 	if cfg.MaxBatch < 0 {
 		panic("server: negative MaxBatch")
 	}
+	for t, w := range cfg.Weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("server: non-positive WFQ weight %v for tenant %d", w, t))
+		}
+	}
 	s := &Server{
 		sched:    sched,
 		rng:      r,
 		cfg:      cfg,
 		queues:   make(map[models.Model][]*Request),
 		byTenant: make(map[int]*TenantStats),
+	}
+	s.pool = &s.ownPool
+	if cfg.Shed == ShedWFQ {
+		s.wfqV = make(map[int]float64)
 	}
 	for _, m := range models.All() {
 		if _, ok := cfg.GPU.Curves[m]; ok {
@@ -284,6 +385,44 @@ func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config) *Server {
 	return s
 }
 
+// UsePool redirects the server's request recycling to a shared pool.
+// A cluster dispatcher installs one pool on every member so requests
+// acquired centrally recycle centrally. Must be called before the
+// first Submit.
+func (s *Server) UsePool(p *RequestPool) {
+	if p == nil {
+		panic("server: UsePool with nil pool")
+	}
+	if s.stats.Submitted != 0 {
+		panic("server: UsePool after Submit")
+	}
+	s.pool = p
+}
+
+// Supports reports whether the server's GPU profile has a latency
+// curve for the model — i.e. whether it can execute requests for it.
+func (s *Server) Supports(m models.Model) bool {
+	_, ok := s.cfg.GPU.Curves[m]
+	return ok
+}
+
+// TotalQueued returns the number of requests waiting across all model
+// queues (excluding the executing batch) — the load signal placement
+// policies use.
+func (s *Server) TotalQueued() int {
+	n := 0
+	for _, m := range s.rr {
+		n += len(s.queues[m])
+	}
+	return n
+}
+
+// MaxBatch returns the effective batch size limit.
+func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
+
+// GPU returns the server's accelerator profile.
+func (s *Server) GPU() *models.GPUProfile { return s.cfg.GPU }
+
 // Stats returns a snapshot of the cumulative counters.
 func (s *Server) Stats() Stats { return s.stats }
 
@@ -293,6 +432,19 @@ func (s *Server) Tenant(id int) TenantStats {
 		return *t
 	}
 	return TenantStats{}
+}
+
+// EachTenant calls fn for every tenant with recorded traffic, in
+// ascending tenant order (map iteration would be nondeterministic).
+func (s *Server) EachTenant(fn func(id int, st TenantStats)) {
+	ids := make([]int, 0, len(s.byTenant))
+	for id := range s.byTenant {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fn(id, *s.byTenant[id])
+	}
 }
 
 // QueueLen returns the number of requests waiting for the model.
@@ -374,14 +526,7 @@ func (s *Server) crashOne(r *Request, now simtime.Time) {
 // into the pool automatically after their completion callback returns,
 // so a Submit loop that acquires here allocates nothing at steady
 // state.
-func (s *Server) AcquireRequest() *Request {
-	if n := len(s.freeReqs); n > 0 {
-		req := s.freeReqs[n-1]
-		s.freeReqs = s.freeReqs[:n-1]
-		return req
-	}
-	return &Request{}
-}
+func (s *Server) AcquireRequest() *Request { return s.pool.Acquire() }
 
 // finish delivers a request's outcome and recycles the request. The
 // callback must not retain req; by the time finish returns, req is
@@ -392,8 +537,7 @@ func (s *Server) finish(req *Request, res Result) {
 	} else {
 		req.Done(res)
 	}
-	*req = Request{}
-	s.freeReqs = append(s.freeReqs, req)
+	s.pool.release(req)
 }
 
 // Submit enqueues a request. The outcome arrives via req.Done or
@@ -401,8 +545,18 @@ func (s *Server) finish(req *Request, res Result) {
 // formation (Rejected). The server owns req from here until the
 // completion callback returns, after which req is recycled.
 func (s *Server) Submit(req *Request) {
-	if req == nil || (req.Done == nil && req.Completer == nil) {
-		panic("server: Submit with nil request or completion target")
+	if req == nil {
+		panic("server: Submit with nil request")
+	}
+	// Exactly one completion target must be set: with neither, the
+	// outcome has nowhere to go; with both, it is ambiguous which
+	// fires (the Completer would win and the Done closure would be
+	// silently dropped). Fail fast either way.
+	if req.Done == nil && req.Completer == nil {
+		panic("server: Submit with neither Done nor Completer set (exactly one completion target required)")
+	}
+	if req.Done != nil && req.Completer != nil {
+		panic("server: Submit with both Done and Completer set (exactly one completion target required)")
 	}
 	if _, ok := s.cfg.GPU.Curves[req.Model]; !ok {
 		panic("server: Submit for model without GPU curve: " + req.Model.String())
@@ -514,24 +668,48 @@ func (s *Server) OnSchedEvent(uint64) {
 // requests to shed, according to the configured ShedPolicy.
 func (s *Server) splitBatch(q []*Request) (batch, rejected []*Request) {
 	if len(q) <= s.cfg.MaxBatch {
+		// Everyone fits; the schedulers only arbitrate overflow, but
+		// WFQ still books the service so virtual times stay honest
+		// across uncontended stretches.
+		if s.cfg.Shed == ShedWFQ {
+			s.wfqAccount(q)
+		}
 		return q, nil
 	}
-	if s.cfg.Shed == ShedFIFO {
+	switch s.cfg.Shed {
+	case ShedFIFO:
 		return q[:s.cfg.MaxBatch], q[s.cfg.MaxBatch:]
+	case ShedWFQ:
+		return s.splitWFQ(q)
+	case ShedPriority:
+		return s.splitPriority(q)
 	}
-	// ShedFair: round-robin across tenants in first-appearance
-	// order, oldest request first within each tenant.
-	perTenant := make(map[int][]*Request)
-	var order []int
-	for _, r := range q {
-		if _, seen := perTenant[r.Tenant]; !seen {
-			order = append(order, r.Tenant)
+	return s.splitFair(q)
+}
+
+// splitFair implements ShedFair: round-robin across tenants in
+// first-appearance order, oldest request first within each tenant.
+// The rotation cursor (fairLast) persists across formations: the walk
+// starts with the tenant after the one that took the previous batch's
+// last slot. Without that, every formation restarted from the queue's
+// first tenant, so when MaxBatch does not divide the tenant count the
+// same early tenants won the extra slots every single batch —
+// a systematic bias under sustained symmetric overload.
+func (s *Server) splitFair(q []*Request) (batch, rejected []*Request) {
+	perTenant, order := groupByTenant(q)
+	start := 0
+	if s.fairHas {
+		for j, t := range order {
+			if t == s.fairLast {
+				start = j + 1
+				break
+			}
 		}
-		perTenant[r.Tenant] = append(perTenant[r.Tenant], r)
 	}
 	for len(batch) < s.cfg.MaxBatch {
 		progressed := false
-		for _, tenant := range order {
+		for i := range order {
+			tenant := order[(start+i)%len(order)]
 			tq := perTenant[tenant]
 			if len(tq) == 0 {
 				continue
@@ -547,10 +725,148 @@ func (s *Server) splitBatch(q []*Request) (batch, rejected []*Request) {
 			break
 		}
 	}
+	if len(batch) > 0 {
+		s.fairLast = batch[len(batch)-1].Tenant
+		s.fairHas = true
+	}
 	for _, tenant := range order {
 		rejected = append(rejected, perTenant[tenant]...)
 	}
 	return batch, rejected
+}
+
+// splitWFQ implements ShedWFQ: repeatedly serve the backlogged tenant
+// with the least accumulated virtual service, advancing it by
+// 1/weight per request. Ties break on the lower tenant id, so the
+// schedule is a pure function of queue contents and persisted state.
+func (s *Server) splitWFQ(q []*Request) (batch, rejected []*Request) {
+	perTenant, order := groupByTenant(q)
+	s.wfqAdmit(order)
+	for len(batch) < s.cfg.MaxBatch {
+		best, found := 0, false
+		for _, t := range order {
+			if len(perTenant[t]) == 0 {
+				continue
+			}
+			if !found || s.wfqV[t] < s.wfqV[best] || (s.wfqV[t] == s.wfqV[best] && t < best) {
+				best, found = t, true
+			}
+		}
+		if !found {
+			break
+		}
+		tq := perTenant[best]
+		batch = append(batch, tq[0])
+		perTenant[best] = tq[1:]
+		s.wfqV[best] += 1 / s.weight(best)
+	}
+	s.wfqSettle(order)
+	for _, tenant := range order {
+		rejected = append(rejected, perTenant[tenant]...)
+	}
+	return batch, rejected
+}
+
+// splitPriority implements ShedPriority: serve tenants in strictly
+// descending Config.Priority (ties on the lower tenant id), FIFO
+// within each tenant, and shed whatever is left when the batch fills.
+func (s *Server) splitPriority(q []*Request) (batch, rejected []*Request) {
+	perTenant, order := groupByTenant(q)
+	// Selection sort of the (small) tenant set by (priority desc,
+	// id asc); overflow is the shed path, so the extra comparisons
+	// are irrelevant next to batch execution.
+	ranked := append([]int(nil), order...)
+	for i := range ranked {
+		best := i
+		for j := i + 1; j < len(ranked); j++ {
+			pi, pj := s.cfg.Priority[ranked[best]], s.cfg.Priority[ranked[j]]
+			if pj > pi || (pj == pi && ranked[j] < ranked[best]) {
+				best = j
+			}
+		}
+		ranked[i], ranked[best] = ranked[best], ranked[i]
+	}
+	for _, tenant := range ranked {
+		tq := perTenant[tenant]
+		for len(tq) > 0 && len(batch) < s.cfg.MaxBatch {
+			batch = append(batch, tq[0])
+			tq = tq[1:]
+		}
+		perTenant[tenant] = tq
+	}
+	for _, tenant := range order {
+		rejected = append(rejected, perTenant[tenant]...)
+	}
+	return batch, rejected
+}
+
+// groupByTenant splits a queue into per-tenant FIFO queues plus the
+// tenants' first-appearance order (map iteration would be
+// nondeterministic).
+func groupByTenant(q []*Request) (map[int][]*Request, []int) {
+	perTenant := make(map[int][]*Request)
+	var order []int
+	for _, r := range q {
+		if _, seen := perTenant[r.Tenant]; !seen {
+			order = append(order, r.Tenant)
+		}
+		perTenant[r.Tenant] = append(perTenant[r.Tenant], r)
+	}
+	return perTenant, order
+}
+
+// weight returns a tenant's WFQ weight (1 when unconfigured).
+func (s *Server) weight(t int) float64 {
+	if w, ok := s.cfg.Weights[t]; ok {
+		return w
+	}
+	return 1
+}
+
+// wfqAdmit floors the virtual time of every tenant present in the
+// queue at the current admission floor: a tenant that sat idle while
+// others accumulated service re-enters level with the active set
+// instead of monopolizing batches until its stale low virtual time
+// catches up.
+func (s *Server) wfqAdmit(order []int) {
+	for _, t := range order {
+		if s.wfqV[t] < s.wfqFloor {
+			s.wfqV[t] = s.wfqFloor
+		}
+	}
+}
+
+// wfqSettle advances the admission floor to the minimum virtual time
+// of the tenants that contended in this formation.
+func (s *Server) wfqSettle(order []int) {
+	if len(order) == 0 {
+		return
+	}
+	min := s.wfqV[order[0]]
+	for _, t := range order[1:] {
+		if s.wfqV[t] < min {
+			min = s.wfqV[t]
+		}
+	}
+	s.wfqFloor = min
+}
+
+// wfqAccount books uncontended service (a batch that fit entirely)
+// into the virtual times.
+func (s *Server) wfqAccount(q []*Request) {
+	order := make([]int, 0, 4)
+	seen := make(map[int]bool, 4)
+	for _, r := range q {
+		if !seen[r.Tenant] {
+			seen[r.Tenant] = true
+			order = append(order, r.Tenant)
+		}
+	}
+	s.wfqAdmit(order)
+	for _, r := range q {
+		s.wfqV[r.Tenant] += 1 / s.weight(r.Tenant)
+	}
+	s.wfqSettle(order)
 }
 
 // nextModel advances the round-robin cursor to the next model with

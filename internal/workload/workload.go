@@ -111,7 +111,7 @@ func DefaultMix() []MixEntry {
 type Injector struct {
 	sched    *simtime.Scheduler
 	rng      *rng.Stream
-	srv      *server.Server
+	srv      server.Backend
 	schedule LoadSchedule
 	mix      []MixEntry
 	mixTotal float64
@@ -147,7 +147,7 @@ type InjectorConfig struct {
 
 // NewInjector starts an injector on the scheduler. r drives the
 // Poisson arrival process and must not be nil.
-func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv *server.Server, cfg InjectorConfig) *Injector {
+func NewInjector(sched *simtime.Scheduler, r *rng.Stream, srv server.Backend, cfg InjectorConfig) *Injector {
 	if sched == nil || r == nil || srv == nil {
 		panic("workload: NewInjector with nil scheduler, rng or server")
 	}

@@ -32,8 +32,10 @@ go build -o "$BIN" ./cmd/ffexperiments
 echo "== micro benchmarks (benchtime=$BENCHTIME)" >&2
 churn="$(go test -run '^$' -bench 'BenchmarkSchedulerChurn$' -benchmem -benchtime "$BENCHTIME" ./internal/simtime/ | awk '/^BenchmarkSchedulerChurn/')"
 scen="$(go test -run '^$' -bench 'BenchmarkScenarioRun$' -benchmem -benchtime "$BENCHTIME" . | awk '/^BenchmarkScenarioRun/')"
+clus="$(go test -run '^$' -bench 'BenchmarkClusterDispatch$' -benchmem -benchtime "$BENCHTIME" ./internal/cluster/ | awk '/^BenchmarkClusterDispatch/')"
 echo "$churn" >&2
 echo "$scen" >&2
+echo "$clus" >&2
 
 # bench_field LINE N extracts the value preceding the Nth unit column
 # of a `go test -bench` output line (ns/op, B/op, allocs/op).
@@ -48,6 +50,9 @@ scen_ns="$(bench_field "$scen" "ns/op")"
 scen_b="$(bench_field "$scen" "B/op")"
 scen_allocs="$(bench_field "$scen" "allocs/op")"
 scen_events="$(bench_field "$scen" "events/run")"
+clus_ns="$(bench_field "$clus" "ns/op")"
+clus_b="$(bench_field "$clus" "B/op")"
+clus_allocs="$(bench_field "$clus" "allocs/op")"
 # Scenario event throughput: events per run over ns per run.
 scen_meps="$(awk -v e="${scen_events:-0}" -v ns="$scen_ns" 'BEGIN{if (ns > 0) printf "%.2f", e / ns * 1000; else print 0}')"
 
@@ -103,6 +108,11 @@ cat > "$OUT" <<EOF
       "allocs_per_op": $scen_allocs,
       "events_per_run": ${scen_events:-0},
       "million_events_per_second": $scen_meps
+    },
+    "ClusterDispatch": {
+      "ns_per_op": $clus_ns,
+      "bytes_per_op": $clus_b,
+      "allocs_per_op": $clus_allocs
     }
   },
   "suite": {
