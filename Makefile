@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-all benchdiff smoke experiments report clean
+.PHONY: all build test race chaos bench bench-all benchdiff smoke trace-smoke experiments report clean
 
 all: build test
 
@@ -59,6 +59,16 @@ benchdiff:
 # debug endpoint (see scripts/telemetry_smoke.sh).
 smoke:
 	bash scripts/telemetry_smoke.sh
+
+# Tracing gate: run the critical-path experiment with a span trace
+# attached (the in-run check asserts per-stage durations tile every
+# successful offload's end-to-end latency exactly), then validate the
+# exported Chrome trace-event JSON with scripts/tracecheck — the same
+# file Perfetto loads.
+trace-smoke:
+	$(GO) run ./cmd/ffexperiments -exp tracepath -trace-out trace-smoke.json | tee /dev/stderr | grep -q 'exact (PASS)'
+	$(GO) run ./scripts/tracecheck trace-smoke.json
+	rm -f trace-smoke.json
 
 # Regenerate every table and figure (ASCII + CSV traces into results/).
 experiments:

@@ -13,6 +13,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 	"repro/internal/telemetry"
 )
 
@@ -39,6 +40,10 @@ func clusterExp() {
 	for i := range devices {
 		devices[i] = scenario.DeviceSpec{Profile: models.Pi4B14()}
 	}
+	var tracer *spans.Tracer
+	if *traceOutFlag != "" {
+		tracer = spans.New(spans.Options{KeepAll: true})
+	}
 	r := scenario.Run(withSeed(scenario.Config{
 		Policy:     scenario.FrameFeedbackFactory(controller.Config{}),
 		FS:         fs,
@@ -50,6 +55,7 @@ func clusterExp() {
 		},
 		Faults:          faults.Plan{crash},
 		CheckInvariants: true,
+		Trace:           tracer,
 	}))
 
 	writeCSV("cluster.csv", r.Table())
@@ -63,6 +69,7 @@ func clusterExp() {
 	baseline := metrics.Mean(r.TotalP[startSec-5 : startSec])
 	during := metrics.Mean(r.TotalP[startSec+1 : clearSec])
 	rec := reconvergence(r.TotalP, baseline, clearSec, 0.9)
+	faults.ObserveRecovery(rec)
 	recStr := "never"
 	if rec >= 0 {
 		recStr = fmt.Sprintf("%.0f s", rec)
@@ -101,6 +108,24 @@ func clusterExp() {
 	fmt.Printf("work-conserving ratio: %.4f\n", r.ClusterWorkConserving)
 	fmt.Printf("faults injected: %d; invariant checker: %s\n",
 		r.FaultsInjected, pass(r.FaultsInjected == 1))
+
+	if tracer != nil {
+		// Per-stage sums must tile every successful offload's
+		// end-to-end latency exactly (see -exp tracepath).
+		okN, exact := 0, 0
+		for _, rec := range tracer.Records() {
+			if rec.Status != spans.VerdictOK {
+				continue
+			}
+			okN++
+			if rec.CriticalPathSum() == rec.Latency() {
+				exact++
+			}
+		}
+		fmt.Printf("stage sums vs end-to-end latency: %d/%d exact (%s)\n",
+			exact, okN, pass(okN > 0 && exact == okN))
+		writeTraceOut(tracer, "cluster")
+	}
 
 	if *verboseFlag {
 		fmt.Println("\ntelemetry exposition (cluster + fault instruments):")

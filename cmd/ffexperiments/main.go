@@ -13,9 +13,11 @@
 // are not part of "all": the wall-clock "real" (E20), the
 // fault-injection pair "recovery" (time-to-reconvergence after each
 // fault kind clears) and "chaos" (seeded random fault plans under the
-// run-time invariant checker), and "cluster" (kill 1 of 8 pool members,
-// fleet reconvergence + per-tenant fairness). The experiment ids match
-// DESIGN.md's per-experiment index (E1–E24).
+// run-time invariant checker), "cluster" (kill 1 of 8 pool members,
+// fleet reconvergence + per-tenant fairness), and "tracepath" (span
+// tracing over the Table V schedule: each policy's latency budget split
+// by lifecycle stage; -trace-out exports the spans for Perfetto). The
+// experiment ids match DESIGN.md's per-experiment index (E1–E24).
 //
 // -invariants forces the run-time invariant checker on for every
 // simulation in the process (recovery and chaos always run with it).
@@ -101,6 +103,7 @@ func main() {
 		"recovery":   recovery,
 		"chaos":      chaos,
 		"cluster":    clusterExp,
+		"tracepath":  tracepath,
 	}
 	// recovery and chaos stay out of the "all" order: -exp all output
 	// is a byte-stability fixture, and the fault experiments are

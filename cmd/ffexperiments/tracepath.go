@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/parfan"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+	"repro/internal/spans"
+)
+
+var traceOutFlag = flag.String("trace-out", "",
+	"write frame-lifecycle spans to this file — Chrome trace-event JSON (load in Perfetto) by default, span JSONL with a .jsonl suffix; honored by -exp tracepath (FrameFeedback run) and -exp cluster")
+
+// tracepath is the critical-path experiment (opt-in, not part of -exp
+// all): every policy runs the Table V schedule with the span tracer
+// attached, and the output is each policy's latency budget split by
+// lifecycle stage — where the 250 ms deadline actually goes (uplink vs
+// server queue vs batch vs downlink) — plus a consistency check that
+// the per-stage durations tile each successful offload's end-to-end
+// latency exactly.
+func tracepath() {
+	header("Critical path: per-stage latency budget over the Table V schedule")
+
+	names := scenario.PolicyOrder()
+	tracers := parfan.Map(workers(), names, func(_ int, name string) *spans.Tracer {
+		tr := spans.New(spans.Options{KeepAll: true, Ring: -1})
+		cfg := withSeed(scenario.NetworkExperiment(scenario.AllPolicies()[name]))
+		cfg.Trace = tr
+		scenario.Run(cfg)
+		return tr
+	})
+
+	for i, name := range names {
+		tr := tracers[i]
+		recs := tr.Records()
+		fmt.Printf("\n%s — %d spans (%d still in flight at end):\n",
+			name, tr.Completed(), len(tr.InFlight()))
+		rows := [][]string{}
+		for _, st := range spans.Breakdown(recs) {
+			rows = append(rows, []string{
+				st.Kind.String(),
+				fmt.Sprintf("%d", st.Count),
+				fmt.Sprintf("%7.1f", st.P50.Seconds()*1e3),
+				fmt.Sprintf("%7.1f", st.P99.Seconds()*1e3),
+				fmt.Sprintf("%7.1f", st.Mean.Seconds()*1e3),
+			})
+		}
+		plot.RenderTable(os.Stdout,
+			[]string{"stage", "count", "p50 ms", "p99 ms", "mean ms"}, rows)
+	}
+
+	// Contiguity: each transfer stage's end instant is the next stage's
+	// start instant, so summed stage durations must reproduce every
+	// successful offload's end-to-end latency exactly.
+	okN, exact := 0, 0
+	for i := range names {
+		for _, rec := range tracers[i].Records() {
+			if rec.Status != spans.VerdictOK {
+				continue
+			}
+			okN++
+			if rec.CriticalPathSum() == rec.Latency() {
+				exact++
+			}
+		}
+	}
+	fmt.Printf("\nstage sums vs end-to-end latency: %d/%d exact (%s)\n",
+		exact, okN, pass(okN > 0 && exact == okN))
+
+	if *traceOutFlag != "" {
+		// Export the protagonist's run; the other policies' tracers
+		// only feed the tables above.
+		writeTraceOut(tracers[0], names[0])
+	}
+}
+
+// writeTraceOut serializes a tracer to the -trace-out path: Chrome
+// trace-event JSON by default, span JSONL for a .jsonl suffix.
+func writeTraceOut(tr *spans.Tracer, scenarioName string) {
+	f, err := os.Create(*traceOutFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if strings.HasSuffix(*traceOutFlag, ".jsonl") {
+		err = tr.WriteJSONL(f, spans.Meta{Seed: *seedFlag, Scenario: scenarioName})
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("lifecycle trace (%d spans) written to %s\n", tr.Completed(), *traceOutFlag)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/scenario"
 	"repro/internal/simnet"
+	"repro/internal/spans"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,6 +41,7 @@ var (
 	kdFlag        = flag.Float64("kd", 0.26, "FrameFeedback K_D")
 	csvFlag       = flag.String("csv", "", "write the per-second trace to this CSV file")
 	traceFlag     = flag.String("trace", "", "write a per-offload JSONL event log to this file")
+	traceOutFlag  = flag.String("trace-out", "", "write frame-lifecycle spans as Chrome trace-event JSON (load in Perfetto); .jsonl suffix writes span JSONL instead")
 	plotFlag      = flag.Bool("plot", false, "render an ASCII chart of P and Po")
 	soloFlag      = flag.Bool("solo", false, "run only the measured device (no companion Pis)")
 )
@@ -57,6 +59,11 @@ func main() {
 		// the log exactly and the recorder never regrows it.
 		rec = trace.NewRecorderCap(int(cfg.FrameLimit))
 		cfg.OnOffload = rec.Hook()
+	}
+	var tracer *spans.Tracer
+	if *traceOutFlag != "" {
+		tracer = spans.New(spans.Options{KeepAll: true, Cap: int(cfg.FrameLimit)})
+		cfg.Trace = tracer
 	}
 	r := scenario.Run(cfg)
 
@@ -97,6 +104,7 @@ func main() {
 		fmt.Printf("\ntrace written to %s\n", *csvFlag)
 	}
 	if rec != nil {
+		rec.SetMeta(trace.Meta{Seed: int64(cfg.Seed), Scenario: r.PolicyName})
 		f, err := os.Create(*traceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -109,6 +117,28 @@ func main() {
 		}
 		fmt.Printf("offload event log (%d events) written to %s\n", rec.Len(), *traceFlag)
 	}
+	if tracer != nil {
+		if err := writeSpans(tracer, *traceOutFlag, cfg.Seed, r.PolicyName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("lifecycle trace (%d spans) written to %s\n", tracer.Completed(), *traceOutFlag)
+	}
+}
+
+// writeSpans serializes a tracer's spans: Chrome trace-event JSON by
+// default (drag into Perfetto or chrome://tracing), span JSONL when the
+// path ends in .jsonl.
+func writeSpans(tr *spans.Tracer, path string, seed uint64, scenarioName string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return tr.WriteJSONL(f, spans.Meta{Seed: seed, Scenario: scenarioName})
+	}
+	return tr.WriteChromeTrace(f)
 }
 
 func buildConfig() (scenario.Config, error) {

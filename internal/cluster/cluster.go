@@ -22,6 +22,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 )
 
 // ResponseBytes sizes the member→dispatcher result message on a
@@ -204,10 +205,12 @@ func (c *Cluster) Submit(req *server.Request) {
 	if (m.srv.Busy() || m.srv.TotalQueued() > 0) && c.idleEligible(i, req.Model) {
 		c.violations++
 	}
+	req.Span.Point(spans.StageDispatch, c.sched.Now(), int32(i))
 	if m.path == nil {
 		m.srv.Submit(req)
 		return
 	}
+	req.Span.Begin(spans.StageClusterUplink, c.sched.Now(), int32(i))
 	h := c.newHop(m, req)
 	m.path.Up.SendTo(h.scratch.Bytes, h, 0)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/server"
+	"repro/internal/spans"
 )
 
 // hop carries one request across a member's backhaul path: uplink
@@ -55,10 +56,12 @@ func (h *hop) OnLinkDelivered(uint64) {
 		h.stage = 1
 		req := h.pending
 		h.pending = nil
+		req.Span.End(spans.StageClusterUplink, h.c.sched.Now())
 		h.m.srv.Submit(req)
 		return
 	}
 	// Downlink delivery: the result reaches the original submitter.
+	h.scratch.Span.End(spans.StageClusterDownlink, h.c.sched.Now())
 	h.deliver(h.res)
 }
 
@@ -68,6 +71,11 @@ func (h *hop) OnLinkDelivered(uint64) {
 func (h *hop) OnLinkDropped(uint64) {
 	h.c.pathDrops++
 	pathDropTotal.Inc()
+	if h.stage == 0 {
+		h.scratch.Span.EndDrop(spans.StageClusterUplink, h.c.sched.Now())
+	} else {
+		h.scratch.Span.EndDrop(spans.StageClusterDownlink, h.c.sched.Now())
+	}
 	if h.stage == 0 {
 		// The request never reached the member; recycle it here.
 		req := h.pending
@@ -90,6 +98,7 @@ func (h *hop) CompleteRequest(_ *server.Request, res server.Result) {
 		return
 	}
 	h.stage = 2
+	h.scratch.Span.Begin(spans.StageClusterDownlink, h.c.sched.Now(), 0)
 	h.m.path.Down.SendTo(ResponseBytes, h, 0)
 }
 

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteStatusz renders a human-readable fleet table: one row per
+// member with its GPU, health (ok / CRASHED / stalled xN), queue and
+// batch state, scheduler configuration and dispatch share, followed by
+// fleet-wide dispatcher counters.
+//
+// The cluster is single-threaded on the scheduler's event loop, so
+// call this from that loop (or after the run) — the HTTP handler below
+// is for embedding in a paused or finished process, not for scraping a
+// cluster mid-event.
+func (c *Cluster) WriteStatusz(w io.Writer) {
+	fmt.Fprintf(w, "cluster: %d members, placement %s\n", len(c.members), c.cfg.Placement)
+	fmt.Fprintf(w, "%-3s %-28s %-12s %6s %5s %6s %10s %6s %10s %9s %7s\n",
+		"idx", "gpu", "state", "queued", "busy", "shed", "dispatched", "share", "completed", "rejected", "crashes")
+	for i := range c.members {
+		m := &c.members[i]
+		state := "ok"
+		switch {
+		case m.srv.Failed():
+			state = "CRASHED"
+		case m.srv.Slowdown() > 1:
+			state = fmt.Sprintf("stalled x%.1f", m.srv.Slowdown())
+		}
+		share := 0.0
+		if c.total > 0 {
+			share = float64(c.dispatched[i]) / float64(c.total)
+		}
+		st := m.srv.Stats()
+		fmt.Fprintf(w, "%-3d %-28s %-12s %6d %5v %6s %10d %5.1f%% %10d %9d %7d\n",
+			i, m.srv.GPU().Name, state, m.srv.TotalQueued(), m.srv.Busy(),
+			m.srv.Shed(), c.dispatched[i], share*100, st.Completed, st.Rejected, st.Crashes)
+	}
+	fmt.Fprintf(w, "dispatch: total=%d failovers=%d path-drops=%d work-conserving=%.3f jain=%.3f\n",
+		c.total, c.failovers, c.pathDrops, c.WorkConservingRatio(), c.JainIndex())
+}
+
+// StatuszHandler adapts WriteStatusz for telemetry.NewMux, so a binary
+// hosting a cluster can mount the fleet table on its /statusz page.
+// The same single-threaded caveat as WriteStatusz applies.
+func (c *Cluster) StatuszHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		c.WriteStatusz(w)
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/simtime"
+)
+
+func TestWriteStatuszFleetTable(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(3)})
+	for tenant := 0; tenant < 6; tenant++ {
+		submit(cl, tenant, models.MobileNetV3Small)
+	}
+	s.Run()
+	cl.Fail(1)
+	cl.SetSlowdown(2, 3)
+
+	var b strings.Builder
+	cl.WriteStatusz(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"cluster: 3 members, placement sticky",
+		"Tesla V100",
+		"CRASHED",
+		"stalled x3.0",
+		"dispatch: total=6 failovers=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("statusz missing %q:\n%s", want, out)
+		}
+	}
+	// One header, three member rows, one dispatcher summary.
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("statusz has %d lines, want 6:\n%s", lines, out)
+	}
+	// Sticky placement over 6 tenants: 2 dispatches per member, each a
+	// third of the total.
+	if !strings.Contains(out, "33.3%") {
+		t.Errorf("statusz missing dispatch share:\n%s", out)
+	}
+}
+
+func TestStatuszHandler(t *testing.T) {
+	s := simtime.NewScheduler()
+	cl := New(s, Config{Servers: specs(2)})
+	submit(cl, 0, models.MobileNetV3Small)
+	s.Run()
+
+	rr := httptest.NewRecorder()
+	cl.StatuszHandler()(rr, httptest.NewRequest("GET", "/statusz", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "cluster: 2 members") {
+		t.Fatalf("handler body:\n%s", rr.Body.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 )
 
 // DefaultDeadline is the paper's end-to-end offload deadline (§II-B):
@@ -73,6 +74,10 @@ type Config struct {
 	// inference (application layers consume classification results
 	// from both paths).
 	OnLocalDone func(f frame.Frame, finishedAt simtime.Time)
+	// Tracer, when non-nil, records a lifecycle span for every frame
+	// (see internal/spans). Nil disables tracing at zero cost: the
+	// hot path then carries only nil checks and no allocations.
+	Tracer *spans.Tracer
 }
 
 // OffloadStatus classifies a resolved offload.
@@ -179,6 +184,14 @@ type Device struct {
 	// needs no closure.
 	localCur frame.Frame
 
+	// tracer records frame-lifecycle spans (nil = tracing off).
+	// localSpans mirrors localQueue index-for-index and localCurSpan
+	// pairs with localCur; both stay empty/nil while tracing is off,
+	// so the local path's span bookkeeping is gated on one nil check.
+	tracer       *spans.Tracer
+	localSpans   []*spans.Span
+	localCurSpan *spans.Span
+
 	// freeOff heads the free list of recycled offload states; offGen
 	// is the per-device generation counter (see offloadState). Gen 0
 	// is reserved for "parked in the pool".
@@ -211,8 +224,11 @@ func New(sched *simtime.Scheduler, r *rng.Stream, cfg Config, path *simnet.Path,
 	if !cfg.Model.Valid() {
 		panic("device: invalid model")
 	}
-	d := &Device{sched: sched, rng: r, cfg: cfg, path: path, srv: srv}
+	d := &Device{sched: sched, rng: r, cfg: cfg, path: path, srv: srv, tracer: cfg.Tracer}
 	d.localQueue = make([]frame.Frame, 0, cfg.LocalQueueCap)
+	if d.tracer != nil {
+		d.localSpans = make([]*spans.Span, 0, cfg.LocalQueueCap+1)
+	}
 	if cfg.ExpectedFrames > 0 {
 		d.latencies = make([]float64, 0, cfg.ExpectedFrames)
 	}
@@ -290,9 +306,14 @@ type offloadState struct {
 	bytes      int
 	capturedAt simtime.Time
 	deadline   simtime.Event
-	resolved   bool
-	refs       int8
-	next       *offloadState
+	// span is the frame's lifecycle trace (nil when tracing is off).
+	// It shares the state's refcounted lifetime: resolved at finish,
+	// retired only at release, so a late downlink after a deadline
+	// miss still records its transfer stage before the span retires.
+	span     *spans.Span
+	resolved bool
+	refs     int8
+	next     *offloadState
 }
 
 // linkToken packs the state's generation with the hop (0 = uplink,
@@ -317,6 +338,8 @@ func (d *Device) acquireOffload(f frame.Frame) *offloadState {
 }
 
 func (d *Device) releaseOffload(st *offloadState) {
+	d.tracer.Finish(st.span)
+	st.span = nil
 	st.gen = 0 // parked: no live token can match
 	st.deadline = simtime.Event{}
 	st.next = d.freeOff
@@ -344,10 +367,13 @@ func (st *offloadState) finish(status OffloadStatus) {
 	case OffloadSucceeded:
 		d.c.OffloadOK++
 		d.latencies = append(d.latencies, (d.sched.Now() - st.capturedAt).Seconds())
+		st.span.Resolve(d.sched.Now(), spans.VerdictOK)
 	case OffloadDeadlineMissed:
 		d.c.OffloadTimedOut++
+		st.span.Resolve(d.sched.Now(), spans.VerdictTimeout)
 	case OffloadServerRejected:
 		d.c.OffloadRejected++
+		st.span.Resolve(d.sched.Now(), spans.VerdictRejected)
 	}
 	if d.cfg.OnOffload != nil {
 		d.cfg.OnOffload(OffloadOutcome{
@@ -379,6 +405,7 @@ func (st *offloadState) OnLinkDelivered(token uint64) {
 	}
 	d := st.dev
 	if token&1 == 0 { // uplink: hand the frame to the batcher
+		st.span.End(spans.StageUplink, d.sched.Now())
 		req := d.srv.AcquireRequest()
 		req.ID = st.frameID
 		req.Tenant = d.cfg.Tenant
@@ -386,12 +413,14 @@ func (st *offloadState) OnLinkDelivered(token uint64) {
 		req.Bytes = st.bytes
 		req.Completer = st
 		req.Token = st.gen
+		req.Span = st.span
 		d.srv.Submit(req)
 		return // uplink ref transfers to the pending server request
 	}
 	// Downlink: result arrived. If the deadline is still pending this
 	// is a success; otherwise the frame was already counted timed out
 	// and the delivery only releases the last reference.
+	st.span.End(spans.StageDownlink, d.sched.Now())
 	n := int8(1)
 	if st.deadline.Cancel() {
 		n++
@@ -405,6 +434,11 @@ func (st *offloadState) OnLinkDelivered(token uint64) {
 func (st *offloadState) OnLinkDropped(token uint64) {
 	if token>>1 != st.gen {
 		return
+	}
+	if token&1 == 0 {
+		st.span.EndDrop(spans.StageUplink, st.dev.sched.Now())
+	} else {
+		st.span.EndDrop(spans.StageDownlink, st.dev.sched.Now())
 	}
 	n := int8(1)
 	if st.deadline.Cancel() {
@@ -444,6 +478,7 @@ func (st *offloadState) CompleteRequest(req *server.Request, res server.Result) 
 		return
 	}
 	// Server ref transfers to the downlink transfer.
+	st.span.Begin(spans.StageDownlink, d.sched.Now(), 0)
 	d.path.Down.SendTo(d.cfg.ResponseBytes, st, st.linkToken(1))
 }
 
@@ -453,6 +488,13 @@ func (st *offloadState) CompleteRequest(req *server.Request, res server.Result) 
 func (d *Device) offload(f frame.Frame) {
 	d.c.OffloadAttempts++
 	st := d.acquireOffload(f)
+	if d.tracer != nil {
+		now := d.sched.Now()
+		st.span = d.tracer.Start(d.cfg.Tenant, f.ID, st.gen, f.CapturedAt)
+		st.span.Point(spans.StageCapture, f.CapturedAt, 0)
+		st.span.Point(spans.StageDecision, now, spans.VerdictOffload)
+		st.span.Begin(spans.StageUplink, now, 0)
+	}
 	st.refs = 2 // armed deadline + in-flight uplink transfer
 	st.deadline = d.sched.AtCall(f.CapturedAt+d.cfg.Deadline, st, st.gen)
 	d.path.Up.SendTo(f.Bytes, st, st.linkToken(0))
@@ -464,14 +506,36 @@ func (d *Device) offload(f frame.Frame) {
 // (bounded at LocalQueueCap elements) so its preallocated backing
 // array is never regrown.
 func (d *Device) local(f frame.Frame) {
+	var sp *spans.Span
+	if d.tracer != nil {
+		now := d.sched.Now()
+		sp = d.tracer.Start(d.cfg.Tenant, f.ID, 0, f.CapturedAt)
+		sp.Point(spans.StageCapture, f.CapturedAt, 0)
+		sp.Point(spans.StageDecision, now, spans.VerdictLocal)
+	}
 	if d.localBusy && len(d.localQueue) >= d.cfg.LocalQueueCap {
 		d.c.LocalDropped++
 		if !d.cfg.DropOldest {
-			return // tail drop: discard the arrival
+			// Tail drop: discard the arrival.
+			if d.tracer != nil {
+				sp.Resolve(d.sched.Now(), spans.VerdictLocalDropped)
+				d.tracer.Finish(sp)
+			}
+			return
 		}
 		d.popLocal() // head drop: evict the stalest
+		if d.tracer != nil {
+			evicted := d.popLocalSpan()
+			evicted.EndDrop(spans.StageLocalQueue, d.sched.Now())
+			evicted.Resolve(d.sched.Now(), spans.VerdictLocalDropped)
+			d.tracer.Finish(evicted)
+		}
 	}
 	d.localQueue = append(d.localQueue, f)
+	if d.tracer != nil {
+		sp.Begin(spans.StageLocalQueue, d.sched.Now(), 0)
+		d.localSpans = append(d.localSpans, sp)
+	}
 	d.pumpLocal()
 }
 
@@ -484,11 +548,27 @@ func (d *Device) popLocal() frame.Frame {
 	return f
 }
 
+// popLocalSpan pops the span mirroring the queue head popLocal just
+// removed. Only called while tracing is on.
+func (d *Device) popLocalSpan() *spans.Span {
+	sp := d.localSpans[0]
+	n := copy(d.localSpans, d.localSpans[1:])
+	d.localSpans[n] = nil
+	d.localSpans = d.localSpans[:n]
+	return sp
+}
+
 func (d *Device) pumpLocal() {
 	if d.localBusy || len(d.localQueue) == 0 {
 		return
 	}
 	d.localCur = d.popLocal()
+	if d.tracer != nil {
+		now := d.sched.Now()
+		d.localCurSpan = d.popLocalSpan()
+		d.localCurSpan.End(spans.StageLocalQueue, now)
+		d.localCurSpan.Begin(spans.StageLocalExec, now, 0)
+	}
 	d.localBusy = true
 	lat := d.cfg.Profile.LocalLatency(d.cfg.Model)
 	if d.rng != nil && d.cfg.LocalJitterRel > 0 {
@@ -506,6 +586,13 @@ func (d *Device) OnSchedEvent(uint64) {
 	d.c.LocalDone++
 	if d.cfg.OnLocalDone != nil {
 		d.cfg.OnLocalDone(d.localCur, d.sched.Now())
+	}
+	if d.tracer != nil {
+		now := d.sched.Now()
+		d.localCurSpan.End(spans.StageLocalExec, now)
+		d.localCurSpan.Resolve(now, spans.VerdictLocalDone)
+		d.tracer.Finish(d.localCurSpan)
+		d.localCurSpan = nil
 	}
 	d.localBusy = false
 	d.pumpLocal()

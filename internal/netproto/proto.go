@@ -57,6 +57,12 @@ type Request struct {
 	// Probe marks heartbeat requests that should not count toward
 	// workload statistics.
 	Probe bool
+	// TraceID, when non-zero, links the request to a device-side
+	// lifecycle span (internal/spans). It travels as an optional
+	// trailing field after the payload: writers omit it when zero, so
+	// untraced traffic is byte-identical to the pre-trace protocol,
+	// and readers accept both lengths.
+	TraceID uint64
 	// Payload is the encoded frame.
 	Payload []byte
 }
@@ -70,10 +76,14 @@ type Response struct {
 	Label int32
 	// BatchSize is the executing batch's size (0 when rejected).
 	BatchSize uint16
+	// TraceID echoes the request's trace identifier (optional
+	// trailing field, omitted when zero — see Request.TraceID).
+	TraceID uint64
 }
 
 const requestFixedLen = 4 + 8 + 1 + 8 + 1 + 4 // stream, frame, model, captured, probe, payloadLen
 const responseLen = 8 + 1 + 4 + 2
+const traceLen = 8 // optional trailing trace ID on either message
 
 // AppendRequest appends one fully framed request message (length
 // prefix included) to buf and returns the extended slice. Callers that
@@ -84,6 +94,9 @@ func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 		return buf, fmt.Errorf("netproto: invalid model %d", int(r.Model))
 	}
 	bodyLen := 2 + requestFixedLen + len(r.Payload)
+	if r.TraceID != 0 {
+		bodyLen += traceLen
+	}
 	buf = growFrame(buf, bodyLen)
 	o := len(buf) - bodyLen
 	buf[o] = Version
@@ -106,6 +119,9 @@ func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 	binary.BigEndian.PutUint32(buf[o:], uint32(len(r.Payload)))
 	o += 4
 	copy(buf[o:], r.Payload)
+	if r.TraceID != 0 {
+		binary.BigEndian.PutUint64(buf[o+len(r.Payload):], r.TraceID)
+	}
 	return buf, nil
 }
 
@@ -113,6 +129,9 @@ func AppendRequest(buf []byte, r *Request) ([]byte, error) {
 // prefix included) to buf and returns the extended slice.
 func AppendResponse(buf []byte, r *Response) []byte {
 	bodyLen := 2 + responseLen
+	if r.TraceID != 0 {
+		bodyLen += traceLen
+	}
 	buf = growFrame(buf, bodyLen)
 	o := len(buf) - bodyLen
 	buf[o] = Version
@@ -129,6 +148,10 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	binary.BigEndian.PutUint32(buf[o:], uint32(r.Label))
 	o += 4
 	binary.BigEndian.PutUint16(buf[o:], r.BatchSize)
+	o += 2
+	if r.TraceID != 0 {
+		binary.BigEndian.PutUint64(buf[o:], r.TraceID)
+	}
 	return buf
 }
 
@@ -216,13 +239,19 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	o++
 	payloadLen := binary.BigEndian.Uint32(body[o:])
 	o += 4
-	if len(body)-o != int(payloadLen) {
+	// The body ends with the payload, optionally followed by an 8-byte
+	// trace ID (absent in pre-trace senders).
+	switch len(body) - o {
+	case int(payloadLen):
+	case int(payloadLen) + traceLen:
+		req.TraceID = binary.BigEndian.Uint64(body[o+int(payloadLen):])
+	default:
 		return nil, ErrTruncated
 	}
 	if !req.Model.Valid() {
 		return nil, fmt.Errorf("netproto: invalid model byte %d", body[6+8])
 	}
-	req.Payload = body[o:]
+	req.Payload = body[o : o+int(payloadLen)]
 	return req, nil
 }
 
@@ -247,5 +276,9 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	res.Label = int32(binary.BigEndian.Uint32(body[o:]))
 	o += 4
 	res.BatchSize = binary.BigEndian.Uint16(body[o:])
+	o += 2
+	if len(body)-o >= traceLen {
+		res.TraceID = binary.BigEndian.Uint64(body[o:])
+	}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/netproto"
 	"repro/internal/rng"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 )
 
 // Reconnection defaults: exponential backoff with jitter between
@@ -71,6 +72,13 @@ type ClientConfig struct {
 	// (an upload that cannot finish within the deadline is already a
 	// timeout). Negative disables it.
 	WriteTimeout time.Duration
+	// Trace enables trace-ID propagation: every non-probe request
+	// carries the frame's deterministic trace ID (see spans.TraceID)
+	// as the protocol's optional trailing field, the server echoes it
+	// back, and extreme latency observations store it as a histogram
+	// exemplar. Off by default; untraced traffic is byte-identical to
+	// the pre-trace protocol.
+	Trace bool
 	// Instruments, when non-nil, receives runtime telemetry (see
 	// NewClientInstruments). Nil disables instrumentation at zero
 	// cost.
@@ -485,6 +493,9 @@ func (c *Client) writeRequest(id uint64, probe bool) error {
 		Probe:            probe,
 		Payload:          c.payload,
 	}
+	if !probe {
+		req.TraceID = c.traceID(id)
+	}
 	var err error
 	c.encBuf, err = netproto.AppendRequest(c.encBuf[:0], req)
 	if err != nil {
@@ -513,6 +524,17 @@ func (c *Client) sendRequest(id uint64) {
 	}
 }
 
+// traceID returns the frame's deterministic trace identifier, or 0
+// when trace propagation is off (probe IDs never get one: they live in
+// a disjoint high-bit ID space that would alias camera frames after
+// the 40-bit mask).
+func (c *Client) traceID(id uint64) uint64 {
+	if !c.cfg.Trace || id >= probeIDBase {
+		return 0
+	}
+	return spans.TraceID(int(c.cfg.Stream), id)
+}
+
 // resolveSendFailure accounts a frame whose send failed as an
 // immediate timeout; a frame already resolved (e.g. swept) is ignored.
 func (c *Client) resolveSendFailure(id uint64) {
@@ -524,7 +546,7 @@ func (c *Client) resolveSendFailure(id uint64) {
 	}
 	delete(c.outstanding, id)
 	c.stats.OffloadTimedOut++
-	c.instr.observeOutcome(OutcomeTimeout, time.Since(sentAt))
+	c.instr.observeOutcome(OutcomeTimeout, time.Since(sentAt), c.traceID(id))
 }
 
 // completeOffload resolves an outstanding frame against its response;
@@ -550,7 +572,7 @@ func (c *Client) completeOffload(id uint64, rejected bool) {
 		c.stats.OffloadTimedOut++
 		status = OutcomeTimeout
 	}
-	c.instr.observeOutcome(status, elapsed)
+	c.instr.observeOutcome(status, elapsed, c.traceID(id))
 }
 
 // receiveLoop matches responses against outstanding frames and checks
@@ -615,7 +637,7 @@ func (c *Client) sweepDeadlines(now time.Time) {
 		if now.Sub(sentAt) > c.cfg.Deadline {
 			delete(c.outstanding, id)
 			c.stats.OffloadTimedOut++
-			c.instr.observeOutcome(OutcomeTimeout, now.Sub(sentAt))
+			c.instr.observeOutcome(OutcomeTimeout, now.Sub(sentAt), c.traceID(id))
 		}
 	}
 	if c.probePending && now.Sub(c.probeSentAt) > c.cfg.Deadline {

@@ -78,8 +78,9 @@ func NewClientInstruments(reg *telemetry.Registry) *ClientInstruments {
 }
 
 // observeOutcome records one resolved offload. Safe on the zero or nil
-// instrument set.
-func (ci *ClientInstruments) observeOutcome(status OutcomeStatus, latency time.Duration) {
+// instrument set. A non-zero traceID is stored as the latency bucket's
+// exemplar, linking the observation to the frame's lifecycle span.
+func (ci *ClientInstruments) observeOutcome(status OutcomeStatus, latency time.Duration, traceID uint64) {
 	if ci == nil {
 		return
 	}
@@ -87,11 +88,11 @@ func (ci *ClientInstruments) observeOutcome(status OutcomeStatus, latency time.D
 	sec := latency.Seconds()
 	switch status {
 	case OutcomeOK:
-		ci.latOK.Observe(sec)
+		ci.latOK.ObserveWithExemplar(sec, traceID)
 	case OutcomeRejected:
-		ci.latRejected.Observe(sec)
+		ci.latRejected.ObserveWithExemplar(sec, traceID)
 	default:
-		ci.latTimeout.Observe(sec)
+		ci.latTimeout.ObserveWithExemplar(sec, traceID)
 	}
 }
 

@@ -357,7 +357,7 @@ func (s *Server) batchLoop() {
 			s.logf("realnet: tenant %d: rejected frame %d (%d shed so far, logging every %d)",
 				tenant, inc.req.FrameID, rejByTenant[tenant], n)
 		}
-		inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+		inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true, TraceID: inc.req.TraceID})
 	}
 
 	startBatch := func() {
@@ -414,7 +414,7 @@ func (s *Server) batchLoop() {
 	// reply() accounts them as dropped when nobody can receive them.
 	rejectAll := func(batch []incoming) {
 		for _, inc := range batch {
-			inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true})
+			inc.reply(&netproto.Response{FrameID: inc.req.FrameID, Rejected: true, TraceID: inc.req.TraceID})
 		}
 	}
 
@@ -435,6 +435,7 @@ func (s *Server) batchLoop() {
 					FrameID:   inc.req.FrameID,
 					Label:     int32(inc.req.FrameID % 1000),
 					BatchSize: n,
+					TraceID:   inc.req.TraceID,
 				})
 			}
 			busy = false

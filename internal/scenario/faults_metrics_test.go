@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/telemetry"
+)
+
+// TestMemberFaultsHitMetrics runs a cluster scenario with
+// member-targeted crash and stall injections and verifies they land in
+// the fault instruments — the injection counter must tick per kind
+// even when a fault addresses a single pool member, and a recovery
+// observation must reach the histogram.
+func TestMemberFaultsHitMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	faults.RegisterMetrics(reg)
+
+	devices := make([]DeviceSpec, 4)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := Run(Config{
+		Seed:       1,
+		Policy:     FrameFeedbackFactory(controller.Config{}),
+		FrameLimit: 900, // 30 s at 30 fps
+		Devices:    devices,
+		Cluster: &ClusterConfig{
+			Members:   make([]ClusterMember, 4),
+			Placement: cluster.PlaceSticky,
+		},
+		Faults: faults.Plan{
+			{Kind: faults.ServerCrash, At: 10 * time.Second,
+				Duration: 5 * time.Second, Server: 2},
+			{Kind: faults.GPUStall, At: 18 * time.Second,
+				Duration: 5 * time.Second, Factor: 3, Server: 1},
+		},
+	})
+	if r.FaultsInjected != 2 {
+		t.Fatalf("faults injected = %d, want 2", r.FaultsInjected)
+	}
+	faults.ObserveRecovery(2.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`framefeedback_faults_injected_total{kind="server_crash"} 1`,
+		`framefeedback_faults_injected_total{kind="gpu_stall"} 1`,
+		`framefeedback_recovery_seconds_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

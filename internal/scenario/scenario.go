@@ -23,6 +23,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 	"repro/internal/workload"
 )
 
@@ -169,6 +170,13 @@ type Config struct {
 	// OnFault, when non-nil, observes every injection start
 	// (cleared=false) and clear (cleared=true).
 	OnFault func(in faults.Injection, cleared bool)
+	// Trace, when non-nil, records a lifecycle span for every frame of
+	// every device (see internal/spans). The tracer consumes no
+	// randomness and schedules no events, so a traced run's outputs
+	// are byte-identical to the untraced run's; it also receives the
+	// run's fault windows and is dumped (flight recorder) when the
+	// invariant checker trips.
+	Trace *spans.Tracer
 	// OnOffload, when non-nil, observes every resolved offload of
 	// the measured device — plug a trace.Recorder's Hook here.
 	OnOffload func(device.OffloadOutcome)
@@ -492,6 +500,7 @@ func Run(cfg Config) *Result {
 			Deadline:       cfg.Deadline,
 			Tenant:         i,
 			ExpectedFrames: cfg.FrameLimit,
+			Tracer:         cfg.Trace,
 		}
 		if i == 0 {
 			devCfg.OnOffload = cfg.OnOffload
@@ -540,6 +549,21 @@ func Run(cfg Config) *Result {
 				}
 			},
 			OnFault: cfg.OnFault,
+		}
+		if cfg.Trace != nil {
+			// Teach the tracer about fault windows (span annotation,
+			// DumpOnFault) without displacing the caller's observer.
+			tr, user := cfg.Trace, hooks.OnFault
+			hooks.OnFault = func(in faults.Injection, cleared bool) {
+				target := in.Server
+				if in.Kind == faults.LinkPartition {
+					target = in.Device
+				}
+				tr.OnFault(in.Kind.String(), target, sched.Now(), cleared)
+				if user != nil {
+					user(in, cleared)
+				}
+			}
 		}
 		if cl != nil {
 			// Member-targeted injections: an index beyond the pool is
@@ -755,6 +779,9 @@ func Run(cfg Config) *Result {
 				Submitted: st.Submitted, Completed: st.Completed,
 				Rejected: st.Rejected, Dropped: st.Dropped,
 			}, tenSnaps); err != nil {
+				// Flight recorder: give the failure a causal record of
+				// the frames in and around the violation.
+				cfg.Trace.Dump("invariant violation: " + err.Error())
 				panic(err)
 			}
 		}

@@ -1,0 +1,244 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/parfan"
+	"repro/internal/simnet"
+	"repro/internal/spans"
+)
+
+// slowNet is a constant-conditions schedule slow enough that offloads
+// queue behind the link and miss the 250 ms deadline, while responses
+// still come back eventually — the late-downlink shape.
+func slowNet(mbps float64) simnet.Schedule {
+	return simnet.Schedule{{Start: 0, Cond: simnet.Conditions{
+		BandwidthBps: simnet.Mbps(mbps),
+		PropDelay:    5 * time.Millisecond,
+	}}}
+}
+
+// TestTracingDoesNotPerturbRun is the determinism acceptance check at
+// test scale: the same config with and without a tracer attached must
+// produce byte-identical result tables.
+func TestTracingDoesNotPerturbRun(t *testing.T) {
+	base := NetworkExperiment(FrameFeedbackFactory(controller.Config{}))
+	base.FrameLimit = 900
+
+	plain := Run(base)
+	traced := base
+	traced.Trace = spans.New(spans.Options{KeepAll: true})
+	withTrace := Run(traced)
+
+	var b1, b2 bytes.Buffer
+	if err := plain.Table().WriteCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := withTrace.Table().WriteCSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("traced run's table differs from untraced run's")
+	}
+	tr := traced.Trace
+	if tr.Started() == 0 {
+		t.Fatal("tracer saw no spans")
+	}
+	if got := tr.Completed() + uint64(len(tr.InFlight())); got != tr.Started() {
+		t.Fatalf("started %d != completed %d + in-flight %d",
+			tr.Started(), tr.Completed(), len(tr.InFlight()))
+	}
+}
+
+// TestTraceCriticalPathContiguity: for every successfully offloaded
+// frame the transfer stages tile the capture→resolve interval exactly —
+// each stage's end instant is the next stage's start instant — so the
+// per-stage sum reproduces the recorded end-to-end latency.
+func TestTraceCriticalPathContiguity(t *testing.T) {
+	tr := spans.New(spans.Options{KeepAll: true})
+	cfg := NetworkExperiment(FrameFeedbackFactory(controller.Config{}))
+	cfg.FrameLimit = 900
+	cfg.Trace = tr
+	Run(cfg)
+
+	checked := 0
+	for _, rec := range tr.Records() {
+		if rec.Status != spans.VerdictOK {
+			continue
+		}
+		checked++
+		if rec.CriticalPathSum() != rec.Latency() {
+			t.Fatalf("frame %d (tenant %d): stage sum %v != latency %v\nstages: %+v",
+				rec.FrameID, rec.Tenant, rec.CriticalPathSum(), rec.Latency(),
+				rec.Stages[:rec.N])
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no successful offloads to check")
+	}
+}
+
+// TestTraceLateDownlinkAfterDeadlineMiss: a frame swept at the deadline
+// resolves as a timeout, but its pooled state stays referenced until
+// the response lands — the span must show the downlink stage closing
+// after the resolve instant.
+func TestTraceLateDownlinkAfterDeadlineMiss(t *testing.T) {
+	tr := spans.New(spans.Options{KeepAll: true})
+	r := Run(Config{
+		Seed:       5,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 300,
+		Devices:    []DeviceSpec{{Profile: models.Pi4B14()}},
+		Network:    slowNet(2),
+		Trace:      tr,
+		Drain:      5 * time.Second,
+	})
+	if r.Device.OffloadTimedOut == 0 {
+		t.Fatal("slow network produced no timeouts")
+	}
+	late := 0
+	for _, rec := range tr.Records() {
+		if rec.Status != spans.VerdictTimeout {
+			continue
+		}
+		for i := 0; i < rec.N; i++ {
+			st := rec.Stages[i]
+			if st.Kind == spans.StageDownlink && st.End > rec.Resolved {
+				late++
+			}
+		}
+	}
+	if late == 0 {
+		t.Fatal("no timed-out span recorded a downlink completing after resolve")
+	}
+}
+
+// TestTraceCrashDropsInFlight: a member crash resolves the frames it
+// was holding — their spans must carry a dropped queue or batch stage,
+// and the tracer must have observed the fault window open and close.
+func TestTraceCrashDropsInFlight(t *testing.T) {
+	tr := spans.New(spans.Options{KeepAll: true})
+	devices := make([]DeviceSpec, 4)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	// Slow members keep a batch executing and a queue standing, so the
+	// crash instant catches frames mid-lifecycle.
+	slow := &models.GPUProfile{
+		Name: "slow-sim",
+		Curves: map[models.Model]models.BatchCurve{
+			models.MobileNetV3Small: {Setup: 80 * time.Millisecond, PerItem: 8 * time.Millisecond},
+		},
+	}
+	members := make([]ClusterMember, 4)
+	for i := range members {
+		members[i] = ClusterMember{GPU: slow}
+	}
+	Run(Config{
+		Seed:       1,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 900,
+		Devices:    devices,
+		Cluster: &ClusterConfig{
+			Members:   members,
+			Placement: cluster.PlaceSticky,
+		},
+		Faults: faults.Plan{{
+			Kind: faults.ServerCrash, At: 10 * time.Second,
+			Duration: 10 * time.Second, Server: 2,
+		}},
+		Trace: tr,
+	})
+	ws := tr.Faults()
+	if len(ws) != 1 || ws[0].Kind != "server_crash" || ws[0].Target != 2 {
+		t.Fatalf("fault windows = %+v", ws)
+	}
+	if ws[0].End == 0 {
+		t.Fatal("crash window never closed")
+	}
+	dropped := 0
+	for _, rec := range tr.Records() {
+		for i := 0; i < rec.N; i++ {
+			st := rec.Stages[i]
+			if st.Arg == spans.ArgDropped &&
+				(st.Kind == spans.StageServerQueue || st.Kind == spans.StageBatch) {
+				dropped++
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("crash dropped no traced queue/batch stages")
+	}
+}
+
+// TestTraceShedBeforeAdmit: admission-controlled rejections happen
+// before the frame ever queues — the span records a zero-length,
+// dropped server-queue stage and resolves rejected.
+func TestTraceShedBeforeAdmit(t *testing.T) {
+	tr := spans.New(spans.Options{KeepAll: true})
+	devices := make([]DeviceSpec, 4)
+	for i := range devices {
+		devices[i] = DeviceSpec{Profile: models.Pi4B14()}
+	}
+	r := Run(Config{
+		Seed:       2,
+		Policy:     AlwaysOffloadFactory(),
+		FrameLimit: 600,
+		Devices:    devices,
+		AdmitCap:   2,
+		Trace:      tr,
+	})
+	if r.Device.OffloadRejected == 0 {
+		t.Fatal("admission cap rejected nothing")
+	}
+	shed := 0
+	for _, rec := range tr.Records() {
+		if rec.Status != spans.VerdictRejected {
+			continue
+		}
+		for i := 0; i < rec.N; i++ {
+			st := rec.Stages[i]
+			if st.Kind == spans.StageServerQueue && st.Start == st.End && st.Arg == spans.ArgDropped {
+				shed++
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no rejected span carries the shed-before-admit marker")
+	}
+}
+
+// TestTraceReplicationByteIdentical: the same seed traced by eight
+// parfan workers, each with its own tracer, yields identical span
+// logs — tracing shares no state across workers and reads no wall
+// clock, so concurrency cannot leak into the records.
+func TestTraceReplicationByteIdentical(t *testing.T) {
+	logs := parfan.MapN(8, 8, func(int) []spans.Record {
+		tr := spans.New(spans.Options{KeepAll: true})
+		cfg := NetworkExperiment(AlwaysOffloadFactory())
+		cfg.FrameLimit = 600
+		cfg.Trace = tr
+		Run(cfg)
+		return tr.Records()
+	})
+	want := logs[0]
+	if len(want) == 0 {
+		t.Fatal("empty span log")
+	}
+	for w := 1; w < len(logs); w++ {
+		if len(logs[w]) != len(want) {
+			t.Fatalf("worker %d recorded %d spans, worker 0 %d", w, len(logs[w]), len(want))
+		}
+		for i := range want {
+			if logs[w][i] != want[i] {
+				t.Fatalf("worker %d span %d differs:\n%+v\nvs\n%+v", w, i, logs[w][i], want[i])
+			}
+		}
+	}
+}

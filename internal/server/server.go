@@ -20,6 +20,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/rng"
 	"repro/internal/simtime"
+	"repro/internal/spans"
 )
 
 // DefaultMaxBatch is the paper's batch size limit (§IV-A).
@@ -106,6 +107,12 @@ type Request struct {
 	// Token is caller state echoed back through CompleteRequest —
 	// typically a generation tag guarding a pooled completer.
 	Token uint64
+	// Span, when non-nil, is the submitting frame's lifecycle span;
+	// the server stamps queue/batch stages onto it. The span's
+	// lifetime is owned by the submitter (the device's pooled offload
+	// state), never by the server — recycling a request merely drops
+	// the pointer.
+	Span *spans.Span
 
 	submittedAt simtime.Time
 }
@@ -508,8 +515,18 @@ func (s *Server) SetSlowdown(factor float64) {
 	s.slowdown = factor
 }
 
+// Slowdown returns the current batch-time scale factor: 0 or 1 at
+// nominal speed, >1 while a GPU stall or thermal throttle is in force.
+func (s *Server) Slowdown() float64 { return s.slowdown }
+
+// Shed returns the configured overflow policy.
+func (s *Server) Shed() ShedPolicy { return s.cfg.Shed }
+
 // crashOne resolves one request lost to a crash per the crash policy.
 func (s *Server) crashOne(r *Request, now simtime.Time) {
+	// At most one of these stages is open; the other calls no-op.
+	r.Span.EndDrop(spans.StageServerQueue, now)
+	r.Span.EndDrop(spans.StageBatch, now)
 	if s.cfg.Crash == CrashReject {
 		s.stats.Rejected++
 		s.tenant(r.Tenant).Rejected++
@@ -571,9 +588,13 @@ func (s *Server) Submit(req *Request) {
 	if s.cfg.AdmitCap > 0 && len(s.queues[req.Model]) >= s.cfg.AdmitCap {
 		s.stats.Rejected++
 		s.tenant(req.Tenant).Rejected++
+		// Shed before admission: a zero-length queue stage marked
+		// dropped records that the request never waited.
+		req.Span.Point(spans.StageServerQueue, req.submittedAt, spans.ArgDropped)
 		s.finish(req, Result{Status: StatusRejected, FinishedAt: s.sched.Now()})
 		return
 	}
+	req.Span.Begin(spans.StageServerQueue, req.submittedAt, 0)
 	s.queues[req.Model] = append(s.queues[req.Model], req)
 	if !s.busy {
 		s.startBatch()
@@ -609,11 +630,16 @@ func (s *Server) startBatch() {
 	s.batch = append(s.batch[:0], batch...)
 	take := len(s.batch)
 	now := s.sched.Now()
+	for _, r := range s.batch {
+		r.Span.End(spans.StageServerQueue, now)
+		r.Span.Begin(spans.StageBatch, now, int32(take))
+	}
 	// Reject the overflow immediately: the device learns of
 	// saturation as fast as the network returns the rejection.
 	for _, r := range rejected {
 		s.stats.Rejected++
 		s.tenant(r.Tenant).Rejected++
+		r.Span.EndDrop(spans.StageServerQueue, now)
 		s.finish(r, Result{
 			Status:     StatusRejected,
 			FinishedAt: now,
@@ -653,6 +679,7 @@ func (s *Server) OnSchedEvent(uint64) {
 		s.batch[i] = nil
 		s.stats.Completed++
 		s.tenant(r.Tenant).Completed++
+		r.Span.End(spans.StageBatch, done)
 		s.finish(r, Result{
 			Status:     StatusOK,
 			FinishedAt: done,

@@ -1,0 +1,76 @@
+package spans
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a flight-recorder snapshot — the last Ring completed
+// spans plus every in-flight span, with the fault windows observed so
+// far — to the tracer's dump writer. It is called automatically when
+// the invariant checker trips or (with DumpOnFault) a fault fires,
+// and may be called manually for ad-hoc post-mortems.
+func (t *Tracer) Dump(reason string) {
+	if t == nil || t.opt.DumpTo == nil {
+		return
+	}
+	t.dumps++
+	w := t.opt.DumpTo
+	fmt.Fprintf(w, "== spans flight recorder: %s\n", reason)
+	fmt.Fprintf(w, "   spans started=%d completed=%d in-flight=%d truncated=%d\n",
+		t.started, t.completed, t.started-t.completed, t.truncated)
+	if len(t.faults) > 0 {
+		fmt.Fprintf(w, "   fault windows:\n")
+		for _, fw := range t.faults {
+			end := "open"
+			if fw.End != 0 {
+				end = fw.End.String()
+			}
+			fmt.Fprintf(w, "     %s target=%d [%v, %s)\n", fw.Kind, fw.Target, fw.Start, end)
+		}
+	}
+	ring := t.RingRecords()
+	fmt.Fprintf(w, "   last %d completed spans:\n", len(ring))
+	for i := range ring {
+		writeRecord(w, &ring[i], "     ")
+	}
+	inflight := t.InFlight()
+	fmt.Fprintf(w, "   %d in-flight spans:\n", len(inflight))
+	for i := range inflight {
+		writeRecord(w, &inflight[i], "     ")
+	}
+}
+
+// writeRecord renders one span as a single line: identity, outcome,
+// then the stage chain with durations.
+func writeRecord(w io.Writer, r *Record, indent string) {
+	status := "unresolved"
+	if r.Status >= 0 {
+		status = VerdictString(r.Status)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%strace=%#x tenant=%d frame=%d gen=%d %s captured=%v",
+		indent, r.TraceID, r.Tenant, r.FrameID, r.Gen, status, r.Captured)
+	for i := 0; i < r.N; i++ {
+		st := &r.Stages[i]
+		switch {
+		case st.Kind == StageDecision || st.Kind == StageResolve:
+			fmt.Fprintf(&b, " | %s=%s", st.Kind, VerdictString(st.Arg))
+		case st.Kind == StageCapture:
+			// Identity line already carries the capture instant.
+		case st.Open():
+			fmt.Fprintf(&b, " | %s=open", st.Kind)
+		case st.Arg == ArgDropped:
+			fmt.Fprintf(&b, " | %s=%v(dropped)", st.Kind, st.Dur())
+		case st.Kind == StageBatch:
+			fmt.Fprintf(&b, " | %s=%v(n=%d)", st.Kind, st.Dur(), st.Arg)
+		case st.Kind == StageDispatch:
+			fmt.Fprintf(&b, " | %s=m%d", st.Kind, st.Arg)
+		default:
+			fmt.Fprintf(&b, " | %s=%v", st.Kind, st.Dur())
+		}
+	}
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}

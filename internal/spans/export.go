@@ -1,0 +1,271 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// JSONLSchema is the schema marker in the JSONL header line; bump on
+// incompatible format changes.
+const JSONLSchema = "framefeedback-spans/1"
+
+// Meta identifies the run an export came from.
+type Meta struct {
+	Seed     uint64 `json:"seed"`
+	Scenario string `json:"scenario"`
+}
+
+// jsonlHeader is the first line of a spans JSONL file.
+type jsonlHeader struct {
+	Schema   string `json:"schema"`
+	Seed     uint64 `json:"seed"`
+	Scenario string `json:"scenario"`
+	Spans    int    `json:"spans"`
+}
+
+// jsonStage is the wire form of a Stage.
+type jsonStage struct {
+	Stage  string  `json:"stage"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Arg    int32   `json:"arg,omitempty"`
+}
+
+// jsonSpan is the wire form of a Record.
+type jsonSpan struct {
+	TraceID  uint64      `json:"trace_id"`
+	Tenant   int         `json:"tenant"`
+	FrameID  uint64      `json:"frame"`
+	Status   string      `json:"status"`
+	Captured float64     `json:"captured_s"`
+	Latency  float64     `json:"latency_s"`
+	Stages   []jsonStage `json:"stages"`
+	Faults   []string    `json:"faults,omitempty"`
+}
+
+func toJSONSpan(r *Record, t *Tracer) jsonSpan {
+	status := "unresolved"
+	if r.Status >= 0 {
+		status = VerdictString(r.Status)
+	}
+	js := jsonSpan{
+		TraceID:  r.TraceID,
+		Tenant:   r.Tenant,
+		FrameID:  r.FrameID,
+		Status:   status,
+		Captured: r.Captured.Seconds(),
+		Latency:  r.Latency().Seconds(),
+		Stages:   make([]jsonStage, 0, r.N),
+	}
+	for i := 0; i < r.N; i++ {
+		st := &r.Stages[i]
+		js.Stages = append(js.Stages, jsonStage{
+			Stage:  st.Kind.String(),
+			StartS: st.Start.Seconds(),
+			EndS:   st.End.Seconds(),
+			Arg:    st.Arg,
+		})
+	}
+	for _, fw := range t.FaultsOver(r.Captured, r.Resolved) {
+		js.Faults = append(js.Faults, fw.Kind)
+	}
+	return js
+}
+
+// WriteJSONL exports every completed span (KeepAll mode), one JSON
+// object per line, preceded by a versioned header line carrying the
+// run's seed and scenario name.
+func (t *Tracer) WriteJSONL(w io.Writer, meta Meta) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{
+		Schema:   JSONLSchema,
+		Seed:     meta.Seed,
+		Scenario: meta.Scenario,
+		Spans:    len(t.done),
+	}); err != nil {
+		return err
+	}
+	for i := range t.done {
+		js := toJSONSpan(&t.done[i], t)
+		if err := enc.Encode(&js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace-event (the JSON Object Format that
+// both chrome://tracing and Perfetto load). Complete events ("X")
+// carry a microsecond timestamp and duration; metadata events ("M")
+// name the process/thread tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WriteChromeTrace exports every completed span as Chrome trace-event
+// JSON: pid = tenant (one process track per device), tid = frame (one
+// thread track per frame), one complete event per stage plus an
+// envelope event spanning capture→resolve. Load the file at
+// ui.perfetto.dev or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	tenants := map[int]bool{}
+	for i := range t.done {
+		r := &t.done[i]
+		if !tenants[r.Tenant] {
+			tenants[r.Tenant] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: r.Tenant,
+				Args: map[string]any{"name": fmt.Sprintf("device %d", r.Tenant)},
+			})
+		}
+		status := "unresolved"
+		if r.Status >= 0 {
+			status = VerdictString(r.Status)
+		}
+		end := r.Resolved
+		for i := 0; i < r.N; i++ {
+			if st := &r.Stages[i]; st.End > end {
+				end = st.End
+			}
+		}
+		args := map[string]any{
+			"trace_id": r.TraceID,
+			"status":   status,
+		}
+		if fw := t.FaultsOver(r.Captured, end); len(fw) > 0 {
+			kinds := make([]string, 0, len(fw))
+			for _, f := range fw {
+				kinds = append(kinds, f.Kind)
+			}
+			args["faults"] = kinds
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "frame " + status, Ph: "X",
+			Ts:  r.Captured.Seconds() * usPerSec,
+			Dur: time.Duration(end - r.Captured).Seconds() * usPerSec,
+			Pid: r.Tenant, Tid: r.FrameID, Args: args,
+		})
+		for i := 0; i < r.N; i++ {
+			st := &r.Stages[i]
+			ev := chromeEvent{
+				Name: st.Kind.String(), Ph: "X",
+				Ts:  st.Start.Seconds() * usPerSec,
+				Dur: st.Dur().Seconds() * usPerSec,
+				Pid: r.Tenant, Tid: r.FrameID,
+			}
+			switch st.Kind {
+			case StageDecision, StageResolve:
+				ev.Args = map[string]any{"verdict": VerdictString(st.Arg)}
+			case StageBatch:
+				ev.Args = map[string]any{"batch_size": st.Arg}
+			case StageDispatch:
+				ev.Args = map[string]any{"member": st.Arg}
+			default:
+				if st.Arg == ArgDropped {
+					ev.Args = map[string]any{"dropped": true}
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// StageStats is the per-stage latency summary of a span population.
+type StageStats struct {
+	Kind  StageKind
+	Count int
+	P50   time.Duration
+	P99   time.Duration
+	Mean  time.Duration
+}
+
+// Breakdown computes the per-stage critical-path summary over the
+// records: for each transfer stage that appears, the p50/p99/mean
+// duration across the spans that recorded it, plus an "end-to-end"
+// pseudo-stage (Kind = numStageKinds) over resolved spans. Stage
+// order follows the frame's path through the system.
+func Breakdown(recs []Record) []StageStats {
+	var out []StageStats
+	durs := make([]time.Duration, 0, len(recs))
+	for _, k := range transferKinds {
+		durs = durs[:0]
+		for i := range recs {
+			if d := recs[i].StageDur(k); d > 0 {
+				durs = append(durs, d)
+			}
+		}
+		if len(durs) == 0 {
+			continue
+		}
+		out = append(out, stageStats(k, durs))
+	}
+	durs = durs[:0]
+	for i := range recs {
+		if recs[i].Status >= 0 && recs[i].Resolved > recs[i].Captured {
+			durs = append(durs, recs[i].Latency())
+		}
+	}
+	if len(durs) > 0 {
+		out = append(out, stageStats(EndToEnd, durs))
+	}
+	return out
+}
+
+// EndToEnd is the pseudo-StageKind Breakdown uses for the whole-path
+// latency row.
+const EndToEnd = numStageKinds
+
+func stageStats(k StageKind, durs []time.Duration) StageStats {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return StageStats{
+		Kind:  k,
+		Count: len(sorted),
+		P50:   percentile(sorted, 0.50),
+		P99:   percentile(sorted, 0.99),
+		Mean:  sum / time.Duration(len(sorted)),
+	}
+}
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

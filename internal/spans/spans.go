@@ -1,0 +1,559 @@
+// Package spans is the frame-lifecycle tracing layer: a pooled,
+// deterministic, zero-overhead-when-off span recorder that captures
+// every stage a frame passes through — capture, the local-vs-offload
+// decision, uplink transfer, cluster dispatch, server queueing, batch
+// execution, downlink, and the terminal resolution — as typed stage
+// records keyed by the same generation-tagged tokens that guard the
+// pooled hot-path state (DESIGN.md §9).
+//
+// Design constraints, in order:
+//
+//   - Determinism. A Tracer consumes no randomness and schedules no
+//     events; every timestamp is read from the scheduler at a callback
+//     that already existed. Attaching a tracer to a run therefore
+//     cannot perturb it: the traced run's outputs are byte-identical
+//     to the untraced run's.
+//   - Zero overhead when off. All Span and Tracer methods are no-ops
+//     on nil receivers, so the instrumented hot paths carry only a nil
+//     check and no allocations (fenced by BenchmarkSpanPath).
+//   - Bounded allocations when on. Spans are pooled on a free list
+//     and stages live in a fixed-size array; a steady-state traced
+//     frame allocates nothing beyond the completed-record log the
+//     caller asked to keep.
+//
+// The package also provides the flight recorder — a bounded ring of
+// the most recently completed spans plus the live in-flight set,
+// dumped automatically when the invariant checker trips or a fault
+// fires — and two exporters: self-describing JSONL and Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev).
+package spans
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// StageKind enumerates the lifecycle stages a frame can pass through.
+// Duration stages have distinct Start/End instants; point stages
+// record a single instant (End == Start).
+type StageKind uint8
+
+const (
+	// StageCapture is the frame's arrival from the camera (point).
+	StageCapture StageKind = iota
+	// StageDecision is the splitter's verdict (point); Arg is a
+	// Verdict value.
+	StageDecision
+	// StageLocalQueue is time spent waiting for the local worker.
+	StageLocalQueue
+	// StageLocalExec is local inference execution.
+	StageLocalExec
+	// StageUplink is the device→server(-or-dispatcher) transfer.
+	StageUplink
+	// StageDispatch is the cluster placement decision (point); Arg is
+	// the chosen member index.
+	StageDispatch
+	// StageClusterUplink is the dispatcher→member backhaul transfer.
+	StageClusterUplink
+	// StageServerQueue is time in the server's model queue before
+	// batch formation.
+	StageServerQueue
+	// StageBatch is batch execution on the GPU; Arg is the batch size.
+	StageBatch
+	// StageClusterDownlink is the member→dispatcher return transfer.
+	StageClusterDownlink
+	// StageDownlink is the server→device result transfer.
+	StageDownlink
+	// StageResolve is the terminal outcome (point); Arg is a Verdict.
+	StageResolve
+
+	numStageKinds
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case StageCapture:
+		return "capture"
+	case StageDecision:
+		return "decision"
+	case StageLocalQueue:
+		return "local-queue"
+	case StageLocalExec:
+		return "local-exec"
+	case StageUplink:
+		return "uplink"
+	case StageDispatch:
+		return "dispatch"
+	case StageClusterUplink:
+		return "cluster-uplink"
+	case StageServerQueue:
+		return "server-queue"
+	case StageBatch:
+		return "batch"
+	case StageClusterDownlink:
+		return "cluster-downlink"
+	case StageDownlink:
+		return "downlink"
+	case StageResolve:
+		return "resolve"
+	case EndToEnd:
+		return "end-to-end"
+	default:
+		return "stage?"
+	}
+}
+
+// Verdict values carried in StageDecision and StageResolve Args.
+const (
+	VerdictOffload int32 = iota
+	VerdictLocal
+	VerdictOK
+	VerdictTimeout
+	VerdictRejected
+	VerdictLocalDone
+	VerdictLocalDropped
+)
+
+// VerdictString renders a decision/resolve Arg.
+func VerdictString(v int32) string {
+	switch v {
+	case VerdictOffload:
+		return "offload"
+	case VerdictLocal:
+		return "local"
+	case VerdictOK:
+		return "ok"
+	case VerdictTimeout:
+		return "timeout"
+	case VerdictRejected:
+		return "rejected"
+	case VerdictLocalDone:
+		return "local-done"
+	case VerdictLocalDropped:
+		return "local-dropped"
+	default:
+		return "verdict?"
+	}
+}
+
+// ArgDropped marks a duration stage that ended in a transfer drop or
+// crash rather than a normal hand-off.
+const ArgDropped int32 = -1
+
+// Stage is one typed lifecycle record. A duration stage with End == 0
+// is still open (its hand-off has not happened yet).
+type Stage struct {
+	Start simtime.Time
+	End   simtime.Time
+	Arg   int32
+	Kind  StageKind
+}
+
+// Open reports whether the stage has begun but not ended.
+func (s Stage) Open() bool { return s.End == 0 && s.Kind != StageCapture && s.Kind != StageDecision && s.Kind != StageResolve && s.Kind != StageDispatch }
+
+// Dur returns the stage duration (zero for points and open stages).
+func (s Stage) Dur() time.Duration {
+	if s.End <= s.Start {
+		return 0
+	}
+	return time.Duration(s.End - s.Start)
+}
+
+// MaxStages bounds the per-span stage array. A frame's lifecycle
+// visits each kind at most once, so the full device→cluster→server
+// round trip fits with room to spare.
+const MaxStages = 12
+
+// Record is the exportable value of one frame's span. TraceID is a
+// deterministic function of (tenant, frame): tenant<<40 | frame.
+type Record struct {
+	TraceID  uint64
+	Tenant   int
+	FrameID  uint64
+	Gen      uint64
+	Captured simtime.Time
+	Resolved simtime.Time
+	Status   int32 // Verdict at resolve; -1 while unresolved
+	N        int
+	Stages   [MaxStages]Stage
+}
+
+// TraceID builds the deterministic trace identifier for a frame.
+func TraceID(tenant int, frameID uint64) uint64 {
+	return uint64(tenant)<<40 | frameID&(1<<40-1)
+}
+
+// StageDur returns the recorded duration of the first stage of the
+// kind (0 when absent or open).
+func (r *Record) StageDur(k StageKind) time.Duration {
+	for i := 0; i < r.N; i++ {
+		if r.Stages[i].Kind == k {
+			return r.Stages[i].Dur()
+		}
+	}
+	return 0
+}
+
+// Latency returns the end-to-end time from capture to resolution.
+func (r *Record) Latency() time.Duration {
+	if r.Resolved < r.Captured {
+		return 0
+	}
+	return time.Duration(r.Resolved - r.Captured)
+}
+
+// transferKinds are the duration stages that partition an offloaded
+// frame's budget end to end.
+var transferKinds = [...]StageKind{
+	StageUplink, StageClusterUplink, StageServerQueue,
+	StageBatch, StageClusterDownlink, StageDownlink,
+}
+
+// CriticalPathSum returns the summed duration of the transfer stages —
+// for a successfully offloaded frame this must equal Latency exactly,
+// because each stage's end instant is the next stage's start instant.
+func (r *Record) CriticalPathSum() time.Duration {
+	var sum time.Duration
+	for _, k := range transferKinds {
+		sum += r.StageDur(k)
+	}
+	return sum
+}
+
+// Span is the live, pooled tracing state for one in-flight frame. All
+// methods are safe on a nil receiver (no-ops), so instrumented code
+// needs no tracing-enabled branches.
+type Span struct {
+	Record
+	prev, next *Span // in-flight list / free list linkage
+	onList     bool
+}
+
+// Point records an instantaneous stage.
+func (s *Span) Point(k StageKind, at simtime.Time, arg int32) {
+	if s == nil || s.N >= MaxStages {
+		return
+	}
+	s.Stages[s.N] = Stage{Kind: k, Start: at, End: at, Arg: arg}
+	s.N++
+}
+
+// Begin opens a duration stage at the instant.
+func (s *Span) Begin(k StageKind, at simtime.Time, arg int32) {
+	if s == nil || s.N >= MaxStages {
+		return
+	}
+	s.Stages[s.N] = Stage{Kind: k, Start: at, Arg: arg}
+	s.N++
+}
+
+// End closes the most recent open stage of the kind at the instant.
+// Ending a stage that was never begun is a no-op, so callers on
+// alternate code paths need no bookkeeping.
+func (s *Span) End(k StageKind, at simtime.Time) {
+	if s == nil {
+		return
+	}
+	for i := s.N - 1; i >= 0; i-- {
+		if s.Stages[i].Kind == k && s.Stages[i].End == 0 {
+			s.Stages[i].End = at
+			return
+		}
+	}
+}
+
+// EndDrop closes the most recent open stage of the kind and marks it
+// dropped (the transfer was abandoned or the server crashed under it).
+func (s *Span) EndDrop(k StageKind, at simtime.Time) {
+	if s == nil {
+		return
+	}
+	for i := s.N - 1; i >= 0; i-- {
+		if s.Stages[i].Kind == k && s.Stages[i].End == 0 {
+			s.Stages[i].End = at
+			s.Stages[i].Arg = ArgDropped
+			return
+		}
+	}
+}
+
+// Resolve records the terminal outcome (first caller wins, matching
+// the device's idempotent finish).
+func (s *Span) Resolve(at simtime.Time, verdict int32) {
+	if s == nil || s.Status >= 0 {
+		return
+	}
+	s.Status = verdict
+	s.Resolved = at
+	s.Point(StageResolve, at, verdict)
+}
+
+// FaultWindow is one fault injection observed during a traced run,
+// for annotating exported spans with the faults active over their
+// lifetime. End is 0 while the window is still open.
+type FaultWindow struct {
+	Kind   string
+	Start  simtime.Time
+	End    simtime.Time
+	Target int
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// KeepAll retains every completed span for export and analysis;
+	// off, only the flight-recorder ring survives completion.
+	KeepAll bool
+	// Cap pre-sizes the completed log (KeepAll) so a bounded run never
+	// regrows it.
+	Cap int
+	// Ring is the flight-recorder depth (completed spans retained for
+	// post-mortem dumps); default 256, <0 disables the ring.
+	Ring int
+	// DumpTo receives flight-recorder dumps; default os.Stderr.
+	DumpTo io.Writer
+	// DumpOnFault dumps the flight recorder at every fault injection
+	// (clears never dump).
+	DumpOnFault bool
+}
+
+// DefaultRing is the default flight-recorder depth.
+const DefaultRing = 256
+
+// Tracer records spans for one run. It is single-threaded, like every
+// simulation component: one Tracer per scenario run. A nil *Tracer is
+// a valid, fully disabled tracer.
+type Tracer struct {
+	opt  Options
+	free *Span
+
+	// inflight is the live span list in Start order (deterministic
+	// dump iteration).
+	inflight, inflightTail *Span
+
+	done []Record // completed spans (KeepAll)
+
+	ring     []Record // flight-recorder ring of completed spans
+	ringNext int
+	ringFull bool
+
+	faults []FaultWindow
+
+	started   uint64
+	completed uint64
+	truncated uint64 // spans that overflowed MaxStages
+	dumps     uint64
+}
+
+// New builds a tracer.
+func New(opt Options) *Tracer {
+	if opt.Ring == 0 {
+		opt.Ring = DefaultRing
+	}
+	if opt.DumpTo == nil {
+		opt.DumpTo = os.Stderr
+	}
+	t := &Tracer{opt: opt}
+	if opt.Ring > 0 {
+		t.ring = make([]Record, opt.Ring)
+	}
+	if opt.KeepAll && opt.Cap > 0 {
+		t.done = make([]Record, 0, opt.Cap)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a span for a frame. Returns nil on a nil tracer, so the
+// caller's stored span pointer stays nil-safe throughout.
+func (t *Tracer) Start(tenant int, frameID, gen uint64, capturedAt simtime.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.free
+	if s == nil {
+		s = &Span{}
+	} else {
+		t.free = s.next
+	}
+	s.Record = Record{
+		TraceID:  TraceID(tenant, frameID),
+		Tenant:   tenant,
+		FrameID:  frameID,
+		Gen:      gen,
+		Captured: capturedAt,
+		Status:   -1,
+	}
+	s.prev, s.next = nil, nil
+	// Append to the in-flight list tail.
+	s.onList = true
+	if t.inflightTail == nil {
+		t.inflight, t.inflightTail = s, s
+	} else {
+		s.prev = t.inflightTail
+		t.inflightTail.next = s
+		t.inflightTail = s
+	}
+	t.started++
+	return s
+}
+
+// Finish retires a span: its record is archived (ring and, under
+// KeepAll, the completed log) and the span returns to the free list.
+// The pointer must not be used afterwards. Finishing a nil span is a
+// no-op.
+func (t *Tracer) Finish(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	if s.N >= MaxStages {
+		t.truncated++
+	}
+	t.completed++
+	if t.opt.KeepAll {
+		t.done = append(t.done, s.Record)
+	}
+	if len(t.ring) > 0 {
+		t.ring[t.ringNext] = s.Record
+		t.ringNext++
+		if t.ringNext == len(t.ring) {
+			t.ringNext = 0
+			t.ringFull = true
+		}
+	}
+	// Unlink from the in-flight list.
+	if s.onList {
+		if s.prev != nil {
+			s.prev.next = s.next
+		} else {
+			t.inflight = s.next
+		}
+		if s.next != nil {
+			s.next.prev = s.prev
+		} else {
+			t.inflightTail = s.prev
+		}
+		s.onList = false
+	}
+	s.prev = nil
+	s.next = t.free
+	t.free = s
+}
+
+// OnFault records a fault window for span annotation and — when
+// DumpOnFault is set — dumps the flight recorder at the injection.
+// kind is the fault's name, target its member/device index, now the
+// event instant.
+func (t *Tracer) OnFault(kind string, target int, now simtime.Time, cleared bool) {
+	if t == nil {
+		return
+	}
+	if cleared {
+		for i := len(t.faults) - 1; i >= 0; i-- {
+			if t.faults[i].Kind == kind && t.faults[i].Target == target && t.faults[i].End == 0 {
+				t.faults[i].End = now
+				return
+			}
+		}
+		return
+	}
+	t.faults = append(t.faults, FaultWindow{Kind: kind, Start: now, Target: target})
+	if t.opt.DumpOnFault {
+		t.Dump("fault injected: " + kind)
+	}
+}
+
+// Faults returns the fault windows observed so far.
+func (t *Tracer) Faults() []FaultWindow {
+	if t == nil {
+		return nil
+	}
+	return append([]FaultWindow(nil), t.faults...)
+}
+
+// FaultsOver returns the fault windows overlapping [from, to] (an
+// open window overlaps everything after its start).
+func (t *Tracer) FaultsOver(from, to simtime.Time) []FaultWindow {
+	if t == nil {
+		return nil
+	}
+	var out []FaultWindow
+	for _, w := range t.faults {
+		if w.Start <= to && (w.End == 0 || w.End >= from) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Records returns a copy of the completed-span log (empty unless
+// KeepAll).
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return append([]Record(nil), t.done...)
+}
+
+// RingRecords returns the flight-recorder ring contents, oldest
+// first.
+func (t *Tracer) RingRecords() []Record {
+	if t == nil || len(t.ring) == 0 {
+		return nil
+	}
+	var out []Record
+	if t.ringFull {
+		out = append(out, t.ring[t.ringNext:]...)
+	}
+	out = append(out, t.ring[:t.ringNext]...)
+	return out
+}
+
+// InFlight returns copies of every live span's record, in Start
+// order.
+func (t *Tracer) InFlight() []Record {
+	if t == nil {
+		return nil
+	}
+	var out []Record
+	for s := t.inflight; s != nil; s = s.next {
+		out = append(out, s.Record)
+	}
+	return out
+}
+
+// Started, Completed and Truncated expose the tracer's lifecycle
+// counters (spans opened, retired, and overflowing MaxStages).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started
+}
+
+func (t *Tracer) Completed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.completed
+}
+
+func (t *Tracer) Truncated() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.truncated
+}
+
+// Dumps returns how many flight-recorder dumps have been written.
+func (t *Tracer) Dumps() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dumps
+}

@@ -1,0 +1,354 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func ms(n int) simtime.Time { return simtime.Time(n) * simtime.Time(time.Millisecond) }
+
+// finishOne runs one frame's worth of span calls against the tracer.
+func finishOne(t *Tracer, tenant int, frame uint64) {
+	s := t.Start(tenant, frame, 1, ms(0))
+	s.Point(StageCapture, ms(0), 0)
+	s.Point(StageDecision, ms(0), VerdictOffload)
+	s.Begin(StageUplink, ms(0), 0)
+	s.End(StageUplink, ms(20))
+	s.Begin(StageServerQueue, ms(20), 0)
+	s.End(StageServerQueue, ms(40))
+	s.Begin(StageBatch, ms(40), 4)
+	s.End(StageBatch, ms(90))
+	s.Begin(StageDownlink, ms(90), 0)
+	s.End(StageDownlink, ms(100))
+	s.Resolve(ms(100), VerdictOK)
+	t.Finish(s)
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(1, 2, 3, 0)
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every method must be callable on the nils.
+	s.Point(StageCapture, 0, 0)
+	s.Begin(StageUplink, 0, 0)
+	s.End(StageUplink, 0)
+	s.EndDrop(StageUplink, 0)
+	s.Resolve(0, VerdictOK)
+	tr.Finish(s)
+	tr.OnFault("server_crash", 0, 0, false)
+	tr.Dump("test")
+	if tr.Enabled() || tr.Started() != 0 || tr.Completed() != 0 ||
+		tr.Truncated() != 0 || tr.Dumps() != 0 {
+		t.Fatal("nil tracer not fully disabled")
+	}
+	if tr.Records() != nil || tr.RingRecords() != nil || tr.InFlight() != nil ||
+		tr.Faults() != nil || tr.FaultsOver(0, ms(1)) != nil {
+		t.Fatal("nil tracer leaked records")
+	}
+}
+
+func TestSpanPoolReusesFreeList(t *testing.T) {
+	tr := New(Options{Ring: -1})
+	s1 := tr.Start(0, 1, 1, 0)
+	tr.Finish(s1)
+	s2 := tr.Start(0, 2, 1, 0)
+	if s1 != s2 {
+		t.Fatal("finished span not recycled from the free list")
+	}
+	// The recycled span starts clean.
+	if s2.N != 0 || s2.FrameID != 2 || s2.Status != -1 {
+		t.Fatalf("recycled span dirty: %+v", s2.Record)
+	}
+	tr.Finish(s2)
+	if tr.Started() != 2 || tr.Completed() != 2 {
+		t.Fatalf("counters = %d/%d", tr.Started(), tr.Completed())
+	}
+}
+
+func TestEndClosesMostRecentOpenStage(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Start(0, 1, 1, 0)
+	// Ending a never-begun stage is a no-op.
+	s.End(StageUplink, ms(5))
+	if s.N != 0 {
+		t.Fatal("End invented a stage")
+	}
+	s.Begin(StageUplink, ms(1), 0)
+	s.End(StageUplink, ms(9))
+	if d := s.Stages[0].Dur(); d != 8*time.Millisecond {
+		t.Fatalf("uplink dur = %v", d)
+	}
+	s.Begin(StageDownlink, ms(9), 0)
+	s.EndDrop(StageDownlink, ms(12))
+	if s.Stages[1].Arg != ArgDropped {
+		t.Fatal("EndDrop did not mark the stage dropped")
+	}
+	// Resolve is first-caller-wins.
+	s.Resolve(ms(12), VerdictTimeout)
+	s.Resolve(ms(20), VerdictOK)
+	if s.Status != VerdictTimeout || s.Resolved != ms(12) {
+		t.Fatalf("resolve not idempotent: status=%d at %v", s.Status, s.Resolved)
+	}
+	tr.Finish(s)
+}
+
+func TestStageOverflowTruncates(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Start(0, 1, 1, 0)
+	for i := 0; i < MaxStages+5; i++ {
+		s.Point(StageCapture, ms(i), 0)
+	}
+	if s.N != MaxStages {
+		t.Fatalf("N = %d, want %d", s.N, MaxStages)
+	}
+	tr.Finish(s)
+	if tr.Truncated() != 1 {
+		t.Fatalf("truncated = %d", tr.Truncated())
+	}
+}
+
+func TestInFlightListOrderAndUnlink(t *testing.T) {
+	tr := New(Options{})
+	a := tr.Start(0, 1, 1, 0)
+	b := tr.Start(0, 2, 1, 0)
+	c := tr.Start(0, 3, 1, 0)
+	got := tr.InFlight()
+	if len(got) != 3 || got[0].FrameID != 1 || got[2].FrameID != 3 {
+		t.Fatalf("in-flight order wrong: %+v", got)
+	}
+	tr.Finish(b) // unlink from the middle
+	got = tr.InFlight()
+	if len(got) != 2 || got[0].FrameID != 1 || got[1].FrameID != 3 {
+		t.Fatalf("after middle unlink: %+v", got)
+	}
+	tr.Finish(a)
+	tr.Finish(c)
+	if len(tr.InFlight()) != 0 {
+		t.Fatal("in-flight list not empty")
+	}
+}
+
+func TestRingKeepsLastNOldestFirst(t *testing.T) {
+	tr := New(Options{Ring: 4})
+	for i := uint64(1); i <= 7; i++ {
+		finishOne(tr, 0, i)
+	}
+	recs := tr.RingRecords()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records", len(recs))
+	}
+	for i, want := range []uint64{4, 5, 6, 7} {
+		if recs[i].FrameID != want {
+			t.Fatalf("ring[%d] = frame %d, want %d", i, recs[i].FrameID, want)
+		}
+	}
+	// KeepAll off: no completed log.
+	if len(tr.Records()) != 0 {
+		t.Fatal("Records non-empty without KeepAll")
+	}
+}
+
+func TestFaultWindows(t *testing.T) {
+	tr := New(Options{})
+	tr.OnFault("server_crash", 3, ms(100), false)
+	tr.OnFault("gpu_stall", 1, ms(150), false)
+	tr.OnFault("server_crash", 3, ms(200), true)
+	ws := tr.Faults()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].End != ms(200) {
+		t.Fatalf("crash window not closed: %+v", ws[0])
+	}
+	if ws[1].End != 0 {
+		t.Fatalf("stall window closed early: %+v", ws[1])
+	}
+	// Clearing a window that was never opened is a no-op.
+	tr.OnFault("link_partition", 0, ms(210), true)
+	if len(tr.Faults()) != 2 {
+		t.Fatal("spurious clear created a window")
+	}
+	if got := tr.FaultsOver(ms(120), ms(130)); len(got) != 1 || got[0].Kind != "server_crash" {
+		t.Fatalf("FaultsOver(120,130) = %+v", got)
+	}
+	if got := tr.FaultsOver(ms(300), ms(400)); len(got) != 1 || got[0].Kind != "gpu_stall" {
+		t.Fatalf("open window must overlap everything after start: %+v", got)
+	}
+}
+
+func TestDumpWritesRecorderState(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{Ring: 8, DumpTo: &buf})
+	finishOne(tr, 2, 10)
+	live := tr.Start(2, 11, 1, ms(0))
+	live.Begin(StageUplink, ms(1), 0)
+	tr.OnFault("server_crash", 0, ms(5), false)
+	tr.Dump("invariant violation: test")
+
+	out := buf.String()
+	for _, want := range []string{
+		"invariant violation: test",
+		"server_crash",
+		"uplink",
+		"in-flight",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Dumps() != 1 {
+		t.Fatalf("dumps = %d", tr.Dumps())
+	}
+}
+
+func TestDumpOnFault(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{Ring: 8, DumpTo: &buf, DumpOnFault: true})
+	tr.OnFault("gpu_stall", 2, ms(50), false)
+	if tr.Dumps() != 1 || !strings.Contains(buf.String(), "gpu_stall") {
+		t.Fatalf("fault did not dump: dumps=%d", tr.Dumps())
+	}
+	buf.Reset()
+	tr.OnFault("gpu_stall", 2, ms(90), true)
+	if tr.Dumps() != 1 || buf.Len() != 0 {
+		t.Fatal("clear dumped")
+	}
+}
+
+func TestCriticalPathSumMatchesLatency(t *testing.T) {
+	tr := New(Options{KeepAll: true, Ring: -1})
+	finishOne(tr, 1, 5)
+	rec := tr.Records()[0]
+	if rec.CriticalPathSum() != rec.Latency() {
+		t.Fatalf("critical path %v != latency %v", rec.CriticalPathSum(), rec.Latency())
+	}
+	if rec.Latency() != 100*time.Millisecond {
+		t.Fatalf("latency = %v", rec.Latency())
+	}
+}
+
+func TestWriteJSONLHeaderAndSpans(t *testing.T) {
+	tr := New(Options{KeepAll: true})
+	finishOne(tr, 1, 1)
+	finishOne(tr, 2, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, Meta{Seed: 99, Scenario: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL has %d lines, want 3", len(lines))
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr["schema"] != JSONLSchema || hdr["scenario"] != "unit" {
+		t.Fatalf("header = %v", hdr)
+	}
+	var span map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if span["stages"] == nil {
+		t.Fatalf("span line lacks stages: %v", span)
+	}
+}
+
+func TestWriteChromeTraceIsLoadable(t *testing.T) {
+	tr := New(Options{KeepAll: true})
+	finishOne(tr, 1, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var sawUplink bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "uplink" && ev.Ph == "X" {
+			sawUplink = true
+			if ev.Dur != 20000 { // 20 ms in µs
+				t.Fatalf("uplink dur = %v µs", ev.Dur)
+			}
+		}
+	}
+	if !sawUplink {
+		t.Fatal("no uplink X event in chrome trace")
+	}
+}
+
+func TestBreakdownPercentiles(t *testing.T) {
+	tr := New(Options{KeepAll: true})
+	for i := uint64(0); i < 10; i++ {
+		finishOne(tr, 0, i)
+	}
+	stats := Breakdown(tr.Records())
+	if len(stats) == 0 {
+		t.Fatal("empty breakdown")
+	}
+	byKind := map[StageKind]StageStats{}
+	for _, st := range stats {
+		byKind[st.Kind] = st
+	}
+	up := byKind[StageUplink]
+	if up.Count != 10 || up.P50 != 20*time.Millisecond || up.P99 != 20*time.Millisecond {
+		t.Fatalf("uplink stats = %+v", up)
+	}
+	e2e := byKind[EndToEnd]
+	if e2e.Count != 10 || e2e.P50 != 100*time.Millisecond {
+		t.Fatalf("end-to-end stats = %+v", e2e)
+	}
+}
+
+// BenchmarkSpanPath fences the disabled-tracing hot path: the full
+// per-frame span call sequence against a nil tracer must not allocate.
+func BenchmarkSpanPath(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(1, uint64(i), 1, 0)
+		s.Point(StageCapture, 0, 0)
+		s.Point(StageDecision, 0, VerdictOffload)
+		s.Begin(StageUplink, 0, 0)
+		s.End(StageUplink, ms(20))
+		s.Begin(StageServerQueue, ms(20), 0)
+		s.End(StageServerQueue, ms(40))
+		s.Begin(StageBatch, ms(40), 4)
+		s.End(StageBatch, ms(90))
+		s.Begin(StageDownlink, ms(90), 0)
+		s.End(StageDownlink, ms(100))
+		s.Resolve(ms(100), VerdictOK)
+		tr.Finish(s)
+	}
+}
+
+// BenchmarkTracedSpanPath is the enabled steady state: pooled spans
+// through a live tracer with the flight-recorder ring, no completed
+// log. After the pool warms up this too is allocation-free.
+func BenchmarkTracedSpanPath(b *testing.B) {
+	tr := New(Options{Ring: DefaultRing})
+	finishOne(tr, 0, 0) // warm the free list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finishOne(tr, 1, uint64(i))
+	}
+}

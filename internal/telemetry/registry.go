@@ -277,9 +277,33 @@ func histJSON(h *Histogram) any {
 		buckets[formatFloat(bound)] = cum[i]
 	}
 	buckets["+Inf"] = count
-	return map[string]any{
+	out := map[string]any{
 		"count":   count,
 		"sum":     jsonFloat(sum),
 		"buckets": buckets,
 	}
+	// Exemplars appear only when a traced observation stored one, so
+	// untraced processes render exactly the historical shape.
+	var ex map[string]any
+	for i := 0; i <= len(bounds); i++ {
+		v, trace, ok := h.Exemplar(i)
+		if !ok {
+			continue
+		}
+		label := "+Inf"
+		if i < len(bounds) {
+			label = formatFloat(bounds[i])
+		}
+		if ex == nil {
+			ex = make(map[string]any)
+		}
+		ex[label] = map[string]any{
+			"value":    jsonFloat(v),
+			"trace_id": fmt.Sprintf("%#x", trace),
+		}
+	}
+	if ex != nil {
+		out["exemplars"] = ex
+	}
+	return out
 }

@@ -123,6 +123,18 @@ type Histogram struct {
 	bounds []float64       // sorted upper bounds, exclusive of +Inf
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	// exemplars holds the latest (value, trace ID) pair per bucket,
+	// populated only via ObserveWithExemplar — the link from an
+	// extreme observation back to its frame's lifecycle span.
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's latest traced observation. Value bits and
+// trace ID are separate atomics; a torn pair under concurrent updates
+// is acceptable for a debugging link and costs no synchronization.
+type exemplar struct {
+	bits  atomic.Uint64 // float64 bits of the observed value
+	trace atomic.Uint64 // 0 = no exemplar recorded
 }
 
 // DefBuckets are general-purpose latency buckets in seconds, dense
@@ -142,8 +154,9 @@ func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
 	return &Histogram{
-		bounds: b,
-		counts: make([]atomic.Uint64, len(b)+1),
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]exemplar, len(b)+1),
 	}
 }
 
@@ -164,6 +177,40 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-zero,
+// stores (v, traceID) as the target bucket's exemplar. With a zero
+// traceID it is exactly Observe, so untraced callers pay nothing.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].bits.Store(math.Float64bits(v))
+	h.exemplars[i].trace.Store(traceID)
+}
+
+// Exemplar returns the latest exemplar recorded in bucket i (indices
+// follow the bucket bounds; the last index is the +Inf bucket). ok is
+// false when the bucket never received a traced observation, on an
+// out-of-range index, or on a nil histogram.
+func (h *Histogram) Exemplar(i int) (v float64, traceID uint64, ok bool) {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return 0, 0, false
+	}
+	t := h.exemplars[i].trace.Load()
+	if t == 0 {
+		return 0, 0, false
+	}
+	return math.Float64frombits(h.exemplars[i].bits.Load()), t, true
 }
 
 // Count returns the total number of observations; 0 for nil.

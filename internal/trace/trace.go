@@ -27,6 +27,29 @@ import (
 	"repro/internal/device"
 )
 
+// EventsSchema identifies the Recorder JSONL format. It is written as
+// the first line of every log (see WriteJSONL) so a reader can verify
+// it is looking at the expected layout before parsing events; bump the
+// trailing version on any incompatible Event change.
+const EventsSchema = "framefeedback-trace/1"
+
+// Meta is the run provenance carried in a log's header line: the seed
+// ties the file back to a reproducible run, the scenario names what
+// produced it.
+type Meta struct {
+	Seed     int64  `json:"seed,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// jsonlHeader is the first line of a serialized log. Events is the
+// number of event lines that follow, a cheap truncation check for
+// readers that care.
+type jsonlHeader struct {
+	Schema string `json:"schema"`
+	Meta
+	Events int `json:"events"`
+}
+
 // Event is one resolved offload in a trace. Times are seconds from
 // the start of the run; Latency is ResolvedAt − CapturedAt.
 type Event struct {
@@ -42,6 +65,7 @@ type Event struct {
 // single-threaded simulator and from concurrent realnet callers.
 type Recorder struct {
 	mu     sync.Mutex
+	meta   Meta
 	events []Event
 }
 
@@ -66,6 +90,13 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = r.events[:0]
+}
+
+// SetMeta records run provenance to embed in the log's header line.
+func (r *Recorder) SetMeta(m Meta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meta = m
 }
 
 // Hook returns a function suitable for device.Config.OnOffload.
@@ -98,12 +129,17 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// WriteJSONL writes the recorded events, one JSON object per line.
+// WriteJSONL writes a versioned header line followed by the recorded
+// events, one JSON object per line.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	hdr := jsonlHeader{Schema: EventsSchema, Meta: r.meta, Events: len(r.events)}
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
 	for i := range r.events {
 		if err := enc.Encode(&r.events[i]); err != nil {
 			return err
@@ -112,18 +148,33 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses a JSONL event log. Blank lines are skipped; a
-// malformed line fails with its line number.
+// ReadJSONL parses a JSONL event log. A header line (any object with a
+// "schema" field) is verified against EventsSchema when present and
+// tolerated when absent, so headerless logs from older tools still
+// load. Blank lines are skipped; a malformed line fails with its line
+// number.
 func ReadJSONL(rd io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var out []Event
 	line := 0
+	first := true
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
+		}
+		if first {
+			first = false
+			var hdr jsonlHeader
+			if json.Unmarshal(raw, &hdr) == nil && hdr.Schema != "" {
+				if hdr.Schema != EventsSchema {
+					return nil, fmt.Errorf("trace: line %d: schema %q, want %q",
+						line, hdr.Schema, EventsSchema)
+				}
+				continue
+			}
 		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {

@@ -80,12 +80,20 @@ func TestJSONLRoundTrip(t *testing.T) {
 		}
 		hook(sampleOutcome(i, status))
 	}
+	r.SetMeta(Meta{Seed: 42, Scenario: "unit"})
 	var buf bytes.Buffer
 	if err := r.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.Count(buf.String(), "\n"); got != 50 {
-		t.Fatalf("JSONL has %d lines, want 50", got)
+	// 50 events plus the header line.
+	if got := strings.Count(buf.String(), "\n"); got != 51 {
+		t.Fatalf("JSONL has %d lines, want 51", got)
+	}
+	first := buf.String()[:strings.IndexByte(buf.String(), '\n')]
+	if !strings.Contains(first, EventsSchema) ||
+		!strings.Contains(first, `"seed":42`) ||
+		!strings.Contains(first, `"scenario":"unit"`) {
+		t.Fatalf("header line = %s", first)
 	}
 	back, err := ReadJSONL(&buf)
 	if err != nil {
@@ -115,6 +123,34 @@ func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage line accepted")
 	} else if !strings.Contains(err.Error(), "line 1") {
 		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestReadJSONLHeaderHandling(t *testing.T) {
+	// Headerless logs from older tools still load.
+	old := `{"frame":1,"status":"ok"}` + "\n"
+	evs, err := ReadJSONL(strings.NewReader(old))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("headerless log: evs=%d err=%v", len(evs), err)
+	}
+	// A recognized header is consumed, even after leading blanks.
+	hdr := "\n" + `{"schema":"` + EventsSchema + `","seed":7,"events":1}` + "\n" +
+		`{"frame":3,"status":"timeout"}` + "\n"
+	evs, err = ReadJSONL(strings.NewReader(hdr))
+	if err != nil || len(evs) != 1 || evs[0].FrameID != 3 {
+		t.Fatalf("headered log: evs=%+v err=%v", evs, err)
+	}
+	// A future schema version is rejected up front.
+	bad := `{"schema":"framefeedback-trace/99"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown schema accepted")
+	} else if !strings.Contains(err.Error(), "framefeedback-trace/99") {
+		t.Fatalf("schema error lacks detail: %v", err)
+	}
+	// A "schema" field past the first line is just a malformed event.
+	late := `{"frame":1,"status":"ok"}` + "\n" + `{"schema":"x"}` + "\n"
+	if evs, err := ReadJSONL(strings.NewReader(late)); err != nil || len(evs) != 2 {
+		t.Fatalf("late schema line: evs=%d err=%v", len(evs), err)
 	}
 }
 

@@ -33,9 +33,13 @@ echo "== micro benchmarks (benchtime=$BENCHTIME)" >&2
 churn="$(go test -run '^$' -bench 'BenchmarkSchedulerChurn$' -benchmem -benchtime "$BENCHTIME" ./internal/simtime/ | awk '/^BenchmarkSchedulerChurn/')"
 scen="$(go test -run '^$' -bench 'BenchmarkScenarioRun$' -benchmem -benchtime "$BENCHTIME" . | awk '/^BenchmarkScenarioRun/')"
 clus="$(go test -run '^$' -bench 'BenchmarkClusterDispatch$' -benchmem -benchtime "$BENCHTIME" ./internal/cluster/ | awk '/^BenchmarkClusterDispatch/')"
+# BenchmarkTracedSpanPath is deliberately not prefix-matched here: the
+# nil-tracer path is the fence (tracing must stay free when off).
+span="$(go test -run '^$' -bench 'BenchmarkSpanPath$' -benchmem -benchtime "$BENCHTIME" ./internal/spans/ | awk '/^BenchmarkSpanPath/')"
 echo "$churn" >&2
 echo "$scen" >&2
 echo "$clus" >&2
+echo "$span" >&2
 
 # bench_field LINE N extracts the value preceding the Nth unit column
 # of a `go test -bench` output line (ns/op, B/op, allocs/op).
@@ -53,6 +57,9 @@ scen_events="$(bench_field "$scen" "events/run")"
 clus_ns="$(bench_field "$clus" "ns/op")"
 clus_b="$(bench_field "$clus" "B/op")"
 clus_allocs="$(bench_field "$clus" "allocs/op")"
+span_ns="$(bench_field "$span" "ns/op")"
+span_b="$(bench_field "$span" "B/op")"
+span_allocs="$(bench_field "$span" "allocs/op")"
 # Scenario event throughput: events per run over ns per run.
 scen_meps="$(awk -v e="${scen_events:-0}" -v ns="$scen_ns" 'BEGIN{if (ns > 0) printf "%.2f", e / ns * 1000; else print 0}')"
 
@@ -113,6 +120,11 @@ cat > "$OUT" <<EOF
       "ns_per_op": $clus_ns,
       "bytes_per_op": $clus_b,
       "allocs_per_op": $clus_allocs
+    },
+    "SpanPath": {
+      "ns_per_op": $span_ns,
+      "bytes_per_op": $span_b,
+      "allocs_per_op": $span_allocs
     }
   },
   "suite": {

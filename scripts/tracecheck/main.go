@@ -1,0 +1,147 @@
+// Command tracecheck validates an exported Chrome trace-event file
+// (ffsim/ffexperiments -trace-out) without needing a browser: it is
+// the CI half of the Perfetto workflow (`make trace-smoke`).
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck trace.json
+//
+// Checks, in order:
+//   - the file is a JSON object with a traceEvents array and
+//     displayTimeUnit "ms" (the shape both chrome://tracing and
+//     ui.perfetto.dev load);
+//   - every event is an "M" metadata or "X" complete event with a
+//     name, and every "X" event has a non-negative microsecond
+//     timestamp and duration;
+//   - every frame track (pid = tenant, tid = frame) has exactly one
+//     "frame <status>" envelope event, and all of its stage events
+//     fall inside the envelope's [ts, ts+dur] window;
+//   - at least one event exists per phase so an empty export cannot
+//     pass.
+//
+// On success it prints a one-line summary; any violation prints the
+// offending event and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type trace struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+type track struct {
+	pid int
+	tid uint64
+}
+
+type window struct {
+	start, end float64
+	count      int
+}
+
+// epsilonUS absorbs float64 seconds→microseconds rounding; stage and
+// envelope instants are exact in simulation time, not after export.
+const epsilonUS = 1e-3
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck <trace.json>")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tr trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		fail("%s: not a Chrome trace object: %v", os.Args[1], err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		fail("displayTimeUnit = %q, want \"ms\"", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+
+	envelopes := map[track]*window{}
+	meta, frames, stages, faulted := 0, 0, 0, 0
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "process_name" {
+				fail("event %d: metadata name %q, want \"process_name\"", i, ev.Name)
+			}
+		case "X":
+			if ev.Name == "" {
+				fail("event %d: complete event with empty name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				fail("event %d (%s): negative ts/dur (%f, %f)", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			if len(ev.Name) > 6 && ev.Name[:6] == "frame " {
+				frames++
+				k := track{ev.Pid, ev.Tid}
+				if w := envelopes[k]; w != nil {
+					fail("event %d: duplicate envelope for tenant %d frame %d", i, ev.Pid, ev.Tid)
+				}
+				envelopes[k] = &window{start: ev.Ts, end: ev.Ts + ev.Dur}
+				if _, ok := ev.Args["faults"]; ok {
+					faulted++
+				}
+			} else {
+				stages++
+			}
+		default:
+			fail("event %d (%s): phase %q, want \"M\" or \"X\"", i, ev.Name, ev.Ph)
+		}
+	}
+	if meta == 0 || frames == 0 || stages == 0 {
+		fail("missing a phase: %d metadata, %d envelopes, %d stage events", meta, frames, stages)
+	}
+
+	// Second pass: every stage event must sit inside its frame's
+	// envelope (late downlinks extend the envelope at export time, so
+	// containment is exact up to float rounding).
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || (len(ev.Name) > 6 && ev.Name[:6] == "frame ") {
+			continue
+		}
+		w := envelopes[track{ev.Pid, ev.Tid}]
+		if w == nil {
+			fail("event %d (%s): tenant %d frame %d has no envelope", i, ev.Name, ev.Pid, ev.Tid)
+		}
+		if ev.Ts < w.start-epsilonUS || ev.Ts+ev.Dur > w.end+epsilonUS {
+			fail("event %d (%s): [%f, %f] outside envelope [%f, %f] for tenant %d frame %d",
+				i, ev.Name, ev.Ts, ev.Ts+ev.Dur, w.start, w.end, ev.Pid, ev.Tid)
+		}
+		w.count++
+	}
+	for k, w := range envelopes {
+		if w.count == 0 {
+			fail("tenant %d frame %d: envelope with no stage events", k.pid, k.tid)
+		}
+	}
+
+	fmt.Printf("tracecheck: %s OK — %d events (%d frames, %d stage spans, %d metadata, %d fault-annotated)\n",
+		os.Args[1], len(tr.TraceEvents), frames, stages, meta, faulted)
+}
