@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-all benchdiff smoke trace-smoke experiments report clean
+.PHONY: all build test race chaos bench bench-all benchdiff smoke trace-smoke fleet-smoke experiments report clean
 
 all: build test
 
@@ -69,6 +69,17 @@ trace-smoke:
 	$(GO) run ./cmd/ffexperiments -exp tracepath -trace-out trace-smoke.json | tee /dev/stderr | grep -q 'exact (PASS)'
 	$(GO) run ./scripts/tracecheck trace-smoke.json
 	rm -f trace-smoke.json
+
+# Fleet-scale gate: a scaled-down 10k-device sharded-engine run with
+# the run-time invariant checker armed (any conservation violation
+# fails the run), followed by the tracked 100k-device benchmark at 1x.
+# Both outputs land in fleet-smoke.txt for the CI artifact; the state
+# hashes printed there are byte-identical across shard counts, worker
+# counts and reruns.
+FLEET_SMOKE_DEVICES ?= 10000
+fleet-smoke:
+	$(GO) run ./cmd/ffexperiments -exp fleet -fleet-devices $(FLEET_SMOKE_DEVICES) -invariants | tee fleet-smoke.txt | grep -q 'invariant checker: armed, clean'
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetRun$$' -benchmem -benchtime 1x -timeout 30m . | tee -a fleet-smoke.txt
 
 # Regenerate every table and figure (ASCII + CSV traces into results/).
 experiments:

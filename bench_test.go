@@ -12,6 +12,7 @@ package framefeedback
 // is a simulator); the custom metrics are the reproduction output.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -439,4 +440,43 @@ func BenchmarkAIMDComparison(b *testing.B) {
 	}
 	b.ReportMetric(ffP, "ffP_fps")
 	b.ReportMetric(aimdP, "aimdP_fps")
+}
+
+// BenchmarkFleetRun is the fleet-scale headline: 100k FrameFeedback
+// devices against one shared server, on the sharded engine, over the
+// full default network schedule. Reported metrics are the BENCH-file
+// tracking quantities: events per run, simulated devices per wall
+// second, and the resident heap bytes each device costs after setup.
+func BenchmarkFleetRun(b *testing.B) {
+	const devices = 100_000
+	shards := runtime.GOMAXPROCS(0)
+	var events float64
+	var bytesPerDev float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.FleetConfig{
+			Seed:    scenario.DefaultSeed,
+			Devices: devices,
+			Shards:  shards,
+		}
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		f := scenario.NewFleet(cfg)
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		bytesPerDev = float64(after.HeapAlloc-before.HeapAlloc) / devices
+		for f.StepTick() {
+		}
+		r := f.Finish()
+		if r.StateHash == 0 {
+			b.Fatal("degenerate fleet run")
+		}
+		events = float64(r.Events)
+	}
+	wall := time.Since(start).Seconds()
+	b.ReportMetric(events, "events/run")
+	b.ReportMetric(float64(devices)*float64(b.N)/wall, "devices/s")
+	b.ReportMetric(bytesPerDev, "bytes/device")
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+)
+
+// Fleet experiment (opt-in, not part of -exp all): the aggregate view
+// the paper never shows — what the Po/T distribution looks like across
+// tens of thousands of independent FrameFeedback controllers sharing
+// one server, run on the sharded fleet engine. Shard and worker counts
+// change only wall-clock time; the reported state hash is identical
+// for every layout and every rerun.
+
+var (
+	fleetDevicesFlag = flag.Int("fleet-devices", 10000, "fleet experiment: number of devices")
+	fleetShardsFlag  = flag.Int("fleet-shards", 0, "fleet experiment: event-heap shards (0 = GOMAXPROCS)")
+	fleetWorkersFlag = flag.Int("fleet-workers", 0, "fleet experiment: shard-executing goroutines (0 = shards)")
+	fleetSecondsFlag = flag.Int("fleet-seconds", 0, "fleet experiment: simulated seconds (0 = default schedule length)")
+)
+
+func fleet() {
+	shards := *fleetShardsFlag
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := scenario.FleetConfig{
+		Seed:    *seedFlag,
+		Devices: *fleetDevicesFlag,
+		Shards:  shards,
+		Workers: *fleetWorkersFlag,
+	}
+	if *fleetSecondsFlag > 0 {
+		cfg.Duration = time.Duration(*fleetSecondsFlag) * time.Second
+	}
+	header(fmt.Sprintf("Fleet: %d FrameFeedback devices, one shared server, %d shards",
+		cfg.Devices, shards))
+
+	start := time.Now()
+	f := scenario.NewFleet(cfg)
+	for f.StepTick() {
+	}
+	r := f.Finish()
+	wall := time.Since(start)
+
+	plot.RenderTable(os.Stdout,
+		[]string{"metric", "mean", "p50", "p99"},
+		[][]string{
+			{"final Po (frames/s)",
+				fmt.Sprintf("%.3f", r.PoMean), fmt.Sprintf("%.3f", r.PoP50), fmt.Sprintf("%.3f", r.PoP99)},
+			{"timeout rate T (frames/s)",
+				fmt.Sprintf("%.3f", r.TMean), fmt.Sprintf("%.3f", r.TP50), fmt.Sprintf("%.3f", r.TP99)},
+		})
+	fmt.Printf("\ncaptured %d, offload attempts %d, ok %d, timed out %d, rejected %d\n",
+		r.Captured, r.OffloadAttempts, r.OffloadOK, r.OffloadTimedOut, r.OffloadRejected)
+	fmt.Printf("local done %d, local dropped %d; server completed %d of %d submitted\n",
+		r.LocalDone, r.LocalDropped, r.Server.Completed, r.Server.Submitted)
+	fmt.Printf("per-tenant Jain index: %.4f\n", r.JainTenants)
+	checkStr := "off"
+	if scenario.InvariantChecking() || cfg.CheckInvariants {
+		checkStr = "armed, clean"
+		if r.InvariantErr != nil {
+			checkStr = "VIOLATED: " + r.InvariantErr.Error()
+		}
+	}
+	fmt.Printf("invariant checker: %s\n", checkStr)
+	fmt.Printf("events fired: %d (%.0f events/s wall); %.0f devices/s\n",
+		r.Events, float64(r.Events)/wall.Seconds(), float64(r.Devices)/wall.Seconds())
+	fmt.Printf("state hash: %#016x (byte-identical across shard counts, worker counts and reruns)\n",
+		r.StateHash)
+
+	writeCSV("fleet.csv", metrics.NewTable().
+		AddColumn("t", f.HistTime).
+		AddColumn("Po_mean", f.HistPoMean).
+		AddColumn("T_mean", f.HistTRate))
+}

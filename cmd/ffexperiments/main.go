@@ -104,6 +104,7 @@ func main() {
 		"chaos":      chaos,
 		"cluster":    clusterExp,
 		"tracepath":  tracepath,
+		"fleet":      fleet,
 	}
 	// recovery and chaos stay out of the "all" order: -exp all output
 	// is a byte-stability fixture, and the fault experiments are

@@ -1,0 +1,132 @@
+package controller
+
+import "repro/internal/simtime"
+
+// flatWindowCap bounds the averaging window a Flat controller can
+// hold. Eight covers the Table IV default (3) with room for sweeps;
+// keeping it a fixed array is what lets 100k controllers live in one
+// flat slice with zero per-device heap objects.
+const flatWindowCap = 8
+
+// Flat is FrameFeedback as a plain value: same configuration
+// semantics, same piecewise error, same PD update, same clamps — but
+// no mutex, no observers, no heap-allocated window, so fleet-scale
+// device banks can embed one per device in an index-addressed array.
+// Next here and FrameFeedback.Next produce bit-identical Po sequences
+// for the same Measurement stream (asserted by TestFlatMatchesFrameFeedback).
+//
+// The zero value is not ready for use; call Init first.
+type Flat struct {
+	// Effective (default-filled) gains and clamps.
+	kp, ki, kd             float64
+	outMinFrac, outMaxFrac float64
+	timeoutFrac            float64
+
+	// Ring buffer replacing metrics.Window.
+	win    [flatWindowCap]float64
+	winLen int
+	winCap int
+	winPos int
+	winSum float64
+
+	// PID state.
+	integral float64
+	prevErr  float64
+	hasPrev  bool
+
+	po      float64
+	last    simtime.Time
+	hasLast bool
+}
+
+// Init configures the controller in place. Zero-value cfg fields are
+// filled with the paper defaults exactly as NewFrameFeedback does; an
+// incoherent config or a Window beyond the fixed capacity panics.
+func (f *Flat) Init(cfg Config) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := cfg.Window
+	if w < 1 {
+		w = 1
+	}
+	if w > flatWindowCap {
+		panic("controller: Flat window exceeds fixed capacity")
+	}
+	*f = Flat{
+		kp: cfg.KP, ki: cfg.KI, kd: cfg.KD,
+		outMinFrac:  cfg.UpdateMinFrac,
+		outMaxFrac:  cfg.UpdateMaxFrac,
+		timeoutFrac: cfg.TimeoutFrac,
+		winCap:      w,
+		po:          cfg.InitialPo,
+	}
+}
+
+// Po returns the controller's current offloading rate.
+func (f *Flat) Po() float64 { return f.po }
+
+// Next advances one control tick, mirroring FrameFeedback.Next
+// arithmetic operation for operation (minus the snapshot machinery).
+func (f *Flat) Next(m Measurement) float64 {
+	if m.FS <= 0 {
+		panic("controller: Measurement.FS must be positive")
+	}
+	dt := 1.0
+	if f.hasLast && m.Now > f.last {
+		dt = (m.Now - f.last).Seconds()
+	}
+	f.last = m.Now
+	f.hasLast = true
+
+	f.po = m.Po
+
+	// window.Push + Mean, on the inline ring.
+	if f.winLen == f.winCap {
+		f.winSum -= f.win[f.winPos]
+	} else {
+		f.winLen++
+	}
+	f.win[f.winPos] = m.T
+	f.winSum += m.T
+	f.winPos++
+	if f.winPos == f.winCap {
+		f.winPos = 0
+	}
+	tAvg := f.winSum / float64(f.winLen)
+
+	var e float64
+	if tAvg <= 0 {
+		e = m.FS - f.po
+	} else {
+		e = f.timeoutFrac*m.FS - tAvg
+	}
+
+	// PID.Update with OutMin/OutMax = fracs·FS.
+	f.integral += e * dt
+	var deriv float64
+	if f.hasPrev {
+		deriv = (e - f.prevErr) / dt
+	}
+	f.prevErr = e
+	f.hasPrev = true
+	u := f.kp*e + f.ki*f.integral + f.kd*deriv
+	outMin, outMax := f.outMinFrac*m.FS, f.outMaxFrac*m.FS
+	if outMin < outMax {
+		if u < outMin {
+			u = outMin
+		} else if u > outMax {
+			u = outMax
+		}
+	}
+
+	f.po += u
+	if f.po < 0 {
+		f.po = 0
+	}
+	if f.po > m.FS {
+		f.po = m.FS
+	}
+	return f.po
+}

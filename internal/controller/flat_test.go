@@ -1,0 +1,53 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// TestFlatMatchesFrameFeedback drives a Flat controller and a
+// FrameFeedback controller with the same measurement stream and
+// requires bit-identical Po sequences — the contract that lets the
+// fleet runner swap the pointer-based controller for the flat one
+// without perturbing a single trajectory.
+func TestFlatMatchesFrameFeedback(t *testing.T) {
+	configs := map[string]Config{
+		"default":  {},
+		"window5":  {Window: 5, InitialPo: 4},
+		"pi-gains": {KP: 0.3, KI: 0.05, KD: 0.1, Window: 2},
+		"literal": {KP: 0.2, KD: 0.26, UpdateMinFrac: -0.4,
+			UpdateMaxFrac: 0.2, TimeoutFrac: 0.15, Window: 8, NoDefaults: true},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			ref := NewFrameFeedback(cfg)
+			var flat Flat
+			flat.Init(cfg)
+			r := rng.Seeded(42)
+			const fs = 10.0
+			now := simtime.Time(0)
+			for i := 0; i < 500; i++ {
+				// Irregular tick spacing exercises the dt path.
+				now += simtime.Time(time.Second) + simtime.Time(r.Intn(int(time.Second)))
+				m := Measurement{
+					Now: now,
+					FS:  fs,
+					T:   float64(r.Intn(4)) * r.Float64(),
+					Pl:  r.Float64() * fs,
+				}
+				// Each controller feeds back its own Po, as the runner does.
+				mr := m
+				mr.Po = ref.Po()
+				mf := m
+				mf.Po = flat.Po()
+				got, want := flat.Next(mf), ref.Next(mr)
+				if got != want {
+					t.Fatalf("%s tick %d: Flat.Next = %v, FrameFeedback.Next = %v", name, i, got, want)
+				}
+			}
+		})
+	}
+}

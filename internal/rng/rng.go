@@ -40,22 +40,55 @@ func splitMix64(state *uint64) uint64 {
 // seeds produce statistically independent streams.
 func New(seed uint64) *Stream {
 	st := &Stream{}
+	st.Reseed(seed)
+	return st
+}
+
+// Seeded returns a Stream seeded like New, as a value. It exists for
+// flat state layouts (fleet-scale device banks) that embed their
+// streams directly in index-addressed arrays instead of holding one
+// heap object per component.
+func Seeded(seed uint64) Stream {
+	var st Stream
+	st.Reseed(seed)
+	return st
+}
+
+// Reseed reinitializes the stream in place from the given seed,
+// discarding any cached state. Seeded(s) and New(s) are both built on
+// it, so a reseeded stream is indistinguishable from a fresh one.
+func (r *Stream) Reseed(seed uint64) {
 	sm := seed
-	for i := range st.s {
-		st.s[i] = splitMix64(&sm)
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
 	}
 	// xoshiro must not start from the all-zero state.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return st
+	r.spare = 0
+	r.spareOK = false
+}
+
+// childSeed derives the seed a Split child uses: one parent draw mixed
+// with the label.
+func (r *Stream) childSeed(label uint64) uint64 {
+	return r.Uint64() ^ (label * 0x9e3779b97f4a7c15) ^ 0x6a09e667f3bcc909
 }
 
 // Split derives an independent child stream. The parent advances by
 // one draw; the child is seeded from that draw mixed with a label, so
 // repeated Splits yield distinct streams.
 func (r *Stream) Split(label uint64) *Stream {
-	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15) ^ 0x6a09e667f3bcc909)
+	return New(r.childSeed(label))
+}
+
+// SplitOff is Split returning a value instead of a heap object: the
+// child stream is identical draw-for-draw to Split(label)'s, and the
+// parent advances the same single step, so the two forms can be mixed
+// without perturbing any sibling stream.
+func (r *Stream) SplitOff(label uint64) Stream {
+	return Seeded(r.childSeed(label))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simtime"
+)
+
+func simSec(s int) simtime.Time { return simtime.Time(s) * simtime.Time(time.Second) }
+
+// smallFleet is the shared test configuration: big enough to exercise
+// contention, rejections and every network phase, small enough to run
+// in milliseconds.
+func smallFleet(devices, shards, workers int) FleetConfig {
+	return FleetConfig{
+		Seed:     99,
+		Devices:  devices,
+		Shards:   shards,
+		Workers:  workers,
+		Duration: 4 * time.Second,
+		AdmitCap: 64,
+	}
+}
+
+func TestFleetShardInvariance(t *testing.T) {
+	ref := RunFleet(smallFleet(300, 1, 1))
+	if ref.OffloadAttempts == 0 || ref.OffloadOK == 0 {
+		t.Fatalf("degenerate reference run: %+v", ref)
+	}
+	if ref.Captured == 0 || ref.LocalDone == 0 {
+		t.Fatalf("no local traffic in reference run: %+v", ref)
+	}
+	for _, layout := range [][2]int{{2, 1}, {2, 2}, {4, 1}, {4, 4}, {7, 3}} {
+		got := RunFleet(smallFleet(300, layout[0], layout[1]))
+		if got.StateHash != ref.StateHash {
+			t.Errorf("k=%d workers=%d: StateHash %#x, want %#x (Po mean %v vs %v, attempts %d vs %d)",
+				layout[0], layout[1], got.StateHash, ref.StateHash,
+				got.PoMean, ref.PoMean, got.OffloadAttempts, ref.OffloadAttempts)
+		}
+	}
+}
+
+func TestFleetRerunIdentical(t *testing.T) {
+	a := RunFleet(smallFleet(200, 4, 4))
+	b := RunFleet(smallFleet(200, 4, 4))
+	if a.StateHash != b.StateHash {
+		t.Errorf("rerun StateHash mismatch: %#x vs %#x", a.StateHash, b.StateHash)
+	}
+}
+
+// TestFleetParallelShards runs the sharded engine with 8 worker
+// goroutines; its name matches the -race selector in the Makefile race
+// target, so cross-shard synchronization is race-checked in CI.
+func TestFleetParallelShards(t *testing.T) {
+	ref := RunFleet(smallFleet(160, 1, 1))
+	got := RunFleet(smallFleet(160, 8, 8))
+	if got.StateHash != ref.StateHash {
+		t.Errorf("8-shard/8-worker StateHash %#x, want %#x", got.StateHash, ref.StateHash)
+	}
+}
+
+func TestFleetFaultShardInvariance(t *testing.T) {
+	plan := faults.Plan{
+		{Kind: faults.ServerCrash, At: simSec(1), Duration: 800 * time.Millisecond},
+		{Kind: faults.GPUStall, At: simSec(2), Duration: time.Second, Factor: 3},
+		{Kind: faults.LinkPartition, At: simSec(1), Duration: time.Second, Device: 3},
+		{Kind: faults.TickJitter, At: simSec(2), Duration: 2 * time.Second, Jitter: 80 * time.Millisecond},
+	}
+	mk := func(k, w int) FleetConfig {
+		cfg := smallFleet(120, k, w)
+		cfg.Faults = plan
+		cfg.CheckInvariants = true
+		return cfg
+	}
+	ref := RunFleet(mk(1, 1))
+	if ref.InvariantErr != nil {
+		t.Fatalf("invariant violation in faulted reference run: %v", ref.InvariantErr)
+	}
+	for _, k := range []int{2, 4} {
+		got := RunFleet(mk(k, k))
+		if got.InvariantErr != nil {
+			t.Errorf("k=%d: invariant violation: %v", k, got.InvariantErr)
+		}
+		if got.StateHash != ref.StateHash {
+			t.Errorf("faulted k=%d: StateHash %#x, want %#x", k, got.StateHash, ref.StateHash)
+		}
+	}
+}
+
+func TestFleetInvariantsClean(t *testing.T) {
+	cfg := smallFleet(150, 2, 2)
+	cfg.CheckInvariants = true
+	res := RunFleet(cfg)
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violation: %v", res.InvariantErr)
+	}
+	if res.Ticks != 4 {
+		t.Errorf("Ticks = %d, want 4", res.Ticks)
+	}
+}
+
+// TestFleetSteadyStateAllocs is the per-device zero-alloc fence: once
+// pools, heaps and outboxes are warm, a full control-tick's worth of
+// simulated traffic (captures, offloads, batches, responses, local
+// inference) must not allocate at all.
+func TestFleetSteadyStateAllocs(t *testing.T) {
+	cfg := FleetConfig{
+		Seed:     7,
+		Devices:  1000,
+		Shards:   2,
+		Workers:  1,
+		Duration: 60 * time.Second,
+		AdmitCap: 64,
+	}
+	f := NewFleet(cfg)
+	for i := 0; i < 6; i++ { // warm every pool across the schedule's phases
+		f.StepTick()
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if !f.StepTick() {
+			t.Fatal("fleet ran out of ticks during the alloc fence")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state tick allocates %v times (%v per device), want 0",
+			allocs, allocs/float64(cfg.Devices))
+	}
+}
+
+// FuzzFleet replays random seeds and populations at 1, 2 and 4 shards
+// and requires identical digests — the fuzzing arm of the byte-identity
+// guarantee.
+func FuzzFleet(f *testing.F) {
+	f.Add(uint64(1), uint16(40))
+	f.Add(uint64(20240315), uint16(97))
+	f.Add(uint64(0xdeadbeef), uint16(8))
+	f.Fuzz(func(t *testing.T, seed uint64, devices uint16) {
+		n := int(devices)%240 + 8
+		mk := func(k int) FleetConfig {
+			return FleetConfig{
+				Seed:     seed,
+				Devices:  n,
+				Shards:   k,
+				Workers:  k,
+				Duration: 2 * time.Second,
+				AdmitCap: 32,
+			}
+		}
+		ref := RunFleet(mk(1))
+		for _, k := range []int{2, 4} {
+			got := RunFleet(mk(k))
+			if got.StateHash != ref.StateHash {
+				t.Fatalf("seed %d devices %d: %d-shard StateHash %#x != 1-shard %#x",
+					seed, n, k, got.StateHash, ref.StateHash)
+			}
+		}
+	})
+}

@@ -170,6 +170,15 @@ type Config struct {
 	// OnFault, when non-nil, observes every injection start
 	// (cleared=false) and clear (cleared=true).
 	OnFault func(in faults.Injection, cleared bool)
+	// NoTrace disables the per-tick trace columns (Result.Time, .P,
+	// .Po, … .ServerUtil stay empty; Result.Ticks still counts
+	// measurement intervals). Summary counters, invariant checking
+	// and the trajectory itself are unaffected — the columns consume
+	// no randomness — so a NoTrace run differs from a traced run
+	// only in what it records. Set it for throughput-style runs
+	// (sweeps, fuzzing, many-device scenarios) where the dozen
+	// column preallocations per run are pure waste.
+	NoTrace bool
 	// Trace, when non-nil, records a lifecycle span for every frame of
 	// every device (see internal/spans). The tracer consumes no
 	// randomness and schedules no events, so a traced run's outputs
@@ -634,14 +643,17 @@ func Run(cfg Config) *Result {
 	}
 
 	// Preallocate the per-tick trace columns at their final length so
-	// the measurement tick below never regrows a backing array.
-	nTicks := int(duration/simtime.Time(cfg.Tick)) + 1
-	for _, col := range []*[]float64{
-		&res.Time, &res.P, &res.Po, &res.PlRate, &res.TRate,
-		&res.OffloadOK, &res.CPU, &res.Power, &res.AccP,
-		&res.QualityBytes, &res.TotalP, &res.ServerUtil,
-	} {
-		*col = make([]float64, 0, nTicks)
+	// the measurement tick below never regrows a backing array —
+	// unless tracing is off, in which case the columns stay nil.
+	if !cfg.NoTrace {
+		nTicks := int(duration/simtime.Time(cfg.Tick)) + 1
+		for _, col := range []*[]float64{
+			&res.Time, &res.P, &res.Po, &res.PlRate, &res.TRate,
+			&res.OffloadOK, &res.CPU, &res.Power, &res.AccP,
+			&res.QualityBytes, &res.TotalP, &res.ServerUtil,
+		} {
+			*col = make([]float64, 0, nTicks)
+		}
 	}
 	res.Tenants = make([]server.TenantStats, 0, len(rigs))
 
@@ -665,6 +677,7 @@ func Run(cfg Config) *Result {
 		utilServers = float64(clusterN)
 	}
 	var prevBusy time.Duration
+	liveTicks := 0
 	tick := func(now simtime.Time) {
 		totalP := 0.0
 		for i, rig := range rigs {
@@ -704,6 +717,9 @@ func Run(cfg Config) *Result {
 			// Record while the stream is live; drain ticks after
 			// the last frame would only append zeros.
 			if i == 0 && now <= duration {
+				liveTicks++
+			}
+			if !cfg.NoTrace && i == 0 && now <= duration {
 				res.Time = append(res.Time, now.Seconds()-tickSec)
 				res.P = append(res.P, m.Pl+m.OffloadOK)
 				res.Po = append(res.Po, m.Po)
@@ -739,7 +755,7 @@ func Run(cfg Config) *Result {
 				rig.dev.SendProbe(0)
 			}
 		}
-		if now <= duration {
+		if !cfg.NoTrace && now <= duration {
 			res.TotalP = append(res.TotalP, totalP)
 			var busy time.Duration
 			if cl != nil {
@@ -804,7 +820,7 @@ func Run(cfg Config) *Result {
 
 	res.EventsFired = sched.Fired()
 	eventsFired.Add(res.EventsFired)
-	res.Ticks = len(res.Time)
+	res.Ticks = liveTicks
 	res.Device = rigs[0].dev.Counters()
 	res.OffloadLatency = metrics.Summarize(rigs[0].dev.OffloadLatencies())
 	if cl != nil {

@@ -87,6 +87,30 @@ func TestRunDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+func TestRunNoTraceSameTrajectory(t *testing.T) {
+	traced := Run(quickCfg(FrameFeedbackFactory(controller.Config{})))
+	cfg := quickCfg(FrameFeedbackFactory(controller.Config{}))
+	cfg.NoTrace = true
+	bare := Run(cfg)
+	if bare.Device != traced.Device {
+		t.Fatalf("NoTrace changed the trajectory: %+v vs %+v", bare.Device, traced.Device)
+	}
+	if bare.Server != traced.Server {
+		t.Fatalf("NoTrace changed server stats: %+v vs %+v", bare.Server, traced.Server)
+	}
+	if bare.Ticks != traced.Ticks {
+		t.Fatalf("NoTrace Ticks = %d, traced = %d", bare.Ticks, traced.Ticks)
+	}
+	for name, col := range map[string][]float64{
+		"Time": bare.Time, "P": bare.P, "Po": bare.Po, "TotalP": bare.TotalP,
+		"ServerUtil": bare.ServerUtil, "QualityBytes": bare.QualityBytes,
+	} {
+		if col != nil {
+			t.Errorf("NoTrace left column %s allocated (len %d)", name, len(col))
+		}
+	}
+}
+
 func TestRunSeedChangesTrace(t *testing.T) {
 	cfg := quickCfg(FrameFeedbackFactory(controller.Config{}))
 	cfg.Network = simnet.Schedule{{Start: 0, Cond: simnet.Conditions{

@@ -180,14 +180,21 @@ func NewLink(sched *simtime.Scheduler, r *rng.Stream, cond Conditions) *Link {
 	if sched == nil {
 		panic("simnet: NewLink with nil scheduler")
 	}
-	l := &Link{
-		sched:      sched,
-		rng:        r,
-		MaxBacklog: DefaultMaxBacklog,
-		MaxRetries: DefaultMaxRetries,
-	}
-	l.SetConditions(cond)
+	l := &Link{sched: sched}
+	l.Init(r, cond)
 	return l
+}
+
+// Init initializes a Link in place, for links embedded by value in
+// flat state arrays (fleet-scale device banks). A link initialized
+// this way has no scheduler: the caller drives it exclusively through
+// TransferAt/BacklogAt with an explicit clock, and Send/SendTo panic.
+// NewLink is Init plus a scheduler.
+func (l *Link) Init(r *rng.Stream, cond Conditions) {
+	l.rng = r
+	l.MaxBacklog = DefaultMaxBacklog
+	l.MaxRetries = DefaultMaxRetries
+	l.SetConditions(cond)
 }
 
 // lost samples whether one packet transmission is lost, advancing the
@@ -263,7 +270,12 @@ func (l *Link) Stats() Stats {
 // Backlog returns how much transmission time is already queued ahead
 // of a new transfer.
 func (l *Link) Backlog() time.Duration {
-	now := l.sched.Now()
+	return l.BacklogAt(l.sched.Now())
+}
+
+// BacklogAt is Backlog against an explicit clock, for scheduler-free
+// links driven through TransferAt.
+func (l *Link) BacklogAt(now simtime.Time) time.Duration {
 	if l.nextFree <= now {
 		return 0
 	}
@@ -310,23 +322,49 @@ func (l *Link) SendTo(bytes int, sink Sink, token uint64) {
 	l.send(bytes, sink, token, true)
 }
 
-// send is the shared transfer core. notifyDrop selects whether a
-// dropped transfer schedules a failure event; it reports whether an
-// outcome event was scheduled (i.e. whether the sink will be called).
+// send is the shared transfer core for scheduler-backed links.
+// notifyDrop selects whether a dropped transfer schedules a failure
+// event; it reports whether an outcome event was scheduled (i.e.
+// whether the sink will be called).
 func (l *Link) send(bytes int, sink Sink, token uint64, notifyDrop bool) bool {
+	outcomeAt, ok := l.plan(l.sched.Now(), bytes)
+	if !ok && !notifyDrop {
+		return false
+	}
+	l.sched.AtCall(outcomeAt, l.newXfer(sink, token, !ok), 0)
+	return true
+}
+
+// TransferAt runs one transfer through the link's full model — backlog
+// admission, packet walk with loss and retransmission, bottleneck
+// serialization, delivery jitter — against an explicit clock. It
+// returns the instant the outcome becomes known and whether the
+// payload was delivered; counters update exactly as for SendTo. It is
+// the scheduler-free form used by flat device banks, whose owning
+// engine turns the returned instant into its own event; the caller
+// owns the clock and must pass non-decreasing instants.
+func (l *Link) TransferAt(now simtime.Time, bytes int) (outcomeAt simtime.Time, delivered bool) {
+	outcomeAt, delivered = l.plan(now, bytes)
+	if delivered {
+		l.delivered++
+	}
+	return outcomeAt, delivered
+}
+
+// plan decides one transfer's fate at the given instant, advancing the
+// link's queue, channel, and counter state (everything except the
+// delivered counter, which scheduler-backed links defer to the outcome
+// event). Both send and TransferAt are thin wrappers over it, so the
+// two forms consume randomness draw-for-draw identically.
+func (l *Link) plan(now simtime.Time, bytes int) (outcomeAt simtime.Time, delivered bool) {
 	if bytes <= 0 {
 		panic("simnet: Send with non-positive size")
 	}
-	now := l.sched.Now()
 	cond := l.cond
 
-	if l.Backlog() > l.MaxBacklog {
+	if l.BacklogAt(now) > l.MaxBacklog {
 		l.droppedBacklog++
-		if notifyDrop {
-			l.sched.AtCall(now, l.newXfer(sink, token, true), 0)
-			return true
-		}
-		return false
+		return now, false
 	}
 	l.sent++
 
@@ -401,13 +439,9 @@ func (l *Link) send(bytes int, sink Sink, token uint64, notifyDrop bool) bool {
 		if l.partitioned {
 			l.droppedPartition++
 		}
-		if notifyDrop {
-			// The failure becomes known after the futile
-			// transmission and stalls.
-			l.sched.AtCall(start+txTime+stall, l.newXfer(sink, token, true), 0)
-			return true
-		}
-		return false
+		// The failure becomes known after the futile transmission and
+		// stalls.
+		return start + txTime + stall, false
 	}
 
 	deliverAt := start + txTime + stall + cond.PropDelay
@@ -415,8 +449,7 @@ func (l *Link) send(bytes int, sink Sink, token uint64, notifyDrop bool) bool {
 		span := float64(deliverAt - now)
 		deliverAt = now + simtime.Time(l.rng.Jitter(span, cond.JitterRel))
 	}
-	l.sched.AtCall(deliverAt, l.newXfer(sink, token, false), 0)
-	return true
+	return deliverAt, true
 }
 
 // Path is a bidirectional device↔server connection: an uplink carrying

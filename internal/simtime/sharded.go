@@ -1,0 +1,260 @@
+package simtime
+
+// Sharded runs K independent Schedulers in lockstep epochs, the
+// conservative-parallel form of the DES core for fleet-scale runs.
+//
+// Each shard owns a deterministic partition of the simulated entities;
+// events that stay inside a partition run on that shard's private heap
+// with no synchronization at all. Interactions that cross a partition
+// boundary must instead be posted as messages (Post): during an epoch
+// every shard appends to its own outbox, and at the epoch barrier the
+// engine merges all outboxes, sorts them by the total order
+// (at, lane, seq), and injects them into the destination heaps before
+// any shard proceeds.
+//
+// Correctness rests on a lookahead bound L: every posted message must
+// carry a timestamp at least the current epoch boundary (in the fleet
+// model L is the minimum link propagation delay, so any device↔server
+// message lands at or beyond the boundary by construction). Epoch cut
+// points depend only on (AdvanceTo targets, L) — never on K or the
+// worker count — and the merge order is a total order over messages,
+// so a run is byte-identical across shard counts, worker counts and
+// reruns as long as the per-shard event streams themselves are
+// K-independent (the fleet runner's partitioning rule guarantees
+// that).
+type Sharded struct {
+	shards    []*Scheduler
+	lookahead Time
+	now       Time
+
+	// Per-source-shard outboxes, written only by the goroutine running
+	// that shard during an epoch, merged single-threaded at the
+	// barrier. inbox is the reused merge scratch.
+	outbox [][]shardMsg
+	inbox  []shardMsg
+
+	// barrier is the boundary of the epoch currently executing; workers
+	// read it after the work-channel receive (which orders the write).
+	barrier Time
+
+	workers int
+	work    chan int
+	done    chan struct{}
+}
+
+// shardMsg is one cross-partition message awaiting barrier merge. The
+// (at, lane, seq) triple is its position in the global total order:
+// lane identifies the sending logical entity and seq is the sender's
+// monotone per-lane counter, so concurrent shards can emit without
+// coordinating and the merge still has a unique sort key.
+type shardMsg struct {
+	at    Time
+	lane  uint64
+	seq   uint64
+	token uint64
+	cb    Callback
+	dst   int32
+}
+
+// NewSharded creates a K-shard engine with the given lookahead (must
+// be positive) and worker count. workers <= 1 — or a single shard —
+// runs epochs sequentially on the calling goroutine; otherwise
+// min(workers, k) persistent goroutines execute shards in parallel.
+func NewSharded(k int, lookahead Time, workers int) *Sharded {
+	if k <= 0 {
+		panic("simtime: NewSharded with non-positive shard count")
+	}
+	if lookahead <= 0 {
+		panic("simtime: NewSharded with non-positive lookahead")
+	}
+	s := &Sharded{
+		shards:    make([]*Scheduler, k),
+		lookahead: lookahead,
+		outbox:    make([][]shardMsg, k),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewScheduler()
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers > 1 {
+		s.workers = workers
+		s.work = make(chan int, k)
+		s.done = make(chan struct{}, k)
+		for w := 0; w < workers; w++ {
+			go s.runWorker()
+		}
+	} else {
+		s.workers = 1
+	}
+	return s
+}
+
+func (s *Sharded) runWorker() {
+	for idx := range s.work {
+		s.shards[idx].RunUntil(s.barrier)
+		s.done <- struct{}{}
+	}
+}
+
+// Close releases the worker goroutines. The engine must not be
+// advanced afterwards.
+func (s *Sharded) Close() {
+	if s.work != nil {
+		close(s.work)
+		s.work = nil
+	}
+}
+
+// K returns the shard count.
+func (s *Sharded) K() int { return len(s.shards) }
+
+// Lookahead returns the epoch length bound.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// Shard returns shard i's private scheduler, for scheduling
+// intra-partition events during setup and from that shard's own
+// callbacks.
+func (s *Sharded) Shard(i int) *Scheduler { return s.shards[i] }
+
+// Now returns the engine clock: the last epoch boundary reached.
+// Individual shards share this value between epochs.
+func (s *Sharded) Now() Time { return s.now }
+
+// Fired returns the total number of events executed across all shards.
+func (s *Sharded) Fired() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.Fired()
+	}
+	return n
+}
+
+// Len returns the total number of pending events across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Post enqueues a cross-partition message from shard src: cb.OnSchedEvent(token)
+// will run on shard dst at time at. The (lane, seq) pair must be
+// unique per (at, lane): lane identifies the sending entity, seq its
+// monotone message counter. at must be at least the boundary of the
+// epoch being executed (the lookahead contract); violations panic at
+// the barrier. Post may only be called from the goroutine currently
+// running shard src (or between epochs from the driver with src 0).
+func (s *Sharded) Post(src, dst int, at Time, lane, seq uint64, cb Callback, token uint64) {
+	s.outbox[src] = append(s.outbox[src], shardMsg{
+		at: at, lane: lane, seq: seq, token: token, cb: cb, dst: int32(dst),
+	})
+}
+
+// AdvanceTo runs the engine to time t: epochs of at most the lookahead
+// length, each ending in an outbox merge + injection barrier. The
+// sequence of epoch boundaries for a given series of AdvanceTo targets
+// is independent of shard and worker count, which is what keeps
+// same-timestamp event interleavings reproducible.
+func (s *Sharded) AdvanceTo(t Time) {
+	if t < s.now {
+		panic("simtime: Sharded.AdvanceTo into the past")
+	}
+	for s.now < t {
+		b := s.now + s.lookahead
+		if b > t {
+			b = t
+		}
+		s.runEpoch(b)
+		s.now = b
+	}
+	// Deliver messages posted by the driver between epochs (e.g. tick
+	// work at the current boundary) even when t == now.
+	s.mergeInject(s.now)
+}
+
+func (s *Sharded) runEpoch(b Time) {
+	s.barrier = b
+	if s.workers <= 1 {
+		for _, sh := range s.shards {
+			sh.RunUntil(b)
+		}
+	} else {
+		for i := range s.shards {
+			s.work <- i
+		}
+		for range s.shards {
+			<-s.done
+		}
+	}
+	s.mergeInject(b)
+}
+
+// mergeInject drains every outbox into the destination shards in the
+// global (at, lane, seq) order. Injection happens with all shard
+// clocks at b, so a message timed exactly at b fires after the local
+// events of the epoch that produced it — a fixed, K-independent rule.
+func (s *Sharded) mergeInject(b Time) {
+	s.inbox = s.inbox[:0]
+	for i, out := range s.outbox {
+		for _, m := range out {
+			if m.at < b {
+				panic("simtime: Sharded message violates lookahead")
+			}
+			s.inbox = append(s.inbox, m)
+		}
+		s.outbox[i] = out[:0]
+	}
+	if len(s.inbox) == 0 {
+		return
+	}
+	sortMsgs(s.inbox)
+	for _, m := range s.inbox {
+		s.shards[m.dst].AtCall(m.at, m.cb, m.token)
+	}
+}
+
+// msgLess is the total order on cross-shard messages.
+func msgLess(a, b shardMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
+// sortMsgs is an in-place heapsort: no allocation (unlike sort.Slice's
+// interface conversion) and no recursion, keeping the barrier
+// allocation-free at steady state. Stability is irrelevant because
+// (at, lane, seq) keys are unique.
+func sortMsgs(m []shardMsg) {
+	n := len(m)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftMsgs(m, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		m[0], m[i] = m[i], m[0]
+		siftMsgs(m, 0, i)
+	}
+}
+
+func siftMsgs(m []shardMsg, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && msgLess(m[child], m[child+1]) {
+			child++
+		}
+		if !msgLess(m[root], m[child]) {
+			return
+		}
+		m[root], m[child] = m[child], m[root]
+		root = child
+	}
+}

@@ -1,0 +1,175 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// shardLane is a self-rescheduling test entity: it fires a local event
+// every period, hashes everything it observes into its private trace,
+// and every third firing posts a message to a peer lane one lookahead
+// ahead. Its behaviour depends only on its own state, so its trace
+// must be identical for every shard/worker layout.
+type shardLane struct {
+	eng     *Sharded
+	id      int
+	shard   int
+	peers   []*shardLane
+	period  Time
+	seq     uint64
+	fires   int
+	forever bool
+	hash    uint64
+}
+
+func (l *shardLane) mix(v uint64) {
+	h := l.hash ^ v
+	h *= 0x100000001b3
+	l.hash = h
+}
+
+func (l *shardLane) OnSchedEvent(token uint64) {
+	sh := l.eng.Shard(l.shard)
+	now := sh.Now()
+	if token == 1 {
+		// Incoming cross-lane message.
+		l.mix(uint64(now)*3 + 1)
+		return
+	}
+	l.fires++
+	l.mix(uint64(now)*3 + 2)
+	if l.fires%3 == 0 {
+		peer := l.peers[(l.id+l.fires)%len(l.peers)]
+		l.seq++
+		l.eng.Post(l.shard, peer.shard, now+l.eng.Lookahead(),
+			uint64(l.id), l.seq, peer, 1)
+	}
+	if l.forever || l.fires < 200 {
+		sh.AfterCall(l.period, l, 0)
+	}
+}
+
+// buildLaneRun executes the lane workload on a (k, workers) layout and
+// returns the combined order-independent trace digest.
+func buildLaneRun(t *testing.T, k, workers int) uint64 {
+	t.Helper()
+	const lanes = 24
+	eng := NewSharded(k, Time(5*time.Millisecond), workers)
+	defer eng.Close()
+	all := make([]*shardLane, lanes)
+	for i := range all {
+		all[i] = &shardLane{
+			eng:    eng,
+			id:     i,
+			shard:  i % k,
+			period: Time(time.Millisecond) * Time(1+i%7),
+		}
+	}
+	for _, l := range all {
+		l.peers = all
+		eng.Shard(l.shard).AtCall(l.period, l, 0)
+	}
+	for step := Time(0); step < Time(time.Second); step += Time(100 * time.Millisecond) {
+		eng.AdvanceTo(step + Time(100*time.Millisecond))
+	}
+	var sum uint64
+	for _, l := range all {
+		sum += l.hash * uint64(l.id+1)
+	}
+	return sum
+}
+
+func TestShardedLayoutInvariance(t *testing.T) {
+	ref := buildLaneRun(t, 1, 1)
+	for _, layout := range [][2]int{{1, 1}, {2, 1}, {4, 1}, {4, 4}, {8, 3}} {
+		got := buildLaneRun(t, layout[0], layout[1])
+		if got != ref {
+			t.Errorf("layout k=%d workers=%d: digest %#x, want %#x",
+				layout[0], layout[1], got, ref)
+		}
+	}
+}
+
+func TestShardedRerunIdentical(t *testing.T) {
+	a := buildLaneRun(t, 4, 4)
+	b := buildLaneRun(t, 4, 4)
+	if a != b {
+		t.Errorf("rerun digest mismatch: %#x vs %#x", a, b)
+	}
+}
+
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	eng := NewSharded(2, Time(5*time.Millisecond), 1)
+	defer eng.Close()
+	var sink countingCallback
+	// Message timed before the first epoch boundary.
+	eng.Post(0, 1, Time(time.Millisecond), 0, 0, &sink, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	eng.AdvanceTo(Time(5 * time.Millisecond))
+}
+
+type countingCallback struct{ n int }
+
+func (c *countingCallback) OnSchedEvent(uint64) { c.n++ }
+
+// TestShardedMergeOrder pins the (at, lane, seq) total order: three
+// messages posted out of order must fire sorted.
+type orderRecorder struct{ got []uint64 }
+
+func (o *orderRecorder) OnSchedEvent(token uint64) { o.got = append(o.got, token) }
+
+func TestShardedMergeOrder(t *testing.T) {
+	eng := NewSharded(2, Time(10*time.Millisecond), 1)
+	defer eng.Close()
+	rec := &orderRecorder{}
+	at := Time(10 * time.Millisecond)
+	eng.Post(0, 1, at, 2, 0, rec, 3)
+	eng.Post(0, 1, at, 1, 1, rec, 2)
+	eng.Post(0, 1, at, 1, 0, rec, 1)
+	eng.AdvanceTo(at)
+	eng.AdvanceTo(at + 1) // run the injected events
+	want := []uint64{1, 2, 3}
+	if len(rec.got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(rec.got), len(want))
+	}
+	for i, w := range want {
+		if rec.got[i] != w {
+			t.Errorf("fire %d: token %d, want %d", i, rec.got[i], w)
+		}
+	}
+}
+
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	const lanes = 16
+	eng := NewSharded(2, Time(5*time.Millisecond), 1)
+	defer eng.Close()
+	all := make([]*shardLane, lanes)
+	for i := range all {
+		all[i] = &shardLane{
+			eng:    eng,
+			id:     i,
+			shard:  i % 2,
+			period: Time(time.Millisecond) * Time(1+i%5),
+		}
+	}
+	now := Time(0)
+	for _, l := range all {
+		l.peers = all
+		l.forever = true
+		eng.Shard(l.shard).AtCall(l.period, l, 0)
+	}
+	// Warm the heaps, free lists, outbox and inbox capacity.
+	now += Time(200 * time.Millisecond)
+	eng.AdvanceTo(now)
+	allocs := testing.AllocsPerRun(50, func() {
+		now += Time(10 * time.Millisecond)
+		eng.AdvanceTo(now)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AdvanceTo allocates %v times per call, want 0", allocs)
+	}
+}
