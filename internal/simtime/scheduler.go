@@ -38,19 +38,30 @@ type Callback interface {
 	OnSchedEvent(token uint64)
 }
 
-// node is the heap entry backing a scheduled event. Nodes are owned by
-// the scheduler and recycled after firing or draining; the public
+// node is the queue entry backing a scheduled event. Nodes are owned
+// by the scheduler and recycled after firing or draining; the public
 // Event handle carries a generation tag (the seq) so stale handles
 // never act on a recycled node. Exactly one of fn and cb is set.
+//
+// A node lives in exactly one of three places while pending: a heap
+// (the ready heap or the wheel's overflow heap, index >= 0), a wheel
+// bucket (index == idxBucket, chained through next), or nowhere
+// (index == idxRemoved, fired/drained and back on the free list).
 type node struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	cb       Callback
 	token    uint64
-	index    int32 // heap index; -1 once removed
+	next     *node // intrusive wheel-bucket link; nil outside buckets
+	index    int32 // heap index; idxBucket in a wheel bucket; idxRemoved once removed
 	canceled bool
 }
+
+const (
+	idxRemoved int32 = -1 // fired, drained or never scheduled
+	idxBucket  int32 = -2 // pending inside a timing-wheel bucket
+)
 
 // Event is a handle to a scheduled callback, returned by the
 // scheduling methods so callers can cancel the event before it fires.
@@ -79,7 +90,7 @@ func (e Event) At() Time { return e.at }
 // converges back as the simulation proceeds.
 func (e Event) Cancel() bool {
 	n := e.n
-	if n == nil || n.seq != e.seq || n.canceled || n.index < 0 {
+	if n == nil || n.seq != e.seq || n.canceled || n.index == idxRemoved {
 		return false
 	}
 	n.canceled = true
@@ -95,7 +106,7 @@ func (e Event) Canceled() bool {
 
 // Pending reports whether the event is still queued and will fire.
 func (e Event) Pending() bool {
-	return e.n != nil && e.n.seq == e.seq && !e.n.canceled && e.n.index >= 0
+	return e.n != nil && e.n.seq == e.seq && !e.n.canceled && e.n.index != idxRemoved
 }
 
 // initialHeapCap pre-sizes the event queue so a simulation's warm-up
@@ -114,11 +125,17 @@ const (
 // one Scheduler per worker.
 type Scheduler struct {
 	now     Time
-	events  []*node // min-heap on (at, seq)
+	events  []*node // ready min-heap on (at, seq)
 	free    []*node // recycled nodes
 	seq     uint64
 	stopped bool
 	fired   uint64
+
+	// wh, when non-nil, is the timing-wheel front-end (see wheel.go):
+	// near-horizon events land in O(1) buckets and only reach the ready
+	// heap when their slot becomes current. nil means pure-heap mode,
+	// where events is the whole queue.
+	wh *wheel
 }
 
 // NewScheduler returns an empty scheduler with the clock at t = 0.
@@ -134,6 +151,21 @@ func NewScheduler() *Scheduler {
 	return s
 }
 
+// NewSchedulerWheel returns a scheduler with the timing-wheel
+// front-end enabled. Semantics — ordering, FIFO ties, Cancel, Len
+// bounds, panics — are identical to NewScheduler (FuzzWheelVsHeap
+// asserts the firing order event-for-event); the difference is cost:
+// inserting an event within the wheel horizon is O(1) instead of
+// O(log n), which matters when tens of thousands of events are
+// pending (the sharded fleet engine). The wheel costs ~70 KiB per
+// scheduler up front, so the plain heap remains the right choice for
+// small single-run simulations.
+func NewSchedulerWheel() *Scheduler {
+	s := NewScheduler()
+	s.wh = newWheel()
+	return s
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
@@ -143,7 +175,13 @@ func (s *Scheduler) Now() Time { return s.now }
 // transient: every Step, At and NextAt drains canceled events from the
 // front of the queue, so Len converges to the true count as the
 // simulation proceeds (see TestLenConvergesAfterMassCancel).
-func (s *Scheduler) Len() int { return len(s.events) }
+func (s *Scheduler) Len() int {
+	n := len(s.events)
+	if s.wh != nil {
+		n += s.wh.count + len(s.wh.far)
+	}
+	return n
+}
 
 // Fired returns the total number of events that have executed.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -163,13 +201,15 @@ func (s *Scheduler) alloc() *node {
 	return n
 }
 
-// recycle returns a node to the free list. The fn and cb references are
-// cleared so the scheduler does not retain captured closures or pooled
-// receivers; seq is left untouched until reuse so stale Event handles
-// still fail their generation check.
+// recycle returns a node to the free list. The fn, cb and next
+// references are cleared so the scheduler does not retain captured
+// closures or pooled receivers; seq is left untouched until reuse so
+// stale Event handles still fail their generation check.
 func (s *Scheduler) recycle(n *node) {
 	n.fn = nil
 	n.cb = nil
+	n.next = nil
+	n.index = idxRemoved
 	s.free = append(s.free, n)
 }
 
@@ -220,34 +260,43 @@ func (s *Scheduler) schedule(t Time, fn func(), cb Callback, token uint64) Event
 	n.token = token
 	n.canceled = false
 	s.seq++
-	n.index = int32(len(s.events))
-	s.events = append(s.events, n)
-	s.siftUp(len(s.events) - 1)
+	if s.wh != nil {
+		s.place(n)
+	} else {
+		heapPush(&s.events, n)
+	}
 	return Event{n: n, seq: n.seq, at: t}
+}
+
+// fire pops the ready-heap minimum and executes it. The caller must
+// have established (via refill) that the heap is non-empty and its
+// front is not canceled.
+func (s *Scheduler) fire() {
+	n := heapPop(&s.events)
+	at, fn, cb, token := n.at, n.fn, n.cb, n.token
+	s.recycle(n)
+	s.now = at
+	s.fired++
+	if fn != nil {
+		fn()
+	} else {
+		cb.OnSchedEvent(token)
+	}
 }
 
 // Step executes the single earliest pending event, advancing the clock
 // to its timestamp. It reports whether an event was executed; false
 // means the queue was empty or the scheduler was stopped.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 && !s.stopped {
-		n := s.popTop()
-		if n.canceled {
-			s.recycle(n)
-			continue
-		}
-		at, fn, cb, token := n.at, n.fn, n.cb, n.token
-		s.recycle(n)
-		s.now = at
-		s.fired++
-		if fn != nil {
-			fn()
-		} else {
-			cb.OnSchedEvent(token)
-		}
-		return true
+	if s.stopped {
+		return false
 	}
-	return false
+	s.refill()
+	if len(s.events) == 0 {
+		return false
+	}
+	s.fire()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -263,33 +312,57 @@ func (s *Scheduler) RunUntil(t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: RunUntil into the past (t=%v, now=%v)", t, s.now))
 	}
-	for len(s.events) > 0 && !s.stopped {
-		next := s.peek()
-		if next == nil {
+	for !s.stopped {
+		s.refill()
+		if len(s.events) == 0 || s.events[0].at > t {
 			break
 		}
-		if next.at > t {
-			break
-		}
-		s.Step()
+		s.fire()
 	}
 	if !s.stopped && s.now < t {
 		s.now = t
 	}
 }
 
-// drainCanceled pops canceled events off the front of the queue so a
-// cancellation burst cannot pin heap slots for the rest of the run.
+// drainCanceled pops canceled events off the front of the ready heap
+// so a cancellation burst cannot pin heap slots for the rest of the
+// run. (Canceled events parked in wheel buckets or the overflow heap
+// are reclaimed when their slot is flushed or migrated.)
 func (s *Scheduler) drainCanceled() {
 	for len(s.events) > 0 && s.events[0].canceled {
-		s.recycle(s.popTop())
+		s.recycle(heapPop(&s.events))
+	}
+}
+
+// refill establishes the dispatch invariant: either the ready heap is
+// empty and so is the whole queue, or its front is the earliest
+// pending non-canceled event. In pure-heap mode that is just a
+// canceled-front drain; in wheel mode an empty ready heap additionally
+// pulls the wheel forward slot by slot (see wheel.go) until a live
+// event surfaces or the queue is exhausted.
+func (s *Scheduler) refill() {
+	s.drainCanceled()
+	w := s.wh
+	if w == nil {
+		return
+	}
+	for len(s.events) == 0 {
+		// A canceled far-future event must not steer the cursor jump.
+		for len(w.far) > 0 && w.far[0].canceled {
+			s.recycle(heapPop(&w.far))
+		}
+		if w.count == 0 && len(w.far) == 0 {
+			return
+		}
+		s.advanceWheel()
+		s.drainCanceled()
 	}
 }
 
 // peek returns the earliest non-canceled event without removing it,
 // draining canceled events it encounters on the way.
 func (s *Scheduler) peek() *node {
-	s.drainCanceled()
+	s.refill()
 	if len(s.events) == 0 {
 		return nil
 	}
@@ -321,7 +394,9 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // container/heap costs an interface conversion per Push/Pop plus
 // indirect Less/Swap calls; at millions of events per run that is the
 // scheduler's dominant overhead. The sift routines below are the same
-// algorithm, monomorphic and allocation-free.
+// algorithm, monomorphic and allocation-free. They operate on a plain
+// node slice so the ready heap and the wheel's overflow heap share
+// them.
 
 // before reports whether a orders strictly before b: earlier virtual
 // time first, scheduling order (seq) breaking ties — the FIFO
@@ -333,59 +408,66 @@ func before(a, b *node) bool {
 	return a.seq < b.seq
 }
 
-func (s *Scheduler) siftUp(i int) {
-	ev := s.events[i]
+func heapPush(h *[]*node, n *node) {
+	n.index = int32(len(*h))
+	*h = append(*h, n)
+	heapSiftUp(*h, len(*h)-1)
+}
+
+func heapSiftUp(h []*node, i int) {
+	ev := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		p := s.events[parent]
+		p := h[parent]
 		if !before(ev, p) {
 			break
 		}
-		s.events[i] = p
+		h[i] = p
 		p.index = int32(i)
 		i = parent
 	}
-	s.events[i] = ev
+	h[i] = ev
 	ev.index = int32(i)
 }
 
-func (s *Scheduler) siftDown(i int) {
-	ev := s.events[i]
-	n := len(s.events)
+func heapSiftDown(h []*node, i int) {
+	ev := h[i]
+	n := len(h)
 	for {
 		l := 2*i + 1
 		if l >= n {
 			break
 		}
-		best, bn := l, s.events[l]
+		best, bn := l, h[l]
 		if r := l + 1; r < n {
-			if rn := s.events[r]; before(rn, bn) {
+			if rn := h[r]; before(rn, bn) {
 				best, bn = r, rn
 			}
 		}
 		if !before(bn, ev) {
 			break
 		}
-		s.events[i] = bn
+		h[i] = bn
 		bn.index = int32(i)
 		i = best
 	}
-	s.events[i] = ev
+	h[i] = ev
 	ev.index = int32(i)
 }
 
-// popTop removes and returns the heap minimum.
-func (s *Scheduler) popTop() *node {
-	top := s.events[0]
-	last := len(s.events) - 1
+// heapPop removes and returns the heap minimum.
+func heapPop(h *[]*node) *node {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
 	if last > 0 {
-		s.events[0] = s.events[last]
+		q[0] = q[last]
 	}
-	s.events[last] = nil
-	s.events = s.events[:last]
+	q[last] = nil
+	*h = q[:last]
 	if last > 0 {
-		s.siftDown(0)
+		heapSiftDown(*h, 0)
 	}
-	top.index = -1
+	top.index = idxRemoved
 	return top
 }

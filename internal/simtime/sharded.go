@@ -1,5 +1,7 @@
 package simtime
 
+import "fmt"
+
 // Sharded runs K independent Schedulers in lockstep epochs, the
 // conservative-parallel form of the DES core for fleet-scale runs.
 //
@@ -29,9 +31,15 @@ type Sharded struct {
 
 	// Per-source-shard outboxes, written only by the goroutine running
 	// that shard during an epoch, merged single-threaded at the
-	// barrier. inbox is the reused merge scratch.
-	outbox [][]shardMsg
-	inbox  []shardMsg
+	// barrier. dest is the per-destination merge scratch: messages are
+	// bucketed by destination shard so each run can be sorted and
+	// bulk-injected on its own. The quiet counters track consecutive
+	// merges in which a scratch slice went unused, driving the
+	// oversized-scratch release (see trimScratch).
+	outbox    [][]shardMsg
+	dest      [][]shardMsg
+	outQuiet  []int32
+	destQuiet []int32
 
 	// barrier is the boundary of the epoch currently executing; workers
 	// read it after the work-channel receive (which orders the write).
@@ -40,6 +48,7 @@ type Sharded struct {
 	workers int
 	work    chan int
 	done    chan struct{}
+	closed  bool
 }
 
 // shardMsg is one cross-partition message awaiting barrier merge. The
@@ -71,9 +80,14 @@ func NewSharded(k int, lookahead Time, workers int) *Sharded {
 		shards:    make([]*Scheduler, k),
 		lookahead: lookahead,
 		outbox:    make([][]shardMsg, k),
+		dest:      make([][]shardMsg, k),
+		outQuiet:  make([]int32, k),
+		destQuiet: make([]int32, k),
 	}
 	for i := range s.shards {
-		s.shards[i] = NewScheduler()
+		// Shard heaps hold fleet-scale pending populations; the wheel
+		// front-end makes their inserts O(1) (see wheel.go).
+		s.shards[i] = NewSchedulerWheel()
 	}
 	if workers > k {
 		workers = k
@@ -99,8 +113,14 @@ func (s *Sharded) runWorker() {
 }
 
 // Close releases the worker goroutines. The engine must not be
-// advanced afterwards.
+// advanced afterwards: AdvanceTo panics once closed. (It used to
+// deadlock in worker mode — the work channel was gone but the epoch
+// loop still tried to hand shards to it.)
 func (s *Sharded) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if s.work != nil {
 		close(s.work)
 		s.work = nil
@@ -159,6 +179,9 @@ func (s *Sharded) Post(src, dst int, at Time, lane, seq uint64, cb Callback, tok
 // is independent of shard and worker count, which is what keeps
 // same-timestamp event interleavings reproducible.
 func (s *Sharded) AdvanceTo(t Time) {
+	if s.closed {
+		panic("simtime: Sharded.AdvanceTo after Close")
+	}
 	if t < s.now {
 		panic("simtime: Sharded.AdvanceTo into the past")
 	}
@@ -196,23 +219,93 @@ func (s *Sharded) runEpoch(b Time) {
 // global (at, lane, seq) order. Injection happens with all shard
 // clocks at b, so a message timed exactly at b fires after the local
 // events of the epoch that produced it — a fixed, K-independent rule.
+//
+// Fast path: instead of heapsorting the union of all outboxes and
+// pushing each message individually, messages are bucketed by
+// destination shard, each destination's run is sorted once, and the
+// pre-sorted run is handed to the destination Scheduler in bulk
+// (injectSorted). Seq assignment inside a shard depends only on that
+// shard's own injection order, and restricting the global
+// (at, lane, seq) order to one destination yields exactly the sorted
+// per-destination run — so every shard assigns the same seqs, and
+// fires in the same order, as under the global sort.
 func (s *Sharded) mergeInject(b Time) {
-	s.inbox = s.inbox[:0]
 	for i, out := range s.outbox {
-		for _, m := range out {
+		if len(out) == 0 {
+			s.outbox[i] = trimScratch(out, &s.outQuiet[i])
+			continue
+		}
+		s.outQuiet[i] = 0
+		for j := range out {
+			m := &out[j]
 			if m.at < b {
 				panic("simtime: Sharded message violates lookahead")
 			}
-			s.inbox = append(s.inbox, m)
+			s.dest[m.dst] = append(s.dest[m.dst], *m)
 		}
 		s.outbox[i] = out[:0]
 	}
-	if len(s.inbox) == 0 {
-		return
+	for d, run := range s.dest {
+		if len(run) == 0 {
+			s.dest[d] = trimScratch(run, &s.destQuiet[d])
+			continue
+		}
+		s.destQuiet[d] = 0
+		sortMsgs(run)
+		s.shards[d].injectSorted(run)
+		s.dest[d] = run[:0]
 	}
-	sortMsgs(s.inbox)
-	for _, m := range s.inbox {
-		s.shards[m.dst].AtCall(m.at, m.cb, m.token)
+}
+
+// Scratch slices (outboxes, per-destination runs) grow to the largest
+// burst ever seen and would otherwise pin that capacity for the rest
+// of a long run. A slice that sits unused for scratchQuietMerges
+// consecutive merges while holding more than scratchFloorCap entries
+// is released outright; traffic resuming later regrows it in O(log n)
+// appends. Tying release to fully idle merges keeps the steady-state
+// barrier allocation-free: any traffic at all resets the counter.
+const (
+	scratchQuietMerges = 64
+	scratchFloorCap    = 64
+)
+
+func trimScratch(buf []shardMsg, quiet *int32) []shardMsg {
+	if cap(buf) <= scratchFloorCap {
+		return buf[:0]
+	}
+	if *quiet++; *quiet < scratchQuietMerges {
+		return buf[:0]
+	}
+	*quiet = 0
+	return nil
+}
+
+// injectSorted bulk-schedules a (at, lane, seq)-sorted run of
+// cross-shard messages on this shard. It is equivalent to calling
+// AtCall once per message in run order — each message gets the next
+// scheduler seq, so FIFO ties resolve in run order — but skips the
+// per-call wrapping: one canceled-front drain for the whole run, and
+// with the wheel enabled each insert is an O(1) bucket append.
+func (s *Scheduler) injectSorted(msgs []shardMsg) {
+	s.drainCanceled()
+	for i := range msgs {
+		m := &msgs[i]
+		if m.at < s.now {
+			panic(fmt.Sprintf("simtime: event scheduled in the past (at=%v, now=%v)", m.at, s.now))
+		}
+		n := s.alloc()
+		n.at = m.at
+		n.seq = s.seq
+		n.fn = nil
+		n.cb = m.cb
+		n.token = m.token
+		n.canceled = false
+		s.seq++
+		if s.wh != nil {
+			s.place(n)
+		} else {
+			heapPush(&s.events, n)
+		}
 	}
 }
 

@@ -173,3 +173,126 @@ func TestShardedSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state AdvanceTo allocates %v times per call, want 0", allocs)
 	}
 }
+
+// TestShardedAdvanceAfterClosePanics pins the Close contract: advancing
+// a closed engine must fail loudly. In worker mode it used to deadlock
+// instead — the work channel was nil'd but the epoch loop still tried
+// to hand shards to the (gone) workers.
+func TestShardedAdvanceAfterClosePanics(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		eng := NewSharded(2, Time(time.Millisecond), workers)
+		eng.AdvanceTo(Time(time.Millisecond))
+		eng.Close()
+		eng.Close() // idempotent
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: AdvanceTo after Close did not panic", workers)
+				}
+				if s, ok := r.(string); !ok || s != "simtime: Sharded.AdvanceTo after Close" {
+					t.Fatalf("workers=%d: unexpected panic %v", workers, r)
+				}
+			}()
+			eng.AdvanceTo(Time(2 * time.Millisecond))
+		}()
+	}
+}
+
+// TestShardedScratchShrinks pins the quiet-epoch scratch release: a
+// burst inflates the outbox and per-destination merge scratch, and a
+// long fully-idle stretch must give the capacity back instead of
+// pinning the worst case for the rest of the run.
+func TestShardedScratchShrinks(t *testing.T) {
+	eng := NewSharded(2, Time(time.Millisecond), 1)
+	defer eng.Close()
+	var sink countingCallback
+	const burst = 4 * scratchFloorCap
+	now := Time(0)
+	for i := 0; i < burst; i++ {
+		eng.Post(0, 1, now+Time(time.Millisecond), 0, uint64(i), &sink, 0)
+	}
+	now += Time(2 * time.Millisecond)
+	eng.AdvanceTo(now)
+	if cap(eng.outbox[0]) < burst || cap(eng.dest[1]) < burst {
+		t.Fatalf("burst did not inflate scratch: outbox cap %d, dest cap %d",
+			cap(eng.outbox[0]), cap(eng.dest[1]))
+	}
+	if sink.n != burst {
+		t.Fatalf("delivered %d of %d burst messages", sink.n, burst)
+	}
+	// Each AdvanceTo performs at least two message-free merges here
+	// (epoch barrier + driver tail), so this comfortably exceeds the
+	// scratchQuietMerges release threshold.
+	for i := 0; i < scratchQuietMerges; i++ {
+		now += Time(time.Millisecond)
+		eng.AdvanceTo(now)
+	}
+	if c := cap(eng.outbox[0]); c != 0 {
+		t.Errorf("idle outbox scratch still holds cap %d, want released", c)
+	}
+	if c := cap(eng.dest[1]); c != 0 {
+		t.Errorf("idle dest scratch still holds cap %d, want released", c)
+	}
+}
+
+// TestShardedMergeZeroAlloc fences the barrier fast path: with pools
+// and scratch warm, a post-merge-fire cycle through the per-destination
+// bulk injection must not allocate.
+func TestShardedMergeZeroAlloc(t *testing.T) {
+	const k = 4
+	eng := NewSharded(k, Time(time.Millisecond), 1)
+	defer eng.Close()
+	var sinks [k]countingCallback
+	now := Time(0)
+	var seq uint64
+	cycle := func() {
+		for j := 0; j < 64; j++ {
+			dst := j % k
+			seq++
+			at := now + Time(time.Millisecond) + Time(j)*Time(10*time.Microsecond)
+			eng.Post(0, dst, at, uint64(dst), seq, &sinks[dst], 0)
+		}
+		now += Time(time.Millisecond)
+		eng.AdvanceTo(now)
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm free lists, outbox, dest runs, wheel tiers
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("barrier fast path allocates %v times per cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkShardedMerge measures the barrier fast path end to end:
+// posting a burst to every destination shard, merging at the epoch
+// boundary via the per-destination bulk injection, and firing the
+// delivered events. Tracked in BENCH_*.json and gated by
+// scripts/benchdiff.go.
+func BenchmarkShardedMerge(b *testing.B) {
+	const k = 4
+	const perEpoch = 256
+	eng := NewSharded(k, Time(time.Millisecond), 1)
+	defer eng.Close()
+	var sinks [k]countingCallback
+	now := Time(0)
+	var seq uint64
+	cycle := func() {
+		for j := 0; j < perEpoch; j++ {
+			dst := j % k
+			seq++
+			at := now + Time(time.Millisecond) + Time(j)*Time(time.Microsecond)
+			eng.Post(0, dst, at, uint64(dst), seq, &sinks[dst], 0)
+		}
+		now += Time(time.Millisecond)
+		eng.AdvanceTo(now)
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

@@ -1,0 +1,169 @@
+package simtime
+
+import "math/bits"
+
+// Timing-wheel front-end for the scheduler (enabled by
+// NewSchedulerWheel).
+//
+// The pure binary heap pays O(log n) per insert, and a fleet-scale
+// shard keeps tens of thousands of events pending — mostly offload
+// deadlines and local-inference completions that land within a few
+// hundred simulated milliseconds. The wheel turns those inserts into
+// O(1) bucket appends while keeping the observable firing order
+// bit-identical to the heap (FuzzWheelVsHeap is the differential
+// guard).
+//
+// Layout. Virtual time is divided into slots of 2^wheelSlotBits ns
+// (65.536 µs); wheelSlots consecutive slots form the wheel's horizon
+// (4096 slots ≈ 268 ms — chosen to cover the fleet model's 250 ms
+// offload deadline, the farthest-out event the hot path schedules).
+// base is the start of the cursor slot, always slot-aligned. Every
+// pending event lives in exactly one of three tiers:
+//
+//	ready heap   at <  base+slot        exact (at, seq) min-heap
+//	wheel bucket at <  base+horizon     FIFO list in slot (at>>bits)&mask
+//	overflow     at >= base+horizon     (at, seq) min-heap (far)
+//
+// Dispatch only ever pops the ready heap. When it runs dry, the
+// cursor advances to the next occupied slot (an occupancy bitmap plus
+// TrailingZeros makes that a word scan, not a slot-by-slot walk) and
+// that slot's bucket is flushed through the ready heap.
+//
+// Order preservation. A bucket holds only events of a single slot and
+// the cursor reaches a slot only after every earlier event has fired,
+// so flushing the whole bucket into the (at, seq) ready heap restores
+// the exact global order — including FIFO ties, because seq breaks
+// them just as in pure-heap mode. Events scheduled directly into the
+// current slot (at < base+slot, common when now has nearly caught up
+// with base) go straight to the ready heap, where the same comparator
+// orders them against the flushed bucket. The overflow heap releases
+// events into the wheel whenever base advances, and its minimum is
+// always at least base+horizon, so no far event can become due while
+// parked there.
+//
+// Cancel stays O(1): canceled bucket events are reclaimed when their
+// slot is flushed, canceled overflow events when they surface at the
+// overflow top or migrate.
+const (
+	wheelSlotBits = 16                                // 65.536 µs per slot
+	wheelSlots    = 1 << 12                           // 4096 slots per revolution
+	wheelMask     = wheelSlots - 1                    //
+	wheelSlotLen  = Time(1) << wheelSlotBits          //
+	wheelHorizon  = Time(wheelSlots) << wheelSlotBits // ≈268 ms
+)
+
+// bucket is one wheel slot: an intrusive FIFO list chained through
+// node.next, so bucket membership never allocates.
+type bucket struct {
+	head, tail *node
+}
+
+type wheel struct {
+	base     Time    // start of the cursor slot, slot-aligned
+	count    int     // events currently parked in buckets
+	far      []*node // overflow min-heap on (at, seq): at >= base+horizon
+	occupied [wheelSlots / 64]uint64
+	buckets  [wheelSlots]bucket
+}
+
+func newWheel() *wheel {
+	return &wheel{far: make([]*node, 0, initialHeapCap)}
+}
+
+// place routes a node into the tier its timestamp selects. Also used
+// by injectSorted, the Sharded barrier's bulk entry point.
+func (s *Scheduler) place(n *node) {
+	w := s.wh
+	if n.at < w.base+wheelSlotLen {
+		heapPush(&s.events, n)
+		return
+	}
+	if n.at < w.base+wheelHorizon {
+		idx := int(n.at>>wheelSlotBits) & wheelMask
+		n.next = nil
+		n.index = idxBucket
+		b := &w.buckets[idx]
+		if b.tail == nil {
+			b.head = n
+		} else {
+			b.tail.next = n
+		}
+		b.tail = n
+		w.occupied[idx>>6] |= 1 << (uint(idx) & 63)
+		w.count++
+		return
+	}
+	heapPush(&w.far, n)
+}
+
+// advanceWheel moves the cursor to the next slot holding work and
+// flushes that slot's bucket into the ready heap. Caller (refill)
+// guarantees the ready heap is empty and at least one event is parked
+// in a bucket or the overflow heap, with any canceled overflow top
+// already drained.
+func (s *Scheduler) advanceWheel() {
+	w := s.wh
+	if w.count > 0 {
+		cur := int(w.base>>wheelSlotBits) & wheelMask
+		w.base += Time(w.nextOccupiedDelta(cur)) << wheelSlotBits
+	} else {
+		// Nothing within the horizon: jump the cursor straight to the
+		// earliest overflow event's slot.
+		w.base = w.far[0].at >> wheelSlotBits << wheelSlotBits
+	}
+	// Base advanced, so overflow events may now fall inside the
+	// horizon; migrate them. This preserves the tier invariant that the
+	// overflow minimum is >= base+horizon.
+	for len(w.far) > 0 && w.far[0].at < w.base+wheelHorizon {
+		n := heapPop(&w.far)
+		if n.canceled {
+			s.recycle(n)
+			continue
+		}
+		s.place(n)
+	}
+	cur := int(w.base>>wheelSlotBits) & wheelMask
+	b := &w.buckets[cur]
+	for n := b.head; n != nil; {
+		next := n.next
+		n.next = nil
+		w.count--
+		if n.canceled {
+			s.recycle(n)
+		} else {
+			heapPush(&s.events, n)
+		}
+		n = next
+	}
+	b.head, b.tail = nil, nil
+	w.occupied[cur>>6] &^= 1 << (uint(cur) & 63)
+}
+
+// nextOccupiedDelta returns the ring distance (1..wheelSlots-1) from
+// the cursor slot to the next occupied slot. The cursor slot itself is
+// always empty (it was flushed when the cursor arrived), and bucket
+// events all lie within one revolution of base, so ring order equals
+// time order. Caller guarantees count > 0.
+func (w *wheel) nextOccupiedDelta(cur int) int {
+	const words = wheelSlots / 64
+	i := (cur + 1) & wheelMask
+	word := i >> 6
+	if v := w.occupied[word] & (^uint64(0) << (uint(i) & 63)); v != 0 {
+		return delta(cur, word<<6+bits.TrailingZeros64(v))
+	}
+	for k := 1; k <= words; k++ {
+		wd := (word + k) & (words - 1)
+		if v := w.occupied[wd]; v != 0 {
+			return delta(cur, wd<<6+bits.TrailingZeros64(v))
+		}
+	}
+	panic("simtime: wheel count positive with no occupied slot")
+}
+
+func delta(cur, idx int) int {
+	d := idx - cur
+	if d <= 0 {
+		d += wheelSlots
+	}
+	return d
+}

@@ -1,0 +1,188 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// fireRec records the firing order observed through a scheduler.
+type fireRec struct {
+	s   *Scheduler
+	log []fireEntry
+}
+
+type fireEntry struct {
+	at    Time
+	token uint64
+}
+
+func (r *fireRec) OnSchedEvent(token uint64) {
+	r.log = append(r.log, fireEntry{at: r.s.Now(), token: token})
+}
+
+// runWheelScript drives a scheduler through a deterministic randomized
+// schedule/cancel/step/advance script. Every control decision draws
+// from the stream in the same order regardless of scheduler flavour,
+// so a heap scheduler and a wheel scheduler given the same seed see
+// identical inputs.
+func runWheelScript(s *Scheduler, seed uint64, ops int) []fireEntry {
+	r := rng.New(seed)
+	rec := &fireRec{s: s}
+	var evs []Event
+	var token uint64
+	for i := 0; i < ops; i++ {
+		switch r.Intn(8) {
+		case 0, 1, 2, 3:
+			// Horizon mix: magnitudes up to ~1s cross the slot, wheel
+			// and overflow tiers (the wheel horizon is ~268ms).
+			mag := uint(r.Intn(30))
+			d := Time(r.Intn(1 << mag))
+			token++
+			evs = append(evs, s.AtCall(s.Now()+d, rec, token))
+		case 4:
+			if len(evs) > 0 {
+				evs[r.Intn(len(evs))].Cancel()
+			}
+		case 5, 6:
+			for j, n := 0, r.Intn(8); j < n; j++ {
+				s.Step()
+			}
+		case 7:
+			s.RunUntil(s.Now() + Time(r.Intn(1<<28)))
+		}
+	}
+	s.Run()
+	return rec.log
+}
+
+// FuzzWheelVsHeap is the differential guard for the timing-wheel
+// front-end: on arbitrary schedule/cancel/step/advance interleavings
+// the wheel scheduler must fire the exact event sequence the pure-heap
+// scheduler fires.
+func FuzzWheelVsHeap(f *testing.F) {
+	f.Add(uint64(1), uint16(300))
+	f.Add(uint64(2), uint16(800))
+	f.Add(uint64(99), uint16(50))
+	f.Add(uint64(12345), uint16(999))
+	f.Fuzz(func(t *testing.T, seed uint64, opCount uint16) {
+		ops := int(opCount)%1000 + 20
+		heapLog := runWheelScript(NewScheduler(), seed, ops)
+		wheelLog := runWheelScript(NewSchedulerWheel(), seed, ops)
+		if len(heapLog) != len(wheelLog) {
+			t.Fatalf("seed %d: heap fired %d events, wheel fired %d", seed, len(heapLog), len(wheelLog))
+		}
+		for i := range heapLog {
+			if heapLog[i] != wheelLog[i] {
+				t.Fatalf("seed %d: firing %d diverged: heap (at=%v tok=%d) wheel (at=%v tok=%d)",
+					seed, i, heapLog[i].at, heapLog[i].token, wheelLog[i].at, wheelLog[i].token)
+			}
+		}
+	})
+}
+
+func TestWheelSameInstantFIFO(t *testing.T) {
+	s := NewSchedulerWheel()
+	var got []int
+	at := 100 * time.Millisecond // lands in a wheel bucket, not the ready heap
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestWheelFarHorizonOrder(t *testing.T) {
+	s := NewSchedulerWheel()
+	var got []Time
+	// One event per tier, scheduled in reverse time order: overflow
+	// (beyond ~268ms), bucket, current slot.
+	for _, at := range []Time{5 * time.Second, 700 * time.Millisecond, 300 * time.Millisecond, 10 * time.Millisecond, 30 * time.Microsecond} {
+		at := at
+		s.At(at, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d of 5 events", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("events fired out of time order: %v", got)
+		}
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock at %v after last event, want 5s", s.Now())
+	}
+}
+
+func TestWheelCancelAcrossTiers(t *testing.T) {
+	s := NewSchedulerWheel()
+	fired := 0
+	keep := func() { fired++ }
+	var cancels []Event
+	for _, at := range []Time{50 * time.Microsecond, 20 * time.Millisecond, 400 * time.Millisecond, 2 * time.Second} {
+		cancels = append(cancels, s.At(at, func() { t.Fatalf("canceled event fired (at=%v)", at) }))
+		s.At(at+1, keep)
+	}
+	for _, e := range cancels {
+		if !e.Cancel() {
+			t.Fatal("Cancel reported not-pending for a pending event")
+		}
+		if e.Pending() {
+			t.Fatal("event still Pending after Cancel")
+		}
+	}
+	s.Run()
+	if fired != 4 {
+		t.Fatalf("fired %d of 4 kept events", fired)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after run, want 0", s.Len())
+	}
+}
+
+// TestWheelChurnZeroAlloc is the wheel-path counterpart of the
+// scheduler churn fence: once the node pool is warm, a steady
+// schedule/fire churn through wheel buckets must not allocate.
+func TestWheelChurnZeroAlloc(t *testing.T) {
+	s := NewSchedulerWheel()
+	r := rng.New(7)
+	fn := func() {}
+	for i := 0; i < 5000; i++ {
+		// Mostly bucket inserts, with a far tail to keep the overflow
+		// heap exercised too.
+		s.After(Time(r.Intn(400))*time.Millisecond, fn)
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.After(Time(r.Intn(400))*time.Millisecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("wheel churn allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// BenchmarkWheelChurn measures schedule+fire churn against a standing
+// population shaped like a fleet shard: tens of thousands of pending
+// events spread over a few hundred simulated milliseconds. Tracked in
+// BENCH_*.json and gated by scripts/benchdiff.go.
+func BenchmarkWheelChurn(b *testing.B) {
+	s := NewSchedulerWheel()
+	r := rng.New(42)
+	fn := func() {}
+	for i := 0; i < 50000; i++ {
+		s.After(Time(r.Intn(250_000))*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(r.Intn(250_000))*time.Microsecond, fn)
+		s.Step()
+	}
+}

@@ -39,10 +39,14 @@ clus="$(go test -run '^$' -bench 'BenchmarkClusterDispatch$' -benchmem -benchtim
 # BenchmarkTracedSpanPath is deliberately not prefix-matched here: the
 # nil-tracer path is the fence (tracing must stay free when off).
 span="$(go test -run '^$' -bench 'BenchmarkSpanPath$' -benchmem -benchtime "$BENCHTIME" ./internal/spans/ | awk '/^BenchmarkSpanPath/')"
+wheel="$(go test -run '^$' -bench 'BenchmarkWheelChurn$' -benchmem -benchtime "$BENCHTIME" ./internal/simtime/ | awk '/^BenchmarkWheelChurn/')"
+smerge="$(go test -run '^$' -bench 'BenchmarkShardedMerge$' -benchmem -benchtime "$BENCHTIME" ./internal/simtime/ | awk '/^BenchmarkShardedMerge/')"
 echo "$churn" >&2
 echo "$scen" >&2
 echo "$clus" >&2
 echo "$span" >&2
+echo "$wheel" >&2
+echo "$smerge" >&2
 
 echo "== fleet benchmark (100k devices, benchtime=$FLEETTIME)" >&2
 fleet="$(go test -run '^$' -bench 'BenchmarkFleetRun$' -benchmem -benchtime "$FLEETTIME" -timeout 30m . | awk '/^BenchmarkFleetRun/')"
@@ -67,6 +71,12 @@ clus_allocs="$(bench_field "$clus" "allocs/op")"
 span_ns="$(bench_field "$span" "ns/op")"
 span_b="$(bench_field "$span" "B/op")"
 span_allocs="$(bench_field "$span" "allocs/op")"
+wheel_ns="$(bench_field "$wheel" "ns/op")"
+wheel_b="$(bench_field "$wheel" "B/op")"
+wheel_allocs="$(bench_field "$wheel" "allocs/op")"
+smerge_ns="$(bench_field "$smerge" "ns/op")"
+smerge_b="$(bench_field "$smerge" "B/op")"
+smerge_allocs="$(bench_field "$smerge" "allocs/op")"
 fleet_ns="$(bench_field "$fleet" "ns/op")"
 fleet_b="$(bench_field "$fleet" "B/op")"
 fleet_allocs="$(bench_field "$fleet" "allocs/op")"
@@ -103,6 +113,12 @@ echo "ffexperiments -exp sweep -parallel 1: ${sweep1_s}s" >&2
 sweepN_s="$(best_of "$BIN" -exp sweep -parallel "$PARALLEL")"
 echo "ffexperiments -exp sweep -parallel $PARALLEL: ${sweepN_s}s" >&2
 
+echo "== fleet shard fan-out (best of $REPS)" >&2
+fleet1_s="$(best_of "$BIN" -exp fleet -fleet-shards 1 -fleet-workers 1)"
+echo "ffexperiments -exp fleet -fleet-shards 1 -fleet-workers 1: ${fleet1_s}s" >&2
+fleetN_s="$(best_of "$BIN" -exp fleet -fleet-shards "$PARALLEL" -fleet-workers "$PARALLEL")"
+echo "ffexperiments -exp fleet -fleet-shards $PARALLEL -fleet-workers $PARALLEL: ${fleetN_s}s" >&2
+
 cpus="$(getconf _NPROCESSORS_ONLN)"
 # GOMAXPROCS: the explicit env override if set, else the Go runtime
 # default (all visible CPUs).
@@ -113,8 +129,10 @@ gomaxprocs="${GOMAXPROCS:-$cpus}"
 # misleading, so the field is skipped explicitly instead.
 if [ "$cpus" -lt 2 ]; then
   speedup='"skipped_single_cpu"'
+  fleet_speedup='"skipped_single_cpu"'
 else
   speedup="$(awk -v a="$sweep1_s" -v b="$sweepN_s" 'BEGIN{printf "%.2f", a/b}')"
+  fleet_speedup="$(awk -v a="$fleet1_s" -v b="$fleetN_s" 'BEGIN{printf "%.2f", a/b}')"
 fi
 
 # Event-throughput accounting from the verbose line.
@@ -154,6 +172,16 @@ cat > "$OUT" <<EOF
       "bytes_per_op": $span_b,
       "allocs_per_op": $span_allocs
     },
+    "WheelChurn": {
+      "ns_per_op": $wheel_ns,
+      "bytes_per_op": $wheel_b,
+      "allocs_per_op": $wheel_allocs
+    },
+    "ShardedMerge": {
+      "ns_per_op": $smerge_ns,
+      "bytes_per_op": $smerge_b,
+      "allocs_per_op": $smerge_allocs
+    },
     "FleetRun": {
       "ns_per_op": $fleet_ns,
       "bytes_per_op": $fleet_b,
@@ -172,9 +200,12 @@ cat > "$OUT" <<EOF
     "sweep_parallel_workers": $PARALLEL,
     "sweep_speedup_x": $speedup,
     "sweep_sim_events_fired_total": ${events_fired:-0},
-    "sweep_million_events_per_second_sequential": ${events_rate:-0}
+    "sweep_million_events_per_second_sequential": ${events_rate:-0},
+    "fleet_shards_1_seconds": $fleet1_s,
+    "fleet_shards_${PARALLEL}_seconds": $fleetN_s,
+    "fleet_speedup_x": $fleet_speedup
   },
-  "note": "sweep_speedup_x compares -parallel $PARALLEL vs -parallel 1 on this machine's $cpus visible CPU(s) (GOMAXPROCS=$gomaxprocs); on a single CPU it is skipped. The fan-out target (>=3x) applies on 4+ cores; single-core gains come from the zero-alloc DES hot path (see SchedulerChurn allocs_per_op=0). fleet_* fields track BenchmarkFleetRun: 100k sharded-engine devices over the full default schedule."
+  "note": "sweep_speedup_x compares -parallel $PARALLEL vs -parallel 1, and fleet_speedup_x compares -fleet-shards/-fleet-workers $PARALLEL vs 1, on this machine's $cpus visible CPU(s) (GOMAXPROCS=$gomaxprocs); on a single CPU both are skipped. The fan-out targets apply on 4+ cores; single-core gains come from the zero-alloc DES hot path (SchedulerChurn/WheelChurn allocs_per_op=0) and the timing-wheel + sharded-barrier fast path (WheelChurn, ShardedMerge). fleet_* fields track BenchmarkFleetRun: 100k sharded-engine devices over the full default schedule."
 }
 EOF
 
