@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-all benchdiff profile smoke trace-smoke fleet-smoke experiments report clean
+.PHONY: all build test race chaos bench bench-all benchdiff profile smoke soak trace-smoke fleet-smoke experiments report clean
 
 all: build test
 
@@ -67,6 +67,17 @@ profile:
 smoke:
 	bash scripts/telemetry_smoke.sh
 
+# Real-network soak: an ffloadgen fleet offloading through
+# ffscenariod's fault proxy to an ffserver child, with each scenario
+# walked through stabilize -> inject -> recover and judged by the
+# fleet reconverging into the [0.05, 0.15]*F_s band (see
+# scripts/soak.sh). Tune e.g. `make soak SOAK_DEVICES=1000
+# SOAK_SCENARIOS=server_crash,link_partition`.
+SOAK_DEVICES ?= 400
+SOAK_SCENARIOS ?= server_crash,gpu_stall,link_partition,link_latency
+soak:
+	SOAK_DEVICES=$(SOAK_DEVICES) SOAK_SCENARIOS=$(SOAK_SCENARIOS) bash scripts/soak.sh
+
 # Tracing gate: run the critical-path experiment with a span trace
 # attached (the in-run check asserts per-stage durations tile every
 # successful offload's end-to-end latency exactly), then validate the
@@ -98,4 +109,4 @@ report:
 
 clean:
 	rm -rf results REPORT.md test_output.txt bench_output.txt \
-		fleet-smoke.txt fleet-cpu.pprof repro.test
+		fleet-smoke.txt fleet-cpu.pprof soak-verdicts.jsonl repro.test

@@ -43,6 +43,7 @@ var (
 	csvFlag       = flag.String("csv", "", "append per-tick stats to this CSV file")
 	recMinFlag    = flag.Duration("reconnect-min", realnet.DefaultReconnectMin, "initial reconnect backoff (negative disables reconnection)")
 	recMaxFlag    = flag.Duration("reconnect-max", realnet.DefaultReconnectMax, "reconnect backoff cap")
+	recBudgetFlag = flag.Int("reconnect-budget", 0, "give up after this many consecutive failed redials and exit non-zero (0 = retry forever)")
 	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for /metrics, /debug/vars, /debug/pprof/, /statusz (empty disables)")
 )
 
@@ -163,17 +164,18 @@ func main() {
 	}
 
 	client, err := realnet.Dial(realnet.ClientConfig{
-		Addr:         *addrFlag,
-		Stream:       uint32(*streamFlag),
-		FS:           *fpsFlag,
-		Deadline:     *deadlineFlag,
-		Tick:         *tickFlag,
-		Policy:       policy,
-		TimeScale:    *timeScaleFlag,
-		ReconnectMin: *recMinFlag,
-		ReconnectMax: *recMaxFlag,
-		Logger:       logger,
-		Instruments:  instr,
+		Addr:            *addrFlag,
+		Stream:          uint32(*streamFlag),
+		FS:              *fpsFlag,
+		Deadline:        *deadlineFlag,
+		Tick:            *tickFlag,
+		Policy:          policy,
+		TimeScale:       *timeScaleFlag,
+		ReconnectMin:    *recMinFlag,
+		ReconnectMax:    *recMaxFlag,
+		ReconnectBudget: *recBudgetFlag,
+		Logger:          logger,
+		Instruments:     instr,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -234,6 +236,12 @@ func main() {
 			prev = cur
 		case <-stop:
 			return
+		case <-client.Terminated():
+			// The reconnect budget ran out: a permanently dead server
+			// is a hard failure, not an endless silent retry.
+			logger.Printf("giving up: %v", client.TerminalErr())
+			client.Close()
+			os.Exit(1)
 		case <-timeout:
 			final := client.Stats()
 			fmt.Printf("done: captured=%d offloaded=%d ok=%d timeouts=%d local=%d\n",

@@ -1,0 +1,154 @@
+// Command ffloadgen drives a fleet of virtual FrameFeedback devices —
+// each a real closed-loop controller with its own capture, local
+// inference, and deadline accounting — multiplexed over a small pool
+// of TCP connections to one ffserver (or a fault proxy in front of
+// it). It is the load half of the soak rig; pair it with ffscenariod.
+//
+// Usage:
+//
+//	ffloadgen -addr host:9771 -devices 1000 [-conns 8] [-duration 5m]
+//
+// With -telemetry-addr set, a debug HTTP server exposes /metrics
+// (Prometheus), /debug/vars (expvar JSON), /debug/pprof/ and a
+// human-readable /statusz with the fleet's convergence state. The
+// scenario daemon polls framefeedback_loadgen_settled_ratio there.
+//
+// On exit the final fleet snapshot is printed as one JSON line; with
+// -min-settled-ratio set, ffloadgen exits non-zero when the fleet
+// ends below it — a machine-readable convergence verdict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/telemetry"
+)
+
+var (
+	addrFlag      = flag.String("addr", "127.0.0.1:9771", "ffserver (or fault-proxy) address")
+	devicesFlag   = flag.Int("devices", 1000, "virtual device count")
+	connsFlag     = flag.Int("conns", 8, "shared TCP connection pool size")
+	workersFlag   = flag.Int("workers", 0, "stepping goroutines (0 = GOMAXPROCS)")
+	fpsFlag       = flag.Float64("fps", 30, "per-device source frame rate F_s")
+	deadlineFlag  = flag.Duration("deadline", 250*time.Millisecond, "end-to-end offload deadline")
+	tickFlag      = flag.Duration("tick", time.Second, "controller measurement interval")
+	stepFlag      = flag.Duration("step", 20*time.Millisecond, "engine stepping interval")
+	timeScaleFlag = flag.Float64("timescale", 1, "multiply simulated local latency (match the server)")
+	payloadFlag   = flag.Int("payload", 0, "per-frame upload bytes (0 = the evaluation's ~29 KB)")
+	seedFlag      = flag.Uint64("seed", 1, "fleet rng seed")
+	initialPoFlag = flag.Float64("initial-po", 0, "starting offload rate per device (0 = policy default)")
+	durationFlag  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+	reportFlag    = flag.Duration("report", 5*time.Second, "fleet status print interval (0 disables)")
+	minSettledF   = flag.Float64("min-settled-ratio", 0, "exit non-zero unless the final settled ratio reaches this (0 disables the verdict)")
+	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for /metrics, /debug/vars, /debug/pprof/, /statusz (empty disables)")
+)
+
+// statuszHandler renders the human-readable fleet status page.
+func statuszHandler(e *loadgen.Engine, start time.Time) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s := e.Snapshot()
+		fmt.Fprintf(w, "ffloadgen — FrameFeedback virtual-device fleet\n")
+		fmt.Fprintf(w, "uptime:   %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "target:   %s   devices: %d   conns up: %d\n\n", *addrFlag, s.Devices, e.ConnsUp())
+		fmt.Fprintf(w, "settled:  %d/%d (%.1f%%)\n", s.Settled, s.Devices, 100*s.SettledRatio)
+		fmt.Fprintf(w, "P_o:      mean %.2f  min %.2f  max %.2f frames/s\n", s.PoMean, s.PoMin, s.PoMax)
+		fmt.Fprintf(w, "T:        mean %.2f frames/s (EWMA)\n\n", s.TMean)
+		fmt.Fprintf(w, "counters: captured=%d attempts=%d ok=%d late=%d rej=%d local=%d dropped=%d senderr=%d\n",
+			s.Captured, s.OffloadAttempts, s.OffloadOK, s.OffloadTimedOut,
+			s.OffloadRejected, s.LocalDone, s.LocalDropped, s.SendErrors)
+	}
+}
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "ffloadgen: ", log.LstdFlags)
+
+	var instr *loadgen.Instruments
+	var reg *telemetry.Registry
+	if *telemetryFlag != "" {
+		reg = telemetry.NewRegistry()
+		instr = loadgen.NewInstruments(reg)
+	}
+
+	e, err := loadgen.New(loadgen.Config{
+		Addr:         *addrFlag,
+		Devices:      *devicesFlag,
+		Conns:        *connsFlag,
+		Workers:      *workersFlag,
+		FS:           *fpsFlag,
+		Deadline:     *deadlineFlag,
+		Tick:         *tickFlag,
+		Step:         *stepFlag,
+		TimeScale:    *timeScaleFlag,
+		PayloadBytes: *payloadFlag,
+		Seed:         *seedFlag,
+		InitialPo:    *initialPoFlag,
+		Instruments:  instr,
+		Logger:       logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer e.Close()
+	logger.Printf("fleet of %d devices -> %s over %d conns", *devicesFlag, *addrFlag, *connsFlag)
+
+	if reg != nil {
+		debug, err := telemetry.Serve(*telemetryFlag,
+			telemetry.NewMux(reg, statuszHandler(e, time.Now())))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer debug.Close()
+		logger.Printf("telemetry on http://%s/ (/metrics /debug/vars /debug/pprof/ /statusz)", debug.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *durationFlag > 0 {
+		timeout = time.After(*durationFlag)
+	}
+	var report <-chan time.Time
+	if *reportFlag > 0 {
+		t := time.NewTicker(*reportFlag)
+		defer t.Stop()
+		report = t.C
+	}
+
+	for {
+		select {
+		case <-report:
+			s := e.Snapshot()
+			fmt.Printf("settled=%d/%d (%.0f%%)  Po mean=%.1f [%.1f..%.1f]  T=%.2f/s  ok=%d late=%d rej=%d conns=%d\n",
+				s.Settled, s.Devices, 100*s.SettledRatio, s.PoMean, s.PoMin, s.PoMax,
+				s.TMean, s.OffloadOK, s.OffloadTimedOut, s.OffloadRejected, e.ConnsUp())
+			continue
+		case <-stop:
+			logger.Println("interrupted")
+		case <-timeout:
+		}
+		break
+	}
+
+	final := e.Snapshot()
+	e.Close()
+	out, _ := json.Marshal(final)
+	fmt.Printf("%s\n", out)
+	if *minSettledF > 0 && final.SettledRatio < *minSettledF {
+		logger.Printf("VERDICT: FAIL — settled ratio %.2f < %.2f", final.SettledRatio, *minSettledF)
+		os.Exit(1)
+	}
+	if *minSettledF > 0 {
+		logger.Printf("VERDICT: PASS — settled ratio %.2f >= %.2f", final.SettledRatio, *minSettledF)
+	}
+}

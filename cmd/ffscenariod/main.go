@@ -1,0 +1,468 @@
+// Command ffscenariod drives structured fault scenarios against a
+// live FrameFeedback deployment: it owns an ffserver child process
+// and an in-process TCP fault proxy, walks each scenario through the
+// three soak phases — stabilize, inject, recover — and judges
+// recovery by polling the ffloadgen fleet's convergence metrics.
+//
+// Topology (all on loopback by default):
+//
+//	ffloadgen ──TCP──▶ proxy (in ffscenariod) ──TCP──▶ ffserver (child)
+//	    │                                                   ▲
+//	    └── /debug/vars ◀── ffscenariod polls ──▶ /control ──┘
+//
+// The scenario vocabulary is internal/faults: each -scenarios entry
+// names a faults.Kind, mapped at startup onto a real actuator —
+// server_crash kills and restarts the ffserver child, gpu_stall POSTs
+// to the server's /control/slowdown endpoint, link_partition and
+// link_latency actuate the fault proxy. Kinds with no live actuator
+// (tenant_churn, tick_jitter) are rejected before anything starts,
+// with a typed faults.UnsupportedKindError.
+//
+// A scenario passes when, after the fault clears, the fleet's settled
+// ratio — the fraction of devices whose timeout rate is back inside
+// the paper's [0.05, 0.15]·F_s equilibrium band (or fully converged)
+// — reaches -settle-ratio within -recover-within. Verdicts stream to
+// stdout as JSON lines (and to -verdicts when set); the exit code is
+// 0 only if every scenario passed.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/realnet"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+var (
+	listenFlag    = flag.String("listen", "127.0.0.1:9770", "fault-proxy listen address (point ffloadgen here)")
+	serverBinFlag = flag.String("server-bin", "ffserver", "path to the ffserver binary")
+	serverAddr    = flag.String("server-addr", "127.0.0.1:9771", "address the ffserver child listens on")
+	serverTelem   = flag.String("server-telemetry", "127.0.0.1:9772", "ffserver telemetry/control address")
+	serverScale   = flag.Float64("server-timescale", 1, "ffserver -timescale")
+	serverBatch   = flag.Int("server-maxbatch", 15, "ffserver -maxbatch")
+	serverConns   = flag.Int("server-maxconns", 0, "ffserver -max-conns")
+	loadgenURL    = flag.String("loadgen-metrics", "http://127.0.0.1:9773", "base URL of ffloadgen's telemetry server")
+	scenariosFlag = flag.String("scenarios", "server_crash,link_partition,link_latency", "comma-separated faults.Kind names to run, in order")
+	stabilizeFlag = flag.Duration("stabilize", 90*time.Second, "budget for the fleet to settle before each injection")
+	injectForFlag = flag.Duration("inject-for", 15*time.Second, "how long each fault stays active")
+	recoverFlag   = flag.Duration("recover-within", 90*time.Second, "recovery budget after the fault clears")
+	settleFlag    = flag.Float64("settle-ratio", 0.8, "settled-device fraction that counts as converged")
+	latencyFlag   = flag.Duration("latency", 150*time.Millisecond, "injected one-way link latency (link_latency)")
+	stallFlag     = flag.Float64("stall-factor", 4, "GPU service-time multiplier (gpu_stall)")
+	pollFlag      = flag.Duration("poll", time.Second, "settled-ratio poll interval")
+	verdictsFlag  = flag.String("verdicts", "", "also append verdict JSON lines to this file")
+	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for scenariod's own metrics (empty disables)")
+)
+
+// kindNames maps -scenarios vocabulary to faults kinds. Every DES
+// kind is listed — unsupported ones are rejected by faults.CheckLive
+// with a typed error, not silently skipped.
+var kindNames = map[string]faults.Kind{
+	"server_crash":   faults.ServerCrash,
+	"gpu_stall":      faults.GPUStall,
+	"link_partition": faults.LinkPartition,
+	"tenant_churn":   faults.TenantChurn,
+	"tick_jitter":    faults.TickJitter,
+	"link_latency":   faults.LinkLatency,
+}
+
+// verdict is one scenario's machine-readable outcome.
+type verdict struct {
+	Scenario        string  `json:"scenario"`
+	Pass            bool    `json:"pass"`
+	Reason          string  `json:"reason,omitempty"`
+	StabilizeSec    float64 `json:"stabilize_seconds"`
+	RecoverySec     float64 `json:"recovery_seconds"`
+	SettledRatio    float64 `json:"settled_ratio"`
+	SettleThreshold float64 `json:"settle_threshold"`
+	Time            string  `json:"time"`
+}
+
+// metrics is scenariod's own exported state.
+type metrics struct {
+	phase      *telemetry.GaugeVec
+	injections *telemetry.CounterVec
+	recovery   *telemetry.Histogram
+	lastRec    *telemetry.FloatGauge
+	passed     *telemetry.Counter
+	failed     *telemetry.Counter
+}
+
+// Scenario phases exported via framefeedback_scenario_phase.
+const (
+	phaseIdle = iota
+	phaseStabilize
+	phaseInject
+	phaseRecover
+)
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		phase: reg.GaugeVec("framefeedback_scenario_phase",
+			"Scenario state: 0 idle, 1 stabilize, 2 inject, 3 recover.", "scenario"),
+		injections: reg.CounterVec("framefeedback_scenario_injections_total",
+			"Faults injected, by kind.", "kind"),
+		recovery: reg.Histogram("framefeedback_scenario_recovery_seconds",
+			"Time from fault clear to the fleet re-settling.", faults.RecoveryBuckets),
+		lastRec: reg.FloatGauge("framefeedback_scenario_last_recovery_seconds",
+			"Most recent scenario's recovery time."),
+		passed: reg.Counter("framefeedback_scenario_passed_total",
+			"Scenarios that reconverged within budget."),
+		failed: reg.Counter("framefeedback_scenario_failed_total",
+			"Scenarios that failed to stabilize or reconverge."),
+	}
+}
+
+// serverProc manages the ffserver child process.
+type serverProc struct {
+	bin    string
+	logger *log.Logger
+	cmd    *exec.Cmd
+}
+
+func (p *serverProc) args() []string {
+	a := []string{
+		"-addr", *serverAddr,
+		"-timescale", fmt.Sprint(*serverScale),
+		"-maxbatch", fmt.Sprint(*serverBatch),
+		"-stats", "0",
+		"-telemetry-addr", *serverTelem,
+		"-control",
+	}
+	if *serverConns > 0 {
+		a = append(a, "-max-conns", fmt.Sprint(*serverConns))
+	}
+	return a
+}
+
+// start launches the child and waits for its listen port.
+func (p *serverProc) start() error {
+	cmd := exec.Command(p.bin, p.args()...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", p.bin, err)
+	}
+	p.cmd = cmd
+	if err := waitForPort(*serverAddr, 10*time.Second); err != nil {
+		p.stop()
+		return err
+	}
+	p.logger.Printf("ffserver up on %s (pid %d)", *serverAddr, cmd.Process.Pid)
+	return nil
+}
+
+// stop kills the child outright — this is the crash actuator, not a
+// graceful shutdown.
+func (p *serverProc) stop() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.logger.Printf("ffserver killed (pid %d)", p.cmd.Process.Pid)
+	p.cmd = nil
+	return nil
+}
+
+func waitForPort(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not reachable within %v", addr, budget)
+}
+
+// settledRatio scrapes the loadgen's convergence gauge.
+func settledRatio() (float64, error) {
+	resp, err := http.Get(*loadgenURL + "/debug/vars")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return 0, err
+	}
+	v, ok := vars["framefeedback_loadgen_settled_ratio"].(float64)
+	if !ok {
+		return 0, errors.New("framefeedback_loadgen_settled_ratio missing from loadgen vars")
+	}
+	return v, nil
+}
+
+// waitSettled polls until the fleet's settled ratio reaches threshold
+// or the budget runs out; it returns the elapsed time, the last ratio
+// seen, and whether the threshold was reached. Scrape errors are
+// tolerated (the loadgen may still be starting, or mid-restart).
+func waitSettled(threshold float64, budget time.Duration, stop <-chan struct{}, logger *log.Logger) (time.Duration, float64, bool) {
+	start := time.Now()
+	deadline := start.Add(budget)
+	last := -1.0
+	for {
+		ratio, err := settledRatio()
+		if err != nil {
+			logger.Printf("loadgen scrape: %v", err)
+		} else {
+			last = ratio
+			if ratio >= threshold {
+				return time.Since(start), ratio, true
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return time.Since(start), last, false
+		}
+		timer := time.NewTimer(*pollFlag)
+		select {
+		case <-timer.C:
+		case <-stop:
+			timer.Stop()
+			return time.Since(start), last, false
+		}
+	}
+}
+
+// sleepInterruptible sleeps d unless stop fires.
+func sleepInterruptible(d time.Duration, stop <-chan struct{}) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// buildPlan turns the scenario list into a validated faults.Plan,
+// with the flag-driven parameters filled per kind. The At offsets are
+// synthetic (scenarios run back to back in wall time) but keep the
+// plan disjoint for Validate.
+func buildPlan(names []string) (faults.Plan, error) {
+	plan := make(faults.Plan, 0, len(names))
+	for i, name := range names {
+		kind, ok := kindNames[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (known: server_crash, gpu_stall, link_partition, link_latency, tenant_churn, tick_jitter)", name)
+		}
+		in := faults.Injection{
+			Kind:     kind,
+			At:       simtime.Time(time.Duration(i) * time.Hour),
+			Duration: *injectForFlag,
+			Device:   -1,
+		}
+		switch kind {
+		case faults.GPUStall:
+			in.Factor = *stallFlag
+		case faults.LinkLatency:
+			in.Latency = *latencyFlag
+		case faults.TenantChurn:
+			in.Rate = 1 // placeholder; CheckLive rejects the kind
+		case faults.TickJitter:
+			in.Jitter = time.Millisecond // placeholder; CheckLive rejects the kind
+		}
+		plan = append(plan, in)
+	}
+	return plan, nil
+}
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "ffscenariod: ", log.LstdFlags)
+
+	names := strings.Split(*scenariosFlag, ",")
+	plan, err := buildPlan(names)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	var reg *telemetry.Registry
+	var m *metrics
+	if *telemetryFlag != "" {
+		reg = telemetry.NewRegistry()
+		m = newMetrics(reg)
+	} else {
+		m = newMetrics(telemetry.NewRegistry()) // unexported registry: metrics become cheap no-op sinks
+	}
+
+	var verdictSinks []io.Writer
+	verdictSinks = append(verdictSinks, os.Stdout)
+	if *verdictsFlag != "" {
+		f, err := os.Create(*verdictsFlag)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer f.Close()
+		verdictSinks = append(verdictSinks, f)
+	}
+	emit := func(v verdict) {
+		line, _ := json.Marshal(v)
+		for _, w := range verdictSinks {
+			fmt.Fprintf(w, "%s\n", line)
+		}
+	}
+
+	// Live actuators: server child, control endpoint, fault proxy.
+	server := &serverProc{bin: *serverBinFlag, logger: logger}
+	if err := server.start(); err != nil {
+		logger.Fatal(err)
+	}
+	defer server.stop()
+
+	proxy, err := realnet.NewProxy(realnet.ProxyConfig{
+		Addr:   *listenFlag,
+		Target: *serverAddr,
+		Logger: logger,
+	})
+	if err != nil {
+		server.stop()
+		logger.Fatal(err)
+	}
+	defer proxy.Close()
+	logger.Printf("fault proxy on %s -> %s", proxy.Addr(), *serverAddr)
+
+	controlURL := "http://" + *serverTelem
+	acts := faults.LiveActuators{
+		ServerCrash: func(down bool) error {
+			if down {
+				return server.stop()
+			}
+			return server.start()
+		},
+		GPUStall: func(factor float64) error {
+			resp, err := http.Post(fmt.Sprintf("%s/control/slowdown?factor=%g", controlURL, factor), "", nil)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("control/slowdown: %s", resp.Status)
+			}
+			return nil
+		},
+		Partition: func(on bool) error { proxy.SetPartition(on); return nil },
+		Latency:   func(d time.Duration) error { proxy.SetLatency(d); return nil },
+	}
+
+	// Startup gate: every requested kind must map to a live actuator.
+	if err := acts.CheckLive(plan); err != nil {
+		var uk *faults.UnsupportedKindError
+		if errors.As(err, &uk) {
+			logger.Printf("scenario %s has no live actuator: %s", uk.Kind, uk.Reason)
+		}
+		server.stop()
+		proxy.Close()
+		logger.Fatal(err)
+	}
+
+	if reg != nil {
+		debug, err := telemetry.Serve(*telemetryFlag, telemetry.NewMux(reg, nil))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer debug.Close()
+		logger.Printf("telemetry on http://%s/", debug.Addr())
+	}
+
+	stopCh := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Printf("signal %v: aborting", s)
+		close(stopCh)
+	}()
+
+	allPass := true
+	for i, in := range plan {
+		name := strings.TrimSpace(names[i])
+		select {
+		case <-stopCh:
+			allPass = false
+		default:
+		}
+		if !allPass {
+			break
+		}
+		logger.Printf("=== scenario %d/%d: %s ===", i+1, len(plan), name)
+
+		// Phase 1: stabilize.
+		m.phase.With(name).Set(phaseStabilize)
+		stabElapsed, ratio, ok := waitSettled(*settleFlag, *stabilizeFlag, stopCh, logger)
+		if !ok {
+			m.phase.With(name).Set(phaseIdle)
+			m.failed.Inc()
+			emit(verdict{
+				Scenario: name, Pass: false, Reason: "stabilize_timeout",
+				StabilizeSec: stabElapsed.Seconds(), SettledRatio: ratio,
+				SettleThreshold: *settleFlag, Time: time.Now().UTC().Format(time.RFC3339),
+			})
+			allPass = false
+			continue
+		}
+		logger.Printf("%s: stabilized at %.2f in %v", name, ratio, stabElapsed.Round(time.Millisecond))
+
+		// Phase 2: inject, hold, clear.
+		m.phase.With(name).Set(phaseInject)
+		m.injections.With(in.Kind.String()).Inc()
+		logger.Printf("%s: injecting for %v", name, *injectForFlag)
+		if err := acts.Apply(in, false); err != nil {
+			logger.Fatalf("%s: inject: %v", name, err)
+		}
+		sleepInterruptible(*injectForFlag, stopCh)
+		if err := acts.Apply(in, true); err != nil {
+			logger.Fatalf("%s: clear: %v", name, err)
+		}
+
+		// Phase 3: recover.
+		m.phase.With(name).Set(phaseRecover)
+		recElapsed, ratio, ok := waitSettled(*settleFlag, *recoverFlag, stopCh, logger)
+		m.phase.With(name).Set(phaseIdle)
+		v := verdict{
+			Scenario: name, Pass: ok,
+			StabilizeSec: stabElapsed.Seconds(), RecoverySec: recElapsed.Seconds(),
+			SettledRatio: ratio, SettleThreshold: *settleFlag,
+			Time: time.Now().UTC().Format(time.RFC3339),
+		}
+		if ok {
+			m.passed.Inc()
+			m.recovery.Observe(recElapsed.Seconds())
+			m.lastRec.Set(recElapsed.Seconds())
+			logger.Printf("%s: PASS — reconverged to %.2f in %v", name, ratio, recElapsed.Round(time.Millisecond))
+		} else {
+			m.failed.Inc()
+			v.Reason = "recovery_timeout"
+			allPass = false
+			logger.Printf("%s: FAIL — settled ratio %.2f after %v", name, ratio, recElapsed.Round(time.Millisecond))
+		}
+		emit(v)
+	}
+
+	proxy.Close()
+	server.stop()
+	if !allPass {
+		logger.Println("verdict: FAIL")
+		os.Exit(1)
+	}
+	logger.Println("verdict: PASS — all scenarios reconverged")
+}

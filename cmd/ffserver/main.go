@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -43,7 +44,48 @@ var (
 	dropFlag      = flag.Bool("drop-on-disconnect", false, "drop in-flight replies for a disconnected device instead of draining")
 	telemetryFlag = flag.String("telemetry-addr", "", "debug HTTP listen address for /metrics, /debug/vars, /debug/pprof/, /statusz (empty disables)")
 	rejectLogFlag = flag.Int("reject-log-every", 0, "log the 1st and every Nth overflow rejection per tenant (0 disables rejection logging)")
+	maxConnsFlag  = flag.Int("max-conns", 0, "accept guard: shed device connections beyond this with a fast close (0 = unlimited)")
+	controlFlag   = flag.Bool("control", false, "expose fault-injection control endpoints (/control/slowdown, /control/delay) on the telemetry server; requires -telemetry-addr")
 )
+
+// controlHandlers registers the scenario daemon's actuation surface:
+// POST /control/slowdown?factor=4 multiplies batch service times
+// (the live gpu_stall), POST /control/delay?d=300ms sets the extra
+// per-batch delay. Both accept their clearing values (factor=1, d=0).
+func controlHandlers(mux *http.ServeMux, srv *realnet.Server, logger *log.Logger) {
+	mux.HandleFunc("/control/slowdown", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		factor, err := strconv.ParseFloat(req.URL.Query().Get("factor"), 64)
+		if err != nil || factor < 1 {
+			http.Error(w, "need factor >= 1", http.StatusBadRequest)
+			return
+		}
+		srv.SetSlowdown(factor)
+		logger.Printf("control: slowdown factor -> %v", factor)
+		fmt.Fprintf(w, "slowdown %v\n", factor)
+	})
+	mux.HandleFunc("/control/delay", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		arg := req.URL.Query().Get("d")
+		var d time.Duration
+		if arg != "0" && arg != "" {
+			var err error
+			if d, err = time.ParseDuration(arg); err != nil || d < 0 {
+				http.Error(w, "need d >= 0 (duration)", http.StatusBadRequest)
+				return
+			}
+		}
+		srv.SetExtraDelay(d)
+		logger.Printf("control: extra delay -> %v", d)
+		fmt.Fprintf(w, "delay %v\n", d)
+	})
+}
 
 // statuszHandler renders the human-readable server status page.
 func statuszHandler(srv *realnet.Server, instr *realnet.ServerInstruments, start time.Time) http.HandlerFunc {
@@ -111,6 +153,7 @@ func main() {
 	srv, err := realnet.NewServer(realnet.ServerConfig{
 		Addr:             *addrFlag,
 		MaxBatch:         *maxBatchFlag,
+		MaxConns:         *maxConnsFlag,
 		TimeScale:        *timeScaleFlag,
 		WriteTimeout:     *writeTOFlag,
 		DrainTimeout:     *drainFlag,
@@ -126,13 +169,18 @@ func main() {
 	logger.Printf("listening on %v (maxbatch=%d timescale=%v)", srv.Addr(), *maxBatchFlag, *timeScaleFlag)
 
 	if reg != nil {
-		debug, err := telemetry.Serve(*telemetryFlag,
-			telemetry.NewMux(reg, statuszHandler(srv, instr, time.Now())))
+		mux := telemetry.NewMux(reg, statuszHandler(srv, instr, time.Now()))
+		if *controlFlag {
+			controlHandlers(mux, srv, logger)
+		}
+		debug, err := telemetry.Serve(*telemetryFlag, mux)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		defer debug.Close()
 		logger.Printf("telemetry on http://%s/ (/metrics /debug/vars /debug/pprof/ /statusz)", debug.Addr())
+	} else if *controlFlag {
+		logger.Fatal("-control requires -telemetry-addr")
 	}
 
 	schedule, err := parseDelaySchedule(*delaysFlag)

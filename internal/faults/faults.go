@@ -51,6 +51,13 @@ const (
 	// window is active: each tick inside it is delayed by a uniform
 	// draw from (0, Jitter].
 	TickJitter
+	// LinkLatency adds a fixed extra one-way delay of Latency to the
+	// device path(s) for the window — congestion or a rerouted WAN
+	// path. It exists primarily as a live-scenario kind (the realnet
+	// fault proxy actuates it, see LiveActuators); on the simulated
+	// substrate the optional SetLatency hook is nil-skipped, and
+	// RandomPlan never draws it.
+	LinkLatency
 
 	numKinds
 )
@@ -67,6 +74,8 @@ func (k Kind) String() string {
 		return "tenant_churn"
 	case TickJitter:
 		return "tick_jitter"
+	case LinkLatency:
+		return "link_latency"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -85,8 +94,10 @@ type Injection struct {
 	Rate float64
 	// Jitter is the TickJitter maximum per-tick skew; required > 0.
 	Jitter time.Duration
-	// Device targets LinkPartition at one device path by index;
-	// -1 partitions every path.
+	// Latency is the LinkLatency extra one-way delay; required > 0.
+	Latency time.Duration
+	// Device targets LinkPartition and LinkLatency at one device path
+	// by index; -1 hits every path.
 	Device int
 	// Server targets ServerCrash and GPUStall at one cluster member
 	// by index; -1 hits every member. Single-server runs use 0 (the
@@ -167,6 +178,13 @@ func (p Plan) Validate() error {
 			if in.Jitter <= 0 {
 				return fmt.Errorf("faults: injection %d (tick_jitter) Jitter %v must be positive", i, in.Jitter)
 			}
+		case LinkLatency:
+			if in.Latency <= 0 {
+				return fmt.Errorf("faults: injection %d (link_latency) Latency %v must be positive", i, in.Latency)
+			}
+			if in.Device < -1 {
+				return fmt.Errorf("faults: injection %d (link_latency) Device %d below -1", i, in.Device)
+			}
 		default:
 			return fmt.Errorf("faults: injection %d has unknown kind %d", i, int(in.Kind))
 		}
@@ -184,7 +202,7 @@ func (p Plan) Validate() error {
 			if cur.At >= prev.End() {
 				continue
 			}
-			disjoint := (k == LinkPartition && !sharesPath(prev, cur)) ||
+			disjoint := ((k == LinkPartition || k == LinkLatency) && !sharesPath(prev, cur)) ||
 				((k == ServerCrash || k == GPUStall) && !sharesServer(prev, cur))
 			if !disjoint {
 				return fmt.Errorf("faults: overlapping %v windows %v and %v", k, prev, cur)
@@ -227,6 +245,11 @@ type Hooks struct {
 	// (positive at a TenantChurn start, negative at its end),
 	// typically workload.Injector.AddExtraRate.
 	AddLoad func(delta float64)
+	// SetLatency applies a LinkLatency window's extra one-way delay
+	// to device dev's path (-1 = all paths); called with Latency at
+	// the window start and 0 at its end. Optional: the simulated
+	// substrate does not wire it today, the realnet fault proxy does.
+	SetLatency func(dev int, d time.Duration)
 	// OnFault observes every injection start and clear, for traces
 	// beyond the package counters. cleared is false at the start
 	// event.
@@ -289,6 +312,10 @@ func (e *Engine) inject(in Injection) {
 		if e.hooks.AddLoad != nil {
 			e.hooks.AddLoad(in.Rate)
 		}
+	case LinkLatency:
+		if e.hooks.SetLatency != nil {
+			e.hooks.SetLatency(in.Device, in.Latency)
+		}
 	}
 	if e.hooks.OnFault != nil {
 		e.hooks.OnFault(in, false)
@@ -312,6 +339,10 @@ func (e *Engine) clear(in Injection) {
 	case TenantChurn:
 		if e.hooks.AddLoad != nil {
 			e.hooks.AddLoad(-in.Rate)
+		}
+	case LinkLatency:
+		if e.hooks.SetLatency != nil {
+			e.hooks.SetLatency(in.Device, 0)
 		}
 	}
 	if e.hooks.OnFault != nil {

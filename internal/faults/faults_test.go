@@ -126,7 +126,9 @@ func TestEngineHookSequence(t *testing.T) {
 		GPUSlowdown:   func(srv int, f float64) { logf("slow %d %g", srv, f) },
 		Partition:     func(dev int, on bool) { logf("part dev=%d on=%v", dev, on) },
 		AddLoad:       func(d float64) { logf("load %+g", d) },
-		OnFault:       func(in Injection, cleared bool) { onFault = append(onFault, fmt.Sprintf("%v cleared=%v", in.Kind, cleared)) },
+		OnFault: func(in Injection, cleared bool) {
+			onFault = append(onFault, fmt.Sprintf("%v cleared=%v", in.Kind, cleared))
+		},
 	})
 	sched.Run()
 

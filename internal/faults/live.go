@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Live-actuator mapping: the same Plan vocabulary the DES engine
+// executes can be aimed at a *running* system — a real ffserver
+// process, real TCP connections — by binding each kind to a wall-clock
+// actuator. Not every DES kind has a live equivalent (there is no
+// process-level tenant_churn injector, and tick_jitter is a property
+// of the simulated clock), so the mapping is checked up front:
+// CheckLive rejects any plan injection that the bound actuator set
+// cannot execute with a typed UnsupportedKindError, before anything
+// touches the live system.
+
+// LiveActuators binds fault kinds to wall-clock actions against a
+// running system. Nil fields mean "no actuator for that kind"; a
+// non-nil actuator returning an error aborts the injection.
+type LiveActuators struct {
+	// ServerCrash takes the live server down (on=true, e.g. SIGKILL or
+	// SIGSTOP) and brings it back (on=false, restart or SIGCONT).
+	ServerCrash func(on bool) error
+	// GPUStall sets the live server's batch service-time multiplier:
+	// called with Injection.Factor at the window start and 1 at its
+	// end (e.g. via ffserver's /control/slowdown endpoint).
+	GPUStall func(factor float64) error
+	// Partition blackholes the device↔server path (e.g. the realnet
+	// fault proxy's SetPartition).
+	Partition func(on bool) error
+	// Latency sets the extra one-way path delay: Injection.Latency at
+	// the window start, 0 at its end (e.g. realnet Proxy.SetLatency).
+	Latency func(d time.Duration) error
+}
+
+// UnsupportedKindError reports a plan injection that the live-actuator
+// set cannot execute. It is returned by CheckLive (and Apply) so a
+// scenario daemon fails fast at startup instead of silently skipping a
+// fault mid-run.
+type UnsupportedKindError struct {
+	Kind   Kind
+	Reason string
+}
+
+func (e *UnsupportedKindError) Error() string {
+	return fmt.Sprintf("faults: no live actuator for %v: %s", e.Kind, e.Reason)
+}
+
+// liveCheck classifies one injection against the actuator set.
+func (a LiveActuators) liveCheck(in Injection) error {
+	switch in.Kind {
+	case ServerCrash:
+		if a.ServerCrash == nil {
+			return &UnsupportedKindError{in.Kind, "no server process manager bound"}
+		}
+		if in.Server > 0 {
+			return &UnsupportedKindError{in.Kind, fmt.Sprintf("live rig runs a single server, cannot target member %d", in.Server)}
+		}
+	case GPUStall:
+		if a.GPUStall == nil {
+			return &UnsupportedKindError{in.Kind, "no server slowdown control bound"}
+		}
+		if in.Server > 0 {
+			return &UnsupportedKindError{in.Kind, fmt.Sprintf("live rig runs a single server, cannot target member %d", in.Server)}
+		}
+	case LinkPartition:
+		if a.Partition == nil {
+			return &UnsupportedKindError{in.Kind, "no fault proxy bound"}
+		}
+		if in.Device != -1 {
+			return &UnsupportedKindError{in.Kind, fmt.Sprintf("the fault proxy partitions the shared path, cannot target device %d", in.Device)}
+		}
+	case LinkLatency:
+		if a.Latency == nil {
+			return &UnsupportedKindError{in.Kind, "no fault proxy bound"}
+		}
+		if in.Device != -1 {
+			return &UnsupportedKindError{in.Kind, fmt.Sprintf("the fault proxy delays the shared path, cannot target device %d", in.Device)}
+		}
+	case TenantChurn:
+		return &UnsupportedKindError{in.Kind, "background-load churn has no process-level injector"}
+	case TickJitter:
+		return &UnsupportedKindError{in.Kind, "live controllers tick on the wall clock"}
+	default:
+		return &UnsupportedKindError{in.Kind, "unknown kind"}
+	}
+	return nil
+}
+
+// CheckLive validates the plan and verifies every injection maps onto
+// a bound actuator. It is the scenario daemon's startup gate: a plan
+// that passes CheckLive will never hit an unmapped kind mid-scenario.
+func (a LiveActuators) CheckLive(p Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, in := range p {
+		if err := a.liveCheck(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply executes one injection's start (cleared=false) or clear
+// (cleared=true) against the live system. Injections that fail
+// liveCheck return the same typed error Apply-time, so a harness that
+// skipped CheckLive still cannot silently no-op a fault.
+func (a LiveActuators) Apply(in Injection, cleared bool) error {
+	if err := a.liveCheck(in); err != nil {
+		return err
+	}
+	switch in.Kind {
+	case ServerCrash:
+		return a.ServerCrash(!cleared)
+	case GPUStall:
+		if cleared {
+			return a.GPUStall(1)
+		}
+		return a.GPUStall(in.Factor)
+	case LinkPartition:
+		return a.Partition(!cleared)
+	case LinkLatency:
+		if cleared {
+			return a.Latency(0)
+		}
+		return a.Latency(in.Latency)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fullActuators returns an actuator set with every binding present,
+// recording calls into the given log.
+func fullActuators(log *[]string) LiveActuators {
+	rec := func(s string) error { *log = append(*log, s); return nil }
+	return LiveActuators{
+		ServerCrash: func(on bool) error {
+			if on {
+				return rec("crash:on")
+			}
+			return rec("crash:off")
+		},
+		GPUStall: func(f float64) error {
+			if f == 1 {
+				return rec("stall:clear")
+			}
+			return rec("stall:set")
+		},
+		Partition: func(on bool) error {
+			if on {
+				return rec("partition:on")
+			}
+			return rec("partition:off")
+		},
+		Latency: func(d time.Duration) error {
+			if d == 0 {
+				return rec("latency:clear")
+			}
+			return rec("latency:set")
+		},
+	}
+}
+
+// validInjection builds a valid injection of the kind, so the table
+// test exercises the actuator mapping, not field validation.
+func validInjection(k Kind) Injection {
+	in := Injection{Kind: k, At: 0, Duration: time.Second, Device: -1}
+	switch k {
+	case GPUStall:
+		in.Factor = 4
+	case TenantChurn:
+		in.Rate = 50
+	case TickJitter:
+		in.Jitter = 100 * time.Millisecond
+	case LinkLatency:
+		in.Latency = 200 * time.Millisecond
+	}
+	return in
+}
+
+// TestLiveMappingAllKinds walks every DES fault kind: each one either
+// maps onto a live actuator (CheckLive passes, Apply fires the bound
+// function) or is rejected with a typed UnsupportedKindError at plan
+// check time. No kind may fall through silently.
+func TestLiveMappingAllKinds(t *testing.T) {
+	mapped := map[Kind][2]string{
+		ServerCrash:   {"crash:on", "crash:off"},
+		GPUStall:      {"stall:set", "stall:clear"},
+		LinkPartition: {"partition:on", "partition:off"},
+		LinkLatency:   {"latency:set", "latency:clear"},
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		var log []string
+		act := fullActuators(&log)
+		in := validInjection(k)
+		err := act.CheckLive(Plan{in})
+		wantCalls, isMapped := mapped[k]
+		if isMapped {
+			if err != nil {
+				t.Fatalf("%v: CheckLive with full actuators failed: %v", k, err)
+			}
+			if err := act.Apply(in, false); err != nil {
+				t.Fatalf("%v: Apply(start) failed: %v", k, err)
+			}
+			if err := act.Apply(in, true); err != nil {
+				t.Fatalf("%v: Apply(clear) failed: %v", k, err)
+			}
+			if len(log) != 2 || log[0] != wantCalls[0] || log[1] != wantCalls[1] {
+				t.Fatalf("%v: actuator calls %v, want %v", k, log, wantCalls)
+			}
+			continue
+		}
+		var uk *UnsupportedKindError
+		if !errors.As(err, &uk) {
+			t.Fatalf("%v: CheckLive = %v, want UnsupportedKindError", k, err)
+		}
+		if uk.Kind != k {
+			t.Fatalf("%v: error names kind %v", k, uk.Kind)
+		}
+		if err := act.Apply(in, false); !errors.As(err, &uk) {
+			t.Fatalf("%v: Apply without CheckLive = %v, want typed error", k, err)
+		}
+		if len(log) != 0 {
+			t.Fatalf("%v: unsupported kind still fired actuators: %v", k, log)
+		}
+	}
+}
+
+// TestLiveMappingMissingActuators pins that a nil binding downgrades
+// its kind to unsupported, and that targeted injections the single-
+// server rig cannot express are rejected too.
+func TestLiveMappingMissingActuators(t *testing.T) {
+	cases := []struct {
+		name string
+		act  LiveActuators
+		in   Injection
+	}{
+		{"crash without process manager", LiveActuators{}, validInjection(ServerCrash)},
+		{"stall without control", LiveActuators{ServerCrash: func(bool) error { return nil }}, validInjection(GPUStall)},
+		{"partition without proxy", LiveActuators{}, validInjection(LinkPartition)},
+		{"latency without proxy", LiveActuators{}, validInjection(LinkLatency)},
+		{"crash targeting member 2", fullActuators(new([]string)), func() Injection {
+			in := validInjection(ServerCrash)
+			in.Server = 2
+			return in
+		}()},
+		{"partition targeting one device", fullActuators(new([]string)), func() Injection {
+			in := validInjection(LinkPartition)
+			in.Device = 3
+			return in
+		}()},
+	}
+	for _, tc := range cases {
+		var uk *UnsupportedKindError
+		if err := tc.act.CheckLive(Plan{tc.in}); !errors.As(err, &uk) {
+			t.Errorf("%s: CheckLive = %v, want UnsupportedKindError", tc.name, err)
+		}
+	}
+}
+
+// TestLinkLatencyValidate covers the new kind's field validation and
+// that the DES engine treats it as a nil-skipped no-op without a hook.
+func TestLinkLatencyValidate(t *testing.T) {
+	bad := Plan{{Kind: LinkLatency, At: 0, Duration: time.Second}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-latency link_latency injection validated")
+	}
+	good := Plan{{Kind: LinkLatency, At: 0, Duration: time.Second, Latency: 50 * time.Millisecond, Device: -1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid link_latency rejected: %v", err)
+	}
+	if got := good[0].Kind.String(); got != "link_latency" {
+		t.Fatalf("Kind.String() = %q", got)
+	}
+	// Overlapping windows on different devices are fine, same device not.
+	overlap := Plan{
+		{Kind: LinkLatency, At: 0, Duration: 2 * time.Second, Latency: time.Millisecond, Device: 0},
+		{Kind: LinkLatency, At: time.Second, Duration: 2 * time.Second, Latency: time.Millisecond, Device: 1},
+	}
+	if err := overlap.Validate(); err != nil {
+		t.Fatalf("disjoint-device overlap rejected: %v", err)
+	}
+	overlap[1].Device = 0
+	if err := overlap.Validate(); err == nil {
+		t.Fatal("same-device overlap validated")
+	}
+}

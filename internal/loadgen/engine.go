@@ -1,0 +1,672 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/frame"
+	"repro/internal/models"
+	"repro/internal/netproto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Engine defaults.
+const (
+	DefaultFS       = 30.0
+	DefaultDeadline = 250 * time.Millisecond
+	DefaultTick     = time.Second
+	DefaultStep     = 20 * time.Millisecond
+)
+
+// maxDevices bounds the fleet so device indices fit the 32-bit field
+// of the packed frame ID.
+const maxDevices = 1 << 31
+
+// catchUpFrames caps how many capture intervals one engine step may
+// replay after a scheduling stall, so a paused worker doesn't burst
+// an unbounded frame train.
+const catchUpFrames = 4
+
+// Config configures a virtual-device fleet.
+type Config struct {
+	// Addr is the realnet server (or fault proxy) address.
+	Addr string
+	// Devices is the fleet size (required, ≤ 2³¹).
+	Devices int
+	// Conns is the shared TCP pool size; default DefaultConns.
+	Conns int
+	// Workers is the number of stepping goroutines, each owning a
+	// contiguous device range; default min(Devices, GOMAXPROCS).
+	Workers int
+	// FS is each device's source frame rate; default DefaultFS.
+	FS float64
+	// Deadline is the end-to-end offload deadline; default
+	// DefaultDeadline.
+	Deadline time.Duration
+	// Tick is the controller measurement interval; default
+	// DefaultTick.
+	Tick time.Duration
+	// Step is the engine's wall-clock stepping interval: every Step
+	// each worker advances its device range (captures due frames,
+	// settles local work, sweeps deadlines). Default DefaultStep.
+	Step time.Duration
+	// TimeScale multiplies simulated local latency; match the
+	// server's. Default 1.
+	TimeScale float64
+	// PayloadBytes is the per-frame upload size; defaults to the
+	// evaluation's ~29 KB. The payload buffer is shared read-only by
+	// the whole fleet.
+	PayloadBytes int
+	// Profile is the device hardware; default Pi4B14.
+	Profile *models.DeviceProfile
+	// Model is the classifier; default MobileNetV3Small.
+	Model models.Model
+	// Seed derives every per-device rng stream; default 1.
+	Seed uint64
+	// NewPolicy builds device dev's offload policy; default a
+	// FrameFeedback controller with the paper's Table IV settings.
+	// Probing policies (controller.Prober) are not supported — the
+	// fleet exists to soak the probe-free FrameFeedback loop.
+	NewPolicy func(dev int) controller.Policy
+	// InitialPo, when set, overrides each device's starting offload
+	// rate (clamped to FS).
+	InitialPo float64
+	// DialTimeout, WriteTimeout, ReconnectMin, ReconnectMax tune the
+	// shared connection pool (see MuxConfig).
+	DialTimeout, WriteTimeout  time.Duration
+	ReconnectMin, ReconnectMax time.Duration
+	// Instruments, when non-nil, receives fleet telemetry. Nil
+	// disables instrumentation at zero cost.
+	Instruments *Instruments
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// outEntry is one in-flight offload: the per-device sequence number
+// and when it was sent. The per-device set is bounded by
+// Deadline·Po ≲ a few dozen, so a linear-scan slice beats a map.
+type outEntry struct {
+	seq    uint32
+	sentAt time.Time
+}
+
+// devStats is one device's cumulative counters.
+type devStats struct {
+	captured, attempts              uint64
+	ok, timedOut, rejected          uint64
+	localDone, localDropped, missed uint64
+}
+
+// vdev is one virtual device: a real FrameFeedback policy plus the
+// capture/local/deadline bookkeeping realnet.Client keeps, rephrased
+// as step-driven arithmetic so a fleet of thousands needs no
+// per-device goroutines or timers.
+type vdev struct {
+	mu     sync.Mutex
+	rng    rng.Stream
+	policy controller.Policy
+
+	po     float64
+	credit float64
+	acc    float64 // fractional captured frames carried across steps
+	seq    uint32
+
+	outstanding []outEntry
+
+	// Local inference pipeline: one worker plus a queue of ≤ 2,
+	// tracked as a busy-until horizon instead of sleeps.
+	localBusyUntil time.Time
+	localQueue     int
+
+	nextTick time.Time
+	start    time.Time
+	stats    devStats
+	prev     devStats
+
+	// Controller-tick aggregates for the settled verdict.
+	tAvg    float64 // EWMA of per-tick T
+	ticks   int
+	settled bool
+}
+
+// Engine drives the fleet.
+type Engine struct {
+	cfg  Config
+	mux  *Mux
+	devs []*vdev
+
+	payload []byte
+
+	// Fleet-wide counters, updated at resolve points only.
+	captured, attempts                  atomic.Uint64
+	offOK, offTimedOut, offRejected     atomic.Uint64
+	localDone, localDropped, sendErrors atomic.Uint64
+
+	snapMu sync.Mutex
+	snap   Snapshot
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Snapshot is the fleet-level aggregate the soak verdict reads.
+type Snapshot struct {
+	Devices int
+	// Settled devices satisfy the paper's convergence predicate: the
+	// EWMA timeout rate sits inside the standing-probe equilibrium
+	// band [0.05, 0.15]·Fs, or timeouts have vanished with Po pinned
+	// high (≥ 0.8·Fs) — fully converged with capacity to spare.
+	Settled      int
+	SettledRatio float64
+	PoMean       float64
+	PoMin, PoMax float64
+	TMean        float64
+
+	Captured, OffloadAttempts           uint64
+	OffloadOK, OffloadTimedOut          uint64
+	OffloadRejected                     uint64
+	LocalDone, LocalDropped, SendErrors uint64
+}
+
+// Timeouts returns deadline misses plus rejections — the controller's
+// composite T numerator.
+func (s Snapshot) Timeouts() uint64 { return s.OffloadTimedOut + s.OffloadRejected }
+
+// New validates the config and starts the fleet: the connection pool,
+// the stepping workers, and the aggregator.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Devices <= 0 {
+		return nil, errors.New("loadgen: Devices must be positive")
+	}
+	if cfg.Devices > maxDevices {
+		return nil, fmt.Errorf("loadgen: Devices %d exceeds %d", cfg.Devices, maxDevices)
+	}
+	if cfg.FS == 0 {
+		cfg.FS = DefaultFS
+	}
+	if cfg.FS <= 0 {
+		return nil, errors.New("loadgen: FS must be positive")
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = DefaultDeadline
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultTick
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = DefaultStep
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, errors.New("loadgen: negative TimeScale")
+	}
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = frame.DefaultSizeModel().MeanBytes(frame.Res380, 85)
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = models.Pi4B14()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Devices {
+		cfg.Workers = cfg.Devices
+	}
+	if cfg.NewPolicy == nil {
+		cfg.NewPolicy = func(int) controller.Policy {
+			return controller.NewFrameFeedback(controller.DefaultConfig())
+		}
+	}
+
+	e := &Engine{
+		cfg:     cfg,
+		payload: make([]byte, cfg.PayloadBytes),
+		stopCh:  make(chan struct{}),
+	}
+	root := rng.New(cfg.Seed)
+	now := time.Now()
+	e.devs = make([]*vdev, cfg.Devices)
+	for i := range e.devs {
+		d := &vdev{
+			rng:    root.SplitOff(uint64(i)),
+			policy: cfg.NewPolicy(i),
+			start:  now,
+		}
+		// De-phase the fleet: random capture phase and controller-tick
+		// phase keep devices from bursting the server in lockstep at
+		// every engine step.
+		d.acc = d.rng.Float64()
+		d.nextTick = now.Add(time.Duration(float64(cfg.Tick) * (0.5 + 0.5*d.rng.Float64())))
+		if p, ok := d.policy.(controller.Prober); ok && p.WantsProbe() {
+			return nil, fmt.Errorf("loadgen: device %d policy requires probes; unsupported", i)
+		}
+		if cfg.InitialPo > 0 {
+			d.po = cfg.InitialPo
+			if d.po > cfg.FS {
+				d.po = cfg.FS
+			}
+		}
+		e.devs[i] = d
+	}
+
+	mux, err := NewMux(MuxConfig{
+		Addr:         cfg.Addr,
+		Conns:        cfg.Conns,
+		DialTimeout:  cfg.DialTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		ReconnectMin: cfg.ReconnectMin,
+		ReconnectMax: cfg.ReconnectMax,
+		Seed:         cfg.Seed ^ 0x6d7578, // decorrelate from device streams
+		Handler:      e.onResponse,
+		Logger:       cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mux = mux
+	cfg.Instruments.bind(e)
+
+	// Contiguous device ranges: devices on one worker share cache
+	// lines and step in lockstep, and the split needs no rebalancing.
+	// Each worker starts at a random phase within one Step so worker
+	// bursts interleave instead of stacking.
+	per := (cfg.Devices + cfg.Workers - 1) / cfg.Workers
+	for lo := 0; lo < cfg.Devices; lo += per {
+		hi := lo + per
+		if hi > cfg.Devices {
+			hi = cfg.Devices
+		}
+		phase := time.Duration(root.Float64() * float64(cfg.Step))
+		e.wg.Add(1)
+		go e.worker(lo, hi, phase)
+	}
+	e.wg.Add(1)
+	go e.aggregator()
+	return e, nil
+}
+
+// Close stops the workers and the connection pool. Safe to call more
+// than once.
+func (e *Engine) Close() error {
+	select {
+	case <-e.stopCh:
+		return nil
+	default:
+	}
+	close(e.stopCh)
+	err := e.mux.Close()
+	e.wg.Wait()
+	return err
+}
+
+// ConnsUp reports live pooled connections.
+func (e *Engine) ConnsUp() int { return e.mux.Up() }
+
+// Snapshot returns the latest fleet aggregate (refreshed by the
+// aggregator roughly once per controller tick).
+func (e *Engine) Snapshot() Snapshot {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return e.snap
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// worker steps one contiguous device range every Step, offset by its
+// start-up phase.
+func (e *Engine) worker(lo, hi int, phase time.Duration) {
+	defer e.wg.Done()
+	if phase > 0 {
+		timer := time.NewTimer(phase)
+		select {
+		case <-timer.C:
+		case <-e.stopCh:
+			timer.Stop()
+			return
+		}
+	}
+	ticker := time.NewTicker(e.cfg.Step)
+	defer ticker.Stop()
+	last := time.Now()
+	// sends is the per-step carry-out of offload sequence numbers:
+	// recorded under the device lock, written to the socket after it
+	// is released, so a blocked write never stalls the range.
+	var sends [catchUpFrames]uint32
+	for {
+		var now time.Time
+		select {
+		case now = <-ticker.C:
+		case <-e.stopCh:
+			return
+		}
+		dt := now.Sub(last).Seconds()
+		last = now
+		for i := lo; i < hi; i++ {
+			n := e.step(i, now, dt, sends[:0])
+			for _, seq := range n {
+				e.send(i, seq)
+			}
+		}
+	}
+}
+
+// step advances one device by dt seconds of wall time: settle local
+// completions, sweep offload deadlines, run the controller tick if
+// due, then capture and dispatch the frames that accumulated.
+// Offloads are recorded under the lock but sent by the caller after
+// release; the returned slice aliases sends' backing array.
+func (e *Engine) step(dev int, now time.Time, dt float64, sends []uint32) []uint32 {
+	d := e.devs[dev]
+	cfg := &e.cfg
+	d.mu.Lock()
+
+	// 1. Local pipeline: count completions whose horizon passed.
+	for !d.localBusyUntil.IsZero() && !now.Before(d.localBusyUntil) {
+		d.stats.localDone++
+		e.localDone.Add(1)
+		if d.localQueue > 0 {
+			d.localQueue--
+			lat := float64(cfg.Profile.LocalLatency(cfg.Model)) * cfg.TimeScale
+			d.localBusyUntil = d.localBusyUntil.Add(time.Duration(d.rng.Jitter(lat, 0.08)))
+		} else {
+			d.localBusyUntil = time.Time{}
+		}
+	}
+
+	// 2. Deadline sweep over in-flight offloads.
+	for i := 0; i < len(d.outstanding); {
+		if now.Sub(d.outstanding[i].sentAt) > cfg.Deadline {
+			d.outstanding[i] = d.outstanding[len(d.outstanding)-1]
+			d.outstanding = d.outstanding[:len(d.outstanding)-1]
+			d.stats.timedOut++
+			e.offTimedOut.Add(1)
+			continue
+		}
+		i++
+	}
+
+	// 3. Controller tick.
+	if !now.Before(d.nextTick) {
+		e.tick(d, now)
+	}
+
+	// 4. Capture.
+	d.acc += cfg.FS * dt
+	frames := int(d.acc)
+	if frames > catchUpFrames {
+		// A stalled worker replays at most catchUpFrames; the rest
+		// are dropped frames, not a burst.
+		d.stats.missed += uint64(frames - catchUpFrames)
+		frames = catchUpFrames
+	}
+	d.acc -= float64(frames)
+	for f := 0; f < frames; f++ {
+		d.stats.captured++
+		e.captured.Add(1)
+		d.credit += d.po / cfg.FS
+		if d.credit >= 1 {
+			d.credit--
+			d.seq++
+			d.stats.attempts++
+			e.attempts.Add(1)
+			d.outstanding = append(d.outstanding, outEntry{seq: d.seq, sentAt: now})
+			sends = append(sends, d.seq)
+			continue
+		}
+		// Local path: bounded queue of 2 behind the worker.
+		if d.localBusyUntil.IsZero() {
+			lat := float64(cfg.Profile.LocalLatency(cfg.Model)) * cfg.TimeScale
+			d.localBusyUntil = now.Add(time.Duration(d.rng.Jitter(lat, 0.08)))
+		} else if d.localQueue < 2 {
+			d.localQueue++
+		} else {
+			d.stats.localDropped++
+			e.localDropped.Add(1)
+		}
+	}
+	d.mu.Unlock()
+	return sends
+}
+
+// runPolicy feeds one measurement to the device's policy and clamps
+// the resulting rate. Called with d.mu held.
+func (d *vdev) runPolicy(m controller.Measurement, fs float64) {
+	next := d.policy.Next(m)
+	if next < 0 {
+		next = 0
+	}
+	if next > fs {
+		next = fs
+	}
+	d.po = next
+}
+
+func (e *Engine) tick(d *vdev, now time.Time) {
+	cfg := &e.cfg
+	d.nextTick = d.nextTick.Add(cfg.Tick)
+	if !now.Before(d.nextTick) {
+		// The worker stalled past a whole tick; realign instead of
+		// replaying controller steps.
+		d.nextTick = now.Add(cfg.Tick)
+	}
+	cur := d.stats
+	delta := devStats{
+		ok:        cur.ok - d.prev.ok,
+		timedOut:  cur.timedOut - d.prev.timedOut,
+		rejected:  cur.rejected - d.prev.rejected,
+		localDone: cur.localDone - d.prev.localDone,
+	}
+	d.prev = cur
+	tickSec := cfg.Tick.Seconds()
+	m := controller.Measurement{
+		Now:       simtime.Time(now.Sub(d.start)),
+		FS:        cfg.FS,
+		Po:        d.po,
+		T:         float64(delta.timedOut+delta.rejected) / tickSec,
+		Pl:        float64(delta.localDone) / tickSec,
+		OffloadOK: float64(delta.ok) / tickSec,
+	}
+	d.runPolicy(m, cfg.FS)
+
+	// Convergence verdict state: EWMA of T smooths the per-tick
+	// quantization (one timeout in a 1 s tick is a whole 1/s of T).
+	const alpha = 0.3
+	d.ticks++
+	if d.ticks == 1 {
+		d.tAvg = m.T
+	} else {
+		d.tAvg = alpha*m.T + (1-alpha)*d.tAvg
+	}
+	lo, hi := 0.05*cfg.FS, 0.15*cfg.FS
+	d.settled = d.ticks >= 2 &&
+		((d.tAvg >= lo && d.tAvg <= hi) || (d.tAvg < lo && d.po >= 0.8*cfg.FS))
+}
+
+// send writes one offload request outside the device lock. A failed
+// send resolves the frame as an immediate timeout, keeping T fed
+// through outages exactly like realnet.Client.
+func (e *Engine) send(dev int, seq uint32) {
+	req := &netproto.Request{
+		Stream:           uint32(dev),
+		FrameID:          PackFrameID(dev, seq),
+		Model:            e.cfg.Model,
+		CapturedUnixNano: time.Now().UnixNano(),
+		Payload:          e.payload,
+	}
+	if err := e.mux.Send(dev, req); err != nil {
+		e.sendErrors.Add(1)
+		e.resolve(dev, seq, outcomeTimeout)
+	}
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeTimeout
+	outcomeRejected
+)
+
+// resolve retires one in-flight frame; already-swept frames are
+// ignored.
+func (e *Engine) resolve(dev int, seq uint32, oc outcome) {
+	d := e.devs[dev]
+	d.mu.Lock()
+	found := false
+	for i := range d.outstanding {
+		if d.outstanding[i].seq == seq {
+			d.outstanding[i] = d.outstanding[len(d.outstanding)-1]
+			d.outstanding = d.outstanding[:len(d.outstanding)-1]
+			found = true
+			break
+		}
+	}
+	if found {
+		switch oc {
+		case outcomeOK:
+			d.stats.ok++
+		case outcomeRejected:
+			d.stats.rejected++
+		default:
+			d.stats.timedOut++
+		}
+	}
+	d.mu.Unlock()
+	if !found {
+		return
+	}
+	switch oc {
+	case outcomeOK:
+		e.offOK.Add(1)
+	case outcomeRejected:
+		e.offRejected.Add(1)
+	default:
+		e.offTimedOut.Add(1)
+	}
+}
+
+// onResponse routes one server response back to its device. Called
+// from a pooled connection's read goroutine.
+func (e *Engine) onResponse(dev int, res *netproto.Response) {
+	if dev < 0 || dev >= len(e.devs) {
+		return
+	}
+	_, seq := UnpackFrameID(res.FrameID)
+	if res.Rejected {
+		e.resolve(dev, seq, outcomeRejected)
+		return
+	}
+	// Deadline check: compare against the recorded send time.
+	d := e.devs[dev]
+	d.mu.Lock()
+	var sentAt time.Time
+	found := false
+	for i := range d.outstanding {
+		if d.outstanding[i].seq == seq {
+			sentAt = d.outstanding[i].sentAt
+			d.outstanding[i] = d.outstanding[len(d.outstanding)-1]
+			d.outstanding = d.outstanding[:len(d.outstanding)-1]
+			found = true
+			break
+		}
+	}
+	if found {
+		if time.Since(sentAt) <= e.cfg.Deadline {
+			d.stats.ok++
+		} else {
+			d.stats.timedOut++
+		}
+	}
+	d.mu.Unlock()
+	if !found {
+		return
+	}
+	if time.Since(sentAt) <= e.cfg.Deadline {
+		e.offOK.Add(1)
+	} else {
+		e.offTimedOut.Add(1)
+	}
+}
+
+// aggregator refreshes the fleet Snapshot and telemetry roughly once
+// per controller tick.
+func (e *Engine) aggregator() {
+	defer e.wg.Done()
+	interval := e.cfg.Tick
+	if interval > time.Second {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.refresh()
+		case <-e.stopCh:
+			return
+		}
+	}
+}
+
+func (e *Engine) refresh() {
+	var (
+		settled      int
+		poSum, tSum  float64
+		poMin, poMax float64
+	)
+	poMin = e.cfg.FS + 1
+	for _, d := range e.devs {
+		d.mu.Lock()
+		po, t, ok := d.po, d.tAvg, d.settled
+		d.mu.Unlock()
+		if ok {
+			settled++
+		}
+		poSum += po
+		tSum += t
+		if po < poMin {
+			poMin = po
+		}
+		if po > poMax {
+			poMax = po
+		}
+	}
+	n := len(e.devs)
+	s := Snapshot{
+		Devices:         n,
+		Settled:         settled,
+		SettledRatio:    float64(settled) / float64(n),
+		PoMean:          poSum / float64(n),
+		PoMin:           poMin,
+		PoMax:           poMax,
+		TMean:           tSum / float64(n),
+		Captured:        e.captured.Load(),
+		OffloadAttempts: e.attempts.Load(),
+		OffloadOK:       e.offOK.Load(),
+		OffloadTimedOut: e.offTimedOut.Load(),
+		OffloadRejected: e.offRejected.Load(),
+		LocalDone:       e.localDone.Load(),
+		LocalDropped:    e.localDropped.Load(),
+		SendErrors:      e.sendErrors.Load(),
+	}
+	e.snapMu.Lock()
+	e.snap = s
+	e.snapMu.Unlock()
+	e.cfg.Instruments.observe(s, e.mux.Up())
+}

@@ -1,0 +1,106 @@
+package loadgen
+
+import "repro/internal/telemetry"
+
+// Instruments bundles the fleet-level telemetry a soak run exports.
+// Nil disables instrumentation — every method is nil-safe, matching
+// the realnet convention. One Instruments serves one Engine: the
+// cumulative counters are registered lazily against that engine's
+// atomics when New binds it.
+type Instruments struct {
+	reg *telemetry.Registry
+
+	// Devices is the fleet size; SettledDevices how many currently
+	// satisfy the convergence predicate, and SettledRatio their
+	// fraction — the scenario daemon's recovery signal.
+	Devices        *telemetry.Gauge
+	SettledDevices *telemetry.Gauge
+	SettledRatio   *telemetry.FloatGauge
+
+	// PoMean/PoMin/PoMax summarise the fleet's offload-rate
+	// distribution; TMean the mean EWMA timeout rate. PoDist and
+	// TDist accumulate the per-refresh fleet means as histograms, so
+	// a scrape shows where the fleet spent its time.
+	PoMean, PoMin, PoMax *telemetry.FloatGauge
+	TMean                *telemetry.FloatGauge
+	PoDist, TDist        *telemetry.Histogram
+
+	ConnsUp *telemetry.Gauge
+}
+
+// NewInstruments registers the fleet metric set on reg under the
+// framefeedback_loadgen_ prefix.
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	return &Instruments{
+		reg: reg,
+		Devices: reg.Gauge("framefeedback_loadgen_devices",
+			"Virtual devices in the fleet."),
+		SettledDevices: reg.Gauge("framefeedback_loadgen_settled_devices",
+			"Devices currently satisfying the convergence predicate."),
+		SettledRatio: reg.FloatGauge("framefeedback_loadgen_settled_ratio",
+			"Fraction of devices settled: EWMA T inside [0.05,0.15]·Fs, or T≈0 with Po ≥ 0.8·Fs."),
+		PoMean: reg.FloatGauge("framefeedback_loadgen_po_mean",
+			"Fleet mean offload rate P_o in frames/s."),
+		PoMin: reg.FloatGauge("framefeedback_loadgen_po_min",
+			"Fleet minimum offload rate P_o in frames/s."),
+		PoMax: reg.FloatGauge("framefeedback_loadgen_po_max",
+			"Fleet maximum offload rate P_o in frames/s."),
+		TMean: reg.FloatGauge("framefeedback_loadgen_t_mean",
+			"Fleet mean EWMA timeout rate T in frames/s."),
+		PoDist: reg.Histogram("framefeedback_loadgen_po_dist",
+			"Fleet mean P_o sampled at each aggregate refresh.", telemetry.SizeBuckets),
+		TDist: reg.Histogram("framefeedback_loadgen_t_dist",
+			"Fleet mean T sampled at each aggregate refresh.", telemetry.SizeBuckets),
+		ConnsUp: reg.Gauge("framefeedback_loadgen_conns_up",
+			"Live pooled TCP connections to the server."),
+	}
+}
+
+// bind registers the fleet's cumulative counters, read straight from
+// the engine's atomics at scrape time so scrapes are exact rather
+// than refresh-lagged.
+func (in *Instruments) bind(e *Engine) {
+	if in == nil || in.reg == nil {
+		return
+	}
+	in.Devices.Set(int64(len(e.devs)))
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"framefeedback_loadgen_captured_total",
+			"Frames captured across the fleet.", e.captured.Load},
+		{"framefeedback_loadgen_offload_attempts_total",
+			"Offload attempts across the fleet.", e.attempts.Load},
+		{"framefeedback_loadgen_offload_ok_total",
+			"Offloads answered within the deadline.", e.offOK.Load},
+		{"framefeedback_loadgen_offload_timeouts_total",
+			"Offloads that missed the deadline (including send failures).", e.offTimedOut.Load},
+		{"framefeedback_loadgen_offload_rejected_total",
+			"Offloads shed by the server.", e.offRejected.Load},
+		{"framefeedback_loadgen_local_done_total",
+			"Local inference completions across the fleet.", e.localDone.Load},
+		{"framefeedback_loadgen_local_dropped_total",
+			"Frames dropped at full local queues.", e.localDropped.Load},
+		{"framefeedback_loadgen_send_errors_total",
+			"Offload sends that failed at the socket.", e.sendErrors.Load},
+	} {
+		in.reg.CounterFunc(c.name, c.help, c.fn)
+	}
+}
+
+// observe publishes one aggregate refresh.
+func (in *Instruments) observe(s Snapshot, connsUp int) {
+	if in == nil {
+		return
+	}
+	in.SettledDevices.Set(int64(s.Settled))
+	in.SettledRatio.Set(s.SettledRatio)
+	in.PoMean.Set(s.PoMean)
+	in.PoMin.Set(s.PoMin)
+	in.PoMax.Set(s.PoMax)
+	in.TMean.Set(s.TMean)
+	in.PoDist.Observe(s.PoMean)
+	in.TDist.Observe(s.TMean)
+	in.ConnsUp.Set(int64(connsUp))
+}

@@ -2,6 +2,7 @@ package realnet
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -67,6 +68,14 @@ type ClientConfig struct {
 	// DialTimeout bounds each (re)connection attempt; default
 	// DefaultDialTimeout.
 	DialTimeout time.Duration
+	// ReconnectBudget caps consecutive failed redial attempts within
+	// one outage. When the budget is exhausted the client goes
+	// terminal: reconnection stops, Terminated() fires, and
+	// TerminalErr reports the last dial error — so a permanently dead
+	// server surfaces as a hard failure instead of silent infinite
+	// retry. 0 means unlimited (the default). A successful reconnect
+	// resets the budget.
+	ReconnectBudget int
 	// WriteTimeout bounds each message write so a dead uplink surfaces
 	// as an error instead of a wedged capture loop; default Deadline
 	// (an upload that cannot finish within the deadline is already a
@@ -159,6 +168,11 @@ type Client struct {
 	rng     *rng.Stream // local-latency jitter; guarded by mu
 	dialRng *rng.Stream // backoff jitter; owned by redialLoop
 
+	// Terminal state: set once when the reconnect budget runs out.
+	termOnce sync.Once
+	termCh   chan struct{}
+	termErr  error // guarded by mu
+
 	// instr is never nil (a zero instrument set is a no-op), so the
 	// frame path carries no instrumentation branches.
 	instr *ClientInstruments
@@ -239,6 +253,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		dialRng:     root.Split(2),
 		outstanding: make(map[uint64]time.Time),
 		stopCh:      make(chan struct{}),
+		termCh:      make(chan struct{}),
 		instr:       instr,
 	}
 	c.instr.LinkUp.SetBool(true)
@@ -340,9 +355,13 @@ func (c *Client) dropConn(old net.Conn) {
 }
 
 // redialLoop re-establishes the connection after drops: jittered
-// exponential backoff from ReconnectMin up to ReconnectMax, forever,
-// until the client closes. Each success hands the fresh connection to
-// receiveLoop and resets the backoff.
+// exponential backoff from ReconnectMin up to ReconnectMax, until the
+// client closes or the ReconnectBudget (when set) runs out of
+// consecutive failed attempts — then the client goes terminal. Each
+// success hands the fresh connection to receiveLoop and resets both
+// the backoff and the budget. The live attempt counter and the
+// next-retry backoff are exported as telemetry gauges so a stuck
+// reconnect is visible from /metrics.
 func (c *Client) redialLoop() {
 	defer c.wg.Done()
 	for {
@@ -358,6 +377,7 @@ func (c *Client) redialLoop() {
 				return
 			default:
 			}
+			c.instr.ReconnectAttempt.Set(int64(attempt))
 			conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 			if err == nil {
 				c.connMu.Lock()
@@ -368,6 +388,8 @@ func (c *Client) redialLoop() {
 				c.mu.Unlock()
 				c.instr.Reconnects.Inc()
 				c.instr.LinkUp.SetBool(true)
+				c.instr.ReconnectAttempt.Set(0)
+				c.instr.ReconnectNextIn.Set(0)
 				c.logf("realnet: reconnected to %s (attempt %d)", c.cfg.Addr, attempt)
 				select {
 				case c.connCh <- conn:
@@ -376,7 +398,12 @@ func (c *Client) redialLoop() {
 				}
 				break
 			}
+			if b := c.cfg.ReconnectBudget; b > 0 && attempt >= b {
+				c.terminate(fmt.Errorf("realnet: reconnect budget exhausted after %d attempts: %w", attempt, err))
+				return
+			}
 			sleep := time.Duration(c.dialRng.Jitter(float64(backoff), 0.2))
+			c.instr.ReconnectNextIn.Set(sleep.Seconds())
 			timer := time.NewTimer(sleep)
 			select {
 			case <-timer.C:
@@ -390,6 +417,34 @@ func (c *Client) redialLoop() {
 			}
 		}
 	}
+}
+
+// terminate records the terminal error and fires Terminated. The
+// capture and control loops keep running (every offload is an
+// immediate timeout, exactly as during an outage); the caller decides
+// whether to Close.
+func (c *Client) terminate(err error) {
+	c.termOnce.Do(func() {
+		c.mu.Lock()
+		c.termErr = err
+		c.mu.Unlock()
+		c.instr.ReconnectExhausted.SetBool(true)
+		c.instr.ReconnectNextIn.Set(0)
+		c.logf("%v", err)
+		close(c.termCh)
+	})
+}
+
+// Terminated fires when the client gave up reconnecting because the
+// ReconnectBudget ran out. It never fires with an unset budget.
+func (c *Client) Terminated() <-chan struct{} { return c.termCh }
+
+// TerminalErr returns the error that terminated reconnection, or nil
+// while the client is still (re)connecting normally.
+func (c *Client) TerminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.termErr
 }
 
 // captureLoop emits frames at FS and routes each one.

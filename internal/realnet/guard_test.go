@@ -1,0 +1,140 @@
+package realnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/telemetry"
+)
+
+// TestMaxConnsShedsExcessConnections ramps connections past the
+// MaxConns accept guard: the surplus must be rejected fast (closed
+// before any session machinery runs) while admitted clients keep
+// working.
+func TestMaxConnsShedsExcessConnections(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		TimeScale: fastScale,
+		MaxConns:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Slot 1: a real client that must stay healthy throughout.
+	c := dial(t, srv, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+
+	// Slot 2: an idle raw connection pinning the last slot.
+	holder, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+
+	// Give the accept loop a beat to register both.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Conns() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Ramp: every further connection must be shed with a fast close —
+	// the read returns EOF well before the deadline, not a timeout.
+	const extra = 5
+	for i := 0; i < extra; i++ {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		buf := make([]byte, 1)
+		_, rerr := conn.Read(buf)
+		conn.Close()
+		if rerr == nil {
+			t.Fatalf("shed connection %d received data", i)
+		}
+		if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("shed connection %d was not closed fast (read timed out)", i)
+		}
+		if rerr != io.EOF {
+			t.Logf("shed connection %d closed with %v (EOF-equivalent)", i, rerr)
+		}
+	}
+
+	st := srv.Stats()
+	if st.ConnsShed < extra {
+		t.Fatalf("ConnsShed = %d, want ≥ %d", st.ConnsShed, extra)
+	}
+	if n := srv.Conns(); n > 2 {
+		t.Fatalf("live conns = %d beyond MaxConns = 2", n)
+	}
+
+	// The admitted client must still be making progress.
+	time.Sleep(600 * time.Millisecond)
+	if cs := c.Stats(); cs.OffloadOK == 0 {
+		t.Fatalf("admitted client starved during shed ramp: %+v", cs)
+	}
+}
+
+// TestReconnectBudgetTerminates kills the server permanently and
+// checks that a budgeted client stops redialing, fires Terminated,
+// and reports the last dial error — instead of retrying forever.
+func TestReconnectBudgetTerminates(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", TimeScale: fastScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	instr := NewClientInstruments(reg)
+	c := dial(t, srv, ClientConfig{
+		FS:              30,
+		Policy:          baselines.AlwaysOffload{},
+		ReconnectMin:    5 * time.Millisecond,
+		ReconnectMax:    20 * time.Millisecond,
+		DialTimeout:     200 * time.Millisecond,
+		ReconnectBudget: 3,
+		Instruments:     instr,
+	})
+	c.SetOffloadRate(30)
+
+	select {
+	case <-c.Terminated():
+		t.Fatal("client terminated while the server was healthy")
+	case <-time.After(300 * time.Millisecond):
+	}
+	if err := c.TerminalErr(); err != nil {
+		t.Fatalf("TerminalErr = %v before any outage", err)
+	}
+
+	// Permanent outage: redials hit a closed port and fail fast.
+	if err := srv.Close(); err != nil {
+		t.Logf("server close: %v", err)
+	}
+
+	select {
+	case <-c.Terminated():
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never terminated despite ReconnectBudget = 3")
+	}
+	if err := c.TerminalErr(); err == nil {
+		t.Fatal("TerminalErr = nil after termination")
+	}
+	if v := instr.ReconnectExhausted.Value(); v != 1 {
+		t.Fatalf("ReconnectExhausted gauge = %d, want 1", v)
+	}
+	// Terminal client must still shut down cleanly.
+	done := make(chan struct{})
+	go func() {
+		c.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("terminal client Close hung")
+	}
+}

@@ -32,6 +32,15 @@ type ClientInstruments struct {
 	LocalDone    *telemetry.Counter
 	LocalDropped *telemetry.Counter
 
+	// ReconnectAttempt is the current redial attempt number (0 while
+	// connected), and ReconnectNextIn the backoff until the next
+	// attempt in seconds — together the live view of the reconnect
+	// state machine. ReconnectExhausted flips to 1 when the reconnect
+	// budget runs out and the client goes terminal.
+	ReconnectAttempt   *telemetry.Gauge
+	ReconnectNextIn    *telemetry.FloatGauge
+	ReconnectExhausted *telemetry.Gauge
+
 	// Latency is the end-to-end offload latency histogram split by
 	// outcome (ok/timeout/rejected). Timed-out frames are recorded at
 	// the time they were resolved — right-censored at the deadline for
@@ -67,6 +76,12 @@ func NewClientInstruments(reg *telemetry.Registry) *ClientInstruments {
 			"Local inference completions."),
 		LocalDropped: reg.Counter("framefeedback_client_local_dropped_total",
 			"Frames dropped because the local worker and its queue were full."),
+		ReconnectAttempt: reg.Gauge("framefeedback_client_reconnect_attempt",
+			"Current redial attempt number; 0 while the transport is connected."),
+		ReconnectNextIn: reg.FloatGauge("framefeedback_client_reconnect_next_seconds",
+			"Backoff until the next redial attempt in seconds; 0 while connected."),
+		ReconnectExhausted: reg.Gauge("framefeedback_client_reconnect_exhausted",
+			"1 after the reconnect budget ran out and the client went terminal."),
 		Latency: reg.HistogramVec("framefeedback_offload_latency_seconds",
 			"End-to-end offload latency by outcome; timeouts are right-censored at the deadline.",
 			"outcome", telemetry.DefBuckets),
@@ -128,6 +143,11 @@ type ServerInstruments struct {
 	// QueueDepth observes the per-model queue length at every batch
 	// start — the congestion signal behind rejections.
 	QueueDepth *telemetry.Histogram
+	// ConnsShed counts connections fast-rejected by the MaxConns
+	// accept guard.
+	ConnsShed *telemetry.Counter
+	// Slowdown mirrors the live gpu_stall service-time multiplier.
+	Slowdown *telemetry.FloatGauge
 }
 
 // NewServerInstruments registers the server metric set on reg.
@@ -154,5 +174,9 @@ func NewServerInstruments(reg *telemetry.Registry) *ServerInstruments {
 			"tenant", telemetry.SizeBuckets),
 		QueueDepth: reg.Histogram("framefeedback_server_queue_depth",
 			"Per-model queue length at batch start.", telemetry.SizeBuckets),
+		ConnsShed: reg.Counter("framefeedback_server_conns_shed_total",
+			"Connections fast-rejected by the MaxConns accept guard."),
+		Slowdown: reg.FloatGauge("framefeedback_server_slowdown",
+			"Live gpu_stall batch service-time multiplier (1 = nominal)."),
 	}
 }

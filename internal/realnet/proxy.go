@@ -1,0 +1,260 @@
+package realnet
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Proxy is an in-process TCP fault injector: it forwards byte streams
+// between devices and a server while a scenario daemon flips link
+// conditions underneath them. It needs no root and no netem — the
+// three fault knobs are implemented purely in the forwarding path:
+//
+//   - Partition: pumps hold their current chunk and stop draining the
+//     socket. Kernel buffers on both sides fill, the sender's write
+//     eventually blocks, and the client's WriteTimeout trips — the
+//     same failure signature as a blackholed route. New connections
+//     still complete the TCP handshake (the proxy listener is alive)
+//     but carry no data, like a link that is up yet routes nothing.
+//   - Latency: each forwarded chunk sleeps before delivery, in both
+//     directions, so a d-latency link adds ~2d to an offload RTT.
+//   - Loss: each forwarded chunk is dropped with probability p by
+//     severing the whole link — TCP turns segment loss into stalls
+//     and resets, so at stream granularity a lossy link shows up as
+//     connection churn, which is exactly what the client's reconnect
+//     machinery must absorb.
+//
+// All knobs are safe to flip at any time from any goroutine.
+type Proxy struct {
+	cfg      ProxyConfig
+	listener net.Listener
+
+	mu          sync.Mutex
+	cond        *sync.Cond // broadcast on partition clear and close
+	partitioned bool
+	latency     time.Duration
+	loss        float64
+	lossRng     *rng.Stream // guarded by mu
+	links       map[*proxyLink]struct{}
+	closing     bool
+
+	wg sync.WaitGroup
+}
+
+// ProxyConfig configures a fault Proxy.
+type ProxyConfig struct {
+	// Addr is the listen address devices dial (e.g. "127.0.0.1:0").
+	Addr string
+	// Target is the upstream server address.
+	Target string
+	// DialTimeout bounds each upstream dial; default DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Seed drives the loss draw; default 1.
+	Seed uint64
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// proxyLink is one device↔server connection pair; closing it severs
+// both sockets so the two pump goroutines unwind together.
+type proxyLink struct {
+	down, up net.Conn // device side, server side
+	once     sync.Once
+}
+
+func (l *proxyLink) sever() {
+	l.once.Do(func() {
+		l.down.Close()
+		l.up.Close()
+	})
+}
+
+// NewProxy starts a fault proxy forwarding Addr → Target.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("realnet: proxy needs a Target")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		listener: ln,
+		lossRng:  rng.New(cfg.Seed),
+		links:    make(map[*proxyLink]struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.listener.Addr() }
+
+// SetPartition blackholes (true) or restores (false) the link.
+func (p *Proxy) SetPartition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	p.mu.Unlock()
+	if !on {
+		p.cond.Broadcast()
+	}
+	p.logf("realnet: proxy partition=%v", on)
+}
+
+// SetLatency adds d of one-way delay per forwarded chunk (0 clears).
+func (p *Proxy) SetLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+	p.logf("realnet: proxy latency=%v", d)
+}
+
+// SetLoss sets the per-chunk link-severing probability in [0, 1].
+func (p *Proxy) SetLoss(prob float64) {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	p.mu.Lock()
+	p.loss = prob
+	p.mu.Unlock()
+	p.logf("realnet: proxy loss=%v", prob)
+}
+
+// Links reports the number of live device↔server connection pairs.
+func (p *Proxy) Links() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.links)
+}
+
+// Close stops accepting, severs every link, and waits for the pumps.
+// Safe to call more than once.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closing = true
+	links := make([]*proxyLink, 0, len(p.links))
+	for l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	err := p.listener.Close()
+	for _, l := range links {
+		l.sever()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		up, err := net.DialTimeout("tcp", p.cfg.Target, p.cfg.DialTimeout)
+		if err != nil {
+			p.logf("realnet: proxy upstream dial: %v", err)
+			down.Close()
+			continue
+		}
+		l := &proxyLink{down: down, up: up}
+		p.mu.Lock()
+		if p.closing {
+			p.mu.Unlock()
+			l.sever()
+			return
+		}
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(l, l.up, l.down) // device → server
+		go p.pump(l, l.down, l.up) // server → device
+	}
+}
+
+// pump forwards src → dst one chunk at a time, applying the fault
+// knobs between read and write. Either side failing severs the link.
+func (p *Proxy) pump(l *proxyLink, dst, src net.Conn) {
+	defer p.wg.Done()
+	defer p.unlink(l)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			lat, drop, closing := p.gate()
+			if closing {
+				return
+			}
+			if drop {
+				p.logf("realnet: proxy loss severed link %v", src.RemoteAddr())
+				return
+			}
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// gate holds the chunk while partitioned, then samples the loss and
+// latency knobs for it.
+func (p *Proxy) gate() (lat time.Duration, drop, closing bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.partitioned && !p.closing {
+		p.cond.Wait()
+	}
+	if p.closing {
+		return 0, false, true
+	}
+	if p.loss > 0 && p.lossRng.Float64() < p.loss {
+		return 0, true, false
+	}
+	return p.latency, false, false
+}
+
+// unlink severs the pair and forgets it.
+func (p *Proxy) unlink(l *proxyLink) {
+	l.sever()
+	p.mu.Lock()
+	delete(p.links, l)
+	p.mu.Unlock()
+}

@@ -1,0 +1,186 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/controller"
+)
+
+func startProxy(t *testing.T, srv *Server) *Proxy {
+	t.Helper()
+	p, err := NewProxy(ProxyConfig{Addr: "127.0.0.1:0", Target: srv.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// dialVia dials the client through a fault proxy instead of straight
+// at the server.
+func dialVia(t *testing.T, p *Proxy, cfg ClientConfig) *Client {
+	t.Helper()
+	cfg.Addr = p.Addr().String()
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = fastScale
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 60 * time.Millisecond
+	}
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestProxyPassThrough checks the proxy is transparent with every
+// fault knob at rest: offloads succeed at loopback rates.
+func TestProxyPassThrough(t *testing.T) {
+	srv := startServer(t)
+	p := startProxy(t, srv)
+	c := dialVia(t, p, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+	time.Sleep(time.Second)
+	st := c.Stats()
+	if st.OffloadOK == 0 {
+		t.Fatalf("no successful offloads through idle proxy: %+v", st)
+	}
+	if float64(st.OffloadOK) < 0.7*float64(st.OffloadAttempts-5) {
+		t.Fatalf("proxy at rest degraded the link: %+v", st)
+	}
+	if p.Links() == 0 {
+		t.Fatal("proxy reports no live links")
+	}
+}
+
+// TestProxyPartitionRecovery blackholes the link mid-run: offloads
+// must collapse into timeouts, then recover after the partition
+// clears and the client redials through the proxy.
+func TestProxyPartitionRecovery(t *testing.T) {
+	srv := startServer(t)
+	p := startProxy(t, srv)
+	fb := controller.NewFrameFeedback(controller.Config{InitialPo: 60})
+	c := dialVia(t, p, ClientConfig{
+		FS: 60, Policy: fb,
+		Deadline: 150 * time.Millisecond,
+		Tick:     250 * time.Millisecond,
+	})
+	c.SetOffloadRate(60)
+	time.Sleep(time.Second)
+	healthy := c.Stats()
+	if healthy.OffloadOK == 0 {
+		t.Fatalf("no offloads before partition: %+v", healthy)
+	}
+
+	p.SetPartition(true)
+	time.Sleep(2 * time.Second)
+	mid := c.Stats()
+	if gained := mid.OffloadOK - healthy.OffloadOK; gained > 10 {
+		t.Fatalf("%d offloads succeeded across a partition", gained)
+	}
+	if mid.Timeouts() == healthy.Timeouts() {
+		t.Fatal("no timeouts recorded during partition")
+	}
+
+	p.SetPartition(false)
+	time.Sleep(3 * time.Second)
+	after := c.Stats()
+	if gained := after.OffloadOK - mid.OffloadOK; gained < 20 {
+		t.Fatalf("only %d successful offloads after partition cleared", gained)
+	}
+}
+
+// TestProxyLatencyInjection adds link delay beyond the deadline:
+// every offload must miss, then recover once the delay clears.
+func TestProxyLatencyInjection(t *testing.T) {
+	srv := startServer(t)
+	p := startProxy(t, srv)
+	c := dialVia(t, p, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+	time.Sleep(800 * time.Millisecond)
+	healthy := c.Stats()
+
+	// 100 ms each way ≫ the 60 ms deadline.
+	p.SetLatency(100 * time.Millisecond)
+	time.Sleep(1500 * time.Millisecond)
+	mid := c.Stats()
+	if gained := mid.OffloadOK - healthy.OffloadOK; gained > 15 {
+		t.Fatalf("%d offloads beat a 200 ms RTT with a 60 ms deadline", gained)
+	}
+	if mid.Timeouts() == healthy.Timeouts() {
+		t.Fatal("no timeouts under injected latency")
+	}
+
+	p.SetLatency(0)
+	time.Sleep(1500 * time.Millisecond)
+	after := c.Stats()
+	if gained := after.OffloadOK - mid.OffloadOK; gained < 20 {
+		t.Fatalf("only %d successful offloads after latency cleared", gained)
+	}
+}
+
+// TestProxyLossChurnsConnections injects chunk loss: TCP-level loss
+// shows up as connection churn the client's reconnect machinery must
+// absorb, and traffic resumes once the loss clears.
+func TestProxyLossChurnsConnections(t *testing.T) {
+	srv := startServer(t)
+	p := startProxy(t, srv)
+	c := dialVia(t, p, ClientConfig{
+		FS: 60, Policy: baselines.AlwaysOffload{},
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+	})
+	c.SetOffloadRate(60)
+	time.Sleep(500 * time.Millisecond)
+	healthy := c.Stats()
+
+	p.SetLoss(0.2)
+	time.Sleep(2 * time.Second)
+	mid := c.Stats()
+	if mid.Reconnects == healthy.Reconnects {
+		t.Fatal("no reconnects under 20% chunk loss")
+	}
+
+	p.SetLoss(0)
+	time.Sleep(1500 * time.Millisecond)
+	after := c.Stats()
+	if gained := after.OffloadOK - mid.OffloadOK; gained < 20 {
+		t.Fatalf("only %d successful offloads after loss cleared", gained)
+	}
+}
+
+// TestProxyCloseDuringPartition must not hang: pumps parked on the
+// partition gate have to unwind on Close.
+func TestProxyCloseDuringPartition(t *testing.T) {
+	srv := startServer(t)
+	p, err := NewProxy(ProxyConfig{Addr: "127.0.0.1:0", Target: srv.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialVia(t, p, ClientConfig{FS: 60, Policy: baselines.AlwaysOffload{}})
+	c.SetOffloadRate(60)
+	time.Sleep(300 * time.Millisecond)
+	p.SetPartition(true)
+	time.Sleep(200 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy Close hung during partition")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,12 @@ type ServerConfig struct {
 	// disconnected device are discarded (and counted as dropped)
 	// instead of being flushed to the dead socket.
 	DropOnDisconnect bool
+	// MaxConns caps concurrent device connections. Once the cap is
+	// reached, new connections are shed with a fast reject (the socket
+	// is closed immediately, no goroutine or session is spun up), so a
+	// connection flood degrades into cheap accept+close churn instead
+	// of unbounded goroutine growth. 0 means unlimited.
+	MaxConns int
 	// RejectLogEvery, when positive, logs every Nth rejection per
 	// tenant (the first one always) so shed load is visible without
 	// flooding the log. 0 disables rejection logging.
@@ -102,6 +109,9 @@ type ServerStats struct {
 	Dropped uint64
 	// Batches counts executed batches.
 	Batches uint64
+	// ConnsShed counts connections fast-rejected by the MaxConns
+	// accept guard.
+	ConnsShed uint64
 }
 
 // Server is the real-TCP edge inference server.
@@ -127,6 +137,11 @@ type Server struct {
 	// transient server degradation in experiments.
 	extraDelay atomic.Int64
 
+	// slowdown multiplies every batch execution time (float64 bits;
+	// 0 means the default 1). Scenario daemons drive it through
+	// SetSlowdown to emulate a live gpu_stall.
+	slowdown atomic.Uint64
+
 	// pending counts requests read off a connection whose reply
 	// callback has not run yet; Close's grace period waits for it to
 	// reach zero.
@@ -138,6 +153,7 @@ type Server struct {
 		rejected  atomic.Uint64
 		dropped   atomic.Uint64
 		batches   atomic.Uint64
+		connsShed atomic.Uint64
 	}
 
 	// instr is never nil (a zero instrument set is a no-op).
@@ -203,6 +219,26 @@ func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 // server degradation.
 func (s *Server) SetExtraDelay(d time.Duration) { s.extraDelay.Store(int64(d)) }
 
+// SetSlowdown sets the batch service-time multiplier — the live
+// counterpart of the simulator's gpu_stall fault. Factors below 1 are
+// clamped to 1; SetSlowdown(1) clears the stall.
+func (s *Server) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	s.slowdown.Store(math.Float64bits(factor))
+	s.instr.Slowdown.Set(factor)
+}
+
+// Slowdown returns the current batch service-time multiplier.
+func (s *Server) Slowdown() float64 {
+	bits := s.slowdown.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
 // Stats reports cumulative counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
@@ -211,6 +247,7 @@ func (s *Server) Stats() ServerStats {
 		Rejected:  s.stats.rejected.Load(),
 		Dropped:   s.stats.dropped.Load(),
 		Batches:   s.stats.batches.Load(),
+		ConnsShed: s.stats.connsShed.Load(),
 	}
 }
 
@@ -254,21 +291,32 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // registerConn tracks a live connection so Close can unblock its read
-// loop; it reports false when the server is already shutting down.
-func (s *Server) registerConn(conn net.Conn) bool {
+// loop; it reports false when the server is already shutting down or
+// the MaxConns accept guard sheds the connection.
+func (s *Server) registerConn(conn net.Conn) (ok, shed bool) {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.closing {
-		return false
+		return false, false
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return false, true
 	}
 	s.conns[conn] = struct{}{}
-	return true
+	return true, false
 }
 
 func (s *Server) unregisterConn(conn net.Conn) {
 	s.connMu.Lock()
 	delete(s.conns, conn)
 	s.connMu.Unlock()
+}
+
+// Conns reports the number of live device connections.
+func (s *Server) Conns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
 }
 
 func (s *Server) acceptLoop() {
@@ -278,21 +326,31 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		// The accept guard runs here, before any goroutine or session
+		// exists for the connection, so a flood costs one accept+close
+		// per attempt and nothing else.
+		ok, shed := s.registerConn(conn)
+		if !ok {
+			conn.Close()
+			if shed {
+				s.stats.connsShed.Add(1)
+				s.instr.ConnsShed.Inc()
+				s.logf("realnet: shed connection from %v (MaxConns=%d reached)", conn.RemoteAddr(), s.cfg.MaxConns)
+			}
+			continue
+		}
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
 }
 
-// handleConn reads requests from one device connection and forwards
-// them to the batcher. Responses travel through a session whose writer
-// goroutine outlives this read loop until every in-flight reply has
-// drained (see session).
+// handleConn reads requests from one device connection (already
+// registered by the accept loop) and forwards them to the batcher.
+// Responses travel through a session whose writer goroutine outlives
+// this read loop until every in-flight reply has drained (see
+// session).
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
-	if !s.registerConn(conn) {
-		conn.Close()
-		return
-	}
 	defer s.unregisterConn(conn)
 	s.logf("realnet: device connected from %v", conn.RemoteAddr())
 	s.instr.Sessions.Add(1)
@@ -388,7 +446,7 @@ func (s *Server) batchLoop() {
 		}
 		queues[m] = nil
 
-		lat := time.Duration(float64(s.cfg.GPU.Curve(m).Latency(take)) * s.cfg.TimeScale)
+		lat := time.Duration(float64(s.cfg.GPU.Curve(m).Latency(take)) * s.cfg.TimeScale * s.Slowdown())
 		lat += time.Duration(s.extraDelay.Load())
 		busy = true
 		s.stats.batches.Add(1)

@@ -52,6 +52,7 @@ type family struct {
 	counterFn func() uint64
 	hist      *Histogram
 	cvec      *CounterVec
+	gvec      *GaugeVec
 	hvec      *HistogramVec
 }
 
@@ -125,6 +126,14 @@ func (r *Registry) FloatGauge(name, help string) *FloatGauge {
 	g := &FloatGauge{}
 	r.register(&family{name: name, help: help, kind: kindGauge, fgauge: g})
 	return g
+}
+
+// GaugeVec registers and returns an integer gauge family with one
+// label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{children: make(map[string]*Gauge)}
+	r.register(&family{name: name, help: help, kind: kindGauge, labelName: label, gvec: v})
+	return v
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at scrape
@@ -212,6 +221,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, kv := range f.cvec.sorted() {
 				fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", f.name, f.labelName, escapeLabel(kv.label), kv.c.Value())
 			}
+		case f.gvec != nil:
+			for _, kv := range f.gvec.sorted() {
+				fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", f.name, f.labelName, escapeLabel(kv.label), kv.g.Value())
+			}
 		case f.hvec != nil:
 			for _, kv := range f.hvec.sorted() {
 				writeHistogram(b, f.name, f.labelName, kv.label, kv.h)
@@ -259,6 +272,10 @@ func (f *family) jsonValue() any {
 	case f.cvec != nil:
 		m := make(map[string]uint64)
 		f.cvec.Each(func(label string, v uint64) { m[label] = v })
+		return m
+	case f.gvec != nil:
+		m := make(map[string]int64)
+		f.gvec.Each(func(label string, v int64) { m[label] = v })
 		return m
 	case f.hvec != nil:
 		m := make(map[string]any)

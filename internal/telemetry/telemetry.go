@@ -322,6 +322,61 @@ func (v *CounterVec) sorted() []counterChild {
 	return out
 }
 
+// GaugeVec is a family of integer Gauges keyed by one label value
+// (for example scenario_phase{scenario="server_crash"}). Children are
+// created on first use and live forever. The nil GaugeVec is a valid
+// no-op whose children are nil Gauges.
+type GaugeVec struct {
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label value.
+func (v *GaugeVec) With(label string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.children[label]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[label]; g == nil {
+		g = &Gauge{}
+		v.children[label] = g
+	}
+	return g
+}
+
+// Each calls fn for every child in sorted label order.
+func (v *GaugeVec) Each(fn func(label string, value int64)) {
+	if v == nil {
+		return
+	}
+	for _, kv := range v.sorted() {
+		fn(kv.label, kv.g.Value())
+	}
+}
+
+type gaugeChild struct {
+	label string
+	g     *Gauge
+}
+
+func (v *GaugeVec) sorted() []gaugeChild {
+	v.mu.RLock()
+	out := make([]gaugeChild, 0, len(v.children))
+	for label, g := range v.children {
+		out = append(out, gaugeChild{label, g})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
 // HistogramVec is a family of Histograms keyed by one label value,
 // sharing bucket bounds. The nil HistogramVec is a valid no-op whose
 // children are nil Histograms.

@@ -217,3 +217,40 @@ func TestJSONFloatSpecials(t *testing.T) {
 		t.Errorf("1.5 → %v", v)
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.GaugeVec("scenario_phase", "Current phase per scenario.", "scenario")
+	v.With("crash").Set(2)
+	v.With("partition").Set(-1)
+	if v.With("crash") != v.With("crash") {
+		t.Fatal("GaugeVec child identity not stable")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP scenario_phase Current phase per scenario.\n" +
+		"# TYPE scenario_phase gauge\n" +
+		"scenario_phase{scenario=\"crash\"} 2\n" +
+		"scenario_phase{scenario=\"partition\"} -1\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	var labels []string
+	var values []int64
+	v.Each(func(label string, val int64) {
+		labels = append(labels, label)
+		values = append(values, val)
+	})
+	if len(labels) != 2 || labels[0] != "crash" || values[0] != 2 || labels[1] != "partition" || values[1] != -1 {
+		t.Fatalf("Each order/values: %v %v", labels, values)
+	}
+
+	// Nil vec and nil children are no-ops.
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(5)
+	nilVec.Each(func(string, int64) { t.Fatal("nil vec yielded a child") })
+}

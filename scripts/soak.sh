@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# soak.sh — real-network soak of the full closed loop under fault
+# scenarios. Boots the three-process rig on loopback:
+#
+#   ffloadgen ──TCP──▶ fault proxy (in ffscenariod) ──TCP──▶ ffserver
+#       ▲                          │
+#       └───── /debug/vars polls ──┘
+#
+# ffscenariod owns the ffserver child and the proxy, walks each
+# scenario through stabilize → inject → recover, and judges recovery
+# by the fleet's settled ratio (devices whose timeout rate is back in
+# the paper's [0.05, 0.15]·F_s band, or fully converged). Verdicts
+# stream to soak-verdicts.jsonl; the script exits 0 only if every
+# scenario reconverged within budget.
+#
+# Tunables (env):
+#   SOAK_DEVICES    virtual device count            (default 400)
+#   SOAK_SCENARIOS  comma list of faults.Kind names (default all 4 live kinds)
+#   SOAK_STABILIZE  settle budget before injection  (default 90s)
+#   SOAK_INJECT     fault hold time                 (default 15s)
+#   SOAK_RECOVER    reconvergence budget            (default 90s)
+#   SOAK_RATIO      settled fraction that passes    (default 0.8)
+#   SOAK_LOG        verdict JSONL path              (default ./soak-verdicts.jsonl)
+set -euo pipefail
+
+DEVICES=${SOAK_DEVICES:-400}
+SCENARIOS=${SOAK_SCENARIOS:-server_crash,gpu_stall,link_partition,link_latency}
+STABILIZE=${SOAK_STABILIZE:-90s}
+INJECT=${SOAK_INJECT:-15s}
+RECOVER=${SOAK_RECOVER:-90s}
+RATIO=${SOAK_RATIO:-0.8}
+LOG=${SOAK_LOG:-soak-verdicts.jsonl}
+
+# The GPU sleep simulation runs compressed 20x so a loopback batcher
+# has headroom for hundreds of devices; MaxBatch is widened the same
+# way the loadgen convergence test does it (the paper's 15 is sized
+# for a handful of cameras, not a multiplexed fleet).
+TIMESCALE=0.05
+MAXBATCH=64
+
+PROXY_ADDR=127.0.0.1:9770
+SRV_ADDR=127.0.0.1:9771
+SRV_TEL=127.0.0.1:9772
+LG_TEL=127.0.0.1:9773
+SCN_TEL=127.0.0.1:9774
+
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== building soak binaries =="
+go build -o "$WORK/ffserver" ./cmd/ffserver
+go build -o "$WORK/ffloadgen" ./cmd/ffloadgen
+go build -o "$WORK/ffscenariod" ./cmd/ffscenariod
+
+echo "== starting scenario daemon ($SCENARIOS) =="
+"$WORK/ffscenariod" \
+    -listen "$PROXY_ADDR" \
+    -server-bin "$WORK/ffserver" \
+    -server-addr "$SRV_ADDR" \
+    -server-telemetry "$SRV_TEL" \
+    -server-timescale "$TIMESCALE" \
+    -server-maxbatch "$MAXBATCH" \
+    -loadgen-metrics "http://$LG_TEL" \
+    -scenarios "$SCENARIOS" \
+    -stabilize "$STABILIZE" \
+    -inject-for "$INJECT" \
+    -recover-within "$RECOVER" \
+    -settle-ratio "$RATIO" \
+    -telemetry-addr "$SCN_TEL" \
+    -verdicts "$LOG" &
+SCN_PID=$!
+
+echo "== starting $DEVICES-device fleet =="
+"$WORK/ffloadgen" \
+    -addr "$PROXY_ADDR" \
+    -devices "$DEVICES" \
+    -conns 8 \
+    -timescale "$TIMESCALE" \
+    -report 10s \
+    -telemetry-addr "$LG_TEL" &
+LG_PID=$!
+
+# The scenario daemon is the judge: its exit code is the soak verdict.
+SCN_STATUS=0
+wait "$SCN_PID" || SCN_STATUS=$?
+kill "$LG_PID" 2>/dev/null || true
+wait "$LG_PID" 2>/dev/null || true
+
+echo "== verdicts ($LOG) =="
+cat "$LOG" 2>/dev/null || true
+if [ "$SCN_STATUS" -ne 0 ]; then
+    echo "FAIL: soak — a scenario did not reconverge (exit $SCN_STATUS)" >&2
+    exit "$SCN_STATUS"
+fi
+echo "PASS: soak — all scenarios reconverged"

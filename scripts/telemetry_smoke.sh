@@ -16,6 +16,31 @@ trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
+# wait_http URL BUDGET_SECONDS — poll until the endpoint answers.
+wait_http() {
+    local url=$1 budget=${2:-10} i=0
+    until curl -fsS -o /dev/null "$url" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -ge $((budget * 10)) ] && fail "$url not up within ${budget}s"
+        sleep 0.1
+    done
+}
+
+# wait_metric TELEMETRY_ADDR NAME BUDGET_SECONDS — poll /metrics until
+# the named series exists with a value > 0.
+wait_metric() {
+    local addr=$1 name=$2 budget=${3:-30} i=0
+    while :; do
+        if curl -fsS "http://$addr/metrics" 2>/dev/null \
+            | awk -v n="$name" '$1 == n && $2 > 0 { found = 1; exit } END { exit !found }'; then
+            return 0
+        fi
+        i=$((i + 1))
+        [ "$i" -ge $((budget * 10)) ] && fail "$name not > 0 on $addr within ${budget}s"
+        sleep 0.1
+    done
+}
+
 echo "== building binaries =="
 go build -o "$WORK/ffserver" ./cmd/ffserver
 go build -o "$WORK/ffdevice" ./cmd/ffdevice
@@ -23,12 +48,15 @@ go build -o "$WORK/ffdevice" ./cmd/ffdevice
 echo "== booting closed loop =="
 "$WORK/ffserver" -addr "$SRV_ADDR" -timescale 0.05 -stats 0 \
     -telemetry-addr "$SRV_TEL" -reject-log-every 100 >"$WORK/srv.log" 2>&1 &
-sleep 1
+wait_http "http://$SRV_TEL/metrics" 10
 "$WORK/ffdevice" -addr "$SRV_ADDR" -fps 30 -duration 60s \
     -telemetry-addr "$DEV_TEL" >"$WORK/dev.log" 2>&1 &
+wait_http "http://$DEV_TEL/metrics" 10
 
-# Give the controller a few ticks to converge out of the cold start.
-sleep 8
+# Wait until the controller has converged out of the cold start and
+# is actually offloading, instead of guessing with a fixed sleep.
+wait_metric "$DEV_TEL" framefeedback_offload_rate 30
+wait_metric "$SRV_TEL" framefeedback_server_submitted_total 30
 
 echo "== scraping device /metrics =="
 DEV_METRICS=$(curl -fsS "http://$DEV_TEL/metrics")
@@ -63,13 +91,18 @@ SUBMITTED=$(grep '^framefeedback_server_submitted_total ' <<<"$SRV_METRICS" | aw
 [ "$SUBMITTED" -gt 0 ] || fail "server submitted_total not > 0"
 
 echo "== debug endpoints =="
+# Capture bodies before grepping: `curl | grep -q` trips pipefail
+# with curl exit 23 when grep stops reading on the first match.
 curl -fsS "http://$DEV_TEL/debug/pprof/goroutine?debug=1" | head -1 | grep -q '^goroutine profile:' \
     || fail "device pprof goroutine profile malformed"
 curl -fsS "http://$SRV_TEL/debug/pprof/goroutine?debug=1" | head -1 | grep -q '^goroutine profile:' \
     || fail "server pprof goroutine profile malformed"
-curl -fsS "http://$DEV_TEL/debug/vars" | grep -q '"framefeedback_offload_rate"' \
+DEV_VARS=$(curl -fsS "http://$DEV_TEL/debug/vars")
+grep -q '"framefeedback_offload_rate"' <<<"$DEV_VARS" \
     || fail "device /debug/vars missing offload rate"
-curl -fsS "http://$DEV_TEL/statusz" | grep -q '^P_o:' || fail "device /statusz missing P_o"
-curl -fsS "http://$SRV_TEL/statusz" | grep -q '^batcher:' || fail "server /statusz missing batcher line"
+DEV_STATUSZ=$(curl -fsS "http://$DEV_TEL/statusz")
+grep -q '^P_o:' <<<"$DEV_STATUSZ" || fail "device /statusz missing P_o"
+SRV_STATUSZ=$(curl -fsS "http://$SRV_TEL/statusz")
+grep -q '^batcher:' <<<"$SRV_STATUSZ" || fail "server /statusz missing batcher line"
 
 echo "PASS: telemetry smoke"
